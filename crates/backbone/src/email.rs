@@ -1,0 +1,276 @@
+//! Vendor notification e-mails: rendering and parsing.
+//!
+//! "When the vendor starts repairing a link (when the link is down) or
+//! performing maintenance for a fiber link, Facebook is notified via
+//! email. The email is in a structured form, including the logical IDs
+//! of the fiber link, the physical location of the affected fiber
+//! circuits, the starting time of the repair/maintenance, the estimated
+//! duration, etc. Similarly, when the vendor completes the
+//! repair/maintenance of a link, they send an email for confirmation.
+//! The emails are automatically parsed and stored in a database."
+//! (§4.3.2)
+//!
+//! The wire format is RFC-822-flavoured headers over a byte buffer
+//! ([`bytes::Bytes`]); the parser is a tolerant line-oriented state
+//! machine (header folding not supported — vendors' systems emit one
+//! field per line): unknown headers are skipped, required fields are
+//! validated, and malformed messages yield a typed error rather than a
+//! panic — real ingestion pipelines drop bad mail, they do not crash.
+
+use crate::ticket::TicketKind;
+use crate::topo::FiberLinkId;
+use crate::vendor::VendorId;
+use bytes::Bytes;
+use dcnr_sim::SimTime;
+use std::fmt;
+
+/// One structured vendor notification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VendorEmail {
+    /// The notifying vendor.
+    pub vendor: VendorId,
+    /// The affected fiber link's logical id.
+    pub link: FiberLinkId,
+    /// What the notification announces.
+    pub kind: TicketKind,
+    /// Whether this is the start (`true`) or completion (`false`)
+    /// notification.
+    pub is_start: bool,
+    /// Event time (start time for starts, completion time for
+    /// completions), seconds since the study epoch.
+    pub at: SimTime,
+    /// Affected circuit ids within the link.
+    pub circuits: Vec<u8>,
+    /// Physical location string (continent code + free text).
+    pub location: String,
+    /// Vendor's estimated duration in hours (starts only; vendors'
+    /// estimates are famously optimistic and the analysis ignores them —
+    /// we parse them because the format carries them).
+    pub estimated_hours: Option<f64>,
+}
+
+/// Parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmailParseError {
+    /// Not valid UTF-8.
+    NotUtf8,
+    /// A required header is missing.
+    MissingField(&'static str),
+    /// A header value failed validation.
+    BadField(&'static str, String),
+}
+
+impl fmt::Display for EmailParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmailParseError::NotUtf8 => write!(f, "email body is not UTF-8"),
+            EmailParseError::MissingField(name) => write!(f, "missing header {name}"),
+            EmailParseError::BadField(name, v) => write!(f, "bad value for {name}: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EmailParseError {}
+
+/// Renders an e-mail to its wire form.
+pub fn render_email(email: &VendorEmail) -> Bytes {
+    let phase = if email.is_start { "START" } else { "COMPLETE" };
+    let kind = match email.kind {
+        TicketKind::Repair => "REPAIR",
+        TicketKind::Maintenance => "MAINTENANCE",
+    };
+    let circuits =
+        email.circuits.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+    let mut s = String::new();
+    s.push_str(&format!("Subject: [{}] {kind} {phase} for {}\r\n", email.vendor, email.link));
+    s.push_str(&format!("X-Vendor-Id: {}\r\n", email.vendor.index()));
+    s.push_str(&format!("X-Link-Id: {}\r\n", email.link.index()));
+    s.push_str(&format!("X-Event: {kind}-{phase}\r\n"));
+    s.push_str(&format!("X-Event-Time: {}\r\n", email.at.as_secs()));
+    s.push_str(&format!("X-Circuits: {circuits}\r\n"));
+    s.push_str(&format!("X-Location: {}\r\n", email.location));
+    if let Some(h) = email.estimated_hours {
+        s.push_str(&format!("X-Estimated-Duration-Hours: {h:.1}\r\n"));
+    }
+    s.push_str("\r\nAutomated notification. Do not reply.\r\n");
+    Bytes::from(s)
+}
+
+/// Parses a wire-form e-mail.
+///
+/// Tolerant of: unknown headers, arbitrary header order, missing
+/// optional fields, `\n` vs `\r\n` line endings, stray whitespace, and a
+/// missing body. Strict about: the five required fields and their value
+/// syntax.
+pub fn parse_email(raw: &Bytes) -> Result<VendorEmail, EmailParseError> {
+    let text = std::str::from_utf8(raw).map_err(|_| EmailParseError::NotUtf8)?;
+
+    let mut vendor: Option<u32> = None;
+    let mut link: Option<u32> = None;
+    let mut event: Option<(TicketKind, bool)> = None;
+    let mut at: Option<u64> = None;
+    let mut circuits: Vec<u8> = Vec::new();
+    let mut location = String::new();
+    let mut estimated_hours: Option<f64> = None;
+
+    for line in text.lines() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            break; // headers end at the blank line
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            continue; // tolerate junk lines
+        };
+        let value = value.trim();
+        match name.trim() {
+            "X-Vendor-Id" => {
+                vendor = Some(value.parse().map_err(|_| {
+                    EmailParseError::BadField("X-Vendor-Id", value.to_string())
+                })?)
+            }
+            "X-Link-Id" => {
+                link = Some(
+                    value
+                        .parse()
+                        .map_err(|_| EmailParseError::BadField("X-Link-Id", value.to_string()))?,
+                )
+            }
+            "X-Event" => {
+                event = Some(match value {
+                    "REPAIR-START" => (TicketKind::Repair, true),
+                    "REPAIR-COMPLETE" => (TicketKind::Repair, false),
+                    "MAINTENANCE-START" => (TicketKind::Maintenance, true),
+                    "MAINTENANCE-COMPLETE" => (TicketKind::Maintenance, false),
+                    other => {
+                        return Err(EmailParseError::BadField("X-Event", other.to_string()))
+                    }
+                })
+            }
+            "X-Event-Time" => {
+                at = Some(
+                    value.parse().map_err(|_| {
+                        EmailParseError::BadField("X-Event-Time", value.to_string())
+                    })?,
+                )
+            }
+            "X-Circuits" => {
+                for part in value.split(',').filter(|p| !p.trim().is_empty()) {
+                    circuits.push(part.trim().parse().map_err(|_| {
+                        EmailParseError::BadField("X-Circuits", value.to_string())
+                    })?);
+                }
+            }
+            "X-Location" => location = value.to_string(),
+            "X-Estimated-Duration-Hours" => {
+                estimated_hours = value.parse().ok();
+            }
+            _ => {} // Subject and anything else: ignored
+        }
+    }
+
+    let (kind, is_start) = event.ok_or(EmailParseError::MissingField("X-Event"))?;
+    Ok(VendorEmail {
+        vendor: VendorId::from_index(vendor.ok_or(EmailParseError::MissingField("X-Vendor-Id"))?),
+        link: FiberLinkId::from_index(link.ok_or(EmailParseError::MissingField("X-Link-Id"))?),
+        kind,
+        is_start,
+        at: SimTime::from_secs(at.ok_or(EmailParseError::MissingField("X-Event-Time"))?),
+        circuits,
+        location,
+        estimated_hours,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> VendorEmail {
+        VendorEmail {
+            vendor: VendorId::from_index(7),
+            link: FiberLinkId::from_index(123),
+            kind: TicketKind::Repair,
+            is_start: true,
+            at: SimTime::from_date(2017, 3, 4).unwrap(),
+            circuits: vec![0, 2],
+            location: "NA / Forest City conduit 4".into(),
+            estimated_hours: Some(12.5),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let e = sample();
+        let raw = render_email(&e);
+        let parsed = parse_email(&raw).unwrap();
+        assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn roundtrip_completion_without_estimate() {
+        let e = VendorEmail {
+            is_start: false,
+            estimated_hours: None,
+            kind: TicketKind::Maintenance,
+            ..sample()
+        };
+        let raw = render_email(&e);
+        assert_eq!(parse_email(&raw).unwrap(), e);
+    }
+
+    #[test]
+    fn tolerates_unknown_headers_and_lf_endings() {
+        let raw = Bytes::from(
+            "Subject: whatever\n\
+             X-Priority: urgent!!\n\
+             X-Vendor-Id: 3\n\
+             X-Link-Id: 55\n\
+             X-Event: REPAIR-COMPLETE\n\
+             X-Event-Time: 1000\n\
+             not-even-a-header\n\
+             X-Location: EU\n\
+             \n\
+             body text ignored\nX-Vendor-Id: 99\n",
+        );
+        let e = parse_email(&raw).unwrap();
+        assert_eq!(e.vendor.index(), 3);
+        assert_eq!(e.link.index(), 55);
+        assert!(!e.is_start);
+        assert_eq!(e.at.as_secs(), 1000);
+        assert!(e.circuits.is_empty());
+        // Header after the blank line must NOT override.
+        assert_eq!(e.vendor.index(), 3);
+    }
+
+    #[test]
+    fn missing_required_fields() {
+        let raw = Bytes::from("X-Vendor-Id: 3\r\nX-Link-Id: 1\r\nX-Event-Time: 5\r\n\r\n");
+        assert_eq!(parse_email(&raw), Err(EmailParseError::MissingField("X-Event")));
+        let raw = Bytes::from("X-Event: REPAIR-START\r\nX-Link-Id: 1\r\nX-Event-Time: 5\r\n\r\n");
+        assert_eq!(parse_email(&raw), Err(EmailParseError::MissingField("X-Vendor-Id")));
+    }
+
+    #[test]
+    fn bad_values_are_typed_errors() {
+        let raw = Bytes::from(
+            "X-Vendor-Id: seven\r\nX-Link-Id: 1\r\nX-Event: REPAIR-START\r\nX-Event-Time: 5\r\n\r\n",
+        );
+        assert!(matches!(parse_email(&raw), Err(EmailParseError::BadField("X-Vendor-Id", _))));
+        let raw = Bytes::from(
+            "X-Vendor-Id: 7\r\nX-Link-Id: 1\r\nX-Event: EXPLODED\r\nX-Event-Time: 5\r\n\r\n",
+        );
+        assert!(matches!(parse_email(&raw), Err(EmailParseError::BadField("X-Event", _))));
+    }
+
+    #[test]
+    fn non_utf8_rejected() {
+        let raw = Bytes::from(vec![0xFF, 0xFE, 0x00]);
+        assert_eq!(parse_email(&raw), Err(EmailParseError::NotUtf8));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EmailParseError::MissingField("X-Event").to_string().contains("X-Event"));
+        assert!(EmailParseError::BadField("X-Link-Id", "x".into()).to_string().contains("x"));
+    }
+}

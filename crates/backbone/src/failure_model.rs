@@ -1,0 +1,342 @@
+//! Per-entity reliability target sampling.
+//!
+//! **Edges** draw their target MTBF/MTTR as their continent's Table 4
+//! mean times a mean-one log-normal jitter; the global Fig. 15/16
+//! quantile curves then *emerge* from the continent mixture plus the
+//! jitter — the generative structure the paper's data plausibly has. A
+//! failure-probability-weighted normalization pins each continent's
+//! *measured* mean (the statistic Table 4 reports, which only sees edges
+//! that failed in the window) on its target.
+//!
+//! **Vendors** draw from the paper's quantile models at stratified
+//! percentiles `p_i = (i + 0.5)/n` with jitter — stratification
+//! guarantees the cross-vendor distribution follows the model, so the
+//! least-squares fit can recover `a` and `b`. Tail exaggeration
+//! reproduces the reported extremes (least reliable vendor failing every
+//! ~2 h, slowest repairs taking weeks), which sit far off the fitted
+//! exponentials — that is *why* the paper's own fits have R² < 1.
+//!
+//! Vendor targets honor §6.2's market anecdote: competitive-market
+//! vendors are preferentially assigned the high-MTBF / low-MTTR ends,
+//! with a feasibility clamp tying repair time to failure spacing.
+
+use crate::models::{PaperModels, QuantileModel};
+use crate::topo::BackboneTopology;
+use crate::vendor::VendorId;
+use dcnr_sim::stream_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Reliability targets for one entity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Targets {
+    /// Target mean time between failures, hours.
+    pub mtbf_hours: f64,
+    /// Target mean time to recovery, hours.
+    pub mttr_hours: f64,
+}
+
+/// Targets for every edge and vendor of a backbone.
+#[derive(Debug, Clone)]
+pub struct EntityTargets {
+    edge: Vec<Targets>,
+    vendor: Vec<Targets>,
+}
+
+/// Log-normal jitter sigma applied to sampled targets. Chosen so the
+/// generated populations reproduce the paper's σ and extreme values
+/// (e.g. edge MTBF max 8025 h vs. the model's p=1 value of 4815 h).
+const JITTER_SIGMA: f64 = 0.28;
+
+fn lognormal_jitter<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    // Mean-one log-normal.
+    (JITTER_SIGMA * z - JITTER_SIGMA * JITTER_SIGMA / 2.0).exp()
+}
+
+/// Tail exaggeration factors: the paper's reported extremes sit well off
+/// its own exponential models (e.g. the least reliable vendor fails
+/// every 2 h where the model's p→0 value is ~760 h; the slowest vendor
+/// repair is 744 h where the model's p=1 value is ~134 h). That is why
+/// the published fits have R² < 1. We reproduce it by scaling the single
+/// worst and best entity draws.
+#[derive(Debug, Clone, Copy)]
+struct TailFactors {
+    lo: f64,
+    hi: f64,
+}
+
+fn stratified(model: &QuantileModel, n: usize, tails: TailFactors, rng: &mut impl Rng) -> Vec<f64> {
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| {
+            let p = (i as f64 + 0.5) / n as f64;
+            model.eval(p) * lognormal_jitter(rng)
+        })
+        .collect();
+    if let Some(first) = values.first_mut() {
+        *first *= tails.lo;
+    }
+    if let Some(last) = values.last_mut() {
+        *last *= tails.hi;
+    }
+    values.shuffle(rng);
+    values
+}
+
+/// Mean-one log-normal sample with the given log-scale sigma.
+fn mean_one_lognormal<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z - sigma * sigma / 2.0).exp()
+}
+
+/// Scales the minimum element by `tails.lo` and the maximum by
+/// `tails.hi` (in place), stretching a sample toward reported extremes.
+fn exaggerate_tails(values: &mut [f64], tails: TailFactors) {
+    if values.is_empty() {
+        return;
+    }
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for (i, v) in values.iter().enumerate() {
+        if *v < values[lo] {
+            lo = i;
+        }
+        if *v > values[hi] {
+            hi = i;
+        }
+    }
+    values[lo] *= tails.lo;
+    values[hi] *= tails.hi;
+}
+
+impl EntityTargets {
+    /// Samples targets for every edge and vendor in `topo`,
+    /// deterministically from `seed`.
+    ///
+    /// Edge targets are additionally scaled per continent so that
+    /// per-continent means land on Table 4 (Africa's sparse, reliable,
+    /// slow-to-repair edges; Australia's fast metro repairs).
+    pub fn sample(topo: &BackboneTopology, seed: u64) -> Self {
+        let mut rng = stream_rng(seed, "backbone.targets");
+
+        // --- edges ---
+        // Edge reliability is driven by geography (Table 4): each edge
+        // draws its target as its continent's mean times a mean-one
+        // log-normal jitter. The global Fig. 15/16 quantile curves then
+        // emerge from the continent *mixture* plus the jitter — the same
+        // generative structure the paper's data plausibly has. Sigmas
+        // are chosen so the global fits land in the paper's regime
+        // (MTBF b ≈ 2.3 needs modest spread; MTTR b ≈ 4.3 needs more).
+        let mut edge_mtbf: Vec<f64> = topo
+            .edges()
+            .iter()
+            .map(|e| e.continent.mtbf_hours() * mean_one_lognormal(&mut rng, 0.55))
+            .collect();
+        let mut edge_mttr: Vec<f64> = topo
+            .edges()
+            .iter()
+            .map(|e| e.continent.mttr_hours() * mean_one_lognormal(&mut rng, 1.0))
+            .collect();
+        // Tail exaggeration toward the paper's reported extremes (min
+        // 253 h / max 8025 h MTBF; min 1 h / max 608 h MTTR).
+        exaggerate_tails(&mut edge_mtbf, TailFactors { lo: 0.5, hi: 1.8 });
+        exaggerate_tails(&mut edge_mttr, TailFactors { lo: 0.6, hi: 3.0 });
+
+        // Continent adjustment: scale each continent's draws so that the
+        // statistic the measurement pipeline will actually report — the
+        // mean over edges that *fail within the window* — lands on
+        // Table 4. An unweighted scaling would systematically miss: an
+        // edge pairing a huge MTBF with a huge MTTR almost never fails,
+        // so its MTTR target never produces a sample (selection bias).
+        // We weight each edge by its probability of failing at least
+        // once, `p = 1 - exp(-W/MTBF)`, and iterate the MTBF scaling to
+        // a fixed point (p depends on MTBF).
+        let window_h = dcnr_sim::StudyCalendar::backbone().hours();
+        for c in crate::geo::Continent::ALL {
+            let idx: Vec<usize> = topo
+                .edges()
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.continent == c)
+                .map(|(i, _)| i)
+                .collect();
+            if idx.is_empty() {
+                continue;
+            }
+            let p_fail = |mtbf: f64| 1.0 - (-window_h / mtbf).exp();
+            // MTBF: two fixed-point iterations are plenty at this scale.
+            for _ in 0..2 {
+                let wsum: f64 = idx.iter().map(|&i| p_fail(edge_mtbf[i])).sum();
+                let wmean: f64 =
+                    idx.iter().map(|&i| p_fail(edge_mtbf[i]) * edge_mtbf[i]).sum::<f64>() / wsum;
+                let scale = c.mtbf_hours() / wmean;
+                for &i in &idx {
+                    edge_mtbf[i] *= scale;
+                }
+            }
+            // MTTR: weight by the (now-final) failure probabilities.
+            let wsum: f64 = idx.iter().map(|&i| p_fail(edge_mtbf[i])).sum();
+            let wmean: f64 =
+                idx.iter().map(|&i| p_fail(edge_mtbf[i]) * edge_mttr[i]).sum::<f64>() / wsum;
+            let scale = c.mttr_hours() / wmean;
+            for &i in &idx {
+                edge_mttr[i] *= scale;
+            }
+        }
+
+        let edge = edge_mtbf
+            .into_iter()
+            .zip(edge_mttr)
+            .map(|(mtbf, mttr)| Targets { mtbf_hours: mtbf.max(1.0), mttr_hours: mttr.max(0.5) })
+            .collect();
+
+        // --- vendors: competitive-market vendors get the good tail ---
+        let n_vendors = topo.vendors().len();
+        let mut vendor_mtbf = stratified(
+            &PaperModels::vendor_mtbf(),
+            n_vendors,
+            TailFactors { lo: 0.005, hi: 1.7 },
+            &mut rng,
+        );
+        let mut vendor_mttr = stratified(
+            &PaperModels::vendor_mttr(),
+            n_vendors,
+            TailFactors { lo: 0.9, hi: 5.5 },
+            &mut rng,
+        );
+        // Sort so competitive vendors take high MTBF / low MTTR values:
+        // sort values, then hand out from the appropriate end.
+        vendor_mtbf.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        vendor_mttr.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+        let mut hi = n_vendors; // index into the sorted arrays from the good end
+        let mut lo = 0usize;
+        let mut vendor = vec![Targets { mtbf_hours: 0.0, mttr_hours: 0.0 }; n_vendors];
+        for v in topo.vendors() {
+            let idx = if v.competitive_market {
+                hi -= 1;
+                hi
+            } else {
+                let i = lo;
+                lo += 1;
+                i
+            };
+            let mtbf = vendor_mtbf[idx].max(1.0);
+            // Feasibility clamp: a vendor whose pooled links fail every
+            // `mtbf` hours spaces tickets `mtbf × L` hours apart per
+            // link; a repair longer than that spacing cannot physically
+            // sustain the failure rate (the link would never be up to
+            // fail again). Keep repairs within 80% of the spacing.
+            let links = topo.links_of_vendor(v.id).len().max(1) as f64;
+            let mttr_cap = 0.8 * mtbf * links;
+            vendor[v.id.index()] =
+                Targets { mtbf_hours: mtbf, mttr_hours: vendor_mttr[idx].max(0.5).min(mttr_cap) };
+        }
+
+        Self { edge, vendor }
+    }
+
+    /// Targets for an edge.
+    pub fn edge(&self, idx: usize) -> Targets {
+        self.edge[idx]
+    }
+
+    /// Targets for a vendor.
+    pub fn vendor(&self, id: VendorId) -> Targets {
+        self.vendor[id.index()]
+    }
+
+    /// All edge targets.
+    pub fn edges(&self) -> &[Targets] {
+        &self.edge
+    }
+
+    /// All vendor targets.
+    pub fn vendors(&self) -> &[Targets] {
+        &self.vendor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{BackboneParams, BackboneTopology};
+    use dcnr_stats::Summary;
+
+    fn setup() -> (BackboneTopology, EntityTargets) {
+        let topo = BackboneTopology::build(BackboneParams::default(), 555);
+        let targets = EntityTargets::sample(&topo, 555);
+        (topo, targets)
+    }
+
+    #[test]
+    fn edge_targets_positive_and_plausible() {
+        let (_, t) = setup();
+        for e in t.edges() {
+            assert!(e.mtbf_hours >= 1.0);
+            assert!(e.mttr_hours >= 0.5);
+            assert!(e.mtbf_hours < 50_000.0);
+            assert!(e.mttr_hours < 5_000.0);
+        }
+    }
+
+    #[test]
+    fn edge_mtbf_distribution_tracks_paper_stats() {
+        let (_, t) = setup();
+        let mtbfs: Vec<f64> = t.edges().iter().map(|e| e.mtbf_hours).collect();
+        let s = Summary::new(&mtbfs).unwrap();
+        let paper = PaperModels::edge_mtbf_stats();
+        // Median within 30% of 1710 h; spread of the right order.
+        assert!((s.median() - paper.median).abs() / paper.median < 0.3, "median {}", s.median());
+        assert!(s.stddev() > 500.0 && s.stddev() < 3500.0, "stddev {}", s.stddev());
+        assert!(s.max() > 3500.0, "max {}", s.max());
+    }
+
+    #[test]
+    fn continent_means_track_table4() {
+        let (topo, t) = setup();
+        // Africa's edges should average distinctly higher MTBF than
+        // South America's (5400 vs 1579 in Table 4).
+        let mean_of = |c: crate::geo::Continent| -> f64 {
+            let idx: Vec<usize> = topo.edges_on(c).iter().map(|e| e.index()).collect();
+            idx.iter().map(|&i| t.edge(i).mtbf_hours).sum::<f64>() / idx.len() as f64
+        };
+        let africa = mean_of(crate::geo::Continent::Africa);
+        let sa = mean_of(crate::geo::Continent::SouthAmerica);
+        assert!(africa > 1.5 * sa, "africa {africa} vs south america {sa}");
+    }
+
+    #[test]
+    fn vendor_spread_spans_orders_of_magnitude() {
+        let (_, t) = setup();
+        let mtbfs: Vec<f64> = t.vendors().iter().map(|v| v.mtbf_hours).collect();
+        let s = Summary::new(&mtbfs).unwrap();
+        assert!(s.max() / s.min() > 10.0, "span {}", s.max() / s.min());
+    }
+
+    #[test]
+    fn competitive_vendors_are_more_reliable() {
+        let (topo, t) = setup();
+        let (mut comp, mut rest) = (Vec::new(), Vec::new());
+        for v in topo.vendors() {
+            if v.competitive_market {
+                comp.push(t.vendor(v.id).mtbf_hours);
+            } else {
+                rest.push(t.vendor(v.id).mtbf_hours);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&comp) > mean(&rest), "{} vs {}", mean(&comp), mean(&rest));
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let topo = BackboneTopology::build(BackboneParams::default(), 9);
+        let a = EntityTargets::sample(&topo, 9);
+        let b = EntityTargets::sample(&topo, 9);
+        assert_eq!(a.edges(), b.edges());
+        assert_eq!(a.vendors(), b.vendors());
+    }
+}

@@ -1,0 +1,161 @@
+//! Continents and Table 4's geographic reliability profile.
+//!
+//! | Continent | Share | MTBF (h) | MTTR (h) |
+//! |-----------|-------|----------|----------|
+//! | North America | 37% | 1848 | 17 |
+//! | Europe        | 33% | 2029 | 19 |
+//! | Asia          | 14% | 2352 | 11 |
+//! | South America | 10% | 1579 |  9 |
+//! | Africa        |  4% | 5400 | 22 |
+//! | Australia     |  2% | 1642 |  2 |
+//!
+//! "Edges in Africa, despite their long uptime, take the longest time on
+//! average to recover at 22 h due to their submarine links. Edges in
+//! Australia take the shortest time ... due to their locations in big
+//! cities." (§6.3)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A continent hosting backbone edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Continent {
+    /// North America.
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// South America.
+    SouthAmerica,
+    /// Africa.
+    Africa,
+    /// Australia.
+    Australia,
+}
+
+impl Continent {
+    /// All continents, Table 4 order.
+    pub const ALL: [Continent; 6] = [
+        Continent::NorthAmerica,
+        Continent::Europe,
+        Continent::Asia,
+        Continent::SouthAmerica,
+        Continent::Africa,
+        Continent::Australia,
+    ];
+
+    /// Table 4's share of edges on this continent.
+    pub fn edge_share(self) -> f64 {
+        match self {
+            Continent::NorthAmerica => 0.37,
+            Continent::Europe => 0.33,
+            Continent::Asia => 0.14,
+            Continent::SouthAmerica => 0.10,
+            Continent::Africa => 0.04,
+            Continent::Australia => 0.02,
+        }
+    }
+
+    /// Table 4's average edge MTBF in hours.
+    pub fn mtbf_hours(self) -> f64 {
+        match self {
+            Continent::NorthAmerica => 1848.0,
+            Continent::Europe => 2029.0,
+            Continent::Asia => 2352.0,
+            Continent::SouthAmerica => 1579.0,
+            Continent::Africa => 5400.0,
+            Continent::Australia => 1642.0,
+        }
+    }
+
+    /// Table 4's average edge MTTR in hours.
+    pub fn mttr_hours(self) -> f64 {
+        match self {
+            Continent::NorthAmerica => 17.0,
+            Continent::Europe => 19.0,
+            Continent::Asia => 11.0,
+            Continent::SouthAmerica => 9.0,
+            Continent::Africa => 22.0,
+            Continent::Australia => 2.0,
+        }
+    }
+
+    /// Short code used in edge names and e-mail locations.
+    pub fn code(self) -> &'static str {
+        match self {
+            Continent::NorthAmerica => "NA",
+            Continent::Europe => "EU",
+            Continent::Asia => "AS",
+            Continent::SouthAmerica => "SA",
+            Continent::Africa => "AF",
+            Continent::Australia => "AU",
+        }
+    }
+
+    /// Parses a continent code (case-insensitive).
+    pub fn from_code(code: &str) -> Option<Continent> {
+        let up = code.to_ascii_uppercase();
+        Continent::ALL.into_iter().find(|c| c.code() == up)
+    }
+}
+
+impl fmt::Display for Continent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Continent::NorthAmerica => "North America",
+            Continent::Europe => "Europe",
+            Continent::Asia => "Asia",
+            Continent::SouthAmerica => "South America",
+            Continent::Africa => "Africa",
+            Continent::Australia => "Australia",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let s: f64 = Continent::ALL.iter().map(|c| c.edge_share()).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn africa_most_reliable_slowest_repair() {
+        // §6.3's two Africa observations.
+        let af = Continent::Africa;
+        for c in Continent::ALL {
+            if c != af {
+                assert!(af.mtbf_hours() > c.mtbf_hours());
+                assert!(af.mttr_hours() >= c.mttr_hours());
+            }
+        }
+    }
+
+    #[test]
+    fn australia_fastest_repair() {
+        for c in Continent::ALL {
+            assert!(Continent::Australia.mttr_hours() <= c.mttr_hours());
+        }
+    }
+
+    #[test]
+    fn all_continents_recover_within_a_day() {
+        // §6.3: "Across continents, edges recover within 1 d on average."
+        for c in Continent::ALL {
+            assert!(c.mttr_hours() <= 24.0);
+        }
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for c in Continent::ALL {
+            assert_eq!(Continent::from_code(c.code()), Some(c));
+            assert_eq!(Continent::from_code(&c.code().to_lowercase()), Some(c));
+        }
+        assert_eq!(Continent::from_code("XX"), None);
+    }
+}

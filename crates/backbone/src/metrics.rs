@@ -1,0 +1,297 @@
+//! Backbone reliability metrics: Figures 15–18 and Table 4.
+//!
+//! Measurement definitions (matching §6):
+//!
+//! * **Edge MTBF/MTTR** — from the all-links-down renewal logs: an edge
+//!   fails when every one of its ≥3 links is concurrently down, and
+//!   recovers when the first link returns.
+//! * **Vendor MTBF** — observation window divided by the vendor's
+//!   unplanned-repair ticket count ("the MTBF of the links operated by
+//!   a fiber vendor", pooled across its links). Planned maintenance on
+//!   the shared conduit plant is excluded.
+//! * **Vendor MTTR** — mean duration of the vendor's *completed*
+//!   unplanned repairs (open tickets are right-censored and excluded).
+//! * **Continent rows** — per-continent edge share and mean MTBF/MTTR
+//!   (Table 4).
+//!
+//! Each distribution yields a percentile curve (the solid lines of
+//! Figs. 15–18) and a least-squares exponential fit (the dotted lines),
+//! via `dcnr-stats`.
+
+use crate::geo::Continent;
+use crate::ticket::TicketDb;
+use crate::topo::BackboneTopology;
+use dcnr_sim::StudyCalendar;
+use dcnr_stats::{fit_exponential, ExpFit, QuantileCurve, Summary};
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContinentRow {
+    /// The continent.
+    pub continent: Continent,
+    /// Share of edges on this continent.
+    pub distribution: f64,
+    /// Mean edge MTBF, hours.
+    pub mtbf_hours: f64,
+    /// Mean edge MTTR, hours.
+    pub mttr_hours: f64,
+}
+
+/// A measured distribution with its percentile curve and model fit.
+#[derive(Debug, Clone)]
+pub struct FittedDistribution {
+    /// Per-entity values (hours), unsorted.
+    pub values: Vec<f64>,
+    /// The percentile curve (Figs. 15–18 solid line).
+    pub curve: QuantileCurve,
+    /// The least-squares exponential fit (dotted line), if the curve
+    /// admits one.
+    pub fit: Option<ExpFit>,
+}
+
+impl FittedDistribution {
+    fn new(values: Vec<f64>) -> Option<Self> {
+        let curve = QuantileCurve::new(&values)?;
+        let fit = fit_exponential(curve.points());
+        Some(Self { values, curve, fit })
+    }
+
+    /// Summary statistics of the values.
+    pub fn summary(&self) -> Summary {
+        Summary::new(&self.values).expect("non-empty by construction")
+    }
+}
+
+/// All backbone metrics for one simulated (or real) ticket dataset.
+#[derive(Debug, Clone)]
+pub struct BackboneMetrics {
+    /// Per-edge MTBF distribution (Fig. 15).
+    pub edge_mtbf: FittedDistribution,
+    /// Per-edge MTTR distribution (Fig. 16).
+    pub edge_mttr: FittedDistribution,
+    /// Per-vendor MTBF distribution (Fig. 17).
+    pub vendor_mtbf: FittedDistribution,
+    /// Per-vendor MTTR distribution (Fig. 18).
+    pub vendor_mttr: FittedDistribution,
+    /// Table 4 rows, continent order.
+    pub continents: Vec<ContinentRow>,
+    /// Total tickets analyzed.
+    pub ticket_count: usize,
+    /// Censoring-aware cross-check on the edge time-to-failure
+    /// distribution: a Kaplan-Meier fit over the pooled per-edge up
+    /// intervals (including edges that never failed, as censored
+    /// observations - data the per-edge MTBF curve cannot use).
+    pub edge_uptime_survival: Option<dcnr_stats::KaplanMeier>,
+}
+
+impl BackboneMetrics {
+    /// Computes every metric from a ticket database.
+    ///
+    /// Returns `None` when the dataset is too sparse to fit (no edge
+    /// failures or no vendor tickets at all).
+    pub fn compute(db: &TicketDb, topo: &BackboneTopology, window: StudyCalendar) -> Option<Self> {
+        let window_h = window.hours();
+
+        // --- edges ---
+        let edge_logs = db.edge_logs(topo, window);
+        let mut edge_mtbf_vals = Vec::new();
+        let mut edge_mttr_vals = Vec::new();
+        let mut per_edge: std::collections::BTreeMap<crate::topo::EdgeNodeId, (f64, Option<f64>)> =
+            std::collections::BTreeMap::new();
+        for (&id, log) in &edge_logs {
+            let est = log.estimate()?;
+            // The Fig. 15/16 distributions include only edges with at
+            // least two observed failures: a single-failure "MTBF" is a
+            // right-censored estimate pegged near the window length and
+            // would put a flat artifact at the top of the percentile
+            // curve. (Table 4's coarse continent means keep all failing
+            // edges — dropping sparse continents' data would bias them
+            // more than censoring does.)
+            if est.failures >= 2 {
+                edge_mtbf_vals.push(est.mtbf);
+                if let Some(mttr) = est.mttr {
+                    edge_mttr_vals.push(mttr);
+                }
+            }
+            per_edge.insert(id, (est.mtbf, est.mttr));
+        }
+
+        // Kaplan-Meier over pooled edge up intervals (trailing intervals
+        // and never-failed edges contribute censored observations).
+        let mut km_obs: Vec<dcnr_stats::Observation> = Vec::new();
+        for edge in topo.edges() {
+            match edge_logs.get(&edge.id) {
+                Some(log) => {
+                    for (duration, event) in log.up_observations() {
+                        km_obs.push(dcnr_stats::Observation { duration, event });
+                    }
+                }
+                None => {
+                    km_obs.push(dcnr_stats::Observation { duration: window_h, event: false });
+                }
+            }
+        }
+        let edge_uptime_survival = dcnr_stats::KaplanMeier::fit(&km_obs);
+
+        // --- vendors ---
+        // §6.2 measures vendors over *unplanned repairs*; planned
+        // maintenance on the shared conduit plant (which drives edge
+        // failures) is excluded from vendor reliability.
+        let mut ticket_counts =
+            std::collections::BTreeMap::<crate::vendor::VendorId, usize>::new();
+        let mut durations =
+            std::collections::BTreeMap::<crate::vendor::VendorId, Vec<f64>>::new();
+        for t in db.tickets().iter().filter(|t| t.kind == crate::ticket::TicketKind::Repair) {
+            *ticket_counts.entry(t.vendor).or_insert(0) += 1;
+            if let Some(d) = t.duration_hours() {
+                durations.entry(t.vendor).or_default().push(d);
+            }
+        }
+        let vendor_mtbf_vals: Vec<f64> =
+            ticket_counts.values().map(|&n| window_h / n as f64).collect();
+        let vendor_mttr_vals: Vec<f64> = durations
+            .values()
+            .filter(|v| !v.is_empty())
+            .map(|v| v.iter().sum::<f64>() / v.len() as f64)
+            .collect();
+
+        // --- continents (Table 4) ---
+        let total_edges = topo.edges().len() as f64;
+        let continents = Continent::ALL
+            .iter()
+            .map(|&c| {
+                let ids = topo.edges_on(c);
+                let mtbfs: Vec<f64> =
+                    ids.iter().filter_map(|id| per_edge.get(id).map(|&(m, _)| m)).collect();
+                let mttrs: Vec<f64> =
+                    ids.iter().filter_map(|id| per_edge.get(id).and_then(|&(_, r)| r)).collect();
+                ContinentRow {
+                    continent: c,
+                    distribution: ids.len() as f64 / total_edges,
+                    mtbf_hours: mean_or_zero(&mtbfs),
+                    mttr_hours: mean_or_zero(&mttrs),
+                }
+            })
+            .collect();
+
+        Some(Self {
+            edge_mtbf: FittedDistribution::new(edge_mtbf_vals)?,
+            edge_mttr: FittedDistribution::new(edge_mttr_vals)?,
+            vendor_mtbf: FittedDistribution::new(vendor_mtbf_vals)?,
+            vendor_mttr: FittedDistribution::new(vendor_mttr_vals)?,
+            continents,
+            ticket_count: db.len(),
+            edge_uptime_survival,
+        })
+    }
+}
+
+fn mean_or_zero(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::email::parse_email;
+    use crate::sim::{BackboneSim, BackboneSimConfig};
+    use crate::topo::BackboneParams;
+
+    fn metrics() -> BackboneMetrics {
+        let cfg = BackboneSimConfig {
+            params: BackboneParams { edges: 60, vendors: 25, min_links_per_edge: 3 },
+            seed: 77,
+            ..Default::default()
+        };
+        let out = BackboneSim::new(cfg).run();
+        let mut db = TicketDb::new();
+        for (_, raw) in &out.emails {
+            db.ingest(&parse_email(raw).unwrap());
+        }
+        BackboneMetrics::compute(&db, &out.topology, cfg.window).unwrap()
+    }
+
+    #[test]
+    fn edge_mtbf_fits_an_exponential_quantile_model() {
+        let m = metrics();
+        let fit = m.edge_mtbf.fit.expect("fit exists");
+        // Paper: a = 462.88, b = 2.3408, R² = 0.94. Our generator samples
+        // from that model with jitter and continent scaling; the fit
+        // should land in the same regime.
+        assert!(fit.a > 150.0 && fit.a < 1200.0, "a = {}", fit.a);
+        assert!(fit.b > 1.2 && fit.b < 3.8, "b = {}", fit.b);
+        assert!(fit.r2 > 0.75, "r2 = {}", fit.r2);
+    }
+
+    #[test]
+    fn edge_mtbf_summary_tracks_paper_stats() {
+        let m = metrics();
+        let s = m.edge_mtbf.summary();
+        // Median 1710 h ± 40%; failures on the order of weeks to months.
+        assert!(s.median() > 1000.0 && s.median() < 2500.0, "median {}", s.median());
+        assert!(s.min() > 50.0, "min {}", s.min());
+    }
+
+    #[test]
+    fn edge_mttr_is_hours_not_weeks() {
+        let m = metrics();
+        let s = m.edge_mttr.summary();
+        // "Typical edge recovery ... on the order of hours": median ~10 h.
+        assert!(s.median() > 2.0 && s.median() < 40.0, "median {}", s.median());
+    }
+
+    #[test]
+    fn vendor_mtbf_spans_orders_of_magnitude() {
+        let m = metrics();
+        let s = m.vendor_mtbf.summary();
+        assert!(s.max() / s.min() > 10.0, "span {}", s.max() / s.min());
+    }
+
+    #[test]
+    fn vendor_mttr_fit_is_steeply_exponential() {
+        let m = metrics();
+        let fit = m.vendor_mttr.fit.expect("fit exists");
+        // Paper: b = 4.77 — MTTR varies much faster across the vendor
+        // population than MTBF does.
+        assert!(fit.b > 2.0, "b = {}", fit.b);
+    }
+
+    #[test]
+    fn continent_rows_cover_all_and_sum_to_one() {
+        let m = metrics();
+        assert_eq!(m.continents.len(), 6);
+        let share: f64 = m.continents.iter().map(|r| r.distribution).sum();
+        assert!((share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn africa_outlier_reproduced() {
+        let m = metrics();
+        let row = |c: Continent| m.continents.iter().find(|r| r.continent == c).unwrap().clone();
+        let africa = row(Continent::Africa);
+        let sa = row(Continent::SouthAmerica);
+        assert!(
+            africa.mtbf_hours > sa.mtbf_hours,
+            "africa {} vs south america {}",
+            africa.mtbf_hours,
+            sa.mtbf_hours
+        );
+    }
+
+    #[test]
+    fn ticket_count_is_tens_of_thousands_at_full_scale() {
+        // At the default 90-edge/40-vendor scale the dataset lands in
+        // the paper's "tens of thousands of real world events" regime.
+        let cfg = BackboneSimConfig::default();
+        let out = BackboneSim::new(cfg).run();
+        let mut db = TicketDb::new();
+        for (_, raw) in &out.emails {
+            db.ingest(&parse_email(raw).unwrap());
+        }
+        assert!(db.len() > 5_000, "tickets {}", db.len());
+    }
+}

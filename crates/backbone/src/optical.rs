@@ -1,0 +1,218 @@
+//! The optical layer: circuits, segments, and wavelength channels.
+//!
+//! §3.2: "Each end-to-end fiber link is embodied by optical circuits
+//! that consist of multiple optical segments. An optical segment
+//! corresponds to a fiber and carries multiple channels, where each
+//! channel corresponds to a different wavelength mapped to a specific
+//! router port."
+//!
+//! The ticket-level simulation treats a link as up/down; this module
+//! models the layer beneath for partial-failure accounting: a backhoe
+//! takes out one *segment*, which kills every channel of one *circuit*,
+//! which removes a slice of the link's capacity — the "loss of capacity
+//! from edges to regions" failure mode that §3.2 calls the common
+//! result of fiber cuts.
+
+use crate::topo::{BackboneTopology, FiberLink, FiberLinkId};
+use serde::{Deserialize, Serialize};
+
+/// Per-wavelength channel capacity in Gb/s (100G coherent optics).
+pub const CHANNEL_GBPS: f64 = 100.0;
+
+/// One wavelength channel within a segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Channel {
+    /// ITU-grid-ish wavelength in tenths of a nanometer (e.g. 15 501 =
+    /// 1550.1 nm).
+    pub wavelength_tenth_nm: u32,
+    /// The backbone-router port this wavelength is mapped to.
+    pub router_port: u16,
+}
+
+/// One optical segment: a physical fiber span carrying channels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpticalSegment {
+    /// Segment index along the circuit.
+    pub index: u8,
+    /// Channels on this fiber.
+    pub channels: Vec<Channel>,
+}
+
+/// One optical circuit: a chain of segments embodying part of a link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpticalCircuit {
+    /// Circuit index within the link.
+    pub index: u8,
+    /// The segments in path order. The circuit is down if **any**
+    /// segment is cut (they are in series).
+    pub segments: Vec<OpticalSegment>,
+}
+
+impl OpticalCircuit {
+    /// Channels per segment is constant along a circuit (the same
+    /// wavelengths traverse every span); the circuit's capacity is one
+    /// segment's channel count times the per-channel rate.
+    pub fn capacity_gbps(&self) -> f64 {
+        self.segments.first().map_or(0.0, |s| s.channels.len() as f64 * CHANNEL_GBPS)
+    }
+}
+
+/// The optical embodiment of one fiber link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkOptics {
+    /// The embodied link.
+    pub link: FiberLinkId,
+    /// The circuits (parallel; the link is down only when all are down).
+    pub circuits: Vec<OpticalCircuit>,
+}
+
+impl LinkOptics {
+    /// Derives a deterministic optical layout for `link`: one circuit
+    /// per `FiberLink::circuits`, each with 2–4 segments (derived from
+    /// the link id) and 4 channels per segment on distinct wavelengths
+    /// mapped to distinct router ports.
+    pub fn derive(link: &FiberLink) -> Self {
+        let circuits = (0..link.circuits.max(1))
+            .map(|ci| {
+                // 2..=4 segments, varying per link/circuit but stable.
+                let n_segments = 2 + ((link.id.index() as u8).wrapping_add(ci) % 3);
+                let segments = (0..n_segments)
+                    .map(|si| OpticalSegment {
+                        index: si,
+                        channels: (0..4)
+                            .map(|ch| Channel {
+                                // 50 GHz-ish spacing starting at 1530.0 nm,
+                                // staggered per circuit.
+                                wavelength_tenth_nm: 15_300 + (ci as u32) * 40 + (ch as u32) * 4,
+                                router_port: (ci as u16) * 4 + ch as u16,
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                OpticalCircuit { index: ci, segments }
+            })
+            .collect();
+        Self { link: link.id, circuits }
+    }
+
+    /// Total link capacity in Gb/s.
+    pub fn capacity_gbps(&self) -> f64 {
+        self.circuits.iter().map(|c| c.capacity_gbps()).sum()
+    }
+
+    /// Capacity surviving a set of segment cuts, given as
+    /// `(circuit_index, segment_index)` pairs. A circuit with any cut
+    /// segment contributes nothing.
+    pub fn surviving_capacity_gbps(&self, cuts: &[(u8, u8)]) -> f64 {
+        self.circuits
+            .iter()
+            .filter(|c| {
+                !c.segments
+                    .iter()
+                    .any(|s| cuts.contains(&(c.index, s.index)))
+            })
+            .map(|c| c.capacity_gbps())
+            .sum()
+    }
+
+    /// Whether the link is hard-down (every circuit severed).
+    pub fn is_down(&self, cuts: &[(u8, u8)]) -> bool {
+        self.surviving_capacity_gbps(cuts) == 0.0
+    }
+}
+
+/// Derives the optical layout for every link of a backbone.
+pub fn derive_all(topo: &BackboneTopology) -> Vec<LinkOptics> {
+    topo.links().iter().map(LinkOptics::derive).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{BackboneParams, BackboneTopology};
+
+    fn optics() -> Vec<LinkOptics> {
+        let topo = BackboneTopology::build(
+            BackboneParams { edges: 12, vendors: 4, min_links_per_edge: 3 },
+            3,
+        );
+        derive_all(&topo)
+    }
+
+    #[test]
+    fn every_link_gets_circuits_with_channels() {
+        for lo in optics() {
+            assert!(!lo.circuits.is_empty());
+            for c in &lo.circuits {
+                assert!((2..=4).contains(&(c.segments.len() as u8)));
+                for s in &c.segments {
+                    assert_eq!(s.channels.len(), 4);
+                }
+            }
+            assert!(lo.capacity_gbps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn wavelengths_and_ports_unique_within_a_segment_set() {
+        for lo in optics() {
+            let mut ports = std::collections::HashSet::new();
+            let mut lambdas = std::collections::HashSet::new();
+            for c in &lo.circuits {
+                let seg = &c.segments[0];
+                for ch in &seg.channels {
+                    assert!(ports.insert(ch.router_port), "duplicate port in {}", lo.link);
+                    assert!(
+                        lambdas.insert(ch.wavelength_tenth_nm),
+                        "duplicate wavelength in {}",
+                        lo.link
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_segment_cut_degrades_not_kills() {
+        let lo = optics().into_iter().find(|l| l.circuits.len() >= 2).expect("multi-circuit link");
+        let full = lo.capacity_gbps();
+        let cut = vec![(0u8, 0u8)];
+        let surviving = lo.surviving_capacity_gbps(&cut);
+        assert!(surviving < full);
+        assert!(surviving > 0.0, "other circuits keep the link up");
+        assert!(!lo.is_down(&cut));
+    }
+
+    #[test]
+    fn cutting_every_circuit_downs_the_link() {
+        let lo = optics().into_iter().next().unwrap();
+        let cuts: Vec<(u8, u8)> = lo.circuits.iter().map(|c| (c.index, 0u8)).collect();
+        assert!(lo.is_down(&cuts));
+        assert_eq!(lo.surviving_capacity_gbps(&cuts), 0.0);
+    }
+
+    #[test]
+    fn cut_anywhere_along_a_circuit_kills_it() {
+        let lo = optics().into_iter().next().unwrap();
+        let c = &lo.circuits[0];
+        let full = lo.capacity_gbps();
+        for s in &c.segments {
+            let surviving = lo.surviving_capacity_gbps(&[(c.index, s.index)]);
+            assert!((full - surviving - c.capacity_gbps()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let a = optics();
+        let b = optics();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn capacity_math() {
+        let lo = optics().into_iter().next().unwrap();
+        let expected = lo.circuits.len() as f64 * 4.0 * CHANNEL_GBPS;
+        assert_eq!(lo.capacity_gbps(), expected);
+    }
+}

@@ -1,0 +1,172 @@
+//! Conditional-risk capacity planning (§6.1).
+//!
+//! "At Facebook, we use these models in capacity planning to calculate
+//! conditional risk, the likelihood of edge or link being unavailable
+//! given a set of failures. We plan edge and link capacity to tolerate
+//! the 99.99th percentile of conditional risk."
+//!
+//! Given per-edge MTBF/MTTR (measured or modeled), each edge's
+//! steady-state unavailability is `MTTR / (MTBF + MTTR)`. The planner
+//! Monte-Carlo-samples joint failure states (edges independent — the
+//! conduit correlation is *within* an edge, not across edges) and
+//! reports the concurrent-failure-count distribution, its 99.99th
+//! percentile, and the implied capacity headroom rule.
+
+use dcnr_sim::stream_rng;
+use rand::Rng;
+
+/// Per-edge unavailability inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeAvailability {
+    /// Mean time between failures, hours.
+    pub mtbf_hours: f64,
+    /// Mean time to recovery, hours.
+    pub mttr_hours: f64,
+}
+
+impl EdgeAvailability {
+    /// Steady-state probability of being down.
+    pub fn unavailability(&self) -> f64 {
+        self.mttr_hours / (self.mtbf_hours + self.mttr_hours)
+    }
+}
+
+/// The planner's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RiskReport {
+    /// Expected number of concurrently-failed edges.
+    pub expected_failures: f64,
+    /// 99.99th percentile of the concurrent-failure count.
+    pub p9999_failures: u32,
+    /// Probability that zero edges are down.
+    pub p_all_up: f64,
+    /// Fraction of total edges that must be dispensable (the capacity
+    /// headroom rule implied by the p99.99 failure count).
+    pub headroom_fraction: f64,
+}
+
+/// Monte-Carlo conditional-risk planner.
+#[derive(Debug, Clone)]
+pub struct CapacityPlanner {
+    trials: u32,
+    seed: u64,
+}
+
+impl CapacityPlanner {
+    /// Creates a planner. More trials → tighter tail estimates; the
+    /// p99.99 needs ≥ 100 000 trials to be meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is zero.
+    pub fn new(trials: u32, seed: u64) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        Self { trials, seed }
+    }
+
+    /// Estimates the joint failure distribution over `edges`.
+    ///
+    /// Returns `None` on an empty input.
+    pub fn assess(&self, edges: &[EdgeAvailability]) -> Option<RiskReport> {
+        if edges.is_empty() {
+            return None;
+        }
+        let probs: Vec<f64> = edges.iter().map(|e| e.unavailability()).collect();
+        let mut rng = stream_rng(self.seed, "backbone.planner");
+        let mut counts = vec![0u64; edges.len() + 1];
+        for _ in 0..self.trials {
+            let mut down = 0usize;
+            for &p in &probs {
+                if rng.gen::<f64>() < p {
+                    down += 1;
+                }
+            }
+            counts[down] += 1;
+        }
+        let total = self.trials as f64;
+        let expected: f64 =
+            counts.iter().enumerate().map(|(k, &c)| k as f64 * c as f64).sum::<f64>() / total;
+        let p_all_up = counts[0] as f64 / total;
+
+        // 99.99th percentile of the count distribution.
+        let threshold = (total * 0.9999).ceil() as u64;
+        let mut acc = 0u64;
+        let mut p9999 = 0u32;
+        for (k, &c) in counts.iter().enumerate() {
+            acc += c;
+            if acc >= threshold {
+                p9999 = k as u32;
+                break;
+            }
+        }
+
+        Some(RiskReport {
+            expected_failures: expected,
+            p9999_failures: p9999,
+            p_all_up,
+            headroom_fraction: p9999 as f64 / edges.len() as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical_edge() -> EdgeAvailability {
+        // Paper medians: MTBF 1710 h, MTTR 10 h -> unavailability ~0.58%.
+        EdgeAvailability { mtbf_hours: 1710.0, mttr_hours: 10.0 }
+    }
+
+    #[test]
+    fn unavailability_formula() {
+        let e = typical_edge();
+        assert!((e.unavailability() - 10.0 / 1720.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fleet_of_typical_edges() {
+        let edges = vec![typical_edge(); 90];
+        let report = CapacityPlanner::new(200_000, 5).assess(&edges).unwrap();
+        // Expected concurrent failures = 90 × 0.581% ≈ 0.52.
+        assert!((report.expected_failures - 0.523).abs() < 0.05, "{}", report.expected_failures);
+        // p99.99 of a Binomial(90, 0.0058): around 5.
+        assert!(
+            (3..=8).contains(&report.p9999_failures),
+            "p9999 {}",
+            report.p9999_failures
+        );
+        assert!(report.p_all_up > 0.5 && report.p_all_up < 0.7);
+        assert!(report.headroom_fraction < 0.12);
+    }
+
+    #[test]
+    fn slow_repairs_raise_risk() {
+        let fast = vec![EdgeAvailability { mtbf_hours: 1710.0, mttr_hours: 2.0 }; 50];
+        let slow = vec![EdgeAvailability { mtbf_hours: 1710.0, mttr_hours: 608.0 }; 50];
+        let planner = CapacityPlanner::new(100_000, 6);
+        let rf = planner.assess(&fast).unwrap();
+        let rs = planner.assess(&slow).unwrap();
+        assert!(rs.expected_failures > 10.0 * rf.expected_failures);
+        assert!(rs.p9999_failures > rf.p9999_failures);
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(CapacityPlanner::new(1000, 1).assess(&[]).is_none());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let edges = vec![typical_edge(); 30];
+        let a = CapacityPlanner::new(50_000, 9).assess(&edges).unwrap();
+        let b = CapacityPlanner::new(50_000, 9).assess(&edges).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = CapacityPlanner::new(0, 1);
+    }
+}

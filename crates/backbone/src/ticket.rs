@@ -1,0 +1,347 @@
+//! The parsed-ticket database.
+//!
+//! Ingests start/complete e-mail pairs into [`Ticket`]s and converts
+//! them into the per-entity renewal logs ([`dcnr_stats::RenewalLog`])
+//! that the MTBF/MTTR analysis consumes. This is the "automatically
+//! parsed and stored in a database for later analysis" half of §4.3.2.
+
+use crate::email::VendorEmail;
+use crate::topo::{BackboneTopology, FiberLinkId};
+use crate::vendor::VendorId;
+use dcnr_sim::{SimTime, StudyCalendar};
+use dcnr_stats::RenewalLog;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// What a ticket covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TicketKind {
+    /// Unplanned repair — the link is down.
+    Repair,
+    /// Planned maintenance — the link is taken down deliberately.
+    Maintenance,
+}
+
+/// One completed (or still-open) vendor ticket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ticket {
+    /// The affected link.
+    pub link: FiberLinkId,
+    /// The operating vendor.
+    pub vendor: VendorId,
+    /// Repair or maintenance.
+    pub kind: TicketKind,
+    /// When the outage/maintenance began.
+    pub started_at: SimTime,
+    /// When it completed; `None` while open (right-censored at the
+    /// observation window's end).
+    pub completed_at: Option<SimTime>,
+}
+
+impl Ticket {
+    /// Duration in hours, if completed.
+    pub fn duration_hours(&self) -> Option<f64> {
+        self.completed_at.map(|c| (c - self.started_at).as_hours())
+    }
+}
+
+/// Ticket ingestion and storage.
+#[derive(Debug, Clone, Default)]
+pub struct TicketDb {
+    tickets: Vec<Ticket>,
+    /// Open ticket index per link (at most one open ticket per link).
+    open: BTreeMap<FiberLinkId, usize>,
+    /// E-mails that could not be ingested (completion without a start,
+    /// duplicate start). Counted, not stored — mirrors a real pipeline's
+    /// dead-letter metric.
+    pub rejected: u64,
+}
+
+impl TicketDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests one parsed e-mail. Start notifications open a ticket;
+    /// completion notifications close the matching open ticket.
+    /// Returns `true` if the e-mail was accepted.
+    pub fn ingest(&mut self, email: &VendorEmail) -> bool {
+        if email.is_start {
+            if self.open.contains_key(&email.link) {
+                self.rejected += 1; // duplicate start
+                return false;
+            }
+            let idx = self.tickets.len();
+            self.tickets.push(Ticket {
+                link: email.link,
+                vendor: email.vendor,
+                kind: email.kind,
+                started_at: email.at,
+                completed_at: None,
+            });
+            self.open.insert(email.link, idx);
+            true
+        } else {
+            match self.open.remove(&email.link) {
+                Some(idx) if self.tickets[idx].started_at <= email.at => {
+                    self.tickets[idx].completed_at = Some(email.at);
+                    true
+                }
+                Some(idx) => {
+                    // Completion before start: restore and reject.
+                    self.open.insert(email.link, idx);
+                    self.rejected += 1;
+                    false
+                }
+                None => {
+                    self.rejected += 1; // completion without a start
+                    false
+                }
+            }
+        }
+    }
+
+    /// All tickets in ingestion order.
+    pub fn tickets(&self) -> &[Ticket] {
+        &self.tickets
+    }
+
+    /// Number of tickets.
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+
+    /// Builds a renewal log per link over `window`.
+    pub fn link_logs(&self, window: StudyCalendar) -> BTreeMap<FiberLinkId, RenewalLog> {
+        let mut logs: BTreeMap<FiberLinkId, RenewalLog> = BTreeMap::new();
+        for t in &self.tickets {
+            let log = logs
+                .entry(t.link)
+                .or_insert_with(|| RenewalLog::new(window.hours()));
+            log.record_failure(window.offset_hours(t.started_at));
+            if let Some(c) = t.completed_at {
+                log.record_recovery(window.offset_hours(c));
+            }
+        }
+        logs
+    }
+
+    /// Builds a pooled renewal log per vendor over `window` — the
+    /// vendor-level MTBF/MTTR granularity of §6.2. Tickets of a vendor's
+    /// links are merged into one alternating log; overlapping outages on
+    /// different links of the same vendor are flattened (the vendor is
+    /// "in a failure state" while any of its links is down).
+    pub fn vendor_logs(&self, window: StudyCalendar) -> BTreeMap<VendorId, RenewalLog> {
+        // Collect per-vendor intervals, then flatten.
+        let mut intervals: BTreeMap<VendorId, Vec<(f64, f64)>> = BTreeMap::new();
+        for t in &self.tickets {
+            let start = window.offset_hours(t.started_at);
+            let end = t.completed_at.map_or(window.hours(), |c| window.offset_hours(c));
+            intervals.entry(t.vendor).or_default().push((start, end));
+        }
+        let mut logs = BTreeMap::new();
+        for (vendor, mut ivals) in intervals {
+            ivals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let mut log = RenewalLog::new(window.hours());
+            let mut cur: Option<(f64, f64)> = None;
+            for (s, e) in ivals {
+                match cur {
+                    None => cur = Some((s, e)),
+                    Some((cs, ce)) if s <= ce => cur = Some((cs, ce.max(e))),
+                    Some((cs, ce)) => {
+                        log.record_failure(cs);
+                        log.record_recovery(ce);
+                        cur = Some((s, e));
+                    }
+                }
+            }
+            if let Some((cs, ce)) = cur {
+                log.record_failure(cs);
+                if ce < window.hours() {
+                    log.record_recovery(ce);
+                }
+            }
+            logs.insert(vendor, log);
+        }
+        logs
+    }
+
+    /// Builds a renewal log per edge: an edge is down while **all** of
+    /// its links are concurrently down (§6's definition). Requires the
+    /// topology for link→edge membership.
+    pub fn edge_logs(
+        &self,
+        topo: &BackboneTopology,
+        window: StudyCalendar,
+    ) -> BTreeMap<crate::topo::EdgeNodeId, RenewalLog> {
+        // Per-link down intervals.
+        let mut down: BTreeMap<FiberLinkId, Vec<(f64, f64)>> = BTreeMap::new();
+        for t in &self.tickets {
+            let start = window.offset_hours(t.started_at);
+            let end = t.completed_at.map_or(window.hours(), |c| window.offset_hours(c));
+            down.entry(t.link).or_default().push((start, end));
+        }
+        let mut logs = BTreeMap::new();
+        for edge in topo.edges() {
+            // Sweep: count concurrently-down links; edge down while the
+            // count equals its link count.
+            let mut events: Vec<(f64, i32)> = Vec::new();
+            for lid in &edge.links {
+                for &(s, e) in down.get(lid).into_iter().flatten() {
+                    events.push((s, 1));
+                    events.push((e, -1));
+                }
+            }
+            if events.is_empty() {
+                continue;
+            }
+            events.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
+            });
+            let total = edge.links.len() as i32;
+            let mut log = RenewalLog::new(window.hours());
+            let mut depth = 0;
+            let mut edge_down_since: Option<f64> = None;
+            for (t, delta) in events {
+                depth += delta;
+                match edge_down_since {
+                    None if depth == total => {
+                        log.record_failure(t);
+                        edge_down_since = Some(t);
+                    }
+                    Some(_) if depth < total => {
+                        log.record_recovery(t);
+                        edge_down_since = None;
+                    }
+                    _ => {}
+                }
+            }
+            if log.failures() > 0 {
+                logs.insert(edge.id, log);
+            }
+        }
+        logs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn email(link: u32, vendor: u32, is_start: bool, secs: u64) -> VendorEmail {
+        VendorEmail {
+            vendor: VendorId::from_index(vendor),
+            link: FiberLinkId::from_index(link),
+            kind: TicketKind::Repair,
+            is_start,
+            at: SimTime::from_secs(secs),
+            circuits: vec![],
+            location: "NA".into(),
+            estimated_hours: None,
+        }
+    }
+
+    #[test]
+    fn start_complete_pairing() {
+        let mut db = TicketDb::new();
+        assert!(db.ingest(&email(1, 0, true, 100)));
+        assert!(db.ingest(&email(1, 0, false, 200)));
+        assert_eq!(db.len(), 1);
+        let t = &db.tickets()[0];
+        assert_eq!(t.completed_at, Some(SimTime::from_secs(200)));
+        assert!((t.duration_hours().unwrap() - 100.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(db.rejected, 0);
+    }
+
+    #[test]
+    fn rejects_orphan_and_duplicate() {
+        let mut db = TicketDb::new();
+        assert!(!db.ingest(&email(1, 0, false, 50))); // orphan completion
+        assert!(db.ingest(&email(1, 0, true, 100)));
+        assert!(!db.ingest(&email(1, 0, true, 150))); // duplicate start
+        assert!(!db.ingest(&email(1, 0, false, 90))); // completes before start
+        assert!(db.ingest(&email(1, 0, false, 200)));
+        assert_eq!(db.rejected, 3);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_tickets_on_different_links() {
+        let mut db = TicketDb::new();
+        assert!(db.ingest(&email(1, 0, true, 100)));
+        assert!(db.ingest(&email(2, 0, true, 120)));
+        assert!(db.ingest(&email(2, 0, false, 150)));
+        assert!(db.ingest(&email(1, 0, false, 180)));
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.rejected, 0);
+    }
+
+    fn hours(h: f64) -> u64 {
+        (h * 3600.0) as u64
+    }
+
+    #[test]
+    fn link_logs_estimate_mtbf() {
+        let window = StudyCalendar::backbone();
+        let base = window.start.as_secs();
+        let mut db = TicketDb::new();
+        db.ingest(&email(5, 2, true, base + hours(100.0)));
+        db.ingest(&email(5, 2, false, base + hours(110.0)));
+        db.ingest(&email(5, 2, true, base + hours(500.0)));
+        db.ingest(&email(5, 2, false, base + hours(530.0)));
+        let logs = db.link_logs(window);
+        let est = logs[&FiberLinkId::from_index(5)].estimate().unwrap();
+        assert_eq!(est.failures, 2);
+        assert!((est.mttr.unwrap() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vendor_logs_flatten_overlaps() {
+        let window = StudyCalendar::backbone();
+        let base = window.start.as_secs();
+        let mut db = TicketDb::new();
+        // Two overlapping outages on different links of vendor 3.
+        db.ingest(&email(1, 3, true, base + hours(10.0)));
+        db.ingest(&email(2, 3, true, base + hours(15.0)));
+        db.ingest(&email(1, 3, false, base + hours(20.0)));
+        db.ingest(&email(2, 3, false, base + hours(25.0)));
+        let logs = db.vendor_logs(window);
+        let est = logs[&VendorId::from_index(3)].estimate().unwrap();
+        assert_eq!(est.failures, 1, "overlap flattened into one vendor outage");
+        assert!((est.mttr.unwrap() - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edge_down_requires_all_links() {
+        use crate::topo::{BackboneParams, BackboneTopology};
+        let topo = BackboneTopology::build(
+            BackboneParams { edges: 4, vendors: 2, min_links_per_edge: 3 },
+            42,
+        );
+        let window = StudyCalendar::backbone();
+        let base = window.start.as_secs();
+        let edge = &topo.edges()[0];
+        let links: Vec<FiberLinkId> = edge.links.clone();
+        let mut db = TicketDb::new();
+        // Take down all but one link: edge must NOT fail.
+        for (i, l) in links.iter().enumerate().skip(1) {
+            db.ingest(&email(l.index() as u32, 0, true, base + hours(10.0 + i as f64)));
+        }
+        let logs = db.edge_logs(&topo, window);
+        assert!(!logs.contains_key(&edge.id), "edge survives with one live link");
+
+        // Now the last link too: edge fails.
+        db.ingest(&email(links[0].index() as u32, 0, true, base + hours(50.0)));
+        db.ingest(&email(links[0].index() as u32, 0, false, base + hours(60.0)));
+        let logs = db.edge_logs(&topo, window);
+        let est = logs[&edge.id].estimate().unwrap();
+        assert_eq!(est.failures, 1);
+        assert!((est.mttr.unwrap() - 10.0).abs() < 0.01, "recovers when the first link returns");
+    }
+}

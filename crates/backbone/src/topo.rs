@@ -1,0 +1,366 @@
+//! The backbone topology: edges and fiber links.
+//!
+//! "Facebook's physical backbone infrastructure can be abstracted as
+//! edge nodes connected through fiber links. ... Each end-to-end fiber
+//! link is embodied by optical circuits that consist of multiple optical
+//! segments. An optical segment corresponds to a fiber and carries
+//! multiple channels." (§3.2)
+//!
+//! The builder distributes edges over continents per Table 4, gives
+//! every edge **at least three** links (§6's edge-failure definition
+//! requires it), wires links preferentially within a continent with some
+//! intercontinental trunks, and spreads link operation across a vendor
+//! pool.
+
+use crate::geo::Continent;
+use crate::vendor::{Vendor, VendorId};
+use dcnr_sim::stream_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque handle for an edge node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeNodeId(pub(crate) u32);
+
+impl EdgeNodeId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Constructs from a raw index (used by parsers).
+    pub fn from_index(i: u32) -> Self {
+        Self(i)
+    }
+}
+
+impl fmt::Display for EdgeNodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E{:03}", self.0)
+    }
+}
+
+/// Opaque handle for a fiber link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FiberLinkId(pub(crate) u32);
+
+impl FiberLinkId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+    /// Constructs from a raw index (used by parsers).
+    pub fn from_index(i: u32) -> Self {
+        Self(i)
+    }
+}
+
+impl fmt::Display for FiberLinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FL{:05}", self.0)
+    }
+}
+
+/// An edge node: a site where backbone hardware is deployed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeNode {
+    /// Handle.
+    pub id: EdgeNodeId,
+    /// Continent hosting the edge.
+    pub continent: Continent,
+    /// Links incident to this edge.
+    pub links: Vec<FiberLinkId>,
+}
+
+/// A fiber link between two edges, operated by one vendor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FiberLink {
+    /// Handle.
+    pub id: FiberLinkId,
+    /// One endpoint.
+    pub a: EdgeNodeId,
+    /// The other endpoint.
+    pub b: EdgeNodeId,
+    /// Operating vendor.
+    pub vendor: VendorId,
+    /// Number of optical circuits embodying the link.
+    pub circuits: u8,
+}
+
+/// Shape parameters for the backbone builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackboneParams {
+    /// Number of edge nodes.
+    pub edges: u32,
+    /// Number of fiber vendors.
+    pub vendors: u32,
+    /// Minimum links per edge (the paper's invariant is 3).
+    pub min_links_per_edge: u32,
+}
+
+impl Default for BackboneParams {
+    fn default() -> Self {
+        Self { edges: 90, vendors: 40, min_links_per_edge: 3 }
+    }
+}
+
+/// The backbone graph.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackboneTopology {
+    edges: Vec<EdgeNode>,
+    links: Vec<FiberLink>,
+    vendors: Vec<Vendor>,
+}
+
+impl BackboneTopology {
+    /// Builds a backbone deterministically from `seed`.
+    ///
+    /// * Edges are apportioned to continents by Table 4's shares
+    ///   (largest remainder, so small continents still get their edges).
+    /// * Every edge receives at least `min_links_per_edge` links:
+    ///   preferentially to same-continent peers, otherwise
+    ///   intercontinental.
+    /// * Vendors are assigned round-robin with random offsets; roughly
+    ///   half operate in competitive markets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 edges, fewer than 1 vendor, or a zero
+    /// minimum degree are requested.
+    pub fn build(params: BackboneParams, seed: u64) -> Self {
+        assert!(params.edges >= 2, "need at least two edges");
+        assert!(params.vendors >= 1, "need at least one vendor");
+        assert!(params.min_links_per_edge >= 1, "edges need links");
+        let mut rng = stream_rng(seed, "backbone.topology");
+
+        // --- continents by largest remainder ---
+        let mut counts: Vec<(Continent, u32)> = Continent::ALL
+            .iter()
+            .map(|&c| (c, (c.edge_share() * params.edges as f64).floor() as u32))
+            .collect();
+        let assigned: u32 = counts.iter().map(|&(_, n)| n).sum();
+        // Distribute the remainder to the largest fractional parts.
+        let mut remainders: Vec<(usize, f64)> = Continent::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let exact = c.edge_share() * params.edges as f64;
+                (i, exact - exact.floor())
+            })
+            .collect();
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        for k in 0..(params.edges - assigned) as usize {
+            counts[remainders[k % remainders.len()].0].1 += 1;
+        }
+
+        let mut edges = Vec::with_capacity(params.edges as usize);
+        for (continent, n) in counts {
+            for _ in 0..n {
+                let id = EdgeNodeId(edges.len() as u32);
+                edges.push(EdgeNode { id, continent, links: Vec::new() });
+            }
+        }
+
+        // --- vendors ---
+        let vendors: Vec<Vendor> = (0..params.vendors)
+            .map(|i| Vendor::new(VendorId(i), rng.gen_bool(0.5)))
+            .collect();
+
+        // --- links: ring for global connectivity, then top up degrees ---
+        let mut topo = Self { edges, links: Vec::new(), vendors };
+        let n = params.edges as usize;
+        for i in 0..n {
+            let a = EdgeNodeId(i as u32);
+            let b = EdgeNodeId(((i + 1) % n) as u32);
+            let vendor = VendorId(rng.gen_range(0..params.vendors));
+            topo.add_link(a, b, vendor, rng.gen_range(2..=4));
+        }
+        // Top up: every edge to min degree, preferring same-continent
+        // peers (80%) over intercontinental trunks. Peers are chosen to
+        // be *new* neighbors where possible: two parallel links to the
+        // same peer would share that peer's conduit fate and defeat the
+        // edge's path diversity (an edge "fails" only when all of its
+        // links are down, §6 — parallel links make that artificially
+        // easy).
+        for i in 0..n {
+            while (topo.edges[i].links.len() as u32) < params.min_links_per_edge {
+                let a = EdgeNodeId(i as u32);
+                let neighbors: Vec<EdgeNodeId> = topo.edges[i]
+                    .links
+                    .iter()
+                    .map(|&l| {
+                        let link = &topo.links[l.index()];
+                        if link.a == a {
+                            link.b
+                        } else {
+                            link.a
+                        }
+                    })
+                    .collect();
+                let fresh = |cand: &EdgeNodeId| *cand != a && !neighbors.contains(cand);
+                let same: Vec<EdgeNodeId> = topo
+                    .edges
+                    .iter()
+                    .filter(|e| e.continent == topo.edges[i].continent && fresh(&e.id))
+                    .map(|e| e.id)
+                    .collect();
+                let others: Vec<EdgeNodeId> =
+                    topo.edges.iter().filter(|e| fresh(&e.id)).map(|e| e.id).collect();
+                let b = if !same.is_empty() && rng.gen_bool(0.8) {
+                    *same.choose(&mut rng).expect("non-empty")
+                } else if !others.is_empty() {
+                    *others.choose(&mut rng).expect("non-empty")
+                } else {
+                    // Pathological tiny topology: accept a parallel link.
+                    loop {
+                        let cand = EdgeNodeId(rng.gen_range(0..params.edges));
+                        if cand != a {
+                            break cand;
+                        }
+                    }
+                };
+                let vendor = VendorId(rng.gen_range(0..params.vendors));
+                topo.add_link(a, b, vendor, rng.gen_range(2..=4));
+            }
+        }
+        topo
+    }
+
+    fn add_link(&mut self, a: EdgeNodeId, b: EdgeNodeId, vendor: VendorId, circuits: u8) {
+        let id = FiberLinkId(self.links.len() as u32);
+        self.links.push(FiberLink { id, a, b, vendor, circuits });
+        self.edges[a.index()].links.push(id);
+        self.edges[b.index()].links.push(id);
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[EdgeNode] {
+        &self.edges
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[FiberLink] {
+        &self.links
+    }
+
+    /// All vendors.
+    pub fn vendors(&self) -> &[Vendor] {
+        &self.vendors
+    }
+
+    /// The edge behind a handle.
+    pub fn edge(&self, id: EdgeNodeId) -> &EdgeNode {
+        &self.edges[id.index()]
+    }
+
+    /// The link behind a handle.
+    pub fn link(&self, id: FiberLinkId) -> &FiberLink {
+        &self.links[id.index()]
+    }
+
+    /// The vendor behind a handle.
+    pub fn vendor(&self, id: VendorId) -> &Vendor {
+        &self.vendors[id.index()]
+    }
+
+    /// Links operated by `vendor`.
+    pub fn links_of_vendor(&self, vendor: VendorId) -> Vec<FiberLinkId> {
+        self.links.iter().filter(|l| l.vendor == vendor).map(|l| l.id).collect()
+    }
+
+    /// Edges on `continent`.
+    pub fn edges_on(&self, continent: Continent) -> Vec<EdgeNodeId> {
+        self.edges.iter().filter(|e| e.continent == continent).map(|e| e.id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> BackboneTopology {
+        BackboneTopology::build(BackboneParams::default(), 2018)
+    }
+
+    #[test]
+    fn every_edge_has_at_least_three_links() {
+        let t = topo();
+        for e in t.edges() {
+            assert!(e.links.len() >= 3, "{} has {}", e.id, e.links.len());
+        }
+    }
+
+    #[test]
+    fn continent_distribution_matches_table4() {
+        let t = topo();
+        assert_eq!(t.edges().len(), 90);
+        for c in Continent::ALL {
+            let n = t.edges_on(c).len() as f64;
+            let expected = c.edge_share() * 90.0;
+            assert!((n - expected).abs() <= 1.0, "{c}: {n} vs {expected}");
+        }
+        // Small continents are represented.
+        assert!(!t.edges_on(Continent::Australia).is_empty());
+        assert!(!t.edges_on(Continent::Africa).is_empty());
+    }
+
+    #[test]
+    fn links_are_consistent() {
+        let t = topo();
+        for l in t.links() {
+            assert_ne!(l.a, l.b, "no self-links");
+            assert!(t.edge(l.a).links.contains(&l.id));
+            assert!(t.edge(l.b).links.contains(&l.id));
+            assert!((2..=4).contains(&l.circuits));
+        }
+    }
+
+    #[test]
+    fn every_vendor_exists_and_most_operate_links() {
+        let t = topo();
+        assert_eq!(t.vendors().len(), 40);
+        let operating = t.vendors().iter().filter(|v| !t.links_of_vendor(v.id).is_empty()).count();
+        assert!(operating > 30, "{operating}/40 vendors operate links");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = BackboneTopology::build(BackboneParams::default(), 7);
+        let b = BackboneTopology::build(BackboneParams::default(), 7);
+        assert_eq!(a.links(), b.links());
+        let c = BackboneTopology::build(BackboneParams::default(), 8);
+        assert_ne!(a.links(), c.links());
+    }
+
+    #[test]
+    fn ring_makes_it_connected() {
+        // BFS over links reaches every edge.
+        let t = topo();
+        let n = t.edges().len();
+        let mut seen = vec![false; n];
+        let mut stack = vec![EdgeNodeId(0)];
+        seen[0] = true;
+        while let Some(e) = stack.pop() {
+            for &lid in &t.edge(e).links {
+                let l = t.link(lid);
+                for next in [l.a, l.b] {
+                    if !seen[next.index()] {
+                        seen[next.index()] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "two edges")]
+    fn rejects_tiny_backbone() {
+        let _ = BackboneTopology::build(
+            BackboneParams { edges: 1, ..Default::default() },
+            1,
+        );
+    }
+}

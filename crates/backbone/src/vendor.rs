@@ -1,0 +1,76 @@
+//! Fiber vendors.
+//!
+//! "Backbone link vendors exhibit a wide degree of variance in failure
+//! rates of their backbone links. ... The standard deviation of fiber
+//! vendor MTBF is 2207 h, with the least reliable vendor's links failing
+//! on average once every 2 h and the most reliable vendor's links
+//! failing on average once every 11 721 h. Anecdotally, we observe that
+//! fiber markets with high competition lead to more incentive for fiber
+//! vendors to increase reliability." (§6.2)
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque vendor handle within a [`crate::BackboneTopology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VendorId(pub(crate) u32);
+
+impl VendorId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs from a raw index (used by parsers).
+    pub fn from_index(i: u32) -> Self {
+        Self(i)
+    }
+}
+
+impl fmt::Display for VendorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{:03}", self.0)
+    }
+}
+
+/// A fiber vendor operating some of the backbone's links.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vendor {
+    /// Handle within the topology.
+    pub id: VendorId,
+    /// Display name ("Vendor 007" — real names are confidential, as in
+    /// the paper).
+    pub name: String,
+    /// Whether the vendor operates in a high-competition market
+    /// (big-city metro fiber vs. remote long-haul), which correlates
+    /// with reliability in §6.2's anecdote. Used by the generator to
+    /// assign the most reliable targets to competitive-market vendors.
+    pub competitive_market: bool,
+}
+
+impl Vendor {
+    /// Creates a vendor.
+    pub fn new(id: VendorId, competitive_market: bool) -> Self {
+        Self { id, name: format!("Vendor {:03}", id.0), competitive_market }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_index() {
+        let v = VendorId(7);
+        assert_eq!(v.to_string(), "V007");
+        assert_eq!(v.index(), 7);
+        assert_eq!(VendorId::from_index(7), v);
+    }
+
+    #[test]
+    fn vendor_name_from_id() {
+        let v = Vendor::new(VendorId(12), true);
+        assert_eq!(v.name, "Vendor 012");
+        assert!(v.competitive_market);
+    }
+}

@@ -1,0 +1,388 @@
+//! WAN routing on the backbone: latency, rerouting, and the four-plane
+//! cross-datacenter architecture.
+//!
+//! §3.2: *"The more common results of fiber cuts are the loss of
+//! capacity from edges to regions or between two regions. In this case,
+//! we have to reroute the traffic using other available links, which
+//! could increase end-to-end latency."* — and for cross-datacenter bulk
+//! traffic: *"the traffic ... is partitioned in the optical layer in
+//! four planes where each plane has one backbone router per data
+//! center."*
+//!
+//! This module quantifies both effects:
+//!
+//! * [`link_latency_ms`] — a geography-derived propagation latency per
+//!   fiber link (same-continent metro spans vs. submarine/long-haul
+//!   intercontinental trunks);
+//! * [`shortest_latencies`] — Dijkstra over live links, giving
+//!   end-to-end latency between edges under an arbitrary failure set;
+//! * [`RerouteImpact`] — the before/after latency stretch and partition
+//!   count when a set of links is cut;
+//! * [`CrossDcPlanes`] — the plane-partitioned bulk-transfer fabric:
+//!   per-plane health and surviving cross-DC capacity under router or
+//!   plane failures (losing one of four planes costs 25% capacity, not
+//!   connectivity).
+
+use crate::geo::Continent;
+use crate::topo::{BackboneTopology, EdgeNodeId, FiberLinkId};
+use std::collections::{BinaryHeap, HashSet};
+
+/// Propagation latency of one fiber link in milliseconds, derived from
+/// its endpoints' geography: metro/regional spans are short;
+/// intercontinental trunks (often submarine) are long.
+pub fn link_latency_ms(topo: &BackboneTopology, link: FiberLinkId) -> f64 {
+    let l = topo.link(link);
+    let ca = topo.edge(l.a).continent;
+    let cb = topo.edge(l.b).continent;
+    continent_pair_latency_ms(ca, cb)
+}
+
+/// Baseline latency between two continents (same-continent spans use
+/// the diagonal). Values are representative one-way propagation numbers
+/// for long-haul fiber.
+pub fn continent_pair_latency_ms(a: Continent, b: Continent) -> f64 {
+    use Continent::*;
+    if a == b {
+        return match a {
+            NorthAmerica | Europe => 18.0,
+            Asia => 25.0,
+            SouthAmerica => 22.0,
+            Africa => 28.0,
+            Australia => 15.0,
+        };
+    }
+    // Symmetric table of rough trunk latencies.
+    let key = |x: Continent| match x {
+        NorthAmerica => 0,
+        Europe => 1,
+        Asia => 2,
+        SouthAmerica => 3,
+        Africa => 4,
+        Australia => 5,
+    };
+    const TABLE: [[f64; 6]; 6] = [
+        // NA     EU     AS     SA     AF     AU
+        [0.0, 70.0, 95.0, 85.0, 110.0, 140.0],  // NA
+        [70.0, 0.0, 80.0, 105.0, 75.0, 150.0],  // EU
+        [95.0, 80.0, 0.0, 160.0, 100.0, 90.0],  // AS
+        [85.0, 105.0, 160.0, 0.0, 120.0, 170.0], // SA
+        [110.0, 75.0, 100.0, 120.0, 0.0, 130.0], // AF
+        [140.0, 150.0, 90.0, 170.0, 130.0, 0.0], // AU
+    ];
+    TABLE[key(a)][key(b)]
+}
+
+/// Dijkstra from `src` over links not in `cut`, returning the latency in
+/// milliseconds to every edge (`None` where unreachable).
+pub fn shortest_latencies(
+    topo: &BackboneTopology,
+    src: EdgeNodeId,
+    cut: &HashSet<FiberLinkId>,
+) -> Vec<Option<f64>> {
+    let n = topo.edges().len();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    // Max-heap on Reverse-ordered f64 via negated keys; ties broken by
+    // node index for determinism.
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, usize)> = BinaryHeap::new();
+    let enc = |d: f64| std::cmp::Reverse((d * 1e6) as u64);
+    dist[src.index()] = Some(0.0);
+    heap.push((enc(0.0), src.index()));
+    while let Some((std::cmp::Reverse(dk), u)) = heap.pop() {
+        let du = dk as f64 / 1e6;
+        match dist[u] {
+            Some(best) if du > best + 1e-9 => continue,
+            _ => {}
+        }
+        let edge = &topo.edges()[u];
+        for &lid in &edge.links {
+            if cut.contains(&lid) {
+                continue;
+            }
+            let l = topo.link(lid);
+            let v = if l.a.index() == u { l.b.index() } else { l.a.index() };
+            let cand = du + link_latency_ms(topo, lid);
+            if dist[v].map_or(true, |cur| cand + 1e-9 < cur) {
+                dist[v] = Some(cand);
+                heap.push((enc(cand), v));
+            }
+        }
+    }
+    dist
+}
+
+/// The effect of cutting a set of links on end-to-end latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RerouteImpact {
+    /// Edge pairs evaluated (reachable before the cut).
+    pub pairs: usize,
+    /// Pairs disconnected by the cut.
+    pub partitioned_pairs: usize,
+    /// Mean multiplicative latency stretch over pairs that stayed
+    /// connected (1.0 = no change).
+    pub mean_stretch: f64,
+    /// Worst stretch over surviving pairs.
+    pub max_stretch: f64,
+}
+
+impl RerouteImpact {
+    /// Evaluates the latency impact of cutting `cut`, over all ordered
+    /// pairs reachable before the cut. `O(E · Dijkstra)`.
+    pub fn of_cut(topo: &BackboneTopology, cut: &HashSet<FiberLinkId>) -> RerouteImpact {
+        let empty = HashSet::new();
+        let mut pairs = 0usize;
+        let mut partitioned = 0usize;
+        let mut stretch_sum = 0.0;
+        let mut stretch_max: f64 = 1.0;
+        let mut connected = 0usize;
+        for src in topo.edges() {
+            let before = shortest_latencies(topo, src.id, &empty);
+            let after = shortest_latencies(topo, src.id, cut);
+            for (i, b) in before.iter().enumerate() {
+                if i == src.id.index() {
+                    continue;
+                }
+                let Some(b) = b else { continue };
+                pairs += 1;
+                match after[i] {
+                    Some(a) => {
+                        let s = if *b > 0.0 { a / b } else { 1.0 };
+                        stretch_sum += s;
+                        stretch_max = stretch_max.max(s);
+                        connected += 1;
+                    }
+                    None => partitioned += 1,
+                }
+            }
+        }
+        RerouteImpact {
+            pairs,
+            partitioned_pairs: partitioned,
+            mean_stretch: if connected > 0 { stretch_sum / connected as f64 } else { 1.0 },
+            max_stretch: stretch_max,
+        }
+    }
+}
+
+/// The four-plane cross-datacenter bulk-transfer fabric (§3.2).
+///
+/// Each of `planes` optical planes carries one backbone router per data
+/// center; cross-DC traffic is spread across planes, so losing a plane
+/// (or one DC's router in it) removes `1/planes` of that DC pair's
+/// capacity without partitioning it.
+#[derive(Debug, Clone)]
+pub struct CrossDcPlanes {
+    datacenters: usize,
+    planes: usize,
+    /// `router_down[plane][dc]`.
+    router_down: Vec<Vec<bool>>,
+}
+
+impl CrossDcPlanes {
+    /// A healthy fabric of `datacenters` sites over `planes` planes (the
+    /// paper's deployment uses four).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(datacenters: usize, planes: usize) -> Self {
+        assert!(datacenters >= 2, "need at least two data centers");
+        assert!(planes >= 1, "need at least one plane");
+        Self { datacenters, planes, router_down: vec![vec![false; datacenters]; planes] }
+    }
+
+    /// The paper's shape: four planes.
+    pub fn paper(datacenters: usize) -> Self {
+        Self::new(datacenters, 4)
+    }
+
+    /// Number of planes.
+    pub fn planes(&self) -> usize {
+        self.planes
+    }
+
+    /// Marks one DC's router in one plane as failed.
+    pub fn fail_router(&mut self, plane: usize, dc: usize) {
+        self.router_down[plane][dc] = true;
+    }
+
+    /// Restores one DC's router in one plane.
+    pub fn restore_router(&mut self, plane: usize, dc: usize) {
+        self.router_down[plane][dc] = false;
+    }
+
+    /// Fails an entire plane (e.g. an optical-layer event).
+    pub fn fail_plane(&mut self, plane: usize) {
+        for dc in 0..self.datacenters {
+            self.router_down[plane][dc] = true;
+        }
+    }
+
+    /// Whether plane `p` carries traffic between `a` and `b` (both
+    /// routers up).
+    pub fn plane_carries(&self, p: usize, a: usize, b: usize) -> bool {
+        !self.router_down[p][a] && !self.router_down[p][b]
+    }
+
+    /// Fraction of cross-DC capacity surviving between `a` and `b`.
+    pub fn pair_capacity(&self, a: usize, b: usize) -> f64 {
+        let up = (0..self.planes).filter(|&p| self.plane_carries(p, a, b)).count();
+        up as f64 / self.planes as f64
+    }
+
+    /// Whether `a` and `b` are partitioned (no plane carries them).
+    pub fn pair_partitioned(&self, a: usize, b: usize) -> bool {
+        self.pair_capacity(a, b) == 0.0
+    }
+
+    /// Minimum pair capacity across all DC pairs — the fabric's
+    /// worst-case surviving capacity.
+    pub fn min_pair_capacity(&self) -> f64 {
+        let mut min: f64 = 1.0;
+        for a in 0..self.datacenters {
+            for b in (a + 1)..self.datacenters {
+                min = min.min(self.pair_capacity(a, b));
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::BackboneParams;
+
+    fn topo() -> BackboneTopology {
+        BackboneTopology::build(
+            BackboneParams { edges: 30, vendors: 10, min_links_per_edge: 3 },
+            7,
+        )
+    }
+
+    #[test]
+    fn latency_table_is_symmetric_and_positive() {
+        for a in Continent::ALL {
+            for b in Continent::ALL {
+                let ab = continent_pair_latency_ms(a, b);
+                let ba = continent_pair_latency_ms(b, a);
+                assert_eq!(ab, ba);
+                assert!(ab > 0.0);
+                if a != b {
+                    assert!(ab > continent_pair_latency_ms(a, a), "{a} -> {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dijkstra_reaches_everything_when_healthy() {
+        let t = topo();
+        let dist = shortest_latencies(&t, EdgeNodeId::from_index(0), &HashSet::new());
+        assert!(dist.iter().all(|d| d.is_some()));
+        assert_eq!(dist[0], Some(0.0));
+        assert!(dist.iter().flatten().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn triangle_inequality_holds_from_source() {
+        // d(s, v) <= d(s, u) + w(u, v) for every live link (u, v).
+        let t = topo();
+        let dist = shortest_latencies(&t, EdgeNodeId::from_index(3), &HashSet::new());
+        for l in t.links() {
+            let (du, dv) = (dist[l.a.index()].unwrap(), dist[l.b.index()].unwrap());
+            let w = link_latency_ms(&t, l.id);
+            assert!(dv <= du + w + 1e-6);
+            assert!(du <= dv + w + 1e-6);
+        }
+    }
+
+    #[test]
+    fn cutting_links_only_increases_latency() {
+        let t = topo();
+        let src = EdgeNodeId::from_index(1);
+        let before = shortest_latencies(&t, src, &HashSet::new());
+        // Cut the first three links of edge 1's neighbor set.
+        let cut: HashSet<FiberLinkId> = t.edges()[2].links.iter().copied().take(2).collect();
+        let after = shortest_latencies(&t, src, &cut);
+        for (b, a) in before.iter().zip(&after) {
+            match (b, a) {
+                (Some(b), Some(a)) => assert!(*a >= *b - 1e-9, "{a} < {b}"),
+                (Some(_), None) => {} // disconnected: fine
+                (None, Some(_)) => panic!("cutting links cannot create reachability"),
+                (None, None) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn reroute_impact_of_empty_cut_is_identity() {
+        let t = topo();
+        let impact = RerouteImpact::of_cut(&t, &HashSet::new());
+        assert_eq!(impact.partitioned_pairs, 0);
+        assert!((impact.mean_stretch - 1.0).abs() < 1e-9);
+        assert!((impact.max_stretch - 1.0).abs() < 1e-9);
+        assert_eq!(impact.pairs, 30 * 29);
+    }
+
+    #[test]
+    fn cutting_an_edges_links_partitions_it() {
+        let t = topo();
+        let victim = &t.edges()[5];
+        let cut: HashSet<FiberLinkId> = victim.links.iter().copied().collect();
+        let impact = RerouteImpact::of_cut(&t, &cut);
+        // The victim loses its 29 destinations, and the other 29 sources
+        // lose the victim.
+        assert_eq!(impact.partitioned_pairs, 2 * 29);
+        assert!(impact.mean_stretch >= 1.0);
+    }
+
+    #[test]
+    fn partial_cut_stretches_latency() {
+        let t = topo();
+        // Cut a third of all links (every 3rd): surviving paths detour.
+        let cut: HashSet<FiberLinkId> =
+            t.links().iter().filter(|l| l.id.index() % 3 == 0).map(|l| l.id).collect();
+        let impact = RerouteImpact::of_cut(&t, &cut);
+        assert!(impact.mean_stretch > 1.0, "stretch {}", impact.mean_stretch);
+        assert!(impact.max_stretch >= impact.mean_stretch);
+    }
+
+    #[test]
+    fn planes_lose_capacity_not_connectivity() {
+        let mut planes = CrossDcPlanes::paper(6);
+        assert_eq!(planes.min_pair_capacity(), 1.0);
+        planes.fail_plane(0);
+        assert_eq!(planes.min_pair_capacity(), 0.75);
+        assert!(!planes.pair_partitioned(0, 1));
+        planes.fail_plane(1);
+        assert_eq!(planes.min_pair_capacity(), 0.5);
+    }
+
+    #[test]
+    fn single_router_failure_affects_only_its_dc() {
+        let mut planes = CrossDcPlanes::paper(4);
+        planes.fail_router(2, 1);
+        assert_eq!(planes.pair_capacity(1, 3), 0.75);
+        assert_eq!(planes.pair_capacity(0, 3), 1.0);
+        planes.restore_router(2, 1);
+        assert_eq!(planes.pair_capacity(1, 3), 1.0);
+    }
+
+    #[test]
+    fn full_partition_needs_all_planes() {
+        let mut planes = CrossDcPlanes::paper(3);
+        for p in 0..3 {
+            planes.fail_router(p, 0);
+        }
+        assert!(!planes.pair_partitioned(0, 1), "one plane left");
+        planes.fail_router(3, 0);
+        assert!(planes.pair_partitioned(0, 1));
+        assert!(!planes.pair_partitioned(1, 2), "other DCs unaffected");
+    }
+
+    #[test]
+    #[should_panic(expected = "two data centers")]
+    fn planes_reject_single_dc() {
+        let _ = CrossDcPlanes::new(1, 4);
+    }
+}

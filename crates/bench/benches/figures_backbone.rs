@@ -1,0 +1,92 @@
+//! Benchmarks regenerating the backbone figures (Figs. 15–18): the
+//! percentile curves and least-squares exponential fits of §6. Each
+//! bench prints its artifact (measured fit vs. the paper's model) once.
+//!
+//! The benchmarked unit is the full measurement step: edge/vendor
+//! renewal-log construction from the parsed ticket database plus the
+//! model fit — what an analyst re-runs when the ticket data changes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcnr_bench::{shared_inter, shared_intra};
+use dcnr_core::backbone::BackboneMetrics;
+use dcnr_core::Experiment;
+use std::hint::black_box;
+
+fn print_once(e: Experiment) {
+    let out = e.run(shared_intra(), shared_inter());
+    println!("\n=== {} ===\n{}", e.title(), out.rendered);
+    println!("paper vs measured:");
+    for c in &out.comparisons {
+        println!("  {:<30} paper {:>12.4} measured {:>12.4}", c.metric, c.paper, c.measured);
+    }
+}
+
+fn recompute() -> BackboneMetrics {
+    let s = shared_inter();
+    BackboneMetrics::compute(s.tickets(), &s.output().topology, s.window()).expect("metrics")
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    print_once(Experiment::Fig15);
+    c.bench_function("fig15_edge_mtbf", |b| {
+        b.iter(|| black_box(recompute().edge_mtbf.fit))
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    print_once(Experiment::Fig16);
+    c.bench_function("fig16_edge_mttr", |b| {
+        b.iter(|| black_box(recompute().edge_mttr.fit))
+    });
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    print_once(Experiment::Fig17);
+    c.bench_function("fig17_vendor_mtbf", |b| {
+        b.iter(|| black_box(recompute().vendor_mtbf.fit))
+    });
+}
+
+fn bench_fig18(c: &mut Criterion) {
+    print_once(Experiment::Fig18);
+    c.bench_function("fig18_vendor_mttr", |b| {
+        b.iter(|| black_box(recompute().vendor_mttr.fit))
+    });
+}
+
+fn bench_email_ingestion(c: &mut Criterion) {
+    // The measurement substrate itself: parse + ingest the full
+    // eighteen-month e-mail stream.
+    let s = shared_inter();
+    let emails = &s.output().emails;
+    println!("\n(email ingestion corpus: {} messages)", emails.len());
+    c.bench_function("email_parse_and_ingest_stream", |b| {
+        b.iter(|| {
+            let mut db = dcnr_core::backbone::TicketDb::new();
+            for (_, raw) in emails {
+                let email = dcnr_core::backbone::parse_email(black_box(raw)).expect("valid");
+                db.ingest(&email);
+            }
+            black_box(db.len())
+        })
+    });
+}
+
+fn bench_risk_planner(c: &mut Criterion) {
+    // §6.1's conditional-risk Monte Carlo at 100k trials.
+    let s = shared_inter();
+    c.bench_function("conditional_risk_100k_trials", |b| {
+        b.iter(|| black_box(s.risk_report(100_000)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_fig18,
+    bench_email_ingestion,
+    bench_risk_planner
+);
+criterion_main!(benches);

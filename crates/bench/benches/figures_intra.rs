@@ -1,0 +1,127 @@
+//! Benchmarks regenerating every intra-datacenter figure (Figs. 2–14).
+//! One bench per figure; each prints its artifact once so `cargo bench`
+//! output doubles as a reproduction report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcnr_bench::{shared_inter, shared_intra};
+use dcnr_core::Experiment;
+use std::hint::black_box;
+
+fn print_once(e: Experiment) {
+    let out = e.run(shared_intra(), shared_inter());
+    println!("\n=== {} ===\n{}", e.title(), out.rendered);
+    println!("paper vs measured:");
+    for c in &out.comparisons {
+        println!("  {:<40} paper {:>12.4} measured {:>12.4}", c.metric, c.paper, c.measured);
+    }
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig2);
+    c.bench_function("fig2_rootcause_by_device", |b| {
+        b.iter(|| black_box(s.fig2_root_cause_by_device()))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig3);
+    c.bench_function("fig3_incident_rate", |b| b.iter(|| black_box(s.fig3_incident_rate())));
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig4);
+    c.bench_function("fig4_severity_by_device", |b| {
+        b.iter(|| black_box(s.fig4_severity_by_device()))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig5);
+    c.bench_function("fig5_sev_rate_over_time", |b| b.iter(|| black_box(s.fig5_sev_rates())));
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig6);
+    c.bench_function("fig6_switches_vs_employees", |b| {
+        b.iter(|| black_box(s.fig6_switches_vs_employees()))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig7);
+    c.bench_function("fig7_incident_fractions", |b| {
+        b.iter(|| black_box(s.fig7_incident_fractions()))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig8);
+    c.bench_function("fig8_normalized_incidents", |b| {
+        b.iter(|| black_box(s.fig8_normalized_incidents()))
+    });
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig9);
+    c.bench_function("fig9_design_incidents", |b| {
+        b.iter(|| black_box(s.fig9_design_incidents()))
+    });
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig10);
+    c.bench_function("fig10_design_rate", |b| b.iter(|| black_box(s.fig10_design_rate())));
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig11);
+    c.bench_function("fig11_population", |b| {
+        b.iter(|| black_box(s.fig11_population_fractions()))
+    });
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig12);
+    c.bench_function("fig12_mtbi", |b| b.iter(|| black_box(s.fig12_mtbi())));
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig13);
+    c.bench_function("fig13_p75irt", |b| b.iter(|| black_box(s.fig13_p75irt())));
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let s = shared_intra();
+    print_once(Experiment::Fig14);
+    c.bench_function("fig14_irt_vs_fleet", |b| b.iter(|| black_box(s.fig14_irt_vs_fleet())));
+}
+
+criterion_group!(
+    benches,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14
+);
+criterion_main!(benches);

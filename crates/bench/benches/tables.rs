@@ -1,0 +1,71 @@
+//! Benchmarks regenerating the paper's tables (1, 2, 4) plus the
+//! end-to-end pipeline costs. Each table bench prints its artifact once
+//! so `cargo bench` output doubles as a reproduction report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dcnr_bench::{shared_inter, shared_intra, small_backbone_config};
+use dcnr_core::{report, Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let intra = shared_intra();
+    let inter = shared_inter();
+    let out = Experiment::Table1.run(intra, inter);
+    println!("\n=== {} ===\n{}", Experiment::Table1.title(), out.rendered);
+    c.bench_function("table1_automated_repair", |b| {
+        b.iter(|| black_box(intra.table1_automated_repair()))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let intra = shared_intra();
+    let out = Experiment::Table2.run(intra, shared_inter());
+    println!("\n=== {} ===\n{}", Experiment::Table2.title(), out.rendered);
+    c.bench_function("table2_root_causes", |b| {
+        b.iter(|| black_box(intra.table2_root_causes()))
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    let inter = shared_inter();
+    let out = Experiment::Table4.run(shared_intra(), inter);
+    println!("\n=== {} ===\n{}", Experiment::Table4.title(), out.rendered);
+    c.bench_function("table4_continents", |b| {
+        b.iter(|| {
+            let m = dcnr_core::backbone::BackboneMetrics::compute(
+                inter.tickets(),
+                &inter.output().topology,
+                inter.window(),
+            )
+            .expect("metrics");
+            black_box(report::render_table4(&m.continents))
+        })
+    });
+}
+
+fn bench_full_pipelines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_pipeline");
+    group.sample_size(10);
+    group.bench_function("intra_seven_years_scale1", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(IntraDcStudy::run(StudyConfig {
+                scale: 1.0,
+                seed,
+                ..Default::default()
+            }))
+        })
+    });
+    group.bench_function("backbone_18_months_30_edges", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(InterDcStudy::run(small_backbone_config(seed)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2, bench_table4, bench_full_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! # dcnr-bench
+//!
+//! Shared fixtures for the Criterion benchmark harness that regenerates
+//! every table and figure of the paper (see `benches/`).
+//!
+//! The studies themselves are expensive (seconds) and deterministic, so
+//! each bench binary builds them **once** via [`shared_intra`] /
+//! [`shared_inter`] and benchmarks the *regeneration* of each artifact —
+//! the queries and fits over the SEV/ticket databases — which is the
+//! operation a user iterating on the analysis actually repeats.
+//! `full_pipeline` benches in `benches/tables.rs` cover the end-to-end
+//! cost at reduced scale.
+
+use dcnr_core::backbone::topo::BackboneParams;
+use dcnr_core::backbone::BackboneSimConfig;
+use dcnr_core::{InterDcStudy, IntraDcStudy, StudyConfig};
+use std::sync::OnceLock;
+
+/// Fleet scale used by the shared intra-DC fixture. Scale 4 yields
+/// roughly two thousand SEVs — enough statistical mass for every figure
+/// while keeping fixture construction quick.
+pub const BENCH_SCALE: f64 = 4.0;
+
+/// Seed used by all bench fixtures.
+pub const BENCH_SEED: u64 = 0xBE_2018;
+
+/// The shared intra-DC study fixture (built on first use).
+pub fn shared_intra() -> &'static IntraDcStudy {
+    static INTRA: OnceLock<IntraDcStudy> = OnceLock::new();
+    INTRA.get_or_init(|| {
+        IntraDcStudy::run(StudyConfig {
+            scale: BENCH_SCALE,
+            seed: BENCH_SEED,
+            ..Default::default()
+        })
+    })
+}
+
+/// The shared backbone study fixture (built on first use).
+pub fn shared_inter() -> &'static InterDcStudy {
+    static INTER: OnceLock<InterDcStudy> = OnceLock::new();
+    INTER.get_or_init(|| {
+        InterDcStudy::run(BackboneSimConfig { seed: BENCH_SEED, ..Default::default() })
+    })
+}
+
+/// A small backbone configuration for pipeline-cost benchmarks.
+pub fn small_backbone_config(seed: u64) -> BackboneSimConfig {
+    BackboneSimConfig {
+        params: BackboneParams { edges: 30, vendors: 12, min_links_per_edge: 3 },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        assert!(shared_intra().db().len() > 1000);
+        assert!(shared_inter().tickets().len() > 1000);
+    }
+}

@@ -1,0 +1,225 @@
+//! `dcnr` — command-line front end for the reliability study toolkit.
+//!
+//! ```text
+//! dcnr intra     [--scale S] [--seed N] [--no-automation] [--no-drain]
+//! dcnr backbone  [--seed N] [--edges E] [--vendors V]
+//! dcnr drill
+//! dcnr risk      [--trials N] [--seed N]
+//! dcnr help
+//! ```
+
+use dcnr_core::backbone::topo::BackboneParams;
+use dcnr_core::backbone::BackboneSimConfig;
+use dcnr_core::faults::hazard::HazardConfig;
+use dcnr_core::{Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dcnr — Data Center Network Reliability study toolkit
+
+USAGE:
+    dcnr intra     [--scale S] [--seed N] [--no-automation] [--no-drain]
+                   Run the seven-year intra-DC study; print Tables 1-2
+                   and Figures 2-14 with paper-vs-measured comparisons.
+    dcnr backbone  [--seed N] [--edges E] [--vendors V]
+                   Run the eighteen-month backbone study; print
+                   Figures 15-18 and Table 4.
+    dcnr drill     Run the fault-injection and disaster-recovery drills
+                   on the reference mixed region.
+    dcnr risk      [--trials N] [--seed N]
+                   Conditional-risk capacity planning over a simulated
+                   backbone.
+    dcnr help      Show this message.
+";
+
+/// Minimal flag parser: `--name value` and boolean `--name` forms.
+struct Args {
+    rest: Vec<String>,
+}
+
+impl Args {
+    fn new(args: Vec<String>) -> Self {
+        Self { rest: args }
+    }
+
+    fn flag(&mut self, name: &str) -> bool {
+        if let Some(pos) = self.rest.iter().position(|a| a == name) {
+            self.rest.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        let Some(pos) = self.rest.iter().position(|a| a == name) else {
+            return Ok(None);
+        };
+        if pos + 1 >= self.rest.len() {
+            return Err(format!("{name} requires a value"));
+        }
+        let raw = self.rest.remove(pos + 1);
+        self.rest.remove(pos);
+        raw.parse::<T>().map(Some).map_err(|_| format!("invalid value for {name}: {raw:?}"))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("unrecognized arguments: {:?}", self.rest))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let command = argv.remove(0);
+    let result = match command.as_str() {
+        "intra" => cmd_intra(Args::new(argv)),
+        "backbone" => cmd_backbone(Args::new(argv)),
+        "drill" => cmd_drill(Args::new(argv)),
+        "risk" => cmd_risk(Args::new(argv)),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_intra(mut args: Args) -> Result<(), String> {
+    let scale: f64 = args.value("--scale")?.unwrap_or(10.0);
+    let seed: u64 = args.value("--seed")?.unwrap_or(0xDC_2018);
+    let hazard = HazardConfig {
+        automation_enabled: !args.flag("--no-automation"),
+        drain_policy_enabled: !args.flag("--no-drain"),
+    };
+    args.finish()?;
+    if !(scale > 0.0) {
+        return Err("--scale must be positive".into());
+    }
+
+    eprintln!("running intra-DC study (scale {scale}, seed {seed:#x})...");
+    let intra = IntraDcStudy::run(StudyConfig { scale, seed, hazard, ..Default::default() });
+    let inter = small_backbone(seed);
+    println!(
+        "dataset: {} issues -> {} SEVs (2011-2017)\n",
+        intra.outcomes().len(),
+        intra.db().len()
+    );
+    for e in Experiment::ALL.into_iter().filter(|e| e.is_intra()) {
+        print_experiment(e, &intra, &inter);
+    }
+    Ok(())
+}
+
+fn cmd_backbone(mut args: Args) -> Result<(), String> {
+    let seed: u64 = args.value("--seed")?.unwrap_or(0xB0_E5);
+    let edges: u32 = args.value("--edges")?.unwrap_or(90);
+    let vendors: u32 = args.value("--vendors")?.unwrap_or(40);
+    args.finish()?;
+    if edges < 2 || vendors < 1 {
+        return Err("need at least 2 edges and 1 vendor".into());
+    }
+
+    eprintln!("running backbone study ({edges} edges, {vendors} vendors, seed {seed:#x})...");
+    let inter = InterDcStudy::run(BackboneSimConfig {
+        params: BackboneParams { edges, vendors, min_links_per_edge: 3 },
+        seed,
+        ..Default::default()
+    });
+    let intra = IntraDcStudy::run(StudyConfig { scale: 0.5, seed, ..Default::default() });
+    println!(
+        "dataset: {} e-mails -> {} tickets (Oct 2016 - Apr 2018)\n",
+        inter.output().emails.len(),
+        inter.tickets().len()
+    );
+    for e in Experiment::ALL.into_iter().filter(|e| !e.is_intra()) {
+        print_experiment(e, &intra, &inter);
+    }
+    Ok(())
+}
+
+fn cmd_drill(args: Args) -> Result<(), String> {
+    args.finish()?;
+    use dcnr_core::service::{disaster_drill, FaultInjectionDrill, ImpactModel, Placement};
+    use dcnr_core::topology::Region;
+    let region = Region::mixed_reference();
+    let placement = Placement::default_mix(&region.topology);
+    let model = ImpactModel::default();
+
+    println!("fault-injection sweep (every device, one at a time):");
+    let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
+    for r in drill.reports() {
+        println!(
+            "  {:<5} n={:<4} worst={}   mean capacity loss {:>6.3}%",
+            r.device_type.to_string(),
+            r.devices,
+            r.worst_severity,
+            r.mean_capacity_loss * 100.0
+        );
+    }
+    println!("\ndisaster drills:");
+    for dc in &region.datacenters {
+        let r = disaster_drill(&region, &placement, &model, dc);
+        println!(
+            "  dc{}: {} racks lost / {} surviving, {:.1}% capacity lost",
+            r.datacenter,
+            r.racks_lost,
+            r.racks_surviving,
+            r.capacity_lost_fraction * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn cmd_risk(mut args: Args) -> Result<(), String> {
+    let trials: u32 = args.value("--trials")?.unwrap_or(400_000);
+    let seed: u64 = args.value("--seed")?.unwrap_or(0xB0_E5);
+    args.finish()?;
+    if trials == 0 {
+        return Err("--trials must be positive".into());
+    }
+    eprintln!("simulating backbone and planning capacity ({trials} trials)...");
+    let inter = InterDcStudy::run(BackboneSimConfig { seed, ..Default::default() });
+    let report = inter
+        .risk_report(trials)
+        .ok_or("no edge failures observed; cannot assess risk")?;
+    println!("expected concurrently-failed edges : {:.3}", report.expected_failures);
+    println!("p99.99 concurrent edge failures    : {}", report.p9999_failures);
+    println!("P(all edges up)                    : {:.3}", report.p_all_up);
+    println!("capacity headroom rule             : {:.1}%", report.headroom_fraction * 100.0);
+    Ok(())
+}
+
+fn small_backbone(seed: u64) -> InterDcStudy {
+    InterDcStudy::run(BackboneSimConfig {
+        params: BackboneParams { edges: 30, vendors: 12, min_links_per_edge: 3 },
+        seed,
+        ..Default::default()
+    })
+}
+
+fn print_experiment(e: Experiment, intra: &IntraDcStudy, inter: &InterDcStudy) {
+    let out = e.run(intra, inter);
+    println!("----------------------------------------------------------");
+    println!("{}", e.title());
+    println!("----------------------------------------------------------");
+    println!("{}", out.rendered);
+    for c in &out.comparisons {
+        println!("  {:<40} paper {:>12.4}  measured {:>12.4}", c.metric, c.paper, c.measured);
+    }
+    println!();
+}

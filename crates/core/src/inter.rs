@@ -1,0 +1,192 @@
+//! The eighteen-month backbone study (§6).
+//!
+//! Pipeline: fiber simulation ([`dcnr_backbone::sim`]) → vendor e-mail
+//! rendering → **parsing** ([`dcnr_backbone::email`]) → ticket database
+//! → metrics. The analysis only ever sees what the e-mail parser
+//! recovers — the same measurement boundary the paper's ingestion
+//! pipeline had.
+
+use dcnr_backbone::planning::{CapacityPlanner, EdgeAvailability, RiskReport};
+use dcnr_backbone::sim::BackboneSimOutput;
+use dcnr_backbone::{
+    parse_email, BackboneMetrics, BackboneSim, BackboneSimConfig, TicketDb,
+};
+use dcnr_sim::StudyCalendar;
+
+/// A completed backbone study.
+pub struct InterDcStudy {
+    config: BackboneSimConfig,
+    output: BackboneSimOutput,
+    tickets: TicketDb,
+    metrics: BackboneMetrics,
+    /// E-mails the parser or ingestion rejected (should be zero for the
+    /// simulator's own output; nonzero when studying corrupted feeds).
+    pub ingest_failures: u64,
+}
+
+impl InterDcStudy {
+    /// Runs the full pipeline with the given configuration.
+    pub fn run(config: BackboneSimConfig) -> Self {
+        let output = BackboneSim::new(config).run();
+        let mut tickets = TicketDb::new();
+        let mut ingest_failures = 0;
+        for (_, raw) in &output.emails {
+            match parse_email(raw) {
+                Ok(email) => {
+                    if !tickets.ingest(&email) {
+                        ingest_failures += 1;
+                    }
+                }
+                Err(_) => ingest_failures += 1,
+            }
+        }
+        let metrics = BackboneMetrics::compute(&tickets, &output.topology, config.window)
+            .expect("default-scale backbone always produces failures");
+        Self { config, output, tickets, metrics, ingest_failures }
+    }
+
+    /// Runs with the paper-default configuration and the given seed.
+    pub fn run_default(seed: u64) -> Self {
+        Self::run(BackboneSimConfig { seed, ..Default::default() })
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &BackboneSimConfig {
+        &self.config
+    }
+
+    /// The observation window.
+    pub fn window(&self) -> StudyCalendar {
+        self.config.window
+    }
+
+    /// The simulated topology and ground-truth targets.
+    pub fn output(&self) -> &BackboneSimOutput {
+        &self.output
+    }
+
+    /// The parsed ticket database.
+    pub fn tickets(&self) -> &TicketDb {
+        &self.tickets
+    }
+
+    /// All measured metrics (Figs. 15–18, Table 4).
+    pub fn metrics(&self) -> &BackboneMetrics {
+        &self.metrics
+    }
+
+    /// Bootstrap confidence intervals for the Fig. 15 edge-MTBF fit:
+    /// the honest way to compare our measured coefficients against the
+    /// paper's point estimates (does `462.88·e^{2.3408p}` fall inside
+    /// our fit's uncertainty?).
+    pub fn edge_mtbf_bootstrap(
+        &self,
+        resamples: usize,
+        confidence: f64,
+    ) -> Option<dcnr_stats::BootstrapFit> {
+        let mut rng = dcnr_sim::stream_rng(self.config.seed, "core.bootstrap.edge-mtbf");
+        dcnr_stats::bootstrap_exponential_fit(
+            &mut rng,
+            &self.metrics.edge_mtbf.values,
+            resamples,
+            confidence,
+        )
+    }
+
+    /// §6.1's conditional-risk report over the measured per-edge
+    /// MTBF/MTTR, using `trials` Monte-Carlo samples.
+    pub fn risk_report(&self, trials: u32) -> Option<RiskReport> {
+        let logs = self.tickets.edge_logs(&self.output.topology, self.config.window);
+        let edges: Vec<EdgeAvailability> = logs
+            .values()
+            .filter_map(|log| {
+                let est = log.estimate()?;
+                Some(EdgeAvailability { mtbf_hours: est.mtbf, mttr_hours: est.mttr? })
+            })
+            .collect();
+        CapacityPlanner::new(trials, self.config.seed).assess(&edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_backbone::topo::BackboneParams;
+    use dcnr_backbone::PaperModels;
+
+    fn study() -> InterDcStudy {
+        InterDcStudy::run(BackboneSimConfig {
+            params: BackboneParams { edges: 60, vendors: 25, min_links_per_edge: 3 },
+            seed: 0x17,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn clean_ingestion() {
+        let s = study();
+        assert_eq!(s.ingest_failures, 0);
+        assert!(s.tickets().len() > 1000, "tickets {}", s.tickets().len());
+    }
+
+    #[test]
+    fn fig15_edge_mtbf_fit_in_paper_regime() {
+        let s = study();
+        let fit = s.metrics().edge_mtbf.fit.expect("fit");
+        let paper = PaperModels::edge_mtbf();
+        assert!(fit.b > paper.b * 0.5 && fit.b < paper.b * 1.7, "b {}", fit.b);
+        assert!(fit.r2 > 0.7, "r2 {}", fit.r2);
+    }
+
+    #[test]
+    fn fig16_edge_mttr_median_order_of_hours() {
+        let s = study();
+        let med = s.metrics().edge_mttr.summary().median();
+        assert!(med > 2.0 && med < 50.0, "median {med}");
+    }
+
+    #[test]
+    fn table4_continent_rows_present() {
+        let s = study();
+        assert_eq!(s.metrics().continents.len(), 6);
+        let total: f64 = s.metrics().continents.iter().map(|r| r.distribution).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn risk_report_produces_tail() {
+        let s = study();
+        let r = s.risk_report(50_000).expect("edges with estimates");
+        assert!(r.expected_failures > 0.0);
+        assert!(r.p9999_failures >= 1);
+        assert!(r.headroom_fraction > 0.0 && r.headroom_fraction < 0.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = study();
+        let b = study();
+        assert_eq!(a.tickets().len(), b.tickets().len());
+        assert_eq!(
+            a.metrics().edge_mtbf.values.len(),
+            b.metrics().edge_mtbf.values.len()
+        );
+    }
+
+    #[test]
+    fn bootstrap_interval_brackets_the_fit() {
+        let s = study();
+        let boot = s.edge_mtbf_bootstrap(200, 0.95).expect("bootstrappable");
+        assert!(boot.a.lo <= boot.a.estimate && boot.a.estimate <= boot.a.hi);
+        assert!(boot.b.lo <= boot.b.estimate && boot.b.estimate <= boot.b.hi);
+        // The paper's b should land inside (or very near) the 95% CI —
+        // the generator samples from that very model.
+        let paper_b = PaperModels::edge_mtbf().b;
+        assert!(
+            boot.b.lo - 0.5 <= paper_b && paper_b <= boot.b.hi + 0.5,
+            "paper b {paper_b} vs CI [{}, {}]",
+            boot.b.lo,
+            boot.b.hi
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! # dcnr-core
+//!
+//! The study façade for the `dcnr` reproduction of *"A Large Scale Study
+//! of Data Center Network Reliability"* (Meza, Xu, Veeraraghavan, Mutlu —
+//! IMC 2018).
+//!
+//! This crate wires the substrates together into the paper's two
+//! studies and exposes one runner per published table and figure:
+//!
+//! * [`intra`] — the seven-year intra-datacenter study (§5): issue
+//!   generation → automated remediation triage → SEV creation → the
+//!   SQL-shaped analysis behind Tables 1–2 and Figures 2–14.
+//! * [`inter`] — the eighteen-month backbone study (§6): fiber
+//!   simulation → vendor e-mail parsing → ticket database → MTBF/MTTR
+//!   distributions, exponential fits, Table 4, and conditional-risk
+//!   planning (Figures 15–18).
+//! * [`experiments`] — the per-experiment index: every table/figure as
+//!   a named experiment with its measured result and the paper's
+//!   reported value, powering EXPERIMENTS.md and the bench harness.
+//! * [`report`] — plain-text rendering of tables and figure series in
+//!   the same rows/columns the paper prints.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dcnr_core::{IntraDcStudy, StudyConfig};
+//!
+//! // A small, fast configuration (half fleet scale).
+//! let study = IntraDcStudy::run(StudyConfig { scale: 0.5, seed: 1, ..Default::default() });
+//! let t2 = study.table2_root_causes();
+//! // Maintenance should be the largest *determined* root cause (§5.1).
+//! let m = t2.get(&dcnr_faults::RootCause::Maintenance).copied().unwrap_or(0.0);
+//! assert!(m > 0.10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod inter;
+pub mod intra;
+pub mod report;
+
+pub use experiments::{Experiment, ExperimentOutcome};
+pub use inter::InterDcStudy;
+pub use intra::{IntraDcStudy, StudyConfig};
+
+// Re-export the substrate crates under one roof so downstream users and
+// the examples need a single dependency.
+pub use dcnr_backbone as backbone;
+pub use dcnr_faults as faults;
+pub use dcnr_remediation as remediation;
+pub use dcnr_service as service;
+pub use dcnr_sev as sev;
+pub use dcnr_sim as sim;
+pub use dcnr_stats as stats;
+pub use dcnr_topology as topology;

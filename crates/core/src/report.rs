@@ -1,0 +1,246 @@
+//! Plain-text rendering of tables and figure series.
+//!
+//! The bench harness and examples print the same rows/series the paper
+//! reports; these helpers produce aligned, human-readable text without
+//! pulling in a table crate.
+
+use dcnr_backbone::metrics::FittedDistribution;
+use dcnr_backbone::models::QuantileModel;
+use dcnr_backbone::ContinentRow;
+use dcnr_faults::RootCause;
+use dcnr_remediation::Table1Report;
+use dcnr_stats::YearSeries;
+use dcnr_topology::DeviceType;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Formats a duration in seconds the way Table 1 prints it
+/// ("4 m", "3 d", "30.1 s").
+pub fn human_secs(secs: f64) -> String {
+    if secs >= 86_400.0 {
+        format!("{:.1} d", secs / 86_400.0)
+    } else if secs >= 3_600.0 {
+        format!("{:.1} h", secs / 3_600.0)
+    } else if secs >= 60.0 {
+        format!("{:.1} m", secs / 60.0)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Renders Table 1 (automated repair per device type).
+pub fn render_table1(report: &Table1Report) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>12} {:>10} {:>12} {:>12}",
+        "Device", "RepairRatio", "AvgPrio", "AvgWait", "AvgRepair"
+    );
+    for row in report.rows() {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>11.1}% {:>10.2} {:>12} {:>12}",
+            row.device_type.to_string(),
+            row.repair_ratio() * 100.0,
+            row.avg_priority,
+            human_secs(row.avg_wait_secs),
+            human_secs(row.avg_exec_secs),
+        );
+    }
+    out
+}
+
+/// Renders Table 2 (root-cause distribution).
+pub fn render_table2(shares: &BTreeMap<RootCause, f64>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<20} {:>12}", "Category", "Distribution");
+    for cause in RootCause::ALL {
+        let share = shares.get(&cause).copied().unwrap_or(0.0);
+        let _ = writeln!(out, "{:<20} {:>11.1}%", cause.to_string(), share * 100.0);
+    }
+    out
+}
+
+/// Renders a per-device-type year-series table (Figs. 3, 7, 8, 11).
+pub fn render_type_year_table(
+    title: &str,
+    series: &BTreeMap<DeviceType, YearSeries>,
+    precision: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let years: Vec<i32> = series
+        .values()
+        .next()
+        .map(|s| s.years().collect())
+        .unwrap_or_default();
+    let _ = write!(out, "{:<8}", "Type");
+    for y in &years {
+        let _ = write!(out, "{y:>10}");
+    }
+    let _ = writeln!(out);
+    for (t, s) in series {
+        let _ = write!(out, "{:<8}", t.to_string());
+        for y in &years {
+            let _ = write!(out, "{:>10.*}", precision, s.get(*y));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders sparse per-type `(year, value)` tables (Figs. 12, 13), using
+/// `-` for years without data.
+pub fn render_sparse_year_table(
+    title: &str,
+    series: &BTreeMap<DeviceType, Vec<(i32, f64)>>,
+    first_year: i32,
+    last_year: i32,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<8}", "Type");
+    for y in first_year..=last_year {
+        let _ = write!(out, "{y:>12}");
+    }
+    let _ = writeln!(out);
+    for (t, pts) in series {
+        let _ = write!(out, "{:<8}", t.to_string());
+        for y in first_year..=last_year {
+            match pts.iter().find(|&&(py, _)| py == y) {
+                Some(&(_, v)) => {
+                    let _ = write!(out, "{v:>12.3e}");
+                }
+                None => {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a measured quantile distribution against a paper model
+/// (Figs. 15–18): fit parameters, R², and key percentiles.
+pub fn render_fitted_distribution(
+    title: &str,
+    dist: &FittedDistribution,
+    paper: &QuantileModel,
+) -> String {
+    let mut out = String::new();
+    let s = dist.summary();
+    let _ = writeln!(out, "{title}  (n = {})", dist.curve.len());
+    match &dist.fit {
+        Some(fit) => {
+            let _ = writeln!(
+                out,
+                "  measured fit: {:.2}·e^({:.4}·p)   R² = {:.3} (log-space {:.3})",
+                fit.a, fit.b, fit.r2, fit.r2_log
+            );
+        }
+        None => {
+            let _ = writeln!(out, "  measured fit: (not fittable)");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  paper model : {:.2}·e^({:.4}·p)   R² = {}",
+        paper.a,
+        paper.b,
+        paper.paper_r2.map_or("n/a".to_string(), |r| format!("{r:.2}")),
+    );
+    let _ = writeln!(
+        out,
+        "  median {:.1} h | p90 {:.1} h | σ {:.1} | min {:.1} | max {:.1}",
+        s.median(),
+        s.p90(),
+        s.stddev(),
+        s.min(),
+        s.max()
+    );
+    out
+}
+
+/// Renders Table 4 (continent distribution and reliability).
+pub fn render_table4(rows: &[ContinentRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<15} {:>12} {:>12} {:>12}",
+        "Continent", "Distribution", "MTBF (h)", "MTTR (h)"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<15} {:>11.0}% {:>12.0} {:>12.1}",
+            r.continent.to_string(),
+            r.distribution * 100.0,
+            r.mtbf_hours,
+            r.mttr_hours
+        );
+    }
+    out
+}
+
+/// Renders an `(x, y)` scatter with a caption (Figs. 6, 14).
+pub fn render_scatter(title: &str, points: &[(f64, f64)], r: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}  (Pearson r = {r:.3})");
+    for (x, y) in points {
+        let _ = writeln!(out, "  {x:>12.2} {y:>10.4}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_secs_units() {
+        assert_eq!(human_secs(30.1), "30.10 s");
+        assert_eq!(human_secs(240.0), "4.0 m");
+        assert_eq!(human_secs(7200.0), "2.0 h");
+        assert_eq!(human_secs(3.0 * 86_400.0), "3.0 d");
+    }
+
+    #[test]
+    fn table2_renders_all_causes() {
+        let mut shares = BTreeMap::new();
+        shares.insert(RootCause::Maintenance, 0.17);
+        let text = render_table2(&shares);
+        assert!(text.contains("maintenance"));
+        assert!(text.contains("17.0%"));
+        assert!(text.contains("undetermined"));
+        assert!(text.contains("0.0%"), "missing causes print as zero");
+    }
+
+    #[test]
+    fn type_year_table_shape() {
+        let mut m = BTreeMap::new();
+        let mut s = YearSeries::new(2011, 2013);
+        s.set(2012, 0.5);
+        m.insert(DeviceType::Rsw, s);
+        let text = render_type_year_table("Fig X", &m, 3);
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("2012"));
+        assert!(text.contains("0.500"));
+        assert!(text.contains("RSW"));
+    }
+
+    #[test]
+    fn sparse_table_dashes_missing_years() {
+        let mut m = BTreeMap::new();
+        m.insert(DeviceType::Fsw, vec![(2016, 1.0e6)]);
+        let text = render_sparse_year_table("Fig 12", &m, 2015, 2017);
+        assert!(text.contains('-'));
+        assert!(text.contains("1.000e6"));
+    }
+
+    #[test]
+    fn scatter_includes_r() {
+        let text = render_scatter("Fig 6", &[(1.0, 2.0)], 0.99);
+        assert!(text.contains("r = 0.990"));
+    }
+}

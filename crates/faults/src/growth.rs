@@ -1,0 +1,207 @@
+//! The fleet growth model (Figs. 6 and 11).
+//!
+//! Wraps the calibrated population tables with interpolation (the
+//! simulator needs populations at arbitrary instants, not just year
+//! boundaries), scaling (the study runner multiplies the fleet to trade
+//! statistical mass for runtime), and the derived series the figures
+//! plot: per-type population fractions, total switches, and the
+//! employee-proxy correlation.
+
+use crate::calibration::{self, EMPLOYEES, FIRST_YEAR, LAST_YEAR, POPULATION, YEARS};
+use dcnr_sim::SimTime;
+use dcnr_stats::YearSeries;
+use dcnr_topology::{DeviceType, NetworkDesign};
+
+/// Fleet populations over the study window.
+#[derive(Debug, Clone)]
+pub struct FleetGrowth {
+    scale: f64,
+}
+
+impl FleetGrowth {
+    /// The paper-calibrated fleet at unit scale.
+    pub fn paper() -> Self {
+        Self { scale: 1.0 }
+    }
+
+    /// A fleet scaled by `scale` (> 0): every population multiplied,
+    /// every rate untouched — incident counts scale linearly, shares and
+    /// rates are invariant. The default study uses 10× for statistical
+    /// mass ("thousands of incidents" like the paper's dataset).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is positive and finite.
+    pub fn scaled(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        Self { scale }
+    }
+
+    /// The scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Population of `t` during calendar `year` (piecewise-constant per
+    /// year). Zero outside the study window or before the type existed.
+    pub fn population(&self, t: DeviceType, year: i32) -> f64 {
+        match (calibration::type_index(t), calibration::year_index(year)) {
+            (Some(ti), Some(yi)) => POPULATION[ti][yi] * self.scale,
+            _ => 0.0,
+        }
+    }
+
+    /// Population of `t` at a simulated instant.
+    pub fn population_at(&self, t: DeviceType, at: SimTime) -> f64 {
+        self.population(t, at.year())
+    }
+
+    /// Total switches across all intra-DC types in `year`.
+    pub fn total_population(&self, year: i32) -> f64 {
+        DeviceType::INTRA_DC.iter().map(|&t| self.population(t, year)).sum()
+    }
+
+    /// Population of all devices belonging to `design` in `year`
+    /// (Cluster = CSA+CSW, Fabric = ESW+SSW+FSW, Shared = Core+RSW).
+    pub fn design_population(&self, design: NetworkDesign, year: i32) -> f64 {
+        DeviceType::INTRA_DC
+            .iter()
+            .filter(|t| t.design() == design)
+            .map(|&t| self.population(t, year))
+            .sum()
+    }
+
+    /// Per-type population as a [`YearSeries`] (Fig. 11's input).
+    pub fn population_series(&self, t: DeviceType) -> YearSeries {
+        let mut s = YearSeries::new(FIRST_YEAR, LAST_YEAR);
+        for year in FIRST_YEAR..=LAST_YEAR {
+            s.set(year, self.population(t, year));
+        }
+        s
+    }
+
+    /// Total-switch series.
+    pub fn total_series(&self) -> YearSeries {
+        let mut s = YearSeries::new(FIRST_YEAR, LAST_YEAR);
+        for year in FIRST_YEAR..=LAST_YEAR {
+            s.set(year, self.total_population(year));
+        }
+        s
+    }
+
+    /// Employee headcount for `year` (public data, unscaled — Fig. 6
+    /// compares *normalized* switches to employees, so fleet scale
+    /// cancels).
+    pub fn employees(&self, year: i32) -> f64 {
+        calibration::year_index(year).map_or(0.0, |yi| EMPLOYEES[yi])
+    }
+
+    /// The Fig. 6 scatter: `(employees, normalized switches)` per year,
+    /// switches normalized to the 2017 total.
+    pub fn switches_vs_employees(&self) -> Vec<(f64, f64)> {
+        let max = self.total_population(LAST_YEAR);
+        (FIRST_YEAR..=LAST_YEAR)
+            .map(|y| (self.employees(y), self.total_population(y) / max))
+            .collect()
+    }
+
+    /// Fraction of the fleet that each type represents in `year`
+    /// (Fig. 11's y-axis).
+    pub fn population_fraction(&self, t: DeviceType, year: i32) -> f64 {
+        let total = self.total_population(year);
+        if total > 0.0 {
+            self.population(t, year) / total
+        } else {
+            0.0
+        }
+    }
+
+    /// Number of study years.
+    pub fn years(&self) -> usize {
+        YEARS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_stats::pearson_correlation;
+
+    #[test]
+    fn unit_scale_matches_tables() {
+        let g = FleetGrowth::paper();
+        assert_eq!(g.population(DeviceType::Rsw, 2017), 41_500.0);
+        assert_eq!(g.population(DeviceType::Fsw, 2014), 0.0);
+        assert_eq!(g.population(DeviceType::Fsw, 2015), 400.0);
+        assert_eq!(g.population(DeviceType::Core, 2011), 40.0);
+        assert_eq!(g.population(DeviceType::Rsw, 2010), 0.0);
+        assert_eq!(g.population(DeviceType::Bbr, 2015), 0.0);
+    }
+
+    #[test]
+    fn scaling_multiplies_everything() {
+        let g = FleetGrowth::scaled(10.0);
+        assert_eq!(g.population(DeviceType::Rsw, 2017), 415_000.0);
+        assert_eq!(g.scale(), 10.0);
+        // Fractions are scale-invariant.
+        let f1 = FleetGrowth::paper().population_fraction(DeviceType::Rsw, 2017);
+        let f10 = g.population_fraction(DeviceType::Rsw, 2017);
+        assert!((f1 - f10).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_rejected() {
+        let _ = FleetGrowth::scaled(0.0);
+    }
+
+    #[test]
+    fn rsw_dominates_every_year() {
+        let g = FleetGrowth::paper();
+        for year in 2011..=2017 {
+            let frac = g.population_fraction(DeviceType::Rsw, year);
+            assert!(frac > 0.8, "RSW fraction {frac} in {year}");
+        }
+    }
+
+    #[test]
+    fn design_population_split() {
+        let g = FleetGrowth::paper();
+        let cluster = g.design_population(NetworkDesign::Cluster, 2017);
+        let fabric = g.design_population(NetworkDesign::Fabric, 2017);
+        let shared = g.design_population(NetworkDesign::Shared, 2017);
+        assert_eq!(cluster, 35.0 + 1300.0);
+        assert_eq!(fabric, 280.0 + 450.0 + 1500.0);
+        assert_eq!(shared, 200.0 + 41_500.0);
+        assert_eq!(cluster + fabric + shared, g.total_population(2017));
+        // Fabric absent before deployment.
+        assert_eq!(g.design_population(NetworkDesign::Fabric, 2014), 0.0);
+    }
+
+    #[test]
+    fn population_at_uses_calendar_year() {
+        let g = FleetGrowth::paper();
+        let mid_2015 = dcnr_sim::SimTime::from_date(2015, 7, 1).unwrap();
+        assert_eq!(g.population_at(DeviceType::Fsw, mid_2015), 400.0);
+    }
+
+    #[test]
+    fn fig6_scatter_is_strongly_linear() {
+        let pts = FleetGrowth::paper().switches_vs_employees();
+        assert_eq!(pts.len(), 7);
+        let r = pearson_correlation(&pts).unwrap();
+        assert!(r > 0.98, "r = {r}");
+        // Normalized: last point is exactly 1.0.
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_round_trip() {
+        let g = FleetGrowth::paper();
+        let s = g.population_series(DeviceType::Csw);
+        assert_eq!(s.get(2013), 1400.0);
+        assert_eq!(s.get(2017), 1300.0);
+        let total = g.total_series();
+        assert_eq!(total.get(2017), g.total_population(2017));
+    }
+}

@@ -1,0 +1,246 @@
+//! Hazard model: incident and issue rates per device type per year.
+//!
+//! §4.1 draws a sharp line between raw device *issues* and *network
+//! incidents*: "we focus our analysis on the class of incidents that can
+//! not be solved by automated repair." The hazard model encodes both
+//! sides of that line:
+//!
+//! * the **incident rate** (Fig. 3) — the calibrated, paper-anchored
+//!   rate of issues that end up with service-level impact; and
+//! * the **issue rate** — the underlying raw-problem rate, reconstructed
+//!   as `incident_rate / escalation_probability`, where the escalation
+//!   probability comes from Table 1's repair ratios for automated types
+//!   (Core 25%, FSW 0.5%, RSW 0.3%) and a documented manual-operations
+//!   assumption for everything else.
+//!
+//! The model also carries the ablation knobs: disabling automated
+//! remediation (§4.1.2's what-if) or the drain-before-maintenance policy
+//! (§5.2) changes escalation probabilities, not the underlying issue
+//! stream — which is exactly how those interventions work in production.
+
+use crate::calibration::{
+    self, AUTOMATION_START_YEAR, DRAIN_POLICY_YEAR, INCIDENT_RATE, MANUAL_ESCALATION_PROB,
+};
+use dcnr_topology::{DeviceType, NetworkDesign};
+
+/// Configuration knobs for what-if analyses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HazardConfig {
+    /// Whether the automated repair system is deployed at all
+    /// (ablation A-1). When `false`, every issue escalates with the
+    /// manual probability — quantifying §4.1.2's observation that
+    /// automation shields the fleet from "the vast majority of issues".
+    pub automation_enabled: bool,
+    /// Whether the drain-before-maintenance practice is adopted from
+    /// [`DRAIN_POLICY_YEAR`] (ablation A-2). When `false`, cluster-design
+    /// aggregation devices keep their pre-2015 elevated incident rates.
+    pub drain_policy_enabled: bool,
+}
+
+impl Default for HazardConfig {
+    fn default() -> Self {
+        Self { automation_enabled: true, drain_policy_enabled: true }
+    }
+}
+
+/// Per-type, per-year failure rate model.
+#[derive(Debug, Clone)]
+pub struct HazardModel {
+    config: HazardConfig,
+}
+
+impl HazardModel {
+    /// The paper-calibrated model.
+    pub fn paper() -> Self {
+        Self { config: HazardConfig::default() }
+    }
+
+    /// A model with explicit ablation knobs.
+    pub fn with_config(config: HazardConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> HazardConfig {
+        self.config
+    }
+
+    /// Whether automated repair covers `t` in `year` under this
+    /// configuration (§4.1.1: rollout began in 2013 with RSWs, fabric
+    /// types follow their 2015 introduction; Cores partially).
+    pub fn automation_active(&self, t: DeviceType, year: i32) -> bool {
+        self.config.automation_enabled
+            && t.has_automated_repair()
+            && year >= AUTOMATION_START_YEAR
+    }
+
+    /// Probability that one raw issue on `t` in `year` escalates into a
+    /// service-level incident.
+    pub fn escalation_probability(&self, t: DeviceType, year: i32) -> f64 {
+        if self.automation_active(t, year) {
+            1.0 - calibration::repair_ratio(t).expect("automated type has a ratio")
+        } else {
+            MANUAL_ESCALATION_PROB
+        }
+    }
+
+    /// Baseline (fully-configured) incident rate for `t` in `year`,
+    /// incidents per device-year — the Fig. 3 table.
+    pub fn incident_rate(&self, t: DeviceType, year: i32) -> f64 {
+        let base = match (calibration::type_index(t), calibration::year_index(year)) {
+            (Some(ti), Some(yi)) => INCIDENT_RATE[ti][yi],
+            _ => 0.0,
+        };
+        let mut rate = base;
+        if !self.config.drain_policy_enabled
+            && t.design() == NetworkDesign::Cluster
+            && year >= DRAIN_POLICY_YEAR
+        {
+            // Without drain-before-maintenance the cluster aggregation
+            // tier never gets its post-2015 improvement: hold the rate at
+            // the 2014 peak level.
+            let ti = calibration::type_index(t).expect("cluster type");
+            let peak = INCIDENT_RATE[ti][calibration::year_index(2014).expect("2014")];
+            rate = rate.max(peak);
+        }
+        if !self.config.automation_enabled && self.automation_would_cover(t, year) {
+            // Issues that automation would have absorbed now escalate at
+            // the manual probability instead.
+            let auto_esc = 1.0 - calibration::repair_ratio(t).expect("covered");
+            rate = rate / auto_esc * MANUAL_ESCALATION_PROB;
+        }
+        rate
+    }
+
+    fn automation_would_cover(&self, t: DeviceType, year: i32) -> bool {
+        t.has_automated_repair() && year >= AUTOMATION_START_YEAR
+    }
+
+    /// Raw issue rate for `t` in `year`, issues per device-year: the
+    /// stream the remediation system actually sees. Derived so that
+    /// `issue_rate × escalation_probability == incident_rate` under the
+    /// *fully-configured* model — ablations change the escalation side,
+    /// never the physical issue stream.
+    pub fn issue_rate(&self, t: DeviceType, year: i32) -> f64 {
+        let base = match (calibration::type_index(t), calibration::year_index(year)) {
+            (Some(ti), Some(yi)) => INCIDENT_RATE[ti][yi],
+            _ => 0.0,
+        };
+        let mut incident = base;
+        if !self.config.drain_policy_enabled
+            && t.design() == NetworkDesign::Cluster
+            && year >= DRAIN_POLICY_YEAR
+        {
+            let ti = calibration::type_index(t).expect("cluster type");
+            incident = incident.max(INCIDENT_RATE[ti][calibration::year_index(2014).expect("2014")]);
+        }
+        // The physical issue stream is what the *deployed* system's
+        // escalation implies.
+        let deployed_esc = if self.automation_would_cover(t, year) {
+            1.0 - calibration::repair_ratio(t).expect("covered")
+        } else {
+            MANUAL_ESCALATION_PROB
+        };
+        incident / deployed_esc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incident_rates_match_calibration() {
+        let m = HazardModel::paper();
+        assert_eq!(m.incident_rate(DeviceType::Csa, 2013), 1.7);
+        assert_eq!(m.incident_rate(DeviceType::Core, 2017), 0.2218);
+        assert_eq!(m.incident_rate(DeviceType::Fsw, 2014), 0.0);
+        assert_eq!(m.incident_rate(DeviceType::Rsw, 2010), 0.0);
+    }
+
+    #[test]
+    fn escalation_probability_table1() {
+        let m = HazardModel::paper();
+        assert!((m.escalation_probability(DeviceType::Rsw, 2017) - 0.003).abs() < 1e-12);
+        assert!((m.escalation_probability(DeviceType::Fsw, 2017) - 0.005).abs() < 1e-12);
+        assert!((m.escalation_probability(DeviceType::Core, 2017) - 0.25).abs() < 1e-12);
+        // Non-automated types escalate at the manual probability.
+        assert_eq!(m.escalation_probability(DeviceType::Csa, 2017), MANUAL_ESCALATION_PROB);
+        // Before the 2013 rollout, even RSWs were manual.
+        assert_eq!(m.escalation_probability(DeviceType::Rsw, 2012), MANUAL_ESCALATION_PROB);
+    }
+
+    #[test]
+    fn issue_times_escalation_equals_incident() {
+        let m = HazardModel::paper();
+        for t in DeviceType::INTRA_DC {
+            for year in 2011..=2017 {
+                let lhs = m.issue_rate(t, year) * m.escalation_probability(t, year);
+                let rhs = m.incident_rate(t, year);
+                assert!((lhs - rhs).abs() < 1e-9, "{t} {year}: {lhs} vs {rhs}");
+            }
+        }
+    }
+
+    #[test]
+    fn rsw_issue_rate_is_hundreds_of_times_incident_rate() {
+        // §4.1.2: only 1 in 397 RSW issues needed a human in Apr 2018 —
+        // the issue stream dwarfs the incident stream.
+        let m = HazardModel::paper();
+        let ratio =
+            m.issue_rate(DeviceType::Rsw, 2017) / m.incident_rate(DeviceType::Rsw, 2017);
+        assert!((ratio - 1.0 / 0.003).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn disabling_automation_explodes_incident_rates() {
+        let off = HazardModel::with_config(HazardConfig {
+            automation_enabled: false,
+            drain_policy_enabled: true,
+        });
+        let on = HazardModel::paper();
+        let r_off = off.incident_rate(DeviceType::Rsw, 2017);
+        let r_on = on.incident_rate(DeviceType::Rsw, 2017);
+        // 0.25 / 0.003 ≈ 83× more RSW incidents without automation.
+        assert!((r_off / r_on - MANUAL_ESCALATION_PROB / 0.003).abs() < 1.0);
+        // Issue stream unchanged: it is physical.
+        assert_eq!(
+            off.issue_rate(DeviceType::Rsw, 2017),
+            on.issue_rate(DeviceType::Rsw, 2017)
+        );
+        // Pre-automation years unaffected.
+        assert_eq!(
+            off.incident_rate(DeviceType::Rsw, 2012),
+            on.incident_rate(DeviceType::Rsw, 2012)
+        );
+        // Non-automated types unaffected.
+        assert_eq!(
+            off.incident_rate(DeviceType::Csw, 2017),
+            on.incident_rate(DeviceType::Csw, 2017)
+        );
+    }
+
+    #[test]
+    fn disabling_drain_policy_keeps_cluster_rates_at_peak() {
+        let off = HazardModel::with_config(HazardConfig {
+            automation_enabled: true,
+            drain_policy_enabled: false,
+        });
+        // CSA 2016 stays at the 2014 peak of 1.5 instead of 0.015.
+        assert_eq!(off.incident_rate(DeviceType::Csa, 2016), 1.5);
+        assert_eq!(off.incident_rate(DeviceType::Csa, 2014), 1.5);
+        // Pre-policy years and non-cluster types unchanged.
+        assert_eq!(off.incident_rate(DeviceType::Csa, 2013), 1.7);
+        assert_eq!(off.incident_rate(DeviceType::Fsw, 2016), 0.008);
+        assert_eq!(off.incident_rate(DeviceType::Rsw, 2016), 0.00085);
+    }
+
+    #[test]
+    fn automation_active_window() {
+        let m = HazardModel::paper();
+        assert!(!m.automation_active(DeviceType::Rsw, 2012));
+        assert!(m.automation_active(DeviceType::Rsw, 2013));
+        assert!(m.automation_active(DeviceType::Core, 2017));
+        assert!(!m.automation_active(DeviceType::Csw, 2017));
+    }
+}

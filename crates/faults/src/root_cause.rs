@@ -1,0 +1,186 @@
+//! Root causes of network incidents (Table 2).
+//!
+//! The paper uses Govindan et al.'s definition: *"A failure event's
+//! root-cause is one that, if it had not occurred, the failure event
+//! would not have manifested."* Root causes are chosen by the engineers
+//! authoring SEV reports; the category is a mandatory field.
+
+use crate::calibration::ROOT_CAUSE_SHARES;
+use dcnr_stats::Categorical;
+use dcnr_topology::DeviceType;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The root-cause taxonomy of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum RootCause {
+    /// Routine maintenance gone wrong (e.g. firmware upgrades) — 17%.
+    Maintenance,
+    /// Failing hardware (memory modules, processors, ports) — 13%.
+    Hardware,
+    /// Incorrect or unintended configuration — 13%.
+    Configuration,
+    /// Logical errors in device software or firmware — 12%.
+    Bug,
+    /// Unintended actions (disconnecting/power-cycling the wrong
+    /// device) — 10%.
+    Accident,
+    /// High load from insufficient capacity planning — 5%.
+    CapacityPlanning,
+    /// Inconclusive root cause — 29% ("typically transient and isolated
+    /// incidents where engineers only reported on the symptoms").
+    Undetermined,
+}
+
+impl RootCause {
+    /// All categories in Table 2 order.
+    pub const ALL: [RootCause; 7] = [
+        RootCause::Maintenance,
+        RootCause::Hardware,
+        RootCause::Configuration,
+        RootCause::Bug,
+        RootCause::Accident,
+        RootCause::CapacityPlanning,
+        RootCause::Undetermined,
+    ];
+
+    /// Whether the cause is human-induced software error (the paper
+    /// observes bugs + misconfiguration occur "at nearly double the rate
+    /// of those caused by hardware failures", §5.1).
+    pub fn is_human_software_error(self) -> bool {
+        matches!(self, RootCause::Configuration | RootCause::Bug)
+    }
+
+    /// Table 2's share for this cause.
+    pub fn paper_share(self) -> f64 {
+        let idx = RootCause::ALL.iter().position(|&c| c == self).expect("in ALL");
+        ROOT_CAUSE_SHARES[idx]
+    }
+}
+
+impl fmt::Display for RootCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RootCause::Maintenance => "maintenance",
+            RootCause::Hardware => "hardware",
+            RootCause::Configuration => "configuration",
+            RootCause::Bug => "bug",
+            RootCause::Accident => "accidents",
+            RootCause::CapacityPlanning => "capacity planning",
+            RootCause::Undetermined => "undetermined",
+        })
+    }
+}
+
+/// Sampler over root causes honoring Table 2 and the §5.1 footnote that
+/// ESWs (a small population running the same FBOSS stack) recorded no
+/// bug-rooted SEVs: bug draws for ESWs are reassigned to undetermined.
+#[derive(Debug, Clone)]
+pub struct RootCauseModel {
+    dist: Categorical,
+}
+
+impl RootCauseModel {
+    /// Builds the Table 2 sampler.
+    pub fn paper() -> Self {
+        Self { dist: Categorical::new(&ROOT_CAUSE_SHARES).expect("valid shares") }
+    }
+
+    /// Builds a sampler with custom weights (same order as
+    /// [`RootCause::ALL`]); `None` if weights are invalid.
+    pub fn with_weights(weights: &[f64; 7]) -> Option<Self> {
+        Some(Self { dist: Categorical::new(weights)? })
+    }
+
+    /// Samples a root cause for an incident on `device_type`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, device_type: DeviceType) -> RootCause {
+        let cause = RootCause::ALL[self.dist.sample_index(rng)];
+        if device_type == DeviceType::Esw && cause == RootCause::Bug {
+            // §5.1: ESWs "do not have SEVs with a 'bug' root cause" — a
+            // small-population effect the model reproduces exactly.
+            RootCause::Undetermined
+        } else {
+            cause
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn shares_match_table2() {
+        assert_eq!(RootCause::Maintenance.paper_share(), 0.17);
+        assert_eq!(RootCause::Undetermined.paper_share(), 0.29);
+        assert_eq!(RootCause::CapacityPlanning.paper_share(), 0.05);
+    }
+
+    #[test]
+    fn human_error_double_hardware() {
+        // §5.1: bugs + misconfiguration ≈ 2× hardware.
+        let human: f64 = RootCause::ALL
+            .iter()
+            .filter(|c| c.is_human_software_error())
+            .map(|c| c.paper_share())
+            .sum();
+        let hw = RootCause::Hardware.paper_share();
+        assert!((human / hw - 25.0 / 13.0).abs() < 1e-9);
+        assert!(human / hw > 1.8);
+    }
+
+    #[test]
+    fn sampling_matches_shares() {
+        let model = RootCauseModel::paper();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts: HashMap<RootCause, usize> = HashMap::new();
+        let n = 100_000;
+        for _ in 0..n {
+            *counts.entry(model.sample(&mut rng, DeviceType::Rsw)).or_default() += 1;
+        }
+        for cause in RootCause::ALL {
+            let observed = *counts.get(&cause).unwrap_or(&0) as f64 / n as f64;
+            // Shares are normalized over 0.99.
+            let expected = cause.paper_share() / 0.99;
+            assert!((observed - expected).abs() < 0.01, "{cause}: {observed} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn esw_never_gets_bug() {
+        let model = RootCauseModel::paper();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50_000 {
+            assert_ne!(model.sample(&mut rng, DeviceType::Esw), RootCause::Bug);
+        }
+    }
+
+    #[test]
+    fn other_fabric_types_do_get_bugs() {
+        let model = RootCauseModel::paper();
+        let mut rng = StdRng::seed_from_u64(13);
+        let got_bug = (0..10_000)
+            .any(|_| model.sample(&mut rng, DeviceType::Fsw) == RootCause::Bug);
+        assert!(got_bug, "FSWs run the same stack and do have bug SEVs");
+    }
+
+    #[test]
+    fn custom_weights() {
+        let m = RootCauseModel::with_weights(&[1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng, DeviceType::Core), RootCause::Maintenance);
+        }
+        assert!(RootCauseModel::with_weights(&[0.0; 7]).is_none());
+    }
+
+    #[test]
+    fn display_matches_table() {
+        assert_eq!(RootCause::CapacityPlanning.to_string(), "capacity planning");
+        assert_eq!(RootCause::Accident.to_string(), "accidents");
+    }
+}

@@ -1,0 +1,211 @@
+//! Hardware wear-out sensitivity: cohort ages and Weibull hazards.
+//!
+//! The calibrated hazard tables (like the paper's own analysis) treat
+//! failures as memoryless within a year. Real hardware wears out:
+//! §4.3.3 lists "switch maturity" — "switch architectures vary in their
+//! lifecycle, from newly-introduced switches to switches ready for
+//! retirement" — as an uncontrolled conflating factor. This module
+//! quantifies how much that factor could move the results.
+//!
+//! [`CohortAgeModel`] reconstructs installation cohorts from the
+//! population tables (devices added in year `y` have age `t − y`), and
+//! computes the fleet's hazard multiplier under a Weibull shape `k`:
+//! `h(age) ∝ age^{k−1}`, normalized so the RSW fleet's 2017 multiplier
+//! is 1 (anchors preserved). With `k = 1` every multiplier is exactly 1
+//! (memoryless); with `k > 1` old fleets (the cluster devices being
+//! phased out) fail more and young fleets (the 2015+ fabric) fail less —
+//! which would *strengthen* the paper's fabric-vs-cluster conclusion,
+//! not weaken it.
+
+use crate::calibration::{self, FIRST_YEAR, LAST_YEAR, POPULATION};
+use dcnr_topology::DeviceType;
+
+/// Installation-cohort age model over the study window.
+#[derive(Debug, Clone)]
+pub struct CohortAgeModel {
+    /// `cohorts[type][install_year_index]` = devices installed that year
+    /// (population delta, non-negative; shrinking populations retire the
+    /// oldest cohorts first).
+    cohorts: [[f64; calibration::YEARS]; 7],
+}
+
+impl CohortAgeModel {
+    /// Builds cohorts from the calibrated population tables. Devices
+    /// present in 2011 count as installed in 2011 (age 0 at the study
+    /// start — a conservative choice documented in DESIGN.md).
+    pub fn paper() -> Self {
+        let mut cohorts = [[0.0; calibration::YEARS]; 7];
+        for (ti, row) in POPULATION.iter().enumerate() {
+            let mut prev = 0.0;
+            for (yi, &pop) in row.iter().enumerate() {
+                let delta = pop - prev;
+                if delta > 0.0 {
+                    cohorts[ti][yi] = delta;
+                }
+                prev = pop;
+            }
+        }
+        Self { cohorts }
+    }
+
+    /// Surviving cohort sizes for `t` in `year`, retiring oldest-first
+    /// when the population shrank. Returns `(install_year, count)`.
+    pub fn surviving_cohorts(&self, t: DeviceType, year: i32) -> Vec<(i32, f64)> {
+        let (Some(ti), Some(yi)) = (calibration::type_index(t), calibration::year_index(year))
+        else {
+            return Vec::new();
+        };
+        let target = POPULATION[ti][yi];
+        // Cohorts installed up to `year`, newest kept first when
+        // retiring: walk from the newest cohort backwards until the
+        // current population is covered.
+        let mut remaining = target;
+        let mut kept = Vec::new();
+        for install_yi in (0..=yi).rev() {
+            if remaining <= 0.0 {
+                break;
+            }
+            let size = self.cohorts[ti][install_yi].min(remaining);
+            if size > 0.0 {
+                kept.push((FIRST_YEAR + install_yi as i32, size));
+                remaining -= size;
+            }
+        }
+        kept.sort_by_key(|&(y, _)| y);
+        kept
+    }
+
+    /// Mean device age (years) for `t` in `year`, counting a cohort
+    /// installed in year `y` as age `year − y + 0.5` mid-year. Zero for
+    /// absent fleets.
+    pub fn mean_age(&self, t: DeviceType, year: i32) -> f64 {
+        let cohorts = self.surviving_cohorts(t, year);
+        let total: f64 = cohorts.iter().map(|&(_, n)| n).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        cohorts.iter().map(|&(y, n)| n * ((year - y) as f64 + 0.5)).sum::<f64>() / total
+    }
+
+    /// Fleet hazard multiplier for `t` in `year` under Weibull shape
+    /// `k`: the population-weighted mean of `age^{k−1}`, normalized by
+    /// the RSW fleet's 2017 value so the headline anchors hold.
+    ///
+    /// `k = 1` gives exactly 1 everywhere; `k > 1` penalizes old fleets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not positive and finite.
+    pub fn hazard_multiplier(&self, t: DeviceType, year: i32, k: f64) -> f64 {
+        assert!(k > 0.0 && k.is_finite(), "Weibull shape must be positive");
+        if (k - 1.0).abs() < 1e-12 {
+            return 1.0;
+        }
+        let raw = self.raw_age_power(t, year, k);
+        if raw == 0.0 {
+            return 0.0;
+        }
+        let norm = self.raw_age_power(DeviceType::Rsw, LAST_YEAR, k);
+        raw / norm
+    }
+
+    fn raw_age_power(&self, t: DeviceType, year: i32, k: f64) -> f64 {
+        let cohorts = self.surviving_cohorts(t, year);
+        let total: f64 = cohorts.iter().map(|&(_, n)| n).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        cohorts
+            .iter()
+            .map(|&(y, n)| n * ((year - y) as f64 + 0.5).powf(k - 1.0))
+            .sum::<f64>()
+            / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohort_sizes_sum_to_population() {
+        let m = CohortAgeModel::paper();
+        for t in DeviceType::INTRA_DC {
+            for year in FIRST_YEAR..=LAST_YEAR {
+                let sum: f64 = m.surviving_cohorts(t, year).iter().map(|&(_, n)| n).sum();
+                let ti = calibration::type_index(t).unwrap();
+                let yi = calibration::year_index(year).unwrap();
+                assert!(
+                    (sum - POPULATION[ti][yi]).abs() < 1e-6,
+                    "{t} {year}: {sum} vs {}",
+                    POPULATION[ti][yi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_fleets_retire_oldest_cohorts() {
+        let m = CohortAgeModel::paper();
+        // CSW shrank 1750 -> 1300 between 2015 and 2017: the 2011 cohort
+        // (700) should be partially gone by 2017.
+        let kept_2017 = m.surviving_cohorts(DeviceType::Csw, 2017);
+        let oldest = kept_2017.first().expect("cohorts");
+        assert_eq!(oldest.0, 2011);
+        assert!(oldest.1 < 700.0, "oldest cohort shrank: {}", oldest.1);
+    }
+
+    #[test]
+    fn memoryless_shape_is_identity() {
+        let m = CohortAgeModel::paper();
+        for t in DeviceType::INTRA_DC {
+            for year in [2013, 2015, 2017] {
+                assert_eq!(m.hazard_multiplier(t, year, 1.0), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn wearout_penalizes_old_cluster_fleets() {
+        let m = CohortAgeModel::paper();
+        let k = 2.0;
+        let csa = m.hazard_multiplier(DeviceType::Csa, 2017, k);
+        let fsw = m.hazard_multiplier(DeviceType::Fsw, 2017, k);
+        assert!(
+            csa > fsw,
+            "2017: old CSAs ({csa:.2}) should out-fail young FSWs ({fsw:.2}) under wear-out"
+        );
+        // The direction strengthens the paper's conclusion.
+        assert!(csa > 1.0);
+        assert!(fsw < 1.5);
+    }
+
+    #[test]
+    fn mean_age_grows_until_fleet_turns_over() {
+        let m = CohortAgeModel::paper();
+        // RSWs keep growing: mean age rises sublinearly but stays > 0.5.
+        let a13 = m.mean_age(DeviceType::Rsw, 2013);
+        let a17 = m.mean_age(DeviceType::Rsw, 2017);
+        assert!(a13 >= 0.5);
+        assert!(a17 > a13, "{a13} -> {a17}");
+        // Absent fleet: zero.
+        assert_eq!(m.mean_age(DeviceType::Fsw, 2013), 0.0);
+    }
+
+    #[test]
+    fn infant_mortality_favors_old_fleets() {
+        // k < 1: decreasing hazard — young fabric fleets fail *more*.
+        let m = CohortAgeModel::paper();
+        let k = 0.5;
+        let csa = m.hazard_multiplier(DeviceType::Csa, 2017, k);
+        let fsw = m.hazard_multiplier(DeviceType::Fsw, 2017, k);
+        assert!(fsw > csa, "infant mortality: FSW {fsw:.2} vs CSA {csa:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_shape_rejected() {
+        let m = CohortAgeModel::paper();
+        let _ = m.hazard_multiplier(DeviceType::Rsw, 2017, 0.0);
+    }
+}

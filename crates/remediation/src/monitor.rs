@@ -1,0 +1,146 @@
+//! Heartbeat monitoring and failure detection.
+//!
+//! §3.1 (fabric design): "Centralized management software continuously
+//! checks for device misbehavior. A skipped heartbeat or an inconsistent
+//! network setting raise alarms for management software to handle."
+//!
+//! [`DetectionModel`] turns that into a detection-delay distribution: a
+//! device issue is noticed once `misses_to_alarm` consecutive heartbeats
+//! fail, plus a uniformly-distributed phase offset (the issue lands
+//! somewhere inside a heartbeat period) and an alarm-pipeline delay.
+//! Detection precedes the repair queue: total time-to-repair is
+//! detection + scheduling wait + execution.
+
+use dcnr_sim::SimDuration;
+use rand::Rng;
+
+/// Failure-detection model for monitored devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionModel {
+    /// Heartbeat period in seconds.
+    pub heartbeat_secs: f64,
+    /// Consecutive missed heartbeats before an alarm fires.
+    pub misses_to_alarm: u32,
+    /// Mean alarm-pipeline latency (aggregation, dedup, triage), seconds.
+    pub pipeline_mean_secs: f64,
+}
+
+impl DetectionModel {
+    /// Production-like defaults: 10 s heartbeats, 3 misses to alarm,
+    /// ~5 s of pipeline latency.
+    pub fn paper() -> Self {
+        Self { heartbeat_secs: 10.0, misses_to_alarm: 3, pipeline_mean_secs: 5.0 }
+    }
+
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive heartbeat period, zero miss threshold, or
+    /// negative pipeline latency.
+    pub fn new(heartbeat_secs: f64, misses_to_alarm: u32, pipeline_mean_secs: f64) -> Self {
+        assert!(heartbeat_secs > 0.0 && heartbeat_secs.is_finite(), "heartbeat must be positive");
+        assert!(misses_to_alarm >= 1, "need at least one miss");
+        assert!(
+            pipeline_mean_secs >= 0.0 && pipeline_mean_secs.is_finite(),
+            "pipeline latency must be non-negative"
+        );
+        Self { heartbeat_secs, misses_to_alarm, pipeline_mean_secs }
+    }
+
+    /// Deterministic bounds of the detection delay (excluding pipeline
+    /// tail): the issue is caught after between `misses` and
+    /// `misses + 1` heartbeat periods.
+    pub fn bounds_secs(&self) -> (f64, f64) {
+        let m = self.misses_to_alarm as f64;
+        (m * self.heartbeat_secs, (m + 1.0) * self.heartbeat_secs)
+    }
+
+    /// Mean detection delay in seconds.
+    pub fn mean_secs(&self) -> f64 {
+        (self.misses_to_alarm as f64 + 0.5) * self.heartbeat_secs + self.pipeline_mean_secs
+    }
+
+    /// Samples one detection delay.
+    pub fn sample_secs<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Phase: the issue occurs uniformly within a heartbeat period.
+        let phase: f64 = rng.gen::<f64>() * self.heartbeat_secs;
+        // Pipeline latency: exponential tail.
+        let pipeline = if self.pipeline_mean_secs > 0.0 {
+            -self.pipeline_mean_secs * (1.0 - rng.gen::<f64>()).ln()
+        } else {
+            0.0
+        };
+        self.misses_to_alarm as f64 * self.heartbeat_secs + phase + pipeline
+    }
+
+    /// Samples a detection delay as a [`SimDuration`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        SimDuration::from_secs(self.sample_secs(rng).round().max(0.0) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bounds_and_mean() {
+        let m = DetectionModel::paper();
+        let (lo, hi) = m.bounds_secs();
+        assert_eq!(lo, 30.0);
+        assert_eq!(hi, 40.0);
+        assert_eq!(m.mean_secs(), 40.0);
+    }
+
+    #[test]
+    fn samples_within_bounds_plus_pipeline() {
+        let m = DetectionModel::paper();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (lo, _) = m.bounds_secs();
+        for _ in 0..10_000 {
+            let d = m.sample_secs(&mut rng);
+            assert!(d >= lo, "{d}");
+        }
+    }
+
+    #[test]
+    fn empirical_mean_matches() {
+        let m = DetectionModel::paper();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| m.sample_secs(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - m.mean_secs()).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn faster_heartbeats_detect_faster() {
+        let slow = DetectionModel::new(30.0, 3, 5.0);
+        let fast = DetectionModel::new(5.0, 3, 5.0);
+        assert!(fast.mean_secs() < slow.mean_secs());
+    }
+
+    #[test]
+    fn zero_pipeline_is_allowed() {
+        let m = DetectionModel::new(10.0, 1, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = m.sample_secs(&mut rng);
+        assert!((10.0..20.0).contains(&d), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one miss")]
+    fn zero_misses_rejected() {
+        let _ = DetectionModel::new(10.0, 0, 5.0);
+    }
+
+    #[test]
+    fn duration_sample_is_rounded_seconds() {
+        let m = DetectionModel::paper();
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = m.sample(&mut rng);
+        assert!(d.as_secs() >= 30);
+    }
+}

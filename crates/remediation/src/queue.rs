@@ -1,0 +1,147 @@
+//! The priority repair queue.
+//!
+//! "The automated repair system uses a repair's priority to schedule
+//! when the repair should take place. Repairs assigned a lower priority
+//! wait longer than repairs assigned a higher priority." (§4.1.3)
+//!
+//! [`RepairQueue`] orders pending repairs by `(priority, ready time,
+//! sequence)` — a strict priority queue with deterministic tie-breaking,
+//! used by the engine to drain scheduled repairs in dispatch order.
+
+use dcnr_sim::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A repair waiting in the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueuedRepair<T> {
+    /// Repair priority, 0 (highest) to 3 (lowest).
+    pub priority: u8,
+    /// When the repair becomes ready to run.
+    pub ready_at: SimTime,
+    /// Caller payload (e.g. the issue being repaired).
+    pub payload: T,
+}
+
+struct Entry<T> {
+    priority: u8,
+    ready_at: SimTime,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.ready_at == other.ready_at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap turned min-heap: smallest priority number first, then
+        // earliest ready time, then insertion order.
+        other
+            .priority
+            .cmp(&self.priority)
+            .then_with(|| other.ready_at.cmp(&self.ready_at))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Deterministic priority queue of pending repairs.
+pub struct RepairQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+impl<T> RepairQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Enqueues a repair.
+    pub fn push(&mut self, priority: u8, ready_at: SimTime, payload: T) {
+        debug_assert!(priority <= 3, "priorities run 0..=3");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { priority, ready_at, seq, payload });
+    }
+
+    /// Removes the most urgent repair: highest priority first (lowest
+    /// number), earliest ready time within a priority.
+    pub fn pop(&mut self) -> Option<QueuedRepair<T>> {
+        self.heap.pop().map(|e| QueuedRepair {
+            priority: e.priority,
+            ready_at: e.ready_at,
+            payload: e.payload,
+        })
+    }
+
+    /// Number of pending repairs.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for RepairQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_wins_over_time() {
+        let mut q = RepairQueue::new();
+        q.push(3, SimTime::from_secs(10), "low-early");
+        q.push(0, SimTime::from_secs(99), "high-late");
+        assert_eq!(q.pop().unwrap().payload, "high-late");
+        assert_eq!(q.pop().unwrap().payload, "low-early");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn within_priority_earliest_first() {
+        let mut q = RepairQueue::new();
+        q.push(2, SimTime::from_secs(50), "b");
+        q.push(2, SimTime::from_secs(10), "a");
+        q.push(2, SimTime::from_secs(70), "c");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|r| r.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = RepairQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..20 {
+            q.push(1, t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|r| r.payload)).collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: RepairQueue<()> = RepairQueue::new();
+        assert!(q.is_empty());
+        q.push(0, SimTime::EPOCH, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

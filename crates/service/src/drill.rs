@@ -1,0 +1,247 @@
+//! Fault-injection and disaster-recovery drills (§5.7).
+//!
+//! "At Facebook, we run periodical tests, including both fault injection
+//! testing and disaster recovery testing, to exercise the reliability of
+//! our production systems by simulating different types of network
+//! failures, such as device outages and disconnection of an entire data
+//! center."
+//!
+//! [`FaultInjectionDrill`] sweeps single-device failures across a
+//! region, tier by tier, and reports the worst-case and distribution of
+//! service impact; [`disaster_drill`] disconnects an entire data center
+//! (the "storm" exercise) and reports what survives.
+
+use crate::impact::{ImpactAssessment, ImpactModel};
+use crate::placement::Placement;
+use dcnr_sev::SevLevel;
+use dcnr_topology::{DataCenter, DeviceId, DeviceType, FailureSet, Region};
+use std::collections::BTreeMap;
+
+/// Summary of sweeping single-device failures over one device type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierDrillReport {
+    /// The swept device type.
+    pub device_type: DeviceType,
+    /// Devices assessed.
+    pub devices: usize,
+    /// Worst severity seen.
+    pub worst_severity: SevLevel,
+    /// Count of assessments per severity.
+    pub severity_counts: BTreeMap<SevLevel, usize>,
+    /// Largest request-failure rate seen.
+    pub max_request_failure_rate: f64,
+    /// Mean capacity loss fraction across assessments.
+    pub mean_capacity_loss: f64,
+}
+
+/// A full single-failure sweep over a region.
+#[derive(Debug, Clone)]
+pub struct FaultInjectionDrill {
+    reports: BTreeMap<DeviceType, TierDrillReport>,
+}
+
+impl FaultInjectionDrill {
+    /// Assesses the failure of **every device** in the region, one at a
+    /// time, under `model` (no pre-existing failures). `O(devices ×
+    /// racks × reachability)`: intended for representative-scale
+    /// regions, which is what [`Region::mixed_reference`] builds.
+    pub fn sweep(region: &Region, placement: &Placement, model: &ImpactModel) -> Self {
+        let base = FailureSet::new(&region.topology);
+        let mut acc: BTreeMap<DeviceType, Vec<ImpactAssessment>> = BTreeMap::new();
+        for device in region.topology.devices() {
+            let a = model.assess(&region.topology, placement, device.id, &base);
+            acc.entry(device.device_type).or_default().push(a);
+        }
+        let reports = acc
+            .into_iter()
+            .map(|(t, assessments)| {
+                let mut severity_counts: BTreeMap<SevLevel, usize> = BTreeMap::new();
+                let mut worst = SevLevel::Sev3;
+                let mut max_fail = 0.0f64;
+                let mut loss_sum = 0.0;
+                for a in &assessments {
+                    *severity_counts.entry(a.severity).or_insert(0) += 1;
+                    worst = worst.escalate_to(a.severity);
+                    max_fail = max_fail.max(a.request_failure_rate);
+                    loss_sum += a.blast.capacity_loss_fraction;
+                }
+                (
+                    t,
+                    TierDrillReport {
+                        device_type: t,
+                        devices: assessments.len(),
+                        worst_severity: worst,
+                        severity_counts,
+                        max_request_failure_rate: max_fail,
+                        mean_capacity_loss: loss_sum / assessments.len() as f64,
+                    },
+                )
+            })
+            .collect();
+        Self { reports }
+    }
+
+    /// The report for one device type, if the region has any.
+    pub fn report(&self, t: DeviceType) -> Option<&TierDrillReport> {
+        self.reports.get(&t)
+    }
+
+    /// All tier reports.
+    pub fn reports(&self) -> impl Iterator<Item = &TierDrillReport> {
+        self.reports.values()
+    }
+
+    /// Device types whose single failure can produce an external-facing
+    /// incident (SEV1/SEV2) — the drill's action list.
+    pub fn risky_tiers(&self) -> Vec<DeviceType> {
+        self.reports
+            .values()
+            .filter(|r| r.worst_severity.externally_visible())
+            .map(|r| r.device_type)
+            .collect()
+    }
+}
+
+/// Result of a disconnect-a-datacenter disaster drill.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DisasterDrillReport {
+    /// Index of the disconnected data center.
+    pub datacenter: u16,
+    /// Devices taken down by the drill.
+    pub devices_failed: usize,
+    /// Racks in the region that remain fully connected.
+    pub racks_surviving: usize,
+    /// Racks disconnected (the victim DC's racks).
+    pub racks_lost: usize,
+    /// Fraction of total serving capacity lost.
+    pub capacity_lost_fraction: f64,
+    /// Worst per-service capacity loss across services.
+    pub worst_service_loss: f64,
+}
+
+/// Disconnects an entire data center — every device in it fails — and
+/// reports what the rest of the region retains. The paper's point is
+/// that services must be engineered so this is survivable (multi-DC
+/// replication); the report quantifies the exposure.
+pub fn disaster_drill(
+    region: &Region,
+    placement: &Placement,
+    model: &ImpactModel,
+    dc: &DataCenter,
+) -> DisasterDrillReport {
+    let mut failed = FailureSet::new(&region.topology);
+    let mut devices_failed = 0usize;
+    let mut last: Option<DeviceId> = None;
+    for device in region.topology.devices() {
+        if device.datacenter == dc.index() {
+            last = Some(device.id);
+            devices_failed += 1;
+        }
+    }
+    // Fail all but one, then assess the last for the aggregate view.
+    for device in region.topology.devices() {
+        if device.datacenter == dc.index() && Some(device.id) != last {
+            failed.fail(device.id);
+        }
+    }
+    let victim = last.expect("data center has devices");
+    let a = model.assess(&region.topology, placement, victim, &failed);
+    let worst_service_loss =
+        a.service_capacity_loss.values().cloned().fold(0.0f64, f64::max);
+    DisasterDrillReport {
+        datacenter: dc.index(),
+        devices_failed,
+        racks_surviving: a.blast.racks_total - a.blast.racks_disconnected,
+        racks_lost: a.blast.racks_disconnected,
+        capacity_lost_fraction: a.blast.capacity_loss_fraction,
+        worst_service_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_topology::Region;
+
+    fn setup() -> (Region, Placement, ImpactModel) {
+        let region = Region::mixed_reference();
+        let placement = Placement::default_mix(&region.topology);
+        (region, placement, ImpactModel::default())
+    }
+
+    #[test]
+    fn sweep_covers_every_tier() {
+        let (region, placement, model) = setup();
+        let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
+        for t in [
+            DeviceType::Core,
+            DeviceType::Csa,
+            DeviceType::Csw,
+            DeviceType::Esw,
+            DeviceType::Ssw,
+            DeviceType::Fsw,
+            DeviceType::Rsw,
+            DeviceType::Bbr,
+        ] {
+            let r = drill.report(t).unwrap_or_else(|| panic!("missing tier {t}"));
+            assert!(r.devices > 0);
+            let counted: usize = r.severity_counts.values().sum();
+            assert_eq!(counted, r.devices);
+        }
+    }
+
+    #[test]
+    fn single_failures_are_mostly_contained() {
+        // The reference region is provisioned with redundancy: single
+        // failures of aggregation devices stay SEV3.
+        let (region, placement, model) = setup();
+        let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
+        for t in [DeviceType::Csw, DeviceType::Fsw, DeviceType::Ssw, DeviceType::Esw, DeviceType::Core] {
+            let r = drill.report(t).expect("tier");
+            assert_eq!(r.worst_severity, SevLevel::Sev3, "{t} single failure should be masked");
+            assert!(r.max_request_failure_rate < 0.005, "{t}");
+        }
+    }
+
+    #[test]
+    fn rack_failures_have_small_mean_loss() {
+        let (region, placement, model) = setup();
+        let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
+        let rsw = drill.report(DeviceType::Rsw).expect("rsw");
+        // One rack out of hundreds.
+        assert!(rsw.mean_capacity_loss < 0.01, "{}", rsw.mean_capacity_loss);
+    }
+
+    #[test]
+    fn risky_tiers_consistent_with_reports() {
+        let (region, placement, model) = setup();
+        let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
+        for t in drill.risky_tiers() {
+            assert!(drill.report(t).expect("tier").worst_severity.externally_visible());
+        }
+    }
+
+    #[test]
+    fn disaster_drill_loses_exactly_the_victim_dc() {
+        let (region, placement, model) = setup();
+        let dc = &region.datacenters[0];
+        let victim_racks = dc.rsws().len();
+        let report = disaster_drill(&region, &placement, &model, dc);
+        assert_eq!(report.racks_lost, victim_racks);
+        assert!(report.racks_surviving > 0, "the other DC survives");
+        assert!(report.capacity_lost_fraction > 0.3 && report.capacity_lost_fraction < 0.9);
+        assert!(report.worst_service_loss >= report.capacity_lost_fraction * 0.5);
+        assert!(report.devices_failed > victim_racks);
+    }
+
+    #[test]
+    fn disaster_drill_on_each_dc() {
+        let (region, placement, model) = setup();
+        let mut total_racks = 0;
+        for dc in &region.datacenters {
+            let report = disaster_drill(&region, &placement, &model, dc);
+            total_racks += report.racks_lost;
+        }
+        assert_eq!(total_racks, placement.total_racks());
+    }
+}

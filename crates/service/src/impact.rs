@@ -1,0 +1,232 @@
+//! Mechanistic failure-impact assessment.
+//!
+//! Reproduces the causal chain of the paper's SEV2 case study: a device
+//! fails → traffic shifts to surviving paths/replicas → the remaining
+//! servers absorb the displaced load → if they are pushed past capacity,
+//! requests fail. The assessment yields concrete numbers (racks
+//! affected, per-service capacity lost, request-failure rate) and a
+//! severity under the Table 3 rubric:
+//!
+//! * **SEV1** — racks are partitioned at scale or the failure rate is
+//!   site-threatening ("data center outage").
+//! * **SEV2** — a measurable slice of user requests fails ("service
+//!   outages that affect a particular feature").
+//! * **SEV3** — redundancy contains the failure ("redundant or contained
+//!   system failures").
+
+use crate::placement::{Placement, ServiceKind};
+use dcnr_sev::SevLevel;
+use dcnr_topology::{routing, BlastRadius, DeviceId, FailureSet, Topology};
+use std::collections::BTreeMap;
+
+/// Tunable thresholds of the severity rubric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImpactModel {
+    /// Baseline utilization of serving capacity (fraction of headroom
+    /// already in use). The SEV2 case study's web/cache fleets ran hot
+    /// enough that a 5-minute traffic shift exhausted CPU.
+    pub utilization: f64,
+    /// Request-failure fraction beyond which an incident is a SEV1.
+    pub sev1_failure_rate: f64,
+    /// Fraction of racks disconnected beyond which an incident is a
+    /// SEV1 regardless of failure rate (partition risk).
+    pub sev1_partition_fraction: f64,
+    /// Request-failure fraction beyond which an incident is a SEV2.
+    pub sev2_failure_rate: f64,
+}
+
+impl Default for ImpactModel {
+    fn default() -> Self {
+        Self {
+            utilization: 0.70,
+            sev1_failure_rate: 0.10,
+            sev1_partition_fraction: 0.05,
+            sev2_failure_rate: 0.005,
+        }
+    }
+}
+
+/// The outcome of assessing one candidate failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpactAssessment {
+    /// Topological blast radius of the failure.
+    pub blast: BlastRadius,
+    /// Fraction of requests failing fleet-wide after the load shift.
+    pub request_failure_rate: f64,
+    /// Capacity lost per service (fraction of that service's racks
+    /// disconnected or degraded, capacity-weighted).
+    pub service_capacity_loss: BTreeMap<ServiceKind, f64>,
+    /// Severity under the rubric.
+    pub severity: SevLevel,
+}
+
+impl ImpactModel {
+    /// Assesses the failure of `victim` on top of `base` failures.
+    pub fn assess(
+        &self,
+        topo: &Topology,
+        placement: &Placement,
+        victim: DeviceId,
+        base: &FailureSet,
+    ) -> ImpactAssessment {
+        let blast = BlastRadius::of_failure(topo, victim, base);
+
+        // Per-service capacity loss: a disconnected rack loses all of its
+        // capacity; a degraded rack loses the fraction of uplinks it lost.
+        let mut lost: BTreeMap<ServiceKind, f64> = BTreeMap::new();
+        let mut racks: BTreeMap<ServiceKind, f64> = BTreeMap::new();
+        let mut failed = base.clone();
+        failed.fail(victim);
+        for (rack, service) in placement.iter() {
+            *racks.entry(service).or_insert(0.0) += 1.0;
+            let before = routing::live_uplinks(topo, rack, base).max(1);
+            let after = if failed.is_failed(rack) {
+                0
+            } else {
+                routing::live_uplinks(topo, rack, &failed)
+            };
+            let loss = if after == 0 {
+                1.0
+            } else if after < before {
+                (before - after) as f64 / before as f64
+            } else {
+                0.0
+            };
+            *lost.entry(service).or_insert(0.0) += loss;
+        }
+        let service_capacity_loss: BTreeMap<ServiceKind, f64> = racks
+            .iter()
+            .map(|(&s, &n)| (s, if n > 0.0 { lost.get(&s).copied().unwrap_or(0.0) / n } else { 0.0 }))
+            .collect();
+
+        // Request failures: displaced load lands on the survivors. With
+        // utilization u and capacity loss c, demand u must fit in (1-c);
+        // the overflow fails.
+        let c = blast.capacity_loss_fraction;
+        let request_failure_rate = if c >= 1.0 {
+            1.0
+        } else {
+            let overflow = self.utilization / (1.0 - c) - 1.0;
+            (overflow.max(0.0) * (1.0 - c) / self.utilization).min(1.0)
+        };
+
+        let partition_fraction =
+            blast.racks_disconnected as f64 / blast.racks_total.max(1) as f64;
+        let severity = if request_failure_rate >= self.sev1_failure_rate
+            || partition_fraction >= self.sev1_partition_fraction
+        {
+            SevLevel::Sev1
+        } else if request_failure_rate >= self.sev2_failure_rate {
+            SevLevel::Sev2
+        } else {
+            SevLevel::Sev3
+        };
+
+        ImpactAssessment { blast, request_failure_rate, service_capacity_loss, severity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_topology::{
+        ClusterNetworkBuilder, ClusterParams, FabricNetworkBuilder, FabricParams,
+    };
+
+    fn cluster() -> (Topology, dcnr_topology::cluster::ClusterDc) {
+        let mut t = Topology::new();
+        let dc = ClusterNetworkBuilder::new(ClusterParams {
+            clusters: 2,
+            racks_per_cluster: 20,
+            csws_per_cluster: 4,
+            csas: 2,
+            cores: 2,
+            rack_uplink_gbps: 10.0,
+        })
+        .build(&mut t, 0);
+        (t, dc)
+    }
+
+    #[test]
+    fn single_rack_failure_is_contained() {
+        let (t, dc) = cluster();
+        let p = Placement::default_mix(&t);
+        let model = ImpactModel::default();
+        let a = model.assess(&t, &p, dc.rsws[0][0], &FailureSet::new(&t));
+        // 1 of 40 racks = 2.5% < the 5% partition threshold; the load
+        // shift is absorbed.
+        assert_eq!(a.severity, SevLevel::Sev3);
+        assert_eq!(a.blast.racks_disconnected, 1);
+        assert!(a.request_failure_rate < 0.05);
+    }
+
+    #[test]
+    fn total_core_loss_is_sev1() {
+        let (t, dc) = cluster();
+        let p = Placement::default_mix(&t);
+        let model = ImpactModel::default();
+        let mut base = FailureSet::new(&t);
+        base.fail(dc.cores[0]);
+        let a = model.assess(&t, &p, dc.cores[1], &base);
+        assert_eq!(a.severity, SevLevel::Sev1);
+        assert!((a.request_failure_rate - 1.0).abs() < 1e-9);
+        assert_eq!(a.blast.racks_disconnected, 40);
+        for (_, loss) in &a.service_capacity_loss {
+            assert!((loss - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csw_failure_degrades_without_failing_requests() {
+        let (t, dc) = cluster();
+        let p = Placement::default_mix(&t);
+        let model = ImpactModel::default();
+        let a = model.assess(&t, &p, dc.csws[0][0], &FailureSet::new(&t));
+        // 20 racks lose 1/4 of uplinks: capacity loss 12.5% fleet-wide,
+        // which 70% utilization absorbs.
+        assert_eq!(a.severity, SevLevel::Sev3);
+        assert_eq!(a.blast.racks_degraded, 20);
+        assert_eq!(a.request_failure_rate, 0.0);
+    }
+
+    #[test]
+    fn hot_fleet_turns_degradation_into_sev2() {
+        let (t, dc) = cluster();
+        let p = Placement::default_mix(&t);
+        // Utilization so high that losing one CSW's capacity overflows.
+        let model = ImpactModel { utilization: 0.95, ..Default::default() };
+        let mut base = FailureSet::new(&t);
+        base.fail(dc.csws[0][0]);
+        base.fail(dc.csws[0][1]);
+        let a = model.assess(&t, &p, dc.csws[0][2], &base);
+        assert!(a.request_failure_rate > 0.005, "rate {}", a.request_failure_rate);
+        assert!(a.severity == SevLevel::Sev2 || a.severity == SevLevel::Sev1);
+    }
+
+    #[test]
+    fn fabric_fsw_failure_is_sev3() {
+        let mut t = Topology::new();
+        let dc = FabricNetworkBuilder::new(FabricParams {
+            pods: 2,
+            racks_per_pod: 10,
+            ..Default::default()
+        })
+        .build(&mut t, 0);
+        let p = Placement::default_mix(&t);
+        let a = ImpactModel::default().assess(&t, &p, dc.fsws[0][0], &FailureSet::new(&t));
+        assert_eq!(a.severity, SevLevel::Sev3);
+        assert_eq!(a.blast.racks_disconnected, 0);
+    }
+
+    #[test]
+    fn service_loss_only_for_affected_services() {
+        let (t, dc) = cluster();
+        let p = Placement::default_mix(&t);
+        let a = ImpactModel::default().assess(&t, &p, dc.rsws[0][0], &FailureSet::new(&t));
+        let victim_service = p.service_of(dc.rsws[0][0]).unwrap();
+        let loss = a.service_capacity_loss[&victim_service];
+        assert!(loss > 0.0);
+        let total_loss: f64 = a.service_capacity_loss.values().sum();
+        assert!((total_loss - loss).abs() < 1e-9, "only the victim's service loses capacity");
+    }
+}

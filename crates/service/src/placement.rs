@@ -1,0 +1,197 @@
+//! Service kinds and their placement onto racks.
+//!
+//! §4.1 names the production system families running on the network:
+//! frontend web servers, caching, storage, data processing, and
+//! real-time monitoring. [`Placement`] assigns each rack of a
+//! representative topology to one service, round-robin within a
+//! configurable mix — giving the impact model per-service capacity
+//! accounting ("Web servers and cache servers, unable to handle the
+//! influx of load, exhausted their CPU and failed 2.4% of requests",
+//! §4.2's SEV2 case study).
+
+use dcnr_topology::{DeviceId, DeviceType, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The production service families of §4.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ServiceKind {
+    /// Frontend web servers \[22\].
+    Web,
+    /// Caching systems (TAO, memcache) \[17, 58\].
+    Cache,
+    /// Storage systems (Haystack, f4) \[10, 56\].
+    Storage,
+    /// Batch / stream data processing \[18, 39\].
+    DataProcessing,
+    /// Real-time monitoring (Gorilla) \[43, 61\].
+    Monitoring,
+}
+
+impl ServiceKind {
+    /// All service kinds.
+    pub const ALL: [ServiceKind; 5] = [
+        ServiceKind::Web,
+        ServiceKind::Cache,
+        ServiceKind::Storage,
+        ServiceKind::DataProcessing,
+        ServiceKind::Monitoring,
+    ];
+
+    /// Default share of racks per service (web- and cache-heavy, like a
+    /// user-facing deployment).
+    pub fn default_rack_share(self) -> f64 {
+        match self {
+            ServiceKind::Web => 0.35,
+            ServiceKind::Cache => 0.20,
+            ServiceKind::Storage => 0.25,
+            ServiceKind::DataProcessing => 0.15,
+            ServiceKind::Monitoring => 0.05,
+        }
+    }
+}
+
+impl fmt::Display for ServiceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ServiceKind::Web => "web",
+            ServiceKind::Cache => "cache",
+            ServiceKind::Storage => "storage",
+            ServiceKind::DataProcessing => "data-processing",
+            ServiceKind::Monitoring => "monitoring",
+        })
+    }
+}
+
+/// An assignment of every rack (RSW) in a topology to a service.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    by_rack: BTreeMap<DeviceId, ServiceKind>,
+}
+
+impl Placement {
+    /// Places services over the topology's racks using the default mix,
+    /// deterministically (weighted round-robin by rack index, so the
+    /// same topology always gets the same placement).
+    pub fn default_mix(topo: &Topology) -> Self {
+        let racks: Vec<DeviceId> =
+            topo.devices_of_type(DeviceType::Rsw).map(|d| d.id).collect();
+        let mut by_rack = BTreeMap::new();
+        // Largest-remainder style apportionment over a repeating window
+        // of 20 racks: 7 web, 4 cache, 5 storage, 3 data, 1 monitoring.
+        const WINDOW: [ServiceKind; 20] = [
+            ServiceKind::Web,
+            ServiceKind::Cache,
+            ServiceKind::Storage,
+            ServiceKind::Web,
+            ServiceKind::DataProcessing,
+            ServiceKind::Storage,
+            ServiceKind::Web,
+            ServiceKind::Cache,
+            ServiceKind::Web,
+            ServiceKind::Storage,
+            ServiceKind::DataProcessing,
+            ServiceKind::Web,
+            ServiceKind::Cache,
+            ServiceKind::Storage,
+            ServiceKind::Web,
+            ServiceKind::Monitoring,
+            ServiceKind::DataProcessing,
+            ServiceKind::Cache,
+            ServiceKind::Storage,
+            ServiceKind::Web,
+        ];
+        for (i, rack) in racks.into_iter().enumerate() {
+            by_rack.insert(rack, WINDOW[i % WINDOW.len()]);
+        }
+        Self { by_rack }
+    }
+
+    /// The service on `rack`, if it is a placed rack.
+    pub fn service_of(&self, rack: DeviceId) -> Option<ServiceKind> {
+        self.by_rack.get(&rack).copied()
+    }
+
+    /// Number of racks assigned to `service`.
+    pub fn rack_count(&self, service: ServiceKind) -> usize {
+        self.by_rack.values().filter(|&&s| s == service).count()
+    }
+
+    /// Total placed racks.
+    pub fn total_racks(&self) -> usize {
+        self.by_rack.len()
+    }
+
+    /// Iterates `(rack, service)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, ServiceKind)> + '_ {
+        self.by_rack.iter().map(|(&r, &s)| (r, s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_topology::{ClusterNetworkBuilder, ClusterParams};
+
+    fn topo() -> Topology {
+        let mut t = Topology::new();
+        ClusterNetworkBuilder::new(ClusterParams {
+            clusters: 2,
+            racks_per_cluster: 40,
+            ..Default::default()
+        })
+        .build(&mut t, 0);
+        t
+    }
+
+    #[test]
+    fn every_rack_is_placed() {
+        let t = topo();
+        let p = Placement::default_mix(&t);
+        assert_eq!(p.total_racks(), 80);
+        for d in t.devices_of_type(DeviceType::Rsw) {
+            assert!(p.service_of(d.id).is_some());
+        }
+    }
+
+    #[test]
+    fn non_racks_are_not_placed() {
+        let t = topo();
+        let p = Placement::default_mix(&t);
+        for d in t.devices() {
+            if d.device_type != DeviceType::Rsw {
+                assert!(p.service_of(d.id).is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn mix_approximates_default_shares() {
+        let t = topo();
+        let p = Placement::default_mix(&t);
+        let total = p.total_racks() as f64;
+        for s in ServiceKind::ALL {
+            let frac = p.rack_count(s) as f64 / total;
+            assert!(
+                (frac - s.default_rack_share()).abs() < 0.05,
+                "{s}: {frac} vs {}",
+                s.default_rack_share()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_placement() {
+        let t = topo();
+        let a = Placement::default_mix(&t);
+        let b = Placement::default_mix(&t);
+        assert!(a.iter().eq(b.iter()));
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let sum: f64 = ServiceKind::ALL.iter().map(|s| s.default_rack_share()).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Incident resolution-time model (Figs. 13–14).
+//!
+//! "Engineers at Facebook document resolution time, not repair time, in
+//! a SEV. Resolution time exceeds repair time and includes time
+//! engineers spend on prevention." Resolution times are heavy-tailed
+//! (hence the paper's p75 statistic) and grew across all switch types as
+//! the fleet — and the rigor of the release process — grew (§5.6).
+//!
+//! The model: log-normal with a year-dependent median
+//! ([`dcnr_faults::calibration::RESOLUTION_MEDIAN_HOURS`]) and constant
+//! log-scale sigma. Severity nudges the median: SEV1s get around-the-
+//! clock attention (shorter), SEV3s linger.
+
+use dcnr_faults::calibration::{self, RESOLUTION_MEDIAN_HOURS, RESOLUTION_SIGMA};
+use dcnr_sev::SevLevel;
+use dcnr_sim::SimDuration;
+use rand::Rng;
+
+/// Samples incident resolution times.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ResolutionModel;
+
+impl ResolutionModel {
+    /// The paper-calibrated model.
+    pub fn paper() -> Self {
+        Self
+    }
+
+    /// Median resolution time for `year`, hours. Years outside the study
+    /// window clamp to the nearest edge.
+    pub fn median_hours(&self, year: i32) -> f64 {
+        let idx = calibration::year_index(year.clamp(calibration::FIRST_YEAR, calibration::LAST_YEAR))
+            .expect("clamped into range");
+        RESOLUTION_MEDIAN_HOURS[idx]
+    }
+
+    /// Severity multiplier on the median: SEV1s are all-hands (0.5×),
+    /// SEV2s normal, SEV3s deprioritized (1.5×).
+    pub fn severity_factor(&self, severity: SevLevel) -> f64 {
+        match severity {
+            SevLevel::Sev1 => 0.5,
+            SevLevel::Sev2 => 1.0,
+            SevLevel::Sev3 => 1.5,
+        }
+    }
+
+    /// Samples a resolution duration for an incident of `severity`
+    /// opened in `year`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, year: i32, severity: SevLevel) -> SimDuration {
+        let median = self.median_hours(year) * self.severity_factor(severity);
+        // Log-normal via exp(mu + sigma*z) with mu = ln(median).
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let hours = (median.ln() + RESOLUTION_SIGMA * z).exp();
+        SimDuration::from_hours_f64(hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn medians_grow_over_the_study() {
+        let m = ResolutionModel::paper();
+        let mut last = 0.0;
+        for year in 2011..=2017 {
+            let med = m.median_hours(year);
+            assert!(med > last, "{year}: {med}");
+            last = med;
+        }
+    }
+
+    #[test]
+    fn out_of_range_years_clamp() {
+        let m = ResolutionModel::paper();
+        assert_eq!(m.median_hours(2009), m.median_hours(2011));
+        assert_eq!(m.median_hours(2020), m.median_hours(2017));
+    }
+
+    #[test]
+    fn sampled_median_tracks_model() {
+        let m = ResolutionModel::paper();
+        let mut rng = StdRng::seed_from_u64(41);
+        let mut xs: Vec<f64> = (0..40_001)
+            .map(|_| m.sample(&mut rng, 2017, SevLevel::Sev2).as_hours())
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        assert!((median - 32.0).abs() / 32.0 < 0.06, "median {median}");
+    }
+
+    #[test]
+    fn sev1_resolves_faster_than_sev3_in_distribution() {
+        let m = ResolutionModel::paper();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let mean = |sev: SevLevel, rng: &mut StdRng| -> f64 {
+            (0..n).map(|_| m.sample(rng, 2016, sev).as_hours()).sum::<f64>() / n as f64
+        };
+        let s1 = mean(SevLevel::Sev1, &mut rng);
+        let s3 = mean(SevLevel::Sev3, &mut rng);
+        assert!(s1 < s3, "SEV1 {s1} vs SEV3 {s3}");
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let m = ResolutionModel::paper();
+        let mut rng = StdRng::seed_from_u64(43);
+        for _ in 0..1000 {
+            assert!(m.sample(&mut rng, 2014, SevLevel::Sev3).as_hours() >= 0.0);
+        }
+    }
+}

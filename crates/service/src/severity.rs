@@ -1,0 +1,101 @@
+//! Statistical severity model for the fleet-scale study.
+//!
+//! The mechanistic [`crate::impact`] model needs a concrete topology;
+//! the seven-year, fleet-scale study instead samples severities from the
+//! per-device-type mixes calibrated in
+//! [`dcnr_faults::calibration::SEVERITY_MIX`] (Core 81/15/4 and RSW
+//! 85/10/5 are the paper's own Fig. 4 numbers; the rest are solved so
+//! the 2017 overall mix lands on 82/13/5). The two models agree in
+//! expectation: high-bandwidth devices draw more severe outcomes.
+
+use dcnr_faults::calibration::{self, SEVERITY_MIX};
+use dcnr_sev::SevLevel;
+use dcnr_stats::Categorical;
+use dcnr_topology::DeviceType;
+use rand::Rng;
+
+/// Samples SEV levels per device type.
+#[derive(Debug, Clone)]
+pub struct SeverityModel {
+    // Index parallel to calibration::TYPE_ORDER; [SEV3, SEV2, SEV1].
+    dists: [Categorical; 7],
+}
+
+impl SeverityModel {
+    /// The paper-calibrated model.
+    pub fn paper() -> Self {
+        let dists = SEVERITY_MIX.map(|mix| Categorical::new(&mix).expect("valid mix"));
+        Self { dists }
+    }
+
+    /// Samples a severity for an incident on `t`. Types outside the
+    /// intra-DC taxonomy (BBRs) use the RSW mix as the most conservative
+    /// default.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, t: DeviceType) -> SevLevel {
+        let idx = calibration::type_index(t).unwrap_or(6);
+        match self.dists[idx].sample_index(rng) {
+            0 => SevLevel::Sev3,
+            1 => SevLevel::Sev2,
+            _ => SevLevel::Sev1,
+        }
+    }
+
+    /// The expected mix `[SEV3, SEV2, SEV1]` for `t`.
+    pub fn expected_mix(&self, t: DeviceType) -> [f64; 3] {
+        let idx = calibration::type_index(t).unwrap_or(6);
+        [
+            self.dists[idx].probability(0),
+            self.dists[idx].probability(1),
+            self.dists[idx].probability(2),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn core_mix_matches_paper() {
+        let m = SeverityModel::paper();
+        let mix = m.expected_mix(DeviceType::Core);
+        assert!((mix[0] - 0.81).abs() < 1e-9);
+        assert!((mix[1] - 0.15).abs() < 1e-9);
+        assert!((mix[2] - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_rsw_mix() {
+        let m = SeverityModel::paper();
+        let mut rng = StdRng::seed_from_u64(31);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            match m.sample(&mut rng, DeviceType::Rsw) {
+                SevLevel::Sev3 => counts[0] += 1,
+                SevLevel::Sev2 => counts[1] += 1,
+                SevLevel::Sev1 => counts[2] += 1,
+            }
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.85).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.10).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn bbr_falls_back_to_rsw_mix() {
+        let m = SeverityModel::paper();
+        assert_eq!(m.expected_mix(DeviceType::Bbr), m.expected_mix(DeviceType::Rsw));
+    }
+
+    #[test]
+    fn fabric_types_skew_less_severe_than_cluster() {
+        let m = SeverityModel::paper();
+        let fsw = m.expected_mix(DeviceType::Fsw);
+        let csa = m.expected_mix(DeviceType::Csa);
+        assert!(fsw[2] < csa[2], "fabric SEV1 share below cluster's");
+        assert!(fsw[0] > csa[0], "fabric SEV3 share above cluster's");
+    }
+}

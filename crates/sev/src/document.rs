@@ -1,0 +1,165 @@
+//! SEV postmortem document rendering.
+//!
+//! §4.2 describes what a SEV report contains: "the incident's root
+//! cause, the root cause's affect on services, and steps to prevent the
+//! incident from happening again" — and walks through three
+//! representative reports. [`render_postmortem`] produces that document
+//! shape from a [`SevRecord`]: header, timeline, root-cause analysis,
+//! and a prevention checklist derived from the cause taxonomy (the
+//! "recommended mitigation and recovery procedures" the paper says each
+//! report carries).
+
+use crate::record::SevRecord;
+use dcnr_faults::RootCause;
+use std::fmt::Write as _;
+
+/// Prevention guidance per root cause — distilled from the paper's own
+/// implications sections (§5.7, §6.4).
+pub fn prevention_checklist(cause: RootCause) -> &'static [&'static str] {
+    match cause {
+        RootCause::Maintenance => &[
+            "Drain traffic from the device before maintenance begins.",
+            "Stage the procedure on a canary device first.",
+            "Verify automated failover routes around the device under drain.",
+        ],
+        RootCause::Hardware => &[
+            "Confirm automated remediation covers this failure signature.",
+            "Review sparing levels and redundancy for the affected tier.",
+            "File a vendor RMA and track the faulty component batch.",
+        ],
+        RootCause::Configuration => &[
+            "Require code review for every configuration change.",
+            "Canary configuration changes on a small switch set before fleet rollout.",
+            "Add an emulation/verification check that would have caught this change.",
+        ],
+        RootCause::Bug => &[
+            "Add a regression test reproducing the crash signature.",
+            "Extend fault-injection coverage to this code path.",
+            "Schedule the fix for the next firmware/software release train.",
+        ],
+        RootCause::Accident => &[
+            "Label and lock-out equipment adjacent to planned work.",
+            "Require a second operator to confirm device-affecting actions.",
+        ],
+        RootCause::CapacityPlanning => &[
+            "Re-run capacity models against observed peak load.",
+            "Provision headroom to the p99.99 conditional-risk level.",
+        ],
+        RootCause::Undetermined => &[
+            "Improve monitoring around the affected devices to capture the next occurrence.",
+            "Schedule a follow-up review if the symptom recurs within 90 days.",
+        ],
+    }
+}
+
+/// Renders a full postmortem document for one SEV.
+pub fn render_postmortem(record: &SevRecord) -> String {
+    let mut out = String::new();
+    let device = record
+        .device_type()
+        .map(|t| t.to_string())
+        .unwrap_or_else(|_| "unclassified device".to_string());
+    let _ = writeln!(out, "==================================================================");
+    let _ = writeln!(out, "{} — SEV report #{}", record.severity, record.id);
+    let _ = writeln!(out, "==================================================================");
+    let _ = writeln!(out, "Offending device : {} ({device})", record.device_name);
+    let _ = writeln!(
+        out,
+        "Root cause(s)    : {}",
+        record
+            .root_causes
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Timeline");
+    let _ = writeln!(out, "--------");
+    let _ = writeln!(out, "  {}  root cause manifested", record.opened_at);
+    let _ = writeln!(out, "  {}  incident resolved", record.resolved_at);
+    let _ = writeln!(out, "  (resolution time: {})", record.resolution_time());
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Service impact");
+    let _ = writeln!(out, "--------------");
+    let _ = writeln!(out, "  {}", if record.impact.is_empty() { "(not recorded)" } else { &record.impact });
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Prevention");
+    let _ = writeln!(out, "----------");
+    for cause in &record.root_causes {
+        for step in prevention_checklist(*cause) {
+            let _ = writeln!(out, "  [ ] {step}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::severity::SevLevel;
+    use dcnr_sim::SimTime;
+
+    fn record() -> SevRecord {
+        SevRecord::new(
+            42,
+            SevLevel::Sev3,
+            "rsw.dc04.c021.u0108",
+            vec![RootCause::Bug],
+            SimTime::from_ymd_hms(2017, 8, 17, 18, 52, 0).unwrap(),
+            SimTime::from_ymd_hms(2017, 8, 22, 18, 51, 0).unwrap(),
+            "RSW crash whenever software disabled a port.",
+        )
+    }
+
+    #[test]
+    fn postmortem_contains_all_sections() {
+        let doc = render_postmortem(&record());
+        for needle in [
+            "SEV3 — SEV report #42",
+            "rsw.dc04.c021.u0108",
+            "RSW",
+            "bug",
+            "Timeline",
+            "2017-08-17",
+            "2017-08-22",
+            "Service impact",
+            "RSW crash",
+            "Prevention",
+            "regression test",
+        ] {
+            assert!(doc.contains(needle), "missing {needle:?} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn every_cause_has_a_nonempty_checklist() {
+        for cause in RootCause::ALL {
+            assert!(!prevention_checklist(cause).is_empty(), "{cause}");
+        }
+    }
+
+    #[test]
+    fn multi_cause_postmortems_merge_checklists() {
+        let mut r = record();
+        r.root_causes = vec![RootCause::Maintenance, RootCause::Configuration];
+        let doc = render_postmortem(&r);
+        assert!(doc.contains("Drain traffic"));
+        assert!(doc.contains("code review"));
+    }
+
+    #[test]
+    fn unclassified_devices_render_gracefully() {
+        let mut r = record();
+        r.device_name = "dr.pop01.lb.u0001".into();
+        let doc = render_postmortem(&r);
+        assert!(doc.contains("unclassified device"));
+    }
+
+    #[test]
+    fn empty_impact_is_marked() {
+        let mut r = record();
+        r.impact = String::new();
+        assert!(render_postmortem(&r).contains("(not recorded)"));
+    }
+}

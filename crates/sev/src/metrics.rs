@@ -1,0 +1,218 @@
+//! Reliability metrics over the SEV store (§5.2, §5.6).
+//!
+//! * **Incident rate** (Fig. 3): `r = i / n` — incidents per active
+//!   device of a type in a year. "The incident rate could be larger than
+//!   1.0, meaning that each device of the target type caused more than
+//!   one network incident on average."
+//! * **MTBI** (Fig. 12): mean time between incidents in *device-hours* —
+//!   the population's operating hours divided by its incident count.
+//! * **p75IRT** (Fig. 13): 75th-percentile incident resolution time,
+//!   chosen "to prevent occasional months-long incident recovery times
+//!   from dominating the mean".
+//!
+//! Population-dependent metrics take the population as a closure
+//! `Fn(DeviceType, year) -> f64`, keeping this crate independent of the
+//! growth model that supplies the numbers.
+
+use crate::severity::SevLevel;
+use crate::store::SevDb;
+use dcnr_stats::{Summary, YearSeries};
+use dcnr_topology::{DeviceType, NetworkDesign};
+
+/// Hours in a calendar year (used for MTBI's device-hours conversion).
+fn hours_in_year(year: i32) -> f64 {
+    dcnr_sim::StudyCalendar::year(year).hours()
+}
+
+/// Metric helpers over a [`SevDb`].
+pub trait MetricsExt {
+    /// Incidents per active device of `t` in `year` (Fig. 3). Returns
+    /// 0.0 when the population is zero ("some devices have an incident
+    /// rate of 0, e.g., if they did not exist in the fleet in a year").
+    fn incident_rate(&self, t: DeviceType, year: i32, population: impl Fn(DeviceType, i32) -> f64) -> f64;
+
+    /// Mean time between incidents for `t` in `year`, in device-hours
+    /// (Fig. 12). `None` when the type recorded no incidents (the figure
+    /// leaves those points out rather than plotting infinity).
+    fn mtbi_hours(&self, t: DeviceType, year: i32, population: impl Fn(DeviceType, i32) -> f64) -> Option<f64>;
+
+    /// MTBI aggregated over all devices of a network design in `year`
+    /// (§5.6's fabric-vs-cluster 3.2× comparison).
+    fn design_mtbi_hours(&self, d: NetworkDesign, year: i32, population: impl Fn(DeviceType, i32) -> f64) -> Option<f64>;
+
+    /// 75th-percentile incident resolution time for `t` in `year`, in
+    /// hours (Fig. 13). `None` without incidents.
+    fn p75irt_hours(&self, t: DeviceType, year: i32) -> Option<f64>;
+
+    /// Per-device SEV rate series by severity level (Fig. 5): yearly
+    /// counts of `level` incidents divided by the total fleet size.
+    fn sev_rate_series(&self, level: SevLevel, first: i32, last: i32, total_population: impl Fn(i32) -> f64) -> YearSeries;
+}
+
+impl MetricsExt for SevDb {
+    fn incident_rate(
+        &self,
+        t: DeviceType,
+        year: i32,
+        population: impl Fn(DeviceType, i32) -> f64,
+    ) -> f64 {
+        let pop = population(t, year);
+        if pop <= 0.0 {
+            return 0.0;
+        }
+        let incidents = self.query().year(year).device_type(t).count();
+        incidents as f64 / pop
+    }
+
+    fn mtbi_hours(
+        &self,
+        t: DeviceType,
+        year: i32,
+        population: impl Fn(DeviceType, i32) -> f64,
+    ) -> Option<f64> {
+        let incidents = self.query().year(year).device_type(t).count();
+        if incidents == 0 {
+            return None;
+        }
+        let pop = population(t, year);
+        if pop <= 0.0 {
+            return None;
+        }
+        Some(pop * hours_in_year(year) / incidents as f64)
+    }
+
+    fn design_mtbi_hours(
+        &self,
+        d: NetworkDesign,
+        year: i32,
+        population: impl Fn(DeviceType, i32) -> f64,
+    ) -> Option<f64> {
+        let types: Vec<DeviceType> =
+            DeviceType::INTRA_DC.iter().copied().filter(|t| t.design() == d).collect();
+        let incidents: usize =
+            types.iter().map(|&t| self.query().year(year).device_type(t).count()).sum();
+        if incidents == 0 {
+            return None;
+        }
+        let pop: f64 = types.iter().map(|&t| population(t, year)).sum();
+        if pop <= 0.0 {
+            return None;
+        }
+        Some(pop * hours_in_year(year) / incidents as f64)
+    }
+
+    fn p75irt_hours(&self, t: DeviceType, year: i32) -> Option<f64> {
+        let hours = self.query().year(year).device_type(t).resolution_hours();
+        Summary::new(&hours).map(|s| s.p75())
+    }
+
+    fn sev_rate_series(
+        &self,
+        level: SevLevel,
+        first: i32,
+        last: i32,
+        total_population: impl Fn(i32) -> f64,
+    ) -> YearSeries {
+        let counts = self.query().severity(level).count_by_year(first, last);
+        let mut out = YearSeries::new(first, last);
+        for (year, c) in counts.points() {
+            let pop = total_population(year);
+            out.set(year, if pop > 0.0 { c / pop } else { 0.0 });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_faults::RootCause;
+    use dcnr_sim::{SimDuration, SimTime};
+
+    fn t(y: i32, d: u32) -> SimTime {
+        SimTime::from_date(y, 3, d).unwrap()
+    }
+
+    fn db_with(n_rsw_2017: usize, n_core_2017: usize) -> SevDb {
+        let mut db = SevDb::new();
+        for i in 0..n_rsw_2017 {
+            let open = t(2017, 1 + (i % 27) as u32);
+            db.insert(
+                SevLevel::Sev3,
+                format!("rsw.dc01.c000.u{:04}", i),
+                vec![RootCause::Hardware],
+                open,
+                open + SimDuration::from_hours(10 + i as u64),
+                "",
+            );
+        }
+        for i in 0..n_core_2017 {
+            let open = t(2017, 1 + (i % 27) as u32);
+            db.insert(
+                SevLevel::Sev2,
+                format!("core.dc01.x000.u{:04}", i),
+                vec![RootCause::Maintenance],
+                open,
+                open + SimDuration::from_hours(5),
+                "",
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn incident_rate_divides_by_population() {
+        let db = db_with(10, 4);
+        let rate = db.incident_rate(DeviceType::Rsw, 2017, |_, _| 1000.0);
+        assert!((rate - 0.01).abs() < 1e-12);
+        // Zero population -> rate 0, not a division blowup.
+        assert_eq!(db.incident_rate(DeviceType::Fsw, 2017, |_, _| 0.0), 0.0);
+        // No incidents in 2016.
+        assert_eq!(db.incident_rate(DeviceType::Rsw, 2016, |_, _| 1000.0), 0.0);
+    }
+
+    #[test]
+    fn mtbi_device_hours() {
+        let db = db_with(10, 0);
+        // 1000 devices × 8760 h / 10 incidents = 876 000.
+        let mtbi = db.mtbi_hours(DeviceType::Rsw, 2017, |_, _| 1000.0).unwrap();
+        assert!((mtbi - 876_000.0).abs() < 1e-6);
+        assert!(db.mtbi_hours(DeviceType::Csa, 2017, |_, _| 10.0).is_none());
+    }
+
+    #[test]
+    fn design_mtbi_pools_types() {
+        let mut db = SevDb::new();
+        // 2 FSW + 1 SSW incidents in 2017.
+        for (name, _) in [("fsw.dc01.p000.u0001", 0), ("fsw.dc01.p000.u0002", 0), ("ssw.dc01.s000.u0001", 0)] {
+            db.insert(SevLevel::Sev3, name, vec![], t(2017, 5), t(2017, 6), "");
+        }
+        let pop = |ty: DeviceType, _y: i32| match ty {
+            DeviceType::Fsw => 100.0,
+            DeviceType::Ssw => 50.0,
+            DeviceType::Esw => 50.0,
+            _ => 0.0,
+        };
+        let mtbi = db.design_mtbi_hours(NetworkDesign::Fabric, 2017, pop).unwrap();
+        assert!((mtbi - 200.0 * 8760.0 / 3.0).abs() < 1e-6);
+        assert!(db.design_mtbi_hours(NetworkDesign::Cluster, 2017, pop).is_none());
+    }
+
+    #[test]
+    fn p75irt_uses_75th_percentile() {
+        let db = db_with(5, 0); // durations 10, 11, 12, 13, 14 h
+        let p75 = db.p75irt_hours(DeviceType::Rsw, 2017).unwrap();
+        assert!((p75 - 13.0).abs() < 1e-9);
+        assert!(db.p75irt_hours(DeviceType::Rsw, 2015).is_none());
+    }
+
+    #[test]
+    fn sev_rate_series_normalizes_by_fleet() {
+        let db = db_with(10, 4);
+        let s3 = db.sev_rate_series(SevLevel::Sev3, 2011, 2017, |_| 10_000.0);
+        assert!((s3.get(2017) - 0.001).abs() < 1e-12);
+        assert_eq!(s3.get(2014), 0.0);
+        let s2 = db.sev_rate_series(SevLevel::Sev2, 2011, 2017, |_| 10_000.0);
+        assert!((s2.get(2017) - 0.0004).abs() < 1e-12);
+    }
+}

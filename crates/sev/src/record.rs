@@ -1,0 +1,174 @@
+//! One SEV report.
+//!
+//! "Network SEVs contain details on the incident: the network device
+//! implicated in the incident, the duration of the incident (measured
+//! from when the root cause manifested until when engineers fixed the
+//! root cause), the incident's affects on services." (§4.2)
+//!
+//! The record deliberately stores only the offending device's *name*;
+//! the device type is recovered by parsing the name prefix, as the
+//! paper's methodology does (§4.3.1). If a SEV has multiple root causes
+//! it counts toward multiple categories; if it has none it is
+//! undetermined (§5.1) — the constructor normalizes the empty case.
+
+use crate::severity::SevLevel;
+use dcnr_faults::RootCause;
+use dcnr_sim::{SimDuration, SimTime};
+use dcnr_topology::{parse_device_type, DeviceType, NameError, NetworkDesign};
+use serde::{Deserialize, Serialize};
+
+/// A service-level event report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SevRecord {
+    /// Stable report id within the owning [`crate::SevDb`].
+    pub id: u64,
+    /// Severity level (the incident's high-water mark).
+    pub severity: SevLevel,
+    /// The offending device's convention-formatted name.
+    pub device_name: String,
+    /// Root causes chosen by the report authors. Never empty: reports
+    /// without a determined cause carry `[Undetermined]`.
+    pub root_causes: Vec<RootCause>,
+    /// When the root cause manifested.
+    pub opened_at: SimTime,
+    /// When engineers resolved the incident (resolution includes
+    /// prevention work, §5.6).
+    pub resolved_at: SimTime,
+    /// Free-text impact summary (for report rendering; not analyzed).
+    pub impact: String,
+}
+
+impl SevRecord {
+    /// Creates a record, normalizing an empty root-cause list to
+    /// `[Undetermined]` and clamping a resolution earlier than the open
+    /// time to the open time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u64,
+        severity: SevLevel,
+        device_name: impl Into<String>,
+        root_causes: Vec<RootCause>,
+        opened_at: SimTime,
+        resolved_at: SimTime,
+        impact: impl Into<String>,
+    ) -> Self {
+        let root_causes =
+            if root_causes.is_empty() { vec![RootCause::Undetermined] } else { root_causes };
+        Self {
+            id,
+            severity,
+            device_name: device_name.into(),
+            root_causes,
+            opened_at,
+            resolved_at: resolved_at.max(opened_at),
+            impact: impact.into(),
+        }
+    }
+
+    /// Classifies the offending device by parsing its name prefix —
+    /// the §4.3.1 methodology, applied for real.
+    pub fn device_type(&self) -> Result<DeviceType, NameError> {
+        parse_device_type(&self.device_name)
+    }
+
+    /// The network design the offending device belongs to, when the
+    /// name parses.
+    pub fn design(&self) -> Option<NetworkDesign> {
+        self.device_type().ok().map(|t| t.design())
+    }
+
+    /// Incident resolution time (open → resolve).
+    pub fn resolution_time(&self) -> SimDuration {
+        self.resolved_at - self.opened_at
+    }
+
+    /// The calendar year the incident opened in — the bucketing key for
+    /// every longitudinal figure.
+    pub fn year(&self) -> i32 {
+        self.opened_at.year()
+    }
+
+    /// Whether any root cause matches `cause` (multi-cause SEVs count
+    /// toward multiple categories, §5.1).
+    pub fn has_root_cause(&self, cause: RootCause) -> bool {
+        self.root_causes.contains(&cause)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(y: i32, m: u32, d: u32) -> SimTime {
+        SimTime::from_date(y, m, d).unwrap()
+    }
+
+    #[test]
+    fn classification_parses_name() {
+        let r = SevRecord::new(
+            1,
+            SevLevel::Sev3,
+            "rsw.dc03.c012.u0431",
+            vec![RootCause::Bug],
+            t(2017, 8, 17),
+            t(2017, 8, 22),
+            "switch crash from software bug",
+        );
+        assert_eq!(r.device_type().unwrap(), DeviceType::Rsw);
+        assert_eq!(r.design(), Some(NetworkDesign::Shared));
+        assert_eq!(r.year(), 2017);
+        assert!((r.resolution_time().as_days() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_device_name_is_an_error_not_a_panic() {
+        let r = SevRecord::new(
+            2,
+            SevLevel::Sev1,
+            "dr.pop7.x.1", // the SEV1 case study's DR is not an intra-DC type
+            vec![RootCause::Configuration],
+            t(2012, 1, 25),
+            t(2012, 1, 25),
+            "data center outage from incorrect load balancing",
+        );
+        assert!(r.device_type().is_err());
+        assert_eq!(r.design(), None);
+    }
+
+    #[test]
+    fn empty_root_causes_become_undetermined() {
+        let r = SevRecord::new(3, SevLevel::Sev3, "csw.dc01.c000.u0000", vec![], t(2013, 1, 1), t(2013, 1, 2), "");
+        assert_eq!(r.root_causes, vec![RootCause::Undetermined]);
+        assert!(r.has_root_cause(RootCause::Undetermined));
+    }
+
+    #[test]
+    fn resolution_clamped_to_open() {
+        let r = SevRecord::new(
+            4,
+            SevLevel::Sev2,
+            "csa.dc01.x000.u0000",
+            vec![RootCause::Hardware],
+            t(2013, 10, 25),
+            t(2013, 10, 24), // data-entry error: resolved "before" opened
+            "",
+        );
+        assert_eq!(r.resolution_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn multi_cause_counts_both() {
+        let r = SevRecord::new(
+            5,
+            SevLevel::Sev2,
+            "core.dc01.x000.u0001",
+            vec![RootCause::Maintenance, RootCause::Configuration],
+            t(2015, 3, 1),
+            t(2015, 3, 2),
+            "",
+        );
+        assert!(r.has_root_cause(RootCause::Maintenance));
+        assert!(r.has_root_cause(RootCause::Configuration));
+        assert!(!r.has_root_cause(RootCause::Bug));
+    }
+}

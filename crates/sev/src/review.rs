@@ -1,0 +1,247 @@
+//! The SEV review process and root-cause misclassification.
+//!
+//! §4.2: "Each SEV goes through a review process to verify the accuracy
+//! and completeness of the report." §5.1 is frank about the residual
+//! noise: "Human classification of root causes implies SEVs can be
+//! misclassified" — and 29% of reports end up *undetermined* because
+//! "engineers only reported on the incident's symptoms".
+//!
+//! [`ReviewProcess`] models that noise channel so its effect on Table 2
+//! can be quantified: each root cause survives review unchanged with
+//! probability `1 − error_rate`; otherwise it is either dropped to
+//! undetermined (symptom-only reports) or confused with an adjacent
+//! category (maintenance ↔ accident, configuration ↔ bug — the
+//! confusions practitioners actually make). The sensitivity experiment:
+//! run Table 2 through reviews of increasing error rate and watch how
+//! far the distribution drifts.
+
+use crate::record::SevRecord;
+use crate::store::SevDb;
+use dcnr_faults::RootCause;
+use rand::Rng;
+
+/// A model of post-incident review noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReviewProcess {
+    /// Probability that a root cause is misrecorded.
+    pub error_rate: f64,
+    /// Given an error, probability it becomes *undetermined* (the
+    /// symptom-only failure mode) rather than a confused category.
+    pub undetermined_share: f64,
+}
+
+impl ReviewProcess {
+    /// A well-run review culture: low error rate, errors mostly
+    /// manifesting as undetermined rather than wrong categories.
+    pub fn diligent() -> Self {
+        Self { error_rate: 0.05, undetermined_share: 0.8 }
+    }
+
+    /// Creates a review model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(error_rate: f64, undetermined_share: f64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error_rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&undetermined_share),
+            "undetermined_share must be a probability"
+        );
+        Self { error_rate, undetermined_share }
+    }
+
+    /// The adjacent-category confusion a reviewer plausibly makes.
+    pub fn confused_with(cause: RootCause) -> RootCause {
+        match cause {
+            // A botched maintenance looks like an accident and vice versa.
+            RootCause::Maintenance => RootCause::Accident,
+            RootCause::Accident => RootCause::Maintenance,
+            // Config errors and software bugs blur together.
+            RootCause::Configuration => RootCause::Bug,
+            RootCause::Bug => RootCause::Configuration,
+            // Hardware misdiagnosed as capacity exhaustion (overload
+            // symptoms) and vice versa.
+            RootCause::Hardware => RootCause::CapacityPlanning,
+            RootCause::CapacityPlanning => RootCause::Hardware,
+            // Undetermined stays undetermined.
+            RootCause::Undetermined => RootCause::Undetermined,
+        }
+    }
+
+    /// Reviews one cause.
+    pub fn review_cause<R: Rng + ?Sized>(&self, rng: &mut R, cause: RootCause) -> RootCause {
+        if rng.gen::<f64>() >= self.error_rate {
+            return cause;
+        }
+        if rng.gen::<f64>() < self.undetermined_share {
+            RootCause::Undetermined
+        } else {
+            Self::confused_with(cause)
+        }
+    }
+
+    /// Reviews one record in place (deduplicating causes that collapse
+    /// together).
+    pub fn review_record<R: Rng + ?Sized>(&self, rng: &mut R, record: &mut SevRecord) {
+        let mut causes: Vec<RootCause> =
+            record.root_causes.iter().map(|&c| self.review_cause(rng, c)).collect();
+        causes.sort();
+        causes.dedup();
+        record.root_causes = causes;
+    }
+
+    /// Produces a reviewed copy of a whole database.
+    pub fn review_db<R: Rng + ?Sized>(&self, rng: &mut R, db: &SevDb) -> SevDb {
+        db.iter()
+            .map(|r| {
+                let mut copy = r.clone();
+                self.review_record(rng, &mut copy);
+                copy
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::severity::SevLevel;
+    use dcnr_sim::SimTime;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn db_with_causes(cause: RootCause, n: usize) -> SevDb {
+        let mut db = SevDb::new();
+        let t = SimTime::from_date(2016, 6, 1).unwrap();
+        for i in 0..n {
+            db.insert(
+                SevLevel::Sev3,
+                format!("rsw.dc01.c000.u{:04}", i),
+                vec![cause],
+                t,
+                t,
+                "",
+            );
+        }
+        db
+    }
+
+    #[test]
+    fn zero_error_rate_is_identity() {
+        let db = db_with_causes(RootCause::Maintenance, 200);
+        let review = ReviewProcess::new(0.0, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let reviewed = review.review_db(&mut rng, &db);
+        for (a, b) in db.iter().zip(reviewed.iter()) {
+            assert_eq!(a.root_causes, b.root_causes);
+        }
+    }
+
+    #[test]
+    fn full_error_full_undetermined_wipes_categories() {
+        let db = db_with_causes(RootCause::Hardware, 100);
+        let review = ReviewProcess::new(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let reviewed = review.review_db(&mut rng, &db);
+        for r in reviewed.iter() {
+            assert_eq!(r.root_causes, vec![RootCause::Undetermined]);
+        }
+    }
+
+    #[test]
+    fn confusion_is_symmetric_pairs() {
+        use RootCause::*;
+        for c in RootCause::ALL {
+            let confused = ReviewProcess::confused_with(c);
+            if c == Undetermined {
+                assert_eq!(confused, Undetermined);
+            } else {
+                assert_ne!(confused, c);
+                assert_eq!(ReviewProcess::confused_with(confused), c, "{c} pairing");
+            }
+        }
+    }
+
+    #[test]
+    fn error_rate_is_respected_statistically() {
+        let db = db_with_causes(RootCause::Configuration, 20_000);
+        let review = ReviewProcess::new(0.2, 0.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let reviewed = review.review_db(&mut rng, &db);
+        let changed = reviewed
+            .iter()
+            .filter(|r| r.root_causes != vec![RootCause::Configuration])
+            .count() as f64;
+        assert!((changed / 20_000.0 - 0.2).abs() < 0.01, "changed {}", changed / 20_000.0);
+        // Half of the errors become undetermined, half become Bug.
+        let undet = reviewed
+            .iter()
+            .filter(|r| r.root_causes.contains(&RootCause::Undetermined))
+            .count() as f64;
+        assert!((undet / 20_000.0 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn table2_is_robust_to_diligent_review_noise() {
+        // Build a database with the Table 2 mix and verify a diligent
+        // review barely moves the distribution (< 3 points absolute).
+        let mut db = SevDb::new();
+        let t = SimTime::from_date(2015, 3, 1).unwrap();
+        let counts = [
+            (RootCause::Maintenance, 170),
+            (RootCause::Hardware, 130),
+            (RootCause::Configuration, 130),
+            (RootCause::Bug, 120),
+            (RootCause::Accident, 100),
+            (RootCause::CapacityPlanning, 50),
+            (RootCause::Undetermined, 290),
+        ];
+        for (cause, n) in counts {
+            for i in 0..n {
+                db.insert(SevLevel::Sev3, format!("csw.dc01.c000.u{i:04}"), vec![cause], t, t, "");
+            }
+        }
+        let before = db.query().fraction_by_root_cause();
+        let mut rng = StdRng::seed_from_u64(4);
+        let reviewed = ReviewProcess::diligent().review_db(&mut rng, &db);
+        let after = reviewed.query().fraction_by_root_cause();
+        // Expected drift: 5% error × 80% to-undetermined × 71%
+        // determined mass ≈ 2.9 points on undetermined, less elsewhere.
+        for cause in RootCause::ALL {
+            let b = before.get(&cause).copied().unwrap_or(0.0);
+            let a = after.get(&cause).copied().unwrap_or(0.0);
+            assert!((a - b).abs() < 0.04, "{cause}: {b} -> {a}");
+        }
+        // Undetermined can only grow under review noise.
+        assert!(
+            after[&RootCause::Undetermined] >= before[&RootCause::Undetermined] - 1e-9
+        );
+    }
+
+    #[test]
+    fn review_deduplicates_collapsed_causes() {
+        let mut record = SevRecord::new(
+            0,
+            SevLevel::Sev2,
+            "core.dc01.x000.u0000",
+            vec![RootCause::Maintenance, RootCause::Accident],
+            SimTime::from_date(2014, 1, 1).unwrap(),
+            SimTime::from_date(2014, 1, 2).unwrap(),
+            "",
+        );
+        // Full confusion: maintenance<->accident swap; both collapse to
+        // the pair, dedup leaves both... run with full undetermined to
+        // force a visible collapse instead.
+        let review = ReviewProcess::new(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        review.review_record(&mut rng, &mut record);
+        assert_eq!(record.root_causes, vec![RootCause::Undetermined]);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_rate_rejected() {
+        let _ = ReviewProcess::new(1.5, 0.5);
+    }
+}

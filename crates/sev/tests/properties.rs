@@ -1,0 +1,112 @@
+//! Property-based tests for the SEV store and query layer.
+
+use dcnr_faults::RootCause;
+use dcnr_sev::{SevDb, SevLevel, SevRecord};
+use dcnr_sim::{SimDuration, SimTime};
+use dcnr_topology::DeviceType;
+use proptest::prelude::*;
+
+fn any_level() -> impl Strategy<Value = SevLevel> {
+    proptest::sample::select(SevLevel::ALL.to_vec())
+}
+
+fn any_cause() -> impl Strategy<Value = RootCause> {
+    proptest::sample::select(RootCause::ALL.to_vec())
+}
+
+fn any_device_name() -> impl Strategy<Value = String> {
+    proptest::sample::select(DeviceType::INTRA_DC.to_vec()).prop_flat_map(|t| {
+        (0u16..12, 0u32..40, 0u32..500).prop_map(move |(dc, scope, unit)| {
+            dcnr_topology::format_device_name(t, dc, 'c', scope, unit)
+        })
+    })
+}
+
+prop_compose! {
+    fn any_record()(
+        level in any_level(),
+        name in any_device_name(),
+        causes in proptest::collection::vec(any_cause(), 0..3),
+        year in 2011i32..=2017,
+        day in 1u32..=28,
+        dur_hours in 0u64..5_000,
+    ) -> SevRecord {
+        let open = SimTime::from_date(year, 1 + day % 12, day).unwrap();
+        SevRecord::new(
+            0,
+            level,
+            name,
+            causes,
+            open,
+            open + SimDuration::from_hours(dur_hours),
+            "synthetic",
+        )
+    }
+}
+
+proptest! {
+    #[test]
+    fn filters_are_restrictions(records in proptest::collection::vec(any_record(), 0..80)) {
+        let db: SevDb = records.into_iter().collect();
+        let total = db.query().count();
+        for level in SevLevel::ALL {
+            prop_assert!(db.query().severity(level).count() <= total);
+        }
+        for t in DeviceType::INTRA_DC {
+            prop_assert!(db.query().device_type(t).count() <= total);
+        }
+        for year in 2011..=2017 {
+            prop_assert!(db.query().year(year).count() <= total);
+        }
+        // Severity partitions the database.
+        let by_sev: usize = SevLevel::ALL.iter().map(|&l| db.query().severity(l).count()).sum();
+        prop_assert_eq!(by_sev, total);
+        // Device types partition it too (all names parse by construction).
+        let by_type: usize =
+            DeviceType::INTRA_DC.iter().map(|&t| db.query().device_type(t).count()).sum();
+        prop_assert_eq!(by_type, total);
+    }
+
+    #[test]
+    fn fractions_sum_to_one_when_nonempty(records in proptest::collection::vec(any_record(), 1..60)) {
+        let db: SevDb = records.into_iter().collect();
+        let sev_sum: f64 = db.query().fraction_by_severity().values().sum();
+        prop_assert!((sev_sum - 1.0).abs() < 1e-9);
+        let type_sum: f64 = db.query().fraction_by_device_type().values().sum();
+        prop_assert!((type_sum - 1.0).abs() < 1e-9);
+        let cause_sum: f64 = db.query().fraction_by_root_cause().values().sum();
+        prop_assert!((cause_sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_by_year_totals_match(records in proptest::collection::vec(any_record(), 0..60)) {
+        let db: SevDb = records.into_iter().collect();
+        let series = db.query().count_by_year(2011, 2017);
+        prop_assert_eq!(series.total() as usize, db.len());
+    }
+
+    #[test]
+    fn record_invariants(record in any_record()) {
+        prop_assert!(record.resolved_at >= record.opened_at);
+        prop_assert!(!record.root_causes.is_empty(), "empty causes become undetermined");
+        prop_assert!(record.resolution_time().as_hours() >= 0.0);
+        prop_assert!(record.device_type().is_ok());
+        prop_assert!((2011..=2017).contains(&record.year()));
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable(records in proptest::collection::vec(any_record(), 0..40)) {
+        let db: SevDb = records.into_iter().collect();
+        for (i, r) in db.iter().enumerate() {
+            prop_assert_eq!(r.id as usize, i);
+            prop_assert_eq!(db.get(r.id).unwrap().id, r.id);
+        }
+    }
+
+    #[test]
+    fn resolution_hours_match_filtered_records(records in proptest::collection::vec(any_record(), 0..40)) {
+        let db: SevDb = records.into_iter().collect();
+        let q = db.query().severity(SevLevel::Sev3);
+        prop_assert_eq!(q.resolution_hours().len(), q.count());
+    }
+}

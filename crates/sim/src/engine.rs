@@ -1,0 +1,241 @@
+//! The simulation driver loop.
+//!
+//! [`Simulation`] owns the clock and the event queue and repeatedly pops
+//! the earliest event, advancing the clock to it and invoking the
+//! caller's handler. The handler receives a [`Scheduler`] — a restricted
+//! view that can schedule follow-up events and read the clock but cannot
+//! re-enter the run loop, which keeps the borrow structure simple and the
+//! execution order obvious (smoltcp-style explicit `poll`, no hidden
+//! concurrency).
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// Restricted simulation surface available to event handlers.
+pub struct Scheduler<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    horizon: SimTime,
+}
+
+impl<'a, E> Scheduler<'a, E> {
+    /// Current simulated time (the time of the event being handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run horizon: events scheduled at or beyond it are accepted but
+    /// will not be dispatched by the current `run_until` call.
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
+    }
+
+    /// Schedules `event` at absolute time `at`. Events in the past are
+    /// clamped to *now* (they dispatch immediately after the current
+    /// handler returns), which turns subtle causality bugs into a benign,
+    /// deterministic behaviour.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Schedules `event` after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+}
+
+/// A discrete-event simulation over events of type `E`.
+pub struct Simulation<E> {
+    now: SimTime,
+    queue: EventQueue<E>,
+    dispatched: u64,
+}
+
+impl<E> Simulation<E> {
+    /// Creates a simulation whose clock starts at `start`.
+    pub fn new(start: SimTime) -> Self {
+        Self { now: start, queue: EventQueue::new(), dispatched: 0 }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events dispatched so far.
+    pub fn dispatched(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// Number of events still pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules an event at an absolute time. Times before the current
+    /// clock are clamped to the current clock.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.queue.push(at.max(self.now), event);
+    }
+
+    /// Schedules an event after a relative delay.
+    pub fn schedule_after(&mut self, delay: SimDuration, event: E) {
+        self.queue.push(self.now + delay, event);
+    }
+
+    /// Runs until the queue is exhausted or the next event is at or after
+    /// `horizon`. Events exactly at the horizon are *not* dispatched
+    /// (half-open window, matching [`crate::time::StudyCalendar`]).
+    ///
+    /// The handler may schedule further events through the provided
+    /// [`Scheduler`]. Returns the number of events dispatched by this
+    /// call. The clock ends at the later of its previous value and the
+    /// horizon... specifically: it ends at `horizon` if any events
+    /// remained, otherwise at the time of the last dispatched event.
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F) -> u64
+    where
+        F: FnMut(&mut Scheduler<'_, E>, E),
+    {
+        let mut count = 0;
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t < horizon => {
+                    let (time, event) = self.queue.pop().expect("peeked");
+                    self.now = time;
+                    let mut sched =
+                        Scheduler { now: self.now, queue: &mut self.queue, horizon };
+                    handler(&mut sched, event);
+                    self.dispatched += 1;
+                    count += 1;
+                }
+                Some(_) => {
+                    // Next event beyond horizon: stop with clock at horizon.
+                    self.now = self.now.max(horizon);
+                    break;
+                }
+                None => break,
+            }
+        }
+        count
+    }
+
+    /// Runs until the queue is exhausted.
+    pub fn run_to_completion<F>(&mut self, handler: F) -> u64
+    where
+        F: FnMut(&mut Scheduler<'_, E>, E),
+    {
+        self.run_until(SimTime::from_secs(u64::MAX), handler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Tick(u32),
+        Chain(u32),
+    }
+
+    #[test]
+    fn dispatches_in_time_order() {
+        let mut sim = Simulation::new(SimTime::EPOCH);
+        sim.schedule_at(SimTime::from_secs(20), Ev::Tick(2));
+        sim.schedule_at(SimTime::from_secs(10), Ev::Tick(1));
+        let mut seen = Vec::new();
+        let n = sim.run_to_completion(|s, e| {
+            if let Ev::Tick(i) = e {
+                seen.push((s.now().as_secs(), i));
+            }
+        });
+        assert_eq!(n, 2);
+        assert_eq!(seen, vec![(10, 1), (20, 2)]);
+        assert_eq!(sim.now(), SimTime::from_secs(20));
+        assert_eq!(sim.dispatched(), 2);
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        let mut sim = Simulation::new(SimTime::EPOCH);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Chain(0));
+        let mut count = 0;
+        sim.run_to_completion(|s, e| {
+            if let Ev::Chain(i) = e {
+                count += 1;
+                if i < 9 {
+                    s.schedule_after(SimDuration::from_secs(5), Ev::Chain(i + 1));
+                }
+            }
+        });
+        assert_eq!(count, 10);
+        assert_eq!(sim.now(), SimTime::from_secs(1 + 9 * 5));
+    }
+
+    #[test]
+    fn horizon_is_exclusive() {
+        let mut sim = Simulation::new(SimTime::EPOCH);
+        sim.schedule_at(SimTime::from_secs(5), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_secs(10), Ev::Tick(2));
+        sim.schedule_at(SimTime::from_secs(15), Ev::Tick(3));
+        let mut seen = Vec::new();
+        let n = sim.run_until(SimTime::from_secs(10), |_, e| {
+            if let Ev::Tick(i) = e {
+                seen.push(i)
+            }
+        });
+        assert_eq!(n, 1);
+        assert_eq!(seen, vec![1]);
+        // Clock parked at the horizon, remaining events intact.
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+        assert_eq!(sim.pending(), 2);
+        // Resume to completion.
+        let n2 = sim.run_to_completion(|_, e| {
+            if let Ev::Tick(i) = e {
+                seen.push(i)
+            }
+        });
+        assert_eq!(n2, 2);
+        assert_eq!(seen, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut sim = Simulation::new(SimTime::from_secs(100));
+        sim.schedule_at(SimTime::from_secs(5), Ev::Tick(1)); // in the past
+        let mut at = 0;
+        sim.run_to_completion(|s, _| at = s.now().as_secs());
+        assert_eq!(at, 100);
+    }
+
+    #[test]
+    fn handler_scheduling_in_past_clamps() {
+        let mut sim = Simulation::new(SimTime::EPOCH);
+        sim.schedule_at(SimTime::from_secs(50), Ev::Chain(0));
+        let mut times = Vec::new();
+        sim.run_to_completion(|s, e| {
+            times.push(s.now().as_secs());
+            if e == Ev::Chain(0) {
+                // Attempt to schedule before now; must clamp, not travel back.
+                s.schedule_at(SimTime::from_secs(10), Ev::Tick(9));
+            }
+        });
+        assert_eq!(times, vec![50, 50]);
+    }
+
+    #[test]
+    fn empty_run_is_noop() {
+        let mut sim: Simulation<Ev> = Simulation::new(SimTime::EPOCH);
+        assert_eq!(sim.run_to_completion(|_, _| {}), 0);
+        assert_eq!(sim.now(), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn scheduler_exposes_horizon() {
+        let mut sim = Simulation::new(SimTime::EPOCH);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Tick(0));
+        let mut h = SimTime::EPOCH;
+        sim.run_until(SimTime::from_secs(99), |s, _| h = s.horizon());
+        assert_eq!(h, SimTime::from_secs(99));
+    }
+}

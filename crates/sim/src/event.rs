@@ -1,0 +1,168 @@
+//! Deterministic event queue.
+//!
+//! A binary min-heap keyed by `(time, sequence)`: events at the same
+//! instant pop in the order they were scheduled. This removes the classic
+//! source of non-determinism in discrete-event simulators (heap tie
+//! order), which matters here because the whole study pipeline asserts
+//! byte-identical outputs for identical seeds.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a time, ordered for a max-heap turned min-heap.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest first,
+        // then lowest sequence number.
+        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events.
+///
+/// # Examples
+///
+/// ```
+/// use dcnr_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(10), "b");
+/// q.push(SimTime::from_secs(5), "a");
+/// q.push(SimTime::from_secs(10), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at `time`. Returns the event's sequence number
+    /// (monotonically increasing; useful for debugging).
+    pub fn push(&mut self, time: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+        seq
+    }
+
+    /// Removes and returns the earliest event, breaking time ties by
+    /// scheduling order.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled.
+    pub fn scheduled_count(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(30), 3);
+        q.push(SimTime::from_secs(10), 1);
+        q.push(SimTime::from_secs(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(42);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        let t0 = SimTime::EPOCH;
+        q.push(t0 + SimDuration::from_hours(5), "later");
+        q.push(t0 + SimDuration::from_hours(1), "first");
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, "first");
+        // Schedule relative to the popped time, earlier than "later".
+        q.push(t + SimDuration::from_hours(2), "middle");
+        assert_eq!(q.pop().unwrap().1, "middle");
+        assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    #[test]
+    fn scheduled_count_monotonic() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert_eq!(q.scheduled_count(), 0);
+        q.push(SimTime::EPOCH, ());
+        q.push(SimTime::EPOCH, ());
+        q.pop();
+        assert_eq!(q.scheduled_count(), 2);
+    }
+}

@@ -1,0 +1,446 @@
+//! Simulated time and the study calendar.
+//!
+//! All simulation time is integer **seconds since the study epoch,
+//! 2011-01-01T00:00:00Z** — the start of the paper's intra-datacenter
+//! observation window. Integer seconds make event ordering exact and
+//! runs reproducible; analysis converts to fractional hours only at the
+//! statistics boundary (the paper reports hours throughout).
+//!
+//! The civil-calendar conversion uses the standard days-from-civil
+//! algorithm (Howard Hinnant's `chrono`-compatible formulation), valid
+//! far beyond the 2011–2018 span we need, with proper leap-year handling
+//! (2012 and 2016 fall inside the study).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Seconds in one minute.
+pub const SECS_PER_MINUTE: u64 = 60;
+/// Seconds in one hour.
+pub const SECS_PER_HOUR: u64 = 3_600;
+/// Seconds in one day.
+pub const SECS_PER_DAY: u64 = 86_400;
+
+/// A span of simulated time, in whole seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s)
+    }
+
+    /// From whole minutes.
+    pub const fn from_minutes(m: u64) -> Self {
+        Self(m * SECS_PER_MINUTE)
+    }
+
+    /// From whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        Self(h * SECS_PER_HOUR)
+    }
+
+    /// From whole days.
+    pub const fn from_days(d: u64) -> Self {
+        Self(d * SECS_PER_DAY)
+    }
+
+    /// From fractional hours, rounding to the nearest second. Negative or
+    /// non-finite inputs clamp to zero — failure models occasionally
+    /// produce a 0-length interval and must not panic mid-simulation.
+    pub fn from_hours_f64(h: f64) -> Self {
+        if !h.is_finite() || h <= 0.0 {
+            return Self::ZERO;
+        }
+        Self((h * SECS_PER_HOUR as f64).round() as u64)
+    }
+
+    /// Whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional hours — the unit of every reliability statistic in the
+    /// paper (MTBI, MTBF, MTTR, p75IRT are all reported in hours).
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// Fractional days.
+    pub fn as_days(self) -> f64 {
+        self.0 as f64 / SECS_PER_DAY as f64
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Self) -> Self {
+        Self(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.0 / SECS_PER_DAY;
+        let h = (self.0 % SECS_PER_DAY) / SECS_PER_HOUR;
+        let m = (self.0 % SECS_PER_HOUR) / SECS_PER_MINUTE;
+        let s = self.0 % SECS_PER_MINUTE;
+        if d > 0 {
+            write!(f, "{d}d{h:02}h{m:02}m{s:02}s")
+        } else if h > 0 {
+            write!(f, "{h}h{m:02}m{s:02}s")
+        } else if m > 0 {
+            write!(f, "{m}m{s:02}s")
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+/// An instant of simulated time: seconds since 2011-01-01T00:00:00Z.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+pub struct SimTime(u64);
+
+/// The study epoch as a civil date.
+pub const EPOCH_YEAR: i32 = 2011;
+
+/// Days from civil epoch 1970-01-01 for year/month/day (proleptic
+/// Gregorian). Hinnant's algorithm.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // March = 0
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146_097 + doe - 719_468
+}
+
+/// Inverse of [`days_from_civil`].
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((if m <= 2 { y + 1 } else { y }) as i32, m, d)
+}
+
+fn epoch_day() -> i64 {
+    days_from_civil(EPOCH_YEAR, 1, 1)
+}
+
+impl SimTime {
+    /// The study epoch, 2011-01-01T00:00:00Z.
+    pub const EPOCH: SimTime = SimTime(0);
+
+    /// From raw seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s)
+    }
+
+    /// Builds an instant from a civil UTC date and time.
+    ///
+    /// Returns `None` for dates before the epoch or invalid civil fields
+    /// (month/day out of range, time-of-day out of range). Day validity is
+    /// checked against the actual month length including leap years.
+    pub fn from_ymd_hms(y: i32, mo: u32, d: u32, h: u32, mi: u32, s: u32) -> Option<Self> {
+        if !(1..=12).contains(&mo) || d < 1 || d > days_in_month(y, mo) {
+            return None;
+        }
+        if h >= 24 || mi >= 60 || s >= 60 {
+            return None;
+        }
+        let days = days_from_civil(y, mo, d) - epoch_day();
+        if days < 0 {
+            return None;
+        }
+        Some(Self(
+            days as u64 * SECS_PER_DAY + h as u64 * SECS_PER_HOUR + mi as u64 * SECS_PER_MINUTE
+                + s as u64,
+        ))
+    }
+
+    /// Midnight UTC on the given date.
+    pub fn from_date(y: i32, mo: u32, d: u32) -> Option<Self> {
+        Self::from_ymd_hms(y, mo, d, 0, 0, 0)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Hours since the epoch.
+    pub fn as_hours(self) -> f64 {
+        self.0 as f64 / SECS_PER_HOUR as f64
+    }
+
+    /// The civil UTC `(year, month, day)` of this instant.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(epoch_day() + (self.0 / SECS_PER_DAY) as i64)
+    }
+
+    /// Calendar year — the bucketing key of every longitudinal figure.
+    pub fn year(self) -> i32 {
+        self.ymd().0
+    }
+
+    /// Elapsed duration since `earlier`; saturates to zero if `earlier`
+    /// is actually later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_secs())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_secs();
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, mo, d) = self.ymd();
+        let rem = self.0 % SECS_PER_DAY;
+        let h = rem / SECS_PER_HOUR;
+        let mi = (rem % SECS_PER_HOUR) / SECS_PER_MINUTE;
+        let s = rem % SECS_PER_MINUTE;
+        write!(f, "{y:04}-{mo:02}-{d:02}T{h:02}:{mi:02}:{s:02}Z")
+    }
+}
+
+/// Number of days in `month` of `year`.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap_year(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap_year(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// The observation windows used by the paper's two datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudyCalendar {
+    /// Start of the observation window (inclusive).
+    pub start: SimTime,
+    /// End of the observation window (exclusive).
+    pub end: SimTime,
+}
+
+impl StudyCalendar {
+    /// The intra-datacenter SEV window: January 2011 through the end of
+    /// 2017 (the last complete year the figures plot).
+    pub fn intra_dc() -> Self {
+        Self {
+            start: SimTime::from_date(2011, 1, 1).expect("valid"),
+            end: SimTime::from_date(2018, 1, 1).expect("valid"),
+        }
+    }
+
+    /// The backbone window: "eighteen months of recent repair tickets ...
+    /// ranging from October 2016 to April 2018" (§4.3.2).
+    pub fn backbone() -> Self {
+        Self {
+            start: SimTime::from_date(2016, 10, 1).expect("valid"),
+            end: SimTime::from_date(2018, 4, 1).expect("valid"),
+        }
+    }
+
+    /// One custom calendar year.
+    pub fn year(y: i32) -> Self {
+        Self {
+            start: SimTime::from_date(y, 1, 1).expect("valid year"),
+            end: SimTime::from_date(y + 1, 1, 1).expect("valid year"),
+        }
+    }
+
+    /// Window length.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+
+    /// Window length in fractional hours.
+    pub fn hours(&self) -> f64 {
+        self.duration().as_hours()
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Hours from window start to `t`, clamped into the window.
+    pub fn offset_hours(&self, t: SimTime) -> f64 {
+        let clamped = t.clamp(self.start, self.end);
+        (clamped - self.start).as_hours()
+    }
+
+    /// The calendar years the window spans (inclusive of partial years).
+    pub fn years(&self) -> std::ops::RangeInclusive<i32> {
+        // `end` is exclusive: a window ending exactly at Jan 1 does not
+        // include that year.
+        let last = SimTime::from_secs(self.end.as_secs().saturating_sub(1)).year();
+        self.start.year()..=last.max(self.start.year())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_2011() {
+        assert_eq!(SimTime::EPOCH.ymd(), (2011, 1, 1));
+        assert_eq!(SimTime::EPOCH.year(), 2011);
+        assert_eq!(format!("{}", SimTime::EPOCH), "2011-01-01T00:00:00Z");
+    }
+
+    #[test]
+    fn roundtrip_all_study_days() {
+        // Every day from 2011-01-01 to 2019-12-31 survives the roundtrip.
+        let mut t = SimTime::EPOCH;
+        let end = SimTime::from_date(2020, 1, 1).unwrap();
+        while t < end {
+            let (y, m, d) = t.ymd();
+            assert_eq!(SimTime::from_date(y, m, d).unwrap(), t);
+            t += SimDuration::from_days(1);
+        }
+    }
+
+    #[test]
+    fn leap_years_in_study() {
+        assert!(is_leap_year(2012));
+        assert!(is_leap_year(2016));
+        assert!(!is_leap_year(2011));
+        assert!(!is_leap_year(2017));
+        assert!(!is_leap_year(2100));
+        assert!(is_leap_year(2000));
+        assert_eq!(days_in_month(2012, 2), 29);
+        assert_eq!(days_in_month(2013, 2), 28);
+        // 2012-02-29 exists; 2013-02-29 does not.
+        assert!(SimTime::from_date(2012, 2, 29).is_some());
+        assert!(SimTime::from_date(2013, 2, 29).is_none());
+    }
+
+    #[test]
+    fn rejects_invalid_civil_fields() {
+        assert!(SimTime::from_ymd_hms(2011, 0, 1, 0, 0, 0).is_none());
+        assert!(SimTime::from_ymd_hms(2011, 13, 1, 0, 0, 0).is_none());
+        assert!(SimTime::from_ymd_hms(2011, 1, 0, 0, 0, 0).is_none());
+        assert!(SimTime::from_ymd_hms(2011, 4, 31, 0, 0, 0).is_none());
+        assert!(SimTime::from_ymd_hms(2011, 1, 1, 24, 0, 0).is_none());
+        assert!(SimTime::from_ymd_hms(2011, 1, 1, 0, 60, 0).is_none());
+        assert!(SimTime::from_ymd_hms(2010, 12, 31, 23, 59, 59).is_none());
+    }
+
+    #[test]
+    fn sev_timestamps_from_the_paper() {
+        // "The incident occurred on August 17, 2017 at 11:52 am PDT" ->
+        // we just check the UTC-ish civil conversion is coherent.
+        let t = SimTime::from_ymd_hms(2017, 8, 17, 18, 52, 0).unwrap();
+        assert_eq!(t.year(), 2017);
+        let r = SimTime::from_ymd_hms(2017, 8, 22, 18, 51, 0).unwrap();
+        let dur = r - t;
+        assert!((dur.as_days() - 4.999305555).abs() < 1e-6);
+    }
+
+    #[test]
+    fn duration_arithmetic_and_display() {
+        let d = SimDuration::from_days(3) + SimDuration::from_hours(4);
+        assert_eq!(d.as_secs(), 3 * 86_400 + 4 * 3_600);
+        assert_eq!(format!("{d}"), "3d04h00m00s");
+        assert_eq!(format!("{}", SimDuration::from_secs(30)), "30s");
+        assert_eq!(format!("{}", SimDuration::from_minutes(4)), "4m00s");
+        assert_eq!(format!("{}", SimDuration::from_hours(2)), "2h00m00s");
+    }
+
+    #[test]
+    fn duration_from_f64_clamps() {
+        assert_eq!(SimDuration::from_hours_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_hours_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_hours_f64(1.0).as_secs(), 3_600);
+        assert_eq!(SimDuration::from_hours_f64(0.5).as_secs(), 1_800);
+    }
+
+    #[test]
+    fn time_subtraction_saturates() {
+        let a = SimTime::from_secs(100);
+        let b = SimTime::from_secs(40);
+        assert_eq!((a - b).as_secs(), 60);
+        assert_eq!((b - a).as_secs(), 0);
+    }
+
+    #[test]
+    fn intra_dc_window() {
+        let w = StudyCalendar::intra_dc();
+        assert_eq!(w.years(), 2011..=2017);
+        // Seven years: 2011..2018 = 2557 days (2012 and 2016 are leap).
+        assert!((w.duration().as_days() - 2557.0).abs() < 1e-9);
+        assert!(w.contains(SimTime::from_date(2014, 6, 1).unwrap()));
+        assert!(!w.contains(SimTime::from_date(2018, 1, 1).unwrap()));
+    }
+
+    #[test]
+    fn backbone_window_is_eighteen_months() {
+        let w = StudyCalendar::backbone();
+        // Oct 2016 .. Apr 2018 = 92 + 365 + 90 = 547 days (~18 months).
+        assert!((w.duration().as_days() - 547.0).abs() < 1e-9);
+        assert_eq!(w.years(), 2016..=2018);
+        assert!((w.hours() - 547.0 * 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_hours_clamps() {
+        let w = StudyCalendar::year(2017);
+        assert_eq!(w.offset_hours(SimTime::from_date(2016, 1, 1).unwrap()), 0.0);
+        let mid = SimTime::from_date(2017, 1, 2).unwrap();
+        assert!((w.offset_hours(mid) - 24.0).abs() < 1e-9);
+        assert!((w.offset_hours(SimTime::from_date(2019, 1, 1).unwrap()) - 8760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn year_window_hours() {
+        assert!((StudyCalendar::year(2017).hours() - 8760.0).abs() < 1e-9);
+        assert!((StudyCalendar::year(2016).hours() - 8784.0).abs() < 1e-9); // leap
+    }
+}

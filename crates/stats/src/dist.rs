@@ -1,0 +1,364 @@
+//! Random samplers for the failure generators.
+//!
+//! All stochastic behaviour in `dcnr` is driven through these samplers so
+//! that the simulator only ever draws from a seeded [`rand::Rng`] —
+//! keeping runs byte-for-byte reproducible. The set matches what the
+//! failure modelling needs:
+//!
+//! * [`Exponential`] — inter-failure times of Poisson failure processes
+//!   (the paper finds time-to-failure "closely follows exponential
+//!   functions", §6).
+//! * [`Weibull`] — hardware wear-out hazards with shape ≠ 1 (used for
+//!   ablations on the memorylessness assumption).
+//! * [`LogNormal`] — repair / resolution durations, which are
+//!   multiplicative and heavy-tailed (p75IRT analysis, §5.6).
+//! * [`Categorical`] — discrete mixes: root causes (Table 2), remediation
+//!   actions (§4.1.3), severity levels (Fig. 4).
+
+use rand::Rng;
+
+/// A distribution from which `f64` samples can be drawn.
+pub trait Sampler {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The distribution's mean.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with the given mean (`1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with mean `mean > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite; a zero or
+    /// negative mean would make the generated event stream meaningless,
+    /// so this is a programming error, not a recoverable condition.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be positive, got {mean}");
+        Self { mean }
+    }
+
+    /// Quantile function (inverse CDF) at `q ∈ [0, 1)`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..1.0).contains(&q), "quantile requires q in [0,1), got {q}");
+        -self.mean * (1.0 - q).ln()
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-transform sampling; gen::<f64>() is in [0, 1), so
+        // 1 - u is in (0, 1] and ln() is finite.
+        let u: f64 = rng.gen();
+        -self.mean * (1.0 - u).ln()
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Weibull distribution with scale `λ` and shape `k`.
+///
+/// `k = 1` degenerates to the exponential; `k > 1` models wear-out
+/// (increasing hazard), `k < 1` infant mortality (decreasing hazard).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` or `shape` are not strictly positive and finite.
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "weibull scale must be positive");
+        assert!(shape > 0.0 && shape.is_finite(), "weibull shape must be positive");
+        Self { scale, shape }
+    }
+
+    /// Scale parameter `λ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+}
+
+impl Sampler for Weibull {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        self.scale * (-(1.0 - u).ln()).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal's
+/// `mu` and `sigma` (i.e. `exp(N(mu, sigma²))`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or either parameter is non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "lognormal mu must be finite");
+        assert!(sigma >= 0.0 && sigma.is_finite(), "lognormal sigma must be non-negative");
+        Self { mu, sigma }
+    }
+
+    /// Creates a log-normal with the given *distribution* mean and a
+    /// multiplicative spread `sigma` of the underlying normal. This is
+    /// the convenient form for "repairs take about `m` hours, give or
+    /// take a factor of `e^sigma`".
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "lognormal mean must be positive");
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        Self::new(mu, sigma)
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Categorical distribution over `0..n` with explicit weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds a categorical distribution from non-negative weights.
+    /// Weights need not sum to one; they are normalized.
+    ///
+    /// Returns `None` if `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Some(Self { cumulative })
+    }
+
+    /// Draws an index in `0..len`.
+    pub fn sample_index<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point finds the first cumulative weight > u.
+        self.cumulative
+            .partition_point(|&c| c <= u)
+            .min(self.cumulative.len() - 1)
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether there are no categories (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Probability of category `i`.
+    pub fn probability(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        self.cumulative[i] - prev
+    }
+}
+
+/// Standard normal via Box–Muller (polar form avoided for determinism of
+/// exactly two uniforms per sample).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lanczos approximation of the gamma function, sufficient for Weibull
+/// means (relative error < 1e-10 over the parameter ranges we use).
+fn gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9 (Lanczos).
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDC_2018)
+    }
+
+    fn sample_mean<S: Sampler>(s: &S, n: usize) -> f64 {
+        let mut r = rng();
+        (0..n).map(|_| s.sample(&mut r)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(1710.0);
+        let m = sample_mean(&d, 200_000);
+        assert!((m - 1710.0).abs() / 1710.0 < 0.02, "mean = {m}");
+    }
+
+    #[test]
+    fn exponential_quantile() {
+        let d = Exponential::new(2.0);
+        assert_eq!(d.quantile(0.0), 0.0);
+        // median = mean * ln 2
+        assert!((d.quantile(0.5) - 2.0 * std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        let w = Weibull::new(5.0, 1.0);
+        assert!((w.mean() - 5.0).abs() < 1e-9);
+        let m = sample_mean(&w, 200_000);
+        assert!((m - 5.0).abs() / 5.0 < 0.02, "mean = {m}");
+    }
+
+    #[test]
+    fn weibull_mean_shape_two() {
+        // mean = λ·Γ(1.5) = λ·(√π)/2
+        let w = Weibull::new(2.0, 2.0);
+        let expected = 2.0 * (std::f64::consts::PI).sqrt() / 2.0;
+        assert!((w.mean() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lognormal_with_mean_has_that_mean() {
+        let d = LogNormal::with_mean(10.0, 1.2);
+        assert!((d.mean() - 10.0).abs() < 1e-9);
+        let m = sample_mean(&d, 400_000);
+        assert!((m - 10.0).abs() / 10.0 < 0.05, "mean = {m}");
+    }
+
+    #[test]
+    fn lognormal_samples_positive() {
+        let d = LogNormal::with_mean(3.0, 2.0);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) > 0.0);
+        }
+    }
+
+    #[test]
+    fn categorical_normalizes_and_covers() {
+        let c = Categorical::new(&[17.0, 13.0, 13.0, 12.0, 10.0, 5.0, 29.0]).unwrap();
+        assert_eq!(c.len(), 7);
+        let total: f64 = (0..7).map(|i| c.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((c.probability(0) - 0.1717).abs() < 1e-3);
+    }
+
+    #[test]
+    fn categorical_empirical_frequencies() {
+        let c = Categorical::new(&[0.5, 0.3, 0.2]).unwrap();
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[c.sample_index(&mut r)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.5).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_none());
+        assert!(Categorical::new(&[0.0, 0.0]).is_none());
+        assert!(Categorical::new(&[1.0, -0.5]).is_none());
+        assert!(Categorical::new(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_sampled() {
+        let c = Categorical::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert_ne!(c.sample_index(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(3.0) - 2.0).abs() < 1e-10);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+}

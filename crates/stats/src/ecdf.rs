@@ -1,0 +1,163 @@
+//! Empirical distributions and percentile curves.
+//!
+//! Figures 15–18 of the paper plot a reliability statistic (MTBF or MTTR)
+//! "as a function of the percentage of edges/vendors with that value or
+//! lower" — i.e. the inverse empirical CDF, sampled at each observation.
+//! [`QuantileCurve`] produces exactly that series of `(percentile, value)`
+//! points, which is then handed to [`crate::expfit::fit_exponential`] to
+//! recover the paper's `a·e^{b·p}` models.
+
+/// Empirical cumulative distribution function over a finite sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF. Returns `None` for empty or non-finite input.
+    pub fn new(data: &[f64]) -> Option<Self> {
+        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Some(Self { sorted })
+    }
+
+    /// `P(X <= x)`: fraction of observations at or below `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when we
+        // partition on `v <= x`.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse ECDF: the smallest observation `v` such that at least a
+    /// `q` fraction (`0.0..=1.0`, clamped) of the sample is `<= v`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true: construction rejects it).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sorted observations.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// A percentile curve: the `(p, value)` series plotted in Figs. 15–18.
+///
+/// Each observation `i` (0-based, sorted ascending) is plotted at
+/// percentile `p_i = (i + 1) / n`, matching "the percentage of
+/// edges with that MTBF or lower" when the i-th edge is included.
+#[derive(Debug, Clone)]
+pub struct QuantileCurve {
+    points: Vec<(f64, f64)>,
+}
+
+impl QuantileCurve {
+    /// Builds the percentile curve from raw per-entity statistics (e.g.
+    /// one MTBF per edge). Returns `None` for empty or non-finite input.
+    pub fn new(data: &[f64]) -> Option<Self> {
+        let ecdf = Ecdf::new(data)?;
+        let n = ecdf.len() as f64;
+        let points = ecdf
+            .sorted()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i as f64 + 1.0) / n, v))
+            .collect();
+        Some(Self { points })
+    }
+
+    /// The `(percentile, value)` points, percentile in `(0, 1]`.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Percentile coordinates only.
+    pub fn percentiles(&self) -> Vec<f64> {
+        self.points.iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Value coordinates only.
+    pub fn values(&self) -> Vec<f64> {
+        self.points.iter().map(|&(_, v)| v).collect()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve has no points (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_eval_basic() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.26), 20.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn ecdf_rejects_bad_input() {
+        assert!(Ecdf::new(&[]).is_none());
+        assert!(Ecdf::new(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn quantile_curve_points() {
+        let q = QuantileCurve::new(&[30.0, 10.0, 20.0]).unwrap();
+        let pts = q.points();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].0 - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pts[0].1, 10.0);
+        assert!((pts[2].0 - 1.0).abs() < 1e-12);
+        assert_eq!(pts[2].1, 30.0);
+    }
+
+    #[test]
+    fn quantile_curve_monotone() {
+        let q = QuantileCurve::new(&[5.0, 1.0, 4.0, 4.0, 2.0]).unwrap();
+        let vals = q.values();
+        assert!(vals.windows(2).all(|w| w[0] <= w[1]));
+        let ps = q.percentiles();
+        assert!(ps.windows(2).all(|w| w[0] < w[1]));
+    }
+}

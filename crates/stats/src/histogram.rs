@@ -1,0 +1,203 @@
+//! Fixed-bin and logarithmic histograms.
+//!
+//! Several of the paper's figures are drawn on logarithmic axes spanning
+//! many decades (Fig. 3: incident rates from 1e-5 to 1e+1; Fig. 12: MTBI
+//! from 1e+3 to 1e+8 device-hours). [`LogHistogram`] buckets observations
+//! per decade (or finer) so report rendering can show the same dynamic
+//! range; [`Histogram`] covers the linear-axis cases.
+
+/// A linear-bin histogram over `[lo, hi)` with `bins` equal-width buckets.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations below `lo`.
+    pub underflow: u64,
+    /// Observations at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo`, either bound is non-finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid histogram range");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation. Non-finite values are counted as overflow
+    /// rather than dropped, so totals always reconcile.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() || x >= self.hi {
+            self.overflow += 1;
+        } else if x < self.lo {
+            self.underflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+}
+
+/// A base-10 logarithmic histogram: bucket `i` covers
+/// `[10^(min_exp + i/per_decade), 10^(min_exp + (i+1)/per_decade))`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    min_exp: i32,
+    max_exp: i32,
+    per_decade: usize,
+    counts: Vec<u64>,
+    /// Observations below the range, or non-positive.
+    pub underflow: u64,
+    /// Observations at or above the range, or non-finite.
+    pub overflow: u64,
+}
+
+impl LogHistogram {
+    /// Creates an empty log histogram covering `10^min_exp .. 10^max_exp`
+    /// with `per_decade` buckets in each decade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_exp <= min_exp` or `per_decade == 0`.
+    pub fn new(min_exp: i32, max_exp: i32, per_decade: usize) -> Self {
+        assert!(max_exp > min_exp, "log histogram needs a positive decade span");
+        assert!(per_decade > 0, "per_decade must be at least 1");
+        let bins = (max_exp - min_exp) as usize * per_decade;
+        Self { min_exp, max_exp, per_decade, counts: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Records one observation. Non-positive values go to underflow,
+    /// non-finite to overflow.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            self.overflow += 1;
+            return;
+        }
+        if x <= 0.0 {
+            self.underflow += 1;
+            return;
+        }
+        let pos = (x.log10() - self.min_exp as f64) * self.per_decade as f64;
+        if pos < 0.0 {
+            self.underflow += 1;
+        } else if pos >= self.counts.len() as f64 {
+            self.overflow += 1;
+        } else {
+            self.counts[pos as usize] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total recorded observations including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` value range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let step = 1.0 / self.per_decade as f64;
+        let lo_exp = self.min_exp as f64 + step * i as f64;
+        (10f64.powf(lo_exp), 10f64.powf(lo_exp + step))
+    }
+
+    /// The exponent bounds `(min_exp, max_exp)`.
+    pub fn exponent_range(&self) -> (i32, i32) {
+        (self.min_exp, self.max_exp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 9.99, -1.0, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+    }
+
+    #[test]
+    fn linear_nan_goes_to_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(f64::NAN);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn linear_rejects_bad_range() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn log_binning_decades() {
+        // Fig. 3's axis: 1e-5 .. 1e+1, one bucket per decade.
+        let mut h = LogHistogram::new(-5, 1, 1);
+        h.record(3e-5); // decade [-5, -4)
+        h.record(0.5); // decade [-1, 0)
+        h.record(5.0); // decade [0, 1)
+        h.record(1e-9); // underflow
+        h.record(100.0); // overflow
+        h.record(0.0); // non-positive -> underflow
+        assert_eq!(h.counts().len(), 6);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.underflow, 2);
+        assert_eq!(h.overflow, 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn log_bin_range() {
+        let h = LogHistogram::new(0, 2, 2);
+        let (lo, hi) = h.bin_range(1);
+        assert!((lo - 10f64.powf(0.5)).abs() < 1e-9);
+        assert!((hi - 10.0).abs() < 1e-9);
+        assert_eq!(h.exponent_range(), (0, 2));
+    }
+
+    #[test]
+    fn log_boundary_values() {
+        let mut h = LogHistogram::new(0, 1, 1);
+        h.record(1.0); // exactly 10^0 -> first bin
+        h.record(10.0); // exactly 10^1 -> overflow
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.overflow, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Kaplan–Meier survival estimation for right-censored data.
+//!
+//! The backbone study's observation window truncates time-to-failure
+//! observations: an edge that never failed contributes a *censored*
+//! uptime, not a failure interval. Naive per-entity MTBF estimates from
+//! one or two events are biased toward the window length (which is why
+//! [`crate::renewal`]-based distributions exclude single-failure
+//! entities). The Kaplan–Meier estimator uses censored observations
+//! properly: every at-risk interval contributes to the survival curve
+//! whether or not it ended in a failure.
+//!
+//! `dcnr` uses this to cross-check the Fig. 15 exponential models: the
+//! KM median of pooled edge uptimes should agree with the per-edge MTBF
+//! median within sampling noise.
+
+/// One observation: a duration and whether it ended in the event
+/// (`true`) or was right-censored (`false`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Observed duration (hours, in this codebase's conventions).
+    pub duration: f64,
+    /// `true` if the event (failure) occurred at `duration`; `false` if
+    /// observation stopped there (censoring).
+    pub event: bool,
+}
+
+/// The Kaplan–Meier product-limit estimator.
+#[derive(Debug, Clone)]
+pub struct KaplanMeier {
+    /// `(time, survival probability just after time)` step points, at
+    /// event times only, in increasing time order.
+    steps: Vec<(f64, f64)>,
+    n: usize,
+    events: usize,
+}
+
+impl KaplanMeier {
+    /// Fits the estimator. Returns `None` if `data` is empty or contains
+    /// non-finite or negative durations.
+    pub fn fit(data: &[Observation]) -> Option<Self> {
+        if data.is_empty()
+            || data.iter().any(|o| !o.duration.is_finite() || o.duration < 0.0)
+        {
+            return None;
+        }
+        let mut sorted: Vec<Observation> = data.to_vec();
+        // Sort by time; at equal times, events before censorings (the
+        // standard convention: a censored subject at time t was at risk
+        // for the event at t).
+        sorted.sort_by(|a, b| {
+            a.duration
+                .partial_cmp(&b.duration)
+                .expect("finite")
+                .then_with(|| b.event.cmp(&a.event))
+        });
+
+        let n = sorted.len();
+        let mut at_risk = n as f64;
+        let mut survival = 1.0;
+        let mut steps = Vec::new();
+        let mut events = 0usize;
+        let mut i = 0;
+        while i < n {
+            let t = sorted[i].duration;
+            let mut d = 0.0; // events at t
+            let mut c = 0.0; // censorings at t
+            while i < n && sorted[i].duration == t {
+                if sorted[i].event {
+                    d += 1.0;
+                    events += 1;
+                } else {
+                    c += 1.0;
+                }
+                i += 1;
+            }
+            if d > 0.0 {
+                survival *= 1.0 - d / at_risk;
+                steps.push((t, survival));
+            }
+            at_risk -= d + c;
+        }
+        Some(Self { steps, n, events })
+    }
+
+    /// Number of observations.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of uncensored events.
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// The survival probability `S(t)`: probability of surviving past
+    /// `t`. A right-continuous step function starting at 1.
+    pub fn survival_at(&self, t: f64) -> f64 {
+        let idx = self.steps.partition_point(|&(st, _)| st <= t);
+        if idx == 0 {
+            1.0
+        } else {
+            self.steps[idx - 1].1
+        }
+    }
+
+    /// The step points `(event time, survival)`.
+    pub fn steps(&self) -> &[(f64, f64)] {
+        &self.steps
+    }
+
+    /// Median survival time: the earliest event time where `S(t) ≤ 0.5`,
+    /// or `None` if the curve never drops that far (heavy censoring).
+    pub fn median(&self) -> Option<f64> {
+        self.steps.iter().find(|&&(_, s)| s <= 0.5).map(|&(t, _)| t)
+    }
+
+    /// Restricted mean survival time up to `horizon`: the area under
+    /// `S(t)` on `[0, horizon]` — a well-defined mean even under
+    /// censoring.
+    pub fn restricted_mean(&self, horizon: f64) -> f64 {
+        let mut area = 0.0;
+        let mut prev_t = 0.0;
+        let mut prev_s = 1.0;
+        for &(t, s) in &self.steps {
+            if t >= horizon {
+                break;
+            }
+            area += prev_s * (t - prev_t);
+            prev_t = t;
+            prev_s = s;
+        }
+        area + prev_s * (horizon - prev_t).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(duration: f64, event: bool) -> Observation {
+        Observation { duration, event }
+    }
+
+    #[test]
+    fn no_censoring_matches_empirical_survival() {
+        let data: Vec<Observation> = [1.0, 2.0, 3.0, 4.0].iter().map(|&d| obs(d, true)).collect();
+        let km = KaplanMeier::fit(&data).unwrap();
+        assert_eq!(km.survival_at(0.5), 1.0);
+        assert!((km.survival_at(1.0) - 0.75).abs() < 1e-12);
+        assert!((km.survival_at(2.5) - 0.5).abs() < 1e-12);
+        assert!((km.survival_at(4.0) - 0.0).abs() < 1e-12);
+        assert_eq!(km.median(), Some(2.0));
+        assert_eq!(km.events(), 4);
+    }
+
+    #[test]
+    fn textbook_censored_example() {
+        // Events at 1 and 3; censored at 2 and 4.
+        let data = [obs(1.0, true), obs(2.0, false), obs(3.0, true), obs(4.0, false)];
+        let km = KaplanMeier::fit(&data).unwrap();
+        // S(1) = 3/4; at t=3, at-risk = 2 -> S = 3/4 * 1/2 = 3/8.
+        assert!((km.survival_at(1.5) - 0.75).abs() < 1e-12);
+        assert!((km.survival_at(3.5) - 0.375).abs() < 1e-12);
+        assert_eq!(km.median(), Some(3.0));
+    }
+
+    #[test]
+    fn all_censored_curve_stays_at_one() {
+        let data = [obs(5.0, false), obs(9.0, false)];
+        let km = KaplanMeier::fit(&data).unwrap();
+        assert_eq!(km.survival_at(100.0), 1.0);
+        assert_eq!(km.median(), None);
+        assert_eq!(km.events(), 0);
+        // Restricted mean equals the horizon when nothing ever fails.
+        assert!((km.restricted_mean(50.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn censoring_raises_survival_vs_treating_as_events() {
+        let censored = [obs(1.0, true), obs(2.0, false), obs(3.0, true)];
+        let as_events = [obs(1.0, true), obs(2.0, true), obs(3.0, true)];
+        let km_c = KaplanMeier::fit(&censored).unwrap();
+        let km_e = KaplanMeier::fit(&as_events).unwrap();
+        assert!(km_c.survival_at(2.5) > km_e.survival_at(2.5));
+    }
+
+    #[test]
+    fn restricted_mean_of_exponential_sample_approximates_mean() {
+        // Deterministic exponential-ish grid: quantiles of Exp(100).
+        let data: Vec<Observation> = (1..100)
+            .map(|i| {
+                let q = i as f64 / 100.0;
+                obs(-100.0 * (1.0 - q).ln(), true)
+            })
+            .collect();
+        let km = KaplanMeier::fit(&data).unwrap();
+        let rm = km.restricted_mean(10_000.0);
+        assert!((rm - 100.0).abs() < 10.0, "restricted mean {rm}");
+        let med = km.median().unwrap();
+        assert!((med - 100.0 * std::f64::consts::LN_2).abs() < 3.0, "median {med}");
+    }
+
+    #[test]
+    fn ties_events_before_censorings() {
+        // A censored subject at t was at risk for the event at t.
+        let data = [obs(2.0, true), obs(2.0, false), obs(2.0, true), obs(5.0, true)];
+        let km = KaplanMeier::fit(&data).unwrap();
+        // At t=2: 4 at risk, 2 events -> S = 0.5; censoring does not
+        // change the denominator for those events.
+        assert!((km.survival_at(2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(KaplanMeier::fit(&[]).is_none());
+        assert!(KaplanMeier::fit(&[obs(-1.0, true)]).is_none());
+        assert!(KaplanMeier::fit(&[obs(f64::NAN, true)]).is_none());
+    }
+
+    #[test]
+    fn survival_is_monotone_nonincreasing() {
+        let data: Vec<Observation> =
+            (0..50).map(|i| obs((i * 7 % 23) as f64 + 1.0, i % 3 != 0)).collect();
+        let km = KaplanMeier::fit(&data).unwrap();
+        let mut last = 1.0;
+        for &(_, s) in km.steps() {
+            assert!(s <= last + 1e-12);
+            assert!((0.0..=1.0).contains(&s));
+            last = s;
+        }
+    }
+}

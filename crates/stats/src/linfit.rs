@@ -1,0 +1,131 @@
+//! Ordinary least-squares linear regression and Pearson correlation.
+//!
+//! Used directly for Fig. 6 (normalized switch count vs. employees — the
+//! paper concludes "switches grew in proportion to employees") and Fig. 14
+//! (p75 incident resolution time vs. normalized fleet size — "a positive
+//! correlation between p75IRT and number of switches"), and indirectly as
+//! the solver inside [`crate::expfit`].
+
+/// A fitted line `y = slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+}
+
+impl LinFit {
+    /// Evaluates the fitted line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits a line by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given, when any
+/// coordinate is non-finite, or when all `x` coincide.
+pub fn fit_linear(points: &[(f64, f64)]) -> Option<LinFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|&(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|&(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Some(LinFit { slope, intercept, r2 })
+}
+
+/// Pearson product-moment correlation coefficient `r ∈ [-1, 1]`.
+///
+/// Returns `None` for fewer than two points, non-finite input, or zero
+/// variance in either coordinate.
+pub fn pearson_correlation(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 {
+        return None;
+    }
+    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+        return None;
+    }
+    let n = points.len() as f64;
+    let mean_x = points.iter().map(|&(x, _)| x).sum::<f64>() / n;
+    let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|&(x, _)| (x - mean_x) * (x - mean_x)).sum();
+    let syy: f64 = points.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let sxy: f64 = points.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx.sqrt() * syy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 + 1.0)).collect();
+        let fit = fit_linear(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r2 - 1.0).abs() < 1e-12);
+        assert!((fit.eval(20.0) - 61.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert!(fit_linear(&[]).is_none());
+        assert!(fit_linear(&[(1.0, 1.0)]).is_none());
+        assert!(fit_linear(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+        assert!(fit_linear(&[(1.0, f64::NAN), (2.0, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let up: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let down: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, -2.0 * i as f64)).collect();
+        assert!((pearson_correlation(&up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_zero_variance_none() {
+        assert!(pearson_correlation(&[(1.0, 2.0), (2.0, 2.0)]).is_none());
+        assert!(pearson_correlation(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn noisy_positive_correlation() {
+        // y = x with deterministic ± perturbation stays strongly correlated.
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                (x, x + if i % 2 == 0 { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let r = pearson_correlation(&pts).unwrap();
+        assert!(r > 0.99, "r = {r}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Renewal-process estimators: MTBF/MTTR from up/down interval logs.
+//!
+//! The backbone study (§6) measures, per edge and per fiber vendor, the
+//! mean time between failures and mean time to recovery from repair
+//! tickets. A ticket stream for one entity is an alternating sequence of
+//! *up* intervals (working) and *down* intervals (being repaired).
+//! [`RenewalLog`] accumulates failure/recovery timestamps for one entity
+//! and produces a [`RenewalEstimate`].
+//!
+//! Two measurement subtleties that the estimators handle explicitly:
+//!
+//! * **Right censoring.** At the end of the observation window most
+//!   entities are up; the trailing (incomplete) up interval is *not* an
+//!   observed time-between-failures. MTBF uses the standard
+//!   operating-time / failure-count estimator, which accounts for the
+//!   censored tail without treating it as a full interval.
+//! * **Window clipping.** Failures in flight at the window edges yield
+//!   partial down intervals; they count toward downtime but a repair that
+//!   never completes within the window is excluded from MTTR (its true
+//!   duration is unknown).
+
+/// Timestamped up/down history of a single monitored entity, in hours
+/// relative to the observation window start.
+#[derive(Debug, Clone)]
+pub struct RenewalLog {
+    window_hours: f64,
+    /// (fail_time, recover_time) pairs; `recover_time` is `None` while the
+    /// failure is still open.
+    outages: Vec<(f64, Option<f64>)>,
+}
+
+impl RenewalLog {
+    /// Creates an empty log for an observation window of `window_hours`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not strictly positive and finite.
+    pub fn new(window_hours: f64) -> Self {
+        assert!(
+            window_hours > 0.0 && window_hours.is_finite(),
+            "observation window must be positive"
+        );
+        Self { window_hours, outages: Vec::new() }
+    }
+
+    /// Records a failure at time `t` (hours into the window).
+    ///
+    /// Returns `false` (and ignores the event) if `t` is outside the
+    /// window, non-finite, not after the previous event, or if a failure
+    /// is already open — a real ticket stream can contain duplicates and
+    /// the analysis must be robust to them, mirroring the paper's
+    /// automated e-mail parsing pipeline.
+    pub fn record_failure(&mut self, t: f64) -> bool {
+        if !t.is_finite() || t < 0.0 || t > self.window_hours {
+            return false;
+        }
+        if let Some(&(fail, recover)) = self.outages.last() {
+            match recover {
+                None => return false, // already down
+                Some(r) if t < r || t < fail => return false,
+                _ => {}
+            }
+        }
+        self.outages.push((t, None));
+        true
+    }
+
+    /// Records a recovery at time `t`. Returns `false` if no failure is
+    /// open or `t` precedes the open failure or lies outside the window.
+    pub fn record_recovery(&mut self, t: f64) -> bool {
+        if !t.is_finite() || t < 0.0 || t > self.window_hours {
+            return false;
+        }
+        match self.outages.last_mut() {
+            Some((fail, recover @ None)) if t >= *fail => {
+                *recover = Some(t);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of failures observed.
+    pub fn failures(&self) -> usize {
+        self.outages.len()
+    }
+
+    /// Whether the entity is down at the end of the window.
+    pub fn ends_down(&self) -> bool {
+        matches!(self.outages.last(), Some((_, None)))
+    }
+
+    /// Total downtime within the window, clipping an open trailing outage
+    /// at the window end.
+    pub fn downtime(&self) -> f64 {
+        self.outages
+            .iter()
+            .map(|&(fail, recover)| recover.unwrap_or(self.window_hours) - fail)
+            .sum()
+    }
+
+    /// Total uptime within the window.
+    pub fn uptime(&self) -> f64 {
+        self.window_hours - self.downtime()
+    }
+
+    /// Up-interval observations for survival analysis:
+    /// `(duration, ended_in_failure)` per up interval, with the trailing
+    /// interval right-censored at the window end when the entity is
+    /// still up. Feed these to [`crate::kaplan::KaplanMeier`] for a
+    /// censoring-aware time-to-failure distribution.
+    pub fn up_observations(&self) -> Vec<(f64, bool)> {
+        let mut out = Vec::new();
+        let mut cursor = 0.0;
+        for &(fail, recover) in &self.outages {
+            out.push((fail - cursor, true));
+            match recover {
+                Some(r) => cursor = r,
+                None => return out, // down at window end: no trailing up interval
+            }
+        }
+        if cursor < self.window_hours {
+            out.push((self.window_hours - cursor, false));
+        }
+        out
+    }
+
+    /// Produces the MTBF/MTTR estimate, or `None` if no failure was
+    /// observed (an entity that never failed contributes no MTBF sample;
+    /// the paper's per-entity curves only include entities with failures).
+    pub fn estimate(&self) -> Option<RenewalEstimate> {
+        if self.outages.is_empty() {
+            return None;
+        }
+        let mtbf = self.uptime() / self.outages.len() as f64;
+        let repairs: Vec<f64> = self
+            .outages
+            .iter()
+            .filter_map(|&(fail, recover)| recover.map(|r| r - fail))
+            .collect();
+        let mttr = if repairs.is_empty() {
+            None
+        } else {
+            Some(repairs.iter().sum::<f64>() / repairs.len() as f64)
+        };
+        Some(RenewalEstimate {
+            mtbf,
+            mttr,
+            failures: self.outages.len(),
+            completed_repairs: repairs.len(),
+            availability: self.uptime() / self.window_hours,
+        })
+    }
+}
+
+/// MTBF/MTTR estimate for one entity over one observation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenewalEstimate {
+    /// Mean operating hours between failures (uptime / failure count).
+    pub mtbf: f64,
+    /// Mean hours to recovery over *completed* repairs; `None` when every
+    /// observed failure is still open at the window end.
+    pub mttr: Option<f64>,
+    /// Number of failures observed.
+    pub failures: usize,
+    /// Number of repairs that completed within the window.
+    pub completed_repairs: usize,
+    /// Fraction of the window the entity was up.
+    pub availability: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_failures_no_estimate() {
+        let log = RenewalLog::new(100.0);
+        assert!(log.estimate().is_none());
+        assert_eq!(log.uptime(), 100.0);
+    }
+
+    #[test]
+    fn single_outage() {
+        let mut log = RenewalLog::new(100.0);
+        assert!(log.record_failure(40.0));
+        assert!(log.record_recovery(50.0));
+        let e = log.estimate().unwrap();
+        assert_eq!(e.failures, 1);
+        assert_eq!(e.completed_repairs, 1);
+        assert!((e.mtbf - 90.0).abs() < 1e-12);
+        assert_eq!(e.mttr, Some(10.0));
+        assert!((e.availability - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_trailing_outage_clips_at_window() {
+        let mut log = RenewalLog::new(100.0);
+        log.record_failure(90.0);
+        assert!(log.ends_down());
+        let e = log.estimate().unwrap();
+        // 90 h of uptime / 1 failure.
+        assert!((e.mtbf - 90.0).abs() < 1e-12);
+        // The open repair contributes no MTTR sample.
+        assert_eq!(e.mttr, None);
+        assert_eq!(e.completed_repairs, 0);
+        assert!((log.downtime() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_outages() {
+        let mut log = RenewalLog::new(1000.0);
+        for (f, r) in [(100.0, 110.0), (400.0, 430.0), (800.0, 820.0)] {
+            assert!(log.record_failure(f));
+            assert!(log.record_recovery(r));
+        }
+        let e = log.estimate().unwrap();
+        assert_eq!(e.failures, 3);
+        // uptime = 1000 - 60 = 940; MTBF = 940/3.
+        assert!((e.mtbf - 940.0 / 3.0).abs() < 1e-9);
+        assert!((e.mttr.unwrap() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_duplicate_events() {
+        let mut log = RenewalLog::new(100.0);
+        assert!(log.record_failure(50.0));
+        assert!(!log.record_failure(60.0)); // already down
+        assert!(!log.record_recovery(40.0)); // before the failure
+        assert!(log.record_recovery(55.0));
+        assert!(!log.record_recovery(56.0)); // nothing open
+        assert!(!log.record_failure(10.0)); // goes backwards
+        assert!(log.record_failure(70.0));
+        assert_eq!(log.failures(), 2);
+    }
+
+    #[test]
+    fn rejects_outside_window() {
+        let mut log = RenewalLog::new(100.0);
+        assert!(!log.record_failure(-1.0));
+        assert!(!log.record_failure(101.0));
+        assert!(!log.record_failure(f64::NAN));
+        assert_eq!(log.failures(), 0);
+    }
+
+    #[test]
+    fn zero_length_repair_allowed() {
+        // A repair ticket can open and close in the same reporting
+        // granule; MTTR sample is 0 h, not an error.
+        let mut log = RenewalLog::new(10.0);
+        assert!(log.record_failure(5.0));
+        assert!(log.record_recovery(5.0));
+        assert_eq!(log.estimate().unwrap().mttr, Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = RenewalLog::new(0.0);
+    }
+
+    #[test]
+    fn up_observations_with_censored_tail() {
+        let mut log = RenewalLog::new(100.0);
+        log.record_failure(30.0);
+        log.record_recovery(40.0);
+        log.record_failure(70.0);
+        log.record_recovery(75.0);
+        let obs = log.up_observations();
+        assert_eq!(obs, vec![(30.0, true), (30.0, true), (25.0, false)]);
+    }
+
+    #[test]
+    fn up_observations_ending_down_has_no_censored_tail() {
+        let mut log = RenewalLog::new(100.0);
+        log.record_failure(60.0);
+        let obs = log.up_observations();
+        assert_eq!(obs, vec![(60.0, true)]);
+    }
+
+    #[test]
+    fn up_observations_no_failures_is_one_censored_interval() {
+        let log = RenewalLog::new(100.0);
+        assert_eq!(log.up_observations(), vec![(100.0, false)]);
+    }
+}

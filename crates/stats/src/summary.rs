@@ -1,0 +1,213 @@
+//! Descriptive summary statistics.
+//!
+//! The paper reports means, standard deviations, percentiles, and extrema
+//! for edge and vendor MTBF/MTTR (§6.1–§6.3) and percentile resolution
+//! times for SEVs (§5.6). [`Summary`] computes all of them in one pass over
+//! a sample plus an `O(n log n)` sort for the order statistics.
+
+/// One-shot descriptive statistics over a sample of `f64` observations.
+///
+/// Construction sorts a copy of the data; all accessors are then `O(1)`
+/// except [`Summary::percentile`], which is `O(1)` as well (index
+/// arithmetic on the sorted copy).
+///
+/// # Examples
+///
+/// ```
+/// use dcnr_stats::Summary;
+/// let s = Summary::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean(), 2.5);
+/// assert_eq!(s.min(), 1.0);
+/// assert_eq!(s.max(), 4.0);
+/// assert_eq!(s.median(), 2.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    variance: f64,
+}
+
+impl Summary {
+    /// Builds a summary of `data`. Returns `None` if `data` is empty or
+    /// contains a non-finite value (NaN/inf would silently poison every
+    /// statistic, so they are rejected up front).
+    pub fn new(data: &[f64]) -> Option<Self> {
+        if data.is_empty() || data.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        // Population variance; the paper's σ values are descriptive, not
+        // inferential, so we do not apply Bessel's correction.
+        let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        Some(Self { sorted, mean, variance })
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean * self.sorted.len() as f64
+    }
+
+    /// The `p`-th percentile (`0.0 ..= 100.0`) using linear interpolation
+    /// between closest ranks (the "exclusive" definition used by most
+    /// spreadsheet software clamps differently; we use the common
+    /// `(n-1)·p/100` rank convention).
+    ///
+    /// `p` outside `[0, 100]` is clamped.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 100.0);
+        let n = self.sorted.len();
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let rank = (n - 1) as f64 * p / 100.0;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// The median (50th percentile).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// The 75th percentile — the paper's `p75IRT` statistic (§5.6) uses
+    /// this to keep occasional months-long resolutions from dominating.
+    pub fn p75(&self) -> f64 {
+        self.percentile(75.0)
+    }
+
+    /// The 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.percentile(90.0)
+    }
+
+    /// The 99.99th percentile — used by the capacity-planning module for
+    /// conditional risk (§6.1: "We plan edge and link capacity to tolerate
+    /// the 99.99th percentile of conditional risk").
+    pub fn p9999(&self) -> f64 {
+        self.percentile(99.99)
+    }
+
+    /// Read-only view of the sorted sample.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+/// Convenience: mean of a slice, `None` when empty.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        None
+    } else {
+        Some(data.iter().sum::<f64>() / data.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::new(&[]).is_none());
+    }
+
+    #[test]
+    fn rejects_nan_and_inf() {
+        assert!(Summary::new(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::new(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::new(&[7.5]).unwrap();
+        assert_eq!(s.mean(), 7.5);
+        assert_eq!(s.median(), 7.5);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.percentile(0.0), 7.5);
+        assert_eq!(s.percentile(100.0), 7.5);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let s = Summary::new(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let s = Summary::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        // rank = 3 * 0.5 = 1.5 -> midway between 20 and 30.
+        assert!((s.median() - 25.0).abs() < 1e-12);
+        // rank = 3 * 0.75 = 2.25 -> 30 + 0.25*10.
+        assert!((s.p75() - 32.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        let s = Summary::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(s.percentile(-5.0), 1.0);
+        assert_eq!(s.percentile(150.0), 3.0);
+    }
+
+    #[test]
+    fn order_statistics_unsorted_input() {
+        let s = Summary::new(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.median(), 5.0);
+    }
+
+    #[test]
+    fn sum_matches() {
+        let s = Summary::new(&[1.5, 2.5, 6.0]).unwrap();
+        assert!((s.sum() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn free_mean() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[2.0, 4.0]), Some(3.0));
+    }
+}

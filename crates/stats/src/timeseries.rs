@@ -1,0 +1,233 @@
+//! Yearly time-series bucketing.
+//!
+//! Every longitudinal figure in §5 (Figs. 3, 5, 7–13) aggregates SEVs into
+//! calendar-year buckets over the 2011–2017 study span. [`YearSeries`]
+//! is a small fixed-range map from year to an accumulated value, with the
+//! arithmetic the figures need (normalization to a baseline, per-capita
+//! rates, fractions of a total).
+
+/// A dense year-indexed series of `f64` values over `[first_year, last_year]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YearSeries {
+    first_year: i32,
+    values: Vec<f64>,
+}
+
+impl YearSeries {
+    /// Creates a zero-filled series covering `first_year..=last_year`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `last_year < first_year`.
+    pub fn new(first_year: i32, last_year: i32) -> Self {
+        assert!(last_year >= first_year, "year range reversed");
+        Self { first_year, values: vec![0.0; (last_year - first_year + 1) as usize] }
+    }
+
+    /// The covered years, in order.
+    pub fn years(&self) -> impl Iterator<Item = i32> + '_ {
+        (self.first_year..).take(self.values.len())
+    }
+
+    /// First covered year.
+    pub fn first_year(&self) -> i32 {
+        self.first_year
+    }
+
+    /// Last covered year.
+    pub fn last_year(&self) -> i32 {
+        self.first_year + self.values.len() as i32 - 1
+    }
+
+    fn index(&self, year: i32) -> Option<usize> {
+        if year < self.first_year {
+            return None;
+        }
+        let idx = (year - self.first_year) as usize;
+        (idx < self.values.len()).then_some(idx)
+    }
+
+    /// Adds `amount` to `year`'s bucket. Out-of-range years are ignored —
+    /// incidents outside the study window simply do not appear in the
+    /// figures.
+    pub fn add(&mut self, year: i32, amount: f64) {
+        if let Some(i) = self.index(year) {
+            self.values[i] += amount;
+        }
+    }
+
+    /// Sets `year`'s value, ignoring out-of-range years.
+    pub fn set(&mut self, year: i32, value: f64) {
+        if let Some(i) = self.index(year) {
+            self.values[i] = value;
+        }
+    }
+
+    /// Value at `year`, or 0.0 outside the range.
+    pub fn get(&self, year: i32) -> f64 {
+        self.index(year).map_or(0.0, |i| self.values[i])
+    }
+
+    /// Sum over all years.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// `(year, value)` pairs in order.
+    pub fn points(&self) -> Vec<(i32, f64)> {
+        self.years().zip(self.values.iter().copied()).collect()
+    }
+
+    /// Element-wise division by `denom`; years where `denom` is zero
+    /// yield 0.0 (a device type with no population has no rate — matching
+    /// the paper's "some devices have an incident rate of 0, e.g., if they
+    /// did not exist in the fleet in a year").
+    pub fn per(&self, denom: &YearSeries) -> YearSeries {
+        let mut out = self.clone();
+        for year in self.years().collect::<Vec<_>>() {
+            let d = denom.get(year);
+            let v = if d > 0.0 { self.get(year) / d } else { 0.0 };
+            out.set(year, v);
+        }
+        out
+    }
+
+    /// Divides every value by a fixed scalar baseline (e.g. "normalized to
+    /// the total number of SEVs in 2017", Figs. 8–9).
+    pub fn normalized_to(&self, baseline: f64) -> YearSeries {
+        assert!(baseline != 0.0, "cannot normalize to a zero baseline");
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v /= baseline;
+        }
+        out
+    }
+
+    /// Element-wise sum of several series; all must share the same range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty or ranges differ.
+    pub fn sum_of(series: &[&YearSeries]) -> YearSeries {
+        let first = series.first().expect("sum_of requires at least one series");
+        let mut out = YearSeries::new(first.first_year(), first.last_year());
+        for s in series {
+            assert_eq!(
+                (s.first_year(), s.last_year()),
+                (first.first_year(), first.last_year()),
+                "mismatched year ranges"
+            );
+            for (year, v) in s.points() {
+                out.add(year, v);
+            }
+        }
+        out
+    }
+
+    /// Growth factor `last/first` of the series, using the first and last
+    /// *nonzero* values (the paper's "total number of network device SEVs
+    /// increased by 9.4×" compares 2011 to 2017).
+    pub fn growth_factor(&self) -> Option<f64> {
+        let nonzero: Vec<f64> = self.values.iter().copied().filter(|v| *v != 0.0).collect();
+        match (nonzero.first(), nonzero.last()) {
+            (Some(&a), Some(&b)) if nonzero.len() >= 2 => Some(b / a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_and_bounds() {
+        let mut s = YearSeries::new(2011, 2017);
+        s.add(2011, 2.0);
+        s.add(2017, 3.0);
+        s.add(2010, 99.0); // ignored
+        s.add(2018, 99.0); // ignored
+        assert_eq!(s.get(2011), 2.0);
+        assert_eq!(s.get(2017), 3.0);
+        assert_eq!(s.get(2010), 0.0);
+        assert_eq!(s.total(), 5.0);
+        assert_eq!(s.first_year(), 2011);
+        assert_eq!(s.last_year(), 2017);
+    }
+
+    #[test]
+    fn years_iterates_in_order() {
+        let s = YearSeries::new(2015, 2017);
+        assert_eq!(s.years().collect::<Vec<_>>(), vec![2015, 2016, 2017]);
+    }
+
+    #[test]
+    fn per_capita_handles_zero_population() {
+        let mut incidents = YearSeries::new(2011, 2013);
+        incidents.add(2012, 10.0);
+        incidents.add(2013, 20.0);
+        let mut pop = YearSeries::new(2011, 2013);
+        pop.set(2012, 100.0);
+        pop.set(2013, 200.0);
+        // 2011: population zero -> rate zero, not NaN.
+        let rate = incidents.per(&pop);
+        assert_eq!(rate.get(2011), 0.0);
+        assert_eq!(rate.get(2012), 0.1);
+        assert_eq!(rate.get(2013), 0.1);
+    }
+
+    #[test]
+    fn normalized_to_baseline() {
+        let mut s = YearSeries::new(2011, 2012);
+        s.set(2011, 5.0);
+        s.set(2012, 10.0);
+        let n = s.normalized_to(10.0);
+        assert_eq!(n.get(2011), 0.5);
+        assert_eq!(n.get(2012), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero baseline")]
+    fn normalize_zero_panics() {
+        let s = YearSeries::new(2011, 2012);
+        let _ = s.normalized_to(0.0);
+    }
+
+    #[test]
+    fn sum_of_series() {
+        let mut a = YearSeries::new(2011, 2012);
+        a.set(2011, 1.0);
+        let mut b = YearSeries::new(2011, 2012);
+        b.set(2011, 2.0);
+        b.set(2012, 3.0);
+        let s = YearSeries::sum_of(&[&a, &b]);
+        assert_eq!(s.get(2011), 3.0);
+        assert_eq!(s.get(2012), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched year ranges")]
+    fn sum_of_mismatched_panics() {
+        let a = YearSeries::new(2011, 2012);
+        let b = YearSeries::new(2011, 2013);
+        let _ = YearSeries::sum_of(&[&a, &b]);
+    }
+
+    #[test]
+    fn growth_factor_skips_leading_zeros() {
+        let mut s = YearSeries::new(2011, 2017);
+        // Device type introduced in 2015 (like FSWs).
+        s.set(2015, 2.0);
+        s.set(2016, 6.0);
+        s.set(2017, 18.8);
+        assert!((s.growth_factor().unwrap() - 9.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn growth_factor_none_when_insufficient() {
+        let mut s = YearSeries::new(2011, 2017);
+        assert!(s.growth_factor().is_none());
+        s.set(2014, 5.0);
+        assert!(s.growth_factor().is_none());
+    }
+}

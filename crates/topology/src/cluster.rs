@@ -1,0 +1,239 @@
+//! The classic cluster-based Clos network builder (§3.1, Fig. 1 Region A).
+//!
+//! *"A cluster is the basic unit of network deployment. Each cluster
+//! comprises four cluster switches (CSWs), each of which aggregates
+//! physically contiguous rack switches (RSWs) via 10 Gb/s Ethernet links.
+//! In turn, a cluster switch aggregator (CSA) aggregates CSWs and keeps
+//! inter cluster traffic within the data center. Inter data center
+//! traffic flows through core network devices (Cores), which aggregate
+//! CSAs."*
+
+use crate::device::{DeviceId, DeviceType};
+use crate::graph::Topology;
+
+/// Shape parameters for one cluster-design data center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Number of clusters in the data center.
+    pub clusters: u32,
+    /// Racks (hence RSWs) per cluster.
+    pub racks_per_cluster: u32,
+    /// CSWs per cluster — fixed at 4 in the paper's design, configurable
+    /// for ablations.
+    pub csws_per_cluster: u32,
+    /// CSAs in the data center (each CSW connects to every CSA).
+    pub csas: u32,
+    /// Core devices. "We currently provision eight Cores in each data
+    /// center, which allows us to tolerate one unavailable Core" (§5.2).
+    pub cores: u32,
+    /// Rack uplink capacity in Gb/s (10 in the classic design).
+    pub rack_uplink_gbps: f64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        Self {
+            clusters: 4,
+            racks_per_cluster: 64,
+            csws_per_cluster: 4,
+            csas: 4,
+            cores: 8,
+            rack_uplink_gbps: 10.0,
+        }
+    }
+}
+
+impl ClusterParams {
+    /// Total devices this parameterization creates.
+    pub fn device_total(&self) -> u32 {
+        self.clusters * (self.racks_per_cluster + self.csws_per_cluster) + self.csas + self.cores
+    }
+}
+
+/// Builds cluster-design data centers into a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct ClusterNetworkBuilder {
+    params: ClusterParams,
+}
+
+/// Handles to the tiers of a built cluster data center.
+#[derive(Debug, Clone)]
+pub struct ClusterDc {
+    /// RSWs, grouped by cluster.
+    pub rsws: Vec<Vec<DeviceId>>,
+    /// CSWs, grouped by cluster.
+    pub csws: Vec<Vec<DeviceId>>,
+    /// CSAs.
+    pub csas: Vec<DeviceId>,
+    /// Cores.
+    pub cores: Vec<DeviceId>,
+}
+
+impl ClusterNetworkBuilder {
+    /// Creates a builder with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tier count is zero — a cluster network without one
+    /// of its tiers is not a cluster network.
+    pub fn new(params: ClusterParams) -> Self {
+        assert!(params.clusters > 0, "need at least one cluster");
+        assert!(params.racks_per_cluster > 0, "need at least one rack per cluster");
+        assert!(params.csws_per_cluster > 0, "need at least one CSW per cluster");
+        assert!(params.csas > 0, "need at least one CSA");
+        assert!(params.cores > 0, "need at least one Core");
+        assert!(params.rack_uplink_gbps > 0.0, "uplink capacity must be positive");
+        Self { params }
+    }
+
+    /// The builder's parameters.
+    pub fn params(&self) -> &ClusterParams {
+        &self.params
+    }
+
+    /// Builds one data center into `topo`, tagging every device with
+    /// `datacenter`. Wiring:
+    ///
+    /// * every RSW connects to **all** CSWs of its cluster;
+    /// * every CSW connects to **all** CSAs (uplink = aggregate of its
+    ///   rack downlinks, preserving the Clos oversubscription shape);
+    /// * every CSA connects to **all** Cores.
+    pub fn build(&self, topo: &mut Topology, datacenter: u16) -> ClusterDc {
+        let p = &self.params;
+        let csa_uplink = p.rack_uplink_gbps * p.racks_per_cluster as f64;
+        let core_uplink = csa_uplink * p.clusters as f64;
+
+        let cores: Vec<DeviceId> =
+            (0..p.cores).map(|i| topo.add_device(DeviceType::Core, datacenter, 'x', 0, i)).collect();
+        let csas: Vec<DeviceId> =
+            (0..p.csas).map(|i| topo.add_device(DeviceType::Csa, datacenter, 'x', 0, i)).collect();
+        for &csa in &csas {
+            for &core in &cores {
+                topo.connect(csa, core, core_uplink / p.cores as f64);
+            }
+        }
+
+        let mut rsws = Vec::with_capacity(p.clusters as usize);
+        let mut csws = Vec::with_capacity(p.clusters as usize);
+        for c in 0..p.clusters {
+            let cluster_csws: Vec<DeviceId> = (0..p.csws_per_cluster)
+                .map(|i| topo.add_device(DeviceType::Csw, datacenter, 'c', c, i))
+                .collect();
+            for &csw in &cluster_csws {
+                for &csa in &csas {
+                    topo.connect(csw, csa, csa_uplink / p.csas as f64);
+                }
+            }
+            let cluster_rsws: Vec<DeviceId> = (0..p.racks_per_cluster)
+                .map(|r| topo.add_device(DeviceType::Rsw, datacenter, 'c', c, r))
+                .collect();
+            for &rsw in &cluster_rsws {
+                for &csw in &cluster_csws {
+                    topo.connect(rsw, csw, p.rack_uplink_gbps);
+                }
+            }
+            rsws.push(cluster_rsws);
+            csws.push(cluster_csws);
+        }
+        ClusterDc { rsws, csws, csas, cores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Topology, ClusterDc, ClusterParams) {
+        let params = ClusterParams {
+            clusters: 2,
+            racks_per_cluster: 8,
+            csws_per_cluster: 4,
+            csas: 2,
+            cores: 4,
+            rack_uplink_gbps: 10.0,
+        };
+        let mut topo = Topology::new();
+        let dc = ClusterNetworkBuilder::new(params).build(&mut topo, 1);
+        (topo, dc, params)
+    }
+
+    #[test]
+    fn device_counts() {
+        let (topo, dc, p) = small();
+        assert_eq!(topo.device_count() as u32, p.device_total());
+        assert_eq!(topo.count_of_type(DeviceType::Rsw), 16);
+        assert_eq!(topo.count_of_type(DeviceType::Csw), 8);
+        assert_eq!(topo.count_of_type(DeviceType::Csa), 2);
+        assert_eq!(topo.count_of_type(DeviceType::Core), 4);
+        assert_eq!(dc.rsws.len(), 2);
+        assert_eq!(dc.rsws[0].len(), 8);
+    }
+
+    #[test]
+    fn rsw_connects_to_all_cluster_csws_only() {
+        let (topo, dc, p) = small();
+        for (c, cluster_rsws) in dc.rsws.iter().enumerate() {
+            for &rsw in cluster_rsws {
+                assert_eq!(topo.degree(rsw) as u32, p.csws_per_cluster);
+                for &(nbr, _) in topo.neighbors(rsw) {
+                    assert_eq!(topo.device(nbr).device_type, DeviceType::Csw);
+                    assert!(dc.csws[c].contains(&nbr), "RSW wired outside its cluster");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csw_uplinks_to_every_csa() {
+        let (topo, dc, p) = small();
+        for cluster_csws in &dc.csws {
+            for &csw in cluster_csws {
+                let csa_neighbors = topo
+                    .neighbors(csw)
+                    .iter()
+                    .filter(|&&(n, _)| topo.device(n).device_type == DeviceType::Csa)
+                    .count();
+                assert_eq!(csa_neighbors as u32, p.csas);
+            }
+        }
+    }
+
+    #[test]
+    fn csa_uplinks_to_every_core() {
+        let (topo, dc, p) = small();
+        for &csa in &dc.csas {
+            let cores = topo
+                .neighbors(csa)
+                .iter()
+                .filter(|&&(n, _)| topo.device(n).device_type == DeviceType::Core)
+                .count();
+            assert_eq!(cores as u32, p.cores);
+        }
+    }
+
+    #[test]
+    fn higher_tiers_carry_more_capacity() {
+        let (topo, dc, _) = small();
+        let rsw_cap = topo.incident_capacity_gbps(dc.rsws[0][0]);
+        let csw_cap = topo.incident_capacity_gbps(dc.csws[0][0]);
+        let csa_cap = topo.incident_capacity_gbps(dc.csas[0]);
+        let core_cap = topo.incident_capacity_gbps(dc.cores[0]);
+        assert!(csw_cap > rsw_cap);
+        assert!(csa_cap > csw_cap);
+        assert!(core_cap > rsw_cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one Core")]
+    fn zero_cores_rejected() {
+        let _ = ClusterNetworkBuilder::new(ClusterParams { cores: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn default_params_match_paper_shape() {
+        let p = ClusterParams::default();
+        assert_eq!(p.csws_per_cluster, 4, "paper: four CSWs per cluster");
+        assert_eq!(p.cores, 8, "paper: eight Cores per data center");
+        assert_eq!(p.rack_uplink_gbps, 10.0, "paper: 10Gb/s Ethernet rack links");
+    }
+}

@@ -1,0 +1,220 @@
+//! Data centers and regions (Fig. 1's two-region layout).
+//!
+//! A [`Region`] groups one or more [`DataCenter`]s plus the backbone
+//! routers (BBRs) of its edge. Cluster-design and fabric-design data
+//! centers can coexist in one deployment, exactly like the paper's
+//! heterogeneous fleet ("the cluster networks remain in use in a
+//! dwindling fraction of Facebook's data centers", §3.1) — which is what
+//! makes the comparative §5.5 analysis possible.
+
+use crate::cluster::{ClusterDc, ClusterNetworkBuilder, ClusterParams};
+use crate::device::{DeviceId, DeviceType, NetworkDesign};
+use crate::fabric::{FabricDc, FabricNetworkBuilder, FabricParams};
+use crate::graph::Topology;
+
+/// Tier handles for one data center of either design.
+#[derive(Debug, Clone)]
+pub enum DataCenter {
+    /// A classic cluster-design data center.
+    Cluster {
+        /// Data center index.
+        index: u16,
+        /// Tier handles.
+        dc: ClusterDc,
+    },
+    /// A fabric-design data center.
+    Fabric {
+        /// Data center index.
+        index: u16,
+        /// Tier handles.
+        dc: FabricDc,
+    },
+}
+
+impl DataCenter {
+    /// Which design this data center uses.
+    pub fn design(&self) -> NetworkDesign {
+        match self {
+            DataCenter::Cluster { .. } => NetworkDesign::Cluster,
+            DataCenter::Fabric { .. } => NetworkDesign::Fabric,
+        }
+    }
+
+    /// Data center index.
+    pub fn index(&self) -> u16 {
+        match self {
+            DataCenter::Cluster { index, .. } | DataCenter::Fabric { index, .. } => *index,
+        }
+    }
+
+    /// This data center's Core devices.
+    pub fn cores(&self) -> &[DeviceId] {
+        match self {
+            DataCenter::Cluster { dc, .. } => &dc.cores,
+            DataCenter::Fabric { dc, .. } => &dc.cores,
+        }
+    }
+
+    /// All rack switches, flattened.
+    pub fn rsws(&self) -> Vec<DeviceId> {
+        match self {
+            DataCenter::Cluster { dc, .. } => dc.rsws.iter().flatten().copied().collect(),
+            DataCenter::Fabric { dc, .. } => dc.rsws.iter().flatten().copied().collect(),
+        }
+    }
+}
+
+/// A region: data centers plus the edge's backbone routers, with Cores
+/// cross-connected to the BBRs (Fig. 1 ➄: both designs "use backbone
+/// routers located in edges to communicate across the WAN backbone").
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// The shared topology all devices live in.
+    pub topology: Topology,
+    /// The region's data centers.
+    pub datacenters: Vec<DataCenter>,
+    /// The region's backbone routers.
+    pub bbrs: Vec<DeviceId>,
+}
+
+/// Builder for a [`Region`].
+#[derive(Debug, Clone, Default)]
+pub struct RegionBuilder {
+    cluster_dcs: Vec<ClusterParams>,
+    fabric_dcs: Vec<FabricParams>,
+    bbrs: u32,
+}
+
+impl RegionBuilder {
+    /// Starts an empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cluster-design data center.
+    pub fn cluster_dc(mut self, params: ClusterParams) -> Self {
+        self.cluster_dcs.push(params);
+        self
+    }
+
+    /// Adds a fabric-design data center.
+    pub fn fabric_dc(mut self, params: FabricParams) -> Self {
+        self.fabric_dcs.push(params);
+        self
+    }
+
+    /// Sets the number of backbone routers at the region's edge.
+    pub fn bbrs(mut self, n: u32) -> Self {
+        self.bbrs = n;
+        self
+    }
+
+    /// Builds the region. Every data center's Cores are connected to
+    /// every BBR (when BBRs are requested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no data center was added.
+    pub fn build(self) -> Region {
+        assert!(
+            !self.cluster_dcs.is_empty() || !self.fabric_dcs.is_empty(),
+            "a region needs at least one data center"
+        );
+        let mut topology = Topology::new();
+        let mut datacenters = Vec::new();
+        let mut dc_index: u16 = 0;
+
+        for params in &self.cluster_dcs {
+            let dc = ClusterNetworkBuilder::new(*params).build(&mut topology, dc_index);
+            datacenters.push(DataCenter::Cluster { index: dc_index, dc });
+            dc_index += 1;
+        }
+        for params in &self.fabric_dcs {
+            let dc = FabricNetworkBuilder::new(*params).build(&mut topology, dc_index);
+            datacenters.push(DataCenter::Fabric { index: dc_index, dc });
+            dc_index += 1;
+        }
+
+        let bbrs: Vec<DeviceId> = (0..self.bbrs)
+            .map(|i| topology.add_device(DeviceType::Bbr, u16::MAX, 'e', 0, i))
+            .collect();
+        for dc in &datacenters {
+            for &core in dc.cores() {
+                for &bbr in &bbrs {
+                    topology.connect(core, bbr, 400.0);
+                }
+            }
+        }
+        Region { topology, datacenters, bbrs }
+    }
+}
+
+impl Region {
+    /// Convenience constructor: one cluster DC + one fabric DC + 2 BBRs —
+    /// a miniature of the paper's heterogeneous deployment, used by
+    /// examples and the impact model's default scenario.
+    pub fn mixed_reference() -> Region {
+        RegionBuilder::new()
+            .cluster_dc(ClusterParams::default())
+            .fabric_dc(FabricParams::default())
+            .bbrs(2)
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{can_reach_type, FailureSet};
+
+    #[test]
+    fn mixed_region_builds() {
+        let r = Region::mixed_reference();
+        assert_eq!(r.datacenters.len(), 2);
+        assert_eq!(r.bbrs.len(), 2);
+        assert_eq!(r.datacenters[0].design(), NetworkDesign::Cluster);
+        assert_eq!(r.datacenters[1].design(), NetworkDesign::Fabric);
+        assert!(r.topology.count_of_type(DeviceType::Rsw) > 0);
+    }
+
+    #[test]
+    fn rsws_reach_bbrs_across_the_region() {
+        let r = Region::mixed_reference();
+        let none = FailureSet::new(&r.topology);
+        for dc in &r.datacenters {
+            for rsw in dc.rsws() {
+                assert!(can_reach_type(&r.topology, rsw, DeviceType::Bbr, &none));
+            }
+        }
+    }
+
+    #[test]
+    fn dc_indices_are_distinct() {
+        let r = Region::mixed_reference();
+        let idx: Vec<u16> = r.datacenters.iter().map(|d| d.index()).collect();
+        assert_eq!(idx, vec![0, 1]);
+    }
+
+    #[test]
+    fn cores_accessor_nonempty() {
+        let r = Region::mixed_reference();
+        for dc in &r.datacenters {
+            assert!(!dc.cores().is_empty());
+            assert!(!dc.rsws().is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one data center")]
+    fn empty_region_panics() {
+        let _ = RegionBuilder::new().build();
+    }
+
+    #[test]
+    fn region_without_bbrs_is_fine() {
+        let r = RegionBuilder::new()
+            .fabric_dc(FabricParams { pods: 1, racks_per_pod: 2, ..Default::default() })
+            .build();
+        assert!(r.bbrs.is_empty());
+    }
+}

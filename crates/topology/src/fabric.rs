@@ -1,0 +1,271 @@
+//! The data center fabric builder (§3.1, Fig. 1 Region B).
+//!
+//! *"A pod is the basic unit of network deployment in a fabric network.
+//! ... Each RSW connects to four fabric switches (FSWs). The 1:4 ratio of
+//! RSWs to FSWs maintains the connectivity benefits of the cluster
+//! network. Spine switches (SSWs) aggregate a dynamic number of FSWs,
+//! defined by software. Each SSW connects to a set of edge switches
+//! (ESWs). Core network devices connect ESWs between data centers."*
+//!
+//! The fabric is organized in **planes**: pod FSW *k* attaches to the
+//! spine switches of plane *k*, giving the five-stage folded-Clos path
+//! diversity that makes the design "more amenable to automated
+//! remediation" (§5.2). The builder reproduces that plane structure.
+
+use crate::device::{DeviceId, DeviceType};
+use crate::graph::Topology;
+
+/// Shape parameters for one fabric-design data center.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricParams {
+    /// Number of pods.
+    pub pods: u32,
+    /// Racks (RSWs) per pod.
+    pub racks_per_pod: u32,
+    /// FSWs per pod — the paper's design fixes this at 4 (each RSW has 4
+    /// fabric uplinks); configurable for ablations.
+    pub fsws_per_pod: u32,
+    /// Spine switches per plane (there are `fsws_per_pod` planes).
+    pub ssws_per_plane: u32,
+    /// Edge switches per plane.
+    pub esws_per_plane: u32,
+    /// Core devices connecting the ESWs out of the data center.
+    pub cores: u32,
+    /// Rack uplink capacity in Gb/s.
+    pub rack_uplink_gbps: f64,
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        Self {
+            pods: 8,
+            racks_per_pod: 48,
+            fsws_per_pod: 4,
+            ssws_per_plane: 4,
+            esws_per_plane: 2,
+            cores: 8,
+            rack_uplink_gbps: 10.0,
+        }
+    }
+}
+
+impl FabricParams {
+    /// Total devices this parameterization creates.
+    pub fn device_total(&self) -> u32 {
+        self.pods * (self.racks_per_pod + self.fsws_per_pod)
+            + self.fsws_per_pod * (self.ssws_per_plane + self.esws_per_plane)
+            + self.cores
+    }
+}
+
+/// Handles to the tiers of a built fabric data center.
+#[derive(Debug, Clone)]
+pub struct FabricDc {
+    /// RSWs, grouped by pod.
+    pub rsws: Vec<Vec<DeviceId>>,
+    /// FSWs, grouped by pod (index within the pod = plane).
+    pub fsws: Vec<Vec<DeviceId>>,
+    /// SSWs, grouped by plane.
+    pub ssws: Vec<Vec<DeviceId>>,
+    /// ESWs, grouped by plane.
+    pub esws: Vec<Vec<DeviceId>>,
+    /// Cores.
+    pub cores: Vec<DeviceId>,
+}
+
+/// Builds fabric-design data centers into a [`Topology`].
+#[derive(Debug, Clone)]
+pub struct FabricNetworkBuilder {
+    params: FabricParams,
+}
+
+impl FabricNetworkBuilder {
+    /// Creates a builder with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tier count is zero.
+    pub fn new(params: FabricParams) -> Self {
+        assert!(params.pods > 0, "need at least one pod");
+        assert!(params.racks_per_pod > 0, "need at least one rack per pod");
+        assert!(params.fsws_per_pod > 0, "need at least one FSW per pod");
+        assert!(params.ssws_per_plane > 0, "need at least one SSW per plane");
+        assert!(params.esws_per_plane > 0, "need at least one ESW per plane");
+        assert!(params.cores > 0, "need at least one Core");
+        assert!(params.rack_uplink_gbps > 0.0, "uplink capacity must be positive");
+        Self { params }
+    }
+
+    /// The builder's parameters.
+    pub fn params(&self) -> &FabricParams {
+        &self.params
+    }
+
+    /// Builds one data center into `topo`. Wiring:
+    ///
+    /// * each RSW connects to all `fsws_per_pod` FSWs of its pod (the 1:4
+    ///   uplink ratio);
+    /// * pod FSW of plane *k* connects to every SSW of plane *k*;
+    /// * every SSW of plane *k* connects to every ESW of plane *k*;
+    /// * every ESW connects to every Core.
+    pub fn build(&self, topo: &mut Topology, datacenter: u16) -> FabricDc {
+        let p = &self.params;
+        let pod_up = p.rack_uplink_gbps * p.racks_per_pod as f64 / p.fsws_per_pod as f64;
+
+        let cores: Vec<DeviceId> =
+            (0..p.cores).map(|i| topo.add_device(DeviceType::Core, datacenter, 'x', 0, i)).collect();
+
+        let mut ssws = Vec::with_capacity(p.fsws_per_pod as usize);
+        let mut esws = Vec::with_capacity(p.fsws_per_pod as usize);
+        for plane in 0..p.fsws_per_pod {
+            let plane_ssws: Vec<DeviceId> = (0..p.ssws_per_plane)
+                .map(|i| topo.add_device(DeviceType::Ssw, datacenter, 's', plane, i))
+                .collect();
+            let plane_esws: Vec<DeviceId> = (0..p.esws_per_plane)
+                .map(|i| topo.add_device(DeviceType::Esw, datacenter, 's', plane, i))
+                .collect();
+            let spine_cap = pod_up * p.pods as f64 / p.ssws_per_plane as f64;
+            for &ssw in &plane_ssws {
+                for &esw in &plane_esws {
+                    topo.connect(ssw, esw, spine_cap / p.esws_per_plane as f64);
+                }
+            }
+            for &esw in &plane_esws {
+                for &core in &cores {
+                    topo.connect(esw, core, spine_cap / p.cores as f64);
+                }
+            }
+            ssws.push(plane_ssws);
+            esws.push(plane_esws);
+        }
+
+        let mut rsws = Vec::with_capacity(p.pods as usize);
+        let mut fsws = Vec::with_capacity(p.pods as usize);
+        for pod in 0..p.pods {
+            let pod_fsws: Vec<DeviceId> = (0..p.fsws_per_pod)
+                .map(|i| topo.add_device(DeviceType::Fsw, datacenter, 'p', pod, i))
+                .collect();
+            for (plane, &fsw) in pod_fsws.iter().enumerate() {
+                for &ssw in &ssws[plane] {
+                    topo.connect(fsw, ssw, pod_up / p.ssws_per_plane as f64);
+                }
+            }
+            let pod_rsws: Vec<DeviceId> = (0..p.racks_per_pod)
+                .map(|r| topo.add_device(DeviceType::Rsw, datacenter, 'p', pod, r))
+                .collect();
+            for &rsw in &pod_rsws {
+                for &fsw in &pod_fsws {
+                    topo.connect(rsw, fsw, p.rack_uplink_gbps / p.fsws_per_pod as f64);
+                }
+            }
+            rsws.push(pod_rsws);
+            fsws.push(pod_fsws);
+        }
+        FabricDc { rsws, fsws, ssws, esws, cores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Topology, FabricDc, FabricParams) {
+        let params = FabricParams {
+            pods: 3,
+            racks_per_pod: 6,
+            fsws_per_pod: 4,
+            ssws_per_plane: 2,
+            esws_per_plane: 2,
+            cores: 4,
+            rack_uplink_gbps: 10.0,
+        };
+        let mut topo = Topology::new();
+        let dc = FabricNetworkBuilder::new(params).build(&mut topo, 2);
+        (topo, dc, params)
+    }
+
+    #[test]
+    fn device_counts() {
+        let (topo, dc, p) = small();
+        assert_eq!(topo.device_count() as u32, p.device_total());
+        assert_eq!(topo.count_of_type(DeviceType::Rsw), 18);
+        assert_eq!(topo.count_of_type(DeviceType::Fsw), 12);
+        assert_eq!(topo.count_of_type(DeviceType::Ssw), 8);
+        assert_eq!(topo.count_of_type(DeviceType::Esw), 8);
+        assert_eq!(topo.count_of_type(DeviceType::Core), 4);
+        assert_eq!(dc.fsws.len(), 3);
+        assert_eq!(dc.ssws.len(), 4);
+    }
+
+    #[test]
+    fn rsw_has_four_fabric_uplinks() {
+        let (topo, dc, p) = small();
+        for (pod, pod_rsws) in dc.rsws.iter().enumerate() {
+            for &rsw in pod_rsws {
+                assert_eq!(topo.degree(rsw) as u32, p.fsws_per_pod, "1:4 RSW:FSW uplink ratio");
+                for &(n, _) in topo.neighbors(rsw) {
+                    assert_eq!(topo.device(n).device_type, DeviceType::Fsw);
+                    assert!(dc.fsws[pod].contains(&n), "RSW wired outside its pod");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fsw_stays_in_its_plane() {
+        let (topo, dc, _) = small();
+        for pod_fsws in &dc.fsws {
+            for (plane, &fsw) in pod_fsws.iter().enumerate() {
+                for &(n, _) in topo.neighbors(fsw) {
+                    match topo.device(n).device_type {
+                        DeviceType::Ssw => {
+                            assert!(dc.ssws[plane].contains(&n), "FSW crossed planes")
+                        }
+                        DeviceType::Rsw => {}
+                        other => panic!("unexpected FSW neighbor {other}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn esw_connects_every_core() {
+        let (topo, dc, p) = small();
+        for plane_esws in &dc.esws {
+            for &esw in plane_esws {
+                let cores = topo
+                    .neighbors(esw)
+                    .iter()
+                    .filter(|&&(n, _)| topo.device(n).device_type == DeviceType::Core)
+                    .count();
+                assert_eq!(cores as u32, p.cores);
+            }
+        }
+    }
+
+    #[test]
+    fn rack_loses_quarter_capacity_per_fsw() {
+        // With 4 uplinks of cap/4 each, one FSW failure removes exactly
+        // 25% of a rack's uplink capacity — the fabric's graceful
+        // degradation property.
+        let (topo, dc, p) = small();
+        let rsw = dc.rsws[0][0];
+        let total = topo.incident_capacity_gbps(rsw);
+        assert!((total - p.rack_uplink_gbps).abs() < 1e-9);
+        let per_link = topo.neighbors(rsw)[0].1;
+        assert!((topo.link(per_link).capacity_gbps - p.rack_uplink_gbps / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pod")]
+    fn zero_pods_rejected() {
+        let _ = FabricNetworkBuilder::new(FabricParams { pods: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn default_params_match_paper_shape() {
+        let p = FabricParams::default();
+        assert_eq!(p.fsws_per_pod, 4, "paper: each RSW connects to four FSWs");
+    }
+}

@@ -1,0 +1,162 @@
+//! Year-parameterized representative fleet construction.
+//!
+//! The statistical study works on population *counts*; the mechanistic
+//! models (impact, drills, blast radius) need *wired topologies*.
+//! [`FleetPlan`] bridges them: given a study year it proposes a
+//! representative multi-datacenter deployment whose design mix follows
+//! the paper's timeline — all cluster-design before 2015, fabric
+//! data centers added from 2015 as "these data centers will join new
+//! data centers in using the fabric network design" (§3.1) — and builds
+//! it into a [`Region`].
+//!
+//! The deployment is *representative*, not fleet-scale: tens of racks
+//! per data center rather than thousands, preserving the wiring shape
+//! (4 CSWs per cluster, 1:4 RSW:FSW ratio, 8 Cores per DC) that the
+//! impact analysis depends on.
+
+use crate::cluster::ClusterParams;
+use crate::datacenter::{Region, RegionBuilder};
+use crate::fabric::FabricParams;
+
+/// A proposed deployment for one study year.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPlan {
+    /// The study year the plan represents.
+    pub year: i32,
+    /// Number of cluster-design data centers.
+    pub cluster_dcs: u32,
+    /// Number of fabric-design data centers.
+    pub fabric_dcs: u32,
+    /// Shape of each cluster data center.
+    pub cluster_params: ClusterParams,
+    /// Shape of each fabric data center.
+    pub fabric_params: FabricParams,
+    /// Backbone routers at the region's edge.
+    pub bbrs: u32,
+}
+
+impl FleetPlan {
+    /// The representative deployment for `year`:
+    ///
+    /// * 2011 → 4 data centers, all cluster-design;
+    /// * one data center added per year (the paper's fleet grew
+    ///   continuously);
+    /// * from 2015, new data centers are fabric-design and one existing
+    ///   cluster data center is converted per year (cluster populations
+    ///   decline after 2015, Fig. 11).
+    pub fn for_year(year: i32) -> FleetPlan {
+        let year = year.clamp(2011, 2017);
+        let total = 4 + (year - 2011) as u32;
+        let fabric = if year < 2015 {
+            0
+        } else {
+            // New DCs since 2015 plus one conversion per year.
+            let new = (year - 2014) as u32;
+            let converted = (year - 2014) as u32;
+            (new + converted).min(total - 1)
+        };
+        FleetPlan {
+            year,
+            cluster_dcs: total - fabric,
+            fabric_dcs: fabric,
+            cluster_params: ClusterParams {
+                clusters: 2,
+                racks_per_cluster: 16,
+                ..Default::default()
+            },
+            fabric_params: FabricParams { pods: 2, racks_per_pod: 16, ..Default::default() },
+            bbrs: 2,
+        }
+    }
+
+    /// Total data centers in the plan.
+    pub fn total_dcs(&self) -> u32 {
+        self.cluster_dcs + self.fabric_dcs
+    }
+
+    /// Fraction of data centers on the fabric design.
+    pub fn fabric_share(&self) -> f64 {
+        self.fabric_dcs as f64 / self.total_dcs() as f64
+    }
+
+    /// Builds the deployment.
+    pub fn build(&self) -> Region {
+        let mut builder = RegionBuilder::new().bbrs(self.bbrs);
+        for _ in 0..self.cluster_dcs {
+            builder = builder.cluster_dc(self.cluster_params);
+        }
+        for _ in 0..self.fabric_dcs {
+            builder = builder.fabric_dc(self.fabric_params);
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceType, NetworkDesign};
+    use crate::routing::{can_reach_type, FailureSet};
+
+    #[test]
+    fn pre_fabric_years_are_all_cluster() {
+        for year in 2011..2015 {
+            let plan = FleetPlan::for_year(year);
+            assert_eq!(plan.fabric_dcs, 0, "{year}");
+            assert_eq!(plan.total_dcs(), 4 + (year - 2011) as u32);
+        }
+    }
+
+    #[test]
+    fn fabric_share_grows_from_2015() {
+        let mut last_share = 0.0;
+        for year in 2015..=2017 {
+            let plan = FleetPlan::for_year(year);
+            assert!(plan.fabric_dcs > 0, "{year}");
+            assert!(plan.fabric_share() > last_share, "{year}");
+            last_share = plan.fabric_share();
+        }
+        // By 2017 fabric is the majority design in the plan.
+        assert!(FleetPlan::for_year(2017).fabric_share() > 0.5);
+        // But some cluster data centers remain ("a dwindling fraction").
+        assert!(FleetPlan::for_year(2017).cluster_dcs >= 1);
+    }
+
+    #[test]
+    fn out_of_range_years_clamp() {
+        assert_eq!(FleetPlan::for_year(2005), FleetPlan::for_year(2011));
+        assert_eq!(FleetPlan::for_year(2030), FleetPlan::for_year(2017));
+    }
+
+    #[test]
+    fn built_region_matches_plan() {
+        let plan = FleetPlan::for_year(2016);
+        let region = plan.build();
+        assert_eq!(region.datacenters.len() as u32, plan.total_dcs());
+        let fabric = region
+            .datacenters
+            .iter()
+            .filter(|dc| dc.design() == NetworkDesign::Fabric)
+            .count() as u32;
+        assert_eq!(fabric, plan.fabric_dcs);
+        assert_eq!(region.bbrs.len() as u32, plan.bbrs);
+    }
+
+    #[test]
+    fn built_fleet_is_fully_connected() {
+        let region = FleetPlan::for_year(2017).build();
+        let none = FailureSet::new(&region.topology);
+        for dc in &region.datacenters {
+            for rsw in dc.rsws() {
+                assert!(can_reach_type(&region.topology, rsw, DeviceType::Bbr, &none));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_2011_is_smaller_than_2017() {
+        let small = FleetPlan::for_year(2011).build();
+        let large = FleetPlan::for_year(2017).build();
+        assert!(large.topology.device_count() > small.topology.device_count());
+    }
+}

@@ -1,0 +1,287 @@
+//! The device/link multigraph underlying every topology.
+//!
+//! A [`Topology`] is an undirected multigraph: nodes are [`Device`]s,
+//! edges are capacitated [`Link`]s (multiple parallel links between the
+//! same pair are allowed — rack uplinks and core interconnects are
+//! bundles in practice). Storage is index-based (`Vec` + adjacency
+//! lists), cache-friendly, and serializable.
+
+use crate::device::{Device, DeviceId, DeviceType, HardwareSource};
+use crate::naming::format_device_name;
+use serde::{Deserialize, Serialize};
+
+/// Opaque handle for a link within a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// The raw index (stable within one topology).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An undirected capacitated link between two devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    /// Handle of this link.
+    pub id: LinkId,
+    /// One endpoint.
+    pub a: DeviceId,
+    /// The other endpoint.
+    pub b: DeviceId,
+    /// Capacity in Gb/s (the cluster design used 10 Gb/s rack uplinks,
+    /// §3.1; higher tiers get proportionally larger bundles).
+    pub capacity_gbps: f64,
+}
+
+/// A device/link multigraph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Topology {
+    devices: Vec<Device>,
+    links: Vec<Link>,
+    /// adjacency[d] = list of (neighbor, link) pairs.
+    adjacency: Vec<Vec<(DeviceId, LinkId)>>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a device with an auto-generated canonical name.
+    ///
+    /// `scope`/`scope_idx`/`unit` feed the naming convention; see
+    /// [`format_device_name`].
+    pub fn add_device(
+        &mut self,
+        device_type: DeviceType,
+        datacenter: u16,
+        scope: char,
+        scope_idx: u32,
+        unit: u32,
+    ) -> DeviceId {
+        self.add_device_with_hardware(
+            device_type,
+            device_type.hardware_source(),
+            datacenter,
+            scope,
+            scope_idx,
+            unit,
+        )
+    }
+
+    /// Adds a device with an explicit hardware provenance override.
+    pub fn add_device_with_hardware(
+        &mut self,
+        device_type: DeviceType,
+        hardware: HardwareSource,
+        datacenter: u16,
+        scope: char,
+        scope_idx: u32,
+        unit: u32,
+    ) -> DeviceId {
+        let id = DeviceId(u32::try_from(self.devices.len()).expect("topology too large"));
+        let name = format_device_name(device_type, datacenter, scope, scope_idx, unit);
+        self.devices.push(Device { id, device_type, name, hardware, datacenter });
+        self.adjacency.push(Vec::new());
+        id
+    }
+
+    /// Connects two devices with a link of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a self-loop or an unknown device id — both are builder
+    /// bugs, not runtime conditions.
+    pub fn connect(&mut self, a: DeviceId, b: DeviceId, capacity_gbps: f64) -> LinkId {
+        assert!(a != b, "self-loop on {a}");
+        assert!(a.index() < self.devices.len() && b.index() < self.devices.len());
+        assert!(capacity_gbps > 0.0, "link capacity must be positive");
+        let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
+        self.links.push(Link { id, a, b, capacity_gbps });
+        self.adjacency[a.index()].push((b, id));
+        self.adjacency[b.index()].push((a, id));
+        id
+    }
+
+    /// The device behind a handle.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.index()]
+    }
+
+    /// The link behind a handle.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Neighbors of `id` as `(neighbor, link)` pairs.
+    pub fn neighbors(&self, id: DeviceId) -> &[(DeviceId, LinkId)] {
+        &self.adjacency[id.index()]
+    }
+
+    /// Degree of `id`.
+    pub fn degree(&self, id: DeviceId) -> usize {
+        self.adjacency[id.index()].len()
+    }
+
+    /// Number of devices.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Devices of a given type.
+    pub fn devices_of_type(&self, t: DeviceType) -> impl Iterator<Item = &Device> + '_ {
+        self.devices.iter().filter(move |d| d.device_type == t)
+    }
+
+    /// Count of devices of a given type.
+    pub fn count_of_type(&self, t: DeviceType) -> usize {
+        self.devices_of_type(t).count()
+    }
+
+    /// Total capacity of all links incident to `id`, in Gb/s — the
+    /// concrete proxy for the paper's "bisection bandwidth" of a device:
+    /// how much traffic transits it, hence how wide its failure blast
+    /// radius is (§5.2).
+    pub fn incident_capacity_gbps(&self, id: DeviceId) -> f64 {
+        self.adjacency[id.index()].iter().map(|&(_, l)| self.links[l.index()].capacity_gbps).sum()
+    }
+
+    /// Looks a device up by its canonical name (linear scan; topologies
+    /// used for impact modeling are representative-scale, not fleet-scale).
+    pub fn find_by_name(&self, name: &str) -> Option<&Device> {
+        self.devices.iter().find(|d| d.name == name)
+    }
+
+    /// Merges `other` into `self`, remapping ids. Returns the offset by
+    /// which `other`'s device indices were shifted, letting callers
+    /// translate ids. Used to assemble multi-datacenter regions.
+    pub fn absorb(&mut self, other: Topology) -> u32 {
+        let dev_offset = u32::try_from(self.devices.len()).expect("topology too large");
+        let link_offset = u32::try_from(self.links.len()).expect("too many links");
+        for mut d in other.devices {
+            d.id = DeviceId(d.id.0 + dev_offset);
+            self.devices.push(d);
+        }
+        for mut l in other.links {
+            l.id = LinkId(l.id.0 + link_offset);
+            l.a = DeviceId(l.a.0 + dev_offset);
+            l.b = DeviceId(l.b.0 + dev_offset);
+            self.links.push(l);
+        }
+        for adj in other.adjacency {
+            self.adjacency.push(
+                adj.into_iter()
+                    .map(|(n, l)| (DeviceId(n.0 + dev_offset), LinkId(l.0 + link_offset)))
+                    .collect(),
+            );
+        }
+        dev_offset
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node() -> (Topology, DeviceId, DeviceId) {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceType::Rsw, 1, 'c', 0, 0);
+        let b = t.add_device(DeviceType::Csw, 1, 'c', 0, 0);
+        t.connect(a, b, 10.0);
+        (t, a, b)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (t, a, b) = two_node();
+        assert_eq!(t.device_count(), 2);
+        assert_eq!(t.link_count(), 1);
+        assert_eq!(t.degree(a), 1);
+        assert_eq!(t.neighbors(a)[0].0, b);
+        assert_eq!(t.device(a).device_type, DeviceType::Rsw);
+        assert_eq!(t.device(a).name, "rsw.dc01.c000.u0000");
+        assert_eq!(t.count_of_type(DeviceType::Rsw), 1);
+    }
+
+    #[test]
+    fn parallel_links_allowed() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceType::Core, 1, 'x', 0, 0);
+        let b = t.add_device(DeviceType::Core, 1, 'x', 0, 1);
+        t.connect(a, b, 100.0);
+        t.connect(a, b, 100.0);
+        assert_eq!(t.degree(a), 2);
+        assert_eq!(t.incident_capacity_gbps(a), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_panics() {
+        let mut t = Topology::new();
+        let a = t.add_device(DeviceType::Rsw, 1, 'c', 0, 0);
+        t.connect(a, a, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let (mut t, a, b) = two_node();
+        t.connect(a, b, 0.0);
+    }
+
+    #[test]
+    fn incident_capacity_sums() {
+        let mut t = Topology::new();
+        let hub = t.add_device(DeviceType::Csw, 1, 'c', 0, 0);
+        for i in 0..4 {
+            let leaf = t.add_device(DeviceType::Rsw, 1, 'c', 0, i);
+            t.connect(hub, leaf, 10.0);
+        }
+        assert_eq!(t.incident_capacity_gbps(hub), 40.0);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let (t, a, _) = two_node();
+        assert_eq!(t.find_by_name("rsw.dc01.c000.u0000").unwrap().id, a);
+        assert!(t.find_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn absorb_remaps_ids() {
+        let (mut t1, _, _) = two_node();
+        let (t2, _, _) = two_node();
+        let off = t1.absorb(t2);
+        assert_eq!(off, 2);
+        assert_eq!(t1.device_count(), 4);
+        assert_eq!(t1.link_count(), 2);
+        // Adjacency of the absorbed nodes points at remapped ids.
+        let n = t1.neighbors(DeviceId(2));
+        assert_eq!(n[0].0, DeviceId(3));
+        // Links are self-consistent.
+        for l in t1.links() {
+            assert!(l.a.index() < t1.device_count());
+            assert!(l.b.index() < t1.device_count());
+            let adj = t1.neighbors(l.a);
+            assert!(adj.iter().any(|&(nb, lid)| nb == l.b && lid == l.id));
+        }
+    }
+}

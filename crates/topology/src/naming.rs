@@ -1,0 +1,147 @@
+//! The device naming convention and its parser.
+//!
+//! §4.3.1: *"we leverage the naming convention enforced by Facebook where
+//! each network device is named with a unique, machine-understandable
+//! string prefixed with the device type. For example, every rack switch
+//! has a name prefixed with `rsw.`. Therefore, by parsing the prefix of
+//! the name of the offending device, we are able to classify the SEVs
+//! based on the device types."*
+//!
+//! Names look like `rsw.dc03.c012.r0431` — `<type>.<datacenter>.<scope>.
+//! <unit>` — and the classifier only relies on the first dot-separated
+//! component, exactly as the paper's methodology does. The parser is
+//! intentionally tolerant of everything after the prefix: real SEV
+//! reports contain device names from several generations of conventions.
+
+use crate::device::DeviceType;
+use std::fmt;
+
+/// Errors from [`parse_device_type`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// The name is empty or has no `<prefix>.` component.
+    Malformed,
+    /// The prefix is syntactically fine but not a known device type.
+    UnknownPrefix(String),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::Malformed => write!(f, "device name lacks a '<type>.' prefix"),
+            NameError::UnknownPrefix(p) => write!(f, "unknown device type prefix {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// Classifies a device name by its type prefix.
+///
+/// Matching is case-insensitive on the prefix only (SEV authors type
+/// names by hand in a hurry). The remainder of the name is not validated.
+///
+/// # Examples
+///
+/// ```
+/// use dcnr_topology::{parse_device_type, DeviceType};
+/// assert_eq!(parse_device_type("rsw.dc03.c012.r0431").unwrap(), DeviceType::Rsw);
+/// assert_eq!(parse_device_type("CORE.dc01.x.1").unwrap(), DeviceType::Core);
+/// assert!(parse_device_type("router42").is_err());
+/// ```
+pub fn parse_device_type(name: &str) -> Result<DeviceType, NameError> {
+    let prefix = name.split('.').next().filter(|p| !p.is_empty()).ok_or(NameError::Malformed)?;
+    if prefix.len() == name.len() {
+        // No dot at all: not the enforced convention.
+        return Err(NameError::Malformed);
+    }
+    let lower = prefix.to_ascii_lowercase();
+    for t in DeviceType::INTRA_DC.iter().chain([DeviceType::Bbr].iter()) {
+        if lower == t.name_prefix() {
+            return Ok(*t);
+        }
+    }
+    Err(NameError::UnknownPrefix(prefix.to_string()))
+}
+
+/// Formats a canonical device name: `<type>.dc<dc:02>.<scope><scope_idx:03>.
+/// <unit_prefix><unit:04>` — e.g. `csw.dc02.c007.u0003`.
+///
+/// The `scope` letter distinguishes clusters (`c`) from pods (`p`) and
+/// planes (`s`); callers pick what is meaningful for the type.
+pub fn format_device_name(
+    device_type: DeviceType,
+    datacenter: u16,
+    scope: char,
+    scope_idx: u32,
+    unit: u32,
+) -> String {
+    format!(
+        "{}.dc{:02}.{}{:03}.u{:04}",
+        device_type.name_prefix(),
+        datacenter,
+        scope,
+        scope_idx,
+        unit
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_known_prefixes() {
+        for t in DeviceType::INTRA_DC {
+            let name = format!("{}.dc01.c000.u0000", t.name_prefix());
+            assert_eq!(parse_device_type(&name).unwrap(), t);
+        }
+        assert_eq!(parse_device_type("bbr.edge7.x.1").unwrap(), DeviceType::Bbr);
+    }
+
+    #[test]
+    fn case_insensitive_prefix() {
+        assert_eq!(parse_device_type("RSW.DC01.C000.U0000").unwrap(), DeviceType::Rsw);
+        assert_eq!(parse_device_type("Fsw.dc9.p1.u1").unwrap(), DeviceType::Fsw);
+    }
+
+    #[test]
+    fn rejects_missing_or_unknown_prefix() {
+        assert_eq!(parse_device_type(""), Err(NameError::Malformed));
+        assert_eq!(parse_device_type("."), Err(NameError::Malformed));
+        assert_eq!(parse_device_type("rsw"), Err(NameError::Malformed));
+        assert!(matches!(parse_device_type("dr.dc01.x.1"), Err(NameError::UnknownPrefix(_))));
+        assert!(matches!(parse_device_type("switch.a.b"), Err(NameError::UnknownPrefix(_))));
+    }
+
+    #[test]
+    fn prefix_must_be_exact_word() {
+        // "rswx." is not "rsw.".
+        assert!(matches!(parse_device_type("rswx.dc01.c0.u0"), Err(NameError::UnknownPrefix(_))));
+    }
+
+    #[test]
+    fn format_then_parse_roundtrip() {
+        for t in DeviceType::INTRA_DC {
+            let name = format_device_name(t, 3, 'c', 12, 431);
+            assert_eq!(parse_device_type(&name).unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn formatted_names_are_unique_per_coordinates() {
+        let a = format_device_name(DeviceType::Rsw, 1, 'c', 2, 3);
+        let b = format_device_name(DeviceType::Rsw, 1, 'c', 2, 4);
+        let c = format_device_name(DeviceType::Rsw, 1, 'c', 3, 3);
+        let d = format_device_name(DeviceType::Rsw, 2, 'c', 2, 3);
+        let set: std::collections::HashSet<_> = [&a, &b, &c, &d].into_iter().collect();
+        assert_eq!(set.len(), 4);
+        assert_eq!(a, "rsw.dc01.c002.u0003");
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(NameError::Malformed.to_string().contains("prefix"));
+        assert!(NameError::UnknownPrefix("dr".into()).to_string().contains("dr"));
+    }
+}

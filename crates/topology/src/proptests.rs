@@ -1,0 +1,157 @@
+//! Property-based tests for topologies: naming, builders, routing.
+
+use crate::cluster::{ClusterNetworkBuilder, ClusterParams};
+use crate::device::DeviceType;
+use crate::fabric::{FabricNetworkBuilder, FabricParams};
+use crate::graph::Topology;
+use crate::naming::{format_device_name, parse_device_type};
+use crate::routing::{can_reach_type, live_uplinks, BlastRadius, FailureSet};
+use proptest::prelude::*;
+
+fn any_type() -> impl Strategy<Value = DeviceType> {
+    proptest::sample::select(DeviceType::INTRA_DC.to_vec())
+}
+
+fn cluster_params() -> impl Strategy<Value = ClusterParams> {
+    (1u32..4, 1u32..12, 2u32..5, 1u32..4, 1u32..5).prop_map(
+        |(clusters, racks, csws, csas, cores)| ClusterParams {
+            clusters,
+            racks_per_cluster: racks,
+            csws_per_cluster: csws,
+            csas,
+            cores,
+            rack_uplink_gbps: 10.0,
+        },
+    )
+}
+
+fn fabric_params() -> impl Strategy<Value = FabricParams> {
+    (1u32..4, 1u32..10, 2u32..5, 1u32..4, 1u32..3, 1u32..5).prop_map(
+        |(pods, racks, fsws, ssws, esws, cores)| FabricParams {
+            pods,
+            racks_per_pod: racks,
+            fsws_per_pod: fsws,
+            ssws_per_plane: ssws,
+            esws_per_plane: esws,
+            cores,
+            rack_uplink_gbps: 10.0,
+        },
+    )
+}
+
+fn check_graph_consistency(topo: &Topology) {
+    for link in topo.links() {
+        assert_ne!(link.a, link.b);
+        assert!(link.capacity_gbps > 0.0);
+        assert!(topo.neighbors(link.a).iter().any(|&(n, l)| n == link.b && l == link.id));
+        assert!(topo.neighbors(link.b).iter().any(|&(n, l)| n == link.a && l == link.id));
+    }
+    let degree_sum: usize = topo.devices().iter().map(|d| topo.degree(d.id)).sum();
+    assert_eq!(degree_sum, 2 * topo.link_count(), "handshake lemma");
+}
+
+proptest! {
+    #[test]
+    fn name_roundtrip(t in any_type(), dc in 0u16..100, scope in 0u32..64, unit in 0u32..10_000) {
+        let name = format_device_name(t, dc, 'c', scope, unit);
+        prop_assert_eq!(parse_device_type(&name).unwrap(), t);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_strings(s in ".{0,64}") {
+        let _ = parse_device_type(&s);
+    }
+
+    #[test]
+    fn cluster_builder_invariants(params in cluster_params()) {
+        let mut topo = Topology::new();
+        let dc = ClusterNetworkBuilder::new(params).build(&mut topo, 0);
+        prop_assert_eq!(topo.device_count() as u32, params.device_total());
+        check_graph_consistency(&topo);
+        // Every RSW reaches a Core through its uplinks.
+        let none = FailureSet::new(&topo);
+        for cluster in &dc.rsws {
+            for &rsw in cluster {
+                prop_assert!(can_reach_type(&topo, rsw, DeviceType::Core, &none));
+                prop_assert_eq!(live_uplinks(&topo, rsw, &none) as u32, params.csws_per_cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_builder_invariants(params in fabric_params()) {
+        let mut topo = Topology::new();
+        let dc = FabricNetworkBuilder::new(params).build(&mut topo, 0);
+        prop_assert_eq!(topo.device_count() as u32, params.device_total());
+        check_graph_consistency(&topo);
+        let none = FailureSet::new(&topo);
+        for pod in &dc.rsws {
+            for &rsw in pod {
+                prop_assert_eq!(live_uplinks(&topo, rsw, &none) as u32, params.fsws_per_pod);
+            }
+        }
+    }
+
+    #[test]
+    fn blast_radius_is_bounded_and_monotone(params in cluster_params(), victim_idx in 0usize..1000) {
+        let mut topo = Topology::new();
+        let _ = ClusterNetworkBuilder::new(params).build(&mut topo, 0);
+        let victim = topo.devices()[victim_idx % topo.device_count()].id;
+        let empty = FailureSet::new(&topo);
+        let br = BlastRadius::of_failure(&topo, victim, &empty);
+        prop_assert!(br.racks_affected() <= br.racks_total);
+        prop_assert!((0.0..=1.0).contains(&br.capacity_loss_fraction));
+        prop_assert!((0.0..=1.0).contains(&br.affected_fraction()));
+
+        // Monotonicity: adding a base failure can only keep or grow the
+        // number of disconnected racks.
+        let other = topo.devices()[(victim_idx / 7) % topo.device_count()].id;
+        if other != victim {
+            let mut base = FailureSet::new(&topo);
+            base.fail(other);
+            let br2 = BlastRadius::of_failure(&topo, victim, &base);
+            prop_assert!(br2.racks_disconnected >= br.racks_disconnected);
+            prop_assert!(br2.capacity_loss_fraction + 1e-9 >= br.capacity_loss_fraction);
+        }
+    }
+
+    #[test]
+    fn failing_everything_disconnects_everything(params in cluster_params()) {
+        let mut topo = Topology::new();
+        let dc = ClusterNetworkBuilder::new(params).build(&mut topo, 0);
+        let mut failed = FailureSet::new(&topo);
+        for &core in &dc.cores {
+            failed.fail(core);
+        }
+        // With every Core down, no rack has an uplink.
+        for cluster in &dc.rsws {
+            for &rsw in cluster {
+                prop_assert_eq!(live_uplinks(&topo, rsw, &failed), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_set_len_tracks_fail_restore(ops in proptest::collection::vec((0usize..50, any::<bool>()), 0..100)) {
+        let mut topo = Topology::new();
+        for i in 0..50u32 {
+            topo.add_device(DeviceType::Rsw, 0, 'c', 0, i);
+        }
+        let mut fs = FailureSet::new(&topo);
+        let mut model = std::collections::HashSet::new();
+        for (idx, fail) in ops {
+            let id = topo.devices()[idx].id;
+            if fail {
+                fs.fail(id);
+                model.insert(idx);
+            } else {
+                fs.restore(id);
+                model.remove(&idx);
+            }
+        }
+        prop_assert_eq!(fs.len(), model.len());
+        for i in 0..50usize {
+            prop_assert_eq!(fs.is_failed(topo.devices()[i].id), model.contains(&i));
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Reachability, path diversity, and failure blast radius.
+//!
+//! The paper's central intra-DC observation is that *service-level*
+//! impact tracks a device's position in the hierarchy: "network devices
+//! with higher bisection bandwidth tend to affect a larger number of
+//! connected downstream devices and are thus correlated with widespread
+//! impact when these types of devices fail" (§5.4). This module turns
+//! that into computable quantities on a [`Topology`]:
+//!
+//! * [`FailureSet`] — the set of currently-failed devices;
+//! * reachability under a failure set (BFS skipping failed devices);
+//! * [`BlastRadius`] — for a candidate device failure: how many racks
+//!   lose *all* connectivity to the Core tier, and how many lose *some*
+//!   uplink capacity. Cluster RSWs (single TOR) are the canonical
+//!   total-loss case; fabric pods degrade gracefully.
+
+use crate::device::{DeviceId, DeviceType};
+use crate::graph::Topology;
+use std::collections::VecDeque;
+
+/// A set of failed devices, indexed by device id.
+#[derive(Debug, Clone)]
+pub struct FailureSet {
+    failed: Vec<bool>,
+    count: usize,
+}
+
+impl FailureSet {
+    /// An empty failure set sized for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        Self { failed: vec![false; topo.device_count()], count: 0 }
+    }
+
+    /// Marks `id` failed. Idempotent.
+    pub fn fail(&mut self, id: DeviceId) {
+        if !self.failed[id.index()] {
+            self.failed[id.index()] = true;
+            self.count += 1;
+        }
+    }
+
+    /// Restores `id`. Idempotent.
+    pub fn restore(&mut self, id: DeviceId) {
+        if self.failed[id.index()] {
+            self.failed[id.index()] = false;
+            self.count -= 1;
+        }
+    }
+
+    /// Whether `id` is failed.
+    pub fn is_failed(&self, id: DeviceId) -> bool {
+        self.failed[id.index()]
+    }
+
+    /// Number of failed devices.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no device is failed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Breadth-first reachability from `src`, treating devices in `failed`
+/// as removed. `src` itself being failed yields an empty set.
+///
+/// Returns a boolean vector indexed by device id.
+pub fn reachable_from(topo: &Topology, src: DeviceId, failed: &FailureSet) -> Vec<bool> {
+    let mut seen = vec![false; topo.device_count()];
+    if failed.is_failed(src) {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back(src);
+    while let Some(d) = queue.pop_front() {
+        for &(n, _) in topo.neighbors(d) {
+            if !seen[n.index()] && !failed.is_failed(n) {
+                seen[n.index()] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `src` can reach any live device of type `target` under the
+/// failure set.
+pub fn can_reach_type(
+    topo: &Topology,
+    src: DeviceId,
+    target: DeviceType,
+    failed: &FailureSet,
+) -> bool {
+    let seen = reachable_from(topo, src, failed);
+    topo.devices()
+        .iter()
+        .any(|d| d.device_type == target && seen[d.id.index()] && !failed.is_failed(d.id))
+}
+
+/// Upward-only reachability: BFS from `src` that only crosses links to a
+/// device of strictly higher [`DeviceType::tier_rank`]. This models valid
+/// Clos *up-segments*: a packet climbing out of a rack never descends and
+/// climbs again ("valley routing" is forbidden by the forwarding
+/// discipline), so a device reachable only via a valley does not count as
+/// an upstream path.
+pub fn upward_reach(topo: &Topology, src: DeviceId, failed: &FailureSet) -> Vec<bool> {
+    let mut seen = vec![false; topo.device_count()];
+    if failed.is_failed(src) {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[src.index()] = true;
+    queue.push_back(src);
+    while let Some(d) = queue.pop_front() {
+        let rank = topo.device(d).device_type.tier_rank();
+        for &(n, _) in topo.neighbors(d) {
+            if !seen[n.index()]
+                && !failed.is_failed(n)
+                && topo.device(n).device_type.tier_rank() > rank
+            {
+                seen[n.index()] = true;
+                queue.push_back(n);
+            }
+        }
+    }
+    seen
+}
+
+/// Whether `src` has a valid (upward) path to a live Core.
+pub fn has_core_uplink(topo: &Topology, src: DeviceId, failed: &FailureSet) -> bool {
+    let seen = upward_reach(topo, src, failed);
+    topo.devices()
+        .iter()
+        .any(|d| d.device_type == DeviceType::Core && seen[d.id.index()] && !failed.is_failed(d.id))
+}
+
+/// Number of neighbor-disjoint uplink paths from a rack switch toward the
+/// Core tier: the count of live aggregation neighbors with an upward path
+/// to a live Core. For a cluster RSW this is up to 4 (its CSWs); for a
+/// fabric RSW up to 4 (its FSWs across planes).
+pub fn live_uplinks(topo: &Topology, rsw: DeviceId, failed: &FailureSet) -> usize {
+    if failed.is_failed(rsw) {
+        return 0;
+    }
+    topo.neighbors(rsw)
+        .iter()
+        .filter(|&&(n, _)| !failed.is_failed(n) && has_core_uplink(topo, n, failed))
+        .count()
+}
+
+/// Impact assessment of one candidate device failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlastRadius {
+    /// Racks that lose *all* paths to the Core tier.
+    pub racks_disconnected: usize,
+    /// Racks that keep connectivity but lose at least one uplink.
+    pub racks_degraded: usize,
+    /// Total racks considered.
+    pub racks_total: usize,
+    /// Fraction of rack uplink capacity lost, averaged over all racks.
+    pub capacity_loss_fraction: f64,
+}
+
+impl BlastRadius {
+    /// Computes the blast radius of failing `victim` on top of an
+    /// existing failure set (pass an empty set for single-failure
+    /// analysis). The topology's RSWs are the measurement points.
+    pub fn of_failure(topo: &Topology, victim: DeviceId, base: &FailureSet) -> BlastRadius {
+        let mut failed = base.clone();
+        failed.fail(victim);
+
+        let mut disconnected = 0;
+        let mut degraded = 0;
+        let mut total = 0;
+        let mut capacity_lost = 0.0;
+        for d in topo.devices() {
+            if d.device_type != DeviceType::Rsw {
+                continue;
+            }
+            total += 1;
+            if failed.is_failed(d.id) {
+                disconnected += 1;
+                capacity_lost += 1.0;
+                continue;
+            }
+            let before = live_uplinks(topo, d.id, base);
+            let after = live_uplinks(topo, d.id, &failed);
+            if after == 0 {
+                disconnected += 1;
+                capacity_lost += 1.0;
+            } else if after < before {
+                degraded += 1;
+                capacity_lost += (before - after) as f64 / before as f64;
+            }
+        }
+        BlastRadius {
+            racks_disconnected: disconnected,
+            racks_degraded: degraded,
+            racks_total: total,
+            capacity_loss_fraction: if total > 0 { capacity_lost / total as f64 } else { 0.0 },
+        }
+    }
+
+    /// Racks affected in any way.
+    pub fn racks_affected(&self) -> usize {
+        self.racks_disconnected + self.racks_degraded
+    }
+
+    /// Fraction of racks affected in any way.
+    pub fn affected_fraction(&self) -> f64 {
+        if self.racks_total == 0 {
+            0.0
+        } else {
+            self.racks_affected() as f64 / self.racks_total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterNetworkBuilder, ClusterParams};
+    use crate::fabric::{FabricNetworkBuilder, FabricParams};
+
+    fn cluster_topo() -> (Topology, crate::cluster::ClusterDc) {
+        let mut t = Topology::new();
+        let dc = ClusterNetworkBuilder::new(ClusterParams {
+            clusters: 2,
+            racks_per_cluster: 4,
+            csws_per_cluster: 4,
+            csas: 2,
+            cores: 2,
+            rack_uplink_gbps: 10.0,
+        })
+        .build(&mut t, 1);
+        (t, dc)
+    }
+
+    fn fabric_topo() -> (Topology, crate::fabric::FabricDc) {
+        let mut t = Topology::new();
+        let dc = FabricNetworkBuilder::new(FabricParams {
+            pods: 2,
+            racks_per_pod: 4,
+            fsws_per_pod: 4,
+            ssws_per_plane: 2,
+            esws_per_plane: 2,
+            cores: 2,
+            rack_uplink_gbps: 10.0,
+        })
+        .build(&mut t, 1);
+        (t, dc)
+    }
+
+    #[test]
+    fn everything_reaches_core_when_healthy() {
+        let (t, dc) = cluster_topo();
+        let none = FailureSet::new(&t);
+        for cluster in &dc.rsws {
+            for &rsw in cluster {
+                assert!(can_reach_type(&t, rsw, DeviceType::Core, &none));
+                assert_eq!(live_uplinks(&t, rsw, &none), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn rsw_failure_disconnects_exactly_its_rack() {
+        let (t, dc) = cluster_topo();
+        let br = BlastRadius::of_failure(&t, dc.rsws[0][0], &FailureSet::new(&t));
+        assert_eq!(br.racks_disconnected, 1, "single-TOR design: the rack is cut off");
+        assert_eq!(br.racks_degraded, 0);
+        assert_eq!(br.racks_total, 8);
+        assert!((br.capacity_loss_fraction - 1.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csw_failure_degrades_its_cluster_only() {
+        let (t, dc) = cluster_topo();
+        let br = BlastRadius::of_failure(&t, dc.csws[0][0], &FailureSet::new(&t));
+        assert_eq!(br.racks_disconnected, 0);
+        assert_eq!(br.racks_degraded, 4, "all racks of cluster 0 lose one of 4 uplinks");
+        assert!((br.capacity_loss_fraction - 4.0 * 0.25 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_core_failure_is_tolerated() {
+        // §5.2: provisioning lets the network tolerate one unavailable Core.
+        let (t, dc) = cluster_topo();
+        let br = BlastRadius::of_failure(&t, dc.cores[0], &FailureSet::new(&t));
+        assert_eq!(br.racks_disconnected, 0);
+        assert_eq!(br.racks_degraded, 0, "remaining Core keeps every CSA reachable");
+    }
+
+    #[test]
+    fn all_cores_failing_disconnects_everything() {
+        let (t, dc) = cluster_topo();
+        let mut base = FailureSet::new(&t);
+        base.fail(dc.cores[0]);
+        let br = BlastRadius::of_failure(&t, dc.cores[1], &base);
+        assert_eq!(br.racks_disconnected, 8);
+        assert!((br.capacity_loss_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fabric_fsw_failure_degrades_gracefully() {
+        let (t, dc) = fabric_topo();
+        let br = BlastRadius::of_failure(&t, dc.fsws[0][0], &FailureSet::new(&t));
+        assert_eq!(br.racks_disconnected, 0, "3 planes remain");
+        assert_eq!(br.racks_degraded, 4, "pod 0's racks lose one of 4 uplinks");
+        assert!(br.capacity_loss_fraction < 0.2);
+    }
+
+    #[test]
+    fn fabric_survives_whole_plane_loss() {
+        let (t, dc) = fabric_topo();
+        let mut base = FailureSet::new(&t);
+        for &ssw in &dc.ssws[0] {
+            base.fail(ssw);
+        }
+        // Every rack still reaches a Core through planes 1-3.
+        for pod in &dc.rsws {
+            for &rsw in pod {
+                assert!(can_reach_type(&t, rsw, DeviceType::Core, &base));
+                assert_eq!(live_uplinks(&t, rsw, &base), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn failure_set_bookkeeping() {
+        let (t, dc) = cluster_topo();
+        let mut f = FailureSet::new(&t);
+        assert!(f.is_empty());
+        f.fail(dc.cores[0]);
+        f.fail(dc.cores[0]); // idempotent
+        assert_eq!(f.len(), 1);
+        assert!(f.is_failed(dc.cores[0]));
+        f.restore(dc.cores[0]);
+        f.restore(dc.cores[0]); // idempotent
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn reachability_excludes_failed_source() {
+        let (t, dc) = cluster_topo();
+        let mut f = FailureSet::new(&t);
+        f.fail(dc.rsws[0][0]);
+        let seen = reachable_from(&t, dc.rsws[0][0], &f);
+        assert!(seen.iter().all(|&s| !s));
+        assert_eq!(live_uplinks(&t, dc.rsws[0][0], &f), 0);
+    }
+
+    #[test]
+    fn blast_radius_affected_fraction() {
+        let (t, dc) = cluster_topo();
+        let br = BlastRadius::of_failure(&t, dc.csws[0][0], &FailureSet::new(&t));
+        assert_eq!(br.racks_affected(), 4);
+        assert!((br.affected_fraction() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,125 @@
+//! Mechanistic blast-radius exploration (§5.2, §5.4): build a mixed
+//! region (one classic cluster data center + one fabric data center),
+//! place services on its racks, and assess the service-level impact of
+//! failing each tier — including the single-TOR-vs-dual-TOR question
+//! the paper discusses ("we find that it is more cost-effective to
+//! handle RSW failures in software ... than to use redundant RSWs in
+//! every rack").
+//!
+//! ```sh
+//! cargo run --release --example blast_radius
+//! ```
+
+use dcnr_core::service::{disaster_drill, FaultInjectionDrill, ImpactModel, Placement};
+use dcnr_core::topology::{DataCenter, DeviceId, FailureSet, Region};
+
+fn assess(region: &Region, placement: &Placement, model: &ImpactModel, label: &str, id: DeviceId) {
+    let a = model.assess(&region.topology, placement, id, &FailureSet::new(&region.topology));
+    println!(
+        "{label:<28} -> {}   racks cut {:>3} / degraded {:>3} / total {:>3}   capacity lost {:>5.1}%   failed requests {:>6.3}%",
+        a.severity,
+        a.blast.racks_disconnected,
+        a.blast.racks_degraded,
+        a.blast.racks_total,
+        a.blast.capacity_loss_fraction * 100.0,
+        a.request_failure_rate * 100.0,
+    );
+}
+
+fn main() {
+    let region = Region::mixed_reference();
+    let placement = Placement::default_mix(&region.topology);
+    let model = ImpactModel::default();
+
+    println!(
+        "mixed region: {} devices, {} links, {} racks\n",
+        region.topology.device_count(),
+        region.topology.link_count(),
+        placement.total_racks()
+    );
+
+    println!("single-device failures by tier (utilization 70%):");
+    for dc in &region.datacenters {
+        match dc {
+            DataCenter::Cluster { dc, .. } => {
+                assess(&region, &placement, &model, "cluster RSW", dc.rsws[0][0]);
+                assess(&region, &placement, &model, "cluster CSW", dc.csws[0][0]);
+                assess(&region, &placement, &model, "cluster CSA", dc.csas[0]);
+                assess(&region, &placement, &model, "cluster Core", dc.cores[0]);
+            }
+            DataCenter::Fabric { dc, .. } => {
+                assess(&region, &placement, &model, "fabric RSW", dc.rsws[0][0]);
+                assess(&region, &placement, &model, "fabric FSW", dc.fsws[0][0]);
+                assess(&region, &placement, &model, "fabric SSW", dc.ssws[0][0]);
+                assess(&region, &placement, &model, "fabric ESW", dc.esws[0][0]);
+                assess(&region, &placement, &model, "fabric Core", dc.cores[0]);
+            }
+        }
+    }
+
+    // Escalating Core failures in the cluster DC: the paper provisions
+    // 8 Cores to tolerate one loss; show what stacking losses does.
+    println!("\nescalating Core failures (cluster DC):");
+    if let DataCenter::Cluster { dc, .. } = &region.datacenters[0] {
+        let mut base = FailureSet::new(&region.topology);
+        for (i, &core) in dc.cores.iter().enumerate() {
+            let a = model.assess(&region.topology, &placement, core, &base);
+            println!(
+                "  failing core #{}: {}   failed requests {:.2}%",
+                i + 1,
+                a.severity,
+                a.request_failure_rate * 100.0
+            );
+            base.fail(core);
+        }
+    }
+
+    // §5.7: fault-injection drill — sweep every device in the region.
+    println!("\nfault-injection drill (single-failure sweep over every device):");
+    let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
+    for report in drill.reports() {
+        println!(
+            "  {:<5} n={:<4} worst={}   max failed requests {:>6.3}%   mean capacity loss {:>6.3}%",
+            report.device_type.to_string(),
+            report.devices,
+            report.worst_severity,
+            report.max_request_failure_rate * 100.0,
+            report.mean_capacity_loss * 100.0,
+        );
+    }
+    let risky = drill.risky_tiers();
+    if risky.is_empty() {
+        println!("  every single-device failure is contained (SEV3) — redundancy holds");
+    } else {
+        println!("  tiers with externally visible single-failure risk: {risky:?}");
+    }
+
+    // §5.7: disaster-recovery drill — disconnect each data center.
+    println!("\ndisaster-recovery drill (disconnect an entire data center):");
+    for dc in &region.datacenters {
+        let r = disaster_drill(&region, &placement, &model, dc);
+        println!(
+            "  dc{}: {} devices failed, {} racks lost / {} surviving, {:.1}% capacity lost (worst service {:.1}%)",
+            r.datacenter,
+            r.devices_failed,
+            r.racks_lost,
+            r.racks_surviving,
+            r.capacity_lost_fraction * 100.0,
+            r.worst_service_loss * 100.0,
+        );
+    }
+
+    // Per-service view of a CSW loss under hot utilization.
+    println!("\nper-service capacity loss for a cluster CSW failure at 95% utilization:");
+    let hot = ImpactModel { utilization: 0.95, ..Default::default() };
+    if let DataCenter::Cluster { dc, .. } = &region.datacenters[0] {
+        let mut base = FailureSet::new(&region.topology);
+        base.fail(dc.csws[0][0]);
+        base.fail(dc.csws[0][1]);
+        let a = hot.assess(&region.topology, &placement, dc.csws[0][2], &base);
+        for (service, loss) in &a.service_capacity_loss {
+            println!("  {service:<16} {:>5.1}% of capacity lost", loss * 100.0);
+        }
+        println!("  => severity {}", a.severity);
+    }
+}

@@ -1,0 +1,89 @@
+//! What-if ablations (DESIGN.md A-1 and A-2): rerun the intra-DC study
+//! with automated remediation disabled, and with the
+//! drain-before-maintenance practice never adopted, and compare incident
+//! volumes against the production configuration.
+//!
+//! Quantifies §4.1.2 ("Facebook relies on this automated repair system to
+//! shield our infrastructure from the vast majority of issues") and
+//! §5.2's drain-policy observation.
+//!
+//! ```sh
+//! cargo run --release --example whatif_remediation
+//! ```
+
+use dcnr_core::faults::hazard::HazardConfig;
+use dcnr_core::topology::DeviceType;
+use dcnr_core::{IntraDcStudy, StudyConfig};
+
+fn run(name: &str, hazard: HazardConfig) -> IntraDcStudy {
+    let study = IntraDcStudy::run(StudyConfig {
+        scale: 2.0,
+        seed: 77,
+        hazard,
+        ..Default::default()
+    });
+    println!(
+        "{name:<28} issues {:>8}   SEVs {:>7}",
+        study.outcomes().len(),
+        study.db().len()
+    );
+    study
+}
+
+fn main() {
+    println!("Ablations over the seven-year intra-DC study (scale 2, same seed):\n");
+
+    let baseline = run("production (baseline)", HazardConfig::default());
+    let no_auto = run(
+        "A-1: automation disabled",
+        HazardConfig { automation_enabled: false, drain_policy_enabled: true },
+    );
+    let no_drain = run(
+        "A-2: no drain-before-maint",
+        HazardConfig { automation_enabled: true, drain_policy_enabled: false },
+    );
+
+    println!("\n--- A-1: the value of automated remediation ---");
+    let base_2017 = baseline.db().query().year(2017).count() as f64;
+    let noauto_2017 = no_auto.db().query().year(2017).count() as f64;
+    println!(
+        "2017 incidents: {base_2017:.0} -> {noauto_2017:.0}  ({:.0}x more without automation)",
+        noauto_2017 / base_2017
+    );
+    for t in [DeviceType::Rsw, DeviceType::Fsw, DeviceType::Core] {
+        let b = baseline.db().query().year(2017).device_type(t).count() as f64;
+        let n = no_auto.db().query().year(2017).device_type(t).count() as f64;
+        let factor = if b > 0.0 { n / b } else { f64::NAN };
+        println!("  {t:<5} 2017 incidents: {b:>6.0} -> {n:>7.0}  ({factor:.0}x)");
+    }
+    println!(
+        "paper anchor: only 1/397 RSW issues needed a human (Apr 2018), so disabling\n\
+         automation multiplies RSW incidents by roughly 0.25/0.003 ≈ 83x."
+    );
+
+    println!("\n--- A-2: the value of draining before maintenance ---");
+    for year in [2015, 2016, 2017] {
+        let b = baseline.db().query().year(year).device_type(DeviceType::Csa).count();
+        let n = no_drain.db().query().year(year).device_type(DeviceType::Csa).count();
+        println!("  CSA incidents {year}: {b:>4} with drain policy, {n:>5} without");
+    }
+    let b_mtbi = baseline
+        .db()
+        .query()
+        .years(2015, 2017)
+        .device_type(DeviceType::Csa)
+        .count()
+        .max(1);
+    let n_mtbi = no_drain
+        .db()
+        .query()
+        .years(2015, 2017)
+        .device_type(DeviceType::Csa)
+        .count()
+        .max(1);
+    println!(
+        "  CSA 2015-2017 totals: {b_mtbi} vs {n_mtbi} ({:.0}x) — the paper credits the\n\
+         2015 operational guidelines with a ~two-order-of-magnitude CSA MTBI gain.",
+        n_mtbi as f64 / b_mtbi as f64
+    );
+}

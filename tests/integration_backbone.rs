@@ -1,0 +1,155 @@
+//! Cross-crate integration tests for the backbone study: simulation →
+//! e-mail parsing → ticket DB → metrics, verified against the §6 claims.
+
+use dcnr_core::backbone::topo::BackboneParams;
+use dcnr_core::backbone::{BackboneSimConfig, PaperModels};
+use dcnr_core::InterDcStudy;
+
+fn study() -> InterDcStudy {
+    InterDcStudy::run(BackboneSimConfig { seed: 0xBEEF, ..Default::default() })
+}
+
+#[test]
+fn tens_of_thousands_of_events() {
+    // §6: "comprising tens of thousands of real world events" — each
+    // ticket is two events (start + complete e-mails).
+    let s = study();
+    assert!(s.output().emails.len() > 10_000, "emails {}", s.output().emails.len());
+    assert_eq!(s.ingest_failures, 0);
+}
+
+#[test]
+fn edge_failures_on_the_order_of_weeks_to_months() {
+    // §6.1: "Backbone links that connect data centers typically fail on
+    // the order of weeks to months and typically recover on the order
+    // of hours."
+    let s = study();
+    let mtbf = s.metrics().edge_mtbf.summary();
+    assert!(mtbf.median() > 24.0 * 7.0, "median {} h", mtbf.median());
+    assert!(mtbf.median() < 24.0 * 150.0, "median {} h", mtbf.median());
+    let mttr = s.metrics().edge_mttr.summary();
+    assert!(mttr.median() > 1.0 && mttr.median() < 48.0, "median {} h", mttr.median());
+}
+
+#[test]
+fn edge_mtbf_model_recovered() {
+    // Fig. 15: MTBF_edge(p) = 462.88·e^{2.3408p}, R² = 0.94. The
+    // generator samples that model (with jitter + continent scaling);
+    // the measurement pipeline must recover coefficients in the same
+    // regime with a comparable fit quality.
+    let s = study();
+    let fit = s.metrics().edge_mtbf.fit.expect("fit");
+    let paper = PaperModels::edge_mtbf();
+    assert!(fit.a > paper.a * 0.4 && fit.a < paper.a * 2.5, "a = {}", fit.a);
+    assert!(fit.b > paper.b * 0.5 && fit.b < paper.b * 1.8, "b = {}", fit.b);
+    assert!(fit.r2 > 0.75, "r2 = {}", fit.r2);
+}
+
+#[test]
+fn edge_mttr_model_recovered() {
+    // Fig. 16: MTTR_edge(p) = 1.513·e^{4.256p}, R² = 0.87.
+    let s = study();
+    let fit = s.metrics().edge_mttr.fit.expect("fit");
+    let paper = PaperModels::edge_mttr();
+    assert!(fit.b > paper.b * 0.4 && fit.b < paper.b * 1.6, "b = {}", fit.b);
+    assert!(fit.r2 > 0.6, "r2 = {}", fit.r2);
+}
+
+#[test]
+fn vendor_variance_spans_orders_of_magnitude() {
+    // §6.2: vendor MTBF and MTTR each span multiple orders of magnitude.
+    let s = study();
+    let mtbf = s.metrics().vendor_mtbf.summary();
+    assert!(mtbf.max() / mtbf.min() > 100.0, "MTBF span {}", mtbf.max() / mtbf.min());
+    let mttr = s.metrics().vendor_mttr.summary();
+    assert!(mttr.max() / mttr.min() > 10.0, "MTTR span {}", mttr.max() / mttr.min());
+}
+
+#[test]
+fn vendor_mttr_model_recovered() {
+    // Fig. 18: MTTR_vendor(p) = 1.1345·e^{4.7709p}, R² = 0.98.
+    let s = study();
+    let fit = s.metrics().vendor_mttr.fit.expect("fit");
+    assert!(fit.b > 1.8, "b = {}", fit.b);
+    let median = s.metrics().vendor_mttr.summary().median();
+    assert!(median > 4.0 && median < 40.0, "median {median}");
+}
+
+#[test]
+fn table4_africa_and_australia_outliers() {
+    // §6.3: Africa has the longest MTBF and the slowest recovery;
+    // Australia recovers fastest.
+    let s = study();
+    let rows = &s.metrics().continents;
+    let get = |c: dcnr_core::backbone::Continent| {
+        rows.iter().find(|r| r.continent == c).cloned().expect("row")
+    };
+    use dcnr_core::backbone::Continent::*;
+    let africa = get(Africa);
+    for c in [NorthAmerica, Europe, Asia, SouthAmerica] {
+        assert!(
+            africa.mtbf_hours > get(c).mtbf_hours,
+            "africa {} vs {c:?} {}",
+            africa.mtbf_hours,
+            get(c).mtbf_hours
+        );
+    }
+    let australia = get(Australia);
+    for c in [NorthAmerica, Europe, Africa] {
+        assert!(
+            australia.mttr_hours < get(c).mttr_hours,
+            "australia {} vs {c:?} {}",
+            australia.mttr_hours,
+            get(c).mttr_hours
+        );
+    }
+}
+
+#[test]
+fn table4_distribution_matches() {
+    let s = study();
+    for row in &s.metrics().continents {
+        assert!(
+            (row.distribution - row.continent.edge_share()).abs() < 0.02,
+            "{}: {} vs {}",
+            row.continent,
+            row.distribution,
+            row.continent.edge_share()
+        );
+    }
+}
+
+#[test]
+fn no_catastrophic_partitions_but_real_risk() {
+    // §3.2: "we have not seen catastrophic network partitions that
+    // disconnect data centers" — most of the time everything is up, yet
+    // the p99.99 tail is nonzero (why they plan capacity against it).
+    let s = study();
+    let r = s.risk_report(200_000).expect("report");
+    assert!(r.p_all_up > 0.2, "P(all up) {}", r.p_all_up);
+    assert!(r.p9999_failures >= 1);
+    assert!(r.p9999_failures <= 15, "p9999 {}", r.p9999_failures);
+}
+
+#[test]
+fn smaller_backbone_still_measures() {
+    // The pipeline degrades gracefully to small deployments.
+    let s = InterDcStudy::run(BackboneSimConfig {
+        params: BackboneParams { edges: 10, vendors: 4, min_links_per_edge: 3 },
+        seed: 3,
+        ..Default::default()
+    });
+    assert!(s.metrics().edge_mtbf.curve.len() >= 8);
+    assert_eq!(s.ingest_failures, 0);
+}
+
+#[test]
+fn determinism_end_to_end() {
+    let a = study();
+    let b = study();
+    assert_eq!(a.tickets().len(), b.tickets().len());
+    let fa = a.metrics().edge_mtbf.fit.unwrap();
+    let fb = b.metrics().edge_mtbf.fit.unwrap();
+    assert_eq!(fa.a, fb.a);
+    assert_eq!(fa.b, fb.b);
+}

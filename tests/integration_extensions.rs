@@ -1,0 +1,166 @@
+//! Integration tests for the extension modules (DESIGN.md §5a): WAN
+//! rerouting, cross-DC planes, optical layer, drills, review
+//! sensitivity, wear-out sensitivity, and Kaplan–Meier cross-checks —
+//! each exercised against a full study run.
+
+use dcnr_core::backbone::optical;
+use dcnr_core::backbone::topo::BackboneParams;
+use dcnr_core::backbone::wan::{self, RerouteImpact};
+use dcnr_core::backbone::{BackboneSimConfig, CrossDcPlanes};
+use dcnr_core::faults::RootCause;
+use dcnr_core::service::{disaster_drill, FaultInjectionDrill, ImpactModel, Placement};
+use dcnr_core::sev::ReviewProcess;
+use dcnr_core::topology::Region;
+use dcnr_core::{InterDcStudy, IntraDcStudy, StudyConfig};
+use std::collections::HashSet;
+
+fn inter() -> InterDcStudy {
+    InterDcStudy::run(BackboneSimConfig {
+        params: BackboneParams { edges: 40, vendors: 16, min_links_per_edge: 3 },
+        seed: 0xE47,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn reroute_latency_grows_with_cut_size() {
+    // §3.2: rerouting around fiber cuts increases end-to-end latency —
+    // and more cuts can only make it worse.
+    let s = inter();
+    let topo = &s.output().topology;
+    let all_links: Vec<_> = topo.links().iter().map(|l| l.id).collect();
+    let mut last_mean = 1.0;
+    for frac in [8, 4] {
+        let cut: HashSet<_> =
+            all_links.iter().copied().filter(|l| l.index() % frac == 0).collect();
+        let impact = RerouteImpact::of_cut(topo, &cut);
+        assert!(impact.mean_stretch >= last_mean - 1e-9, "stretch should grow with cuts");
+        assert!(impact.max_stretch >= impact.mean_stretch);
+        last_mean = impact.mean_stretch;
+    }
+    assert!(last_mean > 1.0, "a quarter of links cut must stretch something");
+}
+
+#[test]
+fn intercontinental_paths_cost_more() {
+    let s = inter();
+    let topo = &s.output().topology;
+    // Latency from an NA edge to same-continent peers vs. others.
+    let na = topo.edges_on(dcnr_core::backbone::Continent::NorthAmerica);
+    let au = topo.edges_on(dcnr_core::backbone::Continent::Australia);
+    if na.len() >= 2 && !au.is_empty() {
+        let dist = wan::shortest_latencies(topo, na[0], &HashSet::new());
+        let to_na = dist[na[1].index()].expect("connected");
+        let to_au = dist[au[0].index()].expect("connected");
+        assert!(to_au > to_na, "NA->AU {to_au} should exceed NA->NA {to_na}");
+    }
+}
+
+#[test]
+fn cross_dc_planes_survive_three_plane_loss() {
+    let mut planes = CrossDcPlanes::paper(12);
+    planes.fail_plane(0);
+    planes.fail_plane(1);
+    planes.fail_plane(2);
+    assert_eq!(planes.min_pair_capacity(), 0.25);
+    for a in 0..12 {
+        for b in (a + 1)..12 {
+            assert!(!planes.pair_partitioned(a, b));
+        }
+    }
+}
+
+#[test]
+fn optical_layer_capacity_reconciles_with_links() {
+    let s = inter();
+    let topo = &s.output().topology;
+    let all = optical::derive_all(topo);
+    assert_eq!(all.len(), topo.links().len());
+    for (lo, link) in all.iter().zip(topo.links()) {
+        assert_eq!(lo.link, link.id);
+        assert_eq!(lo.circuits.len(), link.circuits.max(1) as usize);
+        // Severing every circuit at its first segment downs the link.
+        let cuts: Vec<(u8, u8)> = lo.circuits.iter().map(|c| (c.index, 0)).collect();
+        assert!(lo.is_down(&cuts));
+        // Severing all but one leaves capacity.
+        if cuts.len() > 1 {
+            assert!(!lo.is_down(&cuts[1..]));
+        }
+    }
+}
+
+#[test]
+fn drills_agree_with_impact_model() {
+    let region = Region::mixed_reference();
+    let placement = Placement::default_mix(&region.topology);
+    let model = ImpactModel::default();
+    let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
+    // The reference region tolerates any single failure.
+    assert!(drill.risky_tiers().is_empty(), "{:?}", drill.risky_tiers());
+    // Disaster drills account for every rack exactly once.
+    let mut lost = 0;
+    for dc in &region.datacenters {
+        lost += disaster_drill(&region, &placement, &model, dc).racks_lost;
+    }
+    assert_eq!(lost, placement.total_racks());
+}
+
+#[test]
+fn review_noise_cannot_create_determined_causes_from_nothing() {
+    let study = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 0xAA, ..Default::default() });
+    // Full error, all-undetermined review: everything collapses.
+    let wiped = study.table2_with_review(ReviewProcess::new(1.0, 1.0));
+    assert!((wiped[&RootCause::Undetermined] - 1.0).abs() < 1e-9);
+    for cause in RootCause::ALL {
+        if cause != RootCause::Undetermined {
+            assert_eq!(wiped.get(&cause).copied().unwrap_or(0.0), 0.0, "{cause}");
+        }
+    }
+}
+
+#[test]
+fn wearout_sensitivity_preserves_rsw_anchor() {
+    let study = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 0xAB, ..Default::default() });
+    let base = study.fig3_incident_rate();
+    let worn = study.fig3_with_wearout(2.0);
+    // The multiplier is normalized to the RSW 2017 fleet, so the RSW
+    // 2017 anchor is preserved exactly.
+    use dcnr_core::topology::DeviceType;
+    let b = base[&DeviceType::Rsw].get(2017);
+    let w = worn[&DeviceType::Rsw].get(2017);
+    assert!((b - w).abs() < 1e-12, "{b} vs {w}");
+}
+
+#[test]
+fn kaplan_meier_cross_check_is_consistent() {
+    let s = inter();
+    let km = s.metrics().edge_uptime_survival.as_ref().expect("fitted");
+    // Pooled intervals: every edge contributes at least one observation.
+    assert!(km.n() >= 40);
+    assert!(km.events() > 0);
+    // The KM median time-to-failure should be the same order as the
+    // per-edge MTBF median (pooling weights frequent failers more, so
+    // it sits at or below it).
+    let per_edge_median = s.metrics().edge_mtbf.summary().median();
+    let km_median = km.median().expect("enough failures");
+    assert!(km_median > per_edge_median / 10.0, "{km_median} vs {per_edge_median}");
+    assert!(km_median < per_edge_median * 3.0, "{km_median} vs {per_edge_median}");
+    // Survival is a proper tail function.
+    assert!(km.survival_at(0.0) <= 1.0);
+    assert!(km.survival_at(1e9) >= 0.0);
+}
+
+#[test]
+fn detection_model_contributes_realistic_delays() {
+    use dcnr_core::remediation::DetectionModel;
+    let m = DetectionModel::paper();
+    // Detection (≈40 s) is negligible against Table 1's wait times
+    // (minutes to days) — which is why the paper reports wait/repair
+    // and not detection.
+    assert!(m.mean_secs() < 60.0);
+    let rsw_wait = dcnr_core::faults::calibration::repair_wait_secs(
+        dcnr_core::topology::DeviceType::Rsw,
+    )
+    .unwrap() as f64;
+    assert!(m.mean_secs() < rsw_wait / 100.0);
+}

@@ -1,0 +1,165 @@
+//! Pipeline-boundary integration tests: the measurement boundaries the
+//! paper describes are actually enforced in code — the SEV analysis
+//! sees only what remediation escalates; the backbone analysis sees
+//! only what the e-mail parser recovers.
+
+use dcnr_core::backbone::{parse_email, render_email, BackboneSim, BackboneSimConfig, TicketDb};
+use dcnr_core::faults::hazard::HazardConfig;
+use dcnr_core::faults::{HazardModel, IssueGenerator};
+use dcnr_core::remediation::{RemediationEngine, RemediationOutcome};
+use dcnr_core::sim::StudyCalendar;
+use dcnr_core::{Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
+
+#[test]
+fn incident_boundary_only_escalations_become_sevs() {
+    let seed = 99;
+    let gen = IssueGenerator::paper(1.0, seed);
+    let issues = gen.generate(StudyCalendar::year(2017));
+    let mut engine = RemediationEngine::new(HazardModel::paper(), seed);
+    let outcomes = engine.triage_all(issues);
+    let escalated = outcomes.iter().filter(|o| o.is_escalated()).count();
+
+    let mut db = dcnr_core::sev::SevDb::new();
+    let created = dcnr_core::service::SevGenerator::new(seed).ingest(&outcomes, &mut db);
+    assert_eq!(created, escalated, "exactly the escalations became SEVs");
+    assert_eq!(db.len(), escalated);
+
+    // The vast majority of issues never reach the SEV database (§4.1).
+    assert!(escalated * 20 < outcomes.len(), "{escalated} of {}", outcomes.len());
+}
+
+#[test]
+fn automation_shield_quantified() {
+    // §4.1.2's what-if, end to end: disabling automation multiplies
+    // 2017 incidents dramatically while the issue stream is unchanged.
+    let on = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 5, ..Default::default() });
+    let off = IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed: 5,
+        hazard: HazardConfig { automation_enabled: false, drain_policy_enabled: true },
+        ..Default::default()
+    });
+    assert_eq!(on.outcomes().len(), off.outcomes().len(), "same physical issues");
+    let on_2017 = on.db().query().year(2017).count() as f64;
+    let off_2017 = off.db().query().year(2017).count() as f64;
+    assert!(
+        off_2017 / on_2017 > 10.0,
+        "automation shields: {on_2017} vs {off_2017} incidents"
+    );
+}
+
+#[test]
+fn drain_policy_ablation_raises_cluster_incidents() {
+    let with = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 8, ..Default::default() });
+    let without = IntraDcStudy::run(StudyConfig {
+        scale: 2.0,
+        seed: 8,
+        hazard: HazardConfig { automation_enabled: true, drain_policy_enabled: false },
+        ..Default::default()
+    });
+    use dcnr_core::topology::DeviceType;
+    let w = with.db().query().years(2015, 2017).device_type(DeviceType::Csa).count();
+    let wo = without.db().query().years(2015, 2017).device_type(DeviceType::Csa).count();
+    assert!(wo as f64 > 3.0 * w as f64, "drain policy matters: {w} vs {wo}");
+    // Fabric devices unaffected by the cluster-only policy.
+    let fw = with.db().query().years(2015, 2017).device_type(DeviceType::Fsw).count();
+    let fwo = without.db().query().years(2015, 2017).device_type(DeviceType::Fsw).count();
+    assert_eq!(fw, fwo);
+}
+
+#[test]
+fn email_boundary_round_trips_the_whole_stream() {
+    // Every simulator e-mail survives render → parse → re-render.
+    let out = BackboneSim::new(BackboneSimConfig {
+        params: dcnr_core::backbone::topo::BackboneParams {
+            edges: 20,
+            vendors: 8,
+            min_links_per_edge: 3,
+        },
+        seed: 12,
+        ..Default::default()
+    })
+    .run();
+    for (_, raw) in &out.emails {
+        let parsed = parse_email(raw).expect("valid");
+        let rerendered = render_email(&parsed);
+        assert_eq!(raw, &rerendered, "render/parse is a bijection on the stream");
+    }
+}
+
+#[test]
+fn corrupted_emails_are_dropped_not_fatal() {
+    // Feed the ticket DB a stream with injected garbage; the good
+    // tickets still land, the bad ones count as rejects.
+    let out = BackboneSim::new(BackboneSimConfig {
+        params: dcnr_core::backbone::topo::BackboneParams {
+            edges: 10,
+            vendors: 4,
+            min_links_per_edge: 3,
+        },
+        seed: 13,
+        ..Default::default()
+    })
+    .run();
+    let mut db = TicketDb::new();
+    let mut parse_failures = 0u64;
+    for (i, (_, raw)) in out.emails.iter().enumerate() {
+        if i % 10 == 3 {
+            // Corrupt every tenth message.
+            let garbled = bytes::Bytes::from(format!("X-Event: EXPLODED\r\n{:?}", raw));
+            if parse_email(&garbled).is_err() {
+                parse_failures += 1;
+                continue;
+            }
+        }
+        if let Ok(email) = parse_email(raw) {
+            db.ingest(&email);
+        }
+    }
+    assert!(parse_failures > 0);
+    assert!(!db.is_empty());
+    // Dropped completions leave open tickets; dropped starts cause
+    // orphan completions that the DB rejects — all non-fatal.
+    assert!(db.rejected > 0, "orphan completions were rejected, not crashed on");
+}
+
+#[test]
+fn full_experiment_suite_runs_on_shared_studies() {
+    let intra = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 21, ..Default::default() });
+    let inter = InterDcStudy::run(BackboneSimConfig {
+        params: dcnr_core::backbone::topo::BackboneParams {
+            edges: 40,
+            vendors: 16,
+            min_links_per_edge: 3,
+        },
+        seed: 21,
+        ..Default::default()
+    });
+    let mut rendered_total = 0;
+    for e in Experiment::ALL {
+        let out = e.run(&intra, &inter);
+        rendered_total += out.rendered.len();
+    }
+    assert!(rendered_total > 5_000, "all experiments rendered substantial output");
+}
+
+#[test]
+fn outcome_variants_partition_the_issue_stream() {
+    let seed = 31;
+    let gen = IssueGenerator::paper(1.0, seed);
+    let issues = gen.generate(StudyCalendar::year(2016));
+    let n = issues.len();
+    let mut engine = RemediationEngine::new(HazardModel::paper(), seed);
+    let outcomes = engine.triage_all(issues);
+    assert_eq!(outcomes.len(), n);
+    let (mut auto, mut manual, mut esc) = (0, 0, 0);
+    for o in &outcomes {
+        match o {
+            RemediationOutcome::AutoRepaired(_) => auto += 1,
+            RemediationOutcome::ManuallyResolved { .. } => manual += 1,
+            RemediationOutcome::Escalated { .. } => esc += 1,
+        }
+    }
+    assert_eq!(auto + manual + esc, n);
+    assert!(auto > 0 && manual > 0 && esc > 0);
+}
