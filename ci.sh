@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Local CI: formatting, lints, tests. Run from the repo root.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci: all green"

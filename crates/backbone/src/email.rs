@@ -58,6 +58,11 @@ pub enum EmailParseError {
     MissingField(&'static str),
     /// A header value failed validation.
     BadField(&'static str, String),
+    /// A header appeared more than once. Vendor systems emit each field
+    /// exactly once; a repeat means the message was mangled in transit
+    /// (e.g. two notifications spliced together), and silently keeping
+    /// either occurrence would record data no vendor sent.
+    DuplicateField(&'static str),
 }
 
 impl fmt::Display for EmailParseError {
@@ -66,6 +71,7 @@ impl fmt::Display for EmailParseError {
             EmailParseError::NotUtf8 => write!(f, "email body is not UTF-8"),
             EmailParseError::MissingField(name) => write!(f, "missing header {name}"),
             EmailParseError::BadField(name, v) => write!(f, "bad value for {name}: {v:?}"),
+            EmailParseError::DuplicateField(name) => write!(f, "duplicate header {name}"),
         }
     }
 }
@@ -79,10 +85,17 @@ pub fn render_email(email: &VendorEmail) -> Bytes {
         TicketKind::Repair => "REPAIR",
         TicketKind::Maintenance => "MAINTENANCE",
     };
-    let circuits =
-        email.circuits.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",");
+    let circuits = email
+        .circuits
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     let mut s = String::new();
-    s.push_str(&format!("Subject: [{}] {kind} {phase} for {}\r\n", email.vendor, email.link));
+    s.push_str(&format!(
+        "Subject: [{}] {kind} {phase} for {}\r\n",
+        email.vendor, email.link
+    ));
     s.push_str(&format!("X-Vendor-Id: {}\r\n", email.vendor.index()));
     s.push_str(&format!("X-Link-Id: {}\r\n", email.link.index()));
     s.push_str(&format!("X-Event: {kind}-{phase}\r\n"));
@@ -100,8 +113,13 @@ pub fn render_email(email: &VendorEmail) -> Bytes {
 ///
 /// Tolerant of: unknown headers, arbitrary header order, missing
 /// optional fields, `\n` vs `\r\n` line endings, stray whitespace, and a
-/// missing body. Strict about: the five required fields and their value
-/// syntax.
+/// missing body. Strict about: the five required fields, their value
+/// syntax, and repeats — any recognised header appearing twice is a
+/// [`EmailParseError::DuplicateField`] (a duplicated `X-Circuits` used
+/// to silently concatenate both lists, inventing circuits no vendor
+/// reported). `X-Estimated-Duration-Hours` must be a finite,
+/// non-negative number; a malformed estimate is a
+/// [`EmailParseError::BadField`] rather than a silently dropped value.
 pub fn parse_email(raw: &Bytes) -> Result<VendorEmail, EmailParseError> {
     let text = std::str::from_utf8(raw).map_err(|_| EmailParseError::NotUtf8)?;
 
@@ -109,9 +127,21 @@ pub fn parse_email(raw: &Bytes) -> Result<VendorEmail, EmailParseError> {
     let mut link: Option<u32> = None;
     let mut event: Option<(TicketKind, bool)> = None;
     let mut at: Option<u64> = None;
-    let mut circuits: Vec<u8> = Vec::new();
-    let mut location = String::new();
+    let mut circuits: Option<Vec<u8>> = None;
+    let mut location: Option<String> = None;
     let mut estimated_hours: Option<f64> = None;
+
+    fn set_once<T>(
+        slot: &mut Option<T>,
+        name: &'static str,
+        value: T,
+    ) -> Result<(), EmailParseError> {
+        if slot.is_some() {
+            return Err(EmailParseError::DuplicateField(name));
+        }
+        *slot = Some(value);
+        Ok(())
+    }
 
     for line in text.lines() {
         let line = line.trim_end();
@@ -124,45 +154,56 @@ pub fn parse_email(raw: &Bytes) -> Result<VendorEmail, EmailParseError> {
         let value = value.trim();
         match name.trim() {
             "X-Vendor-Id" => {
-                vendor = Some(value.parse().map_err(|_| {
-                    EmailParseError::BadField("X-Vendor-Id", value.to_string())
-                })?)
+                let v = value
+                    .parse()
+                    .map_err(|_| EmailParseError::BadField("X-Vendor-Id", value.to_string()))?;
+                set_once(&mut vendor, "X-Vendor-Id", v)?;
             }
             "X-Link-Id" => {
-                link = Some(
-                    value
-                        .parse()
-                        .map_err(|_| EmailParseError::BadField("X-Link-Id", value.to_string()))?,
-                )
+                let v = value
+                    .parse()
+                    .map_err(|_| EmailParseError::BadField("X-Link-Id", value.to_string()))?;
+                set_once(&mut link, "X-Link-Id", v)?;
             }
             "X-Event" => {
-                event = Some(match value {
+                let v = match value {
                     "REPAIR-START" => (TicketKind::Repair, true),
                     "REPAIR-COMPLETE" => (TicketKind::Repair, false),
                     "MAINTENANCE-START" => (TicketKind::Maintenance, true),
                     "MAINTENANCE-COMPLETE" => (TicketKind::Maintenance, false),
-                    other => {
-                        return Err(EmailParseError::BadField("X-Event", other.to_string()))
-                    }
-                })
+                    other => return Err(EmailParseError::BadField("X-Event", other.to_string())),
+                };
+                set_once(&mut event, "X-Event", v)?;
             }
             "X-Event-Time" => {
-                at = Some(
-                    value.parse().map_err(|_| {
-                        EmailParseError::BadField("X-Event-Time", value.to_string())
-                    })?,
-                )
+                let v = value
+                    .parse()
+                    .map_err(|_| EmailParseError::BadField("X-Event-Time", value.to_string()))?;
+                set_once(&mut at, "X-Event-Time", v)?;
             }
             "X-Circuits" => {
+                let mut list = Vec::new();
                 for part in value.split(',').filter(|p| !p.trim().is_empty()) {
-                    circuits.push(part.trim().parse().map_err(|_| {
-                        EmailParseError::BadField("X-Circuits", value.to_string())
-                    })?);
+                    list.push(
+                        part.trim().parse().map_err(|_| {
+                            EmailParseError::BadField("X-Circuits", value.to_string())
+                        })?,
+                    );
                 }
+                set_once(&mut circuits, "X-Circuits", list)?;
             }
-            "X-Location" => location = value.to_string(),
+            "X-Location" => set_once(&mut location, "X-Location", value.to_string())?,
             "X-Estimated-Duration-Hours" => {
-                estimated_hours = value.parse().ok();
+                let h: f64 = value.parse().map_err(|_| {
+                    EmailParseError::BadField("X-Estimated-Duration-Hours", value.to_string())
+                })?;
+                if !h.is_finite() || h < 0.0 {
+                    return Err(EmailParseError::BadField(
+                        "X-Estimated-Duration-Hours",
+                        value.to_string(),
+                    ));
+                }
+                set_once(&mut estimated_hours, "X-Estimated-Duration-Hours", h)?;
             }
             _ => {} // Subject and anything else: ignored
         }
@@ -175,8 +216,8 @@ pub fn parse_email(raw: &Bytes) -> Result<VendorEmail, EmailParseError> {
         kind,
         is_start,
         at: SimTime::from_secs(at.ok_or(EmailParseError::MissingField("X-Event-Time"))?),
-        circuits,
-        location,
+        circuits: circuits.unwrap_or_default(),
+        location: location.unwrap_or_default(),
         estimated_hours,
     })
 }
@@ -245,9 +286,15 @@ mod tests {
     #[test]
     fn missing_required_fields() {
         let raw = Bytes::from("X-Vendor-Id: 3\r\nX-Link-Id: 1\r\nX-Event-Time: 5\r\n\r\n");
-        assert_eq!(parse_email(&raw), Err(EmailParseError::MissingField("X-Event")));
+        assert_eq!(
+            parse_email(&raw),
+            Err(EmailParseError::MissingField("X-Event"))
+        );
         let raw = Bytes::from("X-Event: REPAIR-START\r\nX-Link-Id: 1\r\nX-Event-Time: 5\r\n\r\n");
-        assert_eq!(parse_email(&raw), Err(EmailParseError::MissingField("X-Vendor-Id")));
+        assert_eq!(
+            parse_email(&raw),
+            Err(EmailParseError::MissingField("X-Vendor-Id"))
+        );
     }
 
     #[test]
@@ -255,11 +302,77 @@ mod tests {
         let raw = Bytes::from(
             "X-Vendor-Id: seven\r\nX-Link-Id: 1\r\nX-Event: REPAIR-START\r\nX-Event-Time: 5\r\n\r\n",
         );
-        assert!(matches!(parse_email(&raw), Err(EmailParseError::BadField("X-Vendor-Id", _))));
+        assert!(matches!(
+            parse_email(&raw),
+            Err(EmailParseError::BadField("X-Vendor-Id", _))
+        ));
         let raw = Bytes::from(
             "X-Vendor-Id: 7\r\nX-Link-Id: 1\r\nX-Event: EXPLODED\r\nX-Event-Time: 5\r\n\r\n",
         );
-        assert!(matches!(parse_email(&raw), Err(EmailParseError::BadField("X-Event", _))));
+        assert!(matches!(
+            parse_email(&raw),
+            Err(EmailParseError::BadField("X-Event", _))
+        ));
+    }
+
+    #[test]
+    fn duplicate_circuits_header_rejected_not_concatenated() {
+        // Before the fix, two X-Circuits lines silently merged into
+        // [0, 2, 5] — circuits no single notification reported.
+        let raw = Bytes::from(
+            "X-Vendor-Id: 7\r\nX-Link-Id: 1\r\nX-Event: REPAIR-START\r\n\
+             X-Event-Time: 5\r\nX-Circuits: 0,2\r\nX-Circuits: 5\r\n\r\n",
+        );
+        assert_eq!(
+            parse_email(&raw),
+            Err(EmailParseError::DuplicateField("X-Circuits"))
+        );
+    }
+
+    #[test]
+    fn duplicate_scalar_headers_rejected() {
+        for dup in [
+            "X-Vendor-Id: 8",
+            "X-Link-Id: 2",
+            "X-Event: REPAIR-COMPLETE",
+            "X-Event-Time: 9",
+            "X-Location: EU",
+            "X-Estimated-Duration-Hours: 3.0",
+        ] {
+            let raw = Bytes::from(format!(
+                "X-Vendor-Id: 7\r\nX-Link-Id: 1\r\nX-Event: REPAIR-START\r\n\
+                 X-Event-Time: 5\r\nX-Location: NA\r\n\
+                 X-Estimated-Duration-Hours: 1.0\r\n{dup}\r\n\r\n",
+            ));
+            let name = dup.split(':').next().unwrap();
+            match parse_email(&raw) {
+                Err(EmailParseError::DuplicateField(f)) => assert_eq!(f, name),
+                other => panic!("{name}: expected DuplicateField, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_estimate_is_a_typed_error_not_silently_dropped() {
+        for bad in ["soon", "NaN", "inf", "-3.0", ""] {
+            let raw = Bytes::from(format!(
+                "X-Vendor-Id: 7\r\nX-Link-Id: 1\r\nX-Event: REPAIR-START\r\n\
+                 X-Event-Time: 5\r\nX-Estimated-Duration-Hours: {bad}\r\n\r\n",
+            ));
+            assert!(
+                matches!(
+                    parse_email(&raw),
+                    Err(EmailParseError::BadField("X-Estimated-Duration-Hours", _))
+                ),
+                "estimate {bad:?} should be rejected",
+            );
+        }
+        // Zero is a legal (if useless) estimate.
+        let raw = Bytes::from(
+            "X-Vendor-Id: 7\r\nX-Link-Id: 1\r\nX-Event: REPAIR-START\r\n\
+             X-Event-Time: 5\r\nX-Estimated-Duration-Hours: 0.0\r\n\r\n",
+        );
+        assert_eq!(parse_email(&raw).unwrap().estimated_hours, Some(0.0));
     }
 
     #[test]
@@ -270,7 +383,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(EmailParseError::MissingField("X-Event").to_string().contains("X-Event"));
-        assert!(EmailParseError::BadField("X-Link-Id", "x".into()).to_string().contains("x"));
+        assert!(EmailParseError::MissingField("X-Event")
+            .to_string()
+            .contains("X-Event"));
+        assert!(EmailParseError::BadField("X-Link-Id", "x".into())
+            .to_string()
+            .contains("x"));
     }
 }

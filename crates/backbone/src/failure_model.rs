@@ -170,8 +170,11 @@ impl EntityTargets {
             // MTBF: two fixed-point iterations are plenty at this scale.
             for _ in 0..2 {
                 let wsum: f64 = idx.iter().map(|&i| p_fail(edge_mtbf[i])).sum();
-                let wmean: f64 =
-                    idx.iter().map(|&i| p_fail(edge_mtbf[i]) * edge_mtbf[i]).sum::<f64>() / wsum;
+                let wmean: f64 = idx
+                    .iter()
+                    .map(|&i| p_fail(edge_mtbf[i]) * edge_mtbf[i])
+                    .sum::<f64>()
+                    / wsum;
                 let scale = c.mtbf_hours() / wmean;
                 for &i in &idx {
                     edge_mtbf[i] *= scale;
@@ -179,8 +182,11 @@ impl EntityTargets {
             }
             // MTTR: weight by the (now-final) failure probabilities.
             let wsum: f64 = idx.iter().map(|&i| p_fail(edge_mtbf[i])).sum();
-            let wmean: f64 =
-                idx.iter().map(|&i| p_fail(edge_mtbf[i]) * edge_mttr[i]).sum::<f64>() / wsum;
+            let wmean: f64 = idx
+                .iter()
+                .map(|&i| p_fail(edge_mtbf[i]) * edge_mttr[i])
+                .sum::<f64>()
+                / wsum;
             let scale = c.mttr_hours() / wmean;
             for &i in &idx {
                 edge_mttr[i] *= scale;
@@ -190,7 +196,10 @@ impl EntityTargets {
         let edge = edge_mtbf
             .into_iter()
             .zip(edge_mttr)
-            .map(|(mtbf, mttr)| Targets { mtbf_hours: mtbf.max(1.0), mttr_hours: mttr.max(0.5) })
+            .map(|(mtbf, mttr)| Targets {
+                mtbf_hours: mtbf.max(1.0),
+                mttr_hours: mttr.max(0.5),
+            })
             .collect();
 
         // --- vendors: competitive-market vendors get the good tail ---
@@ -213,7 +222,13 @@ impl EntityTargets {
         vendor_mttr.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let mut hi = n_vendors; // index into the sorted arrays from the good end
         let mut lo = 0usize;
-        let mut vendor = vec![Targets { mtbf_hours: 0.0, mttr_hours: 0.0 }; n_vendors];
+        let mut vendor = vec![
+            Targets {
+                mtbf_hours: 0.0,
+                mttr_hours: 0.0
+            };
+            n_vendors
+        ];
         for v in topo.vendors() {
             let idx = if v.competitive_market {
                 hi -= 1;
@@ -231,8 +246,10 @@ impl EntityTargets {
             // fail again). Keep repairs within 80% of the spacing.
             let links = topo.links_of_vendor(v.id).len().max(1) as f64;
             let mttr_cap = 0.8 * mtbf * links;
-            vendor[v.id.index()] =
-                Targets { mtbf_hours: mtbf, mttr_hours: vendor_mttr[idx].max(0.5).min(mttr_cap) };
+            vendor[v.id.index()] = Targets {
+                mtbf_hours: mtbf,
+                mttr_hours: vendor_mttr[idx].max(0.5).min(mttr_cap),
+            };
         }
 
         Self { edge, vendor }
@@ -289,8 +306,16 @@ mod tests {
         let s = Summary::new(&mtbfs).unwrap();
         let paper = PaperModels::edge_mtbf_stats();
         // Median within 30% of 1710 h; spread of the right order.
-        assert!((s.median() - paper.median).abs() / paper.median < 0.3, "median {}", s.median());
-        assert!(s.stddev() > 500.0 && s.stddev() < 3500.0, "stddev {}", s.stddev());
+        assert!(
+            (s.median() - paper.median).abs() / paper.median < 0.3,
+            "median {}",
+            s.median()
+        );
+        assert!(
+            s.stddev() > 500.0 && s.stddev() < 3500.0,
+            "stddev {}",
+            s.stddev()
+        );
         assert!(s.max() > 3500.0, "max {}", s.max());
     }
 
@@ -328,7 +353,12 @@ mod tests {
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(mean(&comp) > mean(&rest), "{} vs {}", mean(&comp), mean(&rest));
+        assert!(
+            mean(&comp) > mean(&rest),
+            "{} vs {}",
+            mean(&comp),
+            mean(&rest)
+        );
     }
 
     #[test]

@@ -14,11 +14,10 @@
 //! Australia take the shortest time ... due to their locations in big
 //! cities." (§6.3)
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A continent hosting backbone edges.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Continent {
     /// North America.
     NorthAmerica,

@@ -127,7 +127,10 @@ impl BackboneMetrics {
                     }
                 }
                 None => {
-                    km_obs.push(dcnr_stats::Observation { duration: window_h, event: false });
+                    km_obs.push(dcnr_stats::Observation {
+                        duration: window_h,
+                        event: false,
+                    });
                 }
             }
         }
@@ -137,18 +140,22 @@ impl BackboneMetrics {
         // §6.2 measures vendors over *unplanned repairs*; planned
         // maintenance on the shared conduit plant (which drives edge
         // failures) is excluded from vendor reliability.
-        let mut ticket_counts =
-            std::collections::BTreeMap::<crate::vendor::VendorId, usize>::new();
-        let mut durations =
-            std::collections::BTreeMap::<crate::vendor::VendorId, Vec<f64>>::new();
-        for t in db.tickets().iter().filter(|t| t.kind == crate::ticket::TicketKind::Repair) {
+        let mut ticket_counts = std::collections::BTreeMap::<crate::vendor::VendorId, usize>::new();
+        let mut durations = std::collections::BTreeMap::<crate::vendor::VendorId, Vec<f64>>::new();
+        for t in db
+            .tickets()
+            .iter()
+            .filter(|t| t.kind == crate::ticket::TicketKind::Repair)
+        {
             *ticket_counts.entry(t.vendor).or_insert(0) += 1;
             if let Some(d) = t.duration_hours() {
                 durations.entry(t.vendor).or_default().push(d);
             }
         }
-        let vendor_mtbf_vals: Vec<f64> =
-            ticket_counts.values().map(|&n| window_h / n as f64).collect();
+        let vendor_mtbf_vals: Vec<f64> = ticket_counts
+            .values()
+            .map(|&n| window_h / n as f64)
+            .collect();
         let vendor_mttr_vals: Vec<f64> = durations
             .values()
             .filter(|v| !v.is_empty())
@@ -161,10 +168,14 @@ impl BackboneMetrics {
             .iter()
             .map(|&c| {
                 let ids = topo.edges_on(c);
-                let mtbfs: Vec<f64> =
-                    ids.iter().filter_map(|id| per_edge.get(id).map(|&(m, _)| m)).collect();
-                let mttrs: Vec<f64> =
-                    ids.iter().filter_map(|id| per_edge.get(id).and_then(|&(_, r)| r)).collect();
+                let mtbfs: Vec<f64> = ids
+                    .iter()
+                    .filter_map(|id| per_edge.get(id).map(|&(m, _)| m))
+                    .collect();
+                let mttrs: Vec<f64> = ids
+                    .iter()
+                    .filter_map(|id| per_edge.get(id).and_then(|&(_, r)| r))
+                    .collect();
                 ContinentRow {
                     continent: c,
                     distribution: ids.len() as f64 / total_edges,
@@ -203,7 +214,11 @@ mod tests {
 
     fn metrics() -> BackboneMetrics {
         let cfg = BackboneSimConfig {
-            params: BackboneParams { edges: 60, vendors: 25, min_links_per_edge: 3 },
+            params: BackboneParams {
+                edges: 60,
+                vendors: 25,
+                min_links_per_edge: 3,
+            },
             seed: 77,
             ..Default::default()
         };
@@ -232,7 +247,11 @@ mod tests {
         let m = metrics();
         let s = m.edge_mtbf.summary();
         // Median 1710 h ± 40%; failures on the order of weeks to months.
-        assert!(s.median() > 1000.0 && s.median() < 2500.0, "median {}", s.median());
+        assert!(
+            s.median() > 1000.0 && s.median() < 2500.0,
+            "median {}",
+            s.median()
+        );
         assert!(s.min() > 50.0, "min {}", s.min());
     }
 
@@ -241,7 +260,11 @@ mod tests {
         let m = metrics();
         let s = m.edge_mttr.summary();
         // "Typical edge recovery ... on the order of hours": median ~10 h.
-        assert!(s.median() > 2.0 && s.median() < 40.0, "median {}", s.median());
+        assert!(
+            s.median() > 2.0 && s.median() < 40.0,
+            "median {}",
+            s.median()
+        );
     }
 
     #[test]
@@ -271,7 +294,13 @@ mod tests {
     #[test]
     fn africa_outlier_reproduced() {
         let m = metrics();
-        let row = |c: Continent| m.continents.iter().find(|r| r.continent == c).unwrap().clone();
+        let row = |c: Continent| {
+            m.continents
+                .iter()
+                .find(|r| r.continent == c)
+                .unwrap()
+                .clone()
+        };
         let africa = row(Continent::Africa);
         let sa = row(Continent::SouthAmerica);
         assert!(

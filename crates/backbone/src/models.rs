@@ -30,7 +30,12 @@ impl QuantileModel {
 
     /// The model as an [`ExpFit`] for comparison arithmetic.
     pub fn as_fit(&self) -> ExpFit {
-        ExpFit { a: self.a, b: self.b, r2: self.paper_r2.unwrap_or(f64::NAN), r2_log: f64::NAN }
+        ExpFit {
+            a: self.a,
+            b: self.b,
+            r2: self.paper_r2.unwrap_or(f64::NAN),
+            r2_log: f64::NAN,
+        }
     }
 }
 
@@ -41,12 +46,20 @@ pub struct PaperModels;
 impl PaperModels {
     /// §6.1: `MTBF_edge(p) = 462.88·e^{2.3408p}`, R² = 0.94.
     pub fn edge_mtbf() -> QuantileModel {
-        QuantileModel { a: 462.88, b: 2.3408, paper_r2: Some(0.94) }
+        QuantileModel {
+            a: 462.88,
+            b: 2.3408,
+            paper_r2: Some(0.94),
+        }
     }
 
     /// §6.1: `MTTR_edge(p) = 1.513·e^{4.256p}`, R² = 0.87.
     pub fn edge_mttr() -> QuantileModel {
-        QuantileModel { a: 1.513, b: 4.256, paper_r2: Some(0.87) }
+        QuantileModel {
+            a: 1.513,
+            b: 4.256,
+            paper_r2: Some(0.87),
+        }
     }
 
     /// §6.2 (derived): vendor MTBF through the reported quantiles —
@@ -56,12 +69,20 @@ impl PaperModels {
     pub fn vendor_mtbf() -> QuantileModel {
         let b = (5709.0f64 / 2326.0).ln() / 0.4;
         let a = 2326.0 / (b * 0.5f64).exp();
-        QuantileModel { a, b, paper_r2: None }
+        QuantileModel {
+            a,
+            b,
+            paper_r2: None,
+        }
     }
 
     /// §6.2: `MTTR_vendor(p) = 1.1345·e^{4.7709p}`, R² = 0.98.
     pub fn vendor_mttr() -> QuantileModel {
-        QuantileModel { a: 1.1345, b: 4.7709, paper_r2: Some(0.98) }
+        QuantileModel {
+            a: 1.1345,
+            b: 4.7709,
+            paper_r2: Some(0.98),
+        }
     }
 }
 
@@ -85,25 +106,49 @@ impl PaperModels {
     /// §6.1 edge MTBF statistics: median 1710 h, p90 3521 h, σ 1320 h,
     /// range 253–8025 h.
     pub fn edge_mtbf_stats() -> ReportedStats {
-        ReportedStats { median: 1710.0, p90: 3521.0, stddev: 1320.0, min: 253.0, max: 8025.0 }
+        ReportedStats {
+            median: 1710.0,
+            p90: 3521.0,
+            stddev: 1320.0,
+            min: 253.0,
+            max: 8025.0,
+        }
     }
 
     /// §6.1 edge MTTR statistics: median 10 h, p90 71 h, σ 112 h,
     /// range 1–608 h.
     pub fn edge_mttr_stats() -> ReportedStats {
-        ReportedStats { median: 10.0, p90: 71.0, stddev: 112.0, min: 1.0, max: 608.0 }
+        ReportedStats {
+            median: 10.0,
+            p90: 71.0,
+            stddev: 112.0,
+            min: 1.0,
+            max: 608.0,
+        }
     }
 
     /// §6.2 vendor MTBF statistics: median 2326 h, p90 5709 h, σ 2207 h,
     /// range 2–11 721 h.
     pub fn vendor_mtbf_stats() -> ReportedStats {
-        ReportedStats { median: 2326.0, p90: 5709.0, stddev: 2207.0, min: 2.0, max: 11_721.0 }
+        ReportedStats {
+            median: 2326.0,
+            p90: 5709.0,
+            stddev: 2207.0,
+            min: 2.0,
+            max: 11_721.0,
+        }
     }
 
     /// §6.2 vendor MTTR statistics: median 13 h, p90 60 h, σ 56 h,
     /// range 1–744 h.
     pub fn vendor_mttr_stats() -> ReportedStats {
-        ReportedStats { median: 13.0, p90: 60.0, stddev: 56.0, min: 1.0, max: 744.0 }
+        ReportedStats {
+            median: 13.0,
+            p90: 60.0,
+            stddev: 56.0,
+            min: 1.0,
+            max: 744.0,
+        }
     }
 }
 

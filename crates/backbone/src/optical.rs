@@ -14,13 +14,12 @@
 //! result of fiber cuts.
 
 use crate::topo::{BackboneTopology, FiberLink, FiberLinkId};
-use serde::{Deserialize, Serialize};
 
 /// Per-wavelength channel capacity in Gb/s (100G coherent optics).
 pub const CHANNEL_GBPS: f64 = 100.0;
 
 /// One wavelength channel within a segment.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Channel {
     /// ITU-grid-ish wavelength in tenths of a nanometer (e.g. 15 501 =
     /// 1550.1 nm).
@@ -30,7 +29,7 @@ pub struct Channel {
 }
 
 /// One optical segment: a physical fiber span carrying channels.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpticalSegment {
     /// Segment index along the circuit.
     pub index: u8,
@@ -39,7 +38,7 @@ pub struct OpticalSegment {
 }
 
 /// One optical circuit: a chain of segments embodying part of a link.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpticalCircuit {
     /// Circuit index within the link.
     pub index: u8,
@@ -53,12 +52,14 @@ impl OpticalCircuit {
     /// wavelengths traverse every span); the circuit's capacity is one
     /// segment's channel count times the per-channel rate.
     pub fn capacity_gbps(&self) -> f64 {
-        self.segments.first().map_or(0.0, |s| s.channels.len() as f64 * CHANNEL_GBPS)
+        self.segments
+            .first()
+            .map_or(0.0, |s| s.channels.len() as f64 * CHANNEL_GBPS)
     }
 }
 
 /// The optical embodiment of one fiber link.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinkOptics {
     /// The embodied link.
     pub link: FiberLinkId,
@@ -89,10 +90,16 @@ impl LinkOptics {
                             .collect(),
                     })
                     .collect();
-                OpticalCircuit { index: ci, segments }
+                OpticalCircuit {
+                    index: ci,
+                    segments,
+                }
             })
             .collect();
-        Self { link: link.id, circuits }
+        Self {
+            link: link.id,
+            circuits,
+        }
     }
 
     /// Total link capacity in Gb/s.
@@ -133,7 +140,11 @@ mod tests {
 
     fn optics() -> Vec<LinkOptics> {
         let topo = BackboneTopology::build(
-            BackboneParams { edges: 12, vendors: 4, min_links_per_edge: 3 },
+            BackboneParams {
+                edges: 12,
+                vendors: 4,
+                min_links_per_edge: 3,
+            },
             3,
         );
         derive_all(&topo)
@@ -161,7 +172,11 @@ mod tests {
             for c in &lo.circuits {
                 let seg = &c.segments[0];
                 for ch in &seg.channels {
-                    assert!(ports.insert(ch.router_port), "duplicate port in {}", lo.link);
+                    assert!(
+                        ports.insert(ch.router_port),
+                        "duplicate port in {}",
+                        lo.link
+                    );
                     assert!(
                         lambdas.insert(ch.wavelength_tenth_nm),
                         "duplicate wavelength in {}",
@@ -174,7 +189,10 @@ mod tests {
 
     #[test]
     fn one_segment_cut_degrades_not_kills() {
-        let lo = optics().into_iter().find(|l| l.circuits.len() >= 2).expect("multi-circuit link");
+        let lo = optics()
+            .into_iter()
+            .find(|l| l.circuits.len() >= 2)
+            .expect("multi-circuit link");
         let full = lo.capacity_gbps();
         let cut = vec![(0u8, 0u8)];
         let surviving = lo.surviving_capacity_gbps(&cut);

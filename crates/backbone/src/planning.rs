@@ -84,8 +84,12 @@ impl CapacityPlanner {
             counts[down] += 1;
         }
         let total = self.trials as f64;
-        let expected: f64 =
-            counts.iter().enumerate().map(|(k, &c)| k as f64 * c as f64).sum::<f64>() / total;
+        let expected: f64 = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| k as f64 * c as f64)
+            .sum::<f64>()
+            / total;
         let p_all_up = counts[0] as f64 / total;
 
         // 99.99th percentile of the count distribution.
@@ -115,7 +119,10 @@ mod tests {
 
     fn typical_edge() -> EdgeAvailability {
         // Paper medians: MTBF 1710 h, MTTR 10 h -> unavailability ~0.58%.
-        EdgeAvailability { mtbf_hours: 1710.0, mttr_hours: 10.0 }
+        EdgeAvailability {
+            mtbf_hours: 1710.0,
+            mttr_hours: 10.0,
+        }
     }
 
     #[test]
@@ -129,7 +136,11 @@ mod tests {
         let edges = vec![typical_edge(); 90];
         let report = CapacityPlanner::new(200_000, 5).assess(&edges).unwrap();
         // Expected concurrent failures = 90 × 0.581% ≈ 0.52.
-        assert!((report.expected_failures - 0.523).abs() < 0.05, "{}", report.expected_failures);
+        assert!(
+            (report.expected_failures - 0.523).abs() < 0.05,
+            "{}",
+            report.expected_failures
+        );
         // p99.99 of a Binomial(90, 0.0058): around 5.
         assert!(
             (3..=8).contains(&report.p9999_failures),
@@ -142,8 +153,20 @@ mod tests {
 
     #[test]
     fn slow_repairs_raise_risk() {
-        let fast = vec![EdgeAvailability { mtbf_hours: 1710.0, mttr_hours: 2.0 }; 50];
-        let slow = vec![EdgeAvailability { mtbf_hours: 1710.0, mttr_hours: 608.0 }; 50];
+        let fast = vec![
+            EdgeAvailability {
+                mtbf_hours: 1710.0,
+                mttr_hours: 2.0
+            };
+            50
+        ];
+        let slow = vec![
+            EdgeAvailability {
+                mtbf_hours: 1710.0,
+                mttr_hours: 608.0
+            };
+            50
+        ];
         let planner = CapacityPlanner::new(100_000, 6);
         let rf = planner.assess(&fast).unwrap();
         let rs = planner.assess(&slow).unwrap();

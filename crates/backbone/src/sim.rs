@@ -116,9 +116,7 @@ impl BackboneSim {
         // ---- 3. per-link ticket streams ----
         let mut events: Vec<(SimTime, u64, Bytes)> = Vec::new();
         let mut seq = 0u64;
-        let emit = |events: &mut Vec<(SimTime, u64, Bytes)>,
-                        seq: &mut u64,
-                        email: VendorEmail| {
+        let emit = |events: &mut Vec<(SimTime, u64, Bytes)>, seq: &mut u64, email: VendorEmail| {
             events.push((email.at, *seq, render_email(&email)));
             *seq += 1;
         };
@@ -155,8 +153,10 @@ impl BackboneSim {
                 }
             }
 
-            let mut rng =
-                stream_rng(cfg.seed, &format!("backbone.link.{}.{}", link.id, vendor.id));
+            let mut rng = stream_rng(
+                cfg.seed,
+                &format!("backbone.link.{}.{}", link.id, vendor.id),
+            );
 
             // Vendor-specific recovery lag: after a conduit is spliced,
             // each vendor still has to re-test and re-light its own
@@ -302,7 +302,11 @@ impl BackboneSim {
 
         events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
         let emails = events.into_iter().map(|(t, _, b)| (t, b)).collect();
-        BackboneSimOutput { topology, targets, emails }
+        BackboneSimOutput {
+            topology,
+            targets,
+            emails,
+        }
     }
 }
 
@@ -330,7 +334,11 @@ mod tests {
 
     fn small_config() -> BackboneSimConfig {
         BackboneSimConfig {
-            params: BackboneParams { edges: 30, vendors: 12, min_links_per_edge: 3 },
+            params: BackboneParams {
+                edges: 30,
+                vendors: 12,
+                min_links_per_edge: 3,
+            },
             seed: 42,
             ..Default::default()
         }
@@ -429,15 +437,26 @@ mod tests {
                 checked_close += 1;
             }
         }
-        assert!(checked_floor >= 1, "no vendor cleared the statistical floor");
+        assert!(
+            checked_floor >= 1,
+            "no vendor cleared the statistical floor"
+        );
         assert!(checked_close >= 1, "no high-rate vendor to verify closely");
     }
 
     #[test]
     fn conduit_events_are_maintenance_repairs_are_unplanned() {
         let (_, db) = run_and_ingest(small_config());
-        let maint = db.tickets().iter().filter(|t| t.kind == TicketKind::Maintenance).count();
-        let repair = db.tickets().iter().filter(|t| t.kind == TicketKind::Repair).count();
+        let maint = db
+            .tickets()
+            .iter()
+            .filter(|t| t.kind == TicketKind::Maintenance)
+            .count();
+        let repair = db
+            .tickets()
+            .iter()
+            .filter(|t| t.kind == TicketKind::Repair)
+            .count();
         assert!(maint > 0, "conduit maintenance events exist");
         assert!(repair > 0, "unplanned repairs exist");
     }

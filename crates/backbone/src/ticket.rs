@@ -10,11 +10,10 @@ use crate::topo::{BackboneTopology, FiberLinkId};
 use crate::vendor::VendorId;
 use dcnr_sim::{SimTime, StudyCalendar};
 use dcnr_stats::RenewalLog;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// What a ticket covers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TicketKind {
     /// Unplanned repair — the link is down.
     Repair,
@@ -23,7 +22,7 @@ pub enum TicketKind {
 }
 
 /// One completed (or still-open) vendor ticket.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Ticket {
     /// The affected link.
     pub link: FiberLinkId,
@@ -107,6 +106,15 @@ impl TicketDb {
         &self.tickets
     }
 
+    /// When the currently-open ticket on `link` started, if any.
+    /// Lets ingestion front-ends sanity-check a completion (e.g. an
+    /// implausibly long implied outage) before committing it.
+    pub fn open_since(&self, link: FiberLinkId) -> Option<SimTime> {
+        self.open
+            .get(&link)
+            .map(|&idx| self.tickets[idx].started_at)
+    }
+
     /// Number of tickets.
     pub fn len(&self) -> usize {
         self.tickets.len()
@@ -142,7 +150,9 @@ impl TicketDb {
         let mut intervals: BTreeMap<VendorId, Vec<(f64, f64)>> = BTreeMap::new();
         for t in &self.tickets {
             let start = window.offset_hours(t.started_at);
-            let end = t.completed_at.map_or(window.hours(), |c| window.offset_hours(c));
+            let end = t
+                .completed_at
+                .map_or(window.hours(), |c| window.offset_hours(c));
             intervals.entry(t.vendor).or_default().push((start, end));
         }
         let mut logs = BTreeMap::new();
@@ -184,7 +194,9 @@ impl TicketDb {
         let mut down: BTreeMap<FiberLinkId, Vec<(f64, f64)>> = BTreeMap::new();
         for t in &self.tickets {
             let start = window.offset_hours(t.started_at);
-            let end = t.completed_at.map_or(window.hours(), |c| window.offset_hours(c));
+            let end = t
+                .completed_at
+                .map_or(window.hours(), |c| window.offset_hours(c));
             down.entry(t.link).or_default().push((start, end));
         }
         let mut logs = BTreeMap::new();
@@ -201,9 +213,7 @@ impl TicketDb {
             if events.is_empty() {
                 continue;
             }
-            events.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
-            });
+            events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
             let total = edge.links.len() as i32;
             let mut log = RenewalLog::new(window.hours());
             let mut depth = 0;
@@ -321,7 +331,11 @@ mod tests {
     fn edge_down_requires_all_links() {
         use crate::topo::{BackboneParams, BackboneTopology};
         let topo = BackboneTopology::build(
-            BackboneParams { edges: 4, vendors: 2, min_links_per_edge: 3 },
+            BackboneParams {
+                edges: 4,
+                vendors: 2,
+                min_links_per_edge: 3,
+            },
             42,
         );
         let window = StudyCalendar::backbone();
@@ -331,17 +345,33 @@ mod tests {
         let mut db = TicketDb::new();
         // Take down all but one link: edge must NOT fail.
         for (i, l) in links.iter().enumerate().skip(1) {
-            db.ingest(&email(l.index() as u32, 0, true, base + hours(10.0 + i as f64)));
+            db.ingest(&email(
+                l.index() as u32,
+                0,
+                true,
+                base + hours(10.0 + i as f64),
+            ));
         }
         let logs = db.edge_logs(&topo, window);
-        assert!(!logs.contains_key(&edge.id), "edge survives with one live link");
+        assert!(
+            !logs.contains_key(&edge.id),
+            "edge survives with one live link"
+        );
 
         // Now the last link too: edge fails.
         db.ingest(&email(links[0].index() as u32, 0, true, base + hours(50.0)));
-        db.ingest(&email(links[0].index() as u32, 0, false, base + hours(60.0)));
+        db.ingest(&email(
+            links[0].index() as u32,
+            0,
+            false,
+            base + hours(60.0),
+        ));
         let logs = db.edge_logs(&topo, window);
         let est = logs[&edge.id].estimate().unwrap();
         assert_eq!(est.failures, 1);
-        assert!((est.mttr.unwrap() - 10.0).abs() < 0.01, "recovers when the first link returns");
+        assert!(
+            (est.mttr.unwrap() - 10.0).abs() < 0.01,
+            "recovers when the first link returns"
+        );
     }
 }

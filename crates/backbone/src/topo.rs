@@ -17,11 +17,10 @@ use crate::vendor::{Vendor, VendorId};
 use dcnr_sim::stream_rng;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque handle for an edge node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EdgeNodeId(pub(crate) u32);
 
 impl EdgeNodeId {
@@ -42,7 +41,7 @@ impl fmt::Display for EdgeNodeId {
 }
 
 /// Opaque handle for a fiber link.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiberLinkId(pub(crate) u32);
 
 impl FiberLinkId {
@@ -63,7 +62,7 @@ impl fmt::Display for FiberLinkId {
 }
 
 /// An edge node: a site where backbone hardware is deployed.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EdgeNode {
     /// Handle.
     pub id: EdgeNodeId,
@@ -74,7 +73,7 @@ pub struct EdgeNode {
 }
 
 /// A fiber link between two edges, operated by one vendor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FiberLink {
     /// Handle.
     pub id: FiberLinkId,
@@ -101,12 +100,16 @@ pub struct BackboneParams {
 
 impl Default for BackboneParams {
     fn default() -> Self {
-        Self { edges: 90, vendors: 40, min_links_per_edge: 3 }
+        Self {
+            edges: 90,
+            vendors: 40,
+            min_links_per_edge: 3,
+        }
     }
 }
 
 /// The backbone graph.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BackboneTopology {
     edges: Vec<EdgeNode>,
     links: Vec<FiberLink>,
@@ -158,7 +161,11 @@ impl BackboneTopology {
         for (continent, n) in counts {
             for _ in 0..n {
                 let id = EdgeNodeId(edges.len() as u32);
-                edges.push(EdgeNode { id, continent, links: Vec::new() });
+                edges.push(EdgeNode {
+                    id,
+                    continent,
+                    links: Vec::new(),
+                });
             }
         }
 
@@ -168,7 +175,11 @@ impl BackboneTopology {
             .collect();
 
         // --- links: ring for global connectivity, then top up degrees ---
-        let mut topo = Self { edges, links: Vec::new(), vendors };
+        let mut topo = Self {
+            edges,
+            links: Vec::new(),
+            vendors,
+        };
         let n = params.edges as usize;
         for i in 0..n {
             let a = EdgeNodeId(i as u32);
@@ -205,8 +216,12 @@ impl BackboneTopology {
                     .filter(|e| e.continent == topo.edges[i].continent && fresh(&e.id))
                     .map(|e| e.id)
                     .collect();
-                let others: Vec<EdgeNodeId> =
-                    topo.edges.iter().filter(|e| fresh(&e.id)).map(|e| e.id).collect();
+                let others: Vec<EdgeNodeId> = topo
+                    .edges
+                    .iter()
+                    .filter(|e| fresh(&e.id))
+                    .map(|e| e.id)
+                    .collect();
                 let b = if !same.is_empty() && rng.gen_bool(0.8) {
                     *same.choose(&mut rng).expect("non-empty")
                 } else if !others.is_empty() {
@@ -229,7 +244,13 @@ impl BackboneTopology {
 
     fn add_link(&mut self, a: EdgeNodeId, b: EdgeNodeId, vendor: VendorId, circuits: u8) {
         let id = FiberLinkId(self.links.len() as u32);
-        self.links.push(FiberLink { id, a, b, vendor, circuits });
+        self.links.push(FiberLink {
+            id,
+            a,
+            b,
+            vendor,
+            circuits,
+        });
         self.edges[a.index()].links.push(id);
         self.edges[b.index()].links.push(id);
     }
@@ -266,12 +287,20 @@ impl BackboneTopology {
 
     /// Links operated by `vendor`.
     pub fn links_of_vendor(&self, vendor: VendorId) -> Vec<FiberLinkId> {
-        self.links.iter().filter(|l| l.vendor == vendor).map(|l| l.id).collect()
+        self.links
+            .iter()
+            .filter(|l| l.vendor == vendor)
+            .map(|l| l.id)
+            .collect()
     }
 
     /// Edges on `continent`.
     pub fn edges_on(&self, continent: Continent) -> Vec<EdgeNodeId> {
-        self.edges.iter().filter(|e| e.continent == continent).map(|e| e.id).collect()
+        self.edges
+            .iter()
+            .filter(|e| e.continent == continent)
+            .map(|e| e.id)
+            .collect()
     }
 }
 
@@ -320,7 +349,11 @@ mod tests {
     fn every_vendor_exists_and_most_operate_links() {
         let t = topo();
         assert_eq!(t.vendors().len(), 40);
-        let operating = t.vendors().iter().filter(|v| !t.links_of_vendor(v.id).is_empty()).count();
+        let operating = t
+            .vendors()
+            .iter()
+            .filter(|v| !t.links_of_vendor(v.id).is_empty())
+            .count();
         assert!(operating > 30, "{operating}/40 vendors operate links");
     }
 
@@ -359,7 +392,10 @@ mod tests {
     #[should_panic(expected = "two edges")]
     fn rejects_tiny_backbone() {
         let _ = BackboneTopology::build(
-            BackboneParams { edges: 1, ..Default::default() },
+            BackboneParams {
+                edges: 1,
+                ..Default::default()
+            },
             1,
         );
     }

@@ -8,11 +8,10 @@
 //! fiber markets with high competition lead to more incentive for fiber
 //! vendors to increase reliability." (§6.2)
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque vendor handle within a [`crate::BackboneTopology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VendorId(pub(crate) u32);
 
 impl VendorId {
@@ -34,7 +33,7 @@ impl fmt::Display for VendorId {
 }
 
 /// A fiber vendor operating some of the backbone's links.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vendor {
     /// Handle within the topology.
     pub id: VendorId,
@@ -51,7 +50,11 @@ pub struct Vendor {
 impl Vendor {
     /// Creates a vendor.
     pub fn new(id: VendorId, competitive_market: bool) -> Self {
-        Self { id, name: format!("Vendor {:03}", id.0), competitive_market }
+        Self {
+            id,
+            name: format!("Vendor {:03}", id.0),
+            competitive_market,
+        }
     }
 }
 

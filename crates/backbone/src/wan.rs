@@ -62,9 +62,9 @@ pub fn continent_pair_latency_ms(a: Continent, b: Continent) -> f64 {
     };
     const TABLE: [[f64; 6]; 6] = [
         // NA     EU     AS     SA     AF     AU
-        [0.0, 70.0, 95.0, 85.0, 110.0, 140.0],  // NA
-        [70.0, 0.0, 80.0, 105.0, 75.0, 150.0],  // EU
-        [95.0, 80.0, 0.0, 160.0, 100.0, 90.0],  // AS
+        [0.0, 70.0, 95.0, 85.0, 110.0, 140.0],   // NA
+        [70.0, 0.0, 80.0, 105.0, 75.0, 150.0],   // EU
+        [95.0, 80.0, 0.0, 160.0, 100.0, 90.0],   // AS
         [85.0, 105.0, 160.0, 0.0, 120.0, 170.0], // SA
         [110.0, 75.0, 100.0, 120.0, 0.0, 130.0], // AF
         [140.0, 150.0, 90.0, 170.0, 130.0, 0.0], // AU
@@ -99,9 +99,13 @@ pub fn shortest_latencies(
                 continue;
             }
             let l = topo.link(lid);
-            let v = if l.a.index() == u { l.b.index() } else { l.a.index() };
+            let v = if l.a.index() == u {
+                l.b.index()
+            } else {
+                l.a.index()
+            };
             let cand = du + link_latency_ms(topo, lid);
-            if dist[v].map_or(true, |cur| cand + 1e-9 < cur) {
+            if dist[v].is_none_or(|cur| cand + 1e-9 < cur) {
                 dist[v] = Some(cand);
                 heap.push((enc(cand), v));
             }
@@ -157,7 +161,11 @@ impl RerouteImpact {
         RerouteImpact {
             pairs,
             partitioned_pairs: partitioned,
-            mean_stretch: if connected > 0 { stretch_sum / connected as f64 } else { 1.0 },
+            mean_stretch: if connected > 0 {
+                stretch_sum / connected as f64
+            } else {
+                1.0
+            },
             max_stretch: stretch_max,
         }
     }
@@ -187,7 +195,11 @@ impl CrossDcPlanes {
     pub fn new(datacenters: usize, planes: usize) -> Self {
         assert!(datacenters >= 2, "need at least two data centers");
         assert!(planes >= 1, "need at least one plane");
-        Self { datacenters, planes, router_down: vec![vec![false; datacenters]; planes] }
+        Self {
+            datacenters,
+            planes,
+            router_down: vec![vec![false; datacenters]; planes],
+        }
     }
 
     /// The paper's shape: four planes.
@@ -225,7 +237,9 @@ impl CrossDcPlanes {
 
     /// Fraction of cross-DC capacity surviving between `a` and `b`.
     pub fn pair_capacity(&self, a: usize, b: usize) -> f64 {
-        let up = (0..self.planes).filter(|&p| self.plane_carries(p, a, b)).count();
+        let up = (0..self.planes)
+            .filter(|&p| self.plane_carries(p, a, b))
+            .count();
         up as f64 / self.planes as f64
     }
 
@@ -254,7 +268,11 @@ mod tests {
 
     fn topo() -> BackboneTopology {
         BackboneTopology::build(
-            BackboneParams { edges: 30, vendors: 10, min_links_per_edge: 3 },
+            BackboneParams {
+                edges: 30,
+                vendors: 10,
+                min_links_per_edge: 3,
+            },
             7,
         )
     }
@@ -340,8 +358,12 @@ mod tests {
     fn partial_cut_stretches_latency() {
         let t = topo();
         // Cut a third of all links (every 3rd): surviving paths detour.
-        let cut: HashSet<FiberLinkId> =
-            t.links().iter().filter(|l| l.id.index() % 3 == 0).map(|l| l.id).collect();
+        let cut: HashSet<FiberLinkId> = t
+            .links()
+            .iter()
+            .filter(|l| l.id.index() % 3 == 0)
+            .map(|l| l.id)
+            .collect();
         let impact = RerouteImpact::of_cut(&t, &cut);
         assert!(impact.mean_stretch > 1.0, "stretch {}", impact.mean_stretch);
         assert!(impact.max_stretch >= impact.mean_stretch);

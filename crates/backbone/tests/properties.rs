@@ -64,6 +64,37 @@ proptest! {
     }
 
     #[test]
+    fn roundtrip_survives_header_permutation_and_junk(
+        email in any_email(),
+        shuffle_seed in any::<u64>(),
+        junk in proptest::collection::vec("Z-Junk[a-z]{0,8}: [ -~]{0,30}", 0..6),
+    ) {
+        let raw = render_email(&email);
+        let reference = parse_email(&raw).unwrap();
+
+        // Split the header block from the body, permute the headers,
+        // and splice unknown-header junk lines in between.
+        let text = std::str::from_utf8(&raw).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        let body_at = lines.iter().position(|l| l.is_empty()).unwrap();
+        let body: Vec<&str> = lines.split_off(body_at);
+        for j in &junk {
+            lines.push(j.as_str());
+        }
+        // Fisher-Yates driven by the generated seed.
+        let mut rng = dcnr_sim::stream_rng(shuffle_seed, "test.shuffle");
+        for i in (1..lines.len()).rev() {
+            let j = rand::Rng::gen_range(&mut rng, 0..=i);
+            lines.swap(i, j);
+        }
+        lines.extend(body);
+        let mangled = Bytes::from(lines.join("\r\n"));
+
+        let parsed = parse_email(&mangled).unwrap();
+        prop_assert_eq!(parsed, reference);
+    }
+
+    #[test]
     fn ticket_db_invariants_under_arbitrary_streams(
         events in proptest::collection::vec((0u32..5, any::<bool>(), 0u64..1_000_000), 0..100)
     ) {

@@ -39,13 +39,19 @@ fn run_pair(a: HazardConfig, b: HazardConfig, seed: u64) -> (IntraDcStudy, Intra
         });
     })
     .expect("scoped threads");
-    (slot_a.into_inner().expect("ran"), slot_b.into_inner().expect("ran"))
+    (
+        slot_a.into_inner().expect("ran"),
+        slot_b.into_inner().expect("ran"),
+    )
 }
 
 fn bench_ablation_remediation(c: &mut Criterion) {
     let (on, off) = run_pair(
         HazardConfig::default(),
-        HazardConfig { automation_enabled: false, drain_policy_enabled: true },
+        HazardConfig {
+            automation_enabled: false,
+            drain_policy_enabled: true,
+        },
         11,
     );
     let on_2017 = on.db().query().year(2017).count();
@@ -65,7 +71,10 @@ fn bench_ablation_remediation(c: &mut Criterion) {
             black_box(IntraDcStudy::run(StudyConfig {
                 scale: 1.0,
                 seed,
-                hazard: HazardConfig { automation_enabled: false, drain_policy_enabled: true },
+                hazard: HazardConfig {
+                    automation_enabled: false,
+                    drain_policy_enabled: true,
+                },
                 ..Default::default()
             }))
         })
@@ -76,10 +85,18 @@ fn bench_ablation_remediation(c: &mut Criterion) {
 fn bench_ablation_drain_policy(c: &mut Criterion) {
     let (with, without) = run_pair(
         HazardConfig::default(),
-        HazardConfig { automation_enabled: true, drain_policy_enabled: false },
+        HazardConfig {
+            automation_enabled: true,
+            drain_policy_enabled: false,
+        },
         12,
     );
-    let w = with.db().query().years(2015, 2017).design(dcnr_core::topology::NetworkDesign::Cluster).count();
+    let w = with
+        .db()
+        .query()
+        .years(2015, 2017)
+        .design(dcnr_core::topology::NetworkDesign::Cluster)
+        .count();
     let wo = without
         .db()
         .query()
@@ -99,7 +116,10 @@ fn bench_ablation_drain_policy(c: &mut Criterion) {
             black_box(IntraDcStudy::run(StudyConfig {
                 scale: 1.0,
                 seed,
-                hazard: HazardConfig { automation_enabled: true, drain_policy_enabled: false },
+                hazard: HazardConfig {
+                    automation_enabled: true,
+                    drain_policy_enabled: false,
+                },
                 ..Default::default()
             }))
         })
@@ -114,7 +134,13 @@ fn dual_tor_fabric() -> (Topology, Vec<(dcnr_core::topology::DeviceId, usize)>) 
     // rack for the comparison.
     let mut t = Topology::new();
     let dc = FabricNetworkBuilder::new(FabricParams::default()).build(&mut t, 0);
-    let racks = dc.rsws.iter().flatten().copied().map(|r| (r, 1usize)).collect();
+    let racks = dc
+        .rsws
+        .iter()
+        .flatten()
+        .copied()
+        .map(|r| (r, 1usize))
+        .collect();
     (t, racks)
 }
 
@@ -125,8 +151,18 @@ fn bench_ablation_tor_redundancy(c: &mut Criterion) {
     let region = Region::mixed_reference();
     let placement = Placement::default_mix(&region.topology);
     let model = ImpactModel::default();
-    let rsw = region.topology.devices_of_type(DeviceType::Rsw).next().expect("rsw").id;
-    let single = model.assess(&region.topology, &placement, rsw, &FailureSet::new(&region.topology));
+    let rsw = region
+        .topology
+        .devices_of_type(DeviceType::Rsw)
+        .next()
+        .expect("rsw")
+        .id;
+    let single = model.assess(
+        &region.topology,
+        &placement,
+        rsw,
+        &FailureSet::new(&region.topology),
+    );
     println!(
         "\n=== A-3: TOR redundancy ===\nsingle-TOR rack loss: {} rack(s) disconnected, severity {}",
         single.blast.racks_disconnected, single.severity

@@ -17,7 +17,10 @@ fn print_once(e: Experiment) {
     println!("\n=== {} ===\n{}", e.title(), out.rendered);
     println!("paper vs measured:");
     for c in &out.comparisons {
-        println!("  {:<30} paper {:>12.4} measured {:>12.4}", c.metric, c.paper, c.measured);
+        println!(
+            "  {:<30} paper {:>12.4} measured {:>12.4}",
+            c.metric, c.paper, c.measured
+        );
     }
 }
 

@@ -12,7 +12,10 @@ fn print_once(e: Experiment) {
     println!("\n=== {} ===\n{}", e.title(), out.rendered);
     println!("paper vs measured:");
     for c in &out.comparisons {
-        println!("  {:<40} paper {:>12.4} measured {:>12.4}", c.metric, c.paper, c.measured);
+        println!(
+            "  {:<40} paper {:>12.4} measured {:>12.4}",
+            c.metric, c.paper, c.measured
+        );
     }
 }
 
@@ -27,7 +30,9 @@ fn bench_fig2(c: &mut Criterion) {
 fn bench_fig3(c: &mut Criterion) {
     let s = shared_intra();
     print_once(Experiment::Fig3);
-    c.bench_function("fig3_incident_rate", |b| b.iter(|| black_box(s.fig3_incident_rate())));
+    c.bench_function("fig3_incident_rate", |b| {
+        b.iter(|| black_box(s.fig3_incident_rate()))
+    });
 }
 
 fn bench_fig4(c: &mut Criterion) {
@@ -41,7 +46,9 @@ fn bench_fig4(c: &mut Criterion) {
 fn bench_fig5(c: &mut Criterion) {
     let s = shared_intra();
     print_once(Experiment::Fig5);
-    c.bench_function("fig5_sev_rate_over_time", |b| b.iter(|| black_box(s.fig5_sev_rates())));
+    c.bench_function("fig5_sev_rate_over_time", |b| {
+        b.iter(|| black_box(s.fig5_sev_rates()))
+    });
 }
 
 fn bench_fig6(c: &mut Criterion) {
@@ -79,7 +86,9 @@ fn bench_fig9(c: &mut Criterion) {
 fn bench_fig10(c: &mut Criterion) {
     let s = shared_intra();
     print_once(Experiment::Fig10);
-    c.bench_function("fig10_design_rate", |b| b.iter(|| black_box(s.fig10_design_rate())));
+    c.bench_function("fig10_design_rate", |b| {
+        b.iter(|| black_box(s.fig10_design_rate()))
+    });
 }
 
 fn bench_fig11(c: &mut Criterion) {
@@ -105,7 +114,9 @@ fn bench_fig13(c: &mut Criterion) {
 fn bench_fig14(c: &mut Criterion) {
     let s = shared_intra();
     print_once(Experiment::Fig14);
-    c.bench_function("fig14_irt_vs_fleet", |b| b.iter(|| black_box(s.fig14_irt_vs_fleet())));
+    c.bench_function("fig14_irt_vs_fleet", |b| {
+        b.iter(|| black_box(s.fig14_irt_vs_fleet()))
+    });
 }
 
 criterion_group!(

@@ -67,5 +67,11 @@ fn bench_full_pipelines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table1, bench_table2, bench_table4, bench_full_pipelines);
+criterion_group!(
+    benches,
+    bench_table1,
+    bench_table2,
+    bench_table4,
+    bench_full_pipelines
+);
 criterion_main!(benches);

@@ -40,14 +40,21 @@ pub fn shared_intra() -> &'static IntraDcStudy {
 pub fn shared_inter() -> &'static InterDcStudy {
     static INTER: OnceLock<InterDcStudy> = OnceLock::new();
     INTER.get_or_init(|| {
-        InterDcStudy::run(BackboneSimConfig { seed: BENCH_SEED, ..Default::default() })
+        InterDcStudy::run(BackboneSimConfig {
+            seed: BENCH_SEED,
+            ..Default::default()
+        })
     })
 }
 
 /// A small backbone configuration for pipeline-cost benchmarks.
 pub fn small_backbone_config(seed: u64) -> BackboneSimConfig {
     BackboneSimConfig {
-        params: BackboneParams { edges: 30, vendors: 12, min_links_per_edge: 3 },
+        params: BackboneParams {
+            edges: 30,
+            vendors: 12,
+            min_links_per_edge: 3,
+        },
         seed,
         ..Default::default()
     }

@@ -1,0 +1,117 @@
+//! Idempotent de-duplication of vendor notifications.
+//!
+//! An unreliable transport delivers some e-mails more than once. The
+//! notification itself is naturally idempotent — the same vendor
+//! reporting the same event on the same link at the same time *is* the
+//! same notification — so ingestion keys each parsed e-mail on
+//! `(vendor, link, event, time)` and drops exact re-deliveries before
+//! they can hit the ticket state machine (where a replayed start would
+//! masquerade as a duplicate-start protocol violation).
+
+use dcnr_backbone::email::VendorEmail;
+use dcnr_backbone::TicketKind;
+use std::collections::BTreeSet;
+
+/// The identity of one notification.
+type Key = (usize, usize, u8, u64);
+
+fn key(email: &VendorEmail) -> Key {
+    let event = match (email.kind, email.is_start) {
+        (TicketKind::Repair, true) => 0,
+        (TicketKind::Repair, false) => 1,
+        (TicketKind::Maintenance, true) => 2,
+        (TicketKind::Maintenance, false) => 3,
+    };
+    (
+        email.vendor.index(),
+        email.link.index(),
+        event,
+        email.at.as_secs(),
+    )
+}
+
+/// Tracks already-seen notification identities.
+#[derive(Debug, Default)]
+pub struct IdempotencyFilter {
+    seen: BTreeSet<Key>,
+    /// Re-deliveries dropped so far.
+    pub duplicates_dropped: u64,
+}
+
+impl IdempotencyFilter {
+    /// Creates an empty filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits `email` if its identity is new; drops and counts it if it
+    /// is a re-delivery. Call exactly once per delivered e-mail —
+    /// retries of an admitted e-mail must not re-check.
+    pub fn admit(&mut self, email: &VendorEmail) -> bool {
+        if self.seen.insert(key(email)) {
+            true
+        } else {
+            self.duplicates_dropped += 1;
+            false
+        }
+    }
+
+    /// Number of distinct notifications seen.
+    pub fn distinct(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_backbone::topo::FiberLinkId;
+    use dcnr_backbone::vendor::VendorId;
+    use dcnr_sim::SimTime;
+
+    fn email(link: u32, is_start: bool, secs: u64) -> VendorEmail {
+        VendorEmail {
+            vendor: VendorId::from_index(1),
+            link: FiberLinkId::from_index(link),
+            kind: TicketKind::Repair,
+            is_start,
+            at: SimTime::from_secs(secs),
+            circuits: vec![],
+            location: "NA".into(),
+            estimated_hours: None,
+        }
+    }
+
+    #[test]
+    fn replay_is_dropped() {
+        let mut f = IdempotencyFilter::new();
+        let e = email(3, true, 100);
+        assert!(f.admit(&e));
+        assert!(!f.admit(&e));
+        assert!(!f.admit(&e));
+        assert_eq!(f.duplicates_dropped, 2);
+        assert_eq!(f.distinct(), 1);
+    }
+
+    #[test]
+    fn distinct_events_pass() {
+        let mut f = IdempotencyFilter::new();
+        assert!(f.admit(&email(3, true, 100)));
+        assert!(f.admit(&email(3, false, 100))); // completion ≠ start
+        assert!(f.admit(&email(4, true, 100))); // different link
+        assert!(f.admit(&email(3, true, 101))); // different time
+        assert_eq!(f.duplicates_dropped, 0);
+    }
+
+    #[test]
+    fn kind_is_part_of_identity() {
+        let mut f = IdempotencyFilter::new();
+        let repair = email(3, true, 100);
+        let maintenance = VendorEmail {
+            kind: TicketKind::Maintenance,
+            ..repair.clone()
+        };
+        assert!(f.admit(&repair));
+        assert!(f.admit(&maintenance));
+    }
+}

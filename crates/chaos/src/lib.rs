@@ -1,0 +1,43 @@
+//! Chaos ingestion: fault injection and self-healing for the data
+//! pipeline behind the backbone study.
+//!
+//! The paper's backbone analysis (§5) is built from vendor e-mails —
+//! the messiest possible measurement source. This crate makes that
+//! messiness explicit: a deterministic, seeded injector perturbs the
+//! rendered e-mail stream (corruption, truncation, loss, duplication,
+//! reordering) and the SEV/remediation write paths (transient store
+//! failures, delayed commits), while the ingestion pipeline heals what
+//! it can with a dead-letter retry queue, idempotent de-duplication,
+//! and timeout-based orphan reconciliation. Whatever cannot be healed
+//! is quarantined and disclosed in a [`DataQualityReport`], and the
+//! [`study`] module asserts that the paper's statistics survive the
+//! whole ordeal within documented tolerances.
+//!
+//! Determinism contract: every fault source draws from its own
+//! [`stream_rng`](dcnr_sim::stream_rng) stream under one master seed,
+//! and a rate of exactly `0.0` consumes no randomness — so an all-zero
+//! [`ChaosConfig`] is byte-identical to not running the injector at
+//! all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dead_letter;
+pub mod dedup;
+pub mod inject;
+pub mod pipeline;
+pub mod reconcile;
+pub mod report;
+pub mod store;
+pub mod study;
+
+pub use config::ChaosConfig;
+pub use dead_letter::{DeadLetterQueue, QuarantineReason};
+pub use dedup::IdempotencyFilter;
+pub use inject::{inject, InjectionStats};
+pub use pipeline::{run as run_pipeline, PipelineOutput};
+pub use reconcile::{reconcile, ReconcileStats};
+pub use report::DataQualityReport;
+pub use store::{FlakyGate, FlakyRepairQueue, FlakySevDb, StoreStats};
+pub use study::{run_study, ChaosStudyOutput, Deviation, StoreDrill, Tolerance};

@@ -1,0 +1,209 @@
+//! Orphan-ticket reconciliation.
+//!
+//! Under loss, some tickets end the run half-recorded: a START whose
+//! COMPLETE never arrived leaves a ticket open forever, and a COMPLETE
+//! whose START was lost is rejected by the state machine and ends up
+//! quarantined. Real ticket pipelines run a reconciliation job that
+//! closes out such orphans on a timeout; this module is that job,
+//! operating purely through [`TicketDb::ingest`] with synthesized
+//! notifications so the repaired database went through the same state
+//! machine as everything else.
+
+use crate::config::ChaosConfig;
+use dcnr_backbone::email::VendorEmail;
+use dcnr_backbone::TicketDb;
+use dcnr_sim::StudyCalendar;
+
+/// What reconciliation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconcileStats {
+    /// Open tickets closed by timeout (lost COMPLETE healed).
+    pub closed_by_timeout: u64,
+    /// Orphan completions healed by synthesizing their lost START.
+    pub synthesized_starts: u64,
+    /// Orphan completions that could not be healed (their link already
+    /// had an open ticket the completion did not belong to).
+    pub unreconcilable: u64,
+    /// Tickets left open as legitimately right-censored (younger than
+    /// the orphan timeout at window end).
+    pub censored_open: u64,
+}
+
+impl ReconcileStats {
+    /// Total orphans healed either way.
+    pub fn reconciled(&self) -> u64 {
+        self.closed_by_timeout + self.synthesized_starts
+    }
+}
+
+/// Heals `db` in place.
+///
+/// * Every ticket still open `orphan_timeout` after its start is closed
+///   at `start + orphan_timeout` (capped at the window end).
+/// * Every orphan completion in `orphans` gets a synthesized start
+///   `synthesized_outage` before it (floored at the window start), then
+///   the completion is replayed.
+pub fn reconcile(
+    cfg: &ChaosConfig,
+    window: StudyCalendar,
+    db: &mut TicketDb,
+    orphans: &[VendorEmail],
+) -> ReconcileStats {
+    let mut stats = ReconcileStats::default();
+
+    // Lost STARTs first: heal orphan completions while their link is
+    // still free, before timeout closure re-opens nothing.
+    for completion in orphans.iter().filter(|e| !e.is_start) {
+        let started_at = window.start.max(completion.at - cfg.synthesized_outage);
+        let start = VendorEmail {
+            is_start: true,
+            at: started_at,
+            location: format!("{} [reconciled]", completion.location),
+            ..completion.clone()
+        };
+        if db.ingest(&start) && db.ingest(completion) {
+            stats.synthesized_starts += 1;
+        } else {
+            stats.unreconcilable += 1;
+        }
+    }
+    // Orphan starts (e.g. a replayed start that lost the dedup race)
+    // carry no new information: their ticket either exists or the start
+    // was semantically invalid. Nothing to synthesize.
+
+    // Lost COMPLETEs: close out tickets open past the timeout. Only
+    // when the fault mix can actually lose messages — on a loss-free
+    // feed an old open ticket is right-censored truth, and synthesizing
+    // a closure would corrupt clean data.
+    if cfg.can_lose_messages() {
+        let stale: Vec<VendorEmail> = db
+            .tickets()
+            .iter()
+            .filter(|t| t.completed_at.is_none())
+            .filter(|t| t.started_at + cfg.orphan_timeout <= window.end)
+            .map(|t| VendorEmail {
+                vendor: t.vendor,
+                link: t.link,
+                kind: t.kind,
+                is_start: false,
+                at: t.started_at + cfg.orphan_timeout,
+                circuits: vec![],
+                location: "[reconciled: timeout]".into(),
+                estimated_hours: None,
+            })
+            .collect();
+        for completion in stale {
+            if db.ingest(&completion) {
+                stats.closed_by_timeout += 1;
+            }
+        }
+    }
+    stats.censored_open = db
+        .tickets()
+        .iter()
+        .filter(|t| t.completed_at.is_none())
+        .count() as u64;
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_backbone::topo::FiberLinkId;
+    use dcnr_backbone::vendor::VendorId;
+    use dcnr_backbone::TicketKind;
+    use dcnr_sim::SimTime;
+
+    fn email(link: u32, is_start: bool, at: SimTime) -> VendorEmail {
+        VendorEmail {
+            vendor: VendorId::from_index(0),
+            link: FiberLinkId::from_index(link),
+            kind: TicketKind::Repair,
+            is_start,
+            at,
+            circuits: vec![],
+            location: "NA".into(),
+            estimated_hours: None,
+        }
+    }
+
+    fn hours(h: u64) -> dcnr_sim::SimDuration {
+        dcnr_sim::SimDuration::from_hours(h)
+    }
+
+    /// A lossy config: timeout closure is armed.
+    fn lossy() -> ChaosConfig {
+        ChaosConfig {
+            loss_rate: 0.02,
+            ..ChaosConfig::quiescent(0)
+        }
+    }
+
+    #[test]
+    fn stale_open_ticket_is_closed_at_timeout() {
+        let cfg = lossy();
+        let window = StudyCalendar::backbone();
+        let mut db = TicketDb::new();
+        let start = window.start + hours(10);
+        db.ingest(&email(1, true, start));
+        let stats = reconcile(&cfg, window, &mut db, &[]);
+        assert_eq!(stats.closed_by_timeout, 1);
+        assert_eq!(stats.censored_open, 0);
+        let t = &db.tickets()[0];
+        assert_eq!(t.completed_at, Some(start + cfg.orphan_timeout));
+    }
+
+    #[test]
+    fn recent_open_ticket_stays_censored() {
+        let cfg = lossy();
+        let window = StudyCalendar::backbone();
+        let mut db = TicketDb::new();
+        // Starts an hour before the window closes: inside the timeout.
+        let start = window.end - hours(1);
+        db.ingest(&email(1, true, start));
+        let stats = reconcile(&cfg, window, &mut db, &[]);
+        assert_eq!(stats.closed_by_timeout, 0);
+        assert_eq!(stats.censored_open, 1);
+        assert_eq!(db.tickets()[0].completed_at, None);
+    }
+
+    #[test]
+    fn loss_free_feed_is_never_timeout_closed() {
+        let cfg = ChaosConfig::quiescent(0);
+        let window = StudyCalendar::backbone();
+        let mut db = TicketDb::new();
+        db.ingest(&email(1, true, window.start + hours(10)));
+        let stats = reconcile(&cfg, window, &mut db, &[]);
+        assert_eq!(stats.closed_by_timeout, 0);
+        assert_eq!(stats.censored_open, 1, "old open ticket is censored truth");
+        assert_eq!(db.tickets()[0].completed_at, None);
+    }
+
+    #[test]
+    fn orphan_completion_gets_synthesized_start() {
+        let cfg = ChaosConfig::quiescent(0);
+        let window = StudyCalendar::backbone();
+        let mut db = TicketDb::new();
+        let completion = email(2, false, window.start + hours(100));
+        let stats = reconcile(&cfg, window, &mut db, std::slice::from_ref(&completion));
+        assert_eq!(stats.synthesized_starts, 1);
+        assert_eq!(db.len(), 1);
+        let t = &db.tickets()[0];
+        assert_eq!(t.completed_at, Some(completion.at));
+        assert_eq!(t.started_at, completion.at - cfg.synthesized_outage);
+    }
+
+    #[test]
+    fn unreconcilable_when_link_is_busy() {
+        let cfg = ChaosConfig::quiescent(0);
+        let window = StudyCalendar::backbone();
+        let mut db = TicketDb::new();
+        // A live open ticket occupies link 2 from hour 1.
+        db.ingest(&email(2, true, window.start + hours(1)));
+        // An orphan completion at hour 100 cannot open a second ticket.
+        let orphan = email(2, false, window.start + hours(100));
+        let stats = reconcile(&cfg, window, &mut db, &[orphan]);
+        assert_eq!(stats.synthesized_starts, 0);
+        assert_eq!(stats.unreconcilable, 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! Fault injection for the write paths: transient store failures and
+//! delayed commits.
+//!
+//! [`FlakyGate`] is the deterministic failure source. The pipeline
+//! threads every ticket commit through one (failures bounce the message
+//! to the dead-letter queue); [`FlakySevDb`] and [`FlakyRepairQueue`]
+//! wrap the SEV database and the remediation queue with the same gate
+//! plus inline bounded retry, modelling a client that blocks on its
+//! database write: the record always lands (or the caller learns it
+//! never did), but the *commit time* slips by the backoff spent
+//! retrying.
+
+use crate::config::ChaosConfig;
+use dcnr_remediation::RepairQueue;
+use dcnr_sev::{SevDb, SevRecord};
+use dcnr_sim::{stream_rng, SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Counters shared by every flaky write path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Write attempts, including retries.
+    pub attempts: u64,
+    /// Attempts that failed transiently.
+    pub transient_failures: u64,
+    /// Writes that eventually committed.
+    pub committed: u64,
+    /// Writes abandoned after exhausting the retry budget.
+    pub abandoned: u64,
+    /// Total commit delay accumulated across delayed writes.
+    pub total_delay: SimDuration,
+    /// Largest single commit delay.
+    pub max_delay: SimDuration,
+}
+
+impl StoreStats {
+    fn record_commit(&mut self, delay: SimDuration) {
+        self.committed += 1;
+        self.total_delay += delay;
+        if delay > self.max_delay {
+            self.max_delay = delay;
+        }
+    }
+}
+
+/// A deterministic transient-failure source for one write path.
+#[derive(Debug)]
+pub struct FlakyGate {
+    rng: StdRng,
+    fail_rate: f64,
+    /// Counters for this gate.
+    pub stats: StoreStats,
+}
+
+impl FlakyGate {
+    /// Creates a gate with its own RNG stream, named so different write
+    /// paths fail independently under one master seed.
+    pub fn new(cfg: &ChaosConfig, path: &str) -> Self {
+        Self {
+            rng: stream_rng(cfg.seed, &format!("chaos.store.{path}")),
+            fail_rate: cfg.store_fail_rate,
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// One write attempt: `true` if the store accepted it. A rate of
+    /// exactly zero never consumes randomness.
+    pub fn attempt(&mut self) -> bool {
+        self.stats.attempts += 1;
+        if self.fail_rate > 0.0 && self.rng.gen_bool(self.fail_rate) {
+            self.stats.transient_failures += 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+/// Retries `gate.attempt()` with exponential backoff until it commits
+/// or the budget runs out. Returns the commit time (`None` if
+/// abandoned) and records the commit delay.
+fn commit_with_retry(gate: &mut FlakyGate, cfg: &ChaosConfig, now: SimTime) -> Option<SimTime> {
+    let mut at = now;
+    for attempt in 1..=cfg.max_attempts {
+        if gate.attempt() {
+            gate.stats.record_commit(at - now);
+            return Some(at);
+        }
+        at += cfg.backoff(attempt);
+    }
+    gate.stats.abandoned += 1;
+    None
+}
+
+/// A [`SevDb`] whose inserts transiently fail and commit late.
+#[derive(Debug)]
+pub struct FlakySevDb {
+    db: SevDb,
+    gate: FlakyGate,
+    cfg: ChaosConfig,
+}
+
+impl FlakySevDb {
+    /// Wraps an empty database.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        Self {
+            db: SevDb::new(),
+            gate: FlakyGate::new(&cfg, "sev"),
+            cfg,
+        }
+    }
+
+    /// Inserts `record` at `now`, retrying through transient failures.
+    /// Returns `(id, commit time)`, or `None` if the write was
+    /// abandoned (the record is then *not* in the database — a real
+    /// dropped SEV).
+    pub fn insert_record(&mut self, record: SevRecord, now: SimTime) -> Option<(u64, SimTime)> {
+        let committed_at = commit_with_retry(&mut self.gate, &self.cfg, now)?;
+        Some((self.db.insert_record(record), committed_at))
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &SevDb {
+        &self.db
+    }
+
+    /// This store's fault counters.
+    pub fn stats(&self) -> StoreStats {
+        self.gate.stats
+    }
+}
+
+/// A [`RepairQueue`] whose pushes transiently fail; a failed push is
+/// retried with backoff and the repair becomes ready only at its
+/// delayed commit time.
+pub struct FlakyRepairQueue<T> {
+    queue: RepairQueue<T>,
+    gate: FlakyGate,
+    cfg: ChaosConfig,
+}
+
+impl<T> FlakyRepairQueue<T> {
+    /// Wraps an empty queue.
+    pub fn new(cfg: ChaosConfig) -> Self {
+        Self {
+            queue: RepairQueue::new(),
+            gate: FlakyGate::new(&cfg, "remediation"),
+            cfg,
+        }
+    }
+
+    /// Pushes a repair at `now`; on transient failure the push is
+    /// retried and `ready_at` slips to the commit time if that is
+    /// later. Returns the effective ready time (`None` if abandoned).
+    pub fn push(
+        &mut self,
+        priority: u8,
+        ready_at: SimTime,
+        now: SimTime,
+        payload: T,
+    ) -> Option<SimTime> {
+        let committed_at = commit_with_retry(&mut self.gate, &self.cfg, now)?;
+        let effective = ready_at.max(committed_at);
+        self.queue.push(priority, effective, payload);
+        Some(effective)
+    }
+
+    /// The underlying queue.
+    pub fn queue(&mut self) -> &mut RepairQueue<T> {
+        &mut self.queue
+    }
+
+    /// This store's fault counters.
+    pub fn stats(&self) -> StoreStats {
+        self.gate.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_sev::SevLevel;
+
+    fn record() -> SevRecord {
+        let t = SimTime::from_date(2017, 3, 1).unwrap();
+        SevRecord::new(0, SevLevel::Sev3, "rsw.dc01.c000.u0000", vec![], t, t, "")
+    }
+
+    #[test]
+    fn zero_rate_commits_instantly() {
+        let mut db = FlakySevDb::new(ChaosConfig::quiescent(1));
+        let now = SimTime::from_secs(500);
+        let (id, at) = db.insert_record(record(), now).unwrap();
+        assert_eq!((id, at), (0, now));
+        assert_eq!(db.stats().transient_failures, 0);
+        assert_eq!(db.stats().max_delay, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn failures_delay_but_preserve_writes() {
+        let cfg = ChaosConfig {
+            store_fail_rate: 0.4,
+            ..ChaosConfig::quiescent(3)
+        };
+        let mut db = FlakySevDb::new(cfg);
+        let now = SimTime::from_secs(0);
+        let mut inserted = 0u64;
+        for _ in 0..200 {
+            if db.insert_record(record(), now).is_some() {
+                inserted += 1;
+            }
+        }
+        let s = db.stats();
+        assert_eq!(db.db().len() as u64, inserted, "every commit is a real row");
+        assert!(
+            s.transient_failures > 20,
+            "failures {}",
+            s.transient_failures
+        );
+        assert!(
+            s.max_delay > SimDuration::ZERO,
+            "some commit must have been delayed"
+        );
+        assert_eq!(s.committed + s.abandoned, 200);
+    }
+
+    #[test]
+    fn repair_ready_time_slips_to_commit() {
+        // Rate 1.0 with a tiny budget: every push is abandoned.
+        let cfg = ChaosConfig {
+            store_fail_rate: 1.0,
+            max_attempts: 2,
+            ..ChaosConfig::quiescent(5)
+        };
+        let mut q = FlakyRepairQueue::new(cfg);
+        assert_eq!(
+            q.push(0, SimTime::from_secs(10), SimTime::from_secs(0), "x"),
+            None
+        );
+        assert_eq!(q.stats().abandoned, 1);
+        assert!(q.queue().is_empty());
+
+        // Rate 0.5: pushes land, some late.
+        let cfg = ChaosConfig {
+            store_fail_rate: 0.5,
+            ..ChaosConfig::quiescent(5)
+        };
+        let mut q = FlakyRepairQueue::new(cfg);
+        let mut delayed = 0;
+        for i in 0..100u64 {
+            let ready = SimTime::from_secs(i);
+            if let Some(effective) = q.push(1, ready, ready, i) {
+                if effective > ready {
+                    delayed += 1;
+                }
+            }
+        }
+        assert!(delayed > 10, "delayed {delayed}");
+        assert!(q.stats().max_delay >= ChaosConfig::quiescent(0).retry_base);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_path() {
+        let cfg = ChaosConfig {
+            store_fail_rate: 0.3,
+            ..ChaosConfig::quiescent(9)
+        };
+        let run = |cfg: &ChaosConfig| {
+            let mut g = FlakyGate::new(cfg, "sev");
+            (0..64).map(|_| g.attempt()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(&cfg), run(&cfg));
+        // A different path name fails independently.
+        let mut other = FlakyGate::new(&cfg, "remediation");
+        let other_outcomes: Vec<bool> = (0..64).map(|_| other.attempt()).collect();
+        assert_ne!(run(&cfg), other_outcomes);
+    }
+}

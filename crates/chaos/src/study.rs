@@ -1,0 +1,377 @@
+//! The chaos study: the eighteen-month backbone analysis, run twice.
+//!
+//! One simulation produces one ground-truth e-mail stream. The *clean*
+//! arm parses and ingests it directly — exactly what `dcnr backbone`
+//! does. The *perturbed* arm pushes the same stream through the fault
+//! injector and the self-healing pipeline. Both arms then compute the
+//! paper's metrics (Figures 15–18, Table 4), and the study reports how
+//! far the perturbed results drifted, against documented tolerances.
+//! A robust ingestion layer should keep the paper's statistics stable
+//! under a few percent of corruption, loss and duplication; the study
+//! is the executable form of that claim.
+//!
+//! The study also runs a write-path drill: every healed ticket is
+//! replayed into a [`FlakySevDb`] and a [`FlakyRepairQueue`] so the
+//! SEV and remediation stores see the same transient-failure regime.
+
+use crate::config::ChaosConfig;
+use crate::inject::inject;
+use crate::pipeline::{self, PipelineOutput};
+use crate::report::DataQualityReport;
+use crate::store::{FlakyRepairQueue, FlakySevDb, StoreStats};
+use dcnr_backbone::metrics::BackboneMetrics;
+use dcnr_backbone::sim::{BackboneSim, BackboneSimConfig};
+use dcnr_backbone::{parse_email, TicketDb};
+use dcnr_sev::{SevLevel, SevRecord};
+use std::fmt;
+
+/// How far each perturbed statistic may drift from the clean arm.
+///
+/// The defaults absorb the drill rates (5% corruption, 2% loss, 2%
+/// duplication). Duplication and reordering are healed exactly, but a
+/// ticket whose *both* e-mails were destroyed is invisible, so roughly
+/// `corrupt + truncate + loss` of tickets (~8% at drill rates) simply
+/// vanish. Count- and gap-based statistics inherit that: ticket count
+/// drifts by about the destruction rate, and the vendor-level MTBF
+/// median (25 coarse buckets, so quantized) was measured at ~20% drift.
+/// MTTR medians additionally absorb the synthesized endpoints. The
+/// continent distribution is a ratio, so destruction cancels out of it
+/// almost entirely.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative deviation of the total ticket count.
+    pub ticket_count: f64,
+    /// Relative deviation of the edge/vendor MTBF medians.
+    pub mtbf_median: f64,
+    /// Relative deviation of the edge/vendor MTTR medians (repair
+    /// durations are the synthesized quantity, so they drift most).
+    pub mttr_median: f64,
+    /// L1 distance between the Table 4 continent distributions.
+    pub continent_l1: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Self {
+            ticket_count: 0.12,
+            mtbf_median: 0.25,
+            mttr_median: 0.30,
+            continent_l1: 0.05,
+        }
+    }
+}
+
+/// One clean-vs-perturbed comparison.
+#[derive(Debug, Clone)]
+pub struct Deviation {
+    /// What was compared.
+    pub metric: &'static str,
+    /// The clean arm's value.
+    pub clean: f64,
+    /// The perturbed arm's value.
+    pub perturbed: f64,
+    /// The deviation (relative, except the continent L1 which is
+    /// already a distance between distributions).
+    pub deviation: f64,
+    /// The tolerance it is held to.
+    pub limit: f64,
+}
+
+impl Deviation {
+    /// Whether the perturbed arm stayed within tolerance.
+    pub fn pass(&self) -> bool {
+        self.deviation.is_finite() && self.deviation <= self.limit
+    }
+}
+
+impl fmt::Display for Deviation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<26} clean {:>10.2}  chaos {:>10.2}  deviation {:>6.2}% (limit {:>5.2}%)  {}",
+            self.metric,
+            self.clean,
+            self.perturbed,
+            self.deviation * 100.0,
+            self.limit * 100.0,
+            if self.pass() { "ok" } else { "EXCEEDED" },
+        )
+    }
+}
+
+/// Counters from replaying the healed tickets into the flaky SEV and
+/// remediation stores.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreDrill {
+    /// SEV-store fault counters.
+    pub sev: StoreStats,
+    /// Remediation-queue fault counters.
+    pub remediation: StoreStats,
+    /// SEV records that landed.
+    pub sev_records: u64,
+    /// Repairs that landed.
+    pub repairs_queued: u64,
+}
+
+/// Everything one chaos study produces.
+#[derive(Debug)]
+pub struct ChaosStudyOutput {
+    /// Metrics from the unperturbed arm.
+    pub clean: BackboneMetrics,
+    /// Metrics from the fault-injected arm.
+    pub perturbed: BackboneMetrics,
+    /// The perturbed arm's data-quality report.
+    pub report: DataQualityReport,
+    /// Clean-vs-perturbed comparisons, in presentation order.
+    pub deviations: Vec<Deviation>,
+    /// The SEV/remediation write-path drill.
+    pub drill: StoreDrill,
+}
+
+impl ChaosStudyOutput {
+    /// Whether every comparison stayed within tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.deviations.iter().all(Deviation::pass)
+    }
+}
+
+fn relative(clean: f64, perturbed: f64) -> f64 {
+    if clean == 0.0 {
+        if perturbed == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (perturbed - clean).abs() / clean.abs()
+    }
+}
+
+fn continent_l1(clean: &BackboneMetrics, perturbed: &BackboneMetrics) -> f64 {
+    let mut l1 = 0.0;
+    for row in &clean.continents {
+        let other = perturbed
+            .continents
+            .iter()
+            .find(|r| r.continent == row.continent)
+            .map(|r| r.distribution)
+            .unwrap_or(0.0);
+        l1 += (row.distribution - other).abs();
+    }
+    for row in &perturbed.continents {
+        if !clean
+            .continents
+            .iter()
+            .any(|r| r.continent == row.continent)
+        {
+            l1 += row.distribution;
+        }
+    }
+    l1
+}
+
+/// Runs the two-arm study. Panics only if the simulation produced no
+/// tickets at all (a configuration error, not a chaos outcome).
+pub fn run_study(
+    sim_cfg: BackboneSimConfig,
+    chaos_cfg: &ChaosConfig,
+    tol: Tolerance,
+) -> ChaosStudyOutput {
+    let output = BackboneSim::new(sim_cfg).run();
+
+    // Clean arm: the existing pipeline, verbatim.
+    let mut clean_db = TicketDb::new();
+    for (_, raw) in &output.emails {
+        if let Ok(email) = parse_email(raw) {
+            clean_db.ingest(&email);
+        }
+    }
+    let clean = BackboneMetrics::compute(&clean_db, &output.topology, sim_cfg.window)
+        .expect("clean arm produced no tickets; enlarge the simulation");
+
+    // Perturbed arm: inject, then heal.
+    let (deliveries, injection) = inject(chaos_cfg, &output.emails);
+    let PipelineOutput {
+        tickets,
+        mut report,
+    } = pipeline::run(chaos_cfg, sim_cfg.window, &deliveries);
+    report.injection = injection;
+    let perturbed = BackboneMetrics::compute(&tickets, &output.topology, sim_cfg.window)
+        .expect("perturbed arm produced no tickets; rates too destructive");
+
+    let deviations = vec![
+        Deviation {
+            metric: "ticket count",
+            clean: clean.ticket_count as f64,
+            perturbed: perturbed.ticket_count as f64,
+            deviation: relative(clean.ticket_count as f64, perturbed.ticket_count as f64),
+            limit: tol.ticket_count,
+        },
+        Deviation {
+            metric: "edge MTBF median (h)",
+            clean: clean.edge_mtbf.summary().median(),
+            perturbed: perturbed.edge_mtbf.summary().median(),
+            deviation: relative(
+                clean.edge_mtbf.summary().median(),
+                perturbed.edge_mtbf.summary().median(),
+            ),
+            limit: tol.mtbf_median,
+        },
+        Deviation {
+            metric: "vendor MTBF median (h)",
+            clean: clean.vendor_mtbf.summary().median(),
+            perturbed: perturbed.vendor_mtbf.summary().median(),
+            deviation: relative(
+                clean.vendor_mtbf.summary().median(),
+                perturbed.vendor_mtbf.summary().median(),
+            ),
+            limit: tol.mtbf_median,
+        },
+        Deviation {
+            metric: "edge MTTR median (h)",
+            clean: clean.edge_mttr.summary().median(),
+            perturbed: perturbed.edge_mttr.summary().median(),
+            deviation: relative(
+                clean.edge_mttr.summary().median(),
+                perturbed.edge_mttr.summary().median(),
+            ),
+            limit: tol.mttr_median,
+        },
+        Deviation {
+            metric: "vendor MTTR median (h)",
+            clean: clean.vendor_mttr.summary().median(),
+            perturbed: perturbed.vendor_mttr.summary().median(),
+            deviation: relative(
+                clean.vendor_mttr.summary().median(),
+                perturbed.vendor_mttr.summary().median(),
+            ),
+            limit: tol.mttr_median,
+        },
+        Deviation {
+            metric: "continent distribution L1",
+            clean: 0.0,
+            perturbed: continent_l1(&clean, &perturbed),
+            deviation: continent_l1(&clean, &perturbed),
+            limit: tol.continent_l1,
+        },
+    ];
+
+    let drill = store_drill(chaos_cfg, &tickets);
+
+    ChaosStudyOutput {
+        clean,
+        perturbed,
+        report,
+        deviations,
+        drill,
+    }
+}
+
+/// Replays the healed tickets into the flaky SEV and remediation
+/// stores: each completed ticket files a SEV at its completion time and
+/// queues a follow-up repair; open tickets queue an urgent repair.
+fn store_drill(cfg: &ChaosConfig, tickets: &TicketDb) -> StoreDrill {
+    let mut sev = FlakySevDb::new(*cfg);
+    let mut repairs = FlakyRepairQueue::new(*cfg);
+    let mut drill = StoreDrill::default();
+
+    for (i, t) in tickets.tickets().iter().enumerate() {
+        match t.completed_at {
+            Some(done) => {
+                let record = SevRecord::new(
+                    i as u64,
+                    SevLevel::Sev3,
+                    "rsw.dc01.c000.u0000",
+                    vec![],
+                    t.started_at,
+                    done,
+                    "backbone fiber outage",
+                );
+                if sev.insert_record(record, done).is_some() {
+                    drill.sev_records += 1;
+                }
+                if repairs.push(2, done, done, t.link).is_some() {
+                    drill.repairs_queued += 1;
+                }
+            }
+            None => {
+                if repairs
+                    .push(0, t.started_at, t.started_at, t.link)
+                    .is_some()
+                {
+                    drill.repairs_queued += 1;
+                }
+            }
+        }
+    }
+
+    drill.sev = sev.stats();
+    drill.remediation = repairs.stats();
+    drill
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcnr_backbone::topo::BackboneParams;
+
+    fn small_sim(seed: u64) -> BackboneSimConfig {
+        BackboneSimConfig {
+            params: BackboneParams {
+                edges: 60,
+                vendors: 25,
+                ..BackboneParams::default()
+            },
+            seed,
+            ..BackboneSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn quiescent_study_is_exact() {
+        let out = run_study(
+            small_sim(0x17),
+            &ChaosConfig::quiescent(0x17),
+            Tolerance::default(),
+        );
+        assert!(out.within_tolerance());
+        for d in &out.deviations {
+            assert_eq!(d.deviation, 0.0, "{}", d.metric);
+        }
+        assert!(out.report.is_pristine());
+        assert_eq!(out.clean.ticket_count, out.perturbed.ticket_count);
+    }
+
+    #[test]
+    fn drill_rates_stay_within_tolerance() {
+        let out = run_study(
+            small_sim(0x17),
+            &ChaosConfig::drill(0x17),
+            Tolerance::default(),
+        );
+        for d in &out.deviations {
+            assert!(d.pass(), "{d}");
+        }
+        assert!(!out.report.is_pristine());
+        assert!(out.report.ingested > 0);
+        assert!(out.report.duplicates_dropped > 0, "dup rate 2% must fire");
+        assert!(
+            out.report.reconcile.reconciled() > 0,
+            "loss must leave orphans to heal"
+        );
+    }
+
+    #[test]
+    fn store_drill_exercises_both_write_paths() {
+        let cfg = ChaosConfig {
+            store_fail_rate: 0.2,
+            ..ChaosConfig::drill(0x17)
+        };
+        let out = run_study(small_sim(0x17), &cfg, Tolerance::default());
+        assert!(out.drill.sev.attempts > 0);
+        assert!(out.drill.remediation.attempts > 0);
+        assert!(out.drill.sev.transient_failures > 0);
+        assert!(out.drill.sev_records > 0);
+        assert!(out.drill.repairs_queued >= out.drill.sev_records);
+    }
+}

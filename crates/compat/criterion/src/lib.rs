@@ -1,0 +1,137 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark for a fixed number of timed iterations and
+//! prints mean wall-clock time per iteration. No statistics, outlier
+//! rejection, or HTML reports — enough to keep `cargo bench` working
+//! and to eyeball regressions.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// The benchmark context passed to every target function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group; the group borrows the session.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{name}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; we have none).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`iter`].
+///
+/// [`iter`]: Bencher::iter
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, called once per iteration.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F>(name: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // One warm-up pass, then the timed run.
+    let mut warmup = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+    let mut b = Bencher {
+        iterations: sample_size as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iterations.max(1) as f64;
+    println!(
+        "bench {name:<48} {:>12.3} ms/iter ({} iters)",
+        per_iter * 1e3,
+        b.iterations
+    );
+}
+
+/// Re-export so existing `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a bench group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

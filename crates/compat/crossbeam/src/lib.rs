@@ -1,0 +1,69 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`scope`] is provided, implemented on `std::thread::scope`
+//! (which subsumed crossbeam's scoped threads in Rust 1.63). Panics in
+//! spawned threads propagate when the scope joins, exactly as callers
+//! of `crossbeam::scope(...).expect(...)` assume.
+
+#![forbid(unsafe_code)]
+
+/// A handle for spawning scoped threads; mirrors `crossbeam`'s `Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again so
+    /// nested spawns work, as with crossbeam.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all threads join before `scope` returns.
+///
+/// Always returns `Ok` — a panicked child re-panics at join, matching
+/// the `.expect("scoped threads")` idiom used with crossbeam.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn threads_run_and_join() {
+        let counter = AtomicU32::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            7
+        })
+        .expect("scoped threads");
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawns() {
+        let counter = AtomicU32::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            });
+        })
+        .expect("scoped threads");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this crate ships
+//! the slice of proptest's API the workspace uses: the [`Strategy`]
+//! trait over ranges / string patterns / tuples, the `collection::vec`,
+//! `sample::select` and `option::of` combinators, `any::<T>()`, and the
+//! `proptest!` / `prop_compose!` / `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its deterministic seed
+//!   and message instead of a minimized input. Re-running is exact
+//!   because case seeds derive from the test name and case index only.
+//! * **String patterns** support the subset of regex syntax the tests
+//!   use: literal runs, `.`, `[a-z]`-style classes, and `{m}` / `{m,n}`
+//!   / `?` / `*` / `+` quantifiers.
+//! * Case count defaults to 64 (`PROPTEST_CASES` overrides).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `vec(element, size)` — collections of strategy-generated elements.
+pub mod collection {
+    use crate::strategy::{SizeBounds, Strategy};
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { element, lo, hi }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.lo >= self.hi {
+                self.lo
+            } else {
+                rng.gen_range(self.lo..=self.hi)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `select(values)` — uniform choice from a fixed set.
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy drawing uniformly from `values` (must be non-empty).
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(
+            !values.is_empty(),
+            "sample::select requires a non-empty set"
+        );
+        Select { values }
+    }
+
+    /// See [`select`].
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.values[rng.gen_range(0..self.values.len())].clone()
+        }
+    }
+}
+
+/// `of(strategy)` — optional values.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>`, `Some` three times in four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The glob import the tests start from.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
+    /// Upstream exposes combinator modules under `prop::`.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case
+/// (with formatted context) rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs != *rhs, $($fmt)+);
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Declares property tests: each function runs its body over many
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__rng| {
+                    $(let $p = $crate::strategy::Strategy::generate(&($s), __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                });
+            }
+        )*
+    };
+}
+
+/// Declares a named strategy function from component strategies.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$attr:meta])* $vis:vis fn $name:ident($($args:tt)*)($($p:pat in $s:expr),+ $(,)?) -> $ret:ty $body:block) => {
+        $(#[$attr])*
+        $vis fn $name($($args)*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::FnStrategy::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                $(let $p = $crate::strategy::Strategy::generate(&($s), __rng);)+
+                $body
+            })
+        }
+    };
+}

@@ -1,0 +1,391 @@
+//! The [`Strategy`] trait and the built-in strategies: primitive
+//! ranges, string patterns, tuples, `any::<T>()`, `Just`, and the
+//! `prop_map` / `prop_flat_map` combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Chains into a dependent strategy.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards values failing `pred` (retried inside `generate`; gives
+    /// up after 1000 attempts rather than looping forever).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted 1000 attempts: {}", self.reason);
+    }
+}
+
+/// A constant strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_ints {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Mostly ASCII, sometimes any scalar value.
+        if rng.gen_range(0u32..4) > 0 {
+            rng.gen_range(0x20u32..0x7F) as u8 as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Wraps a generation closure — the engine behind `prop_compose!`.
+pub struct FnStrategy<F> {
+    f: F,
+}
+
+impl<F> FnStrategy<F> {
+    /// Wraps `f`.
+    pub fn new<T>(f: F) -> Self
+    where
+        F: Fn(&mut TestRng) -> T,
+    {
+        Self { f }
+    }
+}
+
+impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+// ---- primitive ranges ----
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// ---- tuples ----
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- string patterns ----
+
+/// A `&str` is a regex-subset pattern strategy generating `String`s.
+///
+/// Supported syntax: literal characters, `.` (printable ASCII, with an
+/// occasional arbitrary scalar), `[...]` classes of literals and
+/// `a-z` ranges, and the `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (atom, lo, hi) in &atoms {
+            let n = if lo >= hi {
+                *lo
+            } else {
+                rng.gen_range(*lo..=*hi)
+            };
+            for _ in 0..n {
+                atom.emit(rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+enum Atom {
+    Literal(char),
+    Dot,
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn emit(&self, rng: &mut TestRng, out: &mut String) {
+        match self {
+            Atom::Literal(c) => out.push(*c),
+            Atom::Dot => {
+                // Printable ASCII most of the time; any scalar value
+                // occasionally, so `.`-patterns still probe unicode.
+                if rng.gen_range(0u32..8) > 0 {
+                    out.push(rng.gen_range(0x20u32..0x7F) as u8 as char);
+                } else {
+                    loop {
+                        if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                            out.push(c);
+                            break;
+                        }
+                    }
+                }
+            }
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+                out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo));
+            }
+        }
+    }
+}
+
+/// Parses a pattern into `(atom, min_repeats, max_repeats)` runs.
+/// Unsupported constructs degrade to literals rather than erroring — a
+/// test with an exotic pattern fails loudly on content, not parsing.
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((chars[i], chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((chars[i], chars[i]));
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ']'
+                if ranges.is_empty() {
+                    ranges.push((' ', ' '));
+                }
+                Atom::Class(ranges)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier.
+        let (lo, hi) = if i < chars.len() {
+            match chars[i] {
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}');
+                    if let Some(rel) = close {
+                        let body: String = chars[i + 1..i + rel].iter().collect();
+                        i += rel + 1;
+                        let mut parts = body.splitn(2, ',');
+                        let lo = parts
+                            .next()
+                            .and_then(|p| p.trim().parse().ok())
+                            .unwrap_or(1);
+                        let hi = match parts.next() {
+                            Some(p) => p.trim().parse().unwrap_or(lo),
+                            None => lo,
+                        };
+                        (lo, hi)
+                    } else {
+                        (1, 1)
+                    }
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((atom, lo, hi));
+    }
+    out
+}
+
+// ---- collection sizes ----
+
+/// Accepted size arguments for [`crate::collection::vec`].
+pub trait SizeBounds {
+    /// `(min, max)` inclusive length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeBounds for std::ops::Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (self.start, self.end.saturating_sub(1).max(self.start))
+    }
+}
+
+impl SizeBounds for std::ops::RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}

@@ -1,0 +1,137 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::SeedableRng;
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed; the run aborts with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is retried.
+    Reject,
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// The result of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Number of accepted cases each property runs (`PROPTEST_CASES`
+/// overrides the default of 64).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// FNV-1a over the test name: a stable per-test seed base, so failures
+/// reproduce without recording anything.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` over `case_count()` generated cases. Rejected cases
+/// (via `prop_assume!`) are retried with fresh inputs, up to a 20×
+/// attempt budget. Failures and panics report the case seed.
+pub fn run<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let cases = case_count();
+    let base = name_seed(name);
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    while accepted < cases {
+        attempts += 1;
+        assert!(
+            attempts <= cases.saturating_mul(20),
+            "proptest '{name}': too many rejected cases ({accepted}/{cases} accepted \
+             after {} attempts)",
+            attempts - 1
+        );
+        let seed = base ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => accepted += 1,
+            Ok(Err(TestCaseError::Reject)) => continue,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!("proptest '{name}' failed at case {accepted} (seed {seed:#018x}):\n{msg}")
+            }
+            Err(payload) => {
+                eprintln!("proptest '{name}' panicked at case {accepted} (seed {seed:#018x})");
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_cases() {
+        let mut n = 0;
+        run("runs_all_cases", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, case_count());
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        let mut first: Vec<u64> = Vec::new();
+        run("stable", |rng| {
+            first.push(rand::Rng::next_u64(rng));
+            Ok(())
+        });
+        let mut second: Vec<u64> = Vec::new();
+        run("stable", |rng| {
+            second.push(rand::Rng::next_u64(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        let mut other: Vec<u64> = Vec::new();
+        run("different-name", |rng| {
+            other.push(rand::Rng::next_u64(rng));
+            Ok(())
+        });
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn rejects_are_retried() {
+        let mut total = 0u64;
+        let mut accepted = 0u64;
+        run("rejects", |_| {
+            total += 1;
+            if total % 3 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, case_count());
+        assert!(total > accepted);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic_with_message() {
+        run("fails", |_| Err(TestCaseError::fail("boom")));
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! dcnr intra     [--scale S] [--seed N] [--no-automation] [--no-drain]
 //! dcnr backbone  [--seed N] [--edges E] [--vendors V]
+//! dcnr chaos     [--seed N] [--corrupt-rate R] [--loss-rate R] [--dup-rate R] ...
 //! dcnr drill
 //! dcnr risk      [--trials N] [--seed N]
 //! dcnr help
@@ -10,6 +11,7 @@
 
 use dcnr_core::backbone::topo::BackboneParams;
 use dcnr_core::backbone::BackboneSimConfig;
+use dcnr_core::chaos::{run_study, ChaosConfig, Tolerance};
 use dcnr_core::faults::hazard::HazardConfig;
 use dcnr_core::{Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
 use std::process::ExitCode;
@@ -24,6 +26,13 @@ USAGE:
     dcnr backbone  [--seed N] [--edges E] [--vendors V]
                    Run the eighteen-month backbone study; print
                    Figures 15-18 and Table 4.
+    dcnr chaos     [--seed N] [--sim-seed N] [--edges E] [--vendors V]
+                   [--corrupt-rate R] [--truncate-rate R] [--loss-rate R]
+                   [--dup-rate R] [--reorder-rate R] [--store-fail-rate R]
+                   Run the backbone study twice — clean and under
+                   injected ingestion faults — print the data-quality
+                   report, and check the paper statistics stay within
+                   tolerance. Unset rates default to the drill mix.
     dcnr drill     Run the fault-injection and disaster-recovery drills
                    on the reference mixed region.
     dcnr risk      [--trials N] [--seed N]
@@ -60,7 +69,9 @@ impl Args {
         }
         let raw = self.rest.remove(pos + 1);
         self.rest.remove(pos);
-        raw.parse::<T>().map(Some).map_err(|_| format!("invalid value for {name}: {raw:?}"))
+        raw.parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {name}: {raw:?}"))
     }
 
     fn finish(self) -> Result<(), String> {
@@ -82,6 +93,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "intra" => cmd_intra(Args::new(argv)),
         "backbone" => cmd_backbone(Args::new(argv)),
+        "chaos" => cmd_chaos(Args::new(argv)),
         "drill" => cmd_drill(Args::new(argv)),
         "risk" => cmd_risk(Args::new(argv)),
         "help" | "--help" | "-h" => {
@@ -107,12 +119,17 @@ fn cmd_intra(mut args: Args) -> Result<(), String> {
         drain_policy_enabled: !args.flag("--no-drain"),
     };
     args.finish()?;
-    if !(scale > 0.0) {
+    if scale.is_nan() || scale <= 0.0 {
         return Err("--scale must be positive".into());
     }
 
     eprintln!("running intra-DC study (scale {scale}, seed {seed:#x})...");
-    let intra = IntraDcStudy::run(StudyConfig { scale, seed, hazard, ..Default::default() });
+    let intra = IntraDcStudy::run(StudyConfig {
+        scale,
+        seed,
+        hazard,
+        ..Default::default()
+    });
     let inter = small_backbone(seed);
     println!(
         "dataset: {} issues -> {} SEVs (2011-2017)\n",
@@ -136,11 +153,19 @@ fn cmd_backbone(mut args: Args) -> Result<(), String> {
 
     eprintln!("running backbone study ({edges} edges, {vendors} vendors, seed {seed:#x})...");
     let inter = InterDcStudy::run(BackboneSimConfig {
-        params: BackboneParams { edges, vendors, min_links_per_edge: 3 },
+        params: BackboneParams {
+            edges,
+            vendors,
+            min_links_per_edge: 3,
+        },
         seed,
         ..Default::default()
     });
-    let intra = IntraDcStudy::run(StudyConfig { scale: 0.5, seed, ..Default::default() });
+    let intra = IntraDcStudy::run(StudyConfig {
+        scale: 0.5,
+        seed,
+        ..Default::default()
+    });
     println!(
         "dataset: {} e-mails -> {} tickets (Oct 2016 - Apr 2018)\n",
         inter.output().emails.len(),
@@ -150,6 +175,85 @@ fn cmd_backbone(mut args: Args) -> Result<(), String> {
         print_experiment(e, &intra, &inter);
     }
     Ok(())
+}
+
+fn cmd_chaos(mut args: Args) -> Result<(), String> {
+    let chaos_seed: u64 = args.value("--seed")?.unwrap_or(0xC4_05);
+    let sim_seed: u64 = args.value("--sim-seed")?.unwrap_or(0xB0_E5);
+    let edges: u32 = args.value("--edges")?.unwrap_or(90);
+    let vendors: u32 = args.value("--vendors")?.unwrap_or(40);
+    let mut cfg = ChaosConfig::drill(chaos_seed);
+    if let Some(r) = args.value("--corrupt-rate")? {
+        cfg.corrupt_rate = r;
+    }
+    if let Some(r) = args.value("--truncate-rate")? {
+        cfg.truncate_rate = r;
+    }
+    if let Some(r) = args.value("--loss-rate")? {
+        cfg.loss_rate = r;
+    }
+    if let Some(r) = args.value("--dup-rate")? {
+        cfg.dup_rate = r;
+    }
+    if let Some(r) = args.value("--reorder-rate")? {
+        cfg.reorder_rate = r;
+    }
+    if let Some(r) = args.value("--store-fail-rate")? {
+        cfg.store_fail_rate = r;
+    }
+    args.finish()?;
+    cfg.validate()?;
+    if edges < 2 || vendors < 1 {
+        return Err("need at least 2 edges and 1 vendor".into());
+    }
+
+    eprintln!(
+        "running chaos ingestion drill ({edges} edges, {vendors} vendors, \
+         sim seed {sim_seed:#x}, chaos seed {chaos_seed:#x})..."
+    );
+    let sim = BackboneSimConfig {
+        params: BackboneParams {
+            edges,
+            vendors,
+            min_links_per_edge: 3,
+        },
+        seed: sim_seed,
+        ..Default::default()
+    };
+    let out = run_study(sim, &cfg, Tolerance::default());
+
+    println!("{}", out.report);
+    println!();
+    println!("paper statistics, clean vs chaos (Figures 15-18, Table 4):");
+    for d in &out.deviations {
+        println!("  {d}");
+    }
+    println!();
+    println!("write-path drill (SEV store + remediation queue):");
+    println!(
+        "  sev         : {} committed, {} transient failures, {} abandoned, max delay {}",
+        out.drill.sev.committed,
+        out.drill.sev.transient_failures,
+        out.drill.sev.abandoned,
+        out.drill.sev.max_delay,
+    );
+    println!(
+        "  remediation : {} committed, {} transient failures, {} abandoned, max delay {}",
+        out.drill.remediation.committed,
+        out.drill.remediation.transient_failures,
+        out.drill.remediation.abandoned,
+        out.drill.remediation.max_delay,
+    );
+    println!();
+    println!("annotation for regenerated tables/figures:");
+    println!("  {}", out.report.annotation());
+
+    if out.within_tolerance() {
+        println!("\nverdict: paper statistics within tolerance under injected faults");
+        Ok(())
+    } else {
+        Err("paper statistics drifted outside tolerance under injected faults".into())
+    }
 }
 
 fn cmd_drill(args: Args) -> Result<(), String> {
@@ -193,20 +297,39 @@ fn cmd_risk(mut args: Args) -> Result<(), String> {
         return Err("--trials must be positive".into());
     }
     eprintln!("simulating backbone and planning capacity ({trials} trials)...");
-    let inter = InterDcStudy::run(BackboneSimConfig { seed, ..Default::default() });
+    let inter = InterDcStudy::run(BackboneSimConfig {
+        seed,
+        ..Default::default()
+    });
     let report = inter
         .risk_report(trials)
         .ok_or("no edge failures observed; cannot assess risk")?;
-    println!("expected concurrently-failed edges : {:.3}", report.expected_failures);
-    println!("p99.99 concurrent edge failures    : {}", report.p9999_failures);
-    println!("P(all edges up)                    : {:.3}", report.p_all_up);
-    println!("capacity headroom rule             : {:.1}%", report.headroom_fraction * 100.0);
+    println!(
+        "expected concurrently-failed edges : {:.3}",
+        report.expected_failures
+    );
+    println!(
+        "p99.99 concurrent edge failures    : {}",
+        report.p9999_failures
+    );
+    println!(
+        "P(all edges up)                    : {:.3}",
+        report.p_all_up
+    );
+    println!(
+        "capacity headroom rule             : {:.1}%",
+        report.headroom_fraction * 100.0
+    );
     Ok(())
 }
 
 fn small_backbone(seed: u64) -> InterDcStudy {
     InterDcStudy::run(BackboneSimConfig {
-        params: BackboneParams { edges: 30, vendors: 12, min_links_per_edge: 3 },
+        params: BackboneParams {
+            edges: 30,
+            vendors: 12,
+            min_links_per_edge: 3,
+        },
         seed,
         ..Default::default()
     })
@@ -219,7 +342,10 @@ fn print_experiment(e: Experiment, intra: &IntraDcStudy, inter: &InterDcStudy) {
     println!("----------------------------------------------------------");
     println!("{}", out.rendered);
     for c in &out.comparisons {
-        println!("  {:<40} paper {:>12.4}  measured {:>12.4}", c.metric, c.paper, c.measured);
+        println!(
+            "  {:<40} paper {:>12.4}  measured {:>12.4}",
+            c.metric, c.paper, c.measured
+        );
     }
     println!();
 }

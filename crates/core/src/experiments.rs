@@ -196,7 +196,11 @@ impl Experiment {
 }
 
 fn cmp(metric: impl Into<String>, paper: f64, measured: f64) -> Comparison {
-    Comparison { metric: metric.into(), paper, measured }
+    Comparison {
+        metric: metric.into(),
+        paper,
+        measured,
+    }
 }
 
 fn table1(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -248,7 +252,11 @@ fn fig2(s: &IntraDcStudy) -> ExperimentOutcome {
     for (cause, mix) in &data {
         rendered.push_str(&format!("{cause:<20}"));
         for t in DeviceType::INTRA_DC {
-            rendered.push_str(&format!(" {}={:.2}", t, mix.get(&t).copied().unwrap_or(0.0)));
+            rendered.push_str(&format!(
+                " {}={:.2}",
+                t,
+                mix.get(&t).copied().unwrap_or(0.0)
+            ));
         }
         rendered.push('\n');
     }
@@ -259,7 +267,11 @@ fn fig2(s: &IntraDcStudy) -> ExperimentOutcome {
         .copied()
         .unwrap_or(0.0);
     comparisons.push(cmp("ESW share of bug SEVs", 0.0, esw_bug));
-    ExperimentOutcome { experiment: Experiment::Fig2, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig2,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig3(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -280,7 +292,11 @@ fn fig3(s: &IntraDcStudy) -> ExperimentOutcome {
             rates[&DeviceType::Rsw].get(2017),
         ),
     ];
-    ExperimentOutcome { experiment: Experiment::Fig3, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig3,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig4(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -289,7 +305,11 @@ fn fig4(s: &IntraDcStudy) -> ExperimentOutcome {
     for (level, (share, mix)) in &data {
         rendered.push_str(&format!("{level} (N={:.0}%)", share * 100.0));
         for t in DeviceType::INTRA_DC {
-            rendered.push_str(&format!(" {}={:.2}", t, mix.get(&t).copied().unwrap_or(0.0)));
+            rendered.push_str(&format!(
+                " {}={:.2}",
+                t,
+                mix.get(&t).copied().unwrap_or(0.0)
+            ));
         }
         rendered.push('\n');
     }
@@ -299,7 +319,11 @@ fn fig4(s: &IntraDcStudy) -> ExperimentOutcome {
         cmp("SEV2 share 2017", 0.13, share(SevLevel::Sev2)),
         cmp("SEV1 share 2017", 0.05, share(SevLevel::Sev1)),
     ];
-    ExperimentOutcome { experiment: Experiment::Fig4, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig4,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig5(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -314,33 +338,58 @@ fn fig5(s: &IntraDcStudy) -> ExperimentOutcome {
     }
     // The inflection claim: SEV3 rate peaks mid-study, not in 2017.
     let sev3 = &data[&SevLevel::Sev3];
-    let peak = sev3.points().iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
-    let comparisons = vec![cmp("SEV3 2017 rate / peak rate < 1", 0.5, sev3.get(2017) / peak)];
-    ExperimentOutcome { experiment: Experiment::Fig5, rendered, comparisons }
+    let peak = sev3
+        .points()
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::MIN, f64::max);
+    let comparisons = vec![cmp(
+        "SEV3 2017 rate / peak rate < 1",
+        0.5,
+        sev3.get(2017) / peak,
+    )];
+    ExperimentOutcome {
+        experiment: Experiment::Fig5,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig6(s: &IntraDcStudy) -> ExperimentOutcome {
     let (pts, r) = s.fig6_switches_vs_employees();
     let rendered = report::render_scatter("Fig. 6: normalized switches vs employees", &pts, r);
     let comparisons = vec![cmp("switches-vs-employees Pearson r", 1.0, r)];
-    ExperimentOutcome { experiment: Experiment::Fig6, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig6,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig7(s: &IntraDcStudy) -> ExperimentOutcome {
     let data = s.fig7_incident_fractions();
-    let rendered = report::render_type_year_table(
-        "Fig. 7: fraction of incidents by device type",
-        &data,
-        3,
-    );
+    let rendered =
+        report::render_type_year_table("Fig. 7: fraction of incidents by device type", &data, 3);
     let comparisons = vec![
-        cmp("Core fraction 2017", calibration::SHARE_CORE_2017, data[&DeviceType::Core].get(2017)),
-        cmp("RSW fraction 2017", calibration::SHARE_RSW_2017, data[&DeviceType::Rsw].get(2017)),
+        cmp(
+            "Core fraction 2017",
+            calibration::SHARE_CORE_2017,
+            data[&DeviceType::Core].get(2017),
+        ),
+        cmp(
+            "RSW fraction 2017",
+            calibration::SHARE_RSW_2017,
+            data[&DeviceType::Rsw].get(2017),
+        ),
         cmp("FSW fraction 2017", 0.08, data[&DeviceType::Fsw].get(2017)),
         cmp("ESW fraction 2017", 0.03, data[&DeviceType::Esw].get(2017)),
         cmp("SSW fraction 2017", 0.02, data[&DeviceType::Ssw].get(2017)),
     ];
-    ExperimentOutcome { experiment: Experiment::Fig7, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig7,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig8(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -356,9 +405,17 @@ fn fig8(s: &IntraDcStudy) -> ExperimentOutcome {
     let comparisons = vec![cmp(
         "total SEV growth 2011→2017",
         calibration::SEV_GROWTH_2011_2017,
-        if total_2011 > 0.0 { total_2017 / total_2011 } else { 0.0 },
+        if total_2011 > 0.0 {
+            total_2017 / total_2011
+        } else {
+            0.0
+        },
     )];
-    ExperimentOutcome { experiment: Experiment::Fig8, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig8,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig9(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -378,7 +435,11 @@ fn fig9(s: &IntraDcStudy) -> ExperimentOutcome {
         0.5,
         if cluster > 0.0 { fabric / cluster } else { 0.0 },
     )];
-    ExperimentOutcome { experiment: Experiment::Fig9, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig9,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig10(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -396,9 +457,17 @@ fn fig10(s: &IntraDcStudy) -> ExperimentOutcome {
     let comparisons = vec![cmp(
         "cluster/fabric per-device rate 2017",
         3.2,
-        if fabric_2017 > 0.0 { cluster_2017 / fabric_2017 } else { 0.0 },
+        if fabric_2017 > 0.0 {
+            cluster_2017 / fabric_2017
+        } else {
+            0.0
+        },
     )];
-    ExperimentOutcome { experiment: Experiment::Fig10, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig10,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig11(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -406,10 +475,22 @@ fn fig11(s: &IntraDcStudy) -> ExperimentOutcome {
     let rendered =
         report::render_type_year_table("Fig. 11: population fraction by device type", &data, 4);
     let comparisons = vec![
-        cmp("RSW population fraction 2017", 0.9, data[&DeviceType::Rsw].get(2017)),
-        cmp("FSW fraction 2014 (pre-fabric)", 0.0, data[&DeviceType::Fsw].get(2014)),
+        cmp(
+            "RSW population fraction 2017",
+            0.9,
+            data[&DeviceType::Rsw].get(2017),
+        ),
+        cmp(
+            "FSW fraction 2014 (pre-fabric)",
+            0.0,
+            data[&DeviceType::Fsw].get(2014),
+        ),
     ];
-    ExperimentOutcome { experiment: Experiment::Fig11, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig11,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig12(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -428,15 +509,35 @@ fn fig12(s: &IntraDcStudy) -> ExperimentOutcome {
     };
     let (fabric, cluster) = s.design_mtbi(2017);
     let mut comparisons = vec![
-        cmp("Core MTBI 2017 (h)", calibration::MTBI_CORE_2017_HOURS, at(DeviceType::Core, 2017)),
-        cmp("RSW MTBI 2017 (h)", calibration::MTBI_RSW_2017_HOURS, at(DeviceType::Rsw, 2017)),
+        cmp(
+            "Core MTBI 2017 (h)",
+            calibration::MTBI_CORE_2017_HOURS,
+            at(DeviceType::Core, 2017),
+        ),
+        cmp(
+            "RSW MTBI 2017 (h)",
+            calibration::MTBI_RSW_2017_HOURS,
+            at(DeviceType::Rsw, 2017),
+        ),
     ];
     if let (Some(f), Some(c)) = (fabric, cluster) {
         comparisons.push(cmp("fabric/cluster MTBI 2017", 3.2, f / c));
-        comparisons.push(cmp("fabric MTBI 2017 (h)", calibration::MTBI_FABRIC_2017_HOURS, f));
-        comparisons.push(cmp("cluster MTBI 2017 (h)", calibration::MTBI_CLUSTER_2017_HOURS, c));
+        comparisons.push(cmp(
+            "fabric MTBI 2017 (h)",
+            calibration::MTBI_FABRIC_2017_HOURS,
+            f,
+        ));
+        comparisons.push(cmp(
+            "cluster MTBI 2017 (h)",
+            calibration::MTBI_CLUSTER_2017_HOURS,
+            c,
+        ));
     }
-    ExperimentOutcome { experiment: Experiment::Fig12, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig12,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig13(s: &IntraDcStudy) -> ExperimentOutcome {
@@ -454,27 +555,47 @@ fn fig13(s: &IntraDcStudy) -> ExperimentOutcome {
         _ => 0.0,
     };
     let comparisons = vec![cmp("RSW p75IRT growth 2011→2017 (>1)", 30.0, growth)];
-    ExperimentOutcome { experiment: Experiment::Fig13, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig13,
+        rendered,
+        comparisons,
+    }
 }
 
 fn fig14(s: &IntraDcStudy) -> ExperimentOutcome {
     let (pts, r) = s.fig14_irt_vs_fleet();
     let rendered = report::render_scatter("Fig. 14: p75IRT vs normalized fleet size", &pts, r);
     let comparisons = vec![cmp("p75IRT-vs-fleet Pearson r (positive)", 1.0, r)];
-    ExperimentOutcome { experiment: Experiment::Fig14, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Fig14,
+        rendered,
+        comparisons,
+    }
 }
 
 fn backbone_dist(which: Experiment, s: &InterDcStudy) -> ExperimentOutcome {
     let m = s.metrics();
     let (dist, model, stats_fn): (_, _, dcnr_backbone::models::ReportedStats) = match which {
-        Experiment::Fig15 => (&m.edge_mtbf, PaperModels::edge_mtbf(), PaperModels::edge_mtbf_stats()),
-        Experiment::Fig16 => (&m.edge_mttr, PaperModels::edge_mttr(), PaperModels::edge_mttr_stats()),
-        Experiment::Fig17 => {
-            (&m.vendor_mtbf, PaperModels::vendor_mtbf(), PaperModels::vendor_mtbf_stats())
-        }
-        Experiment::Fig18 => {
-            (&m.vendor_mttr, PaperModels::vendor_mttr(), PaperModels::vendor_mttr_stats())
-        }
+        Experiment::Fig15 => (
+            &m.edge_mtbf,
+            PaperModels::edge_mtbf(),
+            PaperModels::edge_mtbf_stats(),
+        ),
+        Experiment::Fig16 => (
+            &m.edge_mttr,
+            PaperModels::edge_mttr(),
+            PaperModels::edge_mttr_stats(),
+        ),
+        Experiment::Fig17 => (
+            &m.vendor_mtbf,
+            PaperModels::vendor_mtbf(),
+            PaperModels::vendor_mtbf_stats(),
+        ),
+        Experiment::Fig18 => (
+            &m.vendor_mttr,
+            PaperModels::vendor_mttr(),
+            PaperModels::vendor_mttr_stats(),
+        ),
         _ => unreachable!("backbone_dist only handles Figs. 15-18"),
     };
     let rendered = report::render_fitted_distribution(which.title(), dist, &model);
@@ -490,7 +611,11 @@ fn backbone_dist(which: Experiment, s: &InterDcStudy) -> ExperimentOutcome {
             comparisons.push(cmp("fit R²", r2, fit.r2));
         }
     }
-    ExperimentOutcome { experiment: which, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: which,
+        rendered,
+        comparisons,
+    }
 }
 
 fn table4(s: &InterDcStudy) -> ExperimentOutcome {
@@ -514,7 +639,11 @@ fn table4(s: &InterDcStudy) -> ExperimentOutcome {
             row.mttr_hours,
         ));
     }
-    ExperimentOutcome { experiment: Experiment::Table4, rendered, comparisons }
+    ExperimentOutcome {
+        experiment: Experiment::Table4,
+        rendered,
+        comparisons,
+    }
 }
 
 #[cfg(test)]
@@ -525,9 +654,17 @@ mod tests {
     use dcnr_backbone::BackboneSimConfig;
 
     fn studies() -> (IntraDcStudy, InterDcStudy) {
-        let intra = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 3, ..Default::default() });
+        let intra = IntraDcStudy::run(StudyConfig {
+            scale: 2.0,
+            seed: 3,
+            ..Default::default()
+        });
         let inter = InterDcStudy::run(BackboneSimConfig {
-            params: BackboneParams { edges: 60, vendors: 25, min_links_per_edge: 3 },
+            params: BackboneParams {
+                edges: 60,
+                vendors: 25,
+                min_links_per_edge: 3,
+            },
             seed: 3,
             ..Default::default()
         });
@@ -552,7 +689,11 @@ mod tests {
         let (intra, inter) = studies();
         // Table 1 repair ratios: tight.
         let t1 = Experiment::Table1.run(&intra, &inter);
-        for c in t1.comparisons.iter().filter(|c| c.metric.contains("repair ratio")) {
+        for c in t1
+            .comparisons
+            .iter()
+            .filter(|c| c.metric.contains("repair ratio"))
+        {
             assert!(c.relative_error() < 0.05, "{}: {c:?}", c.metric);
         }
         // Fig. 7 2017 shares: within 6 points absolute.
@@ -562,7 +703,11 @@ mod tests {
         }
         // Fig. 15 fit parameters: same regime.
         let f15 = Experiment::Fig15.run(&intra, &inter);
-        let b = f15.comparisons.iter().find(|c| c.metric == "fit b").expect("fit b");
+        let b = f15
+            .comparisons
+            .iter()
+            .find(|c| c.metric == "fit b")
+            .expect("fit b");
         assert!(b.relative_error() < 0.6, "{b:?}");
     }
 
@@ -577,9 +722,17 @@ mod tests {
 
     #[test]
     fn comparison_relative_error() {
-        let c = Comparison { metric: "x".into(), paper: 2.0, measured: 2.2 };
+        let c = Comparison {
+            metric: "x".into(),
+            paper: 2.0,
+            measured: 2.2,
+        };
         assert!((c.relative_error() - 0.1).abs() < 1e-12);
-        let z = Comparison { metric: "z".into(), paper: 0.0, measured: 0.0 };
+        let z = Comparison {
+            metric: "z".into(),
+            paper: 0.0,
+            measured: 0.0,
+        };
         assert_eq!(z.relative_error(), 0.0);
     }
 }

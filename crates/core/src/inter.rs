@@ -8,9 +8,7 @@
 
 use dcnr_backbone::planning::{CapacityPlanner, EdgeAvailability, RiskReport};
 use dcnr_backbone::sim::BackboneSimOutput;
-use dcnr_backbone::{
-    parse_email, BackboneMetrics, BackboneSim, BackboneSimConfig, TicketDb,
-};
+use dcnr_backbone::{parse_email, BackboneMetrics, BackboneSim, BackboneSimConfig, TicketDb};
 use dcnr_sim::StudyCalendar;
 
 /// A completed backbone study.
@@ -42,12 +40,21 @@ impl InterDcStudy {
         }
         let metrics = BackboneMetrics::compute(&tickets, &output.topology, config.window)
             .expect("default-scale backbone always produces failures");
-        Self { config, output, tickets, metrics, ingest_failures }
+        Self {
+            config,
+            output,
+            tickets,
+            metrics,
+            ingest_failures,
+        }
     }
 
     /// Runs with the paper-default configuration and the given seed.
     pub fn run_default(seed: u64) -> Self {
-        Self::run(BackboneSimConfig { seed, ..Default::default() })
+        Self::run(BackboneSimConfig {
+            seed,
+            ..Default::default()
+        })
     }
 
     /// The simulation configuration.
@@ -96,12 +103,17 @@ impl InterDcStudy {
     /// §6.1's conditional-risk report over the measured per-edge
     /// MTBF/MTTR, using `trials` Monte-Carlo samples.
     pub fn risk_report(&self, trials: u32) -> Option<RiskReport> {
-        let logs = self.tickets.edge_logs(&self.output.topology, self.config.window);
+        let logs = self
+            .tickets
+            .edge_logs(&self.output.topology, self.config.window);
         let edges: Vec<EdgeAvailability> = logs
             .values()
             .filter_map(|log| {
                 let est = log.estimate()?;
-                Some(EdgeAvailability { mtbf_hours: est.mtbf, mttr_hours: est.mttr? })
+                Some(EdgeAvailability {
+                    mtbf_hours: est.mtbf,
+                    mttr_hours: est.mttr?,
+                })
             })
             .collect();
         CapacityPlanner::new(trials, self.config.seed).assess(&edges)
@@ -116,7 +128,11 @@ mod tests {
 
     fn study() -> InterDcStudy {
         InterDcStudy::run(BackboneSimConfig {
-            params: BackboneParams { edges: 60, vendors: 25, min_links_per_edge: 3 },
+            params: BackboneParams {
+                edges: 60,
+                vendors: 25,
+                min_links_per_edge: 3,
+            },
             seed: 0x17,
             ..Default::default()
         })
@@ -134,7 +150,11 @@ mod tests {
         let s = study();
         let fit = s.metrics().edge_mtbf.fit.expect("fit");
         let paper = PaperModels::edge_mtbf();
-        assert!(fit.b > paper.b * 0.5 && fit.b < paper.b * 1.7, "b {}", fit.b);
+        assert!(
+            fit.b > paper.b * 0.5 && fit.b < paper.b * 1.7,
+            "b {}",
+            fit.b
+        );
         assert!(fit.r2 > 0.7, "r2 {}", fit.r2);
     }
 

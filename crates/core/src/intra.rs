@@ -8,7 +8,9 @@
 //! paper's SQL did, never by reading the calibration tables.
 
 use dcnr_faults::hazard::HazardConfig;
-use dcnr_faults::{calibration, FleetGrowth, HazardModel, IssueGenerator, RootCause, RootCauseModel};
+use dcnr_faults::{
+    calibration, FleetGrowth, HazardModel, IssueGenerator, RootCause, RootCauseModel,
+};
 use dcnr_remediation::{RemediationEngine, RemediationOutcome, Table1Report};
 use dcnr_service::SevGenerator;
 use dcnr_sev::{MetricsExt, SevDb, SevLevel};
@@ -68,7 +70,12 @@ impl IntraDcStudy {
         let outcomes = engine.triage_all(issues);
         let mut db = SevDb::new();
         SevGenerator::new(config.seed).ingest(&outcomes, &mut db);
-        Self { config, growth, db, outcomes }
+        Self {
+            config,
+            growth,
+            db,
+            outcomes,
+        }
     }
 
     /// The study's configuration.
@@ -123,9 +130,7 @@ impl IntraDcStudy {
 
     /// **Fig. 2** — root-cause distribution per device type: for each
     /// root cause, the fraction of its incidents on each device type.
-    pub fn fig2_root_cause_by_device(
-        &self,
-    ) -> BTreeMap<RootCause, BTreeMap<DeviceType, f64>> {
+    pub fn fig2_root_cause_by_device(&self) -> BTreeMap<RootCause, BTreeMap<DeviceType, f64>> {
         RootCause::ALL
             .iter()
             .map(|&c| (c, self.db.query().root_cause(c).fraction_by_device_type()))
@@ -149,15 +154,17 @@ impl IntraDcStudy {
 
     /// **Fig. 4** — for each severity level in 2017, the device-type
     /// breakdown, plus each level's share of all 2017 SEVs.
-    pub fn fig4_severity_by_device(
-        &self,
-    ) -> BTreeMap<SevLevel, (f64, BTreeMap<DeviceType, f64>)> {
+    pub fn fig4_severity_by_device(&self) -> BTreeMap<SevLevel, (f64, BTreeMap<DeviceType, f64>)> {
         let total = self.db.query().year(2017).count() as f64;
         SevLevel::ALL
             .iter()
             .map(|&l| {
                 let q = self.db.query().year(2017).severity(l);
-                let share = if total > 0.0 { q.count() as f64 / total } else { 0.0 };
+                let share = if total > 0.0 {
+                    q.count() as f64 / total
+                } else {
+                    0.0
+                };
                 (l, (share, q.fraction_by_device_type()))
             })
             .collect()
@@ -170,9 +177,10 @@ impl IntraDcStudy {
             .map(|&l| {
                 (
                     l,
-                    self.db.sev_rate_series(l, self.first_year(), self.last_year(), |y| {
-                        self.growth.total_population(y)
-                    }),
+                    self.db
+                        .sev_rate_series(l, self.first_year(), self.last_year(), |y| {
+                            self.growth.total_population(y)
+                        }),
                 )
             })
             .collect()
@@ -188,12 +196,18 @@ impl IntraDcStudy {
 
     /// **Fig. 7** — each device type's fraction of that year's incidents.
     pub fn fig7_incident_fractions(&self) -> BTreeMap<DeviceType, YearSeries> {
-        let totals = self.db.query().count_by_year(self.first_year(), self.last_year());
+        let totals = self
+            .db
+            .query()
+            .count_by_year(self.first_year(), self.last_year());
         DeviceType::INTRA_DC
             .iter()
             .map(|&t| {
-                let counts =
-                    self.db.query().device_type(t).count_by_year(self.first_year(), self.last_year());
+                let counts = self
+                    .db
+                    .query()
+                    .device_type(t)
+                    .count_by_year(self.first_year(), self.last_year());
                 (t, counts.per(&totals))
             })
             .collect()
@@ -206,8 +220,11 @@ impl IntraDcStudy {
         DeviceType::INTRA_DC
             .iter()
             .map(|&t| {
-                let counts =
-                    self.db.query().device_type(t).count_by_year(self.first_year(), self.last_year());
+                let counts = self
+                    .db
+                    .query()
+                    .device_type(t)
+                    .count_by_year(self.first_year(), self.last_year());
                 (t, counts.normalized_to(baseline.max(1.0)))
             })
             .collect()
@@ -220,8 +237,11 @@ impl IntraDcStudy {
         [NetworkDesign::Cluster, NetworkDesign::Fabric]
             .iter()
             .map(|&d| {
-                let counts =
-                    self.db.query().design(d).count_by_year(self.first_year(), self.last_year());
+                let counts = self
+                    .db
+                    .query()
+                    .design(d)
+                    .count_by_year(self.first_year(), self.last_year());
                 (d, counts.normalized_to(baseline.max(1.0)))
             })
             .collect()
@@ -233,8 +253,11 @@ impl IntraDcStudy {
         [NetworkDesign::Cluster, NetworkDesign::Fabric]
             .iter()
             .map(|&d| {
-                let counts =
-                    self.db.query().design(d).count_by_year(self.first_year(), self.last_year());
+                let counts = self
+                    .db
+                    .query()
+                    .design(d)
+                    .count_by_year(self.first_year(), self.last_year());
                 let mut pops = YearSeries::new(self.first_year(), self.last_year());
                 for y in self.first_year()..=self.last_year() {
                     pops.set(y, self.growth.design_population(d, y));
@@ -275,8 +298,10 @@ impl IntraDcStudy {
     /// §5.6's fabric-vs-cluster MTBI comparison for `year`.
     pub fn design_mtbi(&self, year: i32) -> (Option<f64>, Option<f64>) {
         (
-            self.db.design_mtbi_hours(NetworkDesign::Fabric, year, self.population()),
-            self.db.design_mtbi_hours(NetworkDesign::Cluster, year, self.population()),
+            self.db
+                .design_mtbi_hours(NetworkDesign::Fabric, year, self.population()),
+            self.db
+                .design_mtbi_hours(NetworkDesign::Cluster, year, self.population()),
         )
     }
 
@@ -310,7 +335,10 @@ impl IntraDcStudy {
 
     /// Total SEV growth factor 2011 → 2017 (the paper reports 9.4×).
     pub fn sev_growth_factor(&self) -> Option<f64> {
-        self.db.query().count_by_year(self.first_year(), self.last_year()).growth_factor()
+        self.db
+            .query()
+            .count_by_year(self.first_year(), self.last_year())
+            .growth_factor()
     }
 
     // ---------------- sensitivity analyses ----------------
@@ -318,10 +346,7 @@ impl IntraDcStudy {
     /// Table 2 recomputed after passing every report through a noisy
     /// review process (§5.1's misclassification concern): how far can
     /// reviewer error move the root-cause distribution?
-    pub fn table2_with_review(
-        &self,
-        process: dcnr_sev::ReviewProcess,
-    ) -> BTreeMap<RootCause, f64> {
+    pub fn table2_with_review(&self, process: dcnr_sev::ReviewProcess) -> BTreeMap<RootCause, f64> {
         let mut rng = dcnr_sim::stream_rng(self.config.seed, "core.review-sensitivity");
         let reviewed = process.review_db(&mut rng, &self.db);
         reviewed.query().fraction_by_root_cause()
@@ -353,7 +378,11 @@ mod tests {
     fn study() -> IntraDcStudy {
         // Scale 2 keeps unit tests quick while leaving ~260 incidents in
         // 2017 for stable shares.
-        IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 0xAB, ..Default::default() })
+        IntraDcStudy::run(StudyConfig {
+            scale: 2.0,
+            seed: 0xAB,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -380,7 +409,11 @@ mod tests {
         let s = study();
         let t2 = s.table2_root_causes();
         let m = t2[&RootCause::Maintenance];
-        for c in [RootCause::Hardware, RootCause::Configuration, RootCause::Bug] {
+        for c in [
+            RootCause::Hardware,
+            RootCause::Configuration,
+            RootCause::Bug,
+        ] {
             assert!(m >= t2[&c] - 0.03, "maintenance {m} vs {c}: {}", t2[&c]);
         }
         assert!((t2[&RootCause::Undetermined] - 0.29).abs() < 0.06);
@@ -469,7 +502,10 @@ mod tests {
             .find(|&&(y, _)| y == 2017)
             .map(|&(_, m)| m)
             .expect("core 2017");
-        assert!((core_2017 - 39_495.0).abs() / 39_495.0 < 0.35, "core {core_2017}");
+        assert!(
+            (core_2017 - 39_495.0).abs() / 39_495.0 < 0.35,
+            "core {core_2017}"
+        );
         let rsw_2017 = f12[&DeviceType::Rsw]
             .iter()
             .find(|&&(y, _)| y == 2017)
@@ -511,8 +547,16 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let a = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 5, ..Default::default() });
-        let b = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 5, ..Default::default() });
+        let a = IntraDcStudy::run(StudyConfig {
+            scale: 1.0,
+            seed: 5,
+            ..Default::default()
+        });
+        let b = IntraDcStudy::run(StudyConfig {
+            scale: 1.0,
+            seed: 5,
+            ..Default::default()
+        });
         assert_eq!(a.db().records(), b.db().records());
     }
 

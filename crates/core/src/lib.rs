@@ -48,6 +48,7 @@ pub use intra::{IntraDcStudy, StudyConfig};
 // Re-export the substrate crates under one roof so downstream users and
 // the examples need a single dependency.
 pub use dcnr_backbone as backbone;
+pub use dcnr_chaos as chaos;
 pub use dcnr_faults as faults;
 pub use dcnr_remediation as remediation;
 pub use dcnr_service as service;

@@ -148,7 +148,9 @@ pub fn render_fitted_distribution(
         "  paper model : {:.2}·e^({:.4}·p)   R² = {}",
         paper.a,
         paper.b,
-        paper.paper_r2.map_or("n/a".to_string(), |r| format!("{r:.2}")),
+        paper
+            .paper_r2
+            .map_or("n/a".to_string(), |r| format!("{r:.2}")),
     );
     let _ = writeln!(
         out,

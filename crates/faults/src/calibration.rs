@@ -92,8 +92,7 @@ pub const POPULATION: [[f64; YEARS]; 7] = [
 
 /// Facebook full-time employees per study year (public data the paper
 /// cites from Statista \[71\], used for Fig. 6's proportionality check).
-pub const EMPLOYEES: [f64; YEARS] =
-    [3200.0, 4619.0, 6337.0, 9199.0, 12691.0, 17048.0, 25105.0];
+pub const EMPLOYEES: [f64; YEARS] = [3200.0, 4619.0, 6337.0, 9199.0, 12691.0, 17048.0, 25105.0];
 
 // ---------------------------------------------------------------------
 // Incident rates (Fig. 3) — incidents per device-year.
@@ -316,12 +315,13 @@ mod tests {
     fn csa_spike_matches_section_5_2() {
         assert_eq!(INCIDENT_RATE[1][2], 1.7); // 2013
         assert_eq!(INCIDENT_RATE[1][3], 1.5); // 2014
-        // Two-orders-of-magnitude MTBI improvement 2014 -> 2016.
+                                              // Two-orders-of-magnitude MTBI improvement 2014 -> 2016.
         let improvement = INCIDENT_RATE[1][3] / INCIDENT_RATE[1][5];
         assert!(improvement >= 50.0, "improvement {improvement}");
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn fabric_types_absent_before_2015() {
         for t in 3..=5 {
             for y in 0..4 {
@@ -335,6 +335,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn cluster_population_declines_after_2015() {
         for t in 1..=2 {
             assert!(POPULATION[t][6] < POPULATION[t][4]);
@@ -344,15 +345,22 @@ mod tests {
     #[test]
     fn per_device_sev_rate_inflects_mid_study() {
         let totals: Vec<f64> = (0..YEARS).map(year_total).collect();
-        let pops: Vec<f64> =
-            (0..YEARS).map(|y| (0..7).map(|t| POPULATION[t][y]).sum::<f64>()).collect();
+        let pops: Vec<f64> = (0..YEARS)
+            .map(|y| (0..7).map(|t| POPULATION[t][y]).sum::<f64>())
+            .collect();
         let rates: Vec<f64> = totals.iter().zip(&pops).map(|(i, p)| i / p).collect();
         // Grows from 2011 to the 2013-2014 plateau, then declines.
         assert!(rates[1] > rates[0]);
         assert!(rates[2] > rates[1]);
         let peak = rates.iter().cloned().fold(f64::MIN, f64::max);
-        assert!(peak == rates[2] || peak == rates[3], "peak should be 2013/2014");
-        assert!(rates[6] < peak / 2.0, "post-fabric rate should fall well below peak");
+        assert!(
+            peak == rates[2] || peak == rates[3],
+            "peak should be 2013/2014"
+        );
+        assert!(
+            rates[6] < peak / 2.0,
+            "post-fabric rate should fall well below peak"
+        );
     }
 
     #[test]
@@ -364,6 +372,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn overall_severity_2017_near_82_13_5() {
         let total = year_total(6);
         let mut mix = [0.0; 3];
@@ -376,9 +385,21 @@ mod tests {
         for m in &mut mix {
             *m /= total;
         }
-        assert!((mix[0] - OVERALL_SEVERITY_2017[0]).abs() < 0.03, "sev3 {}", mix[0]);
-        assert!((mix[1] - OVERALL_SEVERITY_2017[1]).abs() < 0.03, "sev2 {}", mix[1]);
-        assert!((mix[2] - OVERALL_SEVERITY_2017[2]).abs() < 0.02, "sev1 {}", mix[2]);
+        assert!(
+            (mix[0] - OVERALL_SEVERITY_2017[0]).abs() < 0.03,
+            "sev3 {}",
+            mix[0]
+        );
+        assert!(
+            (mix[1] - OVERALL_SEVERITY_2017[1]).abs() < 0.03,
+            "sev2 {}",
+            mix[1]
+        );
+        assert!(
+            (mix[2] - OVERALL_SEVERITY_2017[2]).abs() < 0.02,
+            "sev1 {}",
+            mix[2]
+        );
     }
 
     #[test]
@@ -397,7 +418,12 @@ mod tests {
             assert!(repair_wait_secs(t).is_some());
             assert!(repair_exec_secs(t).is_some());
         }
-        for t in [DeviceType::Csa, DeviceType::Csw, DeviceType::Esw, DeviceType::Ssw] {
+        for t in [
+            DeviceType::Csa,
+            DeviceType::Csw,
+            DeviceType::Esw,
+            DeviceType::Ssw,
+        ] {
             assert!(repair_ratio(t).is_none());
             assert!(repair_wait_secs(t).is_none());
             assert!(repair_exec_secs(t).is_none());

@@ -18,10 +18,9 @@ use crate::root_cause::{RootCause, RootCauseModel};
 use dcnr_sim::{stream_rng, SimDuration, SimTime, StudyCalendar};
 use dcnr_topology::{format_device_name, DeviceType};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// One raw device issue, before remediation triage.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RawIssue {
     /// When the issue manifested.
     pub at: SimTime,
@@ -45,13 +44,28 @@ pub struct IssueGenerator {
 
 impl IssueGenerator {
     /// Creates a generator from fleet, hazard, and root-cause models.
-    pub fn new(growth: FleetGrowth, hazard: HazardModel, causes: RootCauseModel, seed: u64) -> Self {
-        Self { growth, hazard, causes, seed }
+    pub fn new(
+        growth: FleetGrowth,
+        hazard: HazardModel,
+        causes: RootCauseModel,
+        seed: u64,
+    ) -> Self {
+        Self {
+            growth,
+            hazard,
+            causes,
+            seed,
+        }
     }
 
     /// The paper-calibrated generator at the given fleet scale.
     pub fn paper(scale: f64, seed: u64) -> Self {
-        Self::new(FleetGrowth::scaled(scale), HazardModel::paper(), RootCauseModel::paper(), seed)
+        Self::new(
+            FleetGrowth::scaled(scale),
+            HazardModel::paper(),
+            RootCauseModel::paper(),
+            seed,
+        )
     }
 
     /// The fleet model.
@@ -87,13 +101,18 @@ impl IssueGenerator {
             loop {
                 let u: f64 = rng.gen();
                 let gap = -mean_gap_hours * (1.0 - u).ln();
-                at = at + SimDuration::from_hours_f64(gap);
+                at += SimDuration::from_hours_f64(gap);
                 if at >= end {
                     break;
                 }
                 let device_name = self.sample_device_name(&mut rng, t, pop);
                 let root_cause = self.causes.sample(&mut rng, t);
-                out.push(RawIssue { at, device_type: t, device_name, root_cause });
+                out.push(RawIssue {
+                    at,
+                    device_type: t,
+                    device_name,
+                    root_cause,
+                });
             }
         }
         out
@@ -155,7 +174,10 @@ mod tests {
     fn names_parse_back_to_their_type() {
         let w = StudyCalendar::year(2017);
         for issue in gen().generate(w) {
-            assert_eq!(parse_device_type(&issue.device_name).unwrap(), issue.device_type);
+            assert_eq!(
+                parse_device_type(&issue.device_name).unwrap(),
+                issue.device_type
+            );
         }
     }
 
@@ -188,7 +210,9 @@ mod tests {
     fn scale_multiplies_volume() {
         let w = StudyCalendar::year(2016);
         let n1 = gen().generate_type(DeviceType::Csw, w).len() as f64;
-        let n4 = IssueGenerator::paper(4.0, 0xFACE).generate_type(DeviceType::Csw, w).len() as f64;
+        let n4 = IssueGenerator::paper(4.0, 0xFACE)
+            .generate_type(DeviceType::Csw, w)
+            .len() as f64;
         assert!((n4 / n1 - 4.0).abs() < 0.8, "ratio {}", n4 / n1);
     }
 

@@ -58,7 +58,10 @@ impl FleetGrowth {
 
     /// Total switches across all intra-DC types in `year`.
     pub fn total_population(&self, year: i32) -> f64 {
-        DeviceType::INTRA_DC.iter().map(|&t| self.population(t, year)).sum()
+        DeviceType::INTRA_DC
+            .iter()
+            .map(|&t| self.population(t, year))
+            .sum()
     }
 
     /// Population of all devices belonging to `design` in `year`

@@ -39,7 +39,10 @@ pub struct HazardConfig {
 
 impl Default for HazardConfig {
     fn default() -> Self {
-        Self { automation_enabled: true, drain_policy_enabled: true }
+        Self {
+            automation_enabled: true,
+            drain_policy_enabled: true,
+        }
     }
 }
 
@@ -52,7 +55,9 @@ pub struct HazardModel {
 impl HazardModel {
     /// The paper-calibrated model.
     pub fn paper() -> Self {
-        Self { config: HazardConfig::default() }
+        Self {
+            config: HazardConfig::default(),
+        }
     }
 
     /// A model with explicit ablation knobs.
@@ -69,9 +74,7 @@ impl HazardModel {
     /// configuration (§4.1.1: rollout began in 2013 with RSWs, fabric
     /// types follow their 2015 introduction; Cores partially).
     pub fn automation_active(&self, t: DeviceType, year: i32) -> bool {
-        self.config.automation_enabled
-            && t.has_automated_repair()
-            && year >= AUTOMATION_START_YEAR
+        self.config.automation_enabled && t.has_automated_repair() && year >= AUTOMATION_START_YEAR
     }
 
     /// Probability that one raw issue on `t` in `year` escalates into a
@@ -132,7 +135,8 @@ impl HazardModel {
             && year >= DRAIN_POLICY_YEAR
         {
             let ti = calibration::type_index(t).expect("cluster type");
-            incident = incident.max(INCIDENT_RATE[ti][calibration::year_index(2014).expect("2014")]);
+            incident =
+                incident.max(INCIDENT_RATE[ti][calibration::year_index(2014).expect("2014")]);
         }
         // The physical issue stream is what the *deployed* system's
         // escalation implies.
@@ -165,9 +169,15 @@ mod tests {
         assert!((m.escalation_probability(DeviceType::Fsw, 2017) - 0.005).abs() < 1e-12);
         assert!((m.escalation_probability(DeviceType::Core, 2017) - 0.25).abs() < 1e-12);
         // Non-automated types escalate at the manual probability.
-        assert_eq!(m.escalation_probability(DeviceType::Csa, 2017), MANUAL_ESCALATION_PROB);
+        assert_eq!(
+            m.escalation_probability(DeviceType::Csa, 2017),
+            MANUAL_ESCALATION_PROB
+        );
         // Before the 2013 rollout, even RSWs were manual.
-        assert_eq!(m.escalation_probability(DeviceType::Rsw, 2012), MANUAL_ESCALATION_PROB);
+        assert_eq!(
+            m.escalation_probability(DeviceType::Rsw, 2012),
+            MANUAL_ESCALATION_PROB
+        );
     }
 
     #[test]
@@ -187,8 +197,7 @@ mod tests {
         // §4.1.2: only 1 in 397 RSW issues needed a human in Apr 2018 —
         // the issue stream dwarfs the incident stream.
         let m = HazardModel::paper();
-        let ratio =
-            m.issue_rate(DeviceType::Rsw, 2017) / m.incident_rate(DeviceType::Rsw, 2017);
+        let ratio = m.issue_rate(DeviceType::Rsw, 2017) / m.incident_rate(DeviceType::Rsw, 2017);
         assert!((ratio - 1.0 / 0.003).abs() < 1.0, "ratio {ratio}");
     }
 

@@ -9,11 +9,10 @@ use crate::calibration::ROOT_CAUSE_SHARES;
 use dcnr_stats::Categorical;
 use dcnr_topology::DeviceType;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The root-cause taxonomy of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RootCause {
     /// Routine maintenance gone wrong (e.g. firmware upgrades) — 17%.
     Maintenance,
@@ -54,7 +53,10 @@ impl RootCause {
 
     /// Table 2's share for this cause.
     pub fn paper_share(self) -> f64 {
-        let idx = RootCause::ALL.iter().position(|&c| c == self).expect("in ALL");
+        let idx = RootCause::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("in ALL");
         ROOT_CAUSE_SHARES[idx]
     }
 }
@@ -84,13 +86,17 @@ pub struct RootCauseModel {
 impl RootCauseModel {
     /// Builds the Table 2 sampler.
     pub fn paper() -> Self {
-        Self { dist: Categorical::new(&ROOT_CAUSE_SHARES).expect("valid shares") }
+        Self {
+            dist: Categorical::new(&ROOT_CAUSE_SHARES).expect("valid shares"),
+        }
     }
 
     /// Builds a sampler with custom weights (same order as
     /// [`RootCause::ALL`]); `None` if weights are invalid.
     pub fn with_weights(weights: &[f64; 7]) -> Option<Self> {
-        Some(Self { dist: Categorical::new(weights)? })
+        Some(Self {
+            dist: Categorical::new(weights)?,
+        })
     }
 
     /// Samples a root cause for an incident on `device_type`.
@@ -140,13 +146,18 @@ mod tests {
         let mut counts: HashMap<RootCause, usize> = HashMap::new();
         let n = 100_000;
         for _ in 0..n {
-            *counts.entry(model.sample(&mut rng, DeviceType::Rsw)).or_default() += 1;
+            *counts
+                .entry(model.sample(&mut rng, DeviceType::Rsw))
+                .or_default() += 1;
         }
         for cause in RootCause::ALL {
             let observed = *counts.get(&cause).unwrap_or(&0) as f64 / n as f64;
             // Shares are normalized over 0.99.
             let expected = cause.paper_share() / 0.99;
-            assert!((observed - expected).abs() < 0.01, "{cause}: {observed} vs {expected}");
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "{cause}: {observed} vs {expected}"
+            );
         }
     }
 
@@ -163,8 +174,8 @@ mod tests {
     fn other_fabric_types_do_get_bugs() {
         let model = RootCauseModel::paper();
         let mut rng = StdRng::seed_from_u64(13);
-        let got_bug = (0..10_000)
-            .any(|_| model.sample(&mut rng, DeviceType::Fsw) == RootCause::Bug);
+        let got_bug =
+            (0..10_000).any(|_| model.sample(&mut rng, DeviceType::Fsw) == RootCause::Bug);
         assert!(got_bug, "FSWs run the same stack and do have bug SEVs");
     }
 

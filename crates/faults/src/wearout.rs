@@ -84,7 +84,11 @@ impl CohortAgeModel {
         if total <= 0.0 {
             return 0.0;
         }
-        cohorts.iter().map(|&(y, n)| n * ((year - y) as f64 + 0.5)).sum::<f64>() / total
+        cohorts
+            .iter()
+            .map(|&(y, n)| n * ((year - y) as f64 + 0.5))
+            .sum::<f64>()
+            / total
     }
 
     /// Fleet hazard multiplier for `t` in `year` under Weibull shape

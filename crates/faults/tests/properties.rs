@@ -12,7 +12,10 @@ fn any_type() -> impl Strategy<Value = DeviceType> {
 
 fn any_config() -> impl Strategy<Value = HazardConfig> {
     (any::<bool>(), any::<bool>()).prop_map(|(automation_enabled, drain_policy_enabled)| {
-        HazardConfig { automation_enabled, drain_policy_enabled }
+        HazardConfig {
+            automation_enabled,
+            drain_policy_enabled,
+        }
     })
 }
 

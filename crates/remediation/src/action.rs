@@ -12,11 +12,10 @@
 use dcnr_faults::calibration::ACTION_MIX;
 use dcnr_stats::Categorical;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// What the automated repair system did about an issue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RemediationAction {
     /// Port ping failure → turn the port off and on again (50%).
     PortCycle,
@@ -52,7 +51,10 @@ impl RemediationAction {
     /// and liveness tasks page someone; the repair system's contribution
     /// is triage and data collection).
     pub fn involves_technician(self) -> bool {
-        matches!(self, RemediationAction::FanAlert | RemediationAction::LivenessTask)
+        matches!(
+            self,
+            RemediationAction::FanAlert | RemediationAction::LivenessTask
+        )
     }
 }
 
@@ -77,7 +79,9 @@ pub struct ActionModel {
 impl ActionModel {
     /// The §4.1.3 mix.
     pub fn paper() -> Self {
-        Self { dist: Categorical::new(&ACTION_MIX).expect("valid mix") }
+        Self {
+            dist: Categorical::new(&ACTION_MIX).expect("valid mix"),
+        }
     }
 
     /// Samples one action.
@@ -121,6 +125,9 @@ mod tests {
 
     #[test]
     fn display_strings() {
-        assert_eq!(RemediationAction::PortCycle.to_string(), "port off/on cycle");
+        assert_eq!(
+            RemediationAction::PortCycle.to_string(),
+            "port off/on cycle"
+        );
     }
 }

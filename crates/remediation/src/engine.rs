@@ -25,10 +25,9 @@ use dcnr_sim::{stream_rng, SimDuration, SimTime};
 use dcnr_topology::DeviceType;
 use rand::rngs::StdRng;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A completed automated repair.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RepairRecord {
     /// The repaired issue.
     pub issue: RawIssue,
@@ -45,7 +44,7 @@ pub struct RepairRecord {
 }
 
 /// The outcome of triaging one issue.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RemediationOutcome {
     /// Automation fixed it; no service-level incident.
     AutoRepaired(RepairRecord),
@@ -111,7 +110,12 @@ impl RemediationEngine {
             types.next().expect("7 types"),
             stream_rng(seed, "remediation.engine.other"),
         ];
-        Self { hazard, actions: ActionModel::paper(), policies, rngs }
+        Self {
+            hazard,
+            actions: ActionModel::paper(),
+            policies,
+            rngs,
+        }
     }
 
     /// The repair policy for `t`, if automation covers the type.
@@ -127,7 +131,12 @@ impl RemediationEngine {
         if self.hazard.automation_active(t, year) {
             // Split borrows: the policy table and the RNGs live in
             // disjoint fields.
-            let Self { policies, rngs, actions, .. } = self;
+            let Self {
+                policies,
+                rngs,
+                actions,
+                ..
+            } = self;
             let rng = &mut rngs[rng_idx];
             let policy = dcnr_faults::calibration::type_index(t)
                 .and_then(|i| policies[i].as_ref())
@@ -148,10 +157,16 @@ impl RemediationEngine {
                     completed_at,
                 })
             } else {
-                RemediationOutcome::Escalated { issue, automation_attempted: true }
+                RemediationOutcome::Escalated {
+                    issue,
+                    automation_attempted: true,
+                }
             }
         } else if self.rngs[rng_idx].gen::<f64>() < MANUAL_ESCALATION_PROB {
-            RemediationOutcome::Escalated { issue, automation_attempted: false }
+            RemediationOutcome::Escalated {
+                issue,
+                automation_attempted: false,
+            }
         } else {
             RemediationOutcome::ManuallyResolved { issue }
         }
@@ -190,7 +205,11 @@ mod tests {
             .filter(|_| e.triage(issue(DeviceType::Rsw, 2017)).is_escalated())
             .count() as f64;
         // Expect ~0.3% (Table 1: 99.7% repair ratio).
-        assert!((escalated / n as f64 - 0.003).abs() < 0.002, "rate {}", escalated / n as f64);
+        assert!(
+            (escalated / n as f64 - 0.003).abs() < 0.002,
+            "rate {}",
+            escalated / n as f64
+        );
     }
 
     #[test]
@@ -217,11 +236,8 @@ mod tests {
     fn pre_2013_everything_is_manual() {
         let mut e = engine();
         for _ in 0..1000 {
-            match e.triage(issue(DeviceType::Rsw, 2012)) {
-                RemediationOutcome::AutoRepaired(_) => {
-                    panic!("automation did not exist in 2012")
-                }
-                _ => {}
+            if let RemediationOutcome::AutoRepaired(_) = e.triage(issue(DeviceType::Rsw, 2012)) {
+                panic!("automation did not exist in 2012")
             }
         }
     }
@@ -247,7 +263,10 @@ mod tests {
         let mut e = engine();
         for _ in 0..50_000 {
             match e.triage(issue(DeviceType::Csw, 2017)) {
-                RemediationOutcome::Escalated { automation_attempted, .. } => {
+                RemediationOutcome::Escalated {
+                    automation_attempted,
+                    ..
+                } => {
                     assert!(!automation_attempted, "CSWs have no automation")
                 }
                 RemediationOutcome::AutoRepaired(_) => panic!("CSWs have no automation"),

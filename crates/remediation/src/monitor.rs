@@ -29,7 +29,11 @@ impl DetectionModel {
     /// Production-like defaults: 10 s heartbeats, 3 misses to alarm,
     /// ~5 s of pipeline latency.
     pub fn paper() -> Self {
-        Self { heartbeat_secs: 10.0, misses_to_alarm: 3, pipeline_mean_secs: 5.0 }
+        Self {
+            heartbeat_secs: 10.0,
+            misses_to_alarm: 3,
+            pipeline_mean_secs: 5.0,
+        }
     }
 
     /// Creates a model.
@@ -39,13 +43,20 @@ impl DetectionModel {
     /// Panics on non-positive heartbeat period, zero miss threshold, or
     /// negative pipeline latency.
     pub fn new(heartbeat_secs: f64, misses_to_alarm: u32, pipeline_mean_secs: f64) -> Self {
-        assert!(heartbeat_secs > 0.0 && heartbeat_secs.is_finite(), "heartbeat must be positive");
+        assert!(
+            heartbeat_secs > 0.0 && heartbeat_secs.is_finite(),
+            "heartbeat must be positive"
+        );
         assert!(misses_to_alarm >= 1, "need at least one miss");
         assert!(
             pipeline_mean_secs >= 0.0 && pipeline_mean_secs.is_finite(),
             "pipeline latency must be non-negative"
         );
-        Self { heartbeat_secs, misses_to_alarm, pipeline_mean_secs }
+        Self {
+            heartbeat_secs,
+            misses_to_alarm,
+            pipeline_mean_secs,
+        }
     }
 
     /// Deterministic bounds of the detection delay (excluding pipeline

@@ -59,12 +59,14 @@ impl RepairPolicy {
     /// priorities wait longer (as the paper describes) while the
     /// *average* wait across repairs matches Table 1.
     pub fn sample_wait_secs<R: Rng + ?Sized>(&self, rng: &mut R, priority: u8) -> f64 {
-        let mean_priority: f64 =
-            (0..4).map(|i| i as f64 * self.priorities.probability(i)).sum();
+        let mean_priority: f64 = (0..4)
+            .map(|i| i as f64 * self.priorities.probability(i))
+            .sum();
         // Priority weighting: priority p waits proportionally to (p+1),
         // normalized so the expectation over the priority mix is 1.
-        let norm: f64 =
-            (0..4).map(|i| (i as f64 + 1.0) * self.priorities.probability(i)).sum();
+        let norm: f64 = (0..4)
+            .map(|i| (i as f64 + 1.0) * self.priorities.probability(i))
+            .sum();
         let _ = mean_priority;
         let factor = (priority as f64 + 1.0) / norm;
         self.wait.sample(rng) * factor
@@ -124,8 +126,10 @@ mod tests {
         let fsw = RepairPolicy::for_type(DeviceType::Fsw).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| fsw.sample_priority(&mut rng) as f64).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| fsw.sample_priority(&mut rng) as f64)
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - 2.25).abs() < 0.02, "mean priority {mean}");
     }
 
@@ -151,7 +155,10 @@ mod tests {
             })
             .sum::<f64>()
             / n as f64;
-        assert!((mean - 86_400.0).abs() / 86_400.0 < 0.02, "mean wait {mean}");
+        assert!(
+            (mean - 86_400.0).abs() / 86_400.0 < 0.02,
+            "mean wait {mean}"
+        );
     }
 
     #[test]

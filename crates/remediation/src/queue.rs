@@ -62,7 +62,10 @@ pub struct RepairQueue<T> {
 impl<T> RepairQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Enqueues a repair.
@@ -70,7 +73,12 @@ impl<T> RepairQueue<T> {
         debug_assert!(priority <= 3, "priorities run 0..=3");
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { priority, ready_at, seq, payload });
+        self.heap.push(Entry {
+            priority,
+            ready_at,
+            seq,
+            payload,
+        });
     }
 
     /// Removes the most urgent repair: highest priority first (lowest

@@ -76,7 +76,10 @@ impl Table1Report {
                     a.wait_sum += r.wait_secs;
                     a.exec_sum += r.exec_secs;
                 }
-                RemediationOutcome::Escalated { issue, automation_attempted: true } => {
+                RemediationOutcome::Escalated {
+                    issue,
+                    automation_attempted: true,
+                } => {
                     let a = accs.entry(issue.device_type).or_insert(Acc {
                         attempted: 0,
                         repaired: 0,
@@ -150,14 +153,26 @@ mod tests {
         let outcomes = make_outcomes(DeviceType::Rsw, 50_000);
         let report = Table1Report::from_outcomes(&outcomes);
         let row = report.row(DeviceType::Rsw).unwrap();
-        assert!((row.repair_ratio() - 0.997).abs() < 0.002, "ratio {}", row.repair_ratio());
-        assert!((row.avg_priority - 2.22).abs() < 0.05, "priority {}", row.avg_priority);
+        assert!(
+            (row.repair_ratio() - 0.997).abs() < 0.002,
+            "ratio {}",
+            row.repair_ratio()
+        );
+        assert!(
+            (row.avg_priority - 2.22).abs() < 0.05,
+            "priority {}",
+            row.avg_priority
+        );
         assert!(
             (row.avg_wait_secs - 86_400.0).abs() / 86_400.0 < 0.05,
             "wait {}",
             row.avg_wait_secs
         );
-        assert!((row.avg_exec_secs - 2.91).abs() < 0.15, "exec {}", row.avg_exec_secs);
+        assert!(
+            (row.avg_exec_secs - 2.91).abs() < 0.15,
+            "exec {}",
+            row.avg_exec_secs
+        );
     }
 
     #[test]
@@ -166,7 +181,10 @@ mod tests {
         let report = Table1Report::from_outcomes(&outcomes);
         let row = report.row(DeviceType::Core).unwrap();
         assert!((row.repair_ratio() - 0.75).abs() < 0.01);
-        assert!(row.avg_priority.abs() < 1e-9, "Core repairs are always priority 0");
+        assert!(
+            row.avg_priority.abs() < 1e-9,
+            "Core repairs are always priority 0"
+        );
         assert!((row.avg_wait_secs - 240.0).abs() / 240.0 < 0.05);
         assert!((row.avg_exec_secs - 30.1).abs() < 1.0);
     }

@@ -146,8 +146,11 @@ pub fn disaster_drill(
     }
     let victim = last.expect("data center has devices");
     let a = model.assess(&region.topology, placement, victim, &failed);
-    let worst_service_loss =
-        a.service_capacity_loss.values().cloned().fold(0.0f64, f64::max);
+    let worst_service_loss = a
+        .service_capacity_loss
+        .values()
+        .cloned()
+        .fold(0.0f64, f64::max);
     DisasterDrillReport {
         datacenter: dc.index(),
         devices_failed,
@@ -183,7 +186,9 @@ mod tests {
             DeviceType::Rsw,
             DeviceType::Bbr,
         ] {
-            let r = drill.report(t).unwrap_or_else(|| panic!("missing tier {t}"));
+            let r = drill
+                .report(t)
+                .unwrap_or_else(|| panic!("missing tier {t}"));
             assert!(r.devices > 0);
             let counted: usize = r.severity_counts.values().sum();
             assert_eq!(counted, r.devices);
@@ -196,9 +201,19 @@ mod tests {
         // failures of aggregation devices stay SEV3.
         let (region, placement, model) = setup();
         let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
-        for t in [DeviceType::Csw, DeviceType::Fsw, DeviceType::Ssw, DeviceType::Esw, DeviceType::Core] {
+        for t in [
+            DeviceType::Csw,
+            DeviceType::Fsw,
+            DeviceType::Ssw,
+            DeviceType::Esw,
+            DeviceType::Core,
+        ] {
             let r = drill.report(t).expect("tier");
-            assert_eq!(r.worst_severity, SevLevel::Sev3, "{t} single failure should be masked");
+            assert_eq!(
+                r.worst_severity,
+                SevLevel::Sev3,
+                "{t} single failure should be masked"
+            );
             assert!(r.max_request_failure_rate < 0.005, "{t}");
         }
     }
@@ -217,7 +232,11 @@ mod tests {
         let (region, placement, model) = setup();
         let drill = FaultInjectionDrill::sweep(&region, &placement, &model);
         for t in drill.risky_tiers() {
-            assert!(drill.report(t).expect("tier").worst_severity.externally_visible());
+            assert!(drill
+                .report(t)
+                .expect("tier")
+                .worst_severity
+                .externally_visible());
         }
     }
 

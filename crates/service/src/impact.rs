@@ -96,7 +96,16 @@ impl ImpactModel {
         }
         let service_capacity_loss: BTreeMap<ServiceKind, f64> = racks
             .iter()
-            .map(|(&s, &n)| (s, if n > 0.0 { lost.get(&s).copied().unwrap_or(0.0) / n } else { 0.0 }))
+            .map(|(&s, &n)| {
+                (
+                    s,
+                    if n > 0.0 {
+                        lost.get(&s).copied().unwrap_or(0.0) / n
+                    } else {
+                        0.0
+                    },
+                )
+            })
             .collect();
 
         // Request failures: displaced load lands on the survivors. With
@@ -110,8 +119,7 @@ impl ImpactModel {
             (overflow.max(0.0) * (1.0 - c) / self.utilization).min(1.0)
         };
 
-        let partition_fraction =
-            blast.racks_disconnected as f64 / blast.racks_total.max(1) as f64;
+        let partition_fraction = blast.racks_disconnected as f64 / blast.racks_total.max(1) as f64;
         let severity = if request_failure_rate >= self.sev1_failure_rate
             || partition_fraction >= self.sev1_partition_fraction
         {
@@ -122,16 +130,19 @@ impl ImpactModel {
             SevLevel::Sev3
         };
 
-        ImpactAssessment { blast, request_failure_rate, service_capacity_loss, severity }
+        ImpactAssessment {
+            blast,
+            request_failure_rate,
+            service_capacity_loss,
+            severity,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcnr_topology::{
-        ClusterNetworkBuilder, ClusterParams, FabricNetworkBuilder, FabricParams,
-    };
+    use dcnr_topology::{ClusterNetworkBuilder, ClusterParams, FabricNetworkBuilder, FabricParams};
 
     fn cluster() -> (Topology, dcnr_topology::cluster::ClusterDc) {
         let mut t = Topology::new();
@@ -171,7 +182,7 @@ mod tests {
         assert_eq!(a.severity, SevLevel::Sev1);
         assert!((a.request_failure_rate - 1.0).abs() < 1e-9);
         assert_eq!(a.blast.racks_disconnected, 40);
-        for (_, loss) in &a.service_capacity_loss {
+        for loss in a.service_capacity_loss.values() {
             assert!((loss - 1.0).abs() < 1e-9);
         }
     }
@@ -194,12 +205,19 @@ mod tests {
         let (t, dc) = cluster();
         let p = Placement::default_mix(&t);
         // Utilization so high that losing one CSW's capacity overflows.
-        let model = ImpactModel { utilization: 0.95, ..Default::default() };
+        let model = ImpactModel {
+            utilization: 0.95,
+            ..Default::default()
+        };
         let mut base = FailureSet::new(&t);
         base.fail(dc.csws[0][0]);
         base.fail(dc.csws[0][1]);
         let a = model.assess(&t, &p, dc.csws[0][2], &base);
-        assert!(a.request_failure_rate > 0.005, "rate {}", a.request_failure_rate);
+        assert!(
+            a.request_failure_rate > 0.005,
+            "rate {}",
+            a.request_failure_rate
+        );
         assert!(a.severity == SevLevel::Sev2 || a.severity == SevLevel::Sev1);
     }
 
@@ -227,6 +245,9 @@ mod tests {
         let loss = a.service_capacity_loss[&victim_service];
         assert!(loss > 0.0);
         let total_loss: f64 = a.service_capacity_loss.values().sum();
-        assert!((total_loss - loss).abs() < 1e-9, "only the victim's service loses capacity");
+        assert!(
+            (total_loss - loss).abs() < 1e-9,
+            "only the victim's service loses capacity"
+        );
     }
 }

@@ -10,12 +10,11 @@
 //! §4.2's SEV2 case study).
 
 use dcnr_topology::{DeviceId, DeviceType, Topology};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// The production service families of §4.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ServiceKind {
     /// Frontend web servers \[22\].
     Web,
@@ -75,8 +74,10 @@ impl Placement {
     /// deterministically (weighted round-robin by rack index, so the
     /// same topology always gets the same placement).
     pub fn default_mix(topo: &Topology) -> Self {
-        let racks: Vec<DeviceId> =
-            topo.devices_of_type(DeviceType::Rsw).map(|d| d.id).collect();
+        let racks: Vec<DeviceId> = topo
+            .devices_of_type(DeviceType::Rsw)
+            .map(|d| d.id)
+            .collect();
         let mut by_rack = BTreeMap::new();
         // Largest-remainder style apportionment over a repeating window
         // of 20 racks: 7 web, 4 cache, 5 storage, 3 data, 1 monitoring.
@@ -191,7 +192,10 @@ mod tests {
 
     #[test]
     fn shares_sum_to_one() {
-        let sum: f64 = ServiceKind::ALL.iter().map(|s| s.default_rack_share()).sum();
+        let sum: f64 = ServiceKind::ALL
+            .iter()
+            .map(|s| s.default_rack_share())
+            .sum();
         assert!((sum - 1.0).abs() < 1e-12);
     }
 }

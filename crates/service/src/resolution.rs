@@ -29,8 +29,9 @@ impl ResolutionModel {
     /// Median resolution time for `year`, hours. Years outside the study
     /// window clamp to the nearest edge.
     pub fn median_hours(&self, year: i32) -> f64 {
-        let idx = calibration::year_index(year.clamp(calibration::FIRST_YEAR, calibration::LAST_YEAR))
-            .expect("clamped into range");
+        let idx =
+            calibration::year_index(year.clamp(calibration::FIRST_YEAR, calibration::LAST_YEAR))
+                .expect("clamped into range");
         RESOLUTION_MEDIAN_HOURS[idx]
     }
 
@@ -46,7 +47,12 @@ impl ResolutionModel {
 
     /// Samples a resolution duration for an incident of `severity`
     /// opened in `year`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, year: i32, severity: SevLevel) -> SimDuration {
+    pub fn sample<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        year: i32,
+        severity: SevLevel,
+    ) -> SimDuration {
         let median = self.median_hours(year) * self.severity_factor(severity);
         // Log-normal via exp(mu + sigma*z) with mu = ln(median).
         let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
@@ -99,7 +105,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let n = 20_000;
         let mean = |sev: SevLevel, rng: &mut StdRng| -> f64 {
-            (0..n).map(|_| m.sample(rng, 2016, sev).as_hours()).sum::<f64>() / n as f64
+            (0..n)
+                .map(|_| m.sample(rng, 2016, sev).as_hours())
+                .sum::<f64>()
+                / n as f64
         };
         let s1 = mean(SevLevel::Sev1, &mut rng);
         let s3 = mean(SevLevel::Sev3, &mut rng);

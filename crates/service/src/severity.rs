@@ -87,7 +87,10 @@ mod tests {
     #[test]
     fn bbr_falls_back_to_rsw_mix() {
         let m = SeverityModel::paper();
-        assert_eq!(m.expected_mix(DeviceType::Bbr), m.expected_mix(DeviceType::Rsw));
+        assert_eq!(
+            m.expected_mix(DeviceType::Bbr),
+            m.expected_mix(DeviceType::Rsw)
+        );
     }
 
     #[test]

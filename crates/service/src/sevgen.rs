@@ -36,7 +36,11 @@ impl SevGenerator {
     pub fn ingest(&mut self, outcomes: &[RemediationOutcome], db: &mut SevDb) -> usize {
         let mut created = 0;
         for outcome in outcomes {
-            let RemediationOutcome::Escalated { issue, automation_attempted } = outcome else {
+            let RemediationOutcome::Escalated {
+                issue,
+                automation_attempted,
+            } = outcome
+            else {
                 continue;
             };
             let severity = self.severity.sample(&mut self.rng, issue.device_type);
@@ -46,7 +50,11 @@ impl SevGenerator {
                 "{} on {}: service-level impact{}",
                 issue.root_cause,
                 issue.device_name,
-                if *automation_attempted { " (automated repair failed)" } else { "" }
+                if *automation_attempted {
+                    " (automated repair failed)"
+                } else {
+                    ""
+                }
             );
             db.insert(
                 severity,

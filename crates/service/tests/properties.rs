@@ -2,9 +2,7 @@
 
 use dcnr_service::{ImpactModel, Placement, ResolutionModel, SeverityModel};
 use dcnr_sev::SevLevel;
-use dcnr_topology::{
-    ClusterNetworkBuilder, ClusterParams, FailureSet, Topology,
-};
+use dcnr_topology::{ClusterNetworkBuilder, ClusterParams, FailureSet, Topology};
 use proptest::prelude::*;
 
 fn small_cluster() -> impl Strategy<Value = (Topology, Vec<dcnr_topology::DeviceId>)> {
@@ -39,7 +37,7 @@ proptest! {
         let a = model.assess(&topo, &placement, victim, &FailureSet::new(&topo));
         prop_assert!((0.0..=1.0).contains(&a.request_failure_rate));
         prop_assert!((0.0..=1.0).contains(&a.blast.capacity_loss_fraction));
-        for (_, loss) in &a.service_capacity_loss {
+        for loss in a.service_capacity_loss.values() {
             prop_assert!((0.0..=1.0 + 1e-9).contains(loss));
         }
         prop_assert!(a.blast.racks_affected() <= a.blast.racks_total);

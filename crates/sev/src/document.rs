@@ -59,9 +59,15 @@ pub fn render_postmortem(record: &SevRecord) -> String {
         .device_type()
         .map(|t| t.to_string())
         .unwrap_or_else(|_| "unclassified device".to_string());
-    let _ = writeln!(out, "==================================================================");
+    let _ = writeln!(
+        out,
+        "=================================================================="
+    );
     let _ = writeln!(out, "{} — SEV report #{}", record.severity, record.id);
-    let _ = writeln!(out, "==================================================================");
+    let _ = writeln!(
+        out,
+        "=================================================================="
+    );
     let _ = writeln!(out, "Offending device : {} ({device})", record.device_name);
     let _ = writeln!(
         out,
@@ -82,7 +88,15 @@ pub fn render_postmortem(record: &SevRecord) -> String {
     let _ = writeln!(out);
     let _ = writeln!(out, "Service impact");
     let _ = writeln!(out, "--------------");
-    let _ = writeln!(out, "  {}", if record.impact.is_empty() { "(not recorded)" } else { &record.impact });
+    let _ = writeln!(
+        out,
+        "  {}",
+        if record.impact.is_empty() {
+            "(not recorded)"
+        } else {
+            &record.impact
+        }
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "Prevention");
     let _ = writeln!(out, "----------");

@@ -29,16 +29,31 @@ pub trait MetricsExt {
     /// Incidents per active device of `t` in `year` (Fig. 3). Returns
     /// 0.0 when the population is zero ("some devices have an incident
     /// rate of 0, e.g., if they did not exist in the fleet in a year").
-    fn incident_rate(&self, t: DeviceType, year: i32, population: impl Fn(DeviceType, i32) -> f64) -> f64;
+    fn incident_rate(
+        &self,
+        t: DeviceType,
+        year: i32,
+        population: impl Fn(DeviceType, i32) -> f64,
+    ) -> f64;
 
     /// Mean time between incidents for `t` in `year`, in device-hours
     /// (Fig. 12). `None` when the type recorded no incidents (the figure
     /// leaves those points out rather than plotting infinity).
-    fn mtbi_hours(&self, t: DeviceType, year: i32, population: impl Fn(DeviceType, i32) -> f64) -> Option<f64>;
+    fn mtbi_hours(
+        &self,
+        t: DeviceType,
+        year: i32,
+        population: impl Fn(DeviceType, i32) -> f64,
+    ) -> Option<f64>;
 
     /// MTBI aggregated over all devices of a network design in `year`
     /// (§5.6's fabric-vs-cluster 3.2× comparison).
-    fn design_mtbi_hours(&self, d: NetworkDesign, year: i32, population: impl Fn(DeviceType, i32) -> f64) -> Option<f64>;
+    fn design_mtbi_hours(
+        &self,
+        d: NetworkDesign,
+        year: i32,
+        population: impl Fn(DeviceType, i32) -> f64,
+    ) -> Option<f64>;
 
     /// 75th-percentile incident resolution time for `t` in `year`, in
     /// hours (Fig. 13). `None` without incidents.
@@ -46,7 +61,13 @@ pub trait MetricsExt {
 
     /// Per-device SEV rate series by severity level (Fig. 5): yearly
     /// counts of `level` incidents divided by the total fleet size.
-    fn sev_rate_series(&self, level: SevLevel, first: i32, last: i32, total_population: impl Fn(i32) -> f64) -> YearSeries;
+    fn sev_rate_series(
+        &self,
+        level: SevLevel,
+        first: i32,
+        last: i32,
+        total_population: impl Fn(i32) -> f64,
+    ) -> YearSeries;
 }
 
 impl MetricsExt for SevDb {
@@ -87,10 +108,15 @@ impl MetricsExt for SevDb {
         year: i32,
         population: impl Fn(DeviceType, i32) -> f64,
     ) -> Option<f64> {
-        let types: Vec<DeviceType> =
-            DeviceType::INTRA_DC.iter().copied().filter(|t| t.design() == d).collect();
-        let incidents: usize =
-            types.iter().map(|&t| self.query().year(year).device_type(t).count()).sum();
+        let types: Vec<DeviceType> = DeviceType::INTRA_DC
+            .iter()
+            .copied()
+            .filter(|t| t.design() == d)
+            .collect();
+        let incidents: usize = types
+            .iter()
+            .map(|&t| self.query().year(year).device_type(t).count())
+            .sum();
         if incidents == 0 {
             return None;
         }
@@ -184,7 +210,11 @@ mod tests {
     fn design_mtbi_pools_types() {
         let mut db = SevDb::new();
         // 2 FSW + 1 SSW incidents in 2017.
-        for (name, _) in [("fsw.dc01.p000.u0001", 0), ("fsw.dc01.p000.u0002", 0), ("ssw.dc01.s000.u0001", 0)] {
+        for (name, _) in [
+            ("fsw.dc01.p000.u0001", 0),
+            ("fsw.dc01.p000.u0002", 0),
+            ("ssw.dc01.s000.u0001", 0),
+        ] {
             db.insert(SevLevel::Sev3, name, vec![], t(2017, 5), t(2017, 6), "");
         }
         let pop = |ty: DeviceType, _y: i32| match ty {
@@ -193,9 +223,13 @@ mod tests {
             DeviceType::Esw => 50.0,
             _ => 0.0,
         };
-        let mtbi = db.design_mtbi_hours(NetworkDesign::Fabric, 2017, pop).unwrap();
+        let mtbi = db
+            .design_mtbi_hours(NetworkDesign::Fabric, 2017, pop)
+            .unwrap();
         assert!((mtbi - 200.0 * 8760.0 / 3.0).abs() < 1e-6);
-        assert!(db.design_mtbi_hours(NetworkDesign::Cluster, 2017, pop).is_none());
+        assert!(db
+            .design_mtbi_hours(NetworkDesign::Cluster, 2017, pop)
+            .is_none());
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub struct SevQuery<'a> {
 impl SevDb {
     /// Starts a query over all reports.
     pub fn query(&self) -> SevQuery<'_> {
-        SevQuery { records: self.iter().collect() }
+        SevQuery {
+            records: self.iter().collect(),
+        }
     }
 }
 
@@ -64,7 +66,9 @@ impl<'a> SevQuery<'a> {
 
     /// Generic predicate filter.
     pub fn filter(self, pred: impl Fn(&SevRecord) -> bool) -> Self {
-        Self { records: self.records.into_iter().filter(|r| pred(r)).collect() }
+        Self {
+            records: self.records.into_iter().filter(|r| pred(r)).collect(),
+        }
     }
 
     // ----- terminals -------------------------------------------------
@@ -128,7 +132,16 @@ impl<'a> SevQuery<'a> {
         let total: usize = counts.values().sum();
         counts
             .into_iter()
-            .map(|(t, c)| (t, if total > 0 { c as f64 / total as f64 } else { 0.0 }))
+            .map(|(t, c)| {
+                (
+                    t,
+                    if total > 0 {
+                        c as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                )
+            })
             .collect()
     }
 
@@ -138,7 +151,16 @@ impl<'a> SevQuery<'a> {
         let total: usize = counts.values().sum();
         counts
             .into_iter()
-            .map(|(l, c)| (l, if total > 0 { c as f64 / total as f64 } else { 0.0 }))
+            .map(|(l, c)| {
+                (
+                    l,
+                    if total > 0 {
+                        c as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                )
+            })
             .collect()
     }
 
@@ -149,13 +171,25 @@ impl<'a> SevQuery<'a> {
         let total: usize = counts.values().sum();
         counts
             .into_iter()
-            .map(|(c, n)| (c, if total > 0 { n as f64 / total as f64 } else { 0.0 }))
+            .map(|(c, n)| {
+                (
+                    c,
+                    if total > 0 {
+                        n as f64 / total as f64
+                    } else {
+                        0.0
+                    },
+                )
+            })
             .collect()
     }
 
     /// Resolution times (hours) of matching reports — the p75IRT input.
     pub fn resolution_hours(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.resolution_time().as_hours()).collect()
+        self.records
+            .iter()
+            .map(|r| r.resolution_time().as_hours())
+            .collect()
     }
 }
 
@@ -168,13 +202,55 @@ mod tests {
         let mut db = SevDb::new();
         let t = |y: i32, d: u32| SimTime::from_date(y, 6, d).unwrap();
         // 2017: 2 RSW (1x SEV3, 1x SEV1), 1 Core SEV3, 1 FSW SEV2.
-        db.insert(SevLevel::Sev3, "rsw.dc01.c000.u0001", vec![RootCause::Hardware], t(2017, 1), t(2017, 2), "");
-        db.insert(SevLevel::Sev1, "rsw.dc01.c000.u0002", vec![RootCause::Maintenance, RootCause::Configuration], t(2017, 3), t(2017, 5), "");
-        db.insert(SevLevel::Sev3, "core.dc01.x000.u0000", vec![RootCause::Bug], t(2017, 4), t(2017, 4), "");
-        db.insert(SevLevel::Sev2, "fsw.dc02.p000.u0003", vec![RootCause::Maintenance], t(2017, 8), t(2017, 9), "");
+        db.insert(
+            SevLevel::Sev3,
+            "rsw.dc01.c000.u0001",
+            vec![RootCause::Hardware],
+            t(2017, 1),
+            t(2017, 2),
+            "",
+        );
+        db.insert(
+            SevLevel::Sev1,
+            "rsw.dc01.c000.u0002",
+            vec![RootCause::Maintenance, RootCause::Configuration],
+            t(2017, 3),
+            t(2017, 5),
+            "",
+        );
+        db.insert(
+            SevLevel::Sev3,
+            "core.dc01.x000.u0000",
+            vec![RootCause::Bug],
+            t(2017, 4),
+            t(2017, 4),
+            "",
+        );
+        db.insert(
+            SevLevel::Sev2,
+            "fsw.dc02.p000.u0003",
+            vec![RootCause::Maintenance],
+            t(2017, 8),
+            t(2017, 9),
+            "",
+        );
         // 2016: 1 CSA SEV3; plus one unparsable legacy name.
-        db.insert(SevLevel::Sev3, "csa.dc01.x000.u0000", vec![RootCause::Accident], t(2016, 1), t(2016, 3), "");
-        db.insert(SevLevel::Sev3, "legacy-router-7", vec![], t(2016, 2), t(2016, 2), "");
+        db.insert(
+            SevLevel::Sev3,
+            "csa.dc01.x000.u0000",
+            vec![RootCause::Accident],
+            t(2016, 1),
+            t(2016, 3),
+            "",
+        );
+        db.insert(
+            SevLevel::Sev3,
+            "legacy-router-7",
+            vec![],
+            t(2016, 2),
+            t(2016, 2),
+            "",
+        );
         db
     }
 
@@ -232,7 +308,14 @@ mod tests {
     fn resolution_hours() {
         let mut db = SevDb::new();
         let open = SimTime::from_date(2017, 1, 1).unwrap();
-        db.insert(SevLevel::Sev3, "rsw.dc01.c000.u0000", vec![], open, open + SimDuration::from_hours(36), "");
+        db.insert(
+            SevLevel::Sev3,
+            "rsw.dc01.c000.u0000",
+            vec![],
+            open,
+            open + SimDuration::from_hours(36),
+            "",
+        );
         let hours = db.query().resolution_hours();
         assert_eq!(hours, vec![36.0]);
     }

@@ -15,10 +15,9 @@ use crate::severity::SevLevel;
 use dcnr_faults::RootCause;
 use dcnr_sim::{SimDuration, SimTime};
 use dcnr_topology::{parse_device_type, DeviceType, NameError, NetworkDesign};
-use serde::{Deserialize, Serialize};
 
 /// A service-level event report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SevRecord {
     /// Stable report id within the owning [`crate::SevDb`].
     pub id: u64,
@@ -52,8 +51,11 @@ impl SevRecord {
         resolved_at: SimTime,
         impact: impl Into<String>,
     ) -> Self {
-        let root_causes =
-            if root_causes.is_empty() { vec![RootCause::Undetermined] } else { root_causes };
+        let root_causes = if root_causes.is_empty() {
+            vec![RootCause::Undetermined]
+        } else {
+            root_causes
+        };
         Self {
             id,
             severity,
@@ -137,7 +139,15 @@ mod tests {
 
     #[test]
     fn empty_root_causes_become_undetermined() {
-        let r = SevRecord::new(3, SevLevel::Sev3, "csw.dc01.c000.u0000", vec![], t(2013, 1, 1), t(2013, 1, 2), "");
+        let r = SevRecord::new(
+            3,
+            SevLevel::Sev3,
+            "csw.dc01.c000.u0000",
+            vec![],
+            t(2013, 1, 1),
+            t(2013, 1, 2),
+            "",
+        );
         assert_eq!(r.root_causes, vec![RootCause::Undetermined]);
         assert!(r.has_root_cause(RootCause::Undetermined));
     }

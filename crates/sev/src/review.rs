@@ -34,7 +34,10 @@ impl ReviewProcess {
     /// A well-run review culture: low error rate, errors mostly
     /// manifesting as undetermined rather than wrong categories.
     pub fn diligent() -> Self {
-        Self { error_rate: 0.05, undetermined_share: 0.8 }
+        Self {
+            error_rate: 0.05,
+            undetermined_share: 0.8,
+        }
     }
 
     /// Creates a review model.
@@ -43,12 +46,18 @@ impl ReviewProcess {
     ///
     /// Panics if either probability is outside `[0, 1]`.
     pub fn new(error_rate: f64, undetermined_share: f64) -> Self {
-        assert!((0.0..=1.0).contains(&error_rate), "error_rate must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&error_rate),
+            "error_rate must be a probability"
+        );
         assert!(
             (0.0..=1.0).contains(&undetermined_share),
             "undetermined_share must be a probability"
         );
-        Self { error_rate, undetermined_share }
+        Self {
+            error_rate,
+            undetermined_share,
+        }
     }
 
     /// The adjacent-category confusion a reviewer plausibly makes.
@@ -84,8 +93,11 @@ impl ReviewProcess {
     /// Reviews one record in place (deduplicating causes that collapse
     /// together).
     pub fn review_record<R: Rng + ?Sized>(&self, rng: &mut R, record: &mut SevRecord) {
-        let mut causes: Vec<RootCause> =
-            record.root_causes.iter().map(|&c| self.review_cause(rng, c)).collect();
+        let mut causes: Vec<RootCause> = record
+            .root_causes
+            .iter()
+            .map(|&c| self.review_cause(rng, c))
+            .collect();
         causes.sort();
         causes.dedup();
         record.root_causes = causes;
@@ -173,7 +185,11 @@ mod tests {
             .iter()
             .filter(|r| r.root_causes != vec![RootCause::Configuration])
             .count() as f64;
-        assert!((changed / 20_000.0 - 0.2).abs() < 0.01, "changed {}", changed / 20_000.0);
+        assert!(
+            (changed / 20_000.0 - 0.2).abs() < 0.01,
+            "changed {}",
+            changed / 20_000.0
+        );
         // Half of the errors become undetermined, half become Bug.
         let undet = reviewed
             .iter()
@@ -199,7 +215,14 @@ mod tests {
         ];
         for (cause, n) in counts {
             for i in 0..n {
-                db.insert(SevLevel::Sev3, format!("csw.dc01.c000.u{i:04}"), vec![cause], t, t, "");
+                db.insert(
+                    SevLevel::Sev3,
+                    format!("csw.dc01.c000.u{i:04}"),
+                    vec![cause],
+                    t,
+                    t,
+                    "",
+                );
             }
         }
         let before = db.query().fraction_by_root_cause();
@@ -214,9 +237,7 @@ mod tests {
             assert!((a - b).abs() < 0.04, "{cause}: {b} -> {a}");
         }
         // Undetermined can only grow under review noise.
-        assert!(
-            after[&RootCause::Undetermined] >= before[&RootCause::Undetermined] - 1e-9
-        );
+        assert!(after[&RootCause::Undetermined] >= before[&RootCause::Undetermined] - 1e-9);
     }
 
     #[test]

@@ -6,11 +6,10 @@
 //! mark for an incident. A SEV's level is never downgraded to reflect
 //! progress in resolving the SEV." (§5.3)
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A SEV's severity level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum SevLevel {
     /// Highest severity: "Entire Facebook product or service outage,
     /// data center outage, major portions of the site are unavailable,

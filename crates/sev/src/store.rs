@@ -12,10 +12,9 @@ use crate::record::SevRecord;
 use crate::severity::SevLevel;
 use dcnr_faults::RootCause;
 use dcnr_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// An append-only store of SEV reports.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SevDb {
     records: Vec<SevRecord>,
 }
@@ -106,8 +105,22 @@ mod tests {
     #[test]
     fn ids_are_stable_and_sequential() {
         let mut db = SevDb::new();
-        let a = db.insert(SevLevel::Sev3, "rsw.dc01.c000.u0000", vec![], t(2013), t(2013), "");
-        let b = db.insert(SevLevel::Sev2, "csw.dc01.c000.u0001", vec![], t(2014), t(2014), "");
+        let a = db.insert(
+            SevLevel::Sev3,
+            "rsw.dc01.c000.u0000",
+            vec![],
+            t(2013),
+            t(2013),
+            "",
+        );
+        let b = db.insert(
+            SevLevel::Sev2,
+            "csw.dc01.c000.u0001",
+            vec![],
+            t(2014),
+            t(2014),
+            "",
+        );
         assert_eq!((a, b), (0, 1));
         assert_eq!(db.get(0).unwrap().severity, SevLevel::Sev3);
         assert_eq!(db.get(1).unwrap().severity, SevLevel::Sev2);
@@ -118,7 +131,15 @@ mod tests {
     #[test]
     fn insert_record_reassigns_id() {
         let mut db = SevDb::new();
-        let r = SevRecord::new(999, SevLevel::Sev1, "core.dc01.x000.u0000", vec![], t(2015), t(2015), "");
+        let r = SevRecord::new(
+            999,
+            SevLevel::Sev1,
+            "core.dc01.x000.u0000",
+            vec![],
+            t(2015),
+            t(2015),
+            "",
+        );
         let id = db.insert_record(r);
         assert_eq!(id, 0);
         assert_eq!(db.get(0).unwrap().id, 0);

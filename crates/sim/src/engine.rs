@@ -54,7 +54,11 @@ pub struct Simulation<E> {
 impl<E> Simulation<E> {
     /// Creates a simulation whose clock starts at `start`.
     pub fn new(start: SimTime) -> Self {
-        Self { now: start, queue: EventQueue::new(), dispatched: 0 }
+        Self {
+            now: start,
+            queue: EventQueue::new(),
+            dispatched: 0,
+        }
     }
 
     /// Current simulated time.
@@ -102,8 +106,11 @@ impl<E> Simulation<E> {
                 Some(t) if t < horizon => {
                     let (time, event) = self.queue.pop().expect("peeked");
                     self.now = time;
-                    let mut sched =
-                        Scheduler { now: self.now, queue: &mut self.queue, horizon };
+                    let mut sched = Scheduler {
+                        now: self.now,
+                        queue: &mut self.queue,
+                        horizon,
+                    };
                     handler(&mut sched, event);
                     self.dispatched += 1;
                     count += 1;

@@ -98,8 +98,12 @@ mod tests {
         let ys: Vec<f64> = (0..n).map(|_| b.gen::<f64>()).collect();
         let mx = xs.iter().sum::<f64>() / n as f64;
         let my = ys.iter().sum::<f64>() / n as f64;
-        let cov: f64 =
-            xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n as f64;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n as f64;
         assert!(cov.abs() < 0.01, "cov = {cov}");
     }
 }

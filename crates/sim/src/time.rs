@@ -22,7 +22,7 @@ pub const SECS_PER_HOUR: u64 = 3_600;
 pub const SECS_PER_DAY: u64 = 86_400;
 
 /// A span of simulated time, in whole seconds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -79,12 +79,28 @@ impl SimDuration {
     pub fn saturating_sub(self, other: Self) -> Self {
         Self(self.0.saturating_sub(other.0))
     }
+
+    /// Saturating addition; sums that overflow clamp to `u64::MAX`
+    /// seconds (~585 billion years — effectively "beyond any horizon").
+    pub fn saturating_add(self, other: Self) -> Self {
+        Self(self.0.saturating_add(other.0))
+    }
 }
 
+/// Saturating: a sum past `u64::MAX` seconds clamps rather than
+/// panicking (debug) or wrapping to a tiny span (release). Fault
+/// injection schedules retries near the simulation horizon, where
+/// wrapped durations would silently reorder events.
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: Self) -> Self {
-        Self(self.0 + rhs.0)
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
     }
 }
 
@@ -107,7 +123,7 @@ impl fmt::Display for SimDuration {
 }
 
 /// An instant of simulated time: seconds since 2011-01-01T00:00:00Z.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(u64);
 
 /// The study epoch as a civil date.
@@ -169,7 +185,9 @@ impl SimTime {
             return None;
         }
         Some(Self(
-            days as u64 * SECS_PER_DAY + h as u64 * SECS_PER_HOUR + mi as u64 * SECS_PER_MINUTE
+            days as u64 * SECS_PER_DAY
+                + h as u64 * SECS_PER_HOUR
+                + mi as u64 * SECS_PER_MINUTE
                 + s as u64,
         ))
     }
@@ -206,16 +224,22 @@ impl SimTime {
     }
 }
 
+/// Saturating: an instant pushed past `u64::MAX` seconds since the
+/// epoch clamps to that horizon rather than panicking (debug) or
+/// wrapping back before the epoch (release). Downstream interval
+/// arithmetic already saturates ([`SimTime::since`]), so a clamped
+/// instant degrades to a zero-length interval instead of corrupting
+/// event order.
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.as_secs())
+        SimTime(self.0.saturating_add(rhs.as_secs()))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.as_secs();
+        *self = *self + rhs;
     }
 }
 
@@ -223,6 +247,14 @@ impl Sub<SimTime> for SimTime {
     type Output = SimDuration;
     fn sub(self, rhs: SimTime) -> SimDuration {
         self.since(rhs)
+    }
+}
+
+/// Saturating: stepping back past the epoch clamps to the epoch.
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.as_secs()))
     }
 }
 
@@ -408,6 +440,46 @@ mod tests {
         let b = SimTime::from_secs(40);
         assert_eq!((a - b).as_secs(), 60);
         assert_eq!((b - a).as_secs(), 0);
+    }
+
+    #[test]
+    fn addition_saturates_near_the_horizon() {
+        // An instant near u64::MAX plus a large backoff must clamp, not
+        // panic or wrap back before the epoch.
+        let near_max = SimTime::from_secs(u64::MAX - 10);
+        let t = near_max + SimDuration::from_hours(1);
+        assert_eq!(t.as_secs(), u64::MAX);
+
+        let mut t2 = near_max;
+        t2 += SimDuration::from_days(365);
+        assert_eq!(t2.as_secs(), u64::MAX);
+
+        // A clamped instant still orders after every real study time.
+        assert!(t > SimTime::from_date(2018, 4, 1).unwrap());
+        // And interval arithmetic degrades to a zero-length span.
+        assert_eq!((near_max - t).as_secs(), 0);
+    }
+
+    #[test]
+    fn time_minus_duration_saturates_at_epoch() {
+        let t = SimTime::from_secs(100);
+        assert_eq!((t - SimDuration::from_secs(40)).as_secs(), 60);
+        assert_eq!(t - SimDuration::from_secs(500), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn duration_addition_saturates() {
+        let big = SimDuration::from_secs(u64::MAX - 5);
+        assert_eq!((big + SimDuration::from_secs(100)).as_secs(), u64::MAX);
+        let mut d = big;
+        d += SimDuration::from_secs(100);
+        assert_eq!(d.as_secs(), u64::MAX);
+        assert_eq!(big.saturating_add(SimDuration::ZERO), big);
+        // Well-below-horizon sums are unaffected.
+        assert_eq!(
+            (SimDuration::from_hours(2) + SimDuration::from_minutes(30)).as_secs(),
+            2 * 3_600 + 30 * 60,
+        );
     }
 
     #[test]

@@ -76,8 +76,12 @@ pub fn bootstrap_exponential_fit<R: Rng + ?Sized>(
         for slot in resample.iter_mut() {
             *slot = values[rng.gen_range(0..values.len())];
         }
-        let Some(c) = QuantileCurve::new(&resample) else { continue };
-        let Some(f) = fit_exponential(c.points()) else { continue };
+        let Some(c) = QuantileCurve::new(&resample) else {
+            continue;
+        };
+        let Some(f) = fit_exponential(c.points()) else {
+            continue;
+        };
         a_samples.push(f.a);
         b_samples.push(f.b);
     }
@@ -90,7 +94,11 @@ pub fn bootstrap_exponential_fit<R: Rng + ?Sized>(
         let n = samples.len();
         let lo_idx = ((n as f64 * alpha) as usize).min(n - 1);
         let hi_idx = ((n as f64 * (1.0 - alpha)) as usize).min(n - 1);
-        ParamInterval { estimate, lo: samples[lo_idx], hi: samples[hi_idx] }
+        ParamInterval {
+            estimate,
+            lo: samples[lo_idx],
+            hi: samples[hi_idx],
+        }
     };
     let successful = a_samples.len();
     Some(BootstrapFit {
@@ -130,21 +138,18 @@ mod tests {
     #[test]
     fn intervals_shrink_with_sample_size() {
         let mut rng = StdRng::seed_from_u64(2);
-        let small = bootstrap_exponential_fit(
-            &mut rng,
-            &exponential_population(10.0, 2.0, 15),
-            300,
-            0.9,
-        )
-        .unwrap();
-        let large = bootstrap_exponential_fit(
-            &mut rng,
-            &exponential_population(10.0, 2.0, 200),
-            300,
-            0.9,
-        )
-        .unwrap();
-        assert!(large.b.width() < small.b.width(), "{} vs {}", large.b.width(), small.b.width());
+        let small =
+            bootstrap_exponential_fit(&mut rng, &exponential_population(10.0, 2.0, 15), 300, 0.9)
+                .unwrap();
+        let large =
+            bootstrap_exponential_fit(&mut rng, &exponential_population(10.0, 2.0, 200), 300, 0.9)
+                .unwrap();
+        assert!(
+            large.b.width() < small.b.width(),
+            "{} vs {}",
+            large.b.width(),
+            small.b.width()
+        );
     }
 
     #[test]
@@ -160,10 +165,10 @@ mod tests {
     #[test]
     fn deterministic_for_seeded_rng() {
         let values = exponential_population(5.0, 1.5, 40);
-        let a = bootstrap_exponential_fit(&mut StdRng::seed_from_u64(7), &values, 200, 0.9)
-            .unwrap();
-        let b = bootstrap_exponential_fit(&mut StdRng::seed_from_u64(7), &values, 200, 0.9)
-            .unwrap();
+        let a =
+            bootstrap_exponential_fit(&mut StdRng::seed_from_u64(7), &values, 200, 0.9).unwrap();
+        let b =
+            bootstrap_exponential_fit(&mut StdRng::seed_from_u64(7), &values, 200, 0.9).unwrap();
         assert_eq!(a.a, b.a);
         assert_eq!(a.b, b.b);
     }
@@ -171,10 +176,10 @@ mod tests {
     #[test]
     fn wider_confidence_widens_interval() {
         let values = exponential_population(5.0, 1.5, 40);
-        let narrow = bootstrap_exponential_fit(&mut StdRng::seed_from_u64(9), &values, 400, 0.5)
-            .unwrap();
-        let wide = bootstrap_exponential_fit(&mut StdRng::seed_from_u64(9), &values, 400, 0.99)
-            .unwrap();
+        let narrow =
+            bootstrap_exponential_fit(&mut StdRng::seed_from_u64(9), &values, 400, 0.5).unwrap();
+        let wide =
+            bootstrap_exponential_fit(&mut StdRng::seed_from_u64(9), &values, 400, 0.99).unwrap();
         assert!(wide.b.width() >= narrow.b.width());
     }
 }

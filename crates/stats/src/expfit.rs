@@ -72,7 +72,10 @@ pub fn fit_exponential(points: &[(f64, f64)]) -> Option<ExpFit> {
     if points.len() < 2 {
         return None;
     }
-    if points.iter().any(|&(x, y)| !x.is_finite() || !(y > 0.0) || !y.is_finite()) {
+    if points
+        .iter()
+        .any(|&(x, y)| !x.is_finite() || y <= 0.0 || !y.is_finite())
+    {
         return None;
     }
     let logged: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x, y.ln())).collect();
@@ -82,7 +85,10 @@ pub fn fit_exponential(points: &[(f64, f64)]) -> Option<ExpFit> {
 
     // R² against the raw (linear-space) values.
     let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / points.len() as f64;
-    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let ss_tot: f64 = points
+        .iter()
+        .map(|&(_, y)| (y - mean_y) * (y - mean_y))
+        .sum();
     let ss_res: f64 = points
         .iter()
         .map(|&(x, y)| {
@@ -90,9 +96,18 @@ pub fn fit_exponential(points: &[(f64, f64)]) -> Option<ExpFit> {
             (y - pred) * (y - pred)
         })
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
 
-    Some(ExpFit { a, b, r2_log: lin.r2, r2 })
+    Some(ExpFit {
+        a,
+        b,
+        r2_log: lin.r2,
+        r2,
+    })
 }
 
 #[cfg(test)]
@@ -119,7 +134,12 @@ mod tests {
 
     #[test]
     fn eval_and_doubling() {
-        let fit = ExpFit { a: 2.0, b: std::f64::consts::LN_2, r2: 1.0, r2_log: 1.0 };
+        let fit = ExpFit {
+            a: 2.0,
+            b: std::f64::consts::LN_2,
+            r2: 1.0,
+            r2_log: 1.0,
+        };
         assert!((fit.eval(0.0) - 2.0).abs() < 1e-12);
         assert!((fit.eval(1.0) - 4.0).abs() < 1e-12);
         assert!((fit.doubling_x() - 1.0).abs() < 1e-12);

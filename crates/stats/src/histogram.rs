@@ -25,9 +25,18 @@ impl Histogram {
     ///
     /// Panics if `hi <= lo`, either bound is non-finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "invalid histogram range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && hi > lo,
+            "invalid histogram range"
+        );
         assert!(bins > 0, "histogram needs at least one bin");
-        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation. Non-finite values are counted as overflow
@@ -83,10 +92,20 @@ impl LogHistogram {
     ///
     /// Panics if `max_exp <= min_exp` or `per_decade == 0`.
     pub fn new(min_exp: i32, max_exp: i32, per_decade: usize) -> Self {
-        assert!(max_exp > min_exp, "log histogram needs a positive decade span");
+        assert!(
+            max_exp > min_exp,
+            "log histogram needs a positive decade span"
+        );
         assert!(per_decade > 0, "per_decade must be at least 1");
         let bins = (max_exp - min_exp) as usize * per_decade;
-        Self { min_exp, max_exp, per_decade, counts: vec![0; bins], underflow: 0, overflow: 0 }
+        Self {
+            min_exp,
+            max_exp,
+            per_decade,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Records one observation. Non-positive values go to underflow,

@@ -39,7 +39,9 @@ impl KaplanMeier {
     /// non-finite or negative durations.
     pub fn fit(data: &[Observation]) -> Option<Self> {
         if data.is_empty()
-            || data.iter().any(|o| !o.duration.is_finite() || o.duration < 0.0)
+            || data
+                .iter()
+                .any(|o| !o.duration.is_finite() || o.duration < 0.0)
         {
             return None;
         }
@@ -156,7 +158,12 @@ mod tests {
     #[test]
     fn textbook_censored_example() {
         // Events at 1 and 3; censored at 2 and 4.
-        let data = [obs(1.0, true), obs(2.0, false), obs(3.0, true), obs(4.0, false)];
+        let data = [
+            obs(1.0, true),
+            obs(2.0, false),
+            obs(3.0, true),
+            obs(4.0, false),
+        ];
         let km = KaplanMeier::fit(&data).unwrap();
         // S(1) = 3/4; at t=3, at-risk = 2 -> S = 3/4 * 1/2 = 3/8.
         assert!((km.survival_at(1.5) - 0.75).abs() < 1e-12);
@@ -197,13 +204,21 @@ mod tests {
         let rm = km.restricted_mean(10_000.0);
         assert!((rm - 100.0).abs() < 10.0, "restricted mean {rm}");
         let med = km.median().unwrap();
-        assert!((med - 100.0 * std::f64::consts::LN_2).abs() < 3.0, "median {med}");
+        assert!(
+            (med - 100.0 * std::f64::consts::LN_2).abs() < 3.0,
+            "median {med}"
+        );
     }
 
     #[test]
     fn ties_events_before_censorings() {
         // A censored subject at t was at risk for the event at t.
-        let data = [obs(2.0, true), obs(2.0, false), obs(2.0, true), obs(5.0, true)];
+        let data = [
+            obs(2.0, true),
+            obs(2.0, false),
+            obs(2.0, true),
+            obs(5.0, true),
+        ];
         let km = KaplanMeier::fit(&data).unwrap();
         // At t=2: 4 at risk, 2 events -> S = 0.5; censoring does not
         // change the denominator for those events.
@@ -219,8 +234,9 @@ mod tests {
 
     #[test]
     fn survival_is_monotone_nonincreasing() {
-        let data: Vec<Observation> =
-            (0..50).map(|i| obs((i * 7 % 23) as f64 + 1.0, i % 3 != 0)).collect();
+        let data: Vec<Observation> = (0..50)
+            .map(|i| obs((i * 7 % 23) as f64 + 1.0, i % 3 != 0))
+            .collect();
         let km = KaplanMeier::fit(&data).unwrap();
         let mut last = 1.0;
         for &(_, s) in km.steps() {

@@ -32,20 +32,32 @@ pub fn fit_linear(points: &[(f64, f64)]) -> Option<LinFit> {
     if points.len() < 2 {
         return None;
     }
-    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+    if points
+        .iter()
+        .any(|&(x, y)| !x.is_finite() || !y.is_finite())
+    {
         return None;
     }
     let n = points.len() as f64;
     let mean_x = points.iter().map(|&(x, _)| x).sum::<f64>() / n;
     let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
-    let sxx: f64 = points.iter().map(|&(x, _)| (x - mean_x) * (x - mean_x)).sum();
-    let sxy: f64 = points.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let sxx: f64 = points
+        .iter()
+        .map(|&(x, _)| (x - mean_x) * (x - mean_x))
+        .sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|&(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     if sxx == 0.0 {
         return None;
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let ss_tot: f64 = points.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
+    let ss_tot: f64 = points
+        .iter()
+        .map(|&(_, y)| (y - mean_y) * (y - mean_y))
+        .sum();
     let ss_res: f64 = points
         .iter()
         .map(|&(x, y)| {
@@ -53,8 +65,16 @@ pub fn fit_linear(points: &[(f64, f64)]) -> Option<LinFit> {
             e * e
         })
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
-    Some(LinFit { slope, intercept, r2 })
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    Some(LinFit {
+        slope,
+        intercept,
+        r2,
+    })
 }
 
 /// Pearson product-moment correlation coefficient `r ∈ [-1, 1]`.
@@ -65,15 +85,27 @@ pub fn pearson_correlation(points: &[(f64, f64)]) -> Option<f64> {
     if points.len() < 2 {
         return None;
     }
-    if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+    if points
+        .iter()
+        .any(|&(x, y)| !x.is_finite() || !y.is_finite())
+    {
         return None;
     }
     let n = points.len() as f64;
     let mean_x = points.iter().map(|&(x, _)| x).sum::<f64>() / n;
     let mean_y = points.iter().map(|&(_, y)| y).sum::<f64>() / n;
-    let sxx: f64 = points.iter().map(|&(x, _)| (x - mean_x) * (x - mean_x)).sum();
-    let syy: f64 = points.iter().map(|&(_, y)| (y - mean_y) * (y - mean_y)).sum();
-    let sxy: f64 = points.iter().map(|&(x, y)| (x - mean_x) * (y - mean_y)).sum();
+    let sxx: f64 = points
+        .iter()
+        .map(|&(x, _)| (x - mean_x) * (x - mean_x))
+        .sum();
+    let syy: f64 = points
+        .iter()
+        .map(|&(_, y)| (y - mean_y) * (y - mean_y))
+        .sum();
+    let sxy: f64 = points
+        .iter()
+        .map(|&(x, y)| (x - mean_x) * (y - mean_y))
+        .sum();
     if sxx == 0.0 || syy == 0.0 {
         return None;
     }

@@ -40,7 +40,10 @@ impl RenewalLog {
             window_hours > 0.0 && window_hours.is_finite(),
             "observation window must be positive"
         );
-        Self { window_hours, outages: Vec::new() }
+        Self {
+            window_hours,
+            outages: Vec::new(),
+        }
     }
 
     /// Records a failure at time `t` (hours into the window).

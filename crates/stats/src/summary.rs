@@ -43,7 +43,11 @@ impl Summary {
         // Population variance; the paper's σ values are descriptive, not
         // inferential, so we do not apply Bessel's correction.
         let variance = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        Some(Self { sorted, mean, variance })
+        Some(Self {
+            sorted,
+            mean,
+            variance,
+        })
     }
 
     /// Number of observations.

@@ -21,7 +21,10 @@ impl YearSeries {
     /// Panics if `last_year < first_year`.
     pub fn new(first_year: i32, last_year: i32) -> Self {
         assert!(last_year >= first_year, "year range reversed");
-        Self { first_year, values: vec![0.0; (last_year - first_year + 1) as usize] }
+        Self {
+            first_year,
+            values: vec![0.0; (last_year - first_year + 1) as usize],
+        }
     }
 
     /// The covered years, in order.

@@ -78,11 +78,20 @@ impl ClusterNetworkBuilder {
     /// of its tiers is not a cluster network.
     pub fn new(params: ClusterParams) -> Self {
         assert!(params.clusters > 0, "need at least one cluster");
-        assert!(params.racks_per_cluster > 0, "need at least one rack per cluster");
-        assert!(params.csws_per_cluster > 0, "need at least one CSW per cluster");
+        assert!(
+            params.racks_per_cluster > 0,
+            "need at least one rack per cluster"
+        );
+        assert!(
+            params.csws_per_cluster > 0,
+            "need at least one CSW per cluster"
+        );
         assert!(params.csas > 0, "need at least one CSA");
         assert!(params.cores > 0, "need at least one Core");
-        assert!(params.rack_uplink_gbps > 0.0, "uplink capacity must be positive");
+        assert!(
+            params.rack_uplink_gbps > 0.0,
+            "uplink capacity must be positive"
+        );
         Self { params }
     }
 
@@ -103,10 +112,12 @@ impl ClusterNetworkBuilder {
         let csa_uplink = p.rack_uplink_gbps * p.racks_per_cluster as f64;
         let core_uplink = csa_uplink * p.clusters as f64;
 
-        let cores: Vec<DeviceId> =
-            (0..p.cores).map(|i| topo.add_device(DeviceType::Core, datacenter, 'x', 0, i)).collect();
-        let csas: Vec<DeviceId> =
-            (0..p.csas).map(|i| topo.add_device(DeviceType::Csa, datacenter, 'x', 0, i)).collect();
+        let cores: Vec<DeviceId> = (0..p.cores)
+            .map(|i| topo.add_device(DeviceType::Core, datacenter, 'x', 0, i))
+            .collect();
+        let csas: Vec<DeviceId> = (0..p.csas)
+            .map(|i| topo.add_device(DeviceType::Csa, datacenter, 'x', 0, i))
+            .collect();
         for &csa in &csas {
             for &core in &cores {
                 topo.connect(csa, core, core_uplink / p.cores as f64);
@@ -135,7 +146,12 @@ impl ClusterNetworkBuilder {
             rsws.push(cluster_rsws);
             csws.push(cluster_csws);
         }
-        ClusterDc { rsws, csws, csas, cores }
+        ClusterDc {
+            rsws,
+            csws,
+            csas,
+            cores,
+        }
     }
 }
 
@@ -226,7 +242,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one Core")]
     fn zero_cores_rejected() {
-        let _ = ClusterNetworkBuilder::new(ClusterParams { cores: 0, ..Default::default() });
+        let _ = ClusterNetworkBuilder::new(ClusterParams {
+            cores: 0,
+            ..Default::default()
+        });
     }
 
     #[test]
@@ -234,6 +253,9 @@ mod tests {
         let p = ClusterParams::default();
         assert_eq!(p.csws_per_cluster, 4, "paper: four CSWs per cluster");
         assert_eq!(p.cores, 8, "paper: eight Cores per data center");
-        assert_eq!(p.rack_uplink_gbps, 10.0, "paper: 10Gb/s Ethernet rack links");
+        assert_eq!(
+            p.rack_uplink_gbps, 10.0,
+            "paper: 10Gb/s Ethernet rack links"
+        );
     }
 }

@@ -126,12 +126,18 @@ impl RegionBuilder {
 
         for params in &self.cluster_dcs {
             let dc = ClusterNetworkBuilder::new(*params).build(&mut topology, dc_index);
-            datacenters.push(DataCenter::Cluster { index: dc_index, dc });
+            datacenters.push(DataCenter::Cluster {
+                index: dc_index,
+                dc,
+            });
             dc_index += 1;
         }
         for params in &self.fabric_dcs {
             let dc = FabricNetworkBuilder::new(*params).build(&mut topology, dc_index);
-            datacenters.push(DataCenter::Fabric { index: dc_index, dc });
+            datacenters.push(DataCenter::Fabric {
+                index: dc_index,
+                dc,
+            });
             dc_index += 1;
         }
 
@@ -145,7 +151,11 @@ impl RegionBuilder {
                 }
             }
         }
-        Region { topology, datacenters, bbrs }
+        Region {
+            topology,
+            datacenters,
+            bbrs,
+        }
     }
 }
 
@@ -213,7 +223,11 @@ mod tests {
     #[test]
     fn region_without_bbrs_is_fine() {
         let r = RegionBuilder::new()
-            .fabric_dc(FabricParams { pods: 1, racks_per_pod: 2, ..Default::default() })
+            .fabric_dc(FabricParams {
+                pods: 1,
+                racks_per_pod: 2,
+                ..Default::default()
+            })
             .build();
         assert!(r.bbrs.is_empty());
     }

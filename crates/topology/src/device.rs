@@ -14,11 +14,10 @@
 //! | Core | shared  | inter-DC core router | mostly third-party |
 //! | BBR  | backbone| backbone router at an edge PoP | third-party |
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The network device types studied in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DeviceType {
     /// Core network device: connects data centers to each other and the
     /// backbone (Fig. 1 ➃/➉). Highest bisection bandwidth in the fleet.
@@ -146,7 +145,7 @@ impl fmt::Display for DeviceType {
 
 /// The two intra-datacenter network designs compared throughout §5, plus
 /// the devices shared by both.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NetworkDesign {
     /// Classic cluster-based Clos design (Fig. 1, Region A).
     Cluster,
@@ -171,7 +170,7 @@ impl fmt::Display for NetworkDesign {
 /// behind the paper's finding that "network devices built from commodity
 /// chips have much lower incident rates compared to devices from
 /// third-party vendors" (§5.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum HardwareSource {
     /// Simple commodity-chip switches running the in-house software stack
     /// (FBOSS-style), integrable with automated remediation.
@@ -182,7 +181,7 @@ pub enum HardwareSource {
 }
 
 /// Opaque handle for a device within a [`crate::graph::Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub(crate) u32);
 
 impl DeviceId {
@@ -199,7 +198,7 @@ impl fmt::Display for DeviceId {
 }
 
 /// A deployed network device.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Device {
     /// Handle within the owning topology.
     pub id: DeviceId,
@@ -262,7 +261,10 @@ mod tests {
 
     #[test]
     fn third_party_types() {
-        assert_eq!(DeviceType::Core.hardware_source(), HardwareSource::ThirdPartyVendor);
+        assert_eq!(
+            DeviceType::Core.hardware_source(),
+            HardwareSource::ThirdPartyVendor
+        );
         assert_eq!(DeviceType::Fsw.hardware_source(), HardwareSource::Commodity);
         assert_eq!(DeviceType::Rsw.hardware_source(), HardwareSource::Commodity);
     }

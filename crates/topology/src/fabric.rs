@@ -92,7 +92,10 @@ impl FabricNetworkBuilder {
         assert!(params.ssws_per_plane > 0, "need at least one SSW per plane");
         assert!(params.esws_per_plane > 0, "need at least one ESW per plane");
         assert!(params.cores > 0, "need at least one Core");
-        assert!(params.rack_uplink_gbps > 0.0, "uplink capacity must be positive");
+        assert!(
+            params.rack_uplink_gbps > 0.0,
+            "uplink capacity must be positive"
+        );
         Self { params }
     }
 
@@ -112,8 +115,9 @@ impl FabricNetworkBuilder {
         let p = &self.params;
         let pod_up = p.rack_uplink_gbps * p.racks_per_pod as f64 / p.fsws_per_pod as f64;
 
-        let cores: Vec<DeviceId> =
-            (0..p.cores).map(|i| topo.add_device(DeviceType::Core, datacenter, 'x', 0, i)).collect();
+        let cores: Vec<DeviceId> = (0..p.cores)
+            .map(|i| topo.add_device(DeviceType::Core, datacenter, 'x', 0, i))
+            .collect();
 
         let mut ssws = Vec::with_capacity(p.fsws_per_pod as usize);
         let mut esws = Vec::with_capacity(p.fsws_per_pod as usize);
@@ -161,7 +165,13 @@ impl FabricNetworkBuilder {
             rsws.push(pod_rsws);
             fsws.push(pod_fsws);
         }
-        FabricDc { rsws, fsws, ssws, esws, cores }
+        FabricDc {
+            rsws,
+            fsws,
+            ssws,
+            esws,
+            cores,
+        }
     }
 }
 
@@ -202,7 +212,11 @@ mod tests {
         let (topo, dc, p) = small();
         for (pod, pod_rsws) in dc.rsws.iter().enumerate() {
             for &rsw in pod_rsws {
-                assert_eq!(topo.degree(rsw) as u32, p.fsws_per_pod, "1:4 RSW:FSW uplink ratio");
+                assert_eq!(
+                    topo.degree(rsw) as u32,
+                    p.fsws_per_pod,
+                    "1:4 RSW:FSW uplink ratio"
+                );
                 for &(n, _) in topo.neighbors(rsw) {
                     assert_eq!(topo.device(n).device_type, DeviceType::Fsw);
                     assert!(dc.fsws[pod].contains(&n), "RSW wired outside its pod");
@@ -260,7 +274,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one pod")]
     fn zero_pods_rejected() {
-        let _ = FabricNetworkBuilder::new(FabricParams { pods: 0, ..Default::default() });
+        let _ = FabricNetworkBuilder::new(FabricParams {
+            pods: 0,
+            ..Default::default()
+        });
     }
 
     #[test]

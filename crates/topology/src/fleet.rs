@@ -64,7 +64,11 @@ impl FleetPlan {
                 racks_per_cluster: 16,
                 ..Default::default()
             },
-            fabric_params: FabricParams { pods: 2, racks_per_pod: 16, ..Default::default() },
+            fabric_params: FabricParams {
+                pods: 2,
+                racks_per_pod: 16,
+                ..Default::default()
+            },
             bbrs: 2,
         }
     }
@@ -148,7 +152,12 @@ mod tests {
         let none = FailureSet::new(&region.topology);
         for dc in &region.datacenters {
             for rsw in dc.rsws() {
-                assert!(can_reach_type(&region.topology, rsw, DeviceType::Bbr, &none));
+                assert!(can_reach_type(
+                    &region.topology,
+                    rsw,
+                    DeviceType::Bbr,
+                    &none
+                ));
             }
         }
     }

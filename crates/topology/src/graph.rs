@@ -8,10 +8,9 @@
 
 use crate::device::{Device, DeviceId, DeviceType, HardwareSource};
 use crate::naming::format_device_name;
-use serde::{Deserialize, Serialize};
 
 /// Opaque handle for a link within a [`Topology`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinkId(pub(crate) u32);
 
 impl LinkId {
@@ -22,7 +21,7 @@ impl LinkId {
 }
 
 /// An undirected capacitated link between two devices.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Link {
     /// Handle of this link.
     pub id: LinkId,
@@ -36,7 +35,7 @@ pub struct Link {
 }
 
 /// A device/link multigraph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Topology {
     devices: Vec<Device>,
     links: Vec<Link>,
@@ -84,7 +83,13 @@ impl Topology {
     ) -> DeviceId {
         let id = DeviceId(u32::try_from(self.devices.len()).expect("topology too large"));
         let name = format_device_name(device_type, datacenter, scope, scope_idx, unit);
-        self.devices.push(Device { id, device_type, name, hardware, datacenter });
+        self.devices.push(Device {
+            id,
+            device_type,
+            name,
+            hardware,
+            datacenter,
+        });
         self.adjacency.push(Vec::new());
         id
     }
@@ -100,7 +105,12 @@ impl Topology {
         assert!(a.index() < self.devices.len() && b.index() < self.devices.len());
         assert!(capacity_gbps > 0.0, "link capacity must be positive");
         let id = LinkId(u32::try_from(self.links.len()).expect("too many links"));
-        self.links.push(Link { id, a, b, capacity_gbps });
+        self.links.push(Link {
+            id,
+            a,
+            b,
+            capacity_gbps,
+        });
         self.adjacency[a.index()].push((b, id));
         self.adjacency[b.index()].push((a, id));
         id
@@ -161,7 +171,10 @@ impl Topology {
     /// how much traffic transits it, hence how wide its failure blast
     /// radius is (§5.2).
     pub fn incident_capacity_gbps(&self, id: DeviceId) -> f64 {
-        self.adjacency[id.index()].iter().map(|&(_, l)| self.links[l.index()].capacity_gbps).sum()
+        self.adjacency[id.index()]
+            .iter()
+            .map(|&(_, l)| self.links[l.index()].capacity_gbps)
+            .sum()
     }
 
     /// Looks a device up by its canonical name (linear scan; topologies

@@ -50,7 +50,11 @@ impl std::error::Error for NameError {}
 /// assert!(parse_device_type("router42").is_err());
 /// ```
 pub fn parse_device_type(name: &str) -> Result<DeviceType, NameError> {
-    let prefix = name.split('.').next().filter(|p| !p.is_empty()).ok_or(NameError::Malformed)?;
+    let prefix = name
+        .split('.')
+        .next()
+        .filter(|p| !p.is_empty())
+        .ok_or(NameError::Malformed)?;
     if prefix.len() == name.len() {
         // No dot at all: not the enforced convention.
         return Err(NameError::Malformed);
@@ -101,7 +105,10 @@ mod tests {
 
     #[test]
     fn case_insensitive_prefix() {
-        assert_eq!(parse_device_type("RSW.DC01.C000.U0000").unwrap(), DeviceType::Rsw);
+        assert_eq!(
+            parse_device_type("RSW.DC01.C000.U0000").unwrap(),
+            DeviceType::Rsw
+        );
         assert_eq!(parse_device_type("Fsw.dc9.p1.u1").unwrap(), DeviceType::Fsw);
     }
 
@@ -110,14 +117,23 @@ mod tests {
         assert_eq!(parse_device_type(""), Err(NameError::Malformed));
         assert_eq!(parse_device_type("."), Err(NameError::Malformed));
         assert_eq!(parse_device_type("rsw"), Err(NameError::Malformed));
-        assert!(matches!(parse_device_type("dr.dc01.x.1"), Err(NameError::UnknownPrefix(_))));
-        assert!(matches!(parse_device_type("switch.a.b"), Err(NameError::UnknownPrefix(_))));
+        assert!(matches!(
+            parse_device_type("dr.dc01.x.1"),
+            Err(NameError::UnknownPrefix(_))
+        ));
+        assert!(matches!(
+            parse_device_type("switch.a.b"),
+            Err(NameError::UnknownPrefix(_))
+        ));
     }
 
     #[test]
     fn prefix_must_be_exact_word() {
         // "rswx." is not "rsw.".
-        assert!(matches!(parse_device_type("rswx.dc01.c0.u0"), Err(NameError::UnknownPrefix(_))));
+        assert!(matches!(
+            parse_device_type("rswx.dc01.c0.u0"),
+            Err(NameError::UnknownPrefix(_))
+        ));
     }
 
     #[test]
@@ -142,6 +158,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(NameError::Malformed.to_string().contains("prefix"));
-        assert!(NameError::UnknownPrefix("dr".into()).to_string().contains("dr"));
+        assert!(NameError::UnknownPrefix("dr".into())
+            .to_string()
+            .contains("dr"));
     }
 }

@@ -43,8 +43,14 @@ fn check_graph_consistency(topo: &Topology) {
     for link in topo.links() {
         assert_ne!(link.a, link.b);
         assert!(link.capacity_gbps > 0.0);
-        assert!(topo.neighbors(link.a).iter().any(|&(n, l)| n == link.b && l == link.id));
-        assert!(topo.neighbors(link.b).iter().any(|&(n, l)| n == link.a && l == link.id));
+        assert!(topo
+            .neighbors(link.a)
+            .iter()
+            .any(|&(n, l)| n == link.b && l == link.id));
+        assert!(topo
+            .neighbors(link.b)
+            .iter()
+            .any(|&(n, l)| n == link.a && l == link.id));
     }
     let degree_sum: usize = topo.devices().iter().map(|d| topo.degree(d.id)).sum();
     assert_eq!(degree_sum, 2 * topo.link_count(), "handshake lemma");

@@ -28,7 +28,10 @@ pub struct FailureSet {
 impl FailureSet {
     /// An empty failure set sized for `topo`.
     pub fn new(topo: &Topology) -> Self {
-        Self { failed: vec![false; topo.device_count()], count: 0 }
+        Self {
+            failed: vec![false; topo.device_count()],
+            count: 0,
+        }
     }
 
     /// Marks `id` failed. Idempotent.
@@ -200,7 +203,11 @@ impl BlastRadius {
             racks_disconnected: disconnected,
             racks_degraded: degraded,
             racks_total: total,
-            capacity_loss_fraction: if total > 0 { capacity_lost / total as f64 } else { 0.0 },
+            capacity_loss_fraction: if total > 0 {
+                capacity_lost / total as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -270,7 +277,10 @@ mod tests {
     fn rsw_failure_disconnects_exactly_its_rack() {
         let (t, dc) = cluster_topo();
         let br = BlastRadius::of_failure(&t, dc.rsws[0][0], &FailureSet::new(&t));
-        assert_eq!(br.racks_disconnected, 1, "single-TOR design: the rack is cut off");
+        assert_eq!(
+            br.racks_disconnected, 1,
+            "single-TOR design: the rack is cut off"
+        );
         assert_eq!(br.racks_degraded, 0);
         assert_eq!(br.racks_total, 8);
         assert!((br.capacity_loss_fraction - 1.0 / 8.0).abs() < 1e-9);
@@ -281,7 +291,10 @@ mod tests {
         let (t, dc) = cluster_topo();
         let br = BlastRadius::of_failure(&t, dc.csws[0][0], &FailureSet::new(&t));
         assert_eq!(br.racks_disconnected, 0);
-        assert_eq!(br.racks_degraded, 4, "all racks of cluster 0 lose one of 4 uplinks");
+        assert_eq!(
+            br.racks_degraded, 4,
+            "all racks of cluster 0 lose one of 4 uplinks"
+        );
         assert!((br.capacity_loss_fraction - 4.0 * 0.25 / 8.0).abs() < 1e-9);
     }
 
@@ -291,7 +304,10 @@ mod tests {
         let (t, dc) = cluster_topo();
         let br = BlastRadius::of_failure(&t, dc.cores[0], &FailureSet::new(&t));
         assert_eq!(br.racks_disconnected, 0);
-        assert_eq!(br.racks_degraded, 0, "remaining Core keeps every CSA reachable");
+        assert_eq!(
+            br.racks_degraded, 0,
+            "remaining Core keeps every CSA reachable"
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ fn main() {
     println!("Running the eighteen-month backbone pipeline (90 edges, 40 vendors)...\n");
     let inter = InterDcStudy::run_default(2018);
     // Backbone experiments don't need the intra study; keep it tiny.
-    let intra = IntraDcStudy::run(StudyConfig { scale: 0.5, seed: 1, ..Default::default() });
+    let intra = IntraDcStudy::run(StudyConfig {
+        scale: 0.5,
+        seed: 1,
+        ..Default::default()
+    });
 
     println!(
         "vendor e-mails: {}   parsed tickets: {}   ingest failures: {}\n",
@@ -42,7 +46,10 @@ fn main() {
     println!("Conditional-risk capacity planning (§6.1)");
     println!("--------------------------------------------------------------");
     if let Some(r) = inter.risk_report(400_000) {
-        println!("expected concurrently-failed edges : {:.3}", r.expected_failures);
+        println!(
+            "expected concurrently-failed edges : {:.3}",
+            r.expected_failures
+        );
         println!("p99.99 concurrent edge failures    : {}", r.p9999_failures);
         println!("P(all edges up)                    : {:.3}", r.p_all_up);
         println!(
@@ -92,8 +99,14 @@ fn main() {
             "\nedge MTBF fit with 95% bootstrap CIs ({} resamples):",
             boot.successful_resamples
         );
-        println!("  a = {:.1}  CI [{:.1}, {:.1}]   (paper: 462.88)", boot.a.estimate, boot.a.lo, boot.a.hi);
-        println!("  b = {:.3} CI [{:.3}, {:.3}]   (paper: 2.3408)", boot.b.estimate, boot.b.lo, boot.b.hi);
+        println!(
+            "  a = {:.1}  CI [{:.1}, {:.1}]   (paper: 462.88)",
+            boot.a.estimate, boot.a.lo, boot.a.hi
+        );
+        println!(
+            "  b = {:.3} CI [{:.3}, {:.3}]   (paper: 2.3408)",
+            boot.b.estimate, boot.b.lo, boot.b.hi
+        );
         println!(
             "  paper coefficients inside our CIs: a {}, b {}",
             boot.a.contains(462.88),
@@ -107,7 +120,9 @@ fn main() {
             "\nKaplan-Meier edge uptime: {} intervals ({} failures), median time-to-failure {} h",
             km.n(),
             km.events(),
-            km.median().map(|m| format!("{m:.0}")).unwrap_or_else(|| "censored".into()),
+            km.median()
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "censored".into()),
         );
     }
 

@@ -14,7 +14,12 @@ use dcnr_core::service::{disaster_drill, FaultInjectionDrill, ImpactModel, Place
 use dcnr_core::topology::{DataCenter, DeviceId, FailureSet, Region};
 
 fn assess(region: &Region, placement: &Placement, model: &ImpactModel, label: &str, id: DeviceId) {
-    let a = model.assess(&region.topology, placement, id, &FailureSet::new(&region.topology));
+    let a = model.assess(
+        &region.topology,
+        placement,
+        id,
+        &FailureSet::new(&region.topology),
+    );
     println!(
         "{label:<28} -> {}   racks cut {:>3} / degraded {:>3} / total {:>3}   capacity lost {:>5.1}%   failed requests {:>6.3}%",
         a.severity,
@@ -111,7 +116,10 @@ fn main() {
 
     // Per-service view of a CSW loss under hot utilization.
     println!("\nper-service capacity loss for a cluster CSW failure at 95% utilization:");
-    let hot = ImpactModel { utilization: 0.95, ..Default::default() };
+    let hot = ImpactModel {
+        utilization: 0.95,
+        ..Default::default()
+    };
     if let DataCenter::Cluster { dc, .. } = &region.datacenters[0] {
         let mut base = FailureSet::new(&region.topology);
         base.fail(dc.csws[0][0]);

@@ -13,7 +13,11 @@ use dcnr_core::{InterDcStudy, IntraDcStudy, StudyConfig};
 fn main() {
     // ----- intra data center: one pass over 2011-2017 -----
     println!("== Intra-DC study (scale 2, seven years) ==\n");
-    let intra = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 42, ..Default::default() });
+    let intra = IntraDcStudy::run(StudyConfig {
+        scale: 2.0,
+        seed: 42,
+        ..Default::default()
+    });
 
     println!(
         "issues triaged: {:>8}\nSEVs recorded : {:>8}\n",
@@ -22,10 +26,16 @@ fn main() {
     );
 
     println!("Table 1 (automated repair, measured):");
-    println!("{}", dcnr_core::report::render_table1(&intra.table1_automated_repair()));
+    println!(
+        "{}",
+        dcnr_core::report::render_table1(&intra.table1_automated_repair())
+    );
 
     println!("Table 2 (root causes, measured):");
-    println!("{}", dcnr_core::report::render_table2(&intra.table2_root_causes()));
+    println!(
+        "{}",
+        dcnr_core::report::render_table2(&intra.table2_root_causes())
+    );
 
     let rates = intra.fig3_incident_rate();
     println!(
@@ -40,7 +50,11 @@ fn main() {
     // ----- backbone: a compact eighteen-month run -----
     println!("== Backbone study (60 edges / 25 vendors, 18 months) ==\n");
     let inter = InterDcStudy::run(BackboneSimConfig {
-        params: BackboneParams { edges: 60, vendors: 25, min_links_per_edge: 3 },
+        params: BackboneParams {
+            edges: 60,
+            vendors: 25,
+            min_links_per_edge: 3,
+        },
         seed: 42,
         ..Default::default()
     });

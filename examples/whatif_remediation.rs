@@ -36,11 +36,17 @@ fn main() {
     let baseline = run("production (baseline)", HazardConfig::default());
     let no_auto = run(
         "A-1: automation disabled",
-        HazardConfig { automation_enabled: false, drain_policy_enabled: true },
+        HazardConfig {
+            automation_enabled: false,
+            drain_policy_enabled: true,
+        },
     );
     let no_drain = run(
         "A-2: no drain-before-maint",
-        HazardConfig { automation_enabled: true, drain_policy_enabled: false },
+        HazardConfig {
+            automation_enabled: true,
+            drain_policy_enabled: false,
+        },
     );
 
     println!("\n--- A-1: the value of automated remediation ---");
@@ -63,8 +69,18 @@ fn main() {
 
     println!("\n--- A-2: the value of draining before maintenance ---");
     for year in [2015, 2016, 2017] {
-        let b = baseline.db().query().year(year).device_type(DeviceType::Csa).count();
-        let n = no_drain.db().query().year(year).device_type(DeviceType::Csa).count();
+        let b = baseline
+            .db()
+            .query()
+            .year(year)
+            .device_type(DeviceType::Csa)
+            .count();
+        let n = no_drain
+            .db()
+            .query()
+            .year(year)
+            .device_type(DeviceType::Csa)
+            .count();
         println!("  CSA incidents {year}: {b:>4} with drain policy, {n:>5} without");
     }
     let b_mtbi = baseline

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-00fc8f5e358430ba.d: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-00fc8f5e358430ba.rmeta: crates/compat/bytes/src/lib.rs
+
+crates/compat/bytes/src/lib.rs:

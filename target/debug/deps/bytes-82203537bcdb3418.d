@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-82203537bcdb3418.d: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-82203537bcdb3418.rlib: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-82203537bcdb3418.rmeta: crates/compat/bytes/src/lib.rs
+
+crates/compat/bytes/src/lib.rs:

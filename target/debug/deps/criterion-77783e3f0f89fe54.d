@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-77783e3f0f89fe54.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-77783e3f0f89fe54.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-f1be2d46d3abfeeb.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f1be2d46d3abfeeb.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-f1be2d46d3abfeeb.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-22d9e74716d7d413.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-22d9e74716d7d413.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-74fd225ebd25c2c2.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-74fd225ebd25c2c2.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-74fd225ebd25c2c2.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

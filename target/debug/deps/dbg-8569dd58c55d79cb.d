@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbg-8569dd58c55d79cb.d: crates/chaos/tests/dbg.rs
+
+/root/repo/target/debug/deps/dbg-8569dd58c55d79cb: crates/chaos/tests/dbg.rs
+
+crates/chaos/tests/dbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr-10991ec7c260074d.d: crates/core/src/bin/dcnr.rs
+
+/root/repo/target/debug/deps/dcnr-10991ec7c260074d: crates/core/src/bin/dcnr.rs
+
+crates/core/src/bin/dcnr.rs:

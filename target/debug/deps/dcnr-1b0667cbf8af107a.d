@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr-1b0667cbf8af107a.d: crates/core/src/bin/dcnr.rs
+
+/root/repo/target/debug/deps/dcnr-1b0667cbf8af107a: crates/core/src/bin/dcnr.rs
+
+crates/core/src/bin/dcnr.rs:

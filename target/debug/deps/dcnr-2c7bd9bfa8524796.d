@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr-2c7bd9bfa8524796.d: crates/core/src/bin/dcnr.rs
+
+/root/repo/target/debug/deps/dcnr-2c7bd9bfa8524796: crates/core/src/bin/dcnr.rs
+
+crates/core/src/bin/dcnr.rs:

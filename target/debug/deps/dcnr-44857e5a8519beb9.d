@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcnr-44857e5a8519beb9.d: crates/core/src/bin/dcnr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr-44857e5a8519beb9.rmeta: crates/core/src/bin/dcnr.rs Cargo.toml
+
+crates/core/src/bin/dcnr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

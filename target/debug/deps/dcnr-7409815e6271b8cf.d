@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr-7409815e6271b8cf.d: crates/core/src/bin/dcnr.rs
+
+/root/repo/target/debug/deps/dcnr-7409815e6271b8cf: crates/core/src/bin/dcnr.rs
+
+crates/core/src/bin/dcnr.rs:

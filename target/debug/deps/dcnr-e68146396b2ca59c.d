@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcnr-e68146396b2ca59c.d: crates/core/src/bin/dcnr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr-e68146396b2ca59c.rmeta: crates/core/src/bin/dcnr.rs Cargo.toml
+
+crates/core/src/bin/dcnr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dcnr_backbone-ae78a0764fc312b1.d: crates/backbone/src/lib.rs crates/backbone/src/email.rs crates/backbone/src/failure_model.rs crates/backbone/src/geo.rs crates/backbone/src/metrics.rs crates/backbone/src/models.rs crates/backbone/src/optical.rs crates/backbone/src/planning.rs crates/backbone/src/sim.rs crates/backbone/src/ticket.rs crates/backbone/src/topo.rs crates/backbone/src/vendor.rs crates/backbone/src/wan.rs
+
+/root/repo/target/debug/deps/libdcnr_backbone-ae78a0764fc312b1.rlib: crates/backbone/src/lib.rs crates/backbone/src/email.rs crates/backbone/src/failure_model.rs crates/backbone/src/geo.rs crates/backbone/src/metrics.rs crates/backbone/src/models.rs crates/backbone/src/optical.rs crates/backbone/src/planning.rs crates/backbone/src/sim.rs crates/backbone/src/ticket.rs crates/backbone/src/topo.rs crates/backbone/src/vendor.rs crates/backbone/src/wan.rs
+
+/root/repo/target/debug/deps/libdcnr_backbone-ae78a0764fc312b1.rmeta: crates/backbone/src/lib.rs crates/backbone/src/email.rs crates/backbone/src/failure_model.rs crates/backbone/src/geo.rs crates/backbone/src/metrics.rs crates/backbone/src/models.rs crates/backbone/src/optical.rs crates/backbone/src/planning.rs crates/backbone/src/sim.rs crates/backbone/src/ticket.rs crates/backbone/src/topo.rs crates/backbone/src/vendor.rs crates/backbone/src/wan.rs
+
+crates/backbone/src/lib.rs:
+crates/backbone/src/email.rs:
+crates/backbone/src/failure_model.rs:
+crates/backbone/src/geo.rs:
+crates/backbone/src/metrics.rs:
+crates/backbone/src/models.rs:
+crates/backbone/src/optical.rs:
+crates/backbone/src/planning.rs:
+crates/backbone/src/sim.rs:
+crates/backbone/src/ticket.rs:
+crates/backbone/src/topo.rs:
+crates/backbone/src/vendor.rs:
+crates/backbone/src/wan.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dcnr_backbone-af48c0f47d14f5b5.d: crates/backbone/src/lib.rs crates/backbone/src/email.rs crates/backbone/src/failure_model.rs crates/backbone/src/geo.rs crates/backbone/src/metrics.rs crates/backbone/src/models.rs crates/backbone/src/optical.rs crates/backbone/src/planning.rs crates/backbone/src/sim.rs crates/backbone/src/ticket.rs crates/backbone/src/topo.rs crates/backbone/src/vendor.rs crates/backbone/src/wan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_backbone-af48c0f47d14f5b5.rmeta: crates/backbone/src/lib.rs crates/backbone/src/email.rs crates/backbone/src/failure_model.rs crates/backbone/src/geo.rs crates/backbone/src/metrics.rs crates/backbone/src/models.rs crates/backbone/src/optical.rs crates/backbone/src/planning.rs crates/backbone/src/sim.rs crates/backbone/src/ticket.rs crates/backbone/src/topo.rs crates/backbone/src/vendor.rs crates/backbone/src/wan.rs Cargo.toml
+
+crates/backbone/src/lib.rs:
+crates/backbone/src/email.rs:
+crates/backbone/src/failure_model.rs:
+crates/backbone/src/geo.rs:
+crates/backbone/src/metrics.rs:
+crates/backbone/src/models.rs:
+crates/backbone/src/optical.rs:
+crates/backbone/src/planning.rs:
+crates/backbone/src/sim.rs:
+crates/backbone/src/ticket.rs:
+crates/backbone/src/topo.rs:
+crates/backbone/src/vendor.rs:
+crates/backbone/src/wan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

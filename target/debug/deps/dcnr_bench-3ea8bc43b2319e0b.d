@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcnr_bench-3ea8bc43b2319e0b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcnr_bench-3ea8bc43b2319e0b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcnr_bench-3ea8bc43b2319e0b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcnr_bench-471cb41856291d2c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_bench-471cb41856291d2c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

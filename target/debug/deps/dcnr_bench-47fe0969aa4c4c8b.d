@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr_bench-47fe0969aa4c4c8b.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dcnr_bench-47fe0969aa4c4c8b: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

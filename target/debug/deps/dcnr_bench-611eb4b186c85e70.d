@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dcnr_bench-611eb4b186c85e70.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcnr_bench-611eb4b186c85e70.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcnr_bench-611eb4b186c85e70.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr_bench-ac1abcef961f1678.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/dcnr_bench-ac1abcef961f1678: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

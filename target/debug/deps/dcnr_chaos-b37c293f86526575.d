@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dcnr_chaos-b37c293f86526575.d: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_chaos-b37c293f86526575.rmeta: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/config.rs:
+crates/chaos/src/dead_letter.rs:
+crates/chaos/src/dedup.rs:
+crates/chaos/src/inject.rs:
+crates/chaos/src/pipeline.rs:
+crates/chaos/src/reconcile.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/store.rs:
+crates/chaos/src/study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dcnr_chaos-b6457e40235998f6.d: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+/root/repo/target/debug/deps/libdcnr_chaos-b6457e40235998f6.rlib: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+/root/repo/target/debug/deps/libdcnr_chaos-b6457e40235998f6.rmeta: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/config.rs:
+crates/chaos/src/dead_letter.rs:
+crates/chaos/src/dedup.rs:
+crates/chaos/src/inject.rs:
+crates/chaos/src/pipeline.rs:
+crates/chaos/src/reconcile.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/store.rs:
+crates/chaos/src/study.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcnr_core-005bd593950a7e27.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_core-005bd593950a7e27.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/inter.rs:
+crates/core/src/intra.rs:
+crates/core/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

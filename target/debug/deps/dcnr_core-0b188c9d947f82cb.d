@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcnr_core-0b188c9d947f82cb.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libdcnr_core-0b188c9d947f82cb.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libdcnr_core-0b188c9d947f82cb.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/inter.rs:
+crates/core/src/intra.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcnr_faults-2da326bcae038ca7.d: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+/root/repo/target/debug/deps/libdcnr_faults-2da326bcae038ca7.rlib: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+/root/repo/target/debug/deps/libdcnr_faults-2da326bcae038ca7.rmeta: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/calibration.rs:
+crates/faults/src/generator.rs:
+crates/faults/src/growth.rs:
+crates/faults/src/hazard.rs:
+crates/faults/src/root_cause.rs:
+crates/faults/src/wearout.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcnr_faults-dfadd5182c63a5c3.d: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_faults-dfadd5182c63a5c3.rmeta: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs Cargo.toml
+
+crates/faults/src/lib.rs:
+crates/faults/src/calibration.rs:
+crates/faults/src/generator.rs:
+crates/faults/src/growth.rs:
+crates/faults/src/hazard.rs:
+crates/faults/src/root_cause.rs:
+crates/faults/src/wearout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

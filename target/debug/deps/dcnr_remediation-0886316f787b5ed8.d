@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcnr_remediation-0886316f787b5ed8.d: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+/root/repo/target/debug/deps/dcnr_remediation-0886316f787b5ed8: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+crates/remediation/src/lib.rs:
+crates/remediation/src/action.rs:
+crates/remediation/src/engine.rs:
+crates/remediation/src/monitor.rs:
+crates/remediation/src/policy.rs:
+crates/remediation/src/queue.rs:
+crates/remediation/src/report.rs:

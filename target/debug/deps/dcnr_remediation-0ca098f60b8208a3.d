@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcnr_remediation-0ca098f60b8208a3.d: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+/root/repo/target/debug/deps/libdcnr_remediation-0ca098f60b8208a3.rlib: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+/root/repo/target/debug/deps/libdcnr_remediation-0ca098f60b8208a3.rmeta: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+crates/remediation/src/lib.rs:
+crates/remediation/src/action.rs:
+crates/remediation/src/engine.rs:
+crates/remediation/src/monitor.rs:
+crates/remediation/src/policy.rs:
+crates/remediation/src/queue.rs:
+crates/remediation/src/report.rs:

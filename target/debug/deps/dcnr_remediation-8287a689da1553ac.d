@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcnr_remediation-8287a689da1553ac.d: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_remediation-8287a689da1553ac.rmeta: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs Cargo.toml
+
+crates/remediation/src/lib.rs:
+crates/remediation/src/action.rs:
+crates/remediation/src/engine.rs:
+crates/remediation/src/monitor.rs:
+crates/remediation/src/policy.rs:
+crates/remediation/src/queue.rs:
+crates/remediation/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcnr_service-29f4823e9c4a1852.d: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_service-29f4823e9c4a1852.rmeta: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/drill.rs:
+crates/service/src/impact.rs:
+crates/service/src/placement.rs:
+crates/service/src/resolution.rs:
+crates/service/src/severity.rs:
+crates/service/src/sevgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcnr_service-dd4a821a5a985f69.d: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+/root/repo/target/debug/deps/libdcnr_service-dd4a821a5a985f69.rlib: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+/root/repo/target/debug/deps/libdcnr_service-dd4a821a5a985f69.rmeta: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+crates/service/src/lib.rs:
+crates/service/src/drill.rs:
+crates/service/src/impact.rs:
+crates/service/src/placement.rs:
+crates/service/src/resolution.rs:
+crates/service/src/severity.rs:
+crates/service/src/sevgen.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcnr_service-f558d285247ad99b.d: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_service-f558d285247ad99b.rmeta: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/drill.rs:
+crates/service/src/impact.rs:
+crates/service/src/placement.rs:
+crates/service/src/resolution.rs:
+crates/service/src/severity.rs:
+crates/service/src/sevgen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcnr_sev-86b29b0d638eb58b.d: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+/root/repo/target/debug/deps/libdcnr_sev-86b29b0d638eb58b.rlib: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+/root/repo/target/debug/deps/libdcnr_sev-86b29b0d638eb58b.rmeta: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+crates/sev/src/lib.rs:
+crates/sev/src/document.rs:
+crates/sev/src/metrics.rs:
+crates/sev/src/query.rs:
+crates/sev/src/record.rs:
+crates/sev/src/review.rs:
+crates/sev/src/severity.rs:
+crates/sev/src/store.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dcnr_sev-e61dc866a3feef89.d: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_sev-e61dc866a3feef89.rmeta: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs Cargo.toml
+
+crates/sev/src/lib.rs:
+crates/sev/src/document.rs:
+crates/sev/src/metrics.rs:
+crates/sev/src/query.rs:
+crates/sev/src/record.rs:
+crates/sev/src/review.rs:
+crates/sev/src/severity.rs:
+crates/sev/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/dcnr_stats-3548165243d13c2f.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/kaplan.rs crates/stats/src/linfit.rs crates/stats/src/renewal.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_stats-3548165243d13c2f.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/kaplan.rs crates/stats/src/linfit.rs crates/stats/src/renewal.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/expfit.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kaplan.rs:
+crates/stats/src/linfit.rs:
+crates/stats/src/renewal.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/timeseries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

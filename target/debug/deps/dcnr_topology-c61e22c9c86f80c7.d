@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dcnr_topology-c61e22c9c86f80c7.d: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdcnr_topology-c61e22c9c86f80c7.rmeta: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs Cargo.toml
+
+crates/topology/src/lib.rs:
+crates/topology/src/cluster.rs:
+crates/topology/src/datacenter.rs:
+crates/topology/src/device.rs:
+crates/topology/src/fabric.rs:
+crates/topology/src/fleet.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/naming.rs:
+crates/topology/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcnr_topology-e722854c52254421.d: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs crates/topology/src/proptests.rs
+
+/root/repo/target/debug/deps/dcnr_topology-e722854c52254421: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs crates/topology/src/proptests.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cluster.rs:
+crates/topology/src/datacenter.rs:
+crates/topology/src/device.rs:
+crates/topology/src/fabric.rs:
+crates/topology/src/fleet.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/naming.rs:
+crates/topology/src/routing.rs:
+crates/topology/src/proptests.rs:

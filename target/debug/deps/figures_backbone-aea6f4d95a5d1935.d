@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_backbone-aea6f4d95a5d1935.d: crates/bench/benches/figures_backbone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_backbone-aea6f4d95a5d1935.rmeta: crates/bench/benches/figures_backbone.rs Cargo.toml
+
+crates/bench/benches/figures_backbone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/figures_intra-4d5733ac5860d1b4.d: crates/bench/benches/figures_intra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfigures_intra-4d5733ac5860d1b4.rmeta: crates/bench/benches/figures_intra.rs Cargo.toml
+
+crates/bench/benches/figures_intra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_backbone-0cc2a48dec7138bb.d: crates/core/../../tests/integration_backbone.rs
+
+/root/repo/target/debug/deps/integration_backbone-0cc2a48dec7138bb: crates/core/../../tests/integration_backbone.rs
+
+crates/core/../../tests/integration_backbone.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_backbone-7c87440622705da4.d: crates/core/../../tests/integration_backbone.rs
+
+/root/repo/target/debug/deps/integration_backbone-7c87440622705da4: crates/core/../../tests/integration_backbone.rs
+
+crates/core/../../tests/integration_backbone.rs:

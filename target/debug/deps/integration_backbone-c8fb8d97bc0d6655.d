@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_backbone-c8fb8d97bc0d6655.d: crates/core/../../tests/integration_backbone.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_backbone-c8fb8d97bc0d6655.rmeta: crates/core/../../tests/integration_backbone.rs Cargo.toml
+
+crates/core/../../tests/integration_backbone.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

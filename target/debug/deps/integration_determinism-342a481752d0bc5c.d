@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_determinism-342a481752d0bc5c.d: crates/core/../../tests/integration_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_determinism-342a481752d0bc5c.rmeta: crates/core/../../tests/integration_determinism.rs Cargo.toml
+
+crates/core/../../tests/integration_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_determinism-36e01ad741843769.d: crates/core/../../tests/integration_determinism.rs
+
+/root/repo/target/debug/deps/integration_determinism-36e01ad741843769: crates/core/../../tests/integration_determinism.rs
+
+crates/core/../../tests/integration_determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_determinism-bdde322fd8eaf963.d: crates/core/../../tests/integration_determinism.rs
+
+/root/repo/target/debug/deps/integration_determinism-bdde322fd8eaf963: crates/core/../../tests/integration_determinism.rs
+
+crates/core/../../tests/integration_determinism.rs:

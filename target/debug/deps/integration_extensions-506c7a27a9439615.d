@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-506c7a27a9439615.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-506c7a27a9439615: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_extensions-dedb049fd527ba17.d: crates/core/../../tests/integration_extensions.rs
+
+/root/repo/target/debug/deps/integration_extensions-dedb049fd527ba17: crates/core/../../tests/integration_extensions.rs
+
+crates/core/../../tests/integration_extensions.rs:

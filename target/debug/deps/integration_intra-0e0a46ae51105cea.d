@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_intra-0e0a46ae51105cea.d: crates/core/../../tests/integration_intra.rs
+
+/root/repo/target/debug/deps/integration_intra-0e0a46ae51105cea: crates/core/../../tests/integration_intra.rs
+
+crates/core/../../tests/integration_intra.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_intra-cd01b8c03c4fe6b1.d: crates/core/../../tests/integration_intra.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_intra-cd01b8c03c4fe6b1.rmeta: crates/core/../../tests/integration_intra.rs Cargo.toml
+
+crates/core/../../tests/integration_intra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

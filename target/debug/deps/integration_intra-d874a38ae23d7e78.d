@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_intra-d874a38ae23d7e78.d: crates/core/../../tests/integration_intra.rs
+
+/root/repo/target/debug/deps/integration_intra-d874a38ae23d7e78: crates/core/../../tests/integration_intra.rs
+
+crates/core/../../tests/integration_intra.rs:

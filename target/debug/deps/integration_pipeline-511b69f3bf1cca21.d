@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-511b69f3bf1cca21.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-511b69f3bf1cca21: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pipeline-7aa09788f97953a8.d: crates/core/../../tests/integration_pipeline.rs
+
+/root/repo/target/debug/deps/integration_pipeline-7aa09788f97953a8: crates/core/../../tests/integration_pipeline.rs
+
+crates/core/../../tests/integration_pipeline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-75fe06dba96d50a7.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-75fe06dba96d50a7.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-75fe06dba96d50a7.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

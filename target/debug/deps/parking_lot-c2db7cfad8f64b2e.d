@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-c2db7cfad8f64b2e.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-c2db7cfad8f64b2e.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

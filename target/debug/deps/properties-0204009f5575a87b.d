@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0204009f5575a87b.d: crates/remediation/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0204009f5575a87b.rmeta: crates/remediation/tests/properties.rs Cargo.toml
+
+crates/remediation/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-267e755dfe34a229.d: crates/stats/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-267e755dfe34a229: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-3ac9d34f593fa9a7.d: crates/backbone/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-3ac9d34f593fa9a7.rmeta: crates/backbone/tests/properties.rs Cargo.toml
+
+crates/backbone/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-58ddb8f892c6811e.d: crates/faults/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-58ddb8f892c6811e: crates/faults/tests/properties.rs
+
+crates/faults/tests/properties.rs:

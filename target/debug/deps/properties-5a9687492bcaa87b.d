@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5a9687492bcaa87b.d: crates/chaos/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5a9687492bcaa87b: crates/chaos/tests/properties.rs
+
+crates/chaos/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-62ca7a31482d06f9.d: crates/chaos/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-62ca7a31482d06f9.rmeta: crates/chaos/tests/properties.rs Cargo.toml
+
+crates/chaos/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-8edf2779ec9346b0.d: crates/sev/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-8edf2779ec9346b0.rmeta: crates/sev/tests/properties.rs Cargo.toml
+
+crates/sev/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-911cf3489a93e0c5.d: crates/backbone/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-911cf3489a93e0c5: crates/backbone/tests/properties.rs
+
+crates/backbone/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a26e2d2773406208.d: crates/sev/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a26e2d2773406208: crates/sev/tests/properties.rs
+
+crates/sev/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b1f9c529446d1f34.d: crates/remediation/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b1f9c529446d1f34: crates/remediation/tests/properties.rs
+
+crates/remediation/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-c15e598c0927e94a.d: crates/service/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-c15e598c0927e94a.rmeta: crates/service/tests/properties.rs Cargo.toml
+
+crates/service/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

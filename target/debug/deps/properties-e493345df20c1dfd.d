@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e493345df20c1dfd.d: crates/faults/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e493345df20c1dfd.rmeta: crates/faults/tests/properties.rs Cargo.toml
+
+crates/faults/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f58fec83e51039bd.d: crates/service/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f58fec83e51039bd: crates/service/tests/properties.rs
+
+crates/service/tests/properties.rs:

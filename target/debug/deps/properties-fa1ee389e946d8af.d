@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-fa1ee389e946d8af.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-fa1ee389e946d8af: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

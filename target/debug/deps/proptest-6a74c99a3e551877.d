@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-6a74c99a3e551877.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-6a74c99a3e551877.rmeta: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-42acba7e3dad8895.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-42acba7e3dad8895.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-42acba7e3dad8895.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-555584bf4fd1cfb5.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-555584bf4fd1cfb5.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/backbone_study-2f303dd7f79dfa54.d: crates/core/../../examples/backbone_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbackbone_study-2f303dd7f79dfa54.rmeta: crates/core/../../examples/backbone_study.rs Cargo.toml
+
+crates/core/../../examples/backbone_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

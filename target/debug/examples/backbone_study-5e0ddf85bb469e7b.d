@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backbone_study-5e0ddf85bb469e7b.d: crates/core/../../examples/backbone_study.rs
+
+/root/repo/target/debug/examples/backbone_study-5e0ddf85bb469e7b: crates/core/../../examples/backbone_study.rs
+
+crates/core/../../examples/backbone_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backbone_study-845c21898da682e8.d: crates/core/../../examples/backbone_study.rs
+
+/root/repo/target/debug/examples/backbone_study-845c21898da682e8: crates/core/../../examples/backbone_study.rs
+
+crates/core/../../examples/backbone_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/blast_radius-0bbac8ca3abbe8b3.d: crates/core/../../examples/blast_radius.rs Cargo.toml
+
+/root/repo/target/debug/examples/libblast_radius-0bbac8ca3abbe8b3.rmeta: crates/core/../../examples/blast_radius.rs Cargo.toml
+
+crates/core/../../examples/blast_radius.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blast_radius-979cc542e4baec45.d: crates/core/../../examples/blast_radius.rs
+
+/root/repo/target/debug/examples/blast_radius-979cc542e4baec45: crates/core/../../examples/blast_radius.rs
+
+crates/core/../../examples/blast_radius.rs:

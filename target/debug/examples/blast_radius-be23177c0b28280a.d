@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/blast_radius-be23177c0b28280a.d: crates/core/../../examples/blast_radius.rs
+
+/root/repo/target/debug/examples/blast_radius-be23177c0b28280a: crates/core/../../examples/blast_radius.rs
+
+crates/core/../../examples/blast_radius.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_experiments-240ef2261cf7b474.d: crates/core/../../examples/export_experiments.rs
+
+/root/repo/target/debug/examples/export_experiments-240ef2261cf7b474: crates/core/../../examples/export_experiments.rs
+
+crates/core/../../examples/export_experiments.rs:

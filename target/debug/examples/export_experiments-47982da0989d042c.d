@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/export_experiments-47982da0989d042c.d: crates/core/../../examples/export_experiments.rs
+
+/root/repo/target/debug/examples/export_experiments-47982da0989d042c: crates/core/../../examples/export_experiments.rs
+
+crates/core/../../examples/export_experiments.rs:

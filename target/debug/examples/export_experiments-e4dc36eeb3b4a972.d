@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/export_experiments-e4dc36eeb3b4a972.d: crates/core/../../examples/export_experiments.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexport_experiments-e4dc36eeb3b4a972.rmeta: crates/core/../../examples/export_experiments.rs Cargo.toml
+
+crates/core/../../examples/export_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

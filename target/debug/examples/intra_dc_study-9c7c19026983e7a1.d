@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intra_dc_study-9c7c19026983e7a1.d: crates/core/../../examples/intra_dc_study.rs
+
+/root/repo/target/debug/examples/intra_dc_study-9c7c19026983e7a1: crates/core/../../examples/intra_dc_study.rs
+
+crates/core/../../examples/intra_dc_study.rs:

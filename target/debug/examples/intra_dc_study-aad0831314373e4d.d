@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/intra_dc_study-aad0831314373e4d.d: crates/core/../../examples/intra_dc_study.rs
+
+/root/repo/target/debug/examples/intra_dc_study-aad0831314373e4d: crates/core/../../examples/intra_dc_study.rs
+
+crates/core/../../examples/intra_dc_study.rs:

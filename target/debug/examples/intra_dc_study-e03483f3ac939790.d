@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/intra_dc_study-e03483f3ac939790.d: crates/core/../../examples/intra_dc_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libintra_dc_study-e03483f3ac939790.rmeta: crates/core/../../examples/intra_dc_study.rs Cargo.toml
+
+crates/core/../../examples/intra_dc_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7a1ce334312d0926.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7a1ce334312d0926: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

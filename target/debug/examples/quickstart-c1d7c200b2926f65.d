@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-c1d7c200b2926f65.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-c1d7c200b2926f65: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/whatif_remediation-4854bef2a36c0725.d: crates/core/../../examples/whatif_remediation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwhatif_remediation-4854bef2a36c0725.rmeta: crates/core/../../examples/whatif_remediation.rs Cargo.toml
+
+crates/core/../../examples/whatif_remediation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_remediation-c1afe9feccc839d3.d: crates/core/../../examples/whatif_remediation.rs
+
+/root/repo/target/debug/examples/whatif_remediation-c1afe9feccc839d3: crates/core/../../examples/whatif_remediation.rs
+
+crates/core/../../examples/whatif_remediation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/whatif_remediation-d8dc95630db4730d.d: crates/core/../../examples/whatif_remediation.rs
+
+/root/repo/target/debug/examples/whatif_remediation-d8dc95630db4730d: crates/core/../../examples/whatif_remediation.rs
+
+crates/core/../../examples/whatif_remediation.rs:

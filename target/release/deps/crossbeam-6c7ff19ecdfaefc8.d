@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-6c7ff19ecdfaefc8.d: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6c7ff19ecdfaefc8.rlib: crates/compat/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-6c7ff19ecdfaefc8.rmeta: crates/compat/crossbeam/src/lib.rs
+
+crates/compat/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcnr-1a1fcd9514d87a14.d: crates/core/src/bin/dcnr.rs
+
+/root/repo/target/release/deps/dcnr-1a1fcd9514d87a14: crates/core/src/bin/dcnr.rs
+
+crates/core/src/bin/dcnr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dcnr-da180e4ba2b8e209.d: crates/core/src/bin/dcnr.rs
+
+/root/repo/target/release/deps/dcnr-da180e4ba2b8e209: crates/core/src/bin/dcnr.rs
+
+crates/core/src/bin/dcnr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcnr_bench-158e8c0ad573570c.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcnr_bench-158e8c0ad573570c.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcnr_bench-158e8c0ad573570c.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dcnr_bench-670d47ef97878b71.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcnr_bench-670d47ef97878b71.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libdcnr_bench-670d47ef97878b71.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

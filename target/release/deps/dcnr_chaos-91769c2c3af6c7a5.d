@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dcnr_chaos-91769c2c3af6c7a5.d: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+/root/repo/target/release/deps/libdcnr_chaos-91769c2c3af6c7a5.rlib: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+/root/repo/target/release/deps/libdcnr_chaos-91769c2c3af6c7a5.rmeta: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/config.rs:
+crates/chaos/src/dead_letter.rs:
+crates/chaos/src/dedup.rs:
+crates/chaos/src/inject.rs:
+crates/chaos/src/pipeline.rs:
+crates/chaos/src/reconcile.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/store.rs:
+crates/chaos/src/study.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcnr_core-43d273f463cfce88.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libdcnr_core-43d273f463cfce88.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+/root/repo/target/release/deps/libdcnr_core-43d273f463cfce88.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/inter.rs:
+crates/core/src/intra.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dcnr_faults-c99c6a8bb613688f.d: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+/root/repo/target/release/deps/libdcnr_faults-c99c6a8bb613688f.rlib: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+/root/repo/target/release/deps/libdcnr_faults-c99c6a8bb613688f.rmeta: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/calibration.rs:
+crates/faults/src/generator.rs:
+crates/faults/src/growth.rs:
+crates/faults/src/hazard.rs:
+crates/faults/src/root_cause.rs:
+crates/faults/src/wearout.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dcnr_remediation-5b6f62371d109994.d: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+/root/repo/target/release/deps/libdcnr_remediation-5b6f62371d109994.rlib: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+/root/repo/target/release/deps/libdcnr_remediation-5b6f62371d109994.rmeta: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+crates/remediation/src/lib.rs:
+crates/remediation/src/action.rs:
+crates/remediation/src/engine.rs:
+crates/remediation/src/monitor.rs:
+crates/remediation/src/policy.rs:
+crates/remediation/src/queue.rs:
+crates/remediation/src/report.rs:

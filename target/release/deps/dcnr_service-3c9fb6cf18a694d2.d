@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dcnr_service-3c9fb6cf18a694d2.d: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+/root/repo/target/release/deps/libdcnr_service-3c9fb6cf18a694d2.rlib: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+/root/repo/target/release/deps/libdcnr_service-3c9fb6cf18a694d2.rmeta: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+crates/service/src/lib.rs:
+crates/service/src/drill.rs:
+crates/service/src/impact.rs:
+crates/service/src/placement.rs:
+crates/service/src/resolution.rs:
+crates/service/src/severity.rs:
+crates/service/src/sevgen.rs:

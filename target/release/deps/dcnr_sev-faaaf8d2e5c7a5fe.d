@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dcnr_sev-faaaf8d2e5c7a5fe.d: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+/root/repo/target/release/deps/libdcnr_sev-faaaf8d2e5c7a5fe.rlib: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+/root/repo/target/release/deps/libdcnr_sev-faaaf8d2e5c7a5fe.rmeta: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+crates/sev/src/lib.rs:
+crates/sev/src/document.rs:
+crates/sev/src/metrics.rs:
+crates/sev/src/query.rs:
+crates/sev/src/record.rs:
+crates/sev/src/review.rs:
+crates/sev/src/severity.rs:
+crates/sev/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dcnr_sim-43452870b9515183.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdcnr_sim-43452870b9515183.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libdcnr_sim-43452870b9515183.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dcnr_stats-27704d70fb7b4de1.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/kaplan.rs crates/stats/src/linfit.rs crates/stats/src/renewal.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/release/deps/libdcnr_stats-27704d70fb7b4de1.rlib: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/kaplan.rs crates/stats/src/linfit.rs crates/stats/src/renewal.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/release/deps/libdcnr_stats-27704d70fb7b4de1.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/kaplan.rs crates/stats/src/linfit.rs crates/stats/src/renewal.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/expfit.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kaplan.rs:
+crates/stats/src/linfit.rs:
+crates/stats/src/renewal.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/timeseries.rs:

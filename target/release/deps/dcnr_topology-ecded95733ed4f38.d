@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dcnr_topology-ecded95733ed4f38.d: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs
+
+/root/repo/target/release/deps/libdcnr_topology-ecded95733ed4f38.rlib: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs
+
+/root/repo/target/release/deps/libdcnr_topology-ecded95733ed4f38.rmeta: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cluster.rs:
+crates/topology/src/datacenter.rs:
+crates/topology/src/device.rs:
+crates/topology/src/fabric.rs:
+crates/topology/src/fleet.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/naming.rs:
+crates/topology/src/routing.rs:

@@ -6,7 +6,10 @@ use dcnr_core::backbone::{BackboneSimConfig, PaperModels};
 use dcnr_core::InterDcStudy;
 
 fn study() -> InterDcStudy {
-    InterDcStudy::run(BackboneSimConfig { seed: 0xBEEF, ..Default::default() })
+    InterDcStudy::run(BackboneSimConfig {
+        seed: 0xBEEF,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -14,7 +17,11 @@ fn tens_of_thousands_of_events() {
     // §6: "comprising tens of thousands of real world events" — each
     // ticket is two events (start + complete e-mails).
     let s = study();
-    assert!(s.output().emails.len() > 10_000, "emails {}", s.output().emails.len());
+    assert!(
+        s.output().emails.len() > 10_000,
+        "emails {}",
+        s.output().emails.len()
+    );
     assert_eq!(s.ingest_failures, 0);
 }
 
@@ -28,7 +35,11 @@ fn edge_failures_on_the_order_of_weeks_to_months() {
     assert!(mtbf.median() > 24.0 * 7.0, "median {} h", mtbf.median());
     assert!(mtbf.median() < 24.0 * 150.0, "median {} h", mtbf.median());
     let mttr = s.metrics().edge_mttr.summary();
-    assert!(mttr.median() > 1.0 && mttr.median() < 48.0, "median {} h", mttr.median());
+    assert!(
+        mttr.median() > 1.0 && mttr.median() < 48.0,
+        "median {} h",
+        mttr.median()
+    );
 }
 
 #[test]
@@ -40,8 +51,16 @@ fn edge_mtbf_model_recovered() {
     let s = study();
     let fit = s.metrics().edge_mtbf.fit.expect("fit");
     let paper = PaperModels::edge_mtbf();
-    assert!(fit.a > paper.a * 0.4 && fit.a < paper.a * 2.5, "a = {}", fit.a);
-    assert!(fit.b > paper.b * 0.5 && fit.b < paper.b * 1.8, "b = {}", fit.b);
+    assert!(
+        fit.a > paper.a * 0.4 && fit.a < paper.a * 2.5,
+        "a = {}",
+        fit.a
+    );
+    assert!(
+        fit.b > paper.b * 0.5 && fit.b < paper.b * 1.8,
+        "b = {}",
+        fit.b
+    );
     assert!(fit.r2 > 0.75, "r2 = {}", fit.r2);
 }
 
@@ -51,7 +70,11 @@ fn edge_mttr_model_recovered() {
     let s = study();
     let fit = s.metrics().edge_mttr.fit.expect("fit");
     let paper = PaperModels::edge_mttr();
-    assert!(fit.b > paper.b * 0.4 && fit.b < paper.b * 1.6, "b = {}", fit.b);
+    assert!(
+        fit.b > paper.b * 0.4 && fit.b < paper.b * 1.6,
+        "b = {}",
+        fit.b
+    );
     assert!(fit.r2 > 0.6, "r2 = {}", fit.r2);
 }
 
@@ -60,9 +83,17 @@ fn vendor_variance_spans_orders_of_magnitude() {
     // §6.2: vendor MTBF and MTTR each span multiple orders of magnitude.
     let s = study();
     let mtbf = s.metrics().vendor_mtbf.summary();
-    assert!(mtbf.max() / mtbf.min() > 100.0, "MTBF span {}", mtbf.max() / mtbf.min());
+    assert!(
+        mtbf.max() / mtbf.min() > 100.0,
+        "MTBF span {}",
+        mtbf.max() / mtbf.min()
+    );
     let mttr = s.metrics().vendor_mttr.summary();
-    assert!(mttr.max() / mttr.min() > 10.0, "MTTR span {}", mttr.max() / mttr.min());
+    assert!(
+        mttr.max() / mttr.min() > 10.0,
+        "MTTR span {}",
+        mttr.max() / mttr.min()
+    );
 }
 
 #[test]
@@ -82,7 +113,10 @@ fn table4_africa_and_australia_outliers() {
     let s = study();
     let rows = &s.metrics().continents;
     let get = |c: dcnr_core::backbone::Continent| {
-        rows.iter().find(|r| r.continent == c).cloned().expect("row")
+        rows.iter()
+            .find(|r| r.continent == c)
+            .cloned()
+            .expect("row")
     };
     use dcnr_core::backbone::Continent::*;
     let africa = get(Africa);
@@ -135,7 +169,11 @@ fn no_catastrophic_partitions_but_real_risk() {
 fn smaller_backbone_still_measures() {
     // The pipeline degrades gracefully to small deployments.
     let s = InterDcStudy::run(BackboneSimConfig {
-        params: BackboneParams { edges: 10, vendors: 4, min_links_per_edge: 3 },
+        params: BackboneParams {
+            edges: 10,
+            vendors: 4,
+            min_links_per_edge: 3,
+        },
         seed: 3,
         ..Default::default()
     });

@@ -11,7 +11,11 @@ use dcnr_core::faults::hazard::HazardConfig;
 use dcnr_core::{InterDcStudy, IntraDcStudy, StudyConfig};
 
 fn intra(seed: u64) -> IntraDcStudy {
-    IntraDcStudy::run(StudyConfig { scale: 1.0, seed, ..Default::default() })
+    IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -34,7 +38,10 @@ fn intra_different_seeds_differ_but_agree_statistically() {
 
 #[test]
 fn backbone_identical_seeds_identical_emails() {
-    let cfg = BackboneSimConfig { seed: 777, ..Default::default() };
+    let cfg = BackboneSimConfig {
+        seed: 777,
+        ..Default::default()
+    };
     let a = InterDcStudy::run(cfg);
     let b = InterDcStudy::run(cfg);
     assert_eq!(a.output().emails, b.output().emails);
@@ -45,11 +52,18 @@ fn ablation_changes_only_the_escalation_side() {
     // Stream isolation: the ablation flips escalation decisions, but
     // the physical issue stream (count and timing) is identical because
     // the generator draws from its own streams.
-    let base = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 9, ..Default::default() });
+    let base = IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed: 9,
+        ..Default::default()
+    });
     let ablated = IntraDcStudy::run(StudyConfig {
         scale: 1.0,
         seed: 9,
-        hazard: HazardConfig { automation_enabled: false, drain_policy_enabled: true },
+        hazard: HazardConfig {
+            automation_enabled: false,
+            drain_policy_enabled: true,
+        },
         ..Default::default()
     });
     assert_eq!(base.outcomes().len(), ablated.outcomes().len());
@@ -63,8 +77,16 @@ fn ablation_changes_only_the_escalation_side() {
 fn scale_preserves_rates() {
     // Scaling the fleet scales counts linearly but leaves rates alone.
     use dcnr_core::topology::DeviceType;
-    let s1 = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 4, ..Default::default() });
-    let s3 = IntraDcStudy::run(StudyConfig { scale: 3.0, seed: 4, ..Default::default() });
+    let s1 = IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed: 4,
+        ..Default::default()
+    });
+    let s3 = IntraDcStudy::run(StudyConfig {
+        scale: 3.0,
+        seed: 4,
+        ..Default::default()
+    });
     let n1 = s1.db().len() as f64;
     let n3 = s3.db().len() as f64;
     assert!((n3 / n1 - 3.0).abs() < 0.5, "count ratio {}", n3 / n1);
@@ -78,9 +100,20 @@ fn experiment_outcomes_are_reproducible() {
     use dcnr_core::Experiment;
     let intra1 = intra(55);
     let intra2 = intra(55);
-    let inter1 = InterDcStudy::run(BackboneSimConfig { seed: 55, ..Default::default() });
-    let inter2 = InterDcStudy::run(BackboneSimConfig { seed: 55, ..Default::default() });
-    for e in [Experiment::Table2, Experiment::Fig7, Experiment::Fig15, Experiment::Table4] {
+    let inter1 = InterDcStudy::run(BackboneSimConfig {
+        seed: 55,
+        ..Default::default()
+    });
+    let inter2 = InterDcStudy::run(BackboneSimConfig {
+        seed: 55,
+        ..Default::default()
+    });
+    for e in [
+        Experiment::Table2,
+        Experiment::Fig7,
+        Experiment::Fig15,
+        Experiment::Table4,
+    ] {
         let a = e.run(&intra1, &inter1);
         let b = e.run(&intra2, &inter2);
         assert_eq!(a.rendered, b.rendered, "{e}");

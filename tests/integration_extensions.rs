@@ -16,7 +16,11 @@ use std::collections::HashSet;
 
 fn inter() -> InterDcStudy {
     InterDcStudy::run(BackboneSimConfig {
-        params: BackboneParams { edges: 40, vendors: 16, min_links_per_edge: 3 },
+        params: BackboneParams {
+            edges: 40,
+            vendors: 16,
+            min_links_per_edge: 3,
+        },
         seed: 0xE47,
         ..Default::default()
     })
@@ -31,14 +35,23 @@ fn reroute_latency_grows_with_cut_size() {
     let all_links: Vec<_> = topo.links().iter().map(|l| l.id).collect();
     let mut last_mean = 1.0;
     for frac in [8, 4] {
-        let cut: HashSet<_> =
-            all_links.iter().copied().filter(|l| l.index() % frac == 0).collect();
+        let cut: HashSet<_> = all_links
+            .iter()
+            .copied()
+            .filter(|l| l.index() % frac == 0)
+            .collect();
         let impact = RerouteImpact::of_cut(topo, &cut);
-        assert!(impact.mean_stretch >= last_mean - 1e-9, "stretch should grow with cuts");
+        assert!(
+            impact.mean_stretch >= last_mean - 1e-9,
+            "stretch should grow with cuts"
+        );
         assert!(impact.max_stretch >= impact.mean_stretch);
         last_mean = impact.mean_stretch;
     }
-    assert!(last_mean > 1.0, "a quarter of links cut must stretch something");
+    assert!(
+        last_mean > 1.0,
+        "a quarter of links cut must stretch something"
+    );
 }
 
 #[test]
@@ -107,7 +120,11 @@ fn drills_agree_with_impact_model() {
 
 #[test]
 fn review_noise_cannot_create_determined_causes_from_nothing() {
-    let study = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 0xAA, ..Default::default() });
+    let study = IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed: 0xAA,
+        ..Default::default()
+    });
     // Full error, all-undetermined review: everything collapses.
     let wiped = study.table2_with_review(ReviewProcess::new(1.0, 1.0));
     assert!((wiped[&RootCause::Undetermined] - 1.0).abs() < 1e-9);
@@ -120,7 +137,11 @@ fn review_noise_cannot_create_determined_causes_from_nothing() {
 
 #[test]
 fn wearout_sensitivity_preserves_rsw_anchor() {
-    let study = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 0xAB, ..Default::default() });
+    let study = IntraDcStudy::run(StudyConfig {
+        scale: 2.0,
+        seed: 0xAB,
+        ..Default::default()
+    });
     let base = study.fig3_incident_rate();
     let worn = study.fig3_with_wearout(2.0);
     // The multiplier is normalized to the RSW 2017 fleet, so the RSW
@@ -143,8 +164,14 @@ fn kaplan_meier_cross_check_is_consistent() {
     // it sits at or below it).
     let per_edge_median = s.metrics().edge_mtbf.summary().median();
     let km_median = km.median().expect("enough failures");
-    assert!(km_median > per_edge_median / 10.0, "{km_median} vs {per_edge_median}");
-    assert!(km_median < per_edge_median * 3.0, "{km_median} vs {per_edge_median}");
+    assert!(
+        km_median > per_edge_median / 10.0,
+        "{km_median} vs {per_edge_median}"
+    );
+    assert!(
+        km_median < per_edge_median * 3.0,
+        "{km_median} vs {per_edge_median}"
+    );
     // Survival is a proper tail function.
     assert!(km.survival_at(0.0) <= 1.0);
     assert!(km.survival_at(1e9) >= 0.0);
@@ -158,9 +185,8 @@ fn detection_model_contributes_realistic_delays() {
     // (minutes to days) — which is why the paper reports wait/repair
     // and not detection.
     assert!(m.mean_secs() < 60.0);
-    let rsw_wait = dcnr_core::faults::calibration::repair_wait_secs(
-        dcnr_core::topology::DeviceType::Rsw,
-    )
-    .unwrap() as f64;
+    let rsw_wait =
+        dcnr_core::faults::calibration::repair_wait_secs(dcnr_core::topology::DeviceType::Rsw)
+            .unwrap() as f64;
     assert!(m.mean_secs() < rsw_wait / 100.0);
 }

@@ -8,7 +8,11 @@ use dcnr_core::topology::{DeviceType, NetworkDesign};
 use dcnr_core::{IntraDcStudy, StudyConfig};
 
 fn study() -> IntraDcStudy {
-    IntraDcStudy::run(StudyConfig { scale: 4.0, seed: 0xFEED, ..Default::default() })
+    IntraDcStudy::run(StudyConfig {
+        scale: 4.0,
+        seed: 0xFEED,
+        ..Default::default()
+    })
 }
 
 #[test]
@@ -56,8 +60,11 @@ fn observation_3_rsw_share_about_28_percent() {
     let rsw = f7[&DeviceType::Rsw].get(2017);
     assert!((rsw - 0.28).abs() < 0.05, "rsw share {rsw}");
     let mtbi = s.fig12_mtbi();
-    let rsw_mtbi =
-        mtbi[&DeviceType::Rsw].iter().find(|&&(y, _)| y == 2017).map(|&(_, m)| m).unwrap();
+    let rsw_mtbi = mtbi[&DeviceType::Rsw]
+        .iter()
+        .find(|&&(y, _)| y == 2017)
+        .map(|&(_, m)| m)
+        .unwrap();
     assert!(rsw_mtbi > 1.0e6, "rsw MTBI {rsw_mtbi}");
 }
 
@@ -89,13 +96,16 @@ fn observation_6_mtbi_spans_orders_of_magnitude() {
     let s = study();
     let mtbi = s.fig12_mtbi();
     let at = |t: DeviceType| {
-        mtbi[&t].iter().find(|&&(y, _)| y == 2017).map(|&(_, m)| m).expect("2017 point")
+        mtbi[&t]
+            .iter()
+            .find(|&&(y, _)| y == 2017)
+            .map(|&(_, m)| m)
+            .expect("2017 point")
     };
     let core = at(DeviceType::Core);
     let rsw = at(DeviceType::Rsw);
     assert!(
-        (core - calibration::MTBI_CORE_2017_HOURS).abs() / calibration::MTBI_CORE_2017_HOURS
-            < 0.25,
+        (core - calibration::MTBI_CORE_2017_HOURS).abs() / calibration::MTBI_CORE_2017_HOURS < 0.25,
         "core {core}"
     );
     assert!(rsw / core > 100.0, "span {}", rsw / core);
@@ -110,7 +120,11 @@ fn severity_mix_and_high_water_mark() {
     let s = study();
     let f4 = s.fig4_severity_by_device();
     let share = |l: SevLevel| f4[&l].0;
-    assert!((share(SevLevel::Sev3) - 0.82).abs() < 0.05, "sev3 {}", share(SevLevel::Sev3));
+    assert!(
+        (share(SevLevel::Sev3) - 0.82).abs() < 0.05,
+        "sev3 {}",
+        share(SevLevel::Sev3)
+    );
     assert!((share(SevLevel::Sev2) - 0.13).abs() < 0.05);
     assert!((share(SevLevel::Sev1) - 0.05).abs() < 0.03);
 }
@@ -119,8 +133,16 @@ fn severity_mix_and_high_water_mark() {
 fn table1_emerges_from_triage_not_constants() {
     // The Table 1 report is measured over triage outcomes; with a
     // different seed the measured ratios still match the policy.
-    let a = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 1, ..Default::default() });
-    let b = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 2, ..Default::default() });
+    let a = IntraDcStudy::run(StudyConfig {
+        scale: 2.0,
+        seed: 1,
+        ..Default::default()
+    });
+    let b = IntraDcStudy::run(StudyConfig {
+        scale: 2.0,
+        seed: 2,
+        ..Default::default()
+    });
     for s in [&a, &b] {
         let t1 = s.table1_automated_repair();
         let rsw = t1.row(DeviceType::Rsw).unwrap();
@@ -135,10 +157,16 @@ fn table1_emerges_from_triage_not_constants() {
 fn classification_goes_through_name_parsing() {
     // Every SEV's device type is recovered from its name prefix; verify
     // the database's names all parse and agree with the query results.
-    let s = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 11, ..Default::default() });
+    let s = IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed: 11,
+        ..Default::default()
+    });
     let mut parsed = 0;
     for r in s.db().iter() {
-        let t = r.device_type().expect("pipeline names follow the convention");
+        let t = r
+            .device_type()
+            .expect("pipeline names follow the convention");
         assert!(r.device_name.starts_with(t.name_prefix()));
         parsed += 1;
     }
@@ -164,7 +192,11 @@ fn esw_has_no_bug_sevs() {
     // §5.1 footnote, preserved through the whole pipeline.
     let s = study();
     assert_eq!(
-        s.db().query().device_type(DeviceType::Esw).root_cause(RootCause::Bug).count(),
+        s.db()
+            .query()
+            .device_type(DeviceType::Esw)
+            .root_cause(RootCause::Bug)
+            .count(),
         0
     );
 }

@@ -25,21 +25,36 @@ fn incident_boundary_only_escalations_become_sevs() {
     assert_eq!(db.len(), escalated);
 
     // The vast majority of issues never reach the SEV database (§4.1).
-    assert!(escalated * 20 < outcomes.len(), "{escalated} of {}", outcomes.len());
+    assert!(
+        escalated * 20 < outcomes.len(),
+        "{escalated} of {}",
+        outcomes.len()
+    );
 }
 
 #[test]
 fn automation_shield_quantified() {
     // §4.1.2's what-if, end to end: disabling automation multiplies
     // 2017 incidents dramatically while the issue stream is unchanged.
-    let on = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 5, ..Default::default() });
+    let on = IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed: 5,
+        ..Default::default()
+    });
     let off = IntraDcStudy::run(StudyConfig {
         scale: 1.0,
         seed: 5,
-        hazard: HazardConfig { automation_enabled: false, drain_policy_enabled: true },
+        hazard: HazardConfig {
+            automation_enabled: false,
+            drain_policy_enabled: true,
+        },
         ..Default::default()
     });
-    assert_eq!(on.outcomes().len(), off.outcomes().len(), "same physical issues");
+    assert_eq!(
+        on.outcomes().len(),
+        off.outcomes().len(),
+        "same physical issues"
+    );
     let on_2017 = on.db().query().year(2017).count() as f64;
     let off_2017 = off.db().query().year(2017).count() as f64;
     assert!(
@@ -50,20 +65,50 @@ fn automation_shield_quantified() {
 
 #[test]
 fn drain_policy_ablation_raises_cluster_incidents() {
-    let with = IntraDcStudy::run(StudyConfig { scale: 2.0, seed: 8, ..Default::default() });
+    let with = IntraDcStudy::run(StudyConfig {
+        scale: 2.0,
+        seed: 8,
+        ..Default::default()
+    });
     let without = IntraDcStudy::run(StudyConfig {
         scale: 2.0,
         seed: 8,
-        hazard: HazardConfig { automation_enabled: true, drain_policy_enabled: false },
+        hazard: HazardConfig {
+            automation_enabled: true,
+            drain_policy_enabled: false,
+        },
         ..Default::default()
     });
     use dcnr_core::topology::DeviceType;
-    let w = with.db().query().years(2015, 2017).device_type(DeviceType::Csa).count();
-    let wo = without.db().query().years(2015, 2017).device_type(DeviceType::Csa).count();
-    assert!(wo as f64 > 3.0 * w as f64, "drain policy matters: {w} vs {wo}");
+    let w = with
+        .db()
+        .query()
+        .years(2015, 2017)
+        .device_type(DeviceType::Csa)
+        .count();
+    let wo = without
+        .db()
+        .query()
+        .years(2015, 2017)
+        .device_type(DeviceType::Csa)
+        .count();
+    assert!(
+        wo as f64 > 3.0 * w as f64,
+        "drain policy matters: {w} vs {wo}"
+    );
     // Fabric devices unaffected by the cluster-only policy.
-    let fw = with.db().query().years(2015, 2017).device_type(DeviceType::Fsw).count();
-    let fwo = without.db().query().years(2015, 2017).device_type(DeviceType::Fsw).count();
+    let fw = with
+        .db()
+        .query()
+        .years(2015, 2017)
+        .device_type(DeviceType::Fsw)
+        .count();
+    let fwo = without
+        .db()
+        .query()
+        .years(2015, 2017)
+        .device_type(DeviceType::Fsw)
+        .count();
     assert_eq!(fw, fwo);
 }
 
@@ -83,7 +128,10 @@ fn email_boundary_round_trips_the_whole_stream() {
     for (_, raw) in &out.emails {
         let parsed = parse_email(raw).expect("valid");
         let rerendered = render_email(&parsed);
-        assert_eq!(raw, &rerendered, "render/parse is a bijection on the stream");
+        assert_eq!(
+            raw, &rerendered,
+            "render/parse is a bijection on the stream"
+        );
     }
 }
 
@@ -120,12 +168,19 @@ fn corrupted_emails_are_dropped_not_fatal() {
     assert!(!db.is_empty());
     // Dropped completions leave open tickets; dropped starts cause
     // orphan completions that the DB rejects — all non-fatal.
-    assert!(db.rejected > 0, "orphan completions were rejected, not crashed on");
+    assert!(
+        db.rejected > 0,
+        "orphan completions were rejected, not crashed on"
+    );
 }
 
 #[test]
 fn full_experiment_suite_runs_on_shared_studies() {
-    let intra = IntraDcStudy::run(StudyConfig { scale: 1.0, seed: 21, ..Default::default() });
+    let intra = IntraDcStudy::run(StudyConfig {
+        scale: 1.0,
+        seed: 21,
+        ..Default::default()
+    });
     let inter = InterDcStudy::run(BackboneSimConfig {
         params: dcnr_core::backbone::topo::BackboneParams {
             edges: 40,
@@ -140,7 +195,10 @@ fn full_experiment_suite_runs_on_shared_studies() {
         let out = e.run(&intra, &inter);
         rendered_total += out.rendered.len();
     }
-    assert!(rendered_total > 5_000, "all experiments rendered substantial output");
+    assert!(
+        rendered_total > 5_000,
+        "all experiments rendered substantial output"
+    );
 }
 
 #[test]
