@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr-671cc671ba91d971.d: crates/core/src/bin/dcnr.rs
+
+/root/repo/target/debug/deps/libdcnr-671cc671ba91d971.rmeta: crates/core/src/bin/dcnr.rs
+
+crates/core/src/bin/dcnr.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dcnr_backbone-d18479f0e4e8fa28.d: crates/backbone/src/lib.rs crates/backbone/src/email.rs crates/backbone/src/failure_model.rs crates/backbone/src/geo.rs crates/backbone/src/metrics.rs crates/backbone/src/models.rs crates/backbone/src/optical.rs crates/backbone/src/planning.rs crates/backbone/src/sim.rs crates/backbone/src/ticket.rs crates/backbone/src/topo.rs crates/backbone/src/vendor.rs crates/backbone/src/wan.rs
+
+/root/repo/target/debug/deps/libdcnr_backbone-d18479f0e4e8fa28.rmeta: crates/backbone/src/lib.rs crates/backbone/src/email.rs crates/backbone/src/failure_model.rs crates/backbone/src/geo.rs crates/backbone/src/metrics.rs crates/backbone/src/models.rs crates/backbone/src/optical.rs crates/backbone/src/planning.rs crates/backbone/src/sim.rs crates/backbone/src/ticket.rs crates/backbone/src/topo.rs crates/backbone/src/vendor.rs crates/backbone/src/wan.rs
+
+crates/backbone/src/lib.rs:
+crates/backbone/src/email.rs:
+crates/backbone/src/failure_model.rs:
+crates/backbone/src/geo.rs:
+crates/backbone/src/metrics.rs:
+crates/backbone/src/models.rs:
+crates/backbone/src/optical.rs:
+crates/backbone/src/planning.rs:
+crates/backbone/src/sim.rs:
+crates/backbone/src/ticket.rs:
+crates/backbone/src/topo.rs:
+crates/backbone/src/vendor.rs:
+crates/backbone/src/wan.rs:

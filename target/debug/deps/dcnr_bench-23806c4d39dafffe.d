@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dcnr_bench-23806c4d39dafffe.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libdcnr_bench-23806c4d39dafffe.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

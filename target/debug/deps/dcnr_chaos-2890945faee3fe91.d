@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dcnr_chaos-2890945faee3fe91.d: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+/root/repo/target/debug/deps/libdcnr_chaos-2890945faee3fe91.rmeta: crates/chaos/src/lib.rs crates/chaos/src/config.rs crates/chaos/src/dead_letter.rs crates/chaos/src/dedup.rs crates/chaos/src/inject.rs crates/chaos/src/pipeline.rs crates/chaos/src/reconcile.rs crates/chaos/src/report.rs crates/chaos/src/store.rs crates/chaos/src/study.rs
+
+crates/chaos/src/lib.rs:
+crates/chaos/src/config.rs:
+crates/chaos/src/dead_letter.rs:
+crates/chaos/src/dedup.rs:
+crates/chaos/src/inject.rs:
+crates/chaos/src/pipeline.rs:
+crates/chaos/src/reconcile.rs:
+crates/chaos/src/report.rs:
+crates/chaos/src/store.rs:
+crates/chaos/src/study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcnr_core-e3778f16ed9044ba.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+/root/repo/target/debug/deps/libdcnr_core-e3778f16ed9044ba.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/inter.rs crates/core/src/intra.rs crates/core/src/report.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/inter.rs:
+crates/core/src/intra.rs:
+crates/core/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcnr_faults-8560b72b283eb4b0.d: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+/root/repo/target/debug/deps/libdcnr_faults-8560b72b283eb4b0.rmeta: crates/faults/src/lib.rs crates/faults/src/calibration.rs crates/faults/src/generator.rs crates/faults/src/growth.rs crates/faults/src/hazard.rs crates/faults/src/root_cause.rs crates/faults/src/wearout.rs
+
+crates/faults/src/lib.rs:
+crates/faults/src/calibration.rs:
+crates/faults/src/generator.rs:
+crates/faults/src/growth.rs:
+crates/faults/src/hazard.rs:
+crates/faults/src/root_cause.rs:
+crates/faults/src/wearout.rs:

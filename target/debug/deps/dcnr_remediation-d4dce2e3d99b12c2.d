@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcnr_remediation-d4dce2e3d99b12c2.d: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+/root/repo/target/debug/deps/libdcnr_remediation-d4dce2e3d99b12c2.rmeta: crates/remediation/src/lib.rs crates/remediation/src/action.rs crates/remediation/src/engine.rs crates/remediation/src/monitor.rs crates/remediation/src/policy.rs crates/remediation/src/queue.rs crates/remediation/src/report.rs
+
+crates/remediation/src/lib.rs:
+crates/remediation/src/action.rs:
+crates/remediation/src/engine.rs:
+crates/remediation/src/monitor.rs:
+crates/remediation/src/policy.rs:
+crates/remediation/src/queue.rs:
+crates/remediation/src/report.rs:

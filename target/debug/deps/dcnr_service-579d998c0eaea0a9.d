@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dcnr_service-579d998c0eaea0a9.d: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+/root/repo/target/debug/deps/libdcnr_service-579d998c0eaea0a9.rmeta: crates/service/src/lib.rs crates/service/src/drill.rs crates/service/src/impact.rs crates/service/src/placement.rs crates/service/src/resolution.rs crates/service/src/severity.rs crates/service/src/sevgen.rs
+
+crates/service/src/lib.rs:
+crates/service/src/drill.rs:
+crates/service/src/impact.rs:
+crates/service/src/placement.rs:
+crates/service/src/resolution.rs:
+crates/service/src/severity.rs:
+crates/service/src/sevgen.rs:

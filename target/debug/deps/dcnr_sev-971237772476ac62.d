@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dcnr_sev-971237772476ac62.d: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+/root/repo/target/debug/deps/libdcnr_sev-971237772476ac62.rmeta: crates/sev/src/lib.rs crates/sev/src/document.rs crates/sev/src/metrics.rs crates/sev/src/query.rs crates/sev/src/record.rs crates/sev/src/review.rs crates/sev/src/severity.rs crates/sev/src/store.rs
+
+crates/sev/src/lib.rs:
+crates/sev/src/document.rs:
+crates/sev/src/metrics.rs:
+crates/sev/src/query.rs:
+crates/sev/src/record.rs:
+crates/sev/src/review.rs:
+crates/sev/src/severity.rs:
+crates/sev/src/store.rs:

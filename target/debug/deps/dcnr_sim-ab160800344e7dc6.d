@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dcnr_sim-ab160800344e7dc6.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+/root/repo/target/debug/deps/libdcnr_sim-ab160800344e7dc6.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/event.rs crates/sim/src/rng.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/event.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/time.rs:

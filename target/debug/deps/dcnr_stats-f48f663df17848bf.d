@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dcnr_stats-f48f663df17848bf.d: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/kaplan.rs crates/stats/src/linfit.rs crates/stats/src/renewal.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+/root/repo/target/debug/deps/libdcnr_stats-f48f663df17848bf.rmeta: crates/stats/src/lib.rs crates/stats/src/bootstrap.rs crates/stats/src/dist.rs crates/stats/src/ecdf.rs crates/stats/src/expfit.rs crates/stats/src/histogram.rs crates/stats/src/kaplan.rs crates/stats/src/linfit.rs crates/stats/src/renewal.rs crates/stats/src/summary.rs crates/stats/src/timeseries.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/bootstrap.rs:
+crates/stats/src/dist.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/expfit.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/kaplan.rs:
+crates/stats/src/linfit.rs:
+crates/stats/src/renewal.rs:
+crates/stats/src/summary.rs:
+crates/stats/src/timeseries.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dcnr_topology-eae1b100e70395b8.d: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs
+
+/root/repo/target/debug/deps/libdcnr_topology-eae1b100e70395b8.rmeta: crates/topology/src/lib.rs crates/topology/src/cluster.rs crates/topology/src/datacenter.rs crates/topology/src/device.rs crates/topology/src/fabric.rs crates/topology/src/fleet.rs crates/topology/src/graph.rs crates/topology/src/naming.rs crates/topology/src/routing.rs
+
+crates/topology/src/lib.rs:
+crates/topology/src/cluster.rs:
+crates/topology/src/datacenter.rs:
+crates/topology/src/device.rs:
+crates/topology/src/fabric.rs:
+crates/topology/src/fleet.rs:
+crates/topology/src/graph.rs:
+crates/topology/src/naming.rs:
+crates/topology/src/routing.rs:
