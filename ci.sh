@@ -11,4 +11,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> sweep smoke (release, byte-identity across worker counts)"
+cargo build --release --bin dcnr
+./target/release/dcnr sweep --scenario backbone --seeds 2 --jobs 2 \
+    --resamples 200 --bench-json /tmp/dcnr_sweep_smoke.json >/dev/null
+grep -q '"identical_output": true' /tmp/dcnr_sweep_smoke.json
+
 echo "ci: all green"

@@ -7,13 +7,13 @@
 //! model fit — what an analyst re-runs when the ticket data changes.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dcnr_bench::{shared_inter, shared_intra};
+use dcnr_bench::{shared_context, shared_inter};
 use dcnr_core::backbone::BackboneMetrics;
 use dcnr_core::Experiment;
 use std::hint::black_box;
 
 fn print_once(e: Experiment) {
-    let out = e.run(shared_intra(), shared_inter());
+    let out = shared_context().artifact(e);
     println!("\n=== {} ===\n{}", e.title(), out.rendered);
     println!("paper vs measured:");
     for c in &out.comparisons {

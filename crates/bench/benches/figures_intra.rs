@@ -3,12 +3,12 @@
 //! output doubles as a reproduction report.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dcnr_bench::{shared_inter, shared_intra};
+use dcnr_bench::{shared_context, shared_intra};
 use dcnr_core::Experiment;
 use std::hint::black_box;
 
 fn print_once(e: Experiment) {
-    let out = e.run(shared_intra(), shared_inter());
+    let out = shared_context().artifact(e);
     println!("\n=== {} ===\n{}", e.title(), out.rendered);
     println!("paper vs measured:");
     for c in &out.comparisons {

@@ -3,14 +3,13 @@
 //! so `cargo bench` output doubles as a reproduction report.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dcnr_bench::{shared_inter, shared_intra, small_backbone_config};
+use dcnr_bench::{shared_context, shared_inter, shared_intra, small_backbone_config};
 use dcnr_core::{report, Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
 use std::hint::black_box;
 
 fn bench_table1(c: &mut Criterion) {
     let intra = shared_intra();
-    let inter = shared_inter();
-    let out = Experiment::Table1.run(intra, inter);
+    let out = shared_context().artifact(Experiment::Table1);
     println!("\n=== {} ===\n{}", Experiment::Table1.title(), out.rendered);
     c.bench_function("table1_automated_repair", |b| {
         b.iter(|| black_box(intra.table1_automated_repair()))
@@ -19,7 +18,7 @@ fn bench_table1(c: &mut Criterion) {
 
 fn bench_table2(c: &mut Criterion) {
     let intra = shared_intra();
-    let out = Experiment::Table2.run(intra, shared_inter());
+    let out = shared_context().artifact(Experiment::Table2);
     println!("\n=== {} ===\n{}", Experiment::Table2.title(), out.rendered);
     c.bench_function("table2_root_causes", |b| {
         b.iter(|| black_box(intra.table2_root_causes()))
@@ -28,7 +27,7 @@ fn bench_table2(c: &mut Criterion) {
 
 fn bench_table4(c: &mut Criterion) {
     let inter = shared_inter();
-    let out = Experiment::Table4.run(shared_intra(), inter);
+    let out = shared_context().artifact(Experiment::Table4);
     println!("\n=== {} ===\n{}", Experiment::Table4.title(), out.rendered);
     c.bench_function("table4_continents", |b| {
         b.iter(|| {

@@ -13,7 +13,7 @@
 
 use dcnr_core::backbone::topo::BackboneParams;
 use dcnr_core::backbone::BackboneSimConfig;
-use dcnr_core::{InterDcStudy, IntraDcStudy, StudyConfig};
+use dcnr_core::{InterDcStudy, IntraDcStudy, RunContext, StudyConfig};
 use std::sync::OnceLock;
 
 /// Fleet scale used by the shared intra-DC fixture. Scale 4 yields
@@ -24,27 +24,33 @@ pub const BENCH_SCALE: f64 = 4.0;
 /// Seed used by all bench fixtures.
 pub const BENCH_SEED: u64 = 0xBE_2018;
 
-/// The shared intra-DC study fixture (built on first use).
-pub fn shared_intra() -> &'static IntraDcStudy {
-    static INTRA: OnceLock<IntraDcStudy> = OnceLock::new();
-    INTRA.get_or_init(|| {
-        IntraDcStudy::run(StudyConfig {
+/// The shared scenario-engine context (built on first use). Both study
+/// fixtures are pre-seeded into it, so every artifact render pulls from
+/// the same caches the `dcnr` CLI would use.
+pub fn shared_context() -> &'static RunContext {
+    static CTX: OnceLock<RunContext> = OnceLock::new();
+    CTX.get_or_init(|| {
+        let intra = IntraDcStudy::run(StudyConfig {
             scale: BENCH_SCALE,
             seed: BENCH_SEED,
             ..Default::default()
-        })
+        });
+        let inter = InterDcStudy::run(BackboneSimConfig {
+            seed: BENCH_SEED,
+            ..Default::default()
+        });
+        RunContext::from_studies(intra, inter)
     })
+}
+
+/// The shared intra-DC study fixture (built on first use).
+pub fn shared_intra() -> &'static IntraDcStudy {
+    shared_context().intra()
 }
 
 /// The shared backbone study fixture (built on first use).
 pub fn shared_inter() -> &'static InterDcStudy {
-    static INTER: OnceLock<InterDcStudy> = OnceLock::new();
-    INTER.get_or_init(|| {
-        InterDcStudy::run(BackboneSimConfig {
-            seed: BENCH_SEED,
-            ..Default::default()
-        })
-    })
+    shared_context().inter()
 }
 
 /// A small backbone configuration for pipeline-cost benchmarks.

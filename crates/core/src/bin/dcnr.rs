@@ -1,38 +1,51 @@
 //! `dcnr` — command-line front end for the reliability study toolkit.
 //!
-//! ```text
-//! dcnr intra     [--scale S] [--seed N] [--no-automation] [--no-drain]
-//! dcnr backbone  [--seed N] [--edges E] [--vendors V]
-//! dcnr chaos     [--seed N] [--corrupt-rate R] [--loss-rate R] [--dup-rate R] ...
-//! dcnr drill
-//! dcnr risk      [--trials N] [--seed N]
-//! dcnr help
-//! ```
+//! Every study subcommand lowers its flags onto a [`Scenario`] and
+//! hands it to the scenario engine; `sweep` replicates one scenario
+//! across derived seeds and prints cross-seed confidence bands.
 
-use dcnr_core::backbone::topo::BackboneParams;
-use dcnr_core::backbone::BackboneSimConfig;
-use dcnr_core::chaos::{run_study, ChaosConfig, Tolerance};
-use dcnr_core::faults::hazard::HazardConfig;
-use dcnr_core::{Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
+use dcnr_core::{
+    apply_scenario_flags, run_sweep, ArgScanner, InterDcStudy, RunContext, Scenario, ScenarioKind,
+    SweepConfig,
+};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 dcnr — Data Center Network Reliability study toolkit
 
+Scenario flags (shared by intra/backbone/chaos/sweep):
+    --seed N          master seed; every derived stream follows it
+    --scale S         intra-DC fleet scale multiplier
+    --edges E         backbone edge count
+    --vendors V       backbone vendor count
+    --no-automation   disable the automated-remediation hazard model
+    --no-drain        disable the drain-policy hazard model
+    --corrupt-rate R  --truncate-rate R  --loss-rate R
+    --dup-rate R      --reorder-rate R   --store-fail-rate R
+                      chaos ingestion fault rates (default: drill mix)
+
 USAGE:
-    dcnr intra     [--scale S] [--seed N] [--no-automation] [--no-drain]
+    dcnr intra     [scenario flags]
                    Run the seven-year intra-DC study; print Tables 1-2
                    and Figures 2-14 with paper-vs-measured comparisons.
-    dcnr backbone  [--seed N] [--edges E] [--vendors V]
+    dcnr backbone  [scenario flags]
                    Run the eighteen-month backbone study; print
                    Figures 15-18 and Table 4.
-    dcnr chaos     [--seed N] [--sim-seed N] [--edges E] [--vendors V]
-                   [--corrupt-rate R] [--truncate-rate R] [--loss-rate R]
-                   [--dup-rate R] [--reorder-rate R] [--store-fail-rate R]
+    dcnr chaos     [scenario flags]
                    Run the backbone study twice — clean and under
                    injected ingestion faults — print the data-quality
                    report, and check the paper statistics stay within
-                   tolerance. Unset rates default to the drill mix.
+                   tolerance.
+    dcnr sweep     [--scenario intra|backbone|chaos] [--seeds N]
+                   [--jobs J] [--resamples B] [--confidence C]
+                   [--bench-json PATH] [scenario flags]
+                   Run N replicas of one scenario (seeds derived from
+                   the master seed) on a J-wide worker pool and print
+                   paper values against cross-seed confidence bands.
+                   --bench-json additionally times the sweep at 1 and J
+                   workers, checks the reports are byte-identical, and
+                   writes the wall clocks to PATH.
     dcnr drill     Run the fault-injection and disaster-recovery drills
                    on the reference mixed region.
     dcnr risk      [--trials N] [--seed N]
@@ -40,48 +53,6 @@ USAGE:
                    backbone.
     dcnr help      Show this message.
 ";
-
-/// Minimal flag parser: `--name value` and boolean `--name` forms.
-struct Args {
-    rest: Vec<String>,
-}
-
-impl Args {
-    fn new(args: Vec<String>) -> Self {
-        Self { rest: args }
-    }
-
-    fn flag(&mut self, name: &str) -> bool {
-        if let Some(pos) = self.rest.iter().position(|a| a == name) {
-            self.rest.remove(pos);
-            true
-        } else {
-            false
-        }
-    }
-
-    fn value<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
-        let Some(pos) = self.rest.iter().position(|a| a == name) else {
-            return Ok(None);
-        };
-        if pos + 1 >= self.rest.len() {
-            return Err(format!("{name} requires a value"));
-        }
-        let raw = self.rest.remove(pos + 1);
-        self.rest.remove(pos);
-        raw.parse::<T>()
-            .map(Some)
-            .map_err(|_| format!("invalid value for {name}: {raw:?}"))
-    }
-
-    fn finish(self) -> Result<(), String> {
-        if self.rest.is_empty() {
-            Ok(())
-        } else {
-            Err(format!("unrecognized arguments: {:?}", self.rest))
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
@@ -91,11 +62,12 @@ fn main() -> ExitCode {
     }
     let command = argv.remove(0);
     let result = match command.as_str() {
-        "intra" => cmd_intra(Args::new(argv)),
-        "backbone" => cmd_backbone(Args::new(argv)),
-        "chaos" => cmd_chaos(Args::new(argv)),
-        "drill" => cmd_drill(Args::new(argv)),
-        "risk" => cmd_risk(Args::new(argv)),
+        "intra" => cmd_scenario(Scenario::intra(0xDC_2018), ArgScanner::new(argv)),
+        "backbone" => cmd_scenario(Scenario::backbone(0xB0_E5), ArgScanner::new(argv)),
+        "chaos" => cmd_scenario(Scenario::chaos(0xC4_05), ArgScanner::new(argv)),
+        "sweep" => cmd_sweep(ArgScanner::new(argv)),
+        "drill" => cmd_drill(ArgScanner::new(argv)),
+        "risk" => cmd_risk(ArgScanner::new(argv)),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -111,152 +83,113 @@ fn main() -> ExitCode {
     }
 }
 
-fn cmd_intra(mut args: Args) -> Result<(), String> {
-    let scale: f64 = args.value("--scale")?.unwrap_or(10.0);
-    let seed: u64 = args.value("--seed")?.unwrap_or(0xDC_2018);
-    let hazard = HazardConfig {
-        automation_enabled: !args.flag("--no-automation"),
-        drain_policy_enabled: !args.flag("--no-drain"),
-    };
+/// Shared driver for `intra` / `backbone` / `chaos`: flags → scenario →
+/// engine → printed report.
+fn cmd_scenario(base: Scenario, mut args: ArgScanner) -> Result<(), String> {
+    let scenario = apply_scenario_flags(&mut args, base)?;
     args.finish()?;
-    if scale.is_nan() || scale <= 0.0 {
-        return Err("--scale must be positive".into());
-    }
-
-    eprintln!("running intra-DC study (scale {scale}, seed {seed:#x})...");
-    let intra = IntraDcStudy::run(StudyConfig {
-        scale,
-        seed,
-        hazard,
-        ..Default::default()
-    });
-    let inter = small_backbone(seed);
-    println!(
-        "dataset: {} issues -> {} SEVs (2011-2017)\n",
-        intra.outcomes().len(),
-        intra.db().len()
-    );
-    for e in Experiment::ALL.into_iter().filter(|e| e.is_intra()) {
-        print_experiment(e, &intra, &inter);
-    }
-    Ok(())
-}
-
-fn cmd_backbone(mut args: Args) -> Result<(), String> {
-    let seed: u64 = args.value("--seed")?.unwrap_or(0xB0_E5);
-    let edges: u32 = args.value("--edges")?.unwrap_or(90);
-    let vendors: u32 = args.value("--vendors")?.unwrap_or(40);
-    args.finish()?;
-    if edges < 2 || vendors < 1 {
-        return Err("need at least 2 edges and 1 vendor".into());
-    }
-
-    eprintln!("running backbone study ({edges} edges, {vendors} vendors, seed {seed:#x})...");
-    let inter = InterDcStudy::run(BackboneSimConfig {
-        params: BackboneParams {
-            edges,
-            vendors,
-            min_links_per_edge: 3,
-        },
-        seed,
-        ..Default::default()
-    });
-    let intra = IntraDcStudy::run(StudyConfig {
-        scale: 0.5,
-        seed,
-        ..Default::default()
-    });
-    println!(
-        "dataset: {} e-mails -> {} tickets (Oct 2016 - Apr 2018)\n",
-        inter.output().emails.len(),
-        inter.tickets().len()
-    );
-    for e in Experiment::ALL.into_iter().filter(|e| !e.is_intra()) {
-        print_experiment(e, &intra, &inter);
-    }
-    Ok(())
-}
-
-fn cmd_chaos(mut args: Args) -> Result<(), String> {
-    let chaos_seed: u64 = args.value("--seed")?.unwrap_or(0xC4_05);
-    let sim_seed: u64 = args.value("--sim-seed")?.unwrap_or(0xB0_E5);
-    let edges: u32 = args.value("--edges")?.unwrap_or(90);
-    let vendors: u32 = args.value("--vendors")?.unwrap_or(40);
-    let mut cfg = ChaosConfig::drill(chaos_seed);
-    if let Some(r) = args.value("--corrupt-rate")? {
-        cfg.corrupt_rate = r;
-    }
-    if let Some(r) = args.value("--truncate-rate")? {
-        cfg.truncate_rate = r;
-    }
-    if let Some(r) = args.value("--loss-rate")? {
-        cfg.loss_rate = r;
-    }
-    if let Some(r) = args.value("--dup-rate")? {
-        cfg.dup_rate = r;
-    }
-    if let Some(r) = args.value("--reorder-rate")? {
-        cfg.reorder_rate = r;
-    }
-    if let Some(r) = args.value("--store-fail-rate")? {
-        cfg.store_fail_rate = r;
-    }
-    args.finish()?;
-    cfg.validate()?;
-    if edges < 2 || vendors < 1 {
-        return Err("need at least 2 edges and 1 vendor".into());
-    }
-
     eprintln!(
-        "running chaos ingestion drill ({edges} edges, {vendors} vendors, \
-         sim seed {sim_seed:#x}, chaos seed {chaos_seed:#x})..."
+        "running {} scenario (seed {:#x}, scale {}, {} edges, {} vendors)...",
+        scenario.kind,
+        scenario.seed,
+        scenario.scale,
+        scenario.backbone.edges,
+        scenario.backbone.vendors
     );
-    let sim = BackboneSimConfig {
-        params: BackboneParams {
-            edges,
-            vendors,
-            min_links_per_edge: 3,
-        },
-        seed: sim_seed,
-        ..Default::default()
-    };
-    let out = run_study(sim, &cfg, Tolerance::default());
-
-    println!("{}", out.report);
-    println!();
-    println!("paper statistics, clean vs chaos (Figures 15-18, Table 4):");
-    for d in &out.deviations {
-        println!("  {d}");
-    }
-    println!();
-    println!("write-path drill (SEV store + remediation queue):");
-    println!(
-        "  sev         : {} committed, {} transient failures, {} abandoned, max delay {}",
-        out.drill.sev.committed,
-        out.drill.sev.transient_failures,
-        out.drill.sev.abandoned,
-        out.drill.sev.max_delay,
-    );
-    println!(
-        "  remediation : {} committed, {} transient failures, {} abandoned, max delay {}",
-        out.drill.remediation.committed,
-        out.drill.remediation.transient_failures,
-        out.drill.remediation.abandoned,
-        out.drill.remediation.max_delay,
-    );
-    println!();
-    println!("annotation for regenerated tables/figures:");
-    println!("  {}", out.report.annotation());
-
-    if out.within_tolerance() {
-        println!("\nverdict: paper statistics within tolerance under injected faults");
+    let out = RunContext::new(scenario).execute();
+    print!("{}", out.rendered);
+    if out.passed {
         Ok(())
     } else {
         Err("paper statistics drifted outside tolerance under injected faults".into())
     }
 }
 
-fn cmd_drill(args: Args) -> Result<(), String> {
+fn cmd_sweep(mut args: ArgScanner) -> Result<(), String> {
+    let kind = match args.value::<String>("--scenario")? {
+        Some(name) => ScenarioKind::parse(&name)
+            .ok_or_else(|| format!("unknown scenario {name:?} (intra, backbone, or chaos)"))?,
+        None => ScenarioKind::Intra,
+    };
+    let base = match kind {
+        ScenarioKind::Intra => Scenario::intra(0xDC_2018),
+        ScenarioKind::Backbone => Scenario::backbone(0xB0_E5),
+        ScenarioKind::Chaos => Scenario::chaos(0xC4_05),
+    };
+    let base = apply_scenario_flags(&mut args, base)?;
+    let seeds: u32 = args.value("--seeds")?.unwrap_or(8);
+    let jobs: usize = match args.value("--jobs")? {
+        Some(j) => j,
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let mut config = SweepConfig::new(base, seeds, jobs);
+    if let Some(r) = args.value("--resamples")? {
+        config.resamples = r;
+    }
+    if let Some(c) = args.value("--confidence")? {
+        config.confidence = c;
+    }
+    let bench_json: Option<String> = args.value("--bench-json")?;
+    args.finish()?;
+
+    eprintln!(
+        "sweeping {} scenario: {} seeds on {} workers...",
+        base.kind, seeds, jobs
+    );
+    let started = Instant::now();
+    let out = run_sweep(config)?;
+    let elapsed = started.elapsed();
+    eprintln!("sweep finished in {:.2}s", elapsed.as_secs_f64());
+    print!("{}", out.rendered);
+
+    if let Some(path) = bench_json {
+        write_bench_json(&path, config, elapsed.as_secs_f64(), &out.rendered)?;
+    }
+    Ok(())
+}
+
+/// Re-times the sweep single-threaded, checks byte-identity against the
+/// parallel report, and records both wall clocks.
+fn write_bench_json(
+    path: &str,
+    config: SweepConfig,
+    parallel_secs: f64,
+    parallel_rendered: &str,
+) -> Result<(), String> {
+    eprintln!("re-running the sweep on 1 worker for the benchmark baseline...");
+    let started = Instant::now();
+    let serial = run_sweep(SweepConfig { jobs: 1, ..config })?;
+    let serial_secs = started.elapsed().as_secs_f64();
+    let identical = serial.rendered == parallel_rendered;
+    if !identical {
+        return Err("sweep reports differ between --jobs 1 and the parallel run".into());
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let note = if config.jobs > host_cpus {
+        ",\n  \"note\": \"jobs exceed host CPUs; oversubscription can erase the speedup\""
+    } else {
+        ""
+    };
+    let json = format!(
+        "{{\n  \"scenario\": \"{}\",\n  \"seeds\": {},\n  \"jobs\": {},\n  \
+         \"host_cpus\": {},\n  \"wall_secs_jobs_1\": {:.3},\n  \
+         \"wall_secs_jobs_n\": {:.3},\n  \"speedup\": {:.3},\n  \
+         \"identical_output\": {}{note}\n}}\n",
+        config.base.kind,
+        config.seeds,
+        config.jobs,
+        host_cpus,
+        serial_secs,
+        parallel_secs,
+        serial_secs / parallel_secs.max(1e-9),
+        identical
+    );
+    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!("wrote {path} (serial {serial_secs:.2}s, parallel {parallel_secs:.2}s)");
+    Ok(())
+}
+
+fn cmd_drill(args: ArgScanner) -> Result<(), String> {
     args.finish()?;
     use dcnr_core::service::{disaster_drill, FaultInjectionDrill, ImpactModel, Placement};
     use dcnr_core::topology::Region;
@@ -289,7 +222,7 @@ fn cmd_drill(args: Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_risk(mut args: Args) -> Result<(), String> {
+fn cmd_risk(mut args: ArgScanner) -> Result<(), String> {
     let trials: u32 = args.value("--trials")?.unwrap_or(400_000);
     let seed: u64 = args.value("--seed")?.unwrap_or(0xB0_E5);
     args.finish()?;
@@ -297,7 +230,7 @@ fn cmd_risk(mut args: Args) -> Result<(), String> {
         return Err("--trials must be positive".into());
     }
     eprintln!("simulating backbone and planning capacity ({trials} trials)...");
-    let inter = InterDcStudy::run(BackboneSimConfig {
+    let inter = InterDcStudy::run(dcnr_core::backbone::BackboneSimConfig {
         seed,
         ..Default::default()
     });
@@ -321,31 +254,4 @@ fn cmd_risk(mut args: Args) -> Result<(), String> {
         report.headroom_fraction * 100.0
     );
     Ok(())
-}
-
-fn small_backbone(seed: u64) -> InterDcStudy {
-    InterDcStudy::run(BackboneSimConfig {
-        params: BackboneParams {
-            edges: 30,
-            vendors: 12,
-            min_links_per_edge: 3,
-        },
-        seed,
-        ..Default::default()
-    })
-}
-
-fn print_experiment(e: Experiment, intra: &IntraDcStudy, inter: &InterDcStudy) {
-    let out = e.run(intra, inter);
-    println!("----------------------------------------------------------");
-    println!("{}", e.title());
-    println!("----------------------------------------------------------");
-    println!("{}", out.rendered);
-    for c in &out.comparisons {
-        println!(
-            "  {:<40} paper {:>12.4}  measured {:>12.4}",
-            c.metric, c.paper, c.measured
-        );
-    }
-    println!();
 }

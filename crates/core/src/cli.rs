@@ -1,0 +1,181 @@
+//! Shared command-line flag parsing for the `dcnr` binary.
+//!
+//! Every subcommand used to hand-roll its own `--flag value` loop; this
+//! module is the single [`ArgScanner`] they all share, plus
+//! [`apply_scenario_flags`] — the one place scenario knobs (`--seed`,
+//! `--scale`, `--edges`, chaos rates, hazard ablations) are mapped onto
+//! a [`Scenario`].
+//!
+//! The scanner accepts both `--name value` and `--name=value`, reports
+//! malformed numbers with the offending text, and [`ArgScanner::finish`]
+//! rejects anything left over so typos fail loudly instead of being
+//! silently ignored.
+
+use crate::scenario::Scenario;
+
+/// Order-insensitive flag scanner over a subcommand's arguments.
+pub struct ArgScanner {
+    rest: Vec<String>,
+}
+
+impl ArgScanner {
+    /// Wraps the argument list that follows the subcommand name.
+    pub fn new(args: Vec<String>) -> Self {
+        Self { rest: args }
+    }
+
+    /// Consumes a boolean `--name` flag; `true` if it was present.
+    pub fn flag(&mut self, name: &str) -> bool {
+        if let Some(pos) = self.rest.iter().position(|a| a == name) {
+            self.rest.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `--name value` or `--name=value`, parsing the value.
+    pub fn value<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+        let raw = if let Some(pos) = self
+            .rest
+            .iter()
+            .position(|a| a.strip_prefix(name).is_some_and(|r| r.starts_with('=')))
+        {
+            let arg = self.rest.remove(pos);
+            arg[name.len() + 1..].to_string()
+        } else if let Some(pos) = self.rest.iter().position(|a| a == name) {
+            if pos + 1 >= self.rest.len() || self.rest[pos + 1].starts_with("--") {
+                return Err(format!("{name} requires a value"));
+            }
+            let raw = self.rest.remove(pos + 1);
+            self.rest.remove(pos);
+            raw
+        } else {
+            return Ok(None);
+        };
+        raw.parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("invalid value for {name}: {raw:?}"))
+    }
+
+    /// Fails if any argument was not consumed (unknown flag or stray
+    /// positional).
+    pub fn finish(self) -> Result<(), String> {
+        match self.rest.as_slice() {
+            [] => Ok(()),
+            [first, ..] => Err(format!(
+                "unrecognized argument {first:?} (run `dcnr help` for the flag list)"
+            )),
+        }
+    }
+}
+
+/// Applies the shared scenario flags to `base` and returns the adjusted
+/// scenario. `--seed` rebinds through [`Scenario::with_seed`] so every
+/// derived stream (including chaos injection) follows the master seed.
+pub fn apply_scenario_flags(args: &mut ArgScanner, base: Scenario) -> Result<Scenario, String> {
+    let mut s = base;
+    if let Some(seed) = args.value::<u64>("--seed")? {
+        s = s.with_seed(seed);
+    }
+    if let Some(scale) = args.value::<f64>("--scale")? {
+        s.scale = scale;
+    }
+    if let Some(edges) = args.value::<u32>("--edges")? {
+        s.backbone.edges = edges;
+    }
+    if let Some(vendors) = args.value::<u32>("--vendors")? {
+        s.backbone.vendors = vendors;
+    }
+    if args.flag("--no-automation") {
+        s.hazard.automation_enabled = false;
+    }
+    if args.flag("--no-drain") {
+        s.hazard.drain_policy_enabled = false;
+    }
+    for (name, field) in [
+        ("--corrupt-rate", 0usize),
+        ("--truncate-rate", 1),
+        ("--loss-rate", 2),
+        ("--dup-rate", 3),
+        ("--reorder-rate", 4),
+        ("--store-fail-rate", 5),
+    ] {
+        if let Some(rate) = args.value::<f64>(name)? {
+            let c = &mut s.chaos;
+            *[
+                &mut c.corrupt_rate,
+                &mut c.truncate_rate,
+                &mut c.loss_rate,
+                &mut c.dup_rate,
+                &mut c.reorder_rate,
+                &mut c.store_fail_rate,
+            ][field] = rate;
+        }
+    }
+    s.validate()?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(args: &[&str]) -> ArgScanner {
+        ArgScanner::new(args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_separate_and_equals_forms() {
+        let mut a = scan(&["--seed", "7", "--scale=2.5"]);
+        assert_eq!(a.value::<u64>("--seed").unwrap(), Some(7));
+        assert_eq!(a.value::<f64>("--scale").unwrap(), Some(2.5));
+        a.finish().unwrap();
+    }
+
+    #[test]
+    fn reports_malformed_numbers_with_the_text() {
+        let mut a = scan(&["--seed", "banana"]);
+        let err = a.value::<u64>("--seed").unwrap_err();
+        assert!(err.contains("--seed") && err.contains("banana"), "{err}");
+    }
+
+    #[test]
+    fn missing_value_and_flag_as_value_are_errors() {
+        let mut a = scan(&["--seed"]);
+        assert!(a.value::<u64>("--seed").is_err());
+        let mut a = scan(&["--seed", "--scale", "1.0"]);
+        assert!(a.value::<u64>("--seed").is_err());
+    }
+
+    #[test]
+    fn finish_rejects_unknown_flags() {
+        let mut a = scan(&["--seed", "7", "--bogus"]);
+        let _ = a.value::<u64>("--seed").unwrap();
+        let err = a.finish().unwrap_err();
+        assert!(err.contains("--bogus"), "{err}");
+    }
+
+    #[test]
+    fn scenario_flags_rebind_the_master_seed() {
+        let base = Scenario::intra(1);
+        let mut a = scan(&["--seed", "99", "--scale", "0.5", "--no-automation"]);
+        let s = apply_scenario_flags(&mut a, base).unwrap();
+        a.finish().unwrap();
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.scale, 0.5);
+        assert!(!s.hazard.automation_enabled);
+        assert_ne!(s.chaos.seed, base.chaos.seed, "chaos seed must follow");
+    }
+
+    #[test]
+    fn scenario_flags_set_chaos_rates_and_validate() {
+        let mut a = scan(&["--loss-rate", "0.5"]);
+        let s = apply_scenario_flags(&mut a, Scenario::chaos(1)).unwrap();
+        assert_eq!(s.chaos.loss_rate, 0.5);
+        let mut a = scan(&["--loss-rate", "2.0"]);
+        assert!(apply_scenario_flags(&mut a, Scenario::chaos(1)).is_err());
+        let mut a = scan(&["--scale", "-4"]);
+        assert!(apply_scenario_flags(&mut a, Scenario::intra(1)).is_err());
+    }
+}

@@ -1,18 +1,13 @@
-//! The per-experiment index: every table and figure as a named,
-//! runnable experiment with paper-vs-measured comparisons.
+//! The per-experiment index: every table and figure as a named
+//! artifact identity with paper-vs-measured comparison rows.
 //!
-//! `Experiment::all()` enumerates the paper's artifacts (Tables 1, 2, 4
-//! and Figures 2–18) plus the three ablations from DESIGN.md. Each
-//! experiment renders its artifact and emits [`Comparison`] rows that
-//! EXPERIMENTS.md and the bench harness consume.
+//! [`Experiment`] is pure metadata — the enum, paper order, and titles.
+//! How an artifact is *rendered* lives in the [`crate::artifacts`]
+//! registry, and what studies it needs is resolved by the scenario
+//! engine ([`crate::scenario`]); this module no longer runs anything.
 
-use crate::inter::InterDcStudy;
-use crate::intra::IntraDcStudy;
-use crate::report;
-use dcnr_backbone::PaperModels;
-use dcnr_faults::{calibration, RootCause};
-use dcnr_sev::SevLevel;
-use dcnr_topology::{DeviceType, NetworkDesign};
+use crate::artifacts;
+use crate::scenario::StudyKind;
 use std::fmt;
 
 /// One paper artifact (or ablation) to reproduce.
@@ -85,16 +80,38 @@ impl Experiment {
         Experiment::Table4,
     ];
 
-    /// Whether the experiment needs the intra-DC study (vs. backbone).
+    /// Whether the experiment needs the intra-DC study (vs. backbone),
+    /// as declared by its registry descriptor.
     pub fn is_intra(self) -> bool {
-        !matches!(
-            self,
-            Experiment::Fig15
-                | Experiment::Fig16
-                | Experiment::Fig17
-                | Experiment::Fig18
-                | Experiment::Table4
-        )
+        artifacts::descriptor(self).study == StudyKind::Intra
+    }
+
+    /// Short stable key, used to qualify metric names when comparisons
+    /// from many artifacts are flattened into one list (the backbone
+    /// figures all emit "median (h)", "fit a", ... locally).
+    pub fn key(self) -> &'static str {
+        match self {
+            Experiment::Table1 => "table1",
+            Experiment::Table2 => "table2",
+            Experiment::Table4 => "table4",
+            Experiment::Fig2 => "fig2",
+            Experiment::Fig3 => "fig3",
+            Experiment::Fig4 => "fig4",
+            Experiment::Fig5 => "fig5",
+            Experiment::Fig6 => "fig6",
+            Experiment::Fig7 => "fig7",
+            Experiment::Fig8 => "fig8",
+            Experiment::Fig9 => "fig9",
+            Experiment::Fig10 => "fig10",
+            Experiment::Fig11 => "fig11",
+            Experiment::Fig12 => "fig12",
+            Experiment::Fig13 => "fig13",
+            Experiment::Fig14 => "fig14",
+            Experiment::Fig15 => "fig15",
+            Experiment::Fig16 => "fig16",
+            Experiment::Fig17 => "fig17",
+            Experiment::Fig18 => "fig18",
+        }
     }
 
     /// Short title.
@@ -167,549 +184,9 @@ pub struct ExperimentOutcome {
     pub comparisons: Vec<Comparison>,
 }
 
-impl Experiment {
-    /// Runs the experiment against pre-computed studies.
-    pub fn run(self, intra: &IntraDcStudy, inter: &InterDcStudy) -> ExperimentOutcome {
-        match self {
-            Experiment::Table1 => table1(intra),
-            Experiment::Table2 => table2(intra),
-            Experiment::Table4 => table4(inter),
-            Experiment::Fig2 => fig2(intra),
-            Experiment::Fig3 => fig3(intra),
-            Experiment::Fig4 => fig4(intra),
-            Experiment::Fig5 => fig5(intra),
-            Experiment::Fig6 => fig6(intra),
-            Experiment::Fig7 => fig7(intra),
-            Experiment::Fig8 => fig8(intra),
-            Experiment::Fig9 => fig9(intra),
-            Experiment::Fig10 => fig10(intra),
-            Experiment::Fig11 => fig11(intra),
-            Experiment::Fig12 => fig12(intra),
-            Experiment::Fig13 => fig13(intra),
-            Experiment::Fig14 => fig14(intra),
-            Experiment::Fig15 => backbone_dist(self, inter),
-            Experiment::Fig16 => backbone_dist(self, inter),
-            Experiment::Fig17 => backbone_dist(self, inter),
-            Experiment::Fig18 => backbone_dist(self, inter),
-        }
-    }
-}
-
-fn cmp(metric: impl Into<String>, paper: f64, measured: f64) -> Comparison {
-    Comparison {
-        metric: metric.into(),
-        paper,
-        measured,
-    }
-}
-
-fn table1(s: &IntraDcStudy) -> ExperimentOutcome {
-    let report = s.table1_automated_repair();
-    let mut comparisons = Vec::new();
-    let anchors = [
-        (DeviceType::Core, 0.75, 0.0, 240.0, 30.1),
-        (DeviceType::Fsw, 0.995, 2.25, 3.0 * 86_400.0, 4.45),
-        (DeviceType::Rsw, 0.997, 2.22, 86_400.0, 2.91),
-    ];
-    for (t, ratio, prio, wait, exec) in anchors {
-        if let Some(row) = report.row(t) {
-            comparisons.push(cmp(format!("{t} repair ratio"), ratio, row.repair_ratio()));
-            comparisons.push(cmp(format!("{t} avg priority"), prio, row.avg_priority));
-            comparisons.push(cmp(format!("{t} avg wait (s)"), wait, row.avg_wait_secs));
-            comparisons.push(cmp(format!("{t} avg repair (s)"), exec, row.avg_exec_secs));
-        }
-    }
-    ExperimentOutcome {
-        experiment: Experiment::Table1,
-        rendered: report::render_table1(&report),
-        comparisons,
-    }
-}
-
-fn table2(s: &IntraDcStudy) -> ExperimentOutcome {
-    let shares = s.table2_root_causes();
-    let comparisons = RootCause::ALL
-        .iter()
-        .map(|&c| {
-            cmp(
-                format!("{c} share"),
-                c.paper_share() / 0.99, // paper column sums to 0.99
-                shares.get(&c).copied().unwrap_or(0.0),
-            )
-        })
-        .collect();
-    ExperimentOutcome {
-        experiment: Experiment::Table2,
-        rendered: report::render_table2(&shares),
-        comparisons,
-    }
-}
-
-fn fig2(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig2_root_cause_by_device();
-    let mut rendered = String::from("Fig. 2: per-root-cause device mix\n");
-    let mut comparisons = Vec::new();
-    for (cause, mix) in &data {
-        rendered.push_str(&format!("{cause:<20}"));
-        for t in DeviceType::INTRA_DC {
-            rendered.push_str(&format!(
-                " {}={:.2}",
-                t,
-                mix.get(&t).copied().unwrap_or(0.0)
-            ));
-        }
-        rendered.push('\n');
-    }
-    // §5.1: ESWs record no bug-rooted SEVs.
-    let esw_bug = data
-        .get(&RootCause::Bug)
-        .and_then(|m| m.get(&DeviceType::Esw))
-        .copied()
-        .unwrap_or(0.0);
-    comparisons.push(cmp("ESW share of bug SEVs", 0.0, esw_bug));
-    ExperimentOutcome {
-        experiment: Experiment::Fig2,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig3(s: &IntraDcStudy) -> ExperimentOutcome {
-    let rates = s.fig3_incident_rate();
-    let rendered =
-        report::render_type_year_table("Fig. 3: incidents per device per year", &rates, 4);
-    let comparisons = vec![
-        cmp("CSA rate 2013", 1.7, rates[&DeviceType::Csa].get(2013)),
-        cmp("CSA rate 2014", 1.5, rates[&DeviceType::Csa].get(2014)),
-        cmp(
-            "Core rate 2017",
-            8760.0 / calibration::MTBI_CORE_2017_HOURS,
-            rates[&DeviceType::Core].get(2017),
-        ),
-        cmp(
-            "RSW rate 2017",
-            8760.0 / calibration::MTBI_RSW_2017_HOURS,
-            rates[&DeviceType::Rsw].get(2017),
-        ),
-    ];
-    ExperimentOutcome {
-        experiment: Experiment::Fig3,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig4(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig4_severity_by_device();
-    let mut rendered = String::from("Fig. 4: 2017 SEV levels by device type\n");
-    for (level, (share, mix)) in &data {
-        rendered.push_str(&format!("{level} (N={:.0}%)", share * 100.0));
-        for t in DeviceType::INTRA_DC {
-            rendered.push_str(&format!(
-                " {}={:.2}",
-                t,
-                mix.get(&t).copied().unwrap_or(0.0)
-            ));
-        }
-        rendered.push('\n');
-    }
-    let share = |l: SevLevel| data.get(&l).map(|(s, _)| *s).unwrap_or(0.0);
-    let comparisons = vec![
-        cmp("SEV3 share 2017", 0.82, share(SevLevel::Sev3)),
-        cmp("SEV2 share 2017", 0.13, share(SevLevel::Sev2)),
-        cmp("SEV1 share 2017", 0.05, share(SevLevel::Sev1)),
-    ];
-    ExperimentOutcome {
-        experiment: Experiment::Fig4,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig5(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig5_sev_rates();
-    let mut rendered = String::from("Fig. 5: SEVs per device by severity\n");
-    for (level, series) in &data {
-        rendered.push_str(&format!("{level:<6}"));
-        for (y, v) in series.points() {
-            rendered.push_str(&format!(" {y}:{v:.2e}"));
-        }
-        rendered.push('\n');
-    }
-    // The inflection claim: SEV3 rate peaks mid-study, not in 2017.
-    let sev3 = &data[&SevLevel::Sev3];
-    let peak = sev3
-        .points()
-        .iter()
-        .map(|&(_, v)| v)
-        .fold(f64::MIN, f64::max);
-    let comparisons = vec![cmp(
-        "SEV3 2017 rate / peak rate < 1",
-        0.5,
-        sev3.get(2017) / peak,
-    )];
-    ExperimentOutcome {
-        experiment: Experiment::Fig5,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig6(s: &IntraDcStudy) -> ExperimentOutcome {
-    let (pts, r) = s.fig6_switches_vs_employees();
-    let rendered = report::render_scatter("Fig. 6: normalized switches vs employees", &pts, r);
-    let comparisons = vec![cmp("switches-vs-employees Pearson r", 1.0, r)];
-    ExperimentOutcome {
-        experiment: Experiment::Fig6,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig7(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig7_incident_fractions();
-    let rendered =
-        report::render_type_year_table("Fig. 7: fraction of incidents by device type", &data, 3);
-    let comparisons = vec![
-        cmp(
-            "Core fraction 2017",
-            calibration::SHARE_CORE_2017,
-            data[&DeviceType::Core].get(2017),
-        ),
-        cmp(
-            "RSW fraction 2017",
-            calibration::SHARE_RSW_2017,
-            data[&DeviceType::Rsw].get(2017),
-        ),
-        cmp("FSW fraction 2017", 0.08, data[&DeviceType::Fsw].get(2017)),
-        cmp("ESW fraction 2017", 0.03, data[&DeviceType::Esw].get(2017)),
-        cmp("SSW fraction 2017", 0.02, data[&DeviceType::Ssw].get(2017)),
-    ];
-    ExperimentOutcome {
-        experiment: Experiment::Fig7,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig8(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig8_normalized_incidents();
-    let rendered = report::render_type_year_table(
-        "Fig. 8: incidents normalized to the 2017 SEV total",
-        &data,
-        3,
-    );
-    // 9.4× growth of the total.
-    let total_2011: f64 = data.values().map(|s| s.get(2011)).sum();
-    let total_2017: f64 = data.values().map(|s| s.get(2017)).sum();
-    let comparisons = vec![cmp(
-        "total SEV growth 2011→2017",
-        calibration::SEV_GROWTH_2011_2017,
-        if total_2011 > 0.0 {
-            total_2017 / total_2011
-        } else {
-            0.0
-        },
-    )];
-    ExperimentOutcome {
-        experiment: Experiment::Fig8,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig9(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig9_design_incidents();
-    let mut rendered = String::from("Fig. 9: incidents by network design (2017 baseline)\n");
-    for (d, series) in &data {
-        rendered.push_str(&format!("{d:<8}"));
-        for (y, v) in series.points() {
-            rendered.push_str(&format!(" {y}:{v:.3}"));
-        }
-        rendered.push('\n');
-    }
-    let fabric = data[&NetworkDesign::Fabric].get(2017);
-    let cluster = data[&NetworkDesign::Cluster].get(2017);
-    let comparisons = vec![cmp(
-        "fabric/cluster incidents 2017",
-        0.5,
-        if cluster > 0.0 { fabric / cluster } else { 0.0 },
-    )];
-    ExperimentOutcome {
-        experiment: Experiment::Fig9,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig10(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig10_design_rate();
-    let mut rendered = String::from("Fig. 10: incidents per device by network design\n");
-    for (d, series) in &data {
-        rendered.push_str(&format!("{d:<8}"));
-        for (y, v) in series.points() {
-            rendered.push_str(&format!(" {y}:{v:.4}"));
-        }
-        rendered.push('\n');
-    }
-    let cluster_2017 = data[&NetworkDesign::Cluster].get(2017);
-    let fabric_2017 = data[&NetworkDesign::Fabric].get(2017);
-    let comparisons = vec![cmp(
-        "cluster/fabric per-device rate 2017",
-        3.2,
-        if fabric_2017 > 0.0 {
-            cluster_2017 / fabric_2017
-        } else {
-            0.0
-        },
-    )];
-    ExperimentOutcome {
-        experiment: Experiment::Fig10,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig11(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig11_population_fractions();
-    let rendered =
-        report::render_type_year_table("Fig. 11: population fraction by device type", &data, 4);
-    let comparisons = vec![
-        cmp(
-            "RSW population fraction 2017",
-            0.9,
-            data[&DeviceType::Rsw].get(2017),
-        ),
-        cmp(
-            "FSW fraction 2014 (pre-fabric)",
-            0.0,
-            data[&DeviceType::Fsw].get(2014),
-        ),
-    ];
-    ExperimentOutcome {
-        experiment: Experiment::Fig11,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig12(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig12_mtbi();
-    let rendered = report::render_sparse_year_table(
-        "Fig. 12: MTBI (device-hours)",
-        &data,
-        s.first_year(),
-        s.last_year(),
-    );
-    let at = |t: DeviceType, y: i32| {
-        data.get(&t)
-            .and_then(|pts| pts.iter().find(|&&(py, _)| py == y))
-            .map(|&(_, v)| v)
-            .unwrap_or(0.0)
-    };
-    let (fabric, cluster) = s.design_mtbi(2017);
-    let mut comparisons = vec![
-        cmp(
-            "Core MTBI 2017 (h)",
-            calibration::MTBI_CORE_2017_HOURS,
-            at(DeviceType::Core, 2017),
-        ),
-        cmp(
-            "RSW MTBI 2017 (h)",
-            calibration::MTBI_RSW_2017_HOURS,
-            at(DeviceType::Rsw, 2017),
-        ),
-    ];
-    if let (Some(f), Some(c)) = (fabric, cluster) {
-        comparisons.push(cmp("fabric/cluster MTBI 2017", 3.2, f / c));
-        comparisons.push(cmp(
-            "fabric MTBI 2017 (h)",
-            calibration::MTBI_FABRIC_2017_HOURS,
-            f,
-        ));
-        comparisons.push(cmp(
-            "cluster MTBI 2017 (h)",
-            calibration::MTBI_CLUSTER_2017_HOURS,
-            c,
-        ));
-    }
-    ExperimentOutcome {
-        experiment: Experiment::Fig12,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig13(s: &IntraDcStudy) -> ExperimentOutcome {
-    let data = s.fig13_p75irt();
-    let rendered = report::render_sparse_year_table(
-        "Fig. 13: p75 incident resolution time (h)",
-        &data,
-        s.first_year(),
-        s.last_year(),
-    );
-    // The paper's qualitative claim: p75IRT increased across types.
-    let rsw = data.get(&DeviceType::Rsw).cloned().unwrap_or_default();
-    let growth = match (rsw.first(), rsw.last()) {
-        (Some(&(_, a)), Some(&(_, b))) if a > 0.0 => b / a,
-        _ => 0.0,
-    };
-    let comparisons = vec![cmp("RSW p75IRT growth 2011→2017 (>1)", 30.0, growth)];
-    ExperimentOutcome {
-        experiment: Experiment::Fig13,
-        rendered,
-        comparisons,
-    }
-}
-
-fn fig14(s: &IntraDcStudy) -> ExperimentOutcome {
-    let (pts, r) = s.fig14_irt_vs_fleet();
-    let rendered = report::render_scatter("Fig. 14: p75IRT vs normalized fleet size", &pts, r);
-    let comparisons = vec![cmp("p75IRT-vs-fleet Pearson r (positive)", 1.0, r)];
-    ExperimentOutcome {
-        experiment: Experiment::Fig14,
-        rendered,
-        comparisons,
-    }
-}
-
-fn backbone_dist(which: Experiment, s: &InterDcStudy) -> ExperimentOutcome {
-    let m = s.metrics();
-    let (dist, model, stats_fn): (_, _, dcnr_backbone::models::ReportedStats) = match which {
-        Experiment::Fig15 => (
-            &m.edge_mtbf,
-            PaperModels::edge_mtbf(),
-            PaperModels::edge_mtbf_stats(),
-        ),
-        Experiment::Fig16 => (
-            &m.edge_mttr,
-            PaperModels::edge_mttr(),
-            PaperModels::edge_mttr_stats(),
-        ),
-        Experiment::Fig17 => (
-            &m.vendor_mtbf,
-            PaperModels::vendor_mtbf(),
-            PaperModels::vendor_mtbf_stats(),
-        ),
-        Experiment::Fig18 => (
-            &m.vendor_mttr,
-            PaperModels::vendor_mttr(),
-            PaperModels::vendor_mttr_stats(),
-        ),
-        _ => unreachable!("backbone_dist only handles Figs. 15-18"),
-    };
-    let rendered = report::render_fitted_distribution(which.title(), dist, &model);
-    let summary = dist.summary();
-    let mut comparisons = vec![
-        cmp("median (h)", stats_fn.median, summary.median()),
-        cmp("p90 (h)", stats_fn.p90, summary.p90()),
-    ];
-    if let Some(fit) = &dist.fit {
-        comparisons.push(cmp("fit a", model.a, fit.a));
-        comparisons.push(cmp("fit b", model.b, fit.b));
-        if let Some(r2) = model.paper_r2 {
-            comparisons.push(cmp("fit R²", r2, fit.r2));
-        }
-    }
-    ExperimentOutcome {
-        experiment: which,
-        rendered,
-        comparisons,
-    }
-}
-
-fn table4(s: &InterDcStudy) -> ExperimentOutcome {
-    let rows = &s.metrics().continents;
-    let rendered = report::render_table4(rows);
-    let mut comparisons = Vec::new();
-    for row in rows {
-        comparisons.push(cmp(
-            format!("{} edge share", row.continent),
-            row.continent.edge_share(),
-            row.distribution,
-        ));
-        comparisons.push(cmp(
-            format!("{} MTBF (h)", row.continent),
-            row.continent.mtbf_hours(),
-            row.mtbf_hours,
-        ));
-        comparisons.push(cmp(
-            format!("{} MTTR (h)", row.continent),
-            row.continent.mttr_hours(),
-            row.mttr_hours,
-        ));
-    }
-    ExperimentOutcome {
-        experiment: Experiment::Table4,
-        rendered,
-        comparisons,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::intra::StudyConfig;
-    use dcnr_backbone::topo::BackboneParams;
-    use dcnr_backbone::BackboneSimConfig;
-
-    fn studies() -> (IntraDcStudy, InterDcStudy) {
-        let intra = IntraDcStudy::run(StudyConfig {
-            scale: 2.0,
-            seed: 3,
-            ..Default::default()
-        });
-        let inter = InterDcStudy::run(BackboneSimConfig {
-            params: BackboneParams {
-                edges: 60,
-                vendors: 25,
-                min_links_per_edge: 3,
-            },
-            seed: 3,
-            ..Default::default()
-        });
-        (intra, inter)
-    }
-
-    #[test]
-    fn all_experiments_run_and_render() {
-        let (intra, inter) = studies();
-        for e in Experiment::ALL {
-            let out = e.run(&intra, &inter);
-            assert!(!out.rendered.is_empty(), "{e} rendered nothing");
-            assert!(!out.comparisons.is_empty(), "{e} produced no comparisons");
-            for c in &out.comparisons {
-                assert!(c.measured.is_finite(), "{e}: {} not finite", c.metric);
-            }
-        }
-    }
-
-    #[test]
-    fn headline_comparisons_within_tolerance() {
-        let (intra, inter) = studies();
-        // Table 1 repair ratios: tight.
-        let t1 = Experiment::Table1.run(&intra, &inter);
-        for c in t1
-            .comparisons
-            .iter()
-            .filter(|c| c.metric.contains("repair ratio"))
-        {
-            assert!(c.relative_error() < 0.05, "{}: {c:?}", c.metric);
-        }
-        // Fig. 7 2017 shares: within 6 points absolute.
-        let f7 = Experiment::Fig7.run(&intra, &inter);
-        for c in &f7.comparisons {
-            assert!((c.measured - c.paper).abs() < 0.06, "{}: {c:?}", c.metric);
-        }
-        // Fig. 15 fit parameters: same regime.
-        let f15 = Experiment::Fig15.run(&intra, &inter);
-        let b = f15
-            .comparisons
-            .iter()
-            .find(|c| c.metric == "fit b")
-            .expect("fit b");
-        assert!(b.relative_error() < 0.6, "{b:?}");
-    }
 
     #[test]
     fn experiment_metadata() {

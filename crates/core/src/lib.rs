@@ -17,6 +17,18 @@
 //! * [`experiments`] — the per-experiment index: every table/figure as
 //!   a named experiment with its measured result and the paper's
 //!   reported value, powering EXPERIMENTS.md and the bench harness.
+//! * [`scenario`] — the scenario engine: a [`Scenario`] (study kind +
+//!   scale + seed + hazard/backbone/chaos knobs) lowers to a
+//!   [`RunPlan`], and a [`RunContext`] executes each required study
+//!   exactly once, caching its output for every artifact.
+//! * [`artifacts`] — the artifact registry: one descriptor per paper
+//!   table/figure (id, required study, paper baseline, render fn), all
+//!   pulling from the shared [`RunContext`].
+//! * [`sweep`] — the multi-seed sweep runner: N derived-seed replicas
+//!   on a fixed worker pool, folded into cross-seed confidence bands
+//!   ([`dcnr_stats::aggregate`]); byte-identical output for any worker
+//!   count.
+//! * [`cli`] — the shared flag scanner behind every `dcnr` subcommand.
 //! * [`report`] — plain-text rendering of tables and figure series in
 //!   the same rows/columns the paper prints.
 //!
@@ -36,14 +48,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifacts;
+pub mod cli;
 pub mod experiments;
 pub mod inter;
 pub mod intra;
 pub mod report;
+pub mod scenario;
+pub mod sweep;
 
-pub use experiments::{Experiment, ExperimentOutcome};
+pub use artifacts::Artifact;
+pub use cli::{apply_scenario_flags, ArgScanner};
+pub use experiments::{Comparison, Experiment, ExperimentOutcome};
 pub use inter::InterDcStudy;
 pub use intra::{IntraDcStudy, StudyConfig};
+pub use scenario::{RunContext, RunPlan, Scenario, ScenarioKind, ScenarioOutcome, StudyKind};
+pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SweepRow};
 
 // Re-export the substrate crates under one roof so downstream users and
 // the examples need a single dependency.

@@ -1,0 +1,573 @@
+//! The scenario engine: one run-plan layer behind every study driver.
+//!
+//! A [`Scenario`] names a workload (study kind + scale + seed +
+//! hazard/backbone/chaos knobs). It lowers to a [`RunPlan`] — which
+//! studies must execute and which artifacts they feed — and a
+//! [`RunContext`] executes each required study **exactly once**,
+//! caching its output so every artifact pulls from the shared context
+//! instead of re-running pipelines. The CLI's `intra`, `backbone`, and
+//! `chaos` subcommands, the sweep runner, the bench harness, and the
+//! examples all drive the same engine.
+//!
+//! Dataflow: `Scenario` → [`Scenario::plan`] → `RunPlan` →
+//! [`RunContext::execute`] → [`ScenarioOutcome`].
+
+use crate::artifacts;
+use crate::experiments::{Comparison, Experiment, ExperimentOutcome};
+use crate::inter::InterDcStudy;
+use crate::intra::{IntraDcStudy, StudyConfig};
+use dcnr_chaos::{run_study, ChaosConfig, ChaosStudyOutput, Tolerance};
+use dcnr_faults::hazard::HazardConfig;
+use dcnr_sim::derive_seed;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::OnceLock;
+
+/// A study pipeline a scenario may require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StudyKind {
+    /// The seven-year intra-DC study (§5).
+    Intra,
+    /// The eighteen-month backbone study (§6).
+    Backbone,
+    /// The two-arm chaos-ingestion study (clean vs. fault-injected).
+    Chaos,
+}
+
+/// Which workload a scenario runs — the former three drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// Tables 1–2 and Figures 2–14 from the intra-DC study.
+    Intra,
+    /// Figures 15–18 and Table 4 from the backbone study.
+    Backbone,
+    /// The chaos-ingestion drill with clean-vs-perturbed deviations.
+    Chaos,
+}
+
+impl ScenarioKind {
+    /// Parses a CLI scenario name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "intra" => Some(Self::Intra),
+            "backbone" => Some(Self::Backbone),
+            "chaos" => Some(Self::Chaos),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Intra => "intra",
+            Self::Backbone => "backbone",
+            Self::Chaos => "chaos",
+        }
+    }
+}
+
+impl fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One fully-specified workload: everything a run needs except the
+/// execution strategy (single run vs. sweep, thread count).
+#[derive(Debug, Clone, Copy)]
+pub struct Scenario {
+    /// Which workload to run.
+    pub kind: ScenarioKind,
+    /// Master seed. Every derived stream — intra, backbone, chaos
+    /// injection — is a stable function of this one value.
+    pub seed: u64,
+    /// Intra-DC fleet scale multiplier.
+    pub scale: f64,
+    /// Hazard-model knobs (automation / drain-policy ablations).
+    pub hazard: HazardConfig,
+    /// Backbone topology parameters (edges, vendors, links).
+    pub backbone: dcnr_backbone::topo::BackboneParams,
+    /// Chaos-injection knobs. Its embedded seed is rederived from
+    /// [`Scenario::seed`] by [`Scenario::with_seed`], so one scenario
+    /// seed still controls the whole run.
+    pub chaos: ChaosConfig,
+    /// Tolerances the chaos deviations are held to.
+    pub tolerance: Tolerance,
+}
+
+impl Scenario {
+    /// The intra-DC scenario at the paper-default scale.
+    pub fn intra(seed: u64) -> Self {
+        Self {
+            kind: ScenarioKind::Intra,
+            seed,
+            scale: 10.0,
+            hazard: HazardConfig::default(),
+            backbone: dcnr_backbone::topo::BackboneParams::default(),
+            chaos: ChaosConfig::drill(derive_seed(seed, "scenario.chaos")),
+            tolerance: Tolerance::default(),
+        }
+        .with_seed(seed)
+    }
+
+    /// The backbone scenario at the paper-default topology.
+    pub fn backbone(seed: u64) -> Self {
+        Self {
+            kind: ScenarioKind::Backbone,
+            ..Self::intra(seed)
+        }
+    }
+
+    /// The chaos drill scenario (drill fault mix, default tolerances).
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            kind: ScenarioKind::Chaos,
+            ..Self::intra(seed)
+        }
+    }
+
+    /// Rebinds the scenario to `seed`, rederiving every embedded
+    /// sub-seed. This is what the sweep runner uses to mint replicas:
+    /// the replica differs from the base scenario *only* in seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self.chaos.seed = derive_seed(seed, "scenario.chaos");
+        self
+    }
+
+    /// Validates the knobs that the engine's own expectations depend on.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.scale.is_finite() || self.scale <= 0.0 {
+            return Err("scale must be positive".into());
+        }
+        if self.backbone.edges < 2 || self.backbone.vendors < 1 {
+            return Err("need at least 2 edges and 1 vendor".into());
+        }
+        self.chaos.validate()
+    }
+
+    /// Lowers the scenario to its run plan.
+    pub fn plan(&self) -> RunPlan {
+        let artifacts: Vec<Experiment> = match self.kind {
+            ScenarioKind::Intra => artifacts::registry()
+                .iter()
+                .filter(|a| a.study == StudyKind::Intra)
+                .map(|a| a.id)
+                .collect(),
+            ScenarioKind::Backbone => artifacts::registry()
+                .iter()
+                .filter(|a| a.study == StudyKind::Backbone)
+                .map(|a| a.id)
+                .collect(),
+            ScenarioKind::Chaos => Vec::new(),
+        };
+        let mut studies: Vec<StudyKind> = Vec::new();
+        if self.kind == ScenarioKind::Chaos {
+            studies.push(StudyKind::Chaos);
+        }
+        for e in &artifacts {
+            let s = artifacts::descriptor(*e).study;
+            if !studies.contains(&s) {
+                studies.push(s);
+            }
+        }
+        RunPlan {
+            scenario: *self,
+            studies,
+            artifacts,
+        }
+    }
+
+    /// The intra-DC study configuration this scenario implies.
+    pub fn intra_config(&self) -> StudyConfig {
+        StudyConfig {
+            scale: self.scale,
+            seed: self.seed,
+            hazard: self.hazard,
+            ..Default::default()
+        }
+    }
+
+    /// The backbone simulation configuration this scenario implies.
+    pub fn backbone_config(&self) -> dcnr_backbone::BackboneSimConfig {
+        dcnr_backbone::BackboneSimConfig {
+            params: self.backbone,
+            seed: self.seed,
+            ..Default::default()
+        }
+    }
+}
+
+/// What a scenario resolves to before anything runs: the studies it
+/// needs (each executed exactly once) and the artifacts they feed.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    /// The scenario this plan was lowered from.
+    pub scenario: Scenario,
+    /// Required studies, deduplicated, in execution order.
+    pub studies: Vec<StudyKind>,
+    /// Artifacts to render, in paper order (empty for chaos, whose
+    /// output is the deviation report rather than paper artifacts).
+    pub artifacts: Vec<Experiment>,
+}
+
+/// The shared execution context: runs each required study exactly once
+/// and caches its output for every artifact that needs it.
+///
+/// Thread-safe (`OnceLock` caches), so one context can be shared across
+/// a process — the bench harness keeps a `static` one.
+pub struct RunContext {
+    scenario: Scenario,
+    intra: OnceLock<IntraDcStudy>,
+    inter: OnceLock<InterDcStudy>,
+    chaos: OnceLock<ChaosStudyOutput>,
+}
+
+impl RunContext {
+    /// A context that will lazily run whatever `scenario` requires.
+    pub fn new(scenario: Scenario) -> Self {
+        Self {
+            scenario,
+            intra: OnceLock::new(),
+            inter: OnceLock::new(),
+            chaos: OnceLock::new(),
+        }
+    }
+
+    /// A context seeded with pre-built studies (bench fixtures, tests).
+    /// The scenario is reconstructed from the studies' own configs; no
+    /// study will be re-run.
+    pub fn from_studies(intra: IntraDcStudy, inter: InterDcStudy) -> Self {
+        let scenario = Scenario {
+            scale: intra.config().scale,
+            hazard: intra.config().hazard,
+            backbone: inter.config().params,
+            ..Scenario::intra(intra.config().seed)
+        };
+        let ctx = Self::new(scenario);
+        let _ = ctx.intra.set(intra);
+        let _ = ctx.inter.set(inter);
+        ctx
+    }
+
+    /// The scenario this context executes.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The intra-DC study (run on first use, then cached).
+    pub fn intra(&self) -> &IntraDcStudy {
+        self.intra
+            .get_or_init(|| IntraDcStudy::run(self.scenario.intra_config()))
+    }
+
+    /// The backbone study (run on first use, then cached).
+    pub fn inter(&self) -> &InterDcStudy {
+        self.inter
+            .get_or_init(|| InterDcStudy::run(self.scenario.backbone_config()))
+    }
+
+    /// The chaos study (run on first use, then cached).
+    pub fn chaos(&self) -> &ChaosStudyOutput {
+        self.chaos.get_or_init(|| {
+            run_study(
+                self.scenario.backbone_config(),
+                &self.scenario.chaos,
+                self.scenario.tolerance,
+            )
+        })
+    }
+
+    /// Ensures `kind` has executed (idempotent).
+    pub fn ensure(&self, kind: StudyKind) {
+        match kind {
+            StudyKind::Intra => {
+                self.intra();
+            }
+            StudyKind::Backbone => {
+                self.inter();
+            }
+            StudyKind::Chaos => {
+                self.chaos();
+            }
+        }
+    }
+
+    /// Renders one artifact from the cached studies via its registry
+    /// descriptor.
+    pub fn artifact(&self, e: Experiment) -> ExperimentOutcome {
+        (artifacts::descriptor(e).render)(self)
+    }
+
+    /// Executes the scenario's full plan and renders the report.
+    pub fn execute(&self) -> ScenarioOutcome {
+        let plan = self.scenario.plan();
+        for kind in &plan.studies {
+            self.ensure(*kind);
+        }
+        match self.scenario.kind {
+            ScenarioKind::Intra | ScenarioKind::Backbone => self.execute_artifacts(&plan),
+            ScenarioKind::Chaos => self.execute_chaos(),
+        }
+    }
+
+    fn execute_artifacts(&self, plan: &RunPlan) -> ScenarioOutcome {
+        let mut rendered = String::new();
+        let _ = writeln!(rendered, "{}", self.dataset_line());
+        let artifacts: Vec<ExperimentOutcome> =
+            plan.artifacts.iter().map(|&e| self.artifact(e)).collect();
+        let mut comparisons = Vec::new();
+        for out in &artifacts {
+            let _ = writeln!(rendered);
+            let _ = writeln!(
+                rendered,
+                "----------------------------------------------------------"
+            );
+            let _ = writeln!(rendered, "{}", out.experiment.title());
+            let _ = writeln!(
+                rendered,
+                "----------------------------------------------------------"
+            );
+            let _ = writeln!(rendered, "{}", out.rendered);
+            for c in &out.comparisons {
+                let _ = writeln!(
+                    rendered,
+                    "  {:<40} paper {:>12.4}  measured {:>12.4}",
+                    c.metric, c.paper, c.measured
+                );
+            }
+            // Qualify metric names with the artifact key: the flattened
+            // list must be joinable by name across sweep replicas, and
+            // Figs. 15-18 all emit "median (h)", "fit a", ... locally.
+            comparisons.extend(out.comparisons.iter().map(|c| Comparison {
+                metric: format!("{} {}", out.experiment.key(), c.metric),
+                paper: c.paper,
+                measured: c.measured,
+            }));
+        }
+        ScenarioOutcome {
+            scenario: self.scenario,
+            artifacts,
+            comparisons,
+            rendered,
+            passed: true,
+        }
+    }
+
+    fn execute_chaos(&self) -> ScenarioOutcome {
+        let out = self.chaos();
+        let mut rendered = String::new();
+        let _ = writeln!(rendered, "{}", out.report);
+        let _ = writeln!(rendered);
+        let _ = writeln!(
+            rendered,
+            "paper statistics, clean vs chaos (Figures 15-18, Table 4):"
+        );
+        let mut comparisons = Vec::new();
+        for d in &out.deviations {
+            let _ = writeln!(rendered, "  {d}");
+            // The sweepable value is the *drift*: ideal is zero, so a
+            // cross-seed band on it reads directly against the limit.
+            comparisons.push(Comparison {
+                metric: format!("{} drift", d.metric),
+                paper: 0.0,
+                measured: d.deviation,
+            });
+        }
+        let _ = writeln!(rendered);
+        let _ = writeln!(
+            rendered,
+            "write-path drill (SEV store + remediation queue):"
+        );
+        let _ = writeln!(
+            rendered,
+            "  sev         : {} committed, {} transient failures, {} abandoned, max delay {}",
+            out.drill.sev.committed,
+            out.drill.sev.transient_failures,
+            out.drill.sev.abandoned,
+            out.drill.sev.max_delay,
+        );
+        let _ = writeln!(
+            rendered,
+            "  remediation : {} committed, {} transient failures, {} abandoned, max delay {}",
+            out.drill.remediation.committed,
+            out.drill.remediation.transient_failures,
+            out.drill.remediation.abandoned,
+            out.drill.remediation.max_delay,
+        );
+        let _ = writeln!(rendered);
+        let _ = writeln!(rendered, "annotation for regenerated tables/figures:");
+        let _ = writeln!(rendered, "  {}", out.report.annotation());
+        let passed = out.within_tolerance();
+        let _ = writeln!(rendered);
+        if passed {
+            let _ = writeln!(
+                rendered,
+                "verdict: paper statistics within tolerance under injected faults"
+            );
+        } else {
+            let _ = writeln!(
+                rendered,
+                "verdict: paper statistics drifted outside tolerance under injected faults"
+            );
+        }
+        ScenarioOutcome {
+            scenario: self.scenario,
+            artifacts: Vec::new(),
+            comparisons,
+            rendered,
+            passed,
+        }
+    }
+
+    fn dataset_line(&self) -> String {
+        match self.scenario.kind {
+            ScenarioKind::Intra => {
+                let s = self.intra();
+                format!(
+                    "dataset: {} issues -> {} SEVs (2011-2017)",
+                    s.outcomes().len(),
+                    s.db().len()
+                )
+            }
+            ScenarioKind::Backbone => {
+                let s = self.inter();
+                format!(
+                    "dataset: {} e-mails -> {} tickets (Oct 2016 - Apr 2018)",
+                    s.output().emails.len(),
+                    s.tickets().len()
+                )
+            }
+            ScenarioKind::Chaos => String::new(),
+        }
+    }
+}
+
+/// Everything one scenario execution produces.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Rendered artifacts in plan order (empty for chaos).
+    pub artifacts: Vec<ExperimentOutcome>,
+    /// Every comparison row, flattened in plan order. For chaos these
+    /// are the deviation drifts (paper value 0.0 = no drift).
+    pub comparisons: Vec<Comparison>,
+    /// The full plain-text report (what the CLI prints).
+    pub rendered: String,
+    /// Whether the run passed its own acceptance (always true for
+    /// artifact scenarios; the chaos tolerance verdict otherwise).
+    pub passed: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(kind: ScenarioKind) -> Scenario {
+        Scenario {
+            kind,
+            scale: 1.0,
+            backbone: dcnr_backbone::topo::BackboneParams {
+                edges: 40,
+                vendors: 16,
+                min_links_per_edge: 3,
+            },
+            ..Scenario::intra(0x5CEA)
+        }
+    }
+
+    #[test]
+    fn plan_requires_exactly_the_needed_studies() {
+        let p = small(ScenarioKind::Intra).plan();
+        assert_eq!(p.studies, vec![StudyKind::Intra]);
+        assert_eq!(p.artifacts.len(), 15, "Tables 1-2 + Figs 2-14");
+        let p = small(ScenarioKind::Backbone).plan();
+        assert_eq!(p.studies, vec![StudyKind::Backbone]);
+        assert_eq!(p.artifacts.len(), 5, "Figs 15-18 + Table 4");
+        let p = small(ScenarioKind::Chaos).plan();
+        assert_eq!(p.studies, vec![StudyKind::Chaos]);
+        assert!(p.artifacts.is_empty());
+    }
+
+    #[test]
+    fn context_runs_each_study_once_and_caches() {
+        let ctx = RunContext::new(small(ScenarioKind::Intra));
+        let a = ctx.intra() as *const IntraDcStudy;
+        let b = ctx.intra() as *const IntraDcStudy;
+        assert_eq!(a, b, "second access must hit the cache");
+    }
+
+    #[test]
+    fn intra_execution_does_not_touch_the_backbone() {
+        let ctx = RunContext::new(small(ScenarioKind::Intra));
+        let out = ctx.execute();
+        assert!(out.passed);
+        assert!(ctx.inter.get().is_none(), "backbone must stay unrun");
+        assert!(ctx.chaos.get().is_none(), "chaos must stay unrun");
+        assert_eq!(out.artifacts.len(), 15);
+        assert!(out.rendered.contains("Table 1"));
+        assert!(out.rendered.contains("dataset:"));
+    }
+
+    #[test]
+    fn backbone_execution_does_not_touch_intra() {
+        let ctx = RunContext::new(small(ScenarioKind::Backbone));
+        let out = ctx.execute();
+        assert!(ctx.intra.get().is_none(), "intra must stay unrun");
+        assert_eq!(out.artifacts.len(), 5);
+        assert!(out.rendered.contains("Fig. 15"));
+    }
+
+    #[test]
+    fn chaos_execution_produces_drift_comparisons() {
+        let ctx = RunContext::new(small(ScenarioKind::Chaos));
+        let out = ctx.execute();
+        // The verdict must agree with the study's own tolerance check
+        // (whether it passes depends on topology size and seed).
+        assert_eq!(out.passed, ctx.chaos().within_tolerance());
+        assert_eq!(out.comparisons.len(), 6, "six deviation rows");
+        for c in &out.comparisons {
+            assert_eq!(c.paper, 0.0, "{}: ideal drift is zero", c.metric);
+            assert!(c.measured.is_finite());
+        }
+        assert!(out.rendered.contains("verdict:"));
+    }
+
+    #[test]
+    fn with_seed_rederives_chaos_seed() {
+        let a = small(ScenarioKind::Chaos);
+        let b = a.with_seed(a.seed + 1);
+        assert_ne!(a.chaos.seed, b.chaos.seed);
+        assert_eq!(a.chaos.corrupt_rate, b.chaos.corrupt_rate);
+        // Same seed → identical derivation (idempotent).
+        let c = a.with_seed(a.seed);
+        assert_eq!(a.chaos.seed, c.chaos.seed);
+    }
+
+    #[test]
+    fn validate_rejects_bad_knobs() {
+        let mut s = small(ScenarioKind::Intra);
+        s.scale = 0.0;
+        assert!(s.validate().is_err());
+        let mut s = small(ScenarioKind::Backbone);
+        s.backbone.edges = 1;
+        assert!(s.validate().is_err());
+        let mut s = small(ScenarioKind::Chaos);
+        s.chaos.loss_rate = 2.0;
+        assert!(s.validate().is_err());
+        assert!(small(ScenarioKind::Intra).validate().is_ok());
+    }
+
+    #[test]
+    fn kind_parse_roundtrip() {
+        for k in [
+            ScenarioKind::Intra,
+            ScenarioKind::Backbone,
+            ScenarioKind::Chaos,
+        ] {
+            assert_eq!(ScenarioKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ScenarioKind::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,320 @@
+//! The multi-seed sweep runner: N replicas of one scenario, a fixed
+//! worker pool, and cross-seed confidence bands.
+//!
+//! A sweep takes a base [`Scenario`], mints `seeds` replicas that
+//! differ **only** in master seed (via [`dcnr_sim::seed_sequence`]),
+//! executes them across at most `jobs` scoped worker threads, and folds
+//! every comparison metric into a [`Band`] — mean, spread, and a
+//! bootstrap confidence interval — rendered as "paper value vs.
+//! measured band" rows.
+//!
+//! Determinism contract: the aggregated outcome is **byte-identical**
+//! regardless of worker count. Replica outputs depend only on their
+//! derived seed, results land in per-replica slots (not in completion
+//! order), and aggregation runs single-threaded after the join, drawing
+//! each metric's bootstrap randomness from its own derived stream.
+
+use crate::experiments::Comparison;
+use crate::scenario::{RunContext, Scenario};
+use dcnr_sim::{seed_sequence, stream_rng};
+use dcnr_stats::{aggregate, Band};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How to sweep: the base workload plus replication knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// The scenario every replica runs (each rebound to its own seed).
+    pub base: Scenario,
+    /// Number of replica seeds.
+    pub seeds: u32,
+    /// Worker-pool width. Clamped to at least 1; never affects results.
+    pub jobs: usize,
+    /// Bootstrap resamples per metric.
+    pub resamples: usize,
+    /// Two-sided bootstrap confidence level, e.g. `0.95`.
+    pub confidence: f64,
+}
+
+impl SweepConfig {
+    /// A sweep of `seeds` replicas over `base` with the default
+    /// bootstrap settings (1000 resamples, 95% confidence).
+    pub fn new(base: Scenario, seeds: u32, jobs: usize) -> Self {
+        Self {
+            base,
+            seeds,
+            jobs,
+            resamples: 1000,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// One aggregated metric: the paper's point value against the band of
+/// per-seed measurements.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Metric name (as emitted by the artifact comparisons).
+    pub metric: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// The cross-seed measurement band.
+    pub band: Band,
+}
+
+/// Everything a sweep produces.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The configuration that ran.
+    pub config: SweepConfig,
+    /// The derived replica seeds, in replica order.
+    pub replica_seeds: Vec<u64>,
+    /// How many replicas passed their own acceptance verdict.
+    pub passed_replicas: usize,
+    /// Aggregated rows, in order of first appearance across replicas.
+    pub rows: Vec<SweepRow>,
+    /// The rendered band report. Deliberately omits the worker count so
+    /// the bytes are identical for any `jobs` value.
+    pub rendered: String,
+}
+
+/// Runs the sweep. Returns `Err` for zero seeds or an invalid base
+/// scenario; individual replicas cannot fail (studies are total).
+pub fn run_sweep(config: SweepConfig) -> Result<SweepOutcome, String> {
+    if config.seeds == 0 {
+        return Err("sweep needs at least one seed".into());
+    }
+    config.base.validate()?;
+    let replica_seeds = seed_sequence(config.base.seed, "sweep.replica", config.seeds);
+    let jobs = config.jobs.max(1).min(replica_seeds.len());
+
+    // Fixed result slots: replica i writes slot i, so completion order
+    // (which does depend on scheduling) never reaches the aggregate.
+    type ReplicaSlot = Mutex<Option<(Vec<Comparison>, bool)>>;
+    let slots: Vec<ReplicaSlot> = replica_seeds.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&seed) = replica_seeds.get(i) else {
+                    break;
+                };
+                let ctx = RunContext::new(config.base.with_seed(seed));
+                let out = ctx.execute();
+                *slots[i].lock().expect("slot poisoned") = Some((out.comparisons, out.passed));
+            });
+        }
+    });
+
+    let mut replicas = Vec::with_capacity(slots.len());
+    let mut passed_replicas = 0;
+    for slot in slots {
+        let (comparisons, passed) = slot
+            .into_inner()
+            .expect("slot poisoned")
+            .expect("every replica index was claimed by a worker");
+        if passed {
+            passed_replicas += 1;
+        }
+        replicas.push(comparisons);
+    }
+
+    let rows = aggregate_rows(
+        config.base.seed,
+        &replicas,
+        config.resamples,
+        config.confidence,
+    );
+    let rendered = render(&config, &replica_seeds, passed_replicas, &rows);
+    Ok(SweepOutcome {
+        config,
+        replica_seeds,
+        passed_replicas,
+        rows,
+        rendered,
+    })
+}
+
+/// Joins per-replica comparisons by metric **name** (artifact rows can
+/// vary in count across seeds — e.g. Fig. 12's design-MTBI rows need
+/// both designs present) and folds each metric into a band. Metric
+/// order is first appearance scanning replicas in index order, so the
+/// output is independent of worker scheduling.
+fn aggregate_rows(
+    master_seed: u64,
+    replicas: &[Vec<Comparison>],
+    resamples: usize,
+    confidence: f64,
+) -> Vec<SweepRow> {
+    let mut order: Vec<(&str, f64)> = Vec::new();
+    for replica in replicas {
+        for c in replica {
+            if !order.iter().any(|(m, _)| *m == c.metric) {
+                order.push((&c.metric, c.paper));
+            }
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|(metric, paper)| {
+            let values: Vec<f64> = replicas
+                .iter()
+                .flat_map(|r| r.iter().filter(|c| c.metric == metric))
+                .map(|c| c.measured)
+                .collect();
+            let mut rng = stream_rng(master_seed, &format!("sweep.bootstrap.{metric}"));
+            let band = aggregate(&mut rng, &values, resamples, confidence)?;
+            Some(SweepRow {
+                metric: metric.to_string(),
+                paper,
+                band,
+            })
+        })
+        .collect()
+}
+
+fn render(
+    config: &SweepConfig,
+    replica_seeds: &[u64],
+    passed_replicas: usize,
+    rows: &[SweepRow],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "sweep: {} scenario, {} replica seeds derived from master {:#x}",
+        config.base.kind,
+        replica_seeds.len(),
+        config.base.seed
+    );
+    let _ = writeln!(
+        out,
+        "bands: mean over replicas, bootstrap {:.0}% CI for the mean ({} resamples)",
+        config.confidence * 100.0,
+        config.resamples
+    );
+    let _ = writeln!(
+        out,
+        "replicas passing their own acceptance: {}/{}",
+        passed_replicas,
+        replica_seeds.len()
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "  {:<40} {:>12}  {:>12} {:>26}  {:>10}  verdict",
+        "metric", "paper", "mean", "CI / range", "stddev"
+    );
+    for row in rows {
+        let b = &row.band;
+        let (lo, hi) = match &b.ci {
+            Some(ci) => (ci.lo, ci.hi),
+            None => (b.min, b.max),
+        };
+        let verdict = if b.covers(row.paper) {
+            "covered"
+        } else if row.paper >= b.min && row.paper <= b.max {
+            "in range"
+        } else {
+            "outside"
+        };
+        let _ = writeln!(
+            out,
+            "  {:<40} {:>12.4}  {:>12.4} [{:>11.4}, {:>11.4}]  {:>10.4}  {}",
+            row.metric, row.paper, b.mean, lo, hi, b.stddev, verdict
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioKind;
+
+    fn small_base(kind: ScenarioKind) -> Scenario {
+        Scenario {
+            kind,
+            scale: 0.5,
+            backbone: dcnr_backbone::topo::BackboneParams {
+                edges: 30,
+                vendors: 12,
+                min_links_per_edge: 3,
+            },
+            ..Scenario::intra(0x5EED)
+        }
+    }
+
+    #[test]
+    fn rejects_zero_seeds_and_bad_scenarios() {
+        assert!(run_sweep(SweepConfig::new(small_base(ScenarioKind::Backbone), 0, 1)).is_err());
+        let mut bad = small_base(ScenarioKind::Intra);
+        bad.scale = -1.0;
+        assert!(run_sweep(SweepConfig::new(bad, 2, 1)).is_err());
+    }
+
+    #[test]
+    fn aggregate_rows_joins_by_name_in_first_appearance_order() {
+        let c = |m: &str, paper: f64, measured: f64| Comparison {
+            metric: m.into(),
+            paper,
+            measured,
+        };
+        // Replica 1 lacks "b": name-joining must still band "b" from
+        // the replicas that have it.
+        let replicas = vec![
+            vec![c("a", 1.0, 1.1), c("b", 2.0, 2.2)],
+            vec![c("a", 1.0, 0.9)],
+            vec![c("a", 1.0, 1.0), c("b", 2.0, 1.8)],
+        ];
+        let rows = aggregate_rows(7, &replicas, 200, 0.95);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].metric, "a");
+        assert_eq!(rows[0].band.n, 3);
+        assert_eq!(rows[1].metric, "b");
+        assert_eq!(rows[1].band.n, 2);
+        assert!((rows[1].band.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rows_is_deterministic() {
+        let c = |m: &str, v: f64| Comparison {
+            metric: m.into(),
+            paper: 1.0,
+            measured: v,
+        };
+        let replicas = vec![
+            vec![c("x", 1.1), c("y", 5.0)],
+            vec![c("x", 0.9), c("y", 6.0)],
+            vec![c("x", 1.2), c("y", 4.5)],
+        ];
+        let a = aggregate_rows(42, &replicas, 300, 0.9);
+        let b = aggregate_rows(42, &replicas, 300, 0.9);
+        assert_eq!(a.len(), b.len());
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.band, rb.band);
+        }
+    }
+
+    #[test]
+    fn backbone_sweep_bands_cover_their_own_mean() {
+        let out = run_sweep(SweepConfig::new(small_base(ScenarioKind::Backbone), 3, 2)).unwrap();
+        assert_eq!(out.replica_seeds.len(), 3);
+        assert!(!out.rows.is_empty());
+        for row in &out.rows {
+            assert_eq!(row.band.n, 3, "{}", row.metric);
+            assert!(row.band.covers(row.band.mean), "{}", row.metric);
+        }
+        assert!(out.rendered.contains("sweep: backbone scenario"));
+        assert!(!out.rendered.contains("jobs"), "report must omit jobs");
+    }
+
+    #[test]
+    fn chaos_sweep_counts_replica_verdicts() {
+        let out = run_sweep(SweepConfig::new(small_base(ScenarioKind::Chaos), 2, 2)).unwrap();
+        assert_eq!(out.passed_replicas, 2, "drill rates stay in tolerance");
+        assert!(out.rows.iter().all(|r| r.paper == 0.0));
+    }
+}

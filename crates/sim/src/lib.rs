@@ -39,5 +39,5 @@ pub mod time;
 
 pub use engine::{Scheduler, Simulation};
 pub use event::EventQueue;
-pub use rng::{derive_seed, stream_rng};
+pub use rng::{derive_indexed_seed, derive_seed, seed_sequence, stream_rng};
 pub use time::{SimDuration, SimTime, StudyCalendar};

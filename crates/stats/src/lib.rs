@@ -32,6 +32,10 @@
 //! * **Kaplan–Meier survival estimation** ([`kaplan`]) — the principled
 //!   treatment of right-censored time-to-failure data (entities that
 //!   never failed inside the observation window).
+//! * **Cross-replica aggregation** ([`aggregate`]) — folding per-seed
+//!   sweep measurements into mean/σ/percentile bands with bootstrap
+//!   confidence intervals for the mean, so paper point estimates can be
+//!   compared against a measured band instead of a single realization.
 //!
 //! Everything is deterministic and allocation-conscious; functions accept
 //! slices and never touch global state.
@@ -39,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod bootstrap;
 pub mod dist;
 pub mod ecdf;
@@ -50,6 +55,7 @@ pub mod renewal;
 pub mod summary;
 pub mod timeseries;
 
+pub use aggregate::{aggregate, bootstrap_mean, fold, Band};
 pub use bootstrap::{bootstrap_exponential_fit, BootstrapFit, ParamInterval};
 pub use dist::{Categorical, Exponential, LogNormal, Sampler, Weibull};
 pub use ecdf::{Ecdf, QuantileCurve};

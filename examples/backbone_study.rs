@@ -6,40 +6,23 @@
 //! cargo run --release --example backbone_study
 //! ```
 
-use dcnr_core::{Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
+use dcnr_core::{RunContext, Scenario};
 
 fn main() {
     println!("Running the eighteen-month backbone pipeline (90 edges, 40 vendors)...\n");
-    let inter = InterDcStudy::run_default(2018);
-    // Backbone experiments don't need the intra study; keep it tiny.
-    let intra = IntraDcStudy::run(StudyConfig {
-        scale: 0.5,
-        seed: 1,
-        ..Default::default()
-    });
+    // The scenario engine runs only the backbone study — no intra-DC
+    // fleet is simulated for these artifacts.
+    let ctx = RunContext::new(Scenario::backbone(2018));
+    let out = ctx.execute();
+    print!("{}", out.rendered);
+    let inter = ctx.inter();
 
     println!(
-        "vendor e-mails: {}   parsed tickets: {}   ingest failures: {}\n",
+        "\nvendor e-mails: {}   parsed tickets: {}   ingest failures: {}",
         inter.output().emails.len(),
         inter.tickets().len(),
         inter.ingest_failures,
     );
-
-    for e in Experiment::ALL.into_iter().filter(|e| !e.is_intra()) {
-        let out = e.run(&intra, &inter);
-        println!("--------------------------------------------------------------");
-        println!("{}", out.experiment.title());
-        println!("--------------------------------------------------------------");
-        println!("{}", out.rendered);
-        println!("paper vs measured:");
-        for c in &out.comparisons {
-            println!(
-                "  {:<30} paper {:>12.4}   measured {:>12.4}",
-                c.metric, c.paper, c.measured
-            );
-        }
-        println!();
-    }
 
     // §6.1: conditional-risk capacity planning.
     println!("--------------------------------------------------------------");

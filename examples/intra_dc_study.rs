@@ -6,44 +6,15 @@
 //! cargo run --release --example intra_dc_study
 //! ```
 
-use dcnr_core::backbone::BackboneSimConfig;
-use dcnr_core::{Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
+use dcnr_core::{RunContext, Scenario};
 
 fn main() {
     println!("Running the seven-year intra-DC pipeline (scale 10)...\n");
-    let intra = IntraDcStudy::run(StudyConfig::default());
-    // The intra experiments don't touch the backbone study, but the
-    // experiment runner takes both; use a small one.
-    let inter = InterDcStudy::run(BackboneSimConfig {
-        params: dcnr_core::backbone::topo::BackboneParams {
-            edges: 30,
-            vendors: 12,
-            min_links_per_edge: 3,
-        },
-        ..Default::default()
-    });
-
-    println!(
-        "dataset: {} issues -> {} SEVs over 2011-2017\n",
-        intra.outcomes().len(),
-        intra.db().len()
-    );
-
-    for e in Experiment::ALL.into_iter().filter(|e| e.is_intra()) {
-        let out = e.run(&intra, &inter);
-        println!("--------------------------------------------------------------");
-        println!("{}", out.experiment.title());
-        println!("--------------------------------------------------------------");
-        println!("{}", out.rendered);
-        println!("paper vs measured:");
-        for c in &out.comparisons {
-            println!(
-                "  {:<40} paper {:>12.4}   measured {:>12.4}",
-                c.metric, c.paper, c.measured
-            );
-        }
-        println!();
-    }
+    // The scenario engine runs only what the intra artifacts need — the
+    // backbone study is never built.
+    let ctx = RunContext::new(Scenario::intra(0xDC_2018));
+    let out = ctx.execute();
+    print!("{}", out.rendered);
 
     // §4.2's three representative SEVs, reconstructed as records.
     println!("--------------------------------------------------------------");

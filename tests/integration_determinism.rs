@@ -97,16 +97,14 @@ fn scale_preserves_rates() {
 
 #[test]
 fn experiment_outcomes_are_reproducible() {
-    use dcnr_core::Experiment;
-    let intra1 = intra(55);
-    let intra2 = intra(55);
-    let inter1 = InterDcStudy::run(BackboneSimConfig {
-        seed: 55,
-        ..Default::default()
+    use dcnr_core::{Experiment, RunContext, Scenario};
+    let ctx1 = RunContext::new(Scenario {
+        scale: 1.0,
+        ..Scenario::intra(55)
     });
-    let inter2 = InterDcStudy::run(BackboneSimConfig {
-        seed: 55,
-        ..Default::default()
+    let ctx2 = RunContext::new(Scenario {
+        scale: 1.0,
+        ..Scenario::intra(55)
     });
     for e in [
         Experiment::Table2,
@@ -114,8 +112,8 @@ fn experiment_outcomes_are_reproducible() {
         Experiment::Fig15,
         Experiment::Table4,
     ] {
-        let a = e.run(&intra1, &inter1);
-        let b = e.run(&intra2, &inter2);
+        let a = ctx1.artifact(e);
+        let b = ctx2.artifact(e);
         assert_eq!(a.rendered, b.rendered, "{e}");
         for (ca, cb) in a.comparisons.iter().zip(&b.comparisons) {
             assert_eq!(ca.measured, cb.measured, "{e}: {}", ca.metric);

@@ -8,7 +8,7 @@ use dcnr_core::faults::hazard::HazardConfig;
 use dcnr_core::faults::{HazardModel, IssueGenerator};
 use dcnr_core::remediation::{RemediationEngine, RemediationOutcome};
 use dcnr_core::sim::StudyCalendar;
-use dcnr_core::{Experiment, InterDcStudy, IntraDcStudy, StudyConfig};
+use dcnr_core::{IntraDcStudy, RunContext, Scenario, ScenarioKind, StudyConfig};
 
 #[test]
 fn incident_boundary_only_escalations_become_sevs() {
@@ -175,30 +175,36 @@ fn corrupted_emails_are_dropped_not_fatal() {
 }
 
 #[test]
-fn full_experiment_suite_runs_on_shared_studies() {
-    let intra = IntraDcStudy::run(StudyConfig {
+fn full_experiment_suite_runs_on_shared_context() {
+    // One context serves all 20 artifacts: the intra and backbone
+    // studies each execute exactly once, whatever order artifacts ask.
+    let scenario = Scenario {
         scale: 1.0,
-        seed: 21,
-        ..Default::default()
-    });
-    let inter = InterDcStudy::run(BackboneSimConfig {
-        params: dcnr_core::backbone::topo::BackboneParams {
+        backbone: dcnr_core::backbone::topo::BackboneParams {
             edges: 40,
             vendors: 16,
             min_links_per_edge: 3,
         },
-        seed: 21,
-        ..Default::default()
-    });
+        ..Scenario::intra(21)
+    };
+    let ctx = RunContext::new(scenario);
     let mut rendered_total = 0;
-    for e in Experiment::ALL {
-        let out = e.run(&intra, &inter);
-        rendered_total += out.rendered.len();
+    for a in dcnr_core::artifacts::registry() {
+        rendered_total += ctx.artifact(a.id).rendered.len();
     }
     assert!(
         rendered_total > 5_000,
         "all experiments rendered substantial output"
     );
+    // The engine's execute() covers the same artifacts for each driver.
+    let intra_out = RunContext::new(scenario).execute();
+    assert_eq!(intra_out.artifacts.len(), 15);
+    let backbone_out = RunContext::new(Scenario {
+        kind: ScenarioKind::Backbone,
+        ..scenario
+    })
+    .execute();
+    assert_eq!(backbone_out.artifacts.len(), 5);
 }
 
 #[test]
