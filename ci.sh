@@ -17,4 +17,19 @@ cargo build --release --bin dcnr
     --resamples 200 --bench-json /tmp/dcnr_sweep_smoke.json >/dev/null
 grep -q '"identical_output": true' /tmp/dcnr_sweep_smoke.json
 
+echo "==> supervision smoke (1 forced panic of 4 replicas)"
+# With a failure budget of 1 the degraded sweep must still exit zero
+# and report the quarantine...
+DCNR_FAULT_REPLICA=1:panic ./target/release/dcnr sweep --scenario backbone \
+    --seeds 4 --jobs 2 --resamples 200 --retries 0 --max-failures 1 \
+    >/dev/null 2>/tmp/dcnr_supervision_smoke.log
+grep -q 'quarantined' /tmp/dcnr_supervision_smoke.log
+# ...and with a zero budget the same sweep must exit nonzero.
+if DCNR_FAULT_REPLICA=1:panic ./target/release/dcnr sweep --scenario backbone \
+    --seeds 4 --jobs 2 --resamples 200 --retries 0 --max-failures 0 \
+    >/dev/null 2>&1; then
+    echo "expected a nonzero exit under --max-failures 0" >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -87,6 +87,24 @@ impl ChaosConfig {
         }
     }
 
+    /// A deliberately hostile mix: every fault rate an order of
+    /// magnitude above the drill's, with a tight retry budget. Used to
+    /// exercise the sweep supervision layer against a workload that is
+    /// *expected* to fail its tolerance gate — degraded-mode
+    /// aggregation needs real failures to aggregate around.
+    pub fn hostile(seed: u64) -> Self {
+        Self {
+            corrupt_rate: 0.30,
+            truncate_rate: 0.10,
+            loss_rate: 0.20,
+            dup_rate: 0.15,
+            reorder_rate: 0.15,
+            store_fail_rate: 0.10,
+            max_attempts: 2,
+            ..Self::quiescent(seed)
+        }
+    }
+
     /// Whether any delivery-stream fault can fire.
     pub fn perturbs_stream(&self) -> bool {
         self.corrupt_rate > 0.0
@@ -148,6 +166,25 @@ mod tests {
         let c = ChaosConfig::drill(1);
         assert!(c.validate().is_ok());
         assert!(c.perturbs_stream());
+    }
+
+    #[test]
+    fn hostile_is_valid_and_strictly_noisier_than_the_drill() {
+        let h = ChaosConfig::hostile(1);
+        assert!(h.validate().is_ok());
+        assert!(h.perturbs_stream() && h.can_lose_messages());
+        let d = ChaosConfig::drill(1);
+        for (hr, dr) in [
+            (h.corrupt_rate, d.corrupt_rate),
+            (h.truncate_rate, d.truncate_rate),
+            (h.loss_rate, d.loss_rate),
+            (h.dup_rate, d.dup_rate),
+            (h.reorder_rate, d.reorder_rate),
+            (h.store_fail_rate, d.store_fail_rate),
+        ] {
+            assert!(hr > dr, "hostile must exceed drill: {hr} vs {dr}");
+        }
+        assert!(h.max_attempts < d.max_attempts);
     }
 
     #[test]

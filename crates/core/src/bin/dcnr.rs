@@ -2,14 +2,16 @@
 //!
 //! Every study subcommand lowers its flags onto a [`Scenario`] and
 //! hands it to the scenario engine; `sweep` replicates one scenario
-//! across derived seeds and prints cross-seed confidence bands.
+//! across derived seeds under the supervision layer (panic isolation,
+//! watchdog deadlines, checkpoint/resume) and prints cross-seed
+//! confidence bands.
 
 use dcnr_core::{
-    apply_scenario_flags, run_sweep, ArgScanner, InterDcStudy, RunContext, Scenario, ScenarioKind,
-    SweepConfig,
+    apply_scenario_flags, checkpoint, parse_sweep_args, run_supervised, ArgScanner, DcnrError,
+    FaultPlan, InterDcStudy, RunContext, Scenario, ScenarioKind, SupervisorConfig, SweepConfig,
 };
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "\
 dcnr — Data Center Network Reliability study toolkit
@@ -39,19 +41,36 @@ USAGE:
                    tolerance.
     dcnr sweep     [--scenario intra|backbone|chaos] [--seeds N]
                    [--jobs J] [--resamples B] [--confidence C]
+                   [--deadline SECS] [--retries K] [--max-failures F]
+                   [--checkpoint DIR] [--resume DIR]
                    [--bench-json PATH] [scenario flags]
                    Run N replicas of one scenario (seeds derived from
-                   the master seed) on a J-wide worker pool and print
-                   paper values against cross-seed confidence bands.
-                   --bench-json additionally times the sweep at 1 and J
-                   workers, checks the reports are byte-identical, and
-                   writes the wall clocks to PATH.
+                   the master seed) on a J-wide supervised worker pool
+                   and print paper values against cross-seed confidence
+                   bands. A replica that panics is retried up to K
+                   times on a fresh derived seed, then quarantined; one
+                   that exceeds --deadline is abandoned. The sweep
+                   degrades to the survivors and exits nonzero only
+                   when more than F replicas failed.
+                   --checkpoint persists each completed replica as a
+                   JSON shard in DIR (doubling as a result cache);
+                   --resume reloads DIR's manifest and shards and
+                   re-executes only the missing replicas, rendering
+                   byte-identical output. --bench-json additionally
+                   times the sweep at 1 and J workers, checks the
+                   reports are byte-identical, and writes the wall
+                   clocks to PATH.
     dcnr drill     Run the fault-injection and disaster-recovery drills
                    on the reference mixed region.
     dcnr risk      [--trials N] [--seed N]
                    Conditional-risk capacity planning over a simulated
                    backbone.
     dcnr help      Show this message.
+
+Environment:
+    DCNR_FAULT_REPLICA=idx[:panic|panic-once|hang][,...]
+                   Test hook: force sweep replica idx to panic or hang,
+                   exercising the supervision path end to end.
 ";
 
 fn main() -> ExitCode {
@@ -72,20 +91,22 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        other => Err(DcnrError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }
 
 /// Shared driver for `intra` / `backbone` / `chaos`: flags → scenario →
 /// engine → printed report.
-fn cmd_scenario(base: Scenario, mut args: ArgScanner) -> Result<(), String> {
+fn cmd_scenario(base: Scenario, mut args: ArgScanner) -> Result<(), DcnrError> {
     let scenario = apply_scenario_flags(&mut args, base)?;
     args.finish()?;
     eprintln!(
@@ -96,73 +117,100 @@ fn cmd_scenario(base: Scenario, mut args: ArgScanner) -> Result<(), String> {
         scenario.backbone.edges,
         scenario.backbone.vendors
     );
-    let out = RunContext::new(scenario).execute();
+    let out = RunContext::new(scenario).try_execute()?;
     print!("{}", out.rendered);
     if out.passed {
         Ok(())
     } else {
-        Err("paper statistics drifted outside tolerance under injected faults".into())
+        Err(DcnrError::Failed(
+            "paper statistics drifted outside tolerance under injected faults".into(),
+        ))
     }
 }
 
-fn cmd_sweep(mut args: ArgScanner) -> Result<(), String> {
-    let kind = match args.value::<String>("--scenario")? {
-        Some(name) => ScenarioKind::parse(&name)
-            .ok_or_else(|| format!("unknown scenario {name:?} (intra, backbone, or chaos)"))?,
-        None => ScenarioKind::Intra,
+fn cmd_sweep(mut args: ArgScanner) -> Result<(), DcnrError> {
+    let parsed = parse_sweep_args(&mut args)?;
+    let jobs = parsed
+        .jobs
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+
+    let (config, checkpoint_dir) = match &parsed.resume {
+        Some(dir) => {
+            // The sweep definition comes from the manifest; any stray
+            // scenario flag is rejected by finish() below.
+            args.finish()?;
+            let manifest =
+                checkpoint::read_manifest(dir)?.ok_or_else(|| DcnrError::Checkpoint {
+                    path: dir.display().to_string(),
+                    message: "no manifest.json here; nothing to resume".into(),
+                })?;
+            (manifest.to_config(jobs)?, Some(dir.clone()))
+        }
+        None => {
+            let kind = parsed.scenario.unwrap_or(ScenarioKind::Intra);
+            let base = match kind {
+                ScenarioKind::Intra => Scenario::intra(0xDC_2018),
+                ScenarioKind::Backbone => Scenario::backbone(0xB0_E5),
+                ScenarioKind::Chaos => Scenario::chaos(0xC4_05),
+            };
+            let base = apply_scenario_flags(&mut args, base)?;
+            args.finish()?;
+            let mut config = SweepConfig::new(base, parsed.seeds.unwrap_or(8), jobs);
+            if let Some(r) = parsed.resamples {
+                config.resamples = r;
+            }
+            if let Some(c) = parsed.confidence {
+                config.confidence = c;
+            }
+            (config, parsed.checkpoint.clone())
+        }
     };
-    let base = match kind {
-        ScenarioKind::Intra => Scenario::intra(0xDC_2018),
-        ScenarioKind::Backbone => Scenario::backbone(0xB0_E5),
-        ScenarioKind::Chaos => Scenario::chaos(0xC4_05),
+
+    let sup = SupervisorConfig {
+        deadline: parsed.deadline.map(Duration::from_secs_f64),
+        retries: parsed.retries.unwrap_or(1),
+        max_failures: parsed.max_failures.unwrap_or(0),
+        checkpoint: checkpoint_dir,
+        faults: FaultPlan::from_env()?,
     };
-    let base = apply_scenario_flags(&mut args, base)?;
-    let seeds: u32 = args.value("--seeds")?.unwrap_or(8);
-    let jobs: usize = match args.value("--jobs")? {
-        Some(j) => j,
-        None => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    };
-    let mut config = SweepConfig::new(base, seeds, jobs);
-    if let Some(r) = args.value("--resamples")? {
-        config.resamples = r;
-    }
-    if let Some(c) = args.value("--confidence")? {
-        config.confidence = c;
-    }
-    let bench_json: Option<String> = args.value("--bench-json")?;
-    args.finish()?;
 
     eprintln!(
         "sweeping {} scenario: {} seeds on {} workers...",
-        base.kind, seeds, jobs
+        config.base.kind, config.seeds, jobs
     );
     let started = Instant::now();
-    let out = run_sweep(config)?;
+    let out = run_supervised(config, &sup)?;
     let elapsed = started.elapsed();
     eprintln!("sweep finished in {:.2}s", elapsed.as_secs_f64());
     print!("{}", out.rendered);
+    eprint!("{}", out.supervision);
 
-    if let Some(path) = bench_json {
-        write_bench_json(&path, config, elapsed.as_secs_f64(), &out.rendered)?;
+    if let Some(path) = &parsed.bench_json {
+        write_bench_json(path, config, &sup, elapsed.as_secs_f64(), &out.rendered)?;
     }
-    Ok(())
+    out.gate(sup.max_failures)
 }
 
 /// Re-times the sweep single-threaded, checks byte-identity against the
-/// parallel report, and records both wall clocks.
+/// parallel report, and records both wall clocks. Runs under the same
+/// supervision policy — so with a checkpoint directory the serial rerun
+/// is served from the shards the parallel run just wrote.
 fn write_bench_json(
     path: &str,
     config: SweepConfig,
+    sup: &SupervisorConfig,
     parallel_secs: f64,
     parallel_rendered: &str,
-) -> Result<(), String> {
+) -> Result<(), DcnrError> {
     eprintln!("re-running the sweep on 1 worker for the benchmark baseline...");
     let started = Instant::now();
-    let serial = run_sweep(SweepConfig { jobs: 1, ..config })?;
+    let serial = run_supervised(SweepConfig { jobs: 1, ..config }, sup)?;
     let serial_secs = started.elapsed().as_secs_f64();
     let identical = serial.rendered == parallel_rendered;
     if !identical {
-        return Err("sweep reports differ between --jobs 1 and the parallel run".into());
+        return Err(DcnrError::Failed(
+            "sweep reports differ between --jobs 1 and the parallel run".into(),
+        ));
     }
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let note = if config.jobs > host_cpus {
@@ -174,7 +222,7 @@ fn write_bench_json(
         "{{\n  \"scenario\": \"{}\",\n  \"seeds\": {},\n  \"jobs\": {},\n  \
          \"host_cpus\": {},\n  \"wall_secs_jobs_1\": {:.3},\n  \
          \"wall_secs_jobs_n\": {:.3},\n  \"speedup\": {:.3},\n  \
-         \"identical_output\": {}{note}\n}}\n",
+         \"identical_output\": {},\n  \"serial_cache_hits\": {}{note}\n}}\n",
         config.base.kind,
         config.seeds,
         config.jobs,
@@ -182,14 +230,18 @@ fn write_bench_json(
         serial_secs,
         parallel_secs,
         serial_secs / parallel_secs.max(1e-9),
-        identical
+        identical,
+        serial.cache_hits()
     );
-    std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+    std::fs::write(path, json).map_err(|e| DcnrError::Io {
+        path: path.to_string(),
+        message: format!("write: {e}"),
+    })?;
     eprintln!("wrote {path} (serial {serial_secs:.2}s, parallel {parallel_secs:.2}s)");
     Ok(())
 }
 
-fn cmd_drill(args: ArgScanner) -> Result<(), String> {
+fn cmd_drill(args: ArgScanner) -> Result<(), DcnrError> {
     args.finish()?;
     use dcnr_core::service::{disaster_drill, FaultInjectionDrill, ImpactModel, Placement};
     use dcnr_core::topology::Region;
@@ -222,12 +274,12 @@ fn cmd_drill(args: ArgScanner) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_risk(mut args: ArgScanner) -> Result<(), String> {
+fn cmd_risk(mut args: ArgScanner) -> Result<(), DcnrError> {
     let trials: u32 = args.value("--trials")?.unwrap_or(400_000);
     let seed: u64 = args.value("--seed")?.unwrap_or(0xB0_E5);
     args.finish()?;
     if trials == 0 {
-        return Err("--trials must be positive".into());
+        return Err(DcnrError::Usage("--trials must be positive".into()));
     }
     eprintln!("simulating backbone and planning capacity ({trials} trials)...");
     let inter = InterDcStudy::run(dcnr_core::backbone::BackboneSimConfig {
@@ -236,7 +288,7 @@ fn cmd_risk(mut args: ArgScanner) -> Result<(), String> {
     });
     let report = inter
         .risk_report(trials)
-        .ok_or("no edge failures observed; cannot assess risk")?;
+        .ok_or_else(|| DcnrError::Failed("no edge failures observed; cannot assess risk".into()))?;
     println!(
         "expected concurrently-failed edges : {:.3}",
         report.expected_failures

@@ -4,14 +4,18 @@
 //! module is the single [`ArgScanner`] they all share, plus
 //! [`apply_scenario_flags`] — the one place scenario knobs (`--seed`,
 //! `--scale`, `--edges`, chaos rates, hazard ablations) are mapped onto
-//! a [`Scenario`].
+//! a [`Scenario`] — and [`parse_sweep_args`], which owns the sweep's
+//! replication and supervision flags (including the `--resume` /
+//! fresh-sweep conflict rules).
 //!
 //! The scanner accepts both `--name value` and `--name=value`, reports
-//! malformed numbers with the offending text, and [`ArgScanner::finish`]
-//! rejects anything left over so typos fail loudly instead of being
-//! silently ignored.
+//! malformed numbers with the offending text as a typed
+//! [`DcnrError::Usage`], and [`ArgScanner::finish`] rejects anything
+//! left over so typos fail loudly instead of being silently ignored.
 
-use crate::scenario::Scenario;
+use crate::error::DcnrError;
+use crate::scenario::{Scenario, ScenarioKind};
+use std::path::PathBuf;
 
 /// Order-insensitive flag scanner over a subcommand's arguments.
 pub struct ArgScanner {
@@ -35,7 +39,7 @@ impl ArgScanner {
     }
 
     /// Consumes `--name value` or `--name=value`, parsing the value.
-    pub fn value<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, String> {
+    pub fn value<T: std::str::FromStr>(&mut self, name: &str) -> Result<Option<T>, DcnrError> {
         let raw = if let Some(pos) = self
             .rest
             .iter()
@@ -45,7 +49,7 @@ impl ArgScanner {
             arg[name.len() + 1..].to_string()
         } else if let Some(pos) = self.rest.iter().position(|a| a == name) {
             if pos + 1 >= self.rest.len() || self.rest[pos + 1].starts_with("--") {
-                return Err(format!("{name} requires a value"));
+                return Err(DcnrError::Usage(format!("{name} requires a value")));
             }
             let raw = self.rest.remove(pos + 1);
             self.rest.remove(pos);
@@ -55,17 +59,17 @@ impl ArgScanner {
         };
         raw.parse::<T>()
             .map(Some)
-            .map_err(|_| format!("invalid value for {name}: {raw:?}"))
+            .map_err(|_| DcnrError::Usage(format!("invalid value for {name}: {raw:?}")))
     }
 
     /// Fails if any argument was not consumed (unknown flag or stray
     /// positional).
-    pub fn finish(self) -> Result<(), String> {
+    pub fn finish(self) -> Result<(), DcnrError> {
         match self.rest.as_slice() {
             [] => Ok(()),
-            [first, ..] => Err(format!(
+            [first, ..] => Err(DcnrError::Usage(format!(
                 "unrecognized argument {first:?} (run `dcnr help` for the flag list)"
-            )),
+            ))),
         }
     }
 }
@@ -73,7 +77,7 @@ impl ArgScanner {
 /// Applies the shared scenario flags to `base` and returns the adjusted
 /// scenario. `--seed` rebinds through [`Scenario::with_seed`] so every
 /// derived stream (including chaos injection) follows the master seed.
-pub fn apply_scenario_flags(args: &mut ArgScanner, base: Scenario) -> Result<Scenario, String> {
+pub fn apply_scenario_flags(args: &mut ArgScanner, base: Scenario) -> Result<Scenario, DcnrError> {
     let mut s = base;
     if let Some(seed) = args.value::<u64>("--seed")? {
         s = s.with_seed(seed);
@@ -117,6 +121,90 @@ pub fn apply_scenario_flags(args: &mut ArgScanner, base: Scenario) -> Result<Sce
     Ok(s)
 }
 
+/// The sweep subcommand's replication and supervision flags, parsed but
+/// not yet resolved against defaults (the binary owns the defaults so
+/// `--resume` can take them from the manifest instead).
+#[derive(Debug)]
+pub struct SweepArgs {
+    /// `--scenario intra|backbone|chaos`.
+    pub scenario: Option<ScenarioKind>,
+    /// `--seeds N`.
+    pub seeds: Option<u32>,
+    /// `--jobs J`.
+    pub jobs: Option<usize>,
+    /// `--resamples B`.
+    pub resamples: Option<usize>,
+    /// `--confidence C`.
+    pub confidence: Option<f64>,
+    /// `--checkpoint DIR`: persist replica shards while sweeping.
+    pub checkpoint: Option<PathBuf>,
+    /// `--resume DIR`: reload the sweep definition from `DIR`'s
+    /// manifest, skip completed shards, and keep checkpointing there.
+    pub resume: Option<PathBuf>,
+    /// `--deadline SECS` per-replica watchdog wall clock.
+    pub deadline: Option<f64>,
+    /// `--retries K` transient-fault retry budget per replica.
+    pub retries: Option<u32>,
+    /// `--max-failures F` degraded-sweep exit-code gate.
+    pub max_failures: Option<u32>,
+    /// `--bench-json PATH`.
+    pub bench_json: Option<String>,
+}
+
+/// Parses the sweep-only flags off `args`, leaving the shared scenario
+/// flags for [`apply_scenario_flags`]. Enforces the resume conflict
+/// rules: a resumed sweep's definition lives in the checkpoint
+/// manifest, so `--resume` cannot be combined with flags that would
+/// re-define it (`--scenario`, `--seeds`, `--resamples`,
+/// `--confidence`, or a second `--checkpoint` directory).
+pub fn parse_sweep_args(args: &mut ArgScanner) -> Result<SweepArgs, DcnrError> {
+    let scenario = match args.value::<String>("--scenario")? {
+        Some(name) => Some(ScenarioKind::parse(&name).ok_or_else(|| {
+            DcnrError::Usage(format!(
+                "unknown scenario {name:?} (intra, backbone, or chaos)"
+            ))
+        })?),
+        None => None,
+    };
+    let parsed = SweepArgs {
+        scenario,
+        seeds: args.value("--seeds")?,
+        jobs: args.value("--jobs")?,
+        resamples: args.value("--resamples")?,
+        confidence: args.value("--confidence")?,
+        checkpoint: args.value::<String>("--checkpoint")?.map(PathBuf::from),
+        resume: args.value::<String>("--resume")?.map(PathBuf::from),
+        deadline: args.value("--deadline")?,
+        retries: args.value("--retries")?,
+        max_failures: args.value("--max-failures")?,
+        bench_json: args.value("--bench-json")?,
+    };
+    if parsed.resume.is_some() {
+        for (flag, present) in [
+            ("--scenario", parsed.scenario.is_some()),
+            ("--seeds", parsed.seeds.is_some()),
+            ("--resamples", parsed.resamples.is_some()),
+            ("--confidence", parsed.confidence.is_some()),
+            ("--checkpoint", parsed.checkpoint.is_some()),
+        ] {
+            if present {
+                return Err(DcnrError::Usage(format!(
+                    "--resume takes the sweep definition from the checkpoint manifest; \
+                     it conflicts with {flag}"
+                )));
+            }
+        }
+    }
+    if let Some(secs) = parsed.deadline {
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(DcnrError::Usage(format!(
+                "--deadline must be a positive number of seconds, got {secs}"
+            )));
+        }
+    }
+    Ok(parsed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,23 +225,29 @@ mod tests {
     fn reports_malformed_numbers_with_the_text() {
         let mut a = scan(&["--seed", "banana"]);
         let err = a.value::<u64>("--seed").unwrap_err();
-        assert!(err.contains("--seed") && err.contains("banana"), "{err}");
+        assert_eq!(err.kind(), "usage");
+        let msg = err.to_string();
+        assert!(msg.contains("--seed") && msg.contains("banana"), "{msg}");
     }
 
     #[test]
-    fn missing_value_and_flag_as_value_are_errors() {
+    fn missing_value_and_flag_as_value_are_usage_errors() {
         let mut a = scan(&["--seed"]);
-        assert!(a.value::<u64>("--seed").is_err());
+        let err = a.value::<u64>("--seed").unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        assert!(err.to_string().contains("requires a value"), "{err}");
         let mut a = scan(&["--seed", "--scale", "1.0"]);
         assert!(a.value::<u64>("--seed").is_err());
     }
 
     #[test]
-    fn finish_rejects_unknown_flags() {
+    fn finish_rejects_unknown_flags_as_usage_errors() {
         let mut a = scan(&["--seed", "7", "--bogus"]);
         let _ = a.value::<u64>("--seed").unwrap();
         let err = a.finish().unwrap_err();
-        assert!(err.contains("--bogus"), "{err}");
+        assert_eq!(err.kind(), "usage");
+        assert_eq!(err.exit_code(), 2, "usage errors exit 2");
+        assert!(err.to_string().contains("--bogus"), "{err}");
     }
 
     #[test]
@@ -174,8 +268,90 @@ mod tests {
         let s = apply_scenario_flags(&mut a, Scenario::chaos(1)).unwrap();
         assert_eq!(s.chaos.loss_rate, 0.5);
         let mut a = scan(&["--loss-rate", "2.0"]);
-        assert!(apply_scenario_flags(&mut a, Scenario::chaos(1)).is_err());
+        let err = apply_scenario_flags(&mut a, Scenario::chaos(1)).unwrap_err();
+        assert_eq!(err.kind(), "config", "validation is config, not usage");
         let mut a = scan(&["--scale", "-4"]);
         assert!(apply_scenario_flags(&mut a, Scenario::intra(1)).is_err());
+    }
+
+    #[test]
+    fn sweep_args_parse_the_supervision_flags() {
+        let mut a = scan(&[
+            "--scenario",
+            "backbone",
+            "--seeds",
+            "6",
+            "--jobs=3",
+            "--deadline",
+            "30",
+            "--retries",
+            "2",
+            "--max-failures",
+            "1",
+            "--checkpoint",
+            "/tmp/ckpt",
+        ]);
+        let s = parse_sweep_args(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(s.scenario, Some(ScenarioKind::Backbone));
+        assert_eq!(s.seeds, Some(6));
+        assert_eq!(s.jobs, Some(3));
+        assert_eq!(s.deadline, Some(30.0));
+        assert_eq!(s.retries, Some(2));
+        assert_eq!(s.max_failures, Some(1));
+        assert_eq!(s.checkpoint, Some(PathBuf::from("/tmp/ckpt")));
+        assert!(s.resume.is_none());
+    }
+
+    #[test]
+    fn sweep_non_numeric_seeds_and_jobs_are_named_usage_errors() {
+        let mut a = scan(&["--seeds", "lots"]);
+        let err = parse_sweep_args(&mut a).unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        assert!(err.to_string().contains("--seeds"), "{err}");
+        let mut a = scan(&["--jobs", "3.5"]);
+        let err = parse_sweep_args(&mut a).unwrap_err();
+        assert!(err.to_string().contains("--jobs"), "{err}");
+    }
+
+    #[test]
+    fn sweep_resume_conflicts_with_redefinition_flags() {
+        let mut a = scan(&["--resume", "/tmp/run", "--seeds", "4"]);
+        let err = parse_sweep_args(&mut a).unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        let msg = err.to_string();
+        assert!(msg.contains("--resume") && msg.contains("--seeds"), "{msg}");
+        for conflicting in [
+            &["--resume", "/tmp/run", "--scenario", "intra"][..],
+            &["--resume", "/tmp/run", "--checkpoint", "/tmp/other"][..],
+            &["--resume", "/tmp/run", "--confidence", "0.9"][..],
+        ] {
+            let mut a = scan(conflicting);
+            let err = parse_sweep_args(&mut a).unwrap_err();
+            assert_eq!(err.kind(), "usage", "{conflicting:?}");
+        }
+        // --resume with only execution-strategy flags is fine.
+        let mut a = scan(&["--resume", "/tmp/run", "--jobs", "2", "--retries", "0"]);
+        let s = parse_sweep_args(&mut a).unwrap();
+        assert_eq!(s.resume, Some(PathBuf::from("/tmp/run")));
+        assert_eq!(s.jobs, Some(2));
+    }
+
+    #[test]
+    fn sweep_deadline_must_be_positive() {
+        for bad in ["0", "-3", "NaN"] {
+            let mut a = scan(&["--deadline", bad]);
+            let err = parse_sweep_args(&mut a).unwrap_err();
+            assert_eq!(err.kind(), "usage", "--deadline {bad}");
+            assert!(err.to_string().contains("--deadline"), "{err}");
+        }
+    }
+
+    #[test]
+    fn sweep_unknown_scenario_is_a_usage_error() {
+        let mut a = scan(&["--scenario", "bogus"]);
+        let err = parse_sweep_args(&mut a).unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        assert!(err.to_string().contains("bogus"), "{err}");
     }
 }

@@ -1,0 +1,357 @@
+//! A minimal JSON reader/writer for checkpoint shards and manifests.
+//!
+//! The build environment is offline (no serde), so the checkpoint
+//! format is served by this deliberately small module: a
+//! recursive-descent parser into [`Json`] values and escape-correct
+//! string writing. Two properties matter more than generality:
+//!
+//! * **Exactness** — numbers keep their raw token text, so `u64` seeds
+//!   and `f64` bit patterns round-trip without any float parsing in
+//!   the way (callers store floats via [`f64::to_bits`]).
+//! * **Named errors** — a corrupt shard produces a position-stamped
+//!   message for [`crate::error::DcnrError::Checkpoint`], never a
+//!   panic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed JSON value. Numbers keep their raw token so integer
+/// precision is never laundered through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its raw token text (e.g. `"42"`, `"-1.5e3"`).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is not preserved (sorted map); the writer
+    /// side of the checkpoint format emits fields explicitly.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Looks up `key` in an object.
+    pub fn get(&self, key: &str) -> Result<&Json, String> {
+        match self {
+            Json::Obj(map) => map.get(key).ok_or_else(|| format!("missing field {key:?}")),
+            _ => Err(format!("expected an object while reading {key:?}")),
+        }
+    }
+
+    /// The value as a `u64` (integer token required).
+    pub fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| format!("expected an unsigned integer, got {raw:?}")),
+            other => Err(format!("expected a number, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a `usize`.
+    pub fn as_usize(&self) -> Result<usize, String> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    /// The value as a `bool`.
+    pub fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected a bool, got {}", other.kind())),
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected a string, got {}", other.kind())),
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected an array, got {}", other.kind())),
+        }
+    }
+
+    /// An `f64` stored as its IEEE-754 bit pattern (a `u64` field).
+    pub fn as_f64_bits(&self) -> Result<f64, String> {
+        self.as_u64().map(f64::from_bits)
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Num(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Parses one JSON document; trailing garbage is an error.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect_byte(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), String> {
+    match bytes.get(*pos) {
+        Some(b) if *b == want => {
+            *pos += 1;
+            Ok(())
+        }
+        Some(_) => Err(format!("expected {:?} at byte {}", char::from(want), *pos)),
+        None => Err(format!(
+            "unexpected end of input (wanted {:?})",
+            char::from(want)
+        )),
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(bytes, pos),
+        Some(c) => Err(format!("unexpected byte {:?} at {}", char::from(*c), *pos)),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("malformed literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while *pos < bytes.len()
+        && (bytes[*pos].is_ascii_digit() || matches!(bytes[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        return Err(format!("malformed number at byte {start}"));
+    }
+    let raw = std::str::from_utf8(&bytes[start..*pos]).expect("sliced on ASCII boundaries");
+    // Validate the token parses as *some* number so garbage like
+    // "1.2.3" is rejected at read time, not when a field is accessed.
+    if raw.parse::<f64>().is_err() && raw.parse::<u64>().is_err() {
+        return Err(format!("malformed number {raw:?} at byte {start}"));
+    }
+    Ok(Json::Num(raw.to_string()))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect_byte(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let hex = std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "malformed \\u escape")?;
+                        // Checkpoint writers only escape control chars,
+                        // so surrogate pairs are out of scope; reject
+                        // rather than mis-decode.
+                        let ch = char::from_u32(code)
+                            .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                        out.push(ch);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Advance one full UTF-8 character.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let ch = rest.chars().next().expect("non-empty by match arm");
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect_byte(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect_byte(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped) to `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"a": [1, 2.5, -3e2], "b": {"c": true, "d": null}, "s": "x"}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert!(v.get("b").unwrap().get("c").unwrap().as_bool().unwrap());
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "x");
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        let big = u64::MAX;
+        let v = parse(&format!("{{\"seed\": {big}}}")).unwrap();
+        assert_eq!(v.get("seed").unwrap().as_u64().unwrap(), big);
+    }
+
+    #[test]
+    fn f64_bits_round_trip() {
+        for f in [0.0, -1.5, std::f64::consts::PI, 1e-300, f64::MAX] {
+            let v = parse(&format!("{{\"x\": {}}}", f.to_bits())).unwrap();
+            let back = v.get("x").unwrap().as_f64_bits().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits());
+        }
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        let nasty = "a \"quoted\" \\ back\nnew\ttab \u{1} control µ";
+        let mut doc = String::from("{\"k\": ");
+        write_str(&mut doc, nasty);
+        doc.push('}');
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("k").unwrap().as_str().unwrap(), nasty);
+    }
+
+    #[test]
+    fn named_errors_for_malformed_documents() {
+        assert!(parse("{").unwrap_err().contains("unexpected end"));
+        assert!(parse("[1,]").unwrap_err().contains("byte"));
+        assert!(parse("{\"a\": 1} x").unwrap_err().contains("trailing"));
+        assert!(parse("tru").unwrap_err().contains("literal"));
+        assert!(parse("\"abc").unwrap_err().contains("unterminated"));
+        assert!(parse("1.2.3").unwrap_err().contains("malformed number"));
+    }
+
+    #[test]
+    fn field_access_errors_are_named() {
+        let v = parse("{\"n\": 1.5}").unwrap();
+        assert!(v.get("missing").unwrap_err().contains("missing"));
+        assert!(v.get("n").unwrap().as_u64().unwrap_err().contains("1.5"));
+        assert!(v.get("n").unwrap().as_str().unwrap_err().contains("number"));
+    }
+}

@@ -25,9 +25,19 @@
 //!   table/figure (id, required study, paper baseline, render fn), all
 //!   pulling from the shared [`RunContext`].
 //! * [`sweep`] — the multi-seed sweep runner: N derived-seed replicas
-//!   on a fixed worker pool, folded into cross-seed confidence bands
-//!   ([`dcnr_stats::aggregate`]); byte-identical output for any worker
-//!   count.
+//!   on a supervised worker pool, folded into cross-seed confidence
+//!   bands ([`dcnr_stats::aggregate`]); byte-identical output for any
+//!   worker count.
+//! * [`supervisor`] — the sweep supervision layer: panic-isolated
+//!   replica attempts, watchdog deadlines, bounded retry with fresh
+//!   derived seeds, quarantine, and fault injection for testing the
+//!   supervisor itself.
+//! * [`checkpoint`] — per-replica JSON result shards plus a sweep
+//!   manifest, the substrate behind `dcnr sweep --checkpoint` /
+//!   `--resume` and cross-run replica caching.
+//! * [`error`] — the [`DcnrError`] taxonomy every fallible layer of the
+//!   engine reports through (config, usage, I/O, checkpoint, panic,
+//!   deadline, failed-acceptance).
 //! * [`cli`] — the shared flag scanner behind every `dcnr` subcommand.
 //! * [`report`] — plain-text rendering of tables and figure series in
 //!   the same rows/columns the paper prints.
@@ -49,21 +59,30 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod checkpoint;
 pub mod cli;
+pub mod error;
 pub mod experiments;
 pub mod inter;
 pub mod intra;
+pub(crate) mod json;
 pub mod report;
 pub mod scenario;
+pub mod supervisor;
 pub mod sweep;
 
 pub use artifacts::Artifact;
-pub use cli::{apply_scenario_flags, ArgScanner};
+pub use checkpoint::{Manifest, ReplicaRecord};
+pub use cli::{apply_scenario_flags, parse_sweep_args, ArgScanner, SweepArgs};
+pub use error::DcnrError;
 pub use experiments::{Comparison, Experiment, ExperimentOutcome};
 pub use inter::InterDcStudy;
 pub use intra::{IntraDcStudy, StudyConfig};
 pub use scenario::{RunContext, RunPlan, Scenario, ScenarioKind, ScenarioOutcome, StudyKind};
-pub use sweep::{run_sweep, SweepConfig, SweepOutcome, SweepRow};
+pub use supervisor::{
+    FaultMode, FaultPlan, FaultSpec, ReplicaOutcome, ReplicaStatus, SupervisorConfig, FAULT_ENV,
+};
+pub use sweep::{run_supervised, run_sweep, SweepConfig, SweepOutcome, SweepRow};
 
 // Re-export the substrate crates under one roof so downstream users and
 // the examples need a single dependency.

@@ -13,6 +13,7 @@
 //! [`RunContext::execute`] → [`ScenarioOutcome`].
 
 use crate::artifacts;
+use crate::error::{panic_message, DcnrError};
 use crate::experiments::{Comparison, Experiment, ExperimentOutcome};
 use crate::inter::InterDcStudy;
 use crate::intra::{IntraDcStudy, StudyConfig};
@@ -136,14 +137,18 @@ impl Scenario {
     }
 
     /// Validates the knobs that the engine's own expectations depend on.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DcnrError> {
         if !self.scale.is_finite() || self.scale <= 0.0 {
-            return Err("scale must be positive".into());
+            return Err(DcnrError::Config("scale must be positive".into()));
         }
         if self.backbone.edges < 2 || self.backbone.vendors < 1 {
-            return Err("need at least 2 edges and 1 vendor".into());
+            return Err(DcnrError::Config(
+                "need at least 2 edges and 1 vendor".into(),
+            ));
         }
-        self.chaos.validate()
+        self.chaos
+            .validate()
+            .map_err(|e| DcnrError::Config(format!("chaos: {e}")))
     }
 
     /// Lowers the scenario to its run plan.
@@ -297,6 +302,24 @@ impl RunContext {
     /// descriptor.
     pub fn artifact(&self, e: Experiment) -> ExperimentOutcome {
         (artifacts::descriptor(e).render)(self)
+    }
+
+    /// Fallible [`RunContext::execute`]: validates the scenario first
+    /// and converts a study/artifact panic into a typed
+    /// [`DcnrError::Panic`] instead of unwinding through the caller.
+    /// This is the boundary the supervision layer (and the CLI) run
+    /// scenarios behind.
+    pub fn try_execute(&self) -> Result<ScenarioOutcome, DcnrError> {
+        self.scenario.validate()?;
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute())).map_err(
+            |payload| DcnrError::Panic {
+                context: format!(
+                    "{} scenario seed {:#x}",
+                    self.scenario.kind, self.scenario.seed
+                ),
+                message: panic_message(payload.as_ref()),
+            },
+        )
     }
 
     /// Executes the scenario's full plan and renders the report.
@@ -557,6 +580,23 @@ mod tests {
         s.chaos.loss_rate = 2.0;
         assert!(s.validate().is_err());
         assert!(small(ScenarioKind::Intra).validate().is_ok());
+    }
+
+    #[test]
+    fn try_execute_rejects_invalid_scenarios_without_running() {
+        let mut s = small(ScenarioKind::Intra);
+        s.scale = f64::NAN;
+        let ctx = RunContext::new(s);
+        let err = ctx.try_execute().unwrap_err();
+        assert_eq!(err.kind(), "config");
+        assert!(ctx.intra.get().is_none(), "nothing may run");
+    }
+
+    #[test]
+    fn try_execute_matches_execute_on_valid_scenarios() {
+        let ctx = RunContext::new(small(ScenarioKind::Chaos));
+        let out = ctx.try_execute().unwrap();
+        assert_eq!(out.rendered, ctx.execute().rendered);
     }
 
     #[test]

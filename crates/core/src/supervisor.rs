@@ -1,0 +1,586 @@
+//! Per-replica supervision for the sweep engine.
+//!
+//! The paper's measurement apparatus survives seven years of partial
+//! data; this module gives the sweep runner the same property. Every
+//! replica attempt runs on its **own detached thread** behind a
+//! [`std::panic::catch_unwind`] boundary and reports back over an mpsc
+//! channel — there is no shared mutable slot a panicking worker could
+//! poison. The supervisor:
+//!
+//! * enforces an optional **wall-clock watchdog deadline** per attempt
+//!   (a replica that blows it is abandoned and recorded as
+//!   [`DcnrError::Deadline`]; its thread keeps running detached and is
+//!   ignored if it ever reports);
+//! * **retries** panicked replicas a bounded number of times, each
+//!   retry on a fresh seed derived from the replica's planned seed
+//!   (`derive_indexed_seed(planned, "sweep.retry", attempt)`), so a
+//!   seed-dependent crash gets a genuinely different draw;
+//! * **quarantines** (records and skips) replicas whose attempts are
+//!   exhausted, letting aggregation proceed over the survivors.
+//!
+//! Determinism: a replica's result depends only on the seed its
+//! successful attempt ran under — never on scheduling, worker count, or
+//! failures elsewhere — so survivors are byte-identical with or without
+//! failures in other replicas.
+//!
+//! Fault injection for tests rides the same [`FaultPlan`] type that the
+//! `DCNR_FAULT_REPLICA` environment hook parses into; library tests
+//! construct plans directly so no process-global state is involved.
+
+use crate::checkpoint::{self, ReplicaRecord};
+use crate::error::{panic_message, DcnrError};
+use crate::scenario::{RunContext, Scenario};
+use dcnr_sim::derive_indexed_seed;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Environment variable parsed by [`FaultPlan::from_env`]. Test-only:
+/// it exists so integration tests and the CI smoke test can force a
+/// replica to panic or hang through the real binary.
+pub const FAULT_ENV: &str = "DCNR_FAULT_REPLICA";
+
+/// What an injected fault does to a replica attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The attempt panics before executing its study.
+    Panic,
+    /// The attempt sleeps forever (until the watchdog abandons it).
+    Hang,
+}
+
+/// One injected fault: which replica, what happens, and whether it
+/// fires on every attempt or only the first (so retries can succeed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Replica index the fault targets.
+    pub replica: usize,
+    /// What the fault does.
+    pub mode: FaultMode,
+    /// `true`: only attempt 0 faults (transient); `false`: every
+    /// attempt faults (deterministic).
+    pub once: bool,
+}
+
+/// A set of injected faults (empty in production).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// A plan from explicit specs (what library tests use).
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        Self { specs }
+    }
+
+    /// Parses `idx[:panic|hang|panic-once][,...]` — the
+    /// [`FAULT_ENV`] syntax. The default mode is `panic`.
+    pub fn parse(text: &str) -> Result<Self, DcnrError> {
+        let mut specs = Vec::new();
+        for entry in text.split(',').filter(|e| !e.trim().is_empty()) {
+            let entry = entry.trim();
+            let (idx, mode) = match entry.split_once(':') {
+                None => (entry, "panic"),
+                Some((idx, mode)) => (idx, mode),
+            };
+            let replica: usize = idx.parse().map_err(|_| {
+                DcnrError::Usage(format!(
+                    "{FAULT_ENV}: replica index must be a number, got {idx:?}"
+                ))
+            })?;
+            let (mode, once) = match mode {
+                "panic" => (FaultMode::Panic, false),
+                "panic-once" => (FaultMode::Panic, true),
+                "hang" => (FaultMode::Hang, false),
+                other => {
+                    return Err(DcnrError::Usage(format!(
+                        "{FAULT_ENV}: unknown fault mode {other:?} \
+                         (panic, panic-once, or hang)"
+                    )))
+                }
+            };
+            specs.push(FaultSpec {
+                replica,
+                mode,
+                once,
+            });
+        }
+        Ok(Self { specs })
+    }
+
+    /// The plan named by [`FAULT_ENV`], or the empty plan when unset.
+    pub fn from_env() -> Result<Self, DcnrError> {
+        match std::env::var(FAULT_ENV) {
+            Ok(text) if !text.is_empty() => Self::parse(&text),
+            _ => Ok(Self::none()),
+        }
+    }
+
+    /// The fault armed for `(replica, attempt)`, if any.
+    fn armed(&self, replica: usize, attempt: u32) -> Option<FaultMode> {
+        self.specs
+            .iter()
+            .find(|s| s.replica == replica && (!s.once || attempt == 0))
+            .map(|s| s.mode)
+    }
+}
+
+/// Supervision policy for one sweep.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Wall-clock deadline per replica attempt (`None`: no watchdog).
+    pub deadline: Option<Duration>,
+    /// Extra attempts after the first for a panicked replica. Retries
+    /// run under a fresh derived seed; deadline kills are never
+    /// retried (a hang already cost one full deadline).
+    pub retries: u32,
+    /// How many failed replicas a run may carry and still exit zero
+    /// (checked by [`crate::sweep::SweepOutcome::gate`]).
+    pub max_failures: u32,
+    /// Checkpoint/cache directory: completed replicas are persisted as
+    /// JSON shards and reloaded instead of re-executed.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// Injected faults (tests only; empty in production).
+    pub faults: FaultPlan,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            deadline: None,
+            retries: 1,
+            max_failures: 0,
+            checkpoint: None,
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+/// How one replica ended up.
+#[derive(Debug, Clone)]
+pub enum ReplicaStatus {
+    /// The replica produced a result.
+    Completed {
+        /// Its own acceptance verdict.
+        passed: bool,
+        /// Whether the result was loaded from a checkpoint shard.
+        cached: bool,
+        /// Which attempt succeeded (0 = first run).
+        attempt: u32,
+    },
+    /// Every allowed attempt panicked (or its worker failed to spawn);
+    /// the replica is recorded and skipped.
+    Quarantined {
+        /// The last attempt's error.
+        error: DcnrError,
+    },
+    /// The watchdog abandoned the replica past its deadline.
+    DeadlineKilled {
+        /// The deadline error ([`DcnrError::Deadline`]).
+        error: DcnrError,
+    },
+}
+
+/// One replica's supervision record.
+#[derive(Debug, Clone)]
+pub struct ReplicaOutcome {
+    /// Replica index.
+    pub replica: usize,
+    /// The seed the sweep planned for it (attempt 0's seed).
+    pub planned_seed: u64,
+    /// How many retries were spent.
+    pub retries: u32,
+    /// Why a stale/invalid shard was ignored, when one was.
+    pub cache_note: Option<String>,
+    /// The final status.
+    pub status: ReplicaStatus,
+}
+
+impl ReplicaOutcome {
+    /// Whether the replica contributed no result.
+    pub fn failed(&self) -> bool {
+        !matches!(self.status, ReplicaStatus::Completed { .. })
+    }
+
+    /// Whether the result came from a checkpoint shard.
+    pub fn cached(&self) -> bool {
+        matches!(self.status, ReplicaStatus::Completed { cached: true, .. })
+    }
+}
+
+/// The seed attempt `attempt` of a replica runs under: the planned seed
+/// for the first attempt, a fresh derived seed for each retry.
+pub fn effective_seed(planned: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        planned
+    } else {
+        derive_indexed_seed(planned, "sweep.retry", u64::from(attempt))
+    }
+}
+
+struct AttemptReport {
+    replica: usize,
+    attempt: u32,
+    outcome: Result<ReplicaRecord, String>,
+}
+
+#[derive(Clone, Copy)]
+struct InFlight {
+    attempt: u32,
+    seed: u64,
+    started: Instant,
+}
+
+fn spawn_attempt(
+    base: Scenario,
+    replica: usize,
+    attempt: u32,
+    seed: u64,
+    fault: Option<FaultMode>,
+    tx: mpsc::Sender<AttemptReport>,
+) -> Result<(), DcnrError> {
+    std::thread::Builder::new()
+        .name(format!("dcnr-replica-{replica}"))
+        .spawn(move || {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                match fault {
+                    Some(FaultMode::Hang) => loop {
+                        // Hang until the watchdog abandons us (or the
+                        // process exits).
+                        std::thread::sleep(Duration::from_secs(3600));
+                    },
+                    Some(FaultMode::Panic) => {
+                        panic!("injected fault: forced panic in replica {replica}")
+                    }
+                    None => {}
+                }
+                let out = RunContext::new(base.with_seed(seed)).execute();
+                ReplicaRecord {
+                    replica,
+                    attempt,
+                    seed,
+                    passed: out.passed,
+                    comparisons: out.comparisons,
+                }
+            }))
+            .map_err(|payload| panic_message(payload.as_ref()));
+            // The supervisor may have abandoned us (deadline) and hung
+            // up; a failed send is fine.
+            let _ = tx.send(AttemptReport {
+                replica,
+                attempt,
+                outcome,
+            });
+        })
+        .map(|_| ())
+        .map_err(|e| DcnrError::Io {
+            path: format!("thread dcnr-replica-{replica}"),
+            message: format!("spawn: {e}"),
+        })
+}
+
+/// Runs every not-yet-cached replica under supervision and returns the
+/// per-replica outcomes plus the surviving records (one slot per
+/// planned replica; `None` where the replica failed).
+///
+/// `cached` carries one `(record, note)` pair per replica: records
+/// loaded from checkpoint shards (used as-is) and notes explaining
+/// ignored shards (surfaced in the supervision report).
+pub(crate) fn supervise(
+    base: &Scenario,
+    replica_seeds: &[u64],
+    jobs: usize,
+    sup: &SupervisorConfig,
+    cached: Vec<(Option<ReplicaRecord>, Option<String>)>,
+) -> Result<(Vec<ReplicaOutcome>, Vec<Option<ReplicaRecord>>), DcnrError> {
+    let n = replica_seeds.len();
+    let mut statuses: Vec<Option<ReplicaStatus>> = vec![None; n];
+    let mut records: Vec<Option<ReplicaRecord>> = Vec::with_capacity(n);
+    let mut cache_notes: Vec<Option<String>> = Vec::with_capacity(n);
+    for (i, (record, note)) in cached.into_iter().enumerate() {
+        if let Some(rec) = &record {
+            statuses[i] = Some(ReplicaStatus::Completed {
+                passed: rec.passed,
+                cached: true,
+                attempt: rec.attempt,
+            });
+        }
+        records.push(record);
+        cache_notes.push(note);
+    }
+    let mut retries = vec![0u32; n];
+
+    let (tx, rx) = mpsc::channel::<AttemptReport>();
+    let mut queue: VecDeque<(usize, u32)> = (0..n)
+        .filter(|&i| statuses[i].is_none())
+        .map(|i| (i, 0))
+        .collect();
+    let mut inflight: Vec<Option<InFlight>> = vec![None; n];
+    let mut inflight_count = 0usize;
+
+    while statuses.iter().any(Option::is_none) {
+        // Keep the pool full.
+        while inflight_count < jobs {
+            let Some((i, attempt)) = queue.pop_front() else {
+                break;
+            };
+            let seed = effective_seed(replica_seeds[i], attempt);
+            let fault = sup.faults.armed(i, attempt);
+            match spawn_attempt(*base, i, attempt, seed, fault, tx.clone()) {
+                Ok(()) => {
+                    inflight[i] = Some(InFlight {
+                        attempt,
+                        seed,
+                        started: Instant::now(),
+                    });
+                    inflight_count += 1;
+                }
+                Err(error) => {
+                    statuses[i] = Some(ReplicaStatus::Quarantined { error });
+                }
+            }
+        }
+        if inflight_count == 0 {
+            if queue.is_empty() {
+                // Nothing running and nothing runnable: every pending
+                // replica was resolved synchronously (spawn failures).
+                break;
+            }
+            continue;
+        }
+
+        // Wait for the next report, bounded by the earliest deadline.
+        let report = match sup.deadline {
+            None => rx.recv().ok(),
+            Some(deadline) => {
+                let next_kill = inflight
+                    .iter()
+                    .flatten()
+                    .map(|f| f.started + deadline)
+                    .min()
+                    .unwrap_or_else(Instant::now);
+                let wait = next_kill.saturating_duration_since(Instant::now());
+                rx.recv_timeout(wait).ok()
+            }
+        };
+
+        match report {
+            Some(report) => {
+                let i = report.replica;
+                // Ignore reports from abandoned attempts: the replica
+                // was already deadline-killed and its slot cleared.
+                let Some(fl) = inflight[i] else { continue };
+                if fl.attempt != report.attempt {
+                    continue;
+                }
+                inflight[i] = None;
+                inflight_count -= 1;
+                match report.outcome {
+                    Ok(record) => {
+                        if let Some(dir) = &sup.checkpoint {
+                            checkpoint::write_shard(dir, &record)?;
+                        }
+                        statuses[i] = Some(ReplicaStatus::Completed {
+                            passed: record.passed,
+                            cached: false,
+                            attempt: record.attempt,
+                        });
+                        records[i] = Some(record);
+                    }
+                    Err(message) => {
+                        let error = DcnrError::Panic {
+                            context: format!(
+                                "replica {i} (seed {:#x}, attempt {})",
+                                fl.seed, fl.attempt
+                            ),
+                            message,
+                        };
+                        if fl.attempt < sup.retries {
+                            retries[i] += 1;
+                            queue.push_back((i, fl.attempt + 1));
+                        } else {
+                            statuses[i] = Some(ReplicaStatus::Quarantined { error });
+                        }
+                    }
+                }
+            }
+            None => {
+                // Watchdog sweep: abandon every attempt past deadline.
+                let Some(deadline) = sup.deadline else {
+                    continue;
+                };
+                let now = Instant::now();
+                for i in 0..n {
+                    let Some(fl) = inflight[i] else { continue };
+                    if now.duration_since(fl.started) >= deadline {
+                        inflight[i] = None;
+                        inflight_count -= 1;
+                        statuses[i] = Some(ReplicaStatus::DeadlineKilled {
+                            error: DcnrError::Deadline {
+                                replica: i,
+                                seed: fl.seed,
+                                secs: deadline.as_secs_f64(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let outcomes = statuses
+        .into_iter()
+        .enumerate()
+        .map(|(i, status)| ReplicaOutcome {
+            replica: i,
+            planned_seed: replica_seeds[i],
+            retries: retries[i],
+            cache_note: cache_notes[i].take(),
+            status: status.unwrap_or(ReplicaStatus::Quarantined {
+                error: DcnrError::Config(
+                    "replica was never scheduled (supervisor invariant violated)".into(),
+                ),
+            }),
+        })
+        .collect();
+    Ok((outcomes, records))
+}
+
+/// Renders the supervision report: one line per replica plus a summary.
+/// Deliberately free of wall-clock measurements and worker counts, so
+/// the report is deterministic for a given fault plan.
+pub(crate) fn render_supervision(sup: &SupervisorConfig, outcomes: &[ReplicaOutcome]) -> String {
+    let mut out = String::new();
+    let deadline = match sup.deadline {
+        Some(d) => format!("{}s", d.as_secs_f64()),
+        None => "none".into(),
+    };
+    let _ = writeln!(
+        out,
+        "supervision: {} replicas, retries {}, deadline {}, max-failures {}, checkpoint {}",
+        outcomes.len(),
+        sup.retries,
+        deadline,
+        sup.max_failures,
+        match &sup.checkpoint {
+            Some(dir) => dir.display().to_string(),
+            None => "off".into(),
+        }
+    );
+    let mut completed = 0usize;
+    let mut cached = 0usize;
+    let mut quarantined = 0usize;
+    let mut killed = 0usize;
+    for o in outcomes {
+        let line = match &o.status {
+            ReplicaStatus::Completed {
+                passed,
+                cached: from_cache,
+                attempt,
+            } => {
+                completed += 1;
+                let verdict = if *passed {
+                    "passed"
+                } else {
+                    "failed acceptance"
+                };
+                if *from_cache {
+                    cached += 1;
+                    format!("completed from checkpoint shard, {verdict}")
+                } else if o.retries > 0 {
+                    format!(
+                        "completed on attempt {attempt} after {} retr{}, {verdict}",
+                        o.retries,
+                        if o.retries == 1 { "y" } else { "ies" }
+                    )
+                } else {
+                    format!("completed, {verdict}")
+                }
+            }
+            ReplicaStatus::Quarantined { error } => {
+                quarantined += 1;
+                format!("quarantined: {error}")
+            }
+            ReplicaStatus::DeadlineKilled { error } => {
+                killed += 1;
+                format!("deadline-killed: {error}")
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  replica {} (seed {:#x}): {line}",
+            o.replica, o.planned_seed
+        );
+        if let Some(note) = &o.cache_note {
+            let _ = writeln!(out, "    note: {note}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "summary: {completed} completed ({cached} from cache), \
+         {quarantined} quarantined, {killed} deadline-killed"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plan_parses_the_env_syntax() {
+        let plan = FaultPlan::parse("1:panic,2:hang,3:panic-once,4").unwrap();
+        assert_eq!(plan.armed(1, 0), Some(FaultMode::Panic));
+        assert_eq!(plan.armed(1, 1), Some(FaultMode::Panic));
+        assert_eq!(plan.armed(2, 0), Some(FaultMode::Hang));
+        assert_eq!(plan.armed(3, 0), Some(FaultMode::Panic));
+        assert_eq!(plan.armed(3, 1), None, "panic-once clears on retry");
+        assert_eq!(plan.armed(4, 0), Some(FaultMode::Panic), "default mode");
+        assert_eq!(plan.armed(0, 0), None);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fault_plan_rejects_malformed_specs() {
+        let err = FaultPlan::parse("x:panic").unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        let err = FaultPlan::parse("1:explode").unwrap_err();
+        assert!(err.to_string().contains("explode"), "{err}");
+    }
+
+    #[test]
+    fn retry_seeds_differ_from_the_planned_seed() {
+        let planned = 0x5EED;
+        assert_eq!(effective_seed(planned, 0), planned);
+        let r1 = effective_seed(planned, 1);
+        let r2 = effective_seed(planned, 2);
+        assert_ne!(r1, planned);
+        assert_ne!(r2, planned);
+        assert_ne!(r1, r2);
+        // Stable: the same attempt always maps to the same seed.
+        assert_eq!(r1, effective_seed(planned, 1));
+    }
+
+    #[test]
+    fn default_policy_is_one_retry_no_deadline() {
+        let sup = SupervisorConfig::default();
+        assert_eq!(sup.retries, 1);
+        assert_eq!(sup.max_failures, 0);
+        assert!(sup.deadline.is_none());
+        assert!(sup.faults.is_empty());
+        assert!(sup.checkpoint.is_none());
+    }
+}

@@ -1,26 +1,32 @@
-//! The multi-seed sweep runner: N replicas of one scenario, a fixed
-//! worker pool, and cross-seed confidence bands.
+//! The multi-seed sweep runner: N replicas of one scenario, a
+//! supervised worker pool, and cross-seed confidence bands.
 //!
 //! A sweep takes a base [`Scenario`], mints `seeds` replicas that
 //! differ **only** in master seed (via [`dcnr_sim::seed_sequence`]),
-//! executes them across at most `jobs` scoped worker threads, and folds
-//! every comparison metric into a [`Band`] — mean, spread, and a
-//! bootstrap confidence interval — rendered as "paper value vs.
-//! measured band" rows.
+//! executes them under the supervision layer
+//! ([`crate::supervisor`]) — panic isolation, watchdog deadlines,
+//! bounded retry, quarantine — and folds every comparison metric into a
+//! [`Band`] — mean, spread, and a bootstrap confidence interval —
+//! rendered as "paper value vs. measured band" rows.
 //!
 //! Determinism contract: the aggregated outcome is **byte-identical**
-//! regardless of worker count. Replica outputs depend only on their
-//! derived seed, results land in per-replica slots (not in completion
-//! order), and aggregation runs single-threaded after the join, drawing
-//! each metric's bootstrap randomness from its own derived stream.
+//! regardless of worker count, and each surviving replica's result is
+//! byte-identical with or without failures elsewhere. Replica outputs
+//! depend only on the seed their successful attempt ran under, results
+//! land in per-replica slots keyed by index (not completion order), and
+//! aggregation runs single-threaded after the join, drawing each
+//! metric's bootstrap randomness from its own derived stream. With a
+//! checkpoint directory, completed replicas persist as JSON shards
+//! ([`crate::checkpoint`]) and a resumed or re-run sweep loads them
+//! instead of recomputing — and still renders byte-identical output.
 
-use crate::experiments::Comparison;
-use crate::scenario::{RunContext, Scenario};
+use crate::checkpoint::{self, Manifest, ReplicaRecord};
+use crate::error::DcnrError;
+use crate::scenario::Scenario;
+use crate::supervisor::{self, effective_seed, ReplicaOutcome, ReplicaStatus, SupervisorConfig};
 use dcnr_sim::{seed_sequence, stream_rng};
-use dcnr_stats::{aggregate, Band};
+use dcnr_stats::{aggregate_partial, Band};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// How to sweep: the base workload plus replication knobs.
 #[derive(Debug, Clone, Copy)]
@@ -52,15 +58,21 @@ impl SweepConfig {
 }
 
 /// One aggregated metric: the paper's point value against the band of
-/// per-seed measurements.
+/// per-seed measurements, plus an honest account of how many planned
+/// replicas contributed.
 #[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Metric name (as emitted by the artifact comparisons).
     pub metric: String,
     /// The paper's reported value.
     pub paper: f64,
-    /// The cross-seed measurement band.
+    /// The cross-seed measurement band over the surviving replicas.
     pub band: Band,
+    /// How many replicas were planned.
+    pub planned: usize,
+    /// How many planned replicas contributed no value (failed, or did
+    /// not emit this metric).
+    pub missing: usize,
 }
 
 /// Everything a sweep produces.
@@ -70,87 +82,151 @@ pub struct SweepOutcome {
     pub config: SweepConfig,
     /// The derived replica seeds, in replica order.
     pub replica_seeds: Vec<u64>,
-    /// How many replicas passed their own acceptance verdict.
+    /// How many replicas completed AND passed their own acceptance.
     pub passed_replicas: usize,
+    /// How many replicas failed outright (quarantined or
+    /// deadline-killed) and contributed nothing.
+    pub failed_replicas: usize,
+    /// Per-replica supervision records, in replica order.
+    pub outcomes: Vec<ReplicaOutcome>,
     /// Aggregated rows, in order of first appearance across replicas.
     pub rows: Vec<SweepRow>,
     /// The rendered band report. Deliberately omits the worker count so
     /// the bytes are identical for any `jobs` value.
     pub rendered: String,
+    /// The rendered supervision report (per-replica outcome, retries,
+    /// cache hits, quarantines, deadline kills). Also jobs-free and
+    /// wall-clock-free, so it is deterministic for a given fault plan.
+    pub supervision: String,
 }
 
-/// Runs the sweep. Returns `Err` for zero seeds or an invalid base
-/// scenario; individual replicas cannot fail (studies are total).
-pub fn run_sweep(config: SweepConfig) -> Result<SweepOutcome, String> {
+impl SweepOutcome {
+    /// How many replicas completed (fresh or from cache).
+    pub fn completed_replicas(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.failed()).count()
+    }
+
+    /// How many replica results were loaded from checkpoint shards.
+    pub fn cache_hits(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.cached()).count()
+    }
+
+    /// The `--max-failures` gate: `Ok` when at most `max_failures`
+    /// replicas failed, a [`DcnrError::Failed`] otherwise.
+    pub fn gate(&self, max_failures: u32) -> Result<(), DcnrError> {
+        if self.failed_replicas as u64 <= u64::from(max_failures) {
+            Ok(())
+        } else {
+            Err(DcnrError::Failed(format!(
+                "sweep degraded beyond --max-failures: {} of {} replicas failed (allowed {})",
+                self.failed_replicas,
+                self.replica_seeds.len(),
+                max_failures
+            )))
+        }
+    }
+}
+
+/// Runs the sweep with the default supervision policy (no deadline, one
+/// retry, no checkpoint). Returns `Err` for zero seeds or an invalid
+/// base scenario; individual replica failures degrade the aggregate
+/// instead of failing the sweep.
+pub fn run_sweep(config: SweepConfig) -> Result<SweepOutcome, DcnrError> {
+    run_supervised(config, &SupervisorConfig::default())
+}
+
+/// Runs the sweep under an explicit supervision policy: watchdog
+/// deadline, bounded retry, fault injection (tests), and checkpointing.
+pub fn run_supervised(
+    config: SweepConfig,
+    sup: &SupervisorConfig,
+) -> Result<SweepOutcome, DcnrError> {
     if config.seeds == 0 {
-        return Err("sweep needs at least one seed".into());
+        return Err(DcnrError::Config("sweep needs at least one seed".into()));
     }
     config.base.validate()?;
     let replica_seeds = seed_sequence(config.base.seed, "sweep.replica", config.seeds);
-    let jobs = config.jobs.max(1).min(replica_seeds.len());
+    let n = replica_seeds.len();
+    let jobs = config.jobs.max(1).min(n);
 
-    // Fixed result slots: replica i writes slot i, so completion order
-    // (which does depend on scheduling) never reaches the aggregate.
-    type ReplicaSlot = Mutex<Option<(Vec<Comparison>, bool)>>;
-    let slots: Vec<ReplicaSlot> = replica_seeds.iter().map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&seed) = replica_seeds.get(i) else {
-                    break;
-                };
-                let ctx = RunContext::new(config.base.with_seed(seed));
-                let out = ctx.execute();
-                *slots[i].lock().expect("slot poisoned") = Some((out.comparisons, out.passed));
-            });
+    // Checkpoint prologue: verify (or create) the manifest, then load
+    // every valid shard so its replica is never re-executed.
+    let mut cached: Vec<(Option<ReplicaRecord>, Option<String>)> =
+        (0..n).map(|_| (None, None)).collect();
+    if let Some(dir) = &sup.checkpoint {
+        checkpoint::prepare_dir(dir)?;
+        let manifest = Manifest::from_config(&config);
+        match checkpoint::read_manifest(dir)? {
+            Some(existing) => existing.ensure_matches(&manifest, dir)?,
+            None => checkpoint::write_manifest(dir, &manifest)?,
         }
-    });
-
-    let mut replicas = Vec::with_capacity(slots.len());
-    let mut passed_replicas = 0;
-    for slot in slots {
-        let (comparisons, passed) = slot
-            .into_inner()
-            .expect("slot poisoned")
-            .expect("every replica index was claimed by a worker");
-        if passed {
-            passed_replicas += 1;
+        for (i, slot) in cached.iter_mut().enumerate() {
+            match checkpoint::read_shard(dir, i) {
+                Ok(Some(rec)) => {
+                    if rec.seed == effective_seed(replica_seeds[i], rec.attempt) {
+                        slot.0 = Some(rec);
+                    } else {
+                        slot.1 =
+                            Some("shard seed does not belong to this sweep; re-executing".into());
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => slot.1 = Some(format!("ignored invalid shard ({e}); re-executing")),
+            }
         }
-        replicas.push(comparisons);
     }
+
+    let (outcomes, records) =
+        supervisor::supervise(&config.base, &replica_seeds, jobs, sup, cached)?;
+
+    let passed_replicas = outcomes
+        .iter()
+        .filter(|o| matches!(o.status, ReplicaStatus::Completed { passed: true, .. }))
+        .count();
+    let failed_replicas = outcomes.iter().filter(|o| o.failed()).count();
 
     let rows = aggregate_rows(
         config.base.seed,
-        &replicas,
+        &records,
         config.resamples,
         config.confidence,
     );
-    let rendered = render(&config, &replica_seeds, passed_replicas, &rows);
+    let rendered = render(
+        &config,
+        &replica_seeds,
+        passed_replicas,
+        failed_replicas,
+        &rows,
+    );
+    let supervision = supervisor::render_supervision(sup, &outcomes);
     Ok(SweepOutcome {
         config,
         replica_seeds,
         passed_replicas,
+        failed_replicas,
+        outcomes,
         rows,
         rendered,
+        supervision,
     })
 }
 
 /// Joins per-replica comparisons by metric **name** (artifact rows can
 /// vary in count across seeds — e.g. Fig. 12's design-MTBI rows need
-/// both designs present) and folds each metric into a band. Metric
-/// order is first appearance scanning replicas in index order, so the
-/// output is independent of worker scheduling.
+/// both designs present) and folds each metric into a band over the
+/// replicas that have it. A failed replica (`None` record) is a missing
+/// slot for every metric. Metric order is first appearance scanning
+/// replicas in index order, so the output is independent of worker
+/// scheduling and of failures elsewhere.
 fn aggregate_rows(
     master_seed: u64,
-    replicas: &[Vec<Comparison>],
+    records: &[Option<ReplicaRecord>],
     resamples: usize,
     confidence: f64,
 ) -> Vec<SweepRow> {
     let mut order: Vec<(&str, f64)> = Vec::new();
-    for replica in replicas {
-        for c in replica {
+    for record in records.iter().flatten() {
+        for c in &record.comparisons {
             if !order.iter().any(|(m, _)| *m == c.metric) {
                 order.push((&c.metric, c.paper));
             }
@@ -159,17 +235,28 @@ fn aggregate_rows(
     order
         .into_iter()
         .filter_map(|(metric, paper)| {
-            let values: Vec<f64> = replicas
+            // One slot per planned replica: `None` marks a replica that
+            // contributed nothing for this metric (it failed, or its
+            // seed produced no such row).
+            let slots: Vec<Option<f64>> = records
                 .iter()
-                .flat_map(|r| r.iter().filter(|c| c.metric == metric))
-                .map(|c| c.measured)
+                .map(|record| {
+                    record.as_ref().and_then(|r| {
+                        r.comparisons
+                            .iter()
+                            .find(|c| c.metric == metric)
+                            .map(|c| c.measured)
+                    })
+                })
                 .collect();
             let mut rng = stream_rng(master_seed, &format!("sweep.bootstrap.{metric}"));
-            let band = aggregate(&mut rng, &values, resamples, confidence)?;
+            let partial = aggregate_partial(&mut rng, &slots, resamples, confidence)?;
             Some(SweepRow {
                 metric: metric.to_string(),
                 paper,
-                band,
+                band: partial.band,
+                planned: partial.planned,
+                missing: partial.missing,
             })
         })
         .collect()
@@ -179,6 +266,7 @@ fn render(
     config: &SweepConfig,
     replica_seeds: &[u64],
     passed_replicas: usize,
+    failed_replicas: usize,
     rows: &[SweepRow],
 ) -> String {
     let mut out = String::new();
@@ -201,6 +289,14 @@ fn render(
         passed_replicas,
         replica_seeds.len()
     );
+    if failed_replicas > 0 {
+        let _ = writeln!(
+            out,
+            "DEGRADED: {failed_replicas} of {} replicas failed; bands cover survivors only \
+             (see the supervision report)",
+            replica_seeds.len()
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(
         out,
@@ -220,10 +316,15 @@ fn render(
         } else {
             "outside"
         };
+        let degraded = if row.missing > 0 {
+            format!(" [{}/{} replicas]", b.n, row.planned)
+        } else {
+            String::new()
+        };
         let _ = writeln!(
             out,
-            "  {:<40} {:>12.4}  {:>12.4} [{:>11.4}, {:>11.4}]  {:>10.4}  {}",
-            row.metric, row.paper, b.mean, lo, hi, b.stddev, verdict
+            "  {:<40} {:>12.4}  {:>12.4} [{:>11.4}, {:>11.4}]  {:>10.4}  {}{}",
+            row.metric, row.paper, b.mean, lo, hi, b.stddev, verdict, degraded
         );
     }
     out
@@ -232,6 +333,7 @@ fn render(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::Comparison;
     use crate::scenario::ScenarioKind;
 
     fn small_base(kind: ScenarioKind) -> Scenario {
@@ -247,12 +349,25 @@ mod tests {
         }
     }
 
+    fn record(replica: usize, comparisons: Vec<Comparison>) -> Option<ReplicaRecord> {
+        Some(ReplicaRecord {
+            replica,
+            attempt: 0,
+            seed: replica as u64,
+            passed: true,
+            comparisons,
+        })
+    }
+
     #[test]
     fn rejects_zero_seeds_and_bad_scenarios() {
-        assert!(run_sweep(SweepConfig::new(small_base(ScenarioKind::Backbone), 0, 1)).is_err());
+        let err =
+            run_sweep(SweepConfig::new(small_base(ScenarioKind::Backbone), 0, 1)).unwrap_err();
+        assert_eq!(err.kind(), "config");
         let mut bad = small_base(ScenarioKind::Intra);
         bad.scale = -1.0;
-        assert!(run_sweep(SweepConfig::new(bad, 2, 1)).is_err());
+        let err = run_sweep(SweepConfig::new(bad, 2, 1)).unwrap_err();
+        assert_eq!(err.kind(), "config");
     }
 
     #[test]
@@ -264,18 +379,45 @@ mod tests {
         };
         // Replica 1 lacks "b": name-joining must still band "b" from
         // the replicas that have it.
-        let replicas = vec![
-            vec![c("a", 1.0, 1.1), c("b", 2.0, 2.2)],
-            vec![c("a", 1.0, 0.9)],
-            vec![c("a", 1.0, 1.0), c("b", 2.0, 1.8)],
+        let records = vec![
+            record(0, vec![c("a", 1.0, 1.1), c("b", 2.0, 2.2)]),
+            record(1, vec![c("a", 1.0, 0.9)]),
+            record(2, vec![c("a", 1.0, 1.0), c("b", 2.0, 1.8)]),
         ];
-        let rows = aggregate_rows(7, &replicas, 200, 0.95);
+        let rows = aggregate_rows(7, &records, 200, 0.95);
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].metric, "a");
         assert_eq!(rows[0].band.n, 3);
+        assert_eq!(rows[0].missing, 0);
         assert_eq!(rows[1].metric, "b");
         assert_eq!(rows[1].band.n, 2);
+        assert_eq!(rows[1].missing, 1, "replica 1 is a missing slot for b");
         assert!((rows[1].band.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_rows_skips_failed_replicas_without_moving_survivor_values() {
+        let c = |m: &str, v: f64| Comparison {
+            metric: m.into(),
+            paper: 1.0,
+            measured: v,
+        };
+        let healthy = vec![
+            record(0, vec![c("x", 1.1)]),
+            record(1, vec![c("x", 0.9)]),
+            record(2, vec![c("x", 1.2)]),
+        ];
+        let mut degraded = healthy.clone();
+        degraded[1] = None; // replica 1 quarantined
+        let h = aggregate_rows(42, &healthy, 300, 0.9);
+        let d = aggregate_rows(42, &degraded, 300, 0.9);
+        assert_eq!(d[0].band.n, 2);
+        assert_eq!(d[0].missing, 1);
+        assert_eq!(d[0].planned, 3);
+        // Survivor order statistics come from the same values.
+        assert_eq!(d[0].band.min, 1.1);
+        assert_eq!(d[0].band.max, 1.2);
+        assert_eq!(h[0].band.min, 0.9);
     }
 
     #[test]
@@ -285,13 +427,13 @@ mod tests {
             paper: 1.0,
             measured: v,
         };
-        let replicas = vec![
-            vec![c("x", 1.1), c("y", 5.0)],
-            vec![c("x", 0.9), c("y", 6.0)],
-            vec![c("x", 1.2), c("y", 4.5)],
+        let records = vec![
+            record(0, vec![c("x", 1.1), c("y", 5.0)]),
+            record(1, vec![c("x", 0.9), c("y", 6.0)]),
+            record(2, vec![c("x", 1.2), c("y", 4.5)]),
         ];
-        let a = aggregate_rows(42, &replicas, 300, 0.9);
-        let b = aggregate_rows(42, &replicas, 300, 0.9);
+        let a = aggregate_rows(42, &records, 300, 0.9);
+        let b = aggregate_rows(42, &records, 300, 0.9);
         assert_eq!(a.len(), b.len());
         for (ra, rb) in a.iter().zip(&b) {
             assert_eq!(ra.band, rb.band);
@@ -307,8 +449,11 @@ mod tests {
             assert_eq!(row.band.n, 3, "{}", row.metric);
             assert!(row.band.covers(row.band.mean), "{}", row.metric);
         }
+        assert_eq!(out.failed_replicas, 0);
+        assert_eq!(out.cache_hits(), 0);
         assert!(out.rendered.contains("sweep: backbone scenario"));
         assert!(!out.rendered.contains("jobs"), "report must omit jobs");
+        assert!(!out.supervision.contains("jobs"), "supervision too");
     }
 
     #[test]
@@ -316,5 +461,17 @@ mod tests {
         let out = run_sweep(SweepConfig::new(small_base(ScenarioKind::Chaos), 2, 2)).unwrap();
         assert_eq!(out.passed_replicas, 2, "drill rates stay in tolerance");
         assert!(out.rows.iter().all(|r| r.paper == 0.0));
+    }
+
+    #[test]
+    fn gate_enforces_max_failures() {
+        let out = run_sweep(SweepConfig::new(small_base(ScenarioKind::Backbone), 2, 2)).unwrap();
+        assert!(out.gate(0).is_ok(), "healthy run passes a zero budget");
+        let mut degraded = out;
+        degraded.failed_replicas = 2;
+        assert!(degraded.gate(2).is_ok());
+        let err = degraded.gate(1).unwrap_err();
+        assert_eq!(err.kind(), "failed");
+        assert!(err.to_string().contains("max-failures"), "{err}");
     }
 }

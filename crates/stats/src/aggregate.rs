@@ -126,6 +126,50 @@ pub fn aggregate<R: Rng + ?Sized>(
     Some(band)
 }
 
+/// A [`Band`] computed from a partial result set: the band over the
+/// replicas that survived, plus an honest account of how many were
+/// planned and how many contributed nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialBand {
+    /// The band over the surviving values (`band.n` survivors).
+    pub band: Band,
+    /// How many replicas were planned (the slot count).
+    pub planned: usize,
+    /// How many slots were empty (failed, quarantined, killed, or
+    /// simply absent from that replica's output).
+    pub missing: usize,
+}
+
+impl PartialBand {
+    /// Whether every planned replica contributed a value.
+    pub fn is_complete(&self) -> bool {
+        self.missing == 0
+    }
+}
+
+/// Degraded-mode [`aggregate`]: one `Option<f64>` slot per planned
+/// replica, where `None` marks a replica that produced no value for
+/// this metric (it crashed, blew its deadline, or was quarantined).
+///
+/// Survivor values are banded exactly as [`aggregate`] would band them
+/// — the same slots with failures elsewhere yield the same band — and
+/// the `planned`/`missing` counts let callers report the degradation
+/// instead of hiding it. Returns `None` when no slot survived.
+pub fn aggregate_partial<R: Rng + ?Sized>(
+    rng: &mut R,
+    slots: &[Option<f64>],
+    resamples: usize,
+    confidence: f64,
+) -> Option<PartialBand> {
+    let survivors: Vec<f64> = slots.iter().copied().flatten().collect();
+    let band = aggregate(rng, &survivors, resamples, confidence)?;
+    Some(PartialBand {
+        band,
+        planned: slots.len(),
+        missing: slots.len() - survivors.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,5 +237,34 @@ mod tests {
         assert!(band.ci.is_none());
         assert!(band.covers(7.0));
         assert!(!band.covers(7.1));
+    }
+
+    #[test]
+    fn partial_aggregate_counts_missing_slots() {
+        let slots = [Some(1.0), None, Some(3.0), None, Some(2.0)];
+        let mut rng = StdRng::seed_from_u64(11);
+        let p = aggregate_partial(&mut rng, &slots, 200, 0.95).unwrap();
+        assert_eq!(p.planned, 5);
+        assert_eq!(p.missing, 2);
+        assert_eq!(p.band.n, 3);
+        assert!(!p.is_complete());
+        assert!((p.band.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_aggregate_matches_full_when_complete() {
+        let values = [4.0, 5.5, 3.25, 4.75];
+        let slots: Vec<Option<f64>> = values.iter().copied().map(Some).collect();
+        let full = aggregate(&mut StdRng::seed_from_u64(2), &values, 300, 0.9).unwrap();
+        let partial = aggregate_partial(&mut StdRng::seed_from_u64(2), &slots, 300, 0.9).unwrap();
+        assert!(partial.is_complete());
+        assert_eq!(partial.band, full, "survivor banding is identical");
+    }
+
+    #[test]
+    fn partial_aggregate_with_no_survivors_is_none() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(aggregate_partial(&mut rng, &[None, None], 100, 0.95).is_none());
+        assert!(aggregate_partial(&mut rng, &[], 100, 0.95).is_none());
     }
 }

@@ -55,7 +55,7 @@ pub mod renewal;
 pub mod summary;
 pub mod timeseries;
 
-pub use aggregate::{aggregate, bootstrap_mean, fold, Band};
+pub use aggregate::{aggregate, aggregate_partial, bootstrap_mean, fold, Band, PartialBand};
 pub use bootstrap::{bootstrap_exponential_fit, BootstrapFit, ParamInterval};
 pub use dist::{Categorical, Exponential, LogNormal, Sampler, Weibull};
 pub use ecdf::{Ecdf, QuantileCurve};
