@@ -32,4 +32,31 @@ if DCNR_FAULT_REPLICA=1:panic ./target/release/dcnr sweep --scenario backbone \
     exit 1
 fi
 
+echo "==> telemetry smoke (sweep bytes identical with --metrics/--trace on)"
+# The hard invariant: telemetry must not perturb a single RNG draw, so
+# the sweep report is byte-for-byte the same with and without it.
+./target/release/dcnr sweep --scenario backbone --seeds 2 --jobs 2 \
+    --resamples 200 >/tmp/dcnr_sweep_plain.out 2>/dev/null
+./target/release/dcnr --metrics /tmp/dcnr_metrics.prom --trace /tmp/dcnr_trace.json \
+    sweep --scenario backbone --seeds 2 --jobs 2 \
+    --resamples 200 >/tmp/dcnr_sweep_telem.out 2>/dev/null
+cmp /tmp/dcnr_sweep_plain.out /tmp/dcnr_sweep_telem.out
+# The metrics file must be valid Prometheus text with the replica
+# series folded in, and the trace must carry events.
+grep -q '^# TYPE dcnr_backbone_fiber_cuts_total counter' /tmp/dcnr_metrics.prom
+grep -q '^dcnr_backbone_fiber_cuts_total ' /tmp/dcnr_metrics.prom
+grep -q '^# TYPE dcnr_phase_duration_micros histogram' /tmp/dcnr_metrics.prom
+grep -q '"kind": "fiber_cut"' /tmp/dcnr_trace.json
+
+echo "==> profile smoke (quarter scale, parseable BENCH_profile.json)"
+( cd /tmp && /root/repo/target/release/dcnr \
+    --metrics /tmp/dcnr_profile_metrics.prom \
+    profile --scale 0.25 --json /tmp/dcnr_profile_smoke.json >/dev/null 2>&1 )
+# The profile must attribute issue generation per device type and
+# parse as JSON; the metrics file must pass the strict validator.
+grep -q '"phase": "intra.issue_gen.rsw"' /tmp/dcnr_profile_smoke.json
+grep -q '"phase": "intra.remediation"' /tmp/dcnr_profile_smoke.json
+cargo run --release -q --example validate_telemetry -- \
+    /tmp/dcnr_profile_metrics.prom /tmp/dcnr_profile_smoke.json
+
 echo "ci: all green"

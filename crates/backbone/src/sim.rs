@@ -79,6 +79,10 @@ impl BackboneSim {
         let window_h = cfg.window.hours();
 
         // ---- 1. conduit schedules per edge (hours from window start) ----
+        // Every RNG draw below happens whether or not telemetry is on;
+        // the fiber-cut counter/trace observe sampled intervals after
+        // the fact.
+        let cut_counter = dcnr_telemetry::counter("dcnr_backbone_fiber_cuts_total", &[]);
         let mut conduits: Vec<Vec<(f64, f64)>> = Vec::with_capacity(topology.edges().len());
         for (i, edge) in topology.edges().iter().enumerate() {
             let t = targets.edge(i);
@@ -93,6 +97,14 @@ impl BackboneSim {
                 }
                 let down: f64 = (t.mttr_hours * duration_jitter(&mut rng)).max(0.01);
                 let end = (start + down).min(window_h);
+                if let Some(counter) = &cut_counter {
+                    counter.inc();
+                    dcnr_telemetry::trace_event(
+                        at_hours(cfg.window, start).as_secs(),
+                        "fiber_cut",
+                        || format!("edge {} down {:.1}h", edge.id, end - start),
+                    );
+                }
                 intervals.push((start, end));
                 cursor = end;
                 if end >= window_h {

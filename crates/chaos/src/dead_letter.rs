@@ -29,6 +29,18 @@ pub enum QuarantineReason {
     Implausible,
 }
 
+impl QuarantineReason {
+    /// Stable lowercase label, used by telemetry counters.
+    pub fn label(self) -> &'static str {
+        match self {
+            QuarantineReason::ParseFailed => "parse",
+            QuarantineReason::StoreFailed => "store",
+            QuarantineReason::Unmatched => "unmatched",
+            QuarantineReason::Implausible => "implausible",
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry<T> {
     retry_at: SimTime,
@@ -104,6 +116,14 @@ impl<T> DeadLetterQueue<T> {
         let seq = self.seq;
         self.seq += 1;
         self.retries_scheduled += 1;
+        dcnr_telemetry::counter_add(
+            "dcnr_chaos_dlq_retries_total",
+            &[("reason", reason.label())],
+            1,
+        );
+        dcnr_telemetry::trace_event(retry_at.as_secs(), "dead_letter_retry", || {
+            format!("attempt {attempts} deferred ({})", reason.label())
+        });
         self.heap.push(Reverse(Entry {
             retry_at,
             seq,

@@ -55,6 +55,7 @@ pub fn run(
     window: StudyCalendar,
     deliveries: &[(SimTime, Bytes)],
 ) -> PipelineOutput {
+    let _span = dcnr_telemetry::span("chaos.pipeline");
     let mut tickets = TicketDb::new();
     let mut dedup = IdempotencyFilter::new();
     let mut dlq: DeadLetterQueue<Envelope> = DeadLetterQueue::new();
@@ -92,13 +93,13 @@ pub fn run(
                 Ok(email) => {
                     // Stage 2: dedup, exactly once per delivery.
                     if !dedup.admit(&email) {
-                        report.duplicates_dropped += 1;
+                        report.note_duplicate();
                         continue;
                     }
                     email
                 }
                 Err(_) => {
-                    report.parse_failures += 1;
+                    report.note_parse_failure();
                     if !dlq.defer(
                         cfg,
                         now,
@@ -106,7 +107,7 @@ pub fn run(
                         Envelope::Raw(raw),
                         QuarantineReason::ParseFailed,
                     ) {
-                        report.quarantined_parse += 1;
+                        report.note_quarantined(QuarantineReason::ParseFailed);
                     }
                     continue;
                 }
@@ -131,7 +132,7 @@ pub fn run(
                     .open_since(email.link)
                     .is_some_and(|started| email.at - started > cfg.max_plausible_outage);
             if outside_window || untimely || implausible_outage {
-                report.quarantined_implausible += 1;
+                report.note_quarantined(QuarantineReason::Implausible);
                 dlq.quarantine(Envelope::Parsed(email), QuarantineReason::Implausible);
                 continue;
             }
@@ -146,7 +147,7 @@ pub fn run(
                 Envelope::Parsed(email),
                 QuarantineReason::StoreFailed,
             ) {
-                report.quarantined_store += 1;
+                report.note_quarantined(QuarantineReason::StoreFailed);
             }
             continue;
         }
@@ -177,10 +178,9 @@ pub fn run(
 
         // Stage 4: the ticket state machine.
         if tickets.ingest(&email) {
-            report.ingested += 1;
+            report.note_ingested();
             if attempts > 0 {
-                report.healed_by_retry += 1;
-                report.note_commit_delay(now, email.at);
+                report.note_healed(now, email.at);
             }
         } else if !dlq.defer(
             cfg,
@@ -189,7 +189,7 @@ pub fn run(
             Envelope::Parsed(email),
             QuarantineReason::Unmatched,
         ) {
-            report.quarantined_semantic += 1;
+            report.note_quarantined(QuarantineReason::Unmatched);
         }
     }
 
@@ -207,7 +207,7 @@ pub fn run(
         .collect();
     let mut rec: ReconcileStats = reconcile(cfg, window, &mut tickets, &orphans);
     rec.closed_by_timeout += closed_inline;
-    report.reconcile = rec;
+    report.set_reconcile(rec);
 
     PipelineOutput { tickets, report }
 }

@@ -8,6 +8,7 @@
 //! regenerated tables/figures.
 
 use crate::config::ChaosConfig;
+use crate::dead_letter::QuarantineReason;
 use crate::inject::InjectionStats;
 use crate::reconcile::ReconcileStats;
 use crate::store::StoreStats;
@@ -81,6 +82,89 @@ impl DataQualityReport {
         if delay > self.max_heal_delay {
             self.max_heal_delay = delay;
         }
+    }
+
+    // The `note_*`/`set_*` accounting helpers below are the single
+    // bookkeeping path for the pipeline: each bumps the authoritative
+    // report field and mirrors the event into the telemetry registry
+    // (a no-op when no collector is installed), so the rendered report
+    // is byte-identical with telemetry on or off.
+
+    /// Counts one exact re-delivery dropped by the idempotency filter.
+    pub fn note_duplicate(&mut self) {
+        self.duplicates_dropped += 1;
+        dcnr_telemetry::counter_add("dcnr_chaos_duplicates_dropped_total", &[], 1);
+    }
+
+    /// Counts one failed parse attempt.
+    pub fn note_parse_failure(&mut self) {
+        self.parse_failures += 1;
+        dcnr_telemetry::counter_add("dcnr_chaos_parse_failures_total", &[], 1);
+    }
+
+    /// Counts one message quarantined under `reason`.
+    pub fn note_quarantined(&mut self, reason: QuarantineReason) {
+        match reason {
+            QuarantineReason::ParseFailed => self.quarantined_parse += 1,
+            QuarantineReason::StoreFailed => self.quarantined_store += 1,
+            QuarantineReason::Unmatched => self.quarantined_semantic += 1,
+            QuarantineReason::Implausible => self.quarantined_implausible += 1,
+        }
+        dcnr_telemetry::counter_add(
+            "dcnr_chaos_quarantined_total",
+            &[("reason", reason.label())],
+            1,
+        );
+    }
+
+    /// Counts one notification accepted into the ticket database.
+    pub fn note_ingested(&mut self) {
+        self.ingested += 1;
+        dcnr_telemetry::counter_add("dcnr_chaos_ingested_total", &[], 1);
+    }
+
+    /// Counts a message that failed at least once and later succeeded,
+    /// recording its ingestion delay.
+    pub fn note_healed(&mut self, ingested_at: SimTime, event_at: SimTime) {
+        self.healed_by_retry += 1;
+        dcnr_telemetry::counter_add("dcnr_chaos_healed_by_retry_total", &[], 1);
+        self.note_commit_delay(ingested_at, event_at);
+    }
+
+    /// Stores the injector's stats, mirroring the fault counts into
+    /// telemetry.
+    pub fn set_injection(&mut self, stats: InjectionStats) {
+        if dcnr_telemetry::active() {
+            for (kind, n) in [
+                ("lost", stats.lost),
+                ("duplicated", stats.duplicated),
+                ("corrupted", stats.corrupted),
+                ("truncated", stats.truncated),
+                ("delayed", stats.delayed),
+            ] {
+                dcnr_telemetry::counter_add(
+                    "dcnr_chaos_injected_faults_total",
+                    &[("kind", kind)],
+                    n,
+                );
+            }
+        }
+        self.injection = stats;
+    }
+
+    /// Stores the reconciler's stats, mirroring them into telemetry.
+    pub fn set_reconcile(&mut self, stats: ReconcileStats) {
+        if dcnr_telemetry::active() {
+            for (kind, n) in [
+                ("closed_by_timeout", stats.closed_by_timeout),
+                ("synthesized_starts", stats.synthesized_starts),
+                ("unreconcilable", stats.unreconcilable),
+                ("censored_open", stats.censored_open),
+            ] {
+                dcnr_telemetry::counter_add("dcnr_chaos_reconciled_total", &[("kind", kind)], n);
+            }
+        }
+        self.reconcile = stats;
     }
 
     /// Total messages quarantined (all reasons).

@@ -195,7 +195,7 @@ pub fn run_study(
         tickets,
         mut report,
     } = pipeline::run(chaos_cfg, sim_cfg.window, &deliveries);
-    report.injection = injection;
+    report.set_injection(injection);
     let perturbed = BackboneMetrics::compute(&tickets, &output.topology, sim_cfg.window)
         .expect("perturbed arm produced no tickets; rates too destructive");
 

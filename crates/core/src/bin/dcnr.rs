@@ -6,9 +6,13 @@
 //! watchdog deadlines, checkpoint/resume) and prints cross-seed
 //! confidence bands.
 
+use dcnr_core::telemetry::metrics::MetricsSnapshot;
+use dcnr_core::telemetry::trace::TraceSnapshot;
+use dcnr_core::telemetry::{logger, Telemetry};
 use dcnr_core::{
-    apply_scenario_flags, checkpoint, parse_sweep_args, run_supervised, ArgScanner, DcnrError,
-    FaultPlan, InterDcStudy, RunContext, Scenario, ScenarioKind, SupervisorConfig, SweepConfig,
+    apply_scenario_flags, checkpoint, parse_sweep_args, phase_rows, render_profile_json,
+    render_profile_table, run_supervised, telemetry_io, ArgScanner, DcnrError, FaultPlan,
+    InterDcStudy, RunContext, Scenario, ScenarioKind, SupervisorConfig, SweepConfig,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -16,7 +20,16 @@ use std::time::{Duration, Instant};
 const USAGE: &str = "\
 dcnr — Data Center Network Reliability study toolkit
 
-Scenario flags (shared by intra/backbone/chaos/sweep):
+Global flags (any command):
+    --metrics FILE    write telemetry metrics on exit: Prometheus text,
+                      or JSON when FILE ends in .json
+    --trace FILE      write the bounded sim-time event trace as JSON
+    --quiet, -q       only errors on stderr
+    -v                debug detail on stderr
+                      Telemetry never perturbs results: report and
+                      sweep bytes are identical with or without it.
+
+Scenario flags (shared by intra/backbone/chaos/sweep/profile):
     --seed N          master seed; every derived stream follows it
     --scale S         intra-DC fleet scale multiplier
     --edges E         backbone edge count
@@ -60,6 +73,13 @@ USAGE:
                    times the sweep at 1 and J workers, checks the
                    reports are byte-identical, and writes the wall
                    clocks to PATH.
+    dcnr profile   [--scenario intra|backbone|chaos] [--json PATH]
+                   [scenario flags]
+                   Run one scenario with the phase timers on, print the
+                   wall-clock breakdown per pipeline stage (fleet
+                   build, issue generation per device type,
+                   remediation, SEV analysis, backbone, aggregation),
+                   and write it to PATH (default BENCH_profile.json).
     dcnr drill     Run the fault-injection and disaster-recovery drills
                    on the reference mixed region.
     dcnr risk      [--trials N] [--seed N]
@@ -73,18 +93,69 @@ Environment:
                    exercising the supervision path end to end.
 ";
 
+/// The global flags every command accepts, stripped from argv before
+/// subcommand dispatch.
+struct GlobalFlags {
+    metrics: Option<String>,
+    trace: Option<String>,
+}
+
+fn parse_global_flags(argv: Vec<String>) -> Result<(GlobalFlags, Vec<String>), DcnrError> {
+    let mut scan = ArgScanner::new(argv);
+    if scan.flag("--quiet") || scan.flag("-q") {
+        logger::set_verbosity(logger::Level::Error);
+    }
+    let mut verbose = false;
+    while scan.flag("-v") {
+        verbose = true;
+    }
+    if verbose {
+        logger::set_verbosity(logger::Level::Debug);
+    }
+    let flags = GlobalFlags {
+        metrics: scan.value("--metrics")?,
+        trace: scan.value("--trace")?,
+    };
+    Ok((flags, scan.into_rest()))
+}
+
 fn main() -> ExitCode {
-    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let (global, mut argv) = match parse_global_flags(argv) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            logger::error(format!("error: {error}"));
+            return ExitCode::from(error.exit_code());
+        }
+    };
     if argv.is_empty() {
         eprint!("{USAGE}");
         return ExitCode::FAILURE;
     }
     let command = argv.remove(0);
-    let result = match command.as_str() {
+
+    // Install a collector only when telemetry output was requested:
+    // with none installed every instrumentation call in the engine is
+    // a no-op, and either way the study results are byte-identical.
+    let handle = (global.metrics.is_some() || global.trace.is_some() || command == "profile")
+        .then(Telemetry::new_handle);
+    let _guard = handle.clone().map(dcnr_core::telemetry::installed);
+
+    // Sweep replicas run on their own threads with their own
+    // collectors; cmd_sweep parks the merged snapshots here so the
+    // epilogue can fold them into the main thread's.
+    let mut replica_telemetry: Option<(MetricsSnapshot, TraceSnapshot)> = None;
+
+    let mut result = match command.as_str() {
         "intra" => cmd_scenario(Scenario::intra(0xDC_2018), ArgScanner::new(argv)),
         "backbone" => cmd_scenario(Scenario::backbone(0xB0_E5), ArgScanner::new(argv)),
         "chaos" => cmd_scenario(Scenario::chaos(0xC4_05), ArgScanner::new(argv)),
-        "sweep" => cmd_sweep(ArgScanner::new(argv)),
+        "sweep" => cmd_sweep(ArgScanner::new(argv), &mut replica_telemetry),
+        "profile" => cmd_profile(ArgScanner::new(argv), handle.as_ref()),
         "drill" => cmd_drill(ArgScanner::new(argv)),
         "risk" => cmd_risk(ArgScanner::new(argv)),
         "help" | "--help" | "-h" => {
@@ -95,10 +166,37 @@ fn main() -> ExitCode {
             "unknown command {other:?}\n\n{USAGE}"
         ))),
     };
+
+    // Telemetry epilogue: fold replica snapshots into the main
+    // thread's and write the requested files (even after a failed
+    // command — the telemetry often explains the failure).
+    if let Some(handle) = &handle {
+        let (mut metrics, mut trace) = handle.snapshots();
+        if let Some((m, t)) = &replica_telemetry {
+            metrics.merge(m);
+            trace.merge(t);
+        }
+        let mut write = |out: Result<(), DcnrError>| {
+            if let Err(error) = out {
+                if result.is_ok() {
+                    result = Err(error);
+                } else {
+                    logger::error(format!("error: {error}"));
+                }
+            }
+        };
+        if let Some(path) = &global.metrics {
+            write(telemetry_io::write_metrics_file(path, &metrics));
+        }
+        if let Some(path) = &global.trace {
+            write(telemetry_io::write_trace_file(path, &trace));
+        }
+    }
+
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(error) => {
-            eprintln!("error: {error}");
+            logger::error(format!("error: {error}"));
             ExitCode::from(error.exit_code())
         }
     }
@@ -109,14 +207,14 @@ fn main() -> ExitCode {
 fn cmd_scenario(base: Scenario, mut args: ArgScanner) -> Result<(), DcnrError> {
     let scenario = apply_scenario_flags(&mut args, base)?;
     args.finish()?;
-    eprintln!(
+    logger::info(format!(
         "running {} scenario (seed {:#x}, scale {}, {} edges, {} vendors)...",
         scenario.kind,
         scenario.seed,
         scenario.scale,
         scenario.backbone.edges,
         scenario.backbone.vendors
-    );
+    ));
     let out = RunContext::new(scenario).try_execute()?;
     print!("{}", out.rendered);
     if out.passed {
@@ -128,7 +226,10 @@ fn cmd_scenario(base: Scenario, mut args: ArgScanner) -> Result<(), DcnrError> {
     }
 }
 
-fn cmd_sweep(mut args: ArgScanner) -> Result<(), DcnrError> {
+fn cmd_sweep(
+    mut args: ArgScanner,
+    replica_telemetry: &mut Option<(MetricsSnapshot, TraceSnapshot)>,
+) -> Result<(), DcnrError> {
     let parsed = parse_sweep_args(&mut args)?;
     let jobs = parsed
         .jobs
@@ -174,16 +275,19 @@ fn cmd_sweep(mut args: ArgScanner) -> Result<(), DcnrError> {
         faults: FaultPlan::from_env()?,
     };
 
-    eprintln!(
+    logger::info(format!(
         "sweeping {} scenario: {} seeds on {} workers...",
         config.base.kind, config.seeds, jobs
-    );
+    ));
     let started = Instant::now();
     let out = run_supervised(config, &sup)?;
     let elapsed = started.elapsed();
-    eprintln!("sweep finished in {:.2}s", elapsed.as_secs_f64());
+    logger::info(format!("sweep finished in {:.2}s", elapsed.as_secs_f64()));
     print!("{}", out.rendered);
-    eprint!("{}", out.supervision);
+    logger::info(out.supervision.trim_end_matches('\n'));
+    if let (Some(m), Some(t)) = (out.replica_metrics.clone(), out.replica_trace.clone()) {
+        *replica_telemetry = Some((m, t));
+    }
 
     if let Some(path) = &parsed.bench_json {
         write_bench_json(path, config, &sup, elapsed.as_secs_f64(), &out.rendered)?;
@@ -202,7 +306,7 @@ fn write_bench_json(
     parallel_secs: f64,
     parallel_rendered: &str,
 ) -> Result<(), DcnrError> {
-    eprintln!("re-running the sweep on 1 worker for the benchmark baseline...");
+    logger::info("re-running the sweep on 1 worker for the benchmark baseline...");
     let started = Instant::now();
     let serial = run_supervised(SweepConfig { jobs: 1, ..config }, sup)?;
     let serial_secs = started.elapsed().as_secs_f64();
@@ -237,7 +341,53 @@ fn write_bench_json(
         path: path.to_string(),
         message: format!("write: {e}"),
     })?;
-    eprintln!("wrote {path} (serial {serial_secs:.2}s, parallel {parallel_secs:.2}s)");
+    logger::info(format!(
+        "wrote {path} (serial {serial_secs:.2}s, parallel {parallel_secs:.2}s)"
+    ));
+    Ok(())
+}
+
+/// `dcnr profile`: run one scenario with the phase timers on, print the
+/// wall-clock breakdown per pipeline stage, and write it as JSON. The
+/// table *layout* is deterministic (rows sorted by phase name); the
+/// durations are wall-clock and vary run to run.
+fn cmd_profile(
+    mut args: ArgScanner,
+    handle: Option<&dcnr_core::telemetry::TelemetryHandle>,
+) -> Result<(), DcnrError> {
+    let kind = match args.value::<String>("--scenario")? {
+        Some(name) => ScenarioKind::parse(&name).ok_or_else(|| {
+            DcnrError::Usage(format!(
+                "unknown scenario {name:?} (intra, backbone, or chaos)"
+            ))
+        })?,
+        None => ScenarioKind::Intra,
+    };
+    let base = match kind {
+        ScenarioKind::Intra => Scenario::intra(0xDC_2018),
+        ScenarioKind::Backbone => Scenario::backbone(0xB0_E5),
+        ScenarioKind::Chaos => Scenario::chaos(0xC4_05),
+    };
+    let json_path = args
+        .value::<String>("--json")?
+        .unwrap_or_else(|| "BENCH_profile.json".into());
+    let scenario = apply_scenario_flags(&mut args, base)?;
+    args.finish()?;
+    let handle = handle.expect("main installs a collector for the profile command");
+    logger::info(format!(
+        "profiling {} scenario (seed {:#x}, scale {})...",
+        scenario.kind, scenario.seed, scenario.scale
+    ));
+    let _out = RunContext::new(scenario).try_execute()?;
+    let (metrics, _) = handle.snapshots();
+    let rows = phase_rows(&metrics);
+    print!("{}", render_profile_table(&rows));
+    let json = render_profile_json(&kind.to_string(), scenario.seed, scenario.scale, &rows);
+    std::fs::write(&json_path, json).map_err(|e| DcnrError::Io {
+        path: json_path.clone(),
+        message: format!("write: {e}"),
+    })?;
+    logger::info(format!("wrote {json_path}"));
     Ok(())
 }
 
@@ -281,7 +431,9 @@ fn cmd_risk(mut args: ArgScanner) -> Result<(), DcnrError> {
     if trials == 0 {
         return Err(DcnrError::Usage("--trials must be positive".into()));
     }
-    eprintln!("simulating backbone and planning capacity ({trials} trials)...");
+    logger::info(format!(
+        "simulating backbone and planning capacity ({trials} trials)..."
+    ));
     let inter = InterDcStudy::run(dcnr_core::backbone::BackboneSimConfig {
         seed,
         ..Default::default()

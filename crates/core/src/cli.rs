@@ -62,6 +62,13 @@ impl ArgScanner {
             .map_err(|_| DcnrError::Usage(format!("invalid value for {name}: {raw:?}")))
     }
 
+    /// Returns the arguments not yet consumed. Used by the binary to
+    /// strip global flags (`--metrics`, `--trace`, `--quiet`, `-v`)
+    /// before handing the remainder to the subcommand parser.
+    pub fn into_rest(self) -> Vec<String> {
+        self.rest
+    }
+
     /// Fails if any argument was not consumed (unknown flag or stray
     /// positional).
     pub fn finish(self) -> Result<(), DcnrError> {

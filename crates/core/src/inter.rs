@@ -25,7 +25,10 @@ pub struct InterDcStudy {
 impl InterDcStudy {
     /// Runs the full pipeline with the given configuration.
     pub fn run(config: BackboneSimConfig) -> Self {
+        let sim = dcnr_telemetry::span("backbone.sim");
         let output = BackboneSim::new(config).run();
+        sim.finish();
+        let ingest = dcnr_telemetry::span("backbone.ingest");
         let mut tickets = TicketDb::new();
         let mut ingest_failures = 0;
         for (_, raw) in &output.emails {
@@ -38,8 +41,11 @@ impl InterDcStudy {
                 Err(_) => ingest_failures += 1,
             }
         }
+        ingest.finish();
+        let compute = dcnr_telemetry::span("backbone.metrics");
         let metrics = BackboneMetrics::compute(&tickets, &output.topology, config.window)
             .expect("default-scale backbone always produces failures");
+        compute.finish();
         Self {
             config,
             output,

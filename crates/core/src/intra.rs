@@ -57,6 +57,7 @@ pub struct IntraDcStudy {
 impl IntraDcStudy {
     /// Runs the full pipeline.
     pub fn run(config: StudyConfig) -> Self {
+        let build = dcnr_telemetry::span("intra.fleet_build");
         let growth = FleetGrowth::scaled(config.scale);
         let hazard = HazardModel::with_config(config.hazard);
         let generator = IssueGenerator::new(
@@ -65,11 +66,16 @@ impl IntraDcStudy {
             RootCauseModel::paper(),
             config.seed,
         );
+        build.finish();
         let issues = generator.generate(config.window);
+        let remediation = dcnr_telemetry::span("intra.remediation");
         let mut engine = RemediationEngine::new(hazard, config.seed);
         let outcomes = engine.triage_all(issues);
+        remediation.finish();
+        let sev = dcnr_telemetry::span("intra.sev_analysis");
         let mut db = SevDb::new();
         SevGenerator::new(config.seed).ingest(&outcomes, &mut db);
+        sev.finish();
         Self {
             config,
             growth,

@@ -328,6 +328,39 @@ mod tests {
     }
 
     #[test]
+    fn f64_bits_round_trip_ieee_edge_cases() {
+        // Values plain decimal JSON numbers cannot carry (NaN,
+        // infinities) or would silently normalize (-0.0, subnormals):
+        // the bit-pattern path must keep every one exact.
+        let edges = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -0.0,
+            5e-324, // smallest positive subnormal
+            -5e-324,
+            f64::MIN_POSITIVE,                     // smallest positive normal
+            f64::MIN_POSITIVE / 2.0,               // a mid-range subnormal
+            f64::from_bits(0x7FF8_DEAD_BEEF_0001), // NaN with payload
+        ];
+        for f in edges {
+            let v = parse(&format!("{{\"x\": {}}}", f.to_bits())).unwrap();
+            let back = v.get("x").unwrap().as_f64_bits().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "bits must be exact for {f}");
+        }
+        // Sign-sensitive checks decimal round-trips typically lose.
+        let v = parse(&format!("{{\"x\": {}}}", (-0.0f64).to_bits())).unwrap();
+        assert!(v
+            .get("x")
+            .unwrap()
+            .as_f64_bits()
+            .unwrap()
+            .is_sign_negative());
+        let v = parse(&format!("{{\"x\": {}}}", f64::NAN.to_bits())).unwrap();
+        assert!(v.get("x").unwrap().as_f64_bits().unwrap().is_nan());
+    }
+
+    #[test]
     fn string_escaping_round_trips() {
         let nasty = "a \"quoted\" \\ back\nnew\ttab \u{1} control µ";
         let mut doc = String::from("{\"k\": ");

@@ -41,6 +41,11 @@
 //! * [`cli`] — the shared flag scanner behind every `dcnr` subcommand.
 //! * [`report`] — plain-text rendering of tables and figure series in
 //!   the same rows/columns the paper prints.
+//! * [`telemetry_io`] — JSON and Prometheus-text serialization of
+//!   `dcnr-telemetry` snapshots, behind the `--metrics` / `--trace`
+//!   flags.
+//! * [`profile`] — the `dcnr profile` phase-breakdown table and
+//!   `BENCH_profile.json` writer.
 //!
 //! ## Quickstart
 //!
@@ -65,11 +70,13 @@ pub mod error;
 pub mod experiments;
 pub mod inter;
 pub mod intra;
-pub(crate) mod json;
+pub mod json;
+pub mod profile;
 pub mod report;
 pub mod scenario;
 pub mod supervisor;
 pub mod sweep;
+pub mod telemetry_io;
 
 pub use artifacts::Artifact;
 pub use checkpoint::{Manifest, ReplicaRecord};
@@ -78,6 +85,7 @@ pub use error::DcnrError;
 pub use experiments::{Comparison, Experiment, ExperimentOutcome};
 pub use inter::InterDcStudy;
 pub use intra::{IntraDcStudy, StudyConfig};
+pub use profile::{phase_rows, render_profile_json, render_profile_table, PhaseRow};
 pub use scenario::{RunContext, RunPlan, Scenario, ScenarioKind, ScenarioOutcome, StudyKind};
 pub use supervisor::{
     FaultMode, FaultPlan, FaultSpec, ReplicaOutcome, ReplicaStatus, SupervisorConfig, FAULT_ENV,
@@ -94,4 +102,5 @@ pub use dcnr_service as service;
 pub use dcnr_sev as sev;
 pub use dcnr_sim as sim;
 pub use dcnr_stats as stats;
+pub use dcnr_telemetry as telemetry;
 pub use dcnr_topology as topology;

@@ -31,6 +31,8 @@ use crate::checkpoint::{self, ReplicaRecord};
 use crate::error::{panic_message, DcnrError};
 use crate::scenario::{RunContext, Scenario};
 use dcnr_sim::derive_indexed_seed;
+use dcnr_telemetry::metrics::MetricsSnapshot;
+use dcnr_telemetry::trace::TraceSnapshot;
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::panic::AssertUnwindSafe;
@@ -231,10 +233,14 @@ pub fn effective_seed(planned: u64, attempt: u32) -> u64 {
     }
 }
 
+/// Per-replica telemetry captured by a successful attempt, when the
+/// sweep runs with a collector installed.
+pub(crate) type ReplicaTelemetry = (MetricsSnapshot, TraceSnapshot);
+
 struct AttemptReport {
     replica: usize,
     attempt: u32,
-    outcome: Result<ReplicaRecord, String>,
+    outcome: Result<(ReplicaRecord, Option<ReplicaTelemetry>), String>,
 }
 
 #[derive(Clone, Copy)]
@@ -250,6 +256,7 @@ fn spawn_attempt(
     attempt: u32,
     seed: u64,
     fault: Option<FaultMode>,
+    collect_telemetry: bool,
     tx: mpsc::Sender<AttemptReport>,
 ) -> Result<(), DcnrError> {
     std::thread::Builder::new()
@@ -267,14 +274,21 @@ fn spawn_attempt(
                     }
                     None => {}
                 }
+                // Each attempt gets its own collector (replica threads
+                // never share one), so snapshots merge exactly no
+                // matter how attempts interleave across workers.
+                let handle = collect_telemetry.then(dcnr_telemetry::Telemetry::new_handle);
+                let _guard = handle.clone().map(dcnr_telemetry::installed);
                 let out = RunContext::new(base.with_seed(seed)).execute();
-                ReplicaRecord {
+                let telemetry = handle.map(|h| h.snapshots());
+                let record = ReplicaRecord {
                     replica,
                     attempt,
                     seed,
                     passed: out.passed,
                     comparisons: out.comparisons,
-                }
+                };
+                (record, telemetry)
             }))
             .map_err(|payload| panic_message(payload.as_ref()));
             // The supervisor may have abandoned us (deadline) and hung
@@ -293,21 +307,34 @@ fn spawn_attempt(
 }
 
 /// Runs every not-yet-cached replica under supervision and returns the
-/// per-replica outcomes plus the surviving records (one slot per
-/// planned replica; `None` where the replica failed).
+/// per-replica outcomes, the surviving records (one slot per planned
+/// replica; `None` where the replica failed), and — when the calling
+/// thread has a telemetry collector installed — each successful
+/// attempt's telemetry snapshots (cached replicas contribute none; the
+/// study was not re-run).
 ///
 /// `cached` carries one `(record, note)` pair per replica: records
 /// loaded from checkpoint shards (used as-is) and notes explaining
 /// ignored shards (surfaced in the supervision report).
+#[allow(clippy::type_complexity)]
 pub(crate) fn supervise(
     base: &Scenario,
     replica_seeds: &[u64],
     jobs: usize,
     sup: &SupervisorConfig,
     cached: Vec<(Option<ReplicaRecord>, Option<String>)>,
-) -> Result<(Vec<ReplicaOutcome>, Vec<Option<ReplicaRecord>>), DcnrError> {
+) -> Result<
+    (
+        Vec<ReplicaOutcome>,
+        Vec<Option<ReplicaRecord>>,
+        Vec<Option<ReplicaTelemetry>>,
+    ),
+    DcnrError,
+> {
+    let collect_telemetry = dcnr_telemetry::active();
     let n = replica_seeds.len();
     let mut statuses: Vec<Option<ReplicaStatus>> = vec![None; n];
+    let mut telemetries: Vec<Option<ReplicaTelemetry>> = vec![None; n];
     let mut records: Vec<Option<ReplicaRecord>> = Vec::with_capacity(n);
     let mut cache_notes: Vec<Option<String>> = Vec::with_capacity(n);
     for (i, (record, note)) in cached.into_iter().enumerate() {
@@ -339,7 +366,15 @@ pub(crate) fn supervise(
             };
             let seed = effective_seed(replica_seeds[i], attempt);
             let fault = sup.faults.armed(i, attempt);
-            match spawn_attempt(*base, i, attempt, seed, fault, tx.clone()) {
+            match spawn_attempt(
+                *base,
+                i,
+                attempt,
+                seed,
+                fault,
+                collect_telemetry,
+                tx.clone(),
+            ) {
                 Ok(()) => {
                     inflight[i] = Some(InFlight {
                         attempt,
@@ -389,15 +424,18 @@ pub(crate) fn supervise(
                 inflight[i] = None;
                 inflight_count -= 1;
                 match report.outcome {
-                    Ok(record) => {
+                    Ok((record, telemetry)) => {
                         if let Some(dir) = &sup.checkpoint {
+                            let write = dcnr_telemetry::span("checkpoint.write");
                             checkpoint::write_shard(dir, &record)?;
+                            write.finish();
                         }
                         statuses[i] = Some(ReplicaStatus::Completed {
                             passed: record.passed,
                             cached: false,
                             attempt: record.attempt,
                         });
+                        telemetries[i] = telemetry;
                         records[i] = Some(record);
                     }
                     Err(message) => {
@@ -441,7 +479,7 @@ pub(crate) fn supervise(
         }
     }
 
-    let outcomes = statuses
+    let outcomes: Vec<ReplicaOutcome> = statuses
         .into_iter()
         .enumerate()
         .map(|(i, status)| ReplicaOutcome {
@@ -456,7 +494,25 @@ pub(crate) fn supervise(
             }),
         })
         .collect();
-    Ok((outcomes, records))
+    // Supervisor-level counters go to the *calling* thread's collector,
+    // recorded from the final outcomes in replica-index order so the
+    // totals are independent of worker count and scheduling.
+    for o in &outcomes {
+        dcnr_telemetry::counter_add("dcnr_sweep_retries_total", &[], u64::from(o.retries));
+        match &o.status {
+            ReplicaStatus::Completed { cached: true, .. } => {
+                dcnr_telemetry::counter_add("dcnr_sweep_cache_hits_total", &[], 1);
+            }
+            ReplicaStatus::Completed { .. } => {}
+            ReplicaStatus::Quarantined { .. } => {
+                dcnr_telemetry::counter_add("dcnr_sweep_quarantined_total", &[], 1);
+            }
+            ReplicaStatus::DeadlineKilled { .. } => {
+                dcnr_telemetry::counter_add("dcnr_sweep_deadline_kills_total", &[], 1);
+            }
+        }
+    }
+    Ok((outcomes, records, telemetries))
 }
 
 /// Renders the supervision report: one line per replica plus a summary.

@@ -26,6 +26,8 @@ use crate::scenario::Scenario;
 use crate::supervisor::{self, effective_seed, ReplicaOutcome, ReplicaStatus, SupervisorConfig};
 use dcnr_sim::{seed_sequence, stream_rng};
 use dcnr_stats::{aggregate_partial, Band};
+use dcnr_telemetry::metrics::MetricsSnapshot;
+use dcnr_telemetry::trace::TraceSnapshot;
 use std::fmt::Write as _;
 
 /// How to sweep: the base workload plus replication knobs.
@@ -98,6 +100,12 @@ pub struct SweepOutcome {
     /// cache hits, quarantines, deadline kills). Also jobs-free and
     /// wall-clock-free, so it is deterministic for a given fault plan.
     pub supervision: String,
+    /// The replicas' metrics, folded in replica-index order. `None`
+    /// when the sweep ran without a telemetry collector installed.
+    pub replica_metrics: Option<MetricsSnapshot>,
+    /// The replicas' event traces, concatenated in replica-index order.
+    /// `None` when the sweep ran without a collector installed.
+    pub replica_trace: Option<TraceSnapshot>,
 }
 
 impl SweepOutcome {
@@ -160,6 +168,7 @@ pub fn run_supervised(
             Some(existing) => existing.ensure_matches(&manifest, dir)?,
             None => checkpoint::write_manifest(dir, &manifest)?,
         }
+        let read = dcnr_telemetry::span("checkpoint.read");
         for (i, slot) in cached.iter_mut().enumerate() {
             match checkpoint::read_shard(dir, i) {
                 Ok(Some(rec)) => {
@@ -174,10 +183,26 @@ pub fn run_supervised(
                 Err(e) => slot.1 = Some(format!("ignored invalid shard ({e}); re-executing")),
             }
         }
+        read.finish();
     }
 
-    let (outcomes, records) =
+    let (outcomes, records, telemetries) =
         supervisor::supervise(&config.base, &replica_seeds, jobs, sup, cached)?;
+
+    // Fold per-replica telemetry in replica-index order: counter merge
+    // is exact integer addition and trace merge is concatenation, so
+    // the folded snapshots are independent of worker count.
+    let (replica_metrics, replica_trace) = if dcnr_telemetry::active() {
+        let mut metrics = MetricsSnapshot::default();
+        let mut trace = TraceSnapshot::default();
+        for (m, t) in telemetries.iter().flatten() {
+            metrics.merge(m);
+            trace.merge(t);
+        }
+        (Some(metrics), Some(trace))
+    } else {
+        (None, None)
+    };
 
     let passed_replicas = outcomes
         .iter()
@@ -185,12 +210,14 @@ pub fn run_supervised(
         .count();
     let failed_replicas = outcomes.iter().filter(|o| o.failed()).count();
 
+    let aggregate = dcnr_telemetry::span("sweep.aggregate");
     let rows = aggregate_rows(
         config.base.seed,
         &records,
         config.resamples,
         config.confidence,
     );
+    aggregate.finish();
     let rendered = render(
         &config,
         &replica_seeds,
@@ -208,6 +235,8 @@ pub fn run_supervised(
         rows,
         rendered,
         supervision,
+        replica_metrics,
+        replica_trace,
     })
 }
 

@@ -81,6 +81,15 @@ impl IssueGenerator {
     /// Generates all issues for one device type within `window`,
     /// time-ordered.
     pub fn generate_type(&self, t: DeviceType, window: StudyCalendar) -> Vec<RawIssue> {
+        // Telemetry observes the generation, it never participates in
+        // it: the RNG stream below is fully drawn regardless of whether
+        // a collector is installed, and the per-issue counter handle is
+        // resolved once (None when telemetry is off).
+        let _span = dcnr_telemetry::span(&format!("intra.issue_gen.{}", t.name_prefix()));
+        let issue_counter = dcnr_telemetry::counter(
+            "dcnr_faults_issues_total",
+            &[("device_type", t.name_prefix())],
+        );
         let mut rng = stream_rng(self.seed, &format!("faults.issues.{}", t.name_prefix()));
         let mut out = Vec::new();
         for year in window.years() {
@@ -107,6 +116,12 @@ impl IssueGenerator {
                 }
                 let device_name = self.sample_device_name(&mut rng, t, pop);
                 let root_cause = self.causes.sample(&mut rng, t);
+                if let Some(counter) = &issue_counter {
+                    counter.inc();
+                    dcnr_telemetry::trace_event(at.as_secs(), "device_failure", || {
+                        format!("{device_name}: {root_cause}")
+                    });
+                }
                 out.push(RawIssue {
                     at,
                     device_type: t,
@@ -214,6 +229,25 @@ mod tests {
             .generate_type(DeviceType::Csw, w)
             .len() as f64;
         assert!((n4 / n1 - 4.0).abs() < 0.8, "ratio {}", n4 / n1);
+    }
+
+    #[test]
+    fn telemetry_counts_issues_without_perturbing_them() {
+        let w = StudyCalendar::year(2016);
+        let bare = gen().generate_type(DeviceType::Csw, w);
+        let t = dcnr_telemetry::Telemetry::new_handle();
+        let observed = {
+            let _guard = dcnr_telemetry::installed(t.clone());
+            gen().generate_type(DeviceType::Csw, w)
+        };
+        assert_eq!(bare, observed, "telemetry must not perturb generation");
+        let snap = t.metrics.snapshot();
+        assert_eq!(
+            snap.counter_value("dcnr_faults_issues_total", &[("device_type", "csw")]),
+            bare.len() as u64
+        );
+        let trace = t.trace.snapshot();
+        assert_eq!(trace.seen, bare.len() as u64);
     }
 
     #[test]

@@ -125,6 +125,34 @@ impl RemediationEngine {
 
     /// Triage one issue.
     pub fn triage(&mut self, issue: RawIssue) -> RemediationOutcome {
+        let outcome = self.triage_inner(issue);
+        // All RNG draws happen inside triage_inner; observation is
+        // strictly after the fact.
+        if dcnr_telemetry::active() {
+            let kind = match &outcome {
+                RemediationOutcome::AutoRepaired(r) => {
+                    dcnr_telemetry::counter_add(
+                        "dcnr_remediation_actions_total",
+                        &[("action", &r.action.to_string())],
+                        1,
+                    );
+                    dcnr_telemetry::trace_event(r.issue.at.as_secs(), "repair_dispatch", || {
+                        format!(
+                            "{}: {} (priority {})",
+                            r.issue.device_name, r.action, r.priority
+                        )
+                    });
+                    "auto_repaired"
+                }
+                RemediationOutcome::ManuallyResolved { .. } => "manually_resolved",
+                RemediationOutcome::Escalated { .. } => "escalated",
+            };
+            dcnr_telemetry::counter_add("dcnr_remediation_outcomes_total", &[("outcome", kind)], 1);
+        }
+        outcome
+    }
+
+    fn triage_inner(&mut self, issue: RawIssue) -> RemediationOutcome {
         let year = issue.at.year();
         let t = issue.device_type;
         let rng_idx = dcnr_faults::calibration::type_index(t).unwrap_or(7);

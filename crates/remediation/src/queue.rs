@@ -57,6 +57,8 @@ impl<T> Ord for Entry<T> {
 pub struct RepairQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
+    /// Resolved once at construction; `None` when telemetry is off.
+    depth: Option<dcnr_telemetry::metrics::Gauge>,
 }
 
 impl<T> RepairQueue<T> {
@@ -65,6 +67,8 @@ impl<T> RepairQueue<T> {
         Self {
             heap: BinaryHeap::new(),
             seq: 0,
+            depth: dcnr_telemetry::current()
+                .map(|t| t.metrics.gauge("dcnr_remediation_queue_depth", &[])),
         }
     }
 
@@ -79,16 +83,25 @@ impl<T> RepairQueue<T> {
             seq,
             payload,
         });
+        if let Some(depth) = &self.depth {
+            depth.add(1);
+        }
     }
 
     /// Removes the most urgent repair: highest priority first (lowest
     /// number), earliest ready time within a priority.
     pub fn pop(&mut self) -> Option<QueuedRepair<T>> {
-        self.heap.pop().map(|e| QueuedRepair {
+        let popped = self.heap.pop().map(|e| QueuedRepair {
             priority: e.priority,
             ready_at: e.ready_at,
             payload: e.payload,
-        })
+        });
+        if popped.is_some() {
+            if let Some(depth) = &self.depth {
+                depth.sub(1);
+            }
+        }
+        popped
     }
 
     /// Number of pending repairs.
@@ -141,6 +154,19 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|r| r.payload)).collect();
         assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_gauge_tracks_pending_repairs() {
+        let t = dcnr_telemetry::Telemetry::new_handle();
+        let _guard = dcnr_telemetry::installed(t.clone());
+        let mut q = RepairQueue::new();
+        q.push(0, SimTime::EPOCH, 1);
+        q.push(1, SimTime::EPOCH, 2);
+        q.pop();
+        let snap = t.metrics.snapshot();
+        let key = dcnr_telemetry::metrics::Key::new("dcnr_remediation_queue_depth", &[]);
+        assert_eq!(snap.gauges[&key], 1);
     }
 
     #[test]

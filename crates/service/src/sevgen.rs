@@ -56,6 +56,23 @@ impl SevGenerator {
                     ""
                 }
             );
+            // All sampling for this record is done; telemetry below is
+            // observation only.
+            if dcnr_telemetry::active() {
+                dcnr_telemetry::counter_add(
+                    "dcnr_service_sevs_total",
+                    &[("severity", &severity.to_string())],
+                    1,
+                );
+                let opened = issue.at;
+                let closed = issue.at + duration;
+                dcnr_telemetry::trace_event(opened.as_secs(), "sev_open", || {
+                    format!("{severity} on {}", issue.device_name)
+                });
+                dcnr_telemetry::trace_event(closed.as_secs(), "sev_close", || {
+                    format!("{severity} on {} after {duration}", issue.device_name)
+                });
+            }
             db.insert(
                 severity,
                 issue.device_name.clone(),

@@ -10,6 +10,7 @@
 
 use crate::event::EventQueue;
 use crate::time::{SimDuration, SimTime};
+use dcnr_telemetry::metrics::Counter;
 
 /// Restricted simulation surface available to event handlers.
 pub struct Scheduler<'a, E> {
@@ -49,6 +50,11 @@ pub struct Simulation<E> {
     now: SimTime,
     queue: EventQueue<E>,
     dispatched: u64,
+    /// Resolved once at construction so the dispatch loop bumps a bare
+    /// atomic instead of doing a registry lookup per event. `None` when
+    /// no telemetry collector is installed — the common case — which
+    /// keeps the loop free of telemetry overhead entirely.
+    dispatch_counter: Option<Counter>,
 }
 
 impl<E> Simulation<E> {
@@ -58,6 +64,7 @@ impl<E> Simulation<E> {
             now: start,
             queue: EventQueue::new(),
             dispatched: 0,
+            dispatch_counter: dcnr_telemetry::counter("dcnr_sim_events_dispatched_total", &[]),
         }
     }
 
@@ -114,6 +121,9 @@ impl<E> Simulation<E> {
                     handler(&mut sched, event);
                     self.dispatched += 1;
                     count += 1;
+                    if let Some(counter) = &self.dispatch_counter {
+                        counter.inc();
+                    }
                 }
                 Some(_) => {
                     // Next event beyond horizon: stop with clock at horizon.
@@ -235,6 +245,21 @@ mod tests {
         let mut sim: Simulation<Ev> = Simulation::new(SimTime::EPOCH);
         assert_eq!(sim.run_to_completion(|_, _| {}), 0);
         assert_eq!(sim.now(), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn dispatch_counter_feeds_installed_telemetry() {
+        let t = dcnr_telemetry::Telemetry::new_handle();
+        let _guard = dcnr_telemetry::installed(t.clone());
+        let mut sim = Simulation::new(SimTime::EPOCH);
+        sim.schedule_at(SimTime::from_secs(1), Ev::Tick(1));
+        sim.schedule_at(SimTime::from_secs(2), Ev::Tick(2));
+        sim.run_to_completion(|_, _| {});
+        let snap = t.metrics.snapshot();
+        assert_eq!(
+            snap.counter_value("dcnr_sim_events_dispatched_total", &[]),
+            2
+        );
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Prometheus text exposition (version 0.0.4) of a metrics snapshot,
+//! plus a small validating parser used by tests and CI smokes.
+//!
+//! Rendering is fully deterministic: snapshots are `BTreeMap`s, so
+//! families and series appear in sorted order, and every value is an
+//! integer.
+
+use crate::metrics::{HistogramSnapshot, Key, MetricsSnapshot};
+use std::fmt::Write as _;
+
+fn push_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, String)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(&v));
+    }
+    out.push('}');
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn type_line(out: &mut String, last_family: &mut Option<String>, name: &str, kind: &str) {
+    if last_family.as_deref() != Some(name) {
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        *last_family = Some(name.to_string());
+    }
+}
+
+fn push_histogram(out: &mut String, key: &Key, h: &HistogramSnapshot) {
+    let mut cumulative = 0u64;
+    for (i, bound) in h.bounds.iter().enumerate() {
+        cumulative += h.counts[i];
+        let _ = write!(out, "{}_bucket", key.name);
+        push_labels(out, &key.labels, Some(("le", bound.to_string())));
+        let _ = writeln!(out, " {cumulative}");
+    }
+    let _ = write!(out, "{}_bucket", key.name);
+    push_labels(out, &key.labels, Some(("le", "+Inf".to_string())));
+    let _ = writeln!(out, " {}", h.count);
+    let _ = write!(out, "{}_sum", key.name);
+    push_labels(out, &key.labels, None);
+    let _ = writeln!(out, " {}", h.sum);
+    let _ = write!(out, "{}_count", key.name);
+    push_labels(out, &key.labels, None);
+    let _ = writeln!(out, " {}", h.count);
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_family = None;
+    for (key, value) in &snapshot.counters {
+        type_line(&mut out, &mut last_family, &key.name, "counter");
+        out.push_str(&key.name);
+        push_labels(&mut out, &key.labels, None);
+        let _ = writeln!(out, " {value}");
+    }
+    let mut last_family = None;
+    for (key, value) in &snapshot.gauges {
+        type_line(&mut out, &mut last_family, &key.name, "gauge");
+        out.push_str(&key.name);
+        push_labels(&mut out, &key.labels, None);
+        let _ = writeln!(out, " {value}");
+    }
+    let mut last_family = None;
+    for (key, h) in &snapshot.histograms {
+        type_line(&mut out, &mut last_family, &key.name, "histogram");
+        push_histogram(&mut out, key, h);
+    }
+    out
+}
+
+/// Validates Prometheus text exposition, returning the number of
+/// samples, or a message naming the first malformed line.
+///
+/// This is a strict-enough structural check for tests and the CI
+/// smoke: every non-comment line must be `name[{labels}] value` with a
+/// well-formed metric name, balanced quoted label values, and an
+/// integer or `+Inf`-free numeric value.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let mut samples = 0usize;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {lineno}: no value separator"))?;
+        if value.parse::<f64>().is_err() {
+            return Err(format!("line {lineno}: unparseable value {value:?}"));
+        }
+        let name_part = match series.split_once('{') {
+            None => series,
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {lineno}: unclosed label set"))?;
+                validate_labels(body).map_err(|e| format!("line {lineno}: {e}"))?;
+                name
+            }
+        };
+        if name_part.is_empty()
+            || !name_part
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name_part.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {lineno}: bad metric name {name_part:?}"));
+        }
+        samples += 1;
+    }
+    Ok(samples)
+}
+
+fn validate_labels(body: &str) -> Result<(), String> {
+    // Label values are quoted and may contain escaped quotes; walk the
+    // body instead of naively splitting on commas.
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| "label without '='".to_string())?;
+        let name = &rest[..eq];
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("bad label name {name:?}"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| "label value not quoted".to_string())?;
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in rest.char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or_else(|| "unterminated label value".to_string())?;
+        rest = &rest[close + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err("junk after label value".to_string());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let r = Registry::default();
+        r.counter("dcnr_events_total", &[("kind", "a")]).add(3);
+        r.counter("dcnr_events_total", &[("kind", "b \"q\"")])
+            .add(1);
+        r.gauge("dcnr_depth", &[]).add(-2);
+        r.histogram("dcnr_lat_micros", &[("phase", "x")], &[10, 100])
+            .observe(7);
+        r.snapshot()
+    }
+
+    #[test]
+    fn render_is_deterministic_and_valid() {
+        let a = render(&sample_snapshot());
+        let b = render(&sample_snapshot());
+        assert_eq!(a, b);
+        let samples = validate(&a).expect("valid exposition");
+        // 2 counters + 1 gauge + (2 buckets + +Inf + sum + count).
+        assert_eq!(samples, 8);
+        assert!(a.contains("# TYPE dcnr_events_total counter"));
+        assert!(a.contains("dcnr_events_total{kind=\"a\"} 3"));
+        assert!(a.contains("dcnr_events_total{kind=\"b \\\"q\\\"\"} 1"));
+        assert!(a.contains("dcnr_depth -2"));
+        assert!(a.contains("dcnr_lat_micros_bucket{phase=\"x\",le=\"10\"} 1"));
+        assert!(a.contains("dcnr_lat_micros_bucket{phase=\"x\",le=\"+Inf\"} 1"));
+        assert!(a.contains("dcnr_lat_micros_sum{phase=\"x\"} 7"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        assert!(validate("ok_total 1\n").is_ok());
+        assert!(validate("1bad 2\n").unwrap_err().contains("line 1"));
+        assert!(validate("name{x=\"unterminated} 1\n").is_err());
+        assert!(validate("name{x=\"v\"} notanumber\n").is_err());
+        assert!(validate("name{=\"v\"} 1\n").is_err());
+        assert_eq!(validate("# just a comment\n\n").unwrap(), 0);
+    }
+}

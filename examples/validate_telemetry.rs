@@ -1,0 +1,64 @@
+//! CI helper: strict validation of telemetry output files.
+//!
+//! Usage: `validate_telemetry METRICS_PROM [PROFILE_JSON]`
+//!
+//! Checks that the metrics file passes the Prometheus text-format
+//! validator and carries the phase-duration series, and (when given)
+//! that the profile JSON parses and names at least one
+//! per-device-type issue-generation phase.
+
+use dcnr_core::json;
+use dcnr_core::telemetry::prometheus;
+use std::process::ExitCode;
+
+fn check(metrics_path: &str, profile_path: Option<&str>) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(metrics_path).map_err(|e| format!("{metrics_path}: read: {e}"))?;
+    let series = prometheus::validate(&text).map_err(|e| format!("{metrics_path}: {e}"))?;
+    if series == 0 {
+        return Err(format!("{metrics_path}: no series at all"));
+    }
+    if !text.contains("dcnr_phase_duration_micros") {
+        return Err(format!("{metrics_path}: missing the phase histogram"));
+    }
+    println!("{metrics_path}: {series} series, valid Prometheus text");
+
+    if let Some(path) = profile_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: read: {e}"))?;
+        let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let phases = doc
+            .get("phases")
+            .and_then(json::Json::as_arr)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let per_type = phases
+            .iter()
+            .filter_map(|p| p.get("phase").and_then(json::Json::as_str).ok())
+            .filter(|name| name.starts_with("intra.issue_gen."))
+            .count();
+        if per_type == 0 {
+            return Err(format!(
+                "{path}: no per-device-type issue generation phases"
+            ));
+        }
+        println!(
+            "{path}: {} phases ({per_type} per-device-type)",
+            phases.len()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(metrics_path) = args.first() else {
+        eprintln!("usage: validate_telemetry METRICS_PROM [PROFILE_JSON]");
+        return ExitCode::from(2);
+    };
+    match check(metrics_path, args.get(1).map(String::as_str)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("validate_telemetry: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The telemetry subsystem's hard invariant, end to end: **turning
+//! telemetry on must not perturb a single RNG draw**. Reports and sweep
+//! artifacts must be byte-identical with and without a collector
+//! installed, merged sweep totals must be independent of the worker
+//! count, and the profile must attribute issue generation per device
+//! type.
+
+use dcnr_core::telemetry::{installed, Telemetry};
+use dcnr_core::{phase_rows, run_sweep, RunContext, Scenario, ScenarioKind, SweepConfig};
+
+fn small(kind: ScenarioKind, seed: u64) -> Scenario {
+    Scenario {
+        kind,
+        scale: 0.5,
+        backbone: dcnr_core::backbone::topo::BackboneParams {
+            edges: 30,
+            vendors: 12,
+            min_links_per_edge: 3,
+        },
+        ..Scenario::intra(seed)
+    }
+}
+
+#[test]
+fn scenario_reports_are_byte_identical_with_telemetry_on() {
+    for kind in [
+        ScenarioKind::Intra,
+        ScenarioKind::Backbone,
+        ScenarioKind::Chaos,
+    ] {
+        let plain = RunContext::new(small(kind, 0x7E1E)).execute();
+        let handle = Telemetry::new_handle();
+        let observed = {
+            let _guard = installed(handle.clone());
+            RunContext::new(small(kind, 0x7E1E)).execute()
+        };
+        assert_eq!(plain.rendered, observed.rendered, "{kind}");
+        assert_eq!(plain.passed, observed.passed, "{kind}");
+        let (metrics, _) = handle.snapshots();
+        assert!(
+            !metrics.is_empty(),
+            "{kind}: the instrumented run must actually record metrics"
+        );
+    }
+}
+
+#[test]
+fn sweep_output_is_byte_identical_with_telemetry_on() {
+    let base = small(ScenarioKind::Backbone, 0xBEE5);
+    let plain = run_sweep(SweepConfig::new(base, 3, 2)).unwrap();
+    let handle = Telemetry::new_handle();
+    let observed = {
+        let _guard = installed(handle);
+        run_sweep(SweepConfig::new(base, 3, 2)).unwrap()
+    };
+    assert_eq!(plain.rendered, observed.rendered);
+    assert_eq!(plain.supervision, observed.supervision);
+    assert!(plain.replica_metrics.is_none(), "no collector, no folding");
+    let merged = observed.replica_metrics.expect("collector installed");
+    assert!(
+        merged.counter_value("dcnr_backbone_fiber_cuts_total", &[]) > 0,
+        "replica counters must survive the fold"
+    );
+    let trace = observed.replica_trace.expect("collector installed");
+    assert!(trace.seen > 0, "fiber cuts must be traced");
+    assert!(trace.head.iter().all(|e| e.kind == "fiber_cut"));
+}
+
+#[test]
+fn merged_sweep_totals_are_independent_of_worker_count() {
+    let base = small(ScenarioKind::Intra, 0x90B5);
+    let run_with_jobs = |jobs: usize| {
+        let handle = Telemetry::new_handle();
+        let out = {
+            let _guard = installed(handle);
+            run_sweep(SweepConfig::new(base, 3, jobs)).unwrap()
+        };
+        (
+            out.replica_metrics.expect("collector installed"),
+            out.replica_trace.expect("collector installed"),
+        )
+    };
+    let (serial_metrics, serial_trace) = run_with_jobs(1);
+    let (parallel_metrics, parallel_trace) = run_with_jobs(3);
+    // Exact equality for everything event-driven. Phase histograms
+    // hold wall-clock durations — the one legitimately nondeterministic
+    // series — so for them only the observation counts must agree.
+    assert_eq!(serial_metrics.counters, parallel_metrics.counters);
+    assert_eq!(serial_metrics.gauges, parallel_metrics.gauges);
+    let keys: Vec<_> = serial_metrics.histograms.keys().collect();
+    assert_eq!(keys, parallel_metrics.histograms.keys().collect::<Vec<_>>());
+    for (key, serial_hist) in &serial_metrics.histograms {
+        assert_eq!(
+            serial_hist.count, parallel_metrics.histograms[key].count,
+            "{key:?}"
+        );
+    }
+    assert_eq!(serial_trace, parallel_trace);
+    assert!(
+        serial_metrics.counter_value("dcnr_faults_issues_total", &[("device_type", "rsw")]) > 0,
+        "per-type issue counters must be present"
+    );
+}
+
+#[test]
+fn profile_names_issue_generation_per_device_type() {
+    let handle = Telemetry::new_handle();
+    {
+        let _guard = installed(handle.clone());
+        RunContext::new(small(ScenarioKind::Intra, 0x1DEA)).execute();
+    }
+    let (metrics, _) = handle.snapshots();
+    let rows = phase_rows(&metrics);
+    let phases: Vec<&str> = rows.iter().map(|r| r.phase.as_str()).collect();
+    for expected in [
+        "intra.fleet_build",
+        "intra.remediation",
+        "intra.sev_analysis",
+    ] {
+        assert!(phases.contains(&expected), "missing {expected}: {phases:?}");
+    }
+    let per_type: Vec<&&str> = phases
+        .iter()
+        .filter(|p| p.starts_with("intra.issue_gen."))
+        .collect();
+    assert!(
+        per_type.len() >= 5,
+        "issue generation must be attributed per device type, got {phases:?}"
+    );
+    assert!(phases.windows(2).all(|w| w[0] <= w[1]), "rows sorted");
+    for row in &rows {
+        assert!(row.calls > 0, "{}: zero-call phase in profile", row.phase);
+    }
+}
+
+#[test]
+fn telemetry_off_records_nothing_and_costs_no_formatting() {
+    // With no collector on this thread, a full study leaves no global
+    // residue: a later install starts from an empty registry.
+    RunContext::new(small(ScenarioKind::Intra, 0x0FF)).execute();
+    let handle = Telemetry::new_handle();
+    let _guard = installed(handle.clone());
+    let (metrics, trace) = handle.snapshots();
+    assert!(metrics.is_empty());
+    assert!(trace.is_empty());
+}
