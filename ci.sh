@@ -59,4 +59,41 @@ grep -q '"phase": "intra.remediation"' /tmp/dcnr_profile_smoke.json
 cargo run --release -q --example validate_telemetry -- \
     /tmp/dcnr_profile_metrics.prom /tmp/dcnr_profile_smoke.json
 
+echo "==> serve smoke (ephemeral port, loadgen, byte-identity, graceful drain)"
+# Start the report server on an ephemeral port in admin (test) mode.
+rm -f /tmp/dcnr_serve_port
+./target/release/dcnr -q serve --addr 127.0.0.1:0 --admin \
+    --port-file /tmp/dcnr_serve_port &
+DCNR_SERVE_PID=$!
+# Wait for the port file (the server writes it after binding).
+i=0
+while [ ! -s /tmp/dcnr_serve_port ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "server never bound" >&2; exit 1; }
+    sleep 0.1
+done
+DCNR_ADDR=$(cat /tmp/dcnr_serve_port)
+# Liveness, then a verified closed-loop load run: every response body is
+# compared byte-for-byte against a local render of the same scenario.
+./target/release/dcnr fetch "$DCNR_ADDR" /healthz | grep -q '^ok$'
+./target/release/dcnr -q loadgen --addr "$DCNR_ADDR" \
+    --clients 4 --requests 6 --verify \
+    --artifacts fig15,fig16,table4 --scale 0.25 --edges 40 --vendors 16 \
+    >/dev/null
+# /metrics must pass the strict Prometheus validator and report traffic.
+./target/release/dcnr -q fetch "$DCNR_ADDR" /metrics --validate \
+    >/tmp/dcnr_serve_metrics.prom
+grep -q '^dcnr_server_requests_total' /tmp/dcnr_serve_metrics.prom
+grep -q '^dcnr_server_cache_hits_total' /tmp/dcnr_serve_metrics.prom
+# One artifact fetched over HTTP must be byte-identical to the CLI.
+./target/release/dcnr artifact fig15 --seed 11 --scale 0.25 \
+    --edges 40 --vendors 16 >/tmp/dcnr_artifact_cli.out
+./target/release/dcnr -q fetch "$DCNR_ADDR" \
+    '/artifacts/fig15?seed=11&scale=0.25&edges=40&vendors=16' \
+    >/tmp/dcnr_artifact_http.out
+cmp /tmp/dcnr_artifact_cli.out /tmp/dcnr_artifact_http.out
+# Graceful drain: /admin/shutdown must end the server with exit 0.
+./target/release/dcnr -q fetch "$DCNR_ADDR" /admin/shutdown >/dev/null
+wait "$DCNR_SERVE_PID"
+
 echo "ci: all green"

@@ -9,11 +9,12 @@
 
 use crate::experiments::{Comparison, Experiment, ExperimentOutcome};
 use crate::report;
-use crate::scenario::{RunContext, StudyKind};
+use crate::scenario::{RunContext, ScenarioKind, StudyKind};
 use dcnr_backbone::PaperModels;
 use dcnr_faults::{calibration, RootCause};
 use dcnr_sev::SevLevel;
 use dcnr_topology::{DeviceType, NetworkDesign};
+use std::fmt::Write as _;
 
 /// One paper artifact: identity, provenance, baseline, renderer.
 pub struct Artifact {
@@ -39,6 +40,45 @@ pub fn descriptor(e: Experiment) -> &'static Artifact {
         .iter()
         .find(|a| a.id == e)
         .expect("every experiment has exactly one registered artifact")
+}
+
+/// The scenario kind whose default configuration produces `e` — the
+/// base the CLI `dcnr artifact` command and the report server's
+/// `/artifacts/{id}` endpoint both start from before applying flags.
+pub fn base_kind(e: Experiment) -> ScenarioKind {
+    match descriptor(e).study {
+        StudyKind::Intra => ScenarioKind::Intra,
+        StudyKind::Backbone => ScenarioKind::Backbone,
+        StudyKind::Chaos => ScenarioKind::Chaos,
+    }
+}
+
+/// Renders one artifact's report block: separator, title, separator,
+/// the artifact body, then its paper-vs-measured comparison rows. This
+/// is the exact per-artifact block [`RunContext::execute`] emits, so a
+/// single-artifact rendering (CLI `dcnr artifact`, server
+/// `/artifacts/{id}`) is byte-identical to the corresponding slice of
+/// the full scenario report.
+pub fn render_block(out: &ExperimentOutcome) -> String {
+    let mut rendered = String::new();
+    let _ = writeln!(
+        rendered,
+        "----------------------------------------------------------"
+    );
+    let _ = writeln!(rendered, "{}", out.experiment.title());
+    let _ = writeln!(
+        rendered,
+        "----------------------------------------------------------"
+    );
+    let _ = writeln!(rendered, "{}", out.rendered);
+    for c in &out.comparisons {
+        let _ = writeln!(
+            rendered,
+            "  {:<40} paper {:>12.4}  measured {:>12.4}",
+            c.metric, c.paper, c.measured
+        );
+    }
+    rendered
 }
 
 static REGISTRY: [Artifact; 20] = [

@@ -6,13 +6,15 @@
 //! watchdog deadlines, checkpoint/resume) and prints cross-seed
 //! confidence bands.
 
+use dcnr_core::cli::{parse_loadgen_args, parse_serve_args};
 use dcnr_core::telemetry::metrics::MetricsSnapshot;
 use dcnr_core::telemetry::trace::TraceSnapshot;
 use dcnr_core::telemetry::{logger, Telemetry};
 use dcnr_core::{
-    apply_scenario_flags, checkpoint, parse_sweep_args, phase_rows, render_profile_json,
-    render_profile_table, run_supervised, telemetry_io, ArgScanner, DcnrError, FaultPlan,
-    InterDcStudy, RunContext, Scenario, ScenarioKind, SupervisorConfig, SweepConfig,
+    apply_scenario_flags, artifacts, checkpoint, loadgen, parse_sweep_args, phase_rows,
+    render_profile_json, render_profile_table, run_supervised, serve, telemetry_io, ArgScanner,
+    DcnrError, Experiment, FaultPlan, InterDcStudy, RunContext, Scenario, ScenarioKind,
+    SupervisorConfig, SweepConfig,
 };
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -80,6 +82,44 @@ USAGE:
                    build, issue generation per device type,
                    remediation, SEV analysis, backbone, aggregation),
                    and write it to PATH (default BENCH_profile.json).
+    dcnr serve     [--addr HOST:PORT] [--workers W] [--queue-depth Q]
+                   [--cache-entries E] [--sweep-root DIR] [--admin]
+                   [--port-file PATH]
+                   Serve study reports over HTTP on a fixed worker pool
+                   with a bounded accept queue (overload sheds 503 +
+                   Retry-After; never hangs). GET /artifacts/{id} (with
+                   scenario flags as query parameters, e.g.
+                   /artifacts/fig15?seed=7&scale=0.5) renders any
+                   registry artifact byte-identically to
+                   `dcnr artifact`, through an LRU result cache keyed
+                   by scenario+seed+artifact; /sweeps/{dir} aggregates
+                   an existing checkpoint directory under --sweep-root;
+                   /metrics is live Prometheus text (requests, latency
+                   histograms, cache hits/misses, shed count);
+                   /healthz and /readyz report liveness. --admin adds
+                   /admin/shutdown (graceful drain) for tests and
+                   scripts; SIGINT drains too. --addr with port 0 picks
+                   an ephemeral port, written to --port-file.
+    dcnr loadgen   [--addr HOST:PORT] [--clients N] [--requests R]
+                   [--mix-seed S] [--scenario-seeds K]
+                   [--artifacts id,id,...] [--verify]
+                   [--bench-json PATH] [--bench-append]
+                   [--timeout-secs T] [scenario flags]
+                   Closed-loop load harness: N client threads drive a
+                   running `dcnr serve` with a seeded artifact/scenario
+                   request mix and report throughput and p50/p95/p99
+                   latency. --verify compares every body byte-for-byte
+                   against a local render; --bench-json writes the run
+                   record (--bench-append adds to an existing file).
+    dcnr artifact  ID [scenario flags]
+                   Render one registry artifact (table1, fig2, ...,
+                   fig18, table4) for the scenario — the same bytes
+                   `dcnr serve` returns for /artifacts/ID.
+    dcnr fetch     ADDR TARGET [--validate] [--timeout-secs T]
+                   One-shot HTTP GET against a running server (no curl
+                   needed in scripts); prints the body, fails on
+                   non-200. --validate additionally runs the strict
+                   Prometheus text-format validator over the body.
     dcnr drill     Run the fault-injection and disaster-recovery drills
                    on the reference mixed region.
     dcnr risk      [--trials N] [--seed N]
@@ -151,10 +191,23 @@ fn main() -> ExitCode {
     let mut replica_telemetry: Option<(MetricsSnapshot, TraceSnapshot)> = None;
 
     let mut result = match command.as_str() {
-        "intra" => cmd_scenario(Scenario::intra(0xDC_2018), ArgScanner::new(argv)),
-        "backbone" => cmd_scenario(Scenario::backbone(0xB0_E5), ArgScanner::new(argv)),
-        "chaos" => cmd_scenario(Scenario::chaos(0xC4_05), ArgScanner::new(argv)),
+        "intra" => cmd_scenario(
+            Scenario::cli_default(ScenarioKind::Intra),
+            ArgScanner::new(argv),
+        ),
+        "backbone" => cmd_scenario(
+            Scenario::cli_default(ScenarioKind::Backbone),
+            ArgScanner::new(argv),
+        ),
+        "chaos" => cmd_scenario(
+            Scenario::cli_default(ScenarioKind::Chaos),
+            ArgScanner::new(argv),
+        ),
         "sweep" => cmd_sweep(ArgScanner::new(argv), &mut replica_telemetry),
+        "serve" => cmd_serve(ArgScanner::new(argv)),
+        "loadgen" => cmd_loadgen(ArgScanner::new(argv)),
+        "artifact" => cmd_artifact(argv),
+        "fetch" => cmd_fetch(argv),
         "profile" => cmd_profile(ArgScanner::new(argv), handle.as_ref()),
         "drill" => cmd_drill(ArgScanner::new(argv)),
         "risk" => cmd_risk(ArgScanner::new(argv)),
@@ -249,12 +302,7 @@ fn cmd_sweep(
         }
         None => {
             let kind = parsed.scenario.unwrap_or(ScenarioKind::Intra);
-            let base = match kind {
-                ScenarioKind::Intra => Scenario::intra(0xDC_2018),
-                ScenarioKind::Backbone => Scenario::backbone(0xB0_E5),
-                ScenarioKind::Chaos => Scenario::chaos(0xC4_05),
-            };
-            let base = apply_scenario_flags(&mut args, base)?;
+            let base = apply_scenario_flags(&mut args, Scenario::cli_default(kind))?;
             args.finish()?;
             let mut config = SweepConfig::new(base, parsed.seeds.unwrap_or(8), jobs);
             if let Some(r) = parsed.resamples {
@@ -363,11 +411,7 @@ fn cmd_profile(
         })?,
         None => ScenarioKind::Intra,
     };
-    let base = match kind {
-        ScenarioKind::Intra => Scenario::intra(0xDC_2018),
-        ScenarioKind::Backbone => Scenario::backbone(0xB0_E5),
-        ScenarioKind::Chaos => Scenario::chaos(0xC4_05),
-    };
+    let base = Scenario::cli_default(kind);
     let json_path = args
         .value::<String>("--json")?
         .unwrap_or_else(|| "BENCH_profile.json".into());
@@ -388,6 +432,89 @@ fn cmd_profile(
         message: format!("write: {e}"),
     })?;
     logger::info(format!("wrote {json_path}"));
+    Ok(())
+}
+
+/// `dcnr serve`: the blocking report server. Runs until SIGINT or (in
+/// `--admin` mode) `GET /admin/shutdown`, then drains gracefully.
+fn cmd_serve(mut args: ArgScanner) -> Result<(), DcnrError> {
+    let opts = parse_serve_args(&mut args)?;
+    args.finish()?;
+    serve::run(&opts)
+}
+
+/// `dcnr loadgen`: the closed-loop load harness. Flags the parser does
+/// not own (scenario flags) are passed through to the shared scenario
+/// path, so `dcnr loadgen --scale 0.25` means the same thing it does on
+/// every other subcommand.
+fn cmd_loadgen(mut args: ArgScanner) -> Result<(), DcnrError> {
+    let mut opts = parse_loadgen_args(&mut args)?;
+    opts.scenario_args = args.into_rest();
+    logger::info(format!(
+        "driving http://{} with {} clients x {} requests...",
+        opts.addr, opts.clients, opts.requests
+    ));
+    let report = loadgen::run(&opts)?;
+    print!("{}", report.rendered);
+    if let Some(path) = &opts.bench_json {
+        logger::info(format!("wrote {path}"));
+    }
+    Ok(())
+}
+
+/// `dcnr artifact ID`: render exactly one registry artifact for the
+/// scenario — the byte-identical CLI twin of `GET /artifacts/ID`.
+fn cmd_artifact(mut argv: Vec<String>) -> Result<(), DcnrError> {
+    if argv.is_empty() || argv[0].starts_with('-') {
+        return Err(DcnrError::Usage(
+            "usage: dcnr artifact ID [scenario flags] (IDs: table1, fig2, ..., fig18, table4)"
+                .into(),
+        ));
+    }
+    let id = argv.remove(0);
+    let Some(experiment) = Experiment::ALL.into_iter().find(|e| e.key() == id) else {
+        let valid: Vec<&str> = Experiment::ALL.iter().map(|e| e.key()).collect();
+        return Err(DcnrError::Usage(format!(
+            "unknown artifact {id:?} (valid: {})",
+            valid.join(", ")
+        )));
+    };
+    let mut args = ArgScanner::new(argv);
+    let base = Scenario::cli_default(artifacts::base_kind(experiment));
+    let scenario = apply_scenario_flags(&mut args, base)?;
+    args.finish()?;
+    print!("{}", serve::render_artifact_text(&scenario, experiment)?);
+    Ok(())
+}
+
+/// `dcnr fetch ADDR TARGET`: one-shot GET for scripts and CI smoke
+/// tests in environments without curl. Non-200 responses fail.
+fn cmd_fetch(argv: Vec<String>) -> Result<(), DcnrError> {
+    let mut args = ArgScanner::new(argv);
+    let validate = args.flag("--validate");
+    let timeout = Duration::from_secs(args.value::<u64>("--timeout-secs")?.unwrap_or(10));
+    let rest = args.into_rest();
+    let [addr, target] = rest.as_slice() else {
+        return Err(DcnrError::Usage(
+            "usage: dcnr fetch ADDR TARGET [--validate] [--timeout-secs T]".into(),
+        ));
+    };
+    let response = dcnr_server::client::get(addr, target, Some(timeout))
+        .map_err(|e| DcnrError::Failed(format!("fetch http://{addr}{target}: {e}")))?;
+    let body = String::from_utf8_lossy(&response.body);
+    if response.status != 200 {
+        return Err(DcnrError::Failed(format!(
+            "http://{addr}{target} returned {}: {}",
+            response.status,
+            body.trim_end()
+        )));
+    }
+    if validate {
+        dcnr_core::telemetry::prometheus::validate(&body)
+            .map_err(|e| DcnrError::Failed(format!("{target}: invalid Prometheus text: {e}")))?;
+        logger::info(format!("{target}: Prometheus text format validated"));
+    }
+    print!("{body}");
     Ok(())
 }
 

@@ -212,6 +212,88 @@ pub fn parse_sweep_args(args: &mut ArgScanner) -> Result<SweepArgs, DcnrError> {
     Ok(parsed)
 }
 
+/// Parses the `dcnr serve` flags into ready-to-run options. Unlike the
+/// scenario flags there is no partial application here: the scanner
+/// must be empty afterwards, so the caller runs [`ArgScanner::finish`].
+pub fn parse_serve_args(args: &mut ArgScanner) -> Result<crate::serve::ServeOptions, DcnrError> {
+    let mut opts = crate::serve::ServeOptions::default();
+    if let Some(addr) = args.value::<String>("--addr")? {
+        opts.addr = addr;
+    }
+    if let Some(workers) = args.value::<usize>("--workers")? {
+        if workers == 0 {
+            return Err(DcnrError::Usage("--workers must be positive".into()));
+        }
+        opts.workers = workers;
+    }
+    if let Some(depth) = args.value::<usize>("--queue-depth")? {
+        if depth == 0 {
+            return Err(DcnrError::Usage("--queue-depth must be positive".into()));
+        }
+        opts.queue_depth = depth;
+    }
+    if let Some(entries) = args.value::<usize>("--cache-entries")? {
+        if entries == 0 {
+            return Err(DcnrError::Usage("--cache-entries must be positive".into()));
+        }
+        opts.cache_entries = entries;
+    }
+    if let Some(root) = args.value::<String>("--sweep-root")? {
+        opts.sweep_root = PathBuf::from(root);
+    }
+    opts.admin = args.flag("--admin");
+    opts.port_file = args.value::<String>("--port-file")?.map(PathBuf::from);
+    Ok(opts)
+}
+
+/// Parses the `dcnr loadgen` flags. Scenario flags (`--seed`,
+/// `--scale`, ...) are deliberately *not* consumed here: the caller
+/// passes the scanner's remainder as `scenario_args`, and
+/// [`crate::loadgen`] replays them through [`apply_scenario_flags`] on
+/// each study's CLI-default base — the same path `serve` and `artifact`
+/// use, so the two surfaces can never drift.
+pub fn parse_loadgen_args(
+    args: &mut ArgScanner,
+) -> Result<crate::loadgen::LoadgenOptions, DcnrError> {
+    let mut opts = crate::loadgen::LoadgenOptions::default();
+    if let Some(addr) = args.value::<String>("--addr")? {
+        opts.addr = addr;
+    }
+    for (name, slot) in [
+        ("--clients", &mut opts.clients),
+        ("--requests", &mut opts.requests),
+        ("--scenario-seeds", &mut opts.scenario_seeds),
+    ] {
+        if let Some(n) = args.value::<usize>(name)? {
+            if n == 0 {
+                return Err(DcnrError::Usage(format!("{name} must be positive")));
+            }
+            *slot = n;
+        }
+    }
+    if let Some(seed) = args.value::<u64>("--mix-seed")? {
+        opts.mix_seed = seed;
+    }
+    if let Some(list) = args.value::<String>("--artifacts")? {
+        opts.artifacts = crate::loadgen::parse_artifact_list(&list)?;
+    }
+    if let Some(secs) = args.value::<u64>("--timeout-secs")? {
+        if secs == 0 {
+            return Err(DcnrError::Usage("--timeout-secs must be positive".into()));
+        }
+        opts.timeout = std::time::Duration::from_secs(secs);
+    }
+    opts.verify = args.flag("--verify");
+    opts.bench_json = args.value::<String>("--bench-json")?;
+    opts.bench_append = args.flag("--bench-append");
+    if opts.bench_append && opts.bench_json.is_none() {
+        return Err(DcnrError::Usage(
+            "--bench-append requires --bench-json PATH".into(),
+        ));
+    }
+    Ok(opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +434,71 @@ mod tests {
             assert_eq!(err.kind(), "usage", "--deadline {bad}");
             assert!(err.to_string().contains("--deadline"), "{err}");
         }
+    }
+
+    #[test]
+    fn serve_args_parse_and_validate() {
+        let mut a = scan(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--workers=2",
+            "--queue-depth",
+            "8",
+            "--cache-entries",
+            "16",
+            "--sweep-root",
+            "/tmp/sweeps",
+            "--admin",
+            "--port-file",
+            "/tmp/port",
+        ]);
+        let opts = parse_serve_args(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(opts.addr, "127.0.0.1:0");
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.queue_depth, 8);
+        assert_eq!(opts.cache_entries, 16);
+        assert_eq!(opts.sweep_root, PathBuf::from("/tmp/sweeps"));
+        assert!(opts.admin);
+        assert_eq!(opts.port_file, Some(PathBuf::from("/tmp/port")));
+        for bad in [&["--workers", "0"][..], &["--queue-depth=0"][..]] {
+            let mut a = scan(bad);
+            let err = parse_serve_args(&mut a).unwrap_err();
+            assert_eq!(err.kind(), "usage", "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn loadgen_args_parse_and_leave_scenario_flags_for_the_shared_path() {
+        let mut a = scan(&[
+            "--clients",
+            "8",
+            "--requests=10",
+            "--artifacts",
+            "fig15,table4",
+            "--verify",
+            "--scale",
+            "0.25",
+        ]);
+        let opts = parse_loadgen_args(&mut a).unwrap();
+        assert_eq!(opts.clients, 8);
+        assert_eq!(opts.requests, 10);
+        assert_eq!(opts.artifacts.len(), 2);
+        assert!(opts.verify);
+        // --scale stays unconsumed for apply_scenario_flags.
+        assert_eq!(a.into_rest(), vec!["--scale", "0.25"]);
+    }
+
+    #[test]
+    fn loadgen_bench_append_requires_a_path() {
+        let mut a = scan(&["--bench-append"]);
+        let err = parse_loadgen_args(&mut a).unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        assert!(err.to_string().contains("--bench-json"), "{err}");
+        let mut a = scan(&["--clients", "0"]);
+        assert_eq!(parse_loadgen_args(&mut a).unwrap_err().kind(), "usage");
+        let mut a = scan(&["--artifacts", "fig99"]);
+        assert_eq!(parse_loadgen_args(&mut a).unwrap_err().kind(), "usage");
     }
 
     #[test]

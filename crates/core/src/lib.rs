@@ -46,6 +46,14 @@
 //!   flags.
 //! * [`profile`] — the `dcnr profile` phase-breakdown table and
 //!   `BENCH_profile.json` writer.
+//! * [`serve`] — the `dcnr serve` report server: artifact rendering
+//!   over HTTP through an LRU result cache, live Prometheus metrics,
+//!   and checkpoint-directory sweep reports, on the zero-dependency
+//!   `dcnr-server` substrate (bounded accept queue, 503 shedding,
+//!   graceful drain).
+//! * [`loadgen`] — the `dcnr loadgen` closed-loop load harness: seeded
+//!   request mixes, byte-for-byte response verification, and
+//!   `BENCH_serve.json` records.
 //!
 //! ## Quickstart
 //!
@@ -71,9 +79,11 @@ pub mod experiments;
 pub mod inter;
 pub mod intra;
 pub mod json;
+pub mod loadgen;
 pub mod profile;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 pub mod supervisor;
 pub mod sweep;
 pub mod telemetry_io;
@@ -85,8 +95,10 @@ pub use error::DcnrError;
 pub use experiments::{Comparison, Experiment, ExperimentOutcome};
 pub use inter::InterDcStudy;
 pub use intra::{IntraDcStudy, StudyConfig};
+pub use loadgen::{LoadReport, LoadgenOptions};
 pub use profile::{phase_rows, render_profile_json, render_profile_table, PhaseRow};
 pub use scenario::{RunContext, RunPlan, Scenario, ScenarioKind, ScenarioOutcome, StudyKind};
+pub use serve::{RunningServer, ServeOptions};
 pub use supervisor::{
     FaultMode, FaultPlan, FaultSpec, ReplicaOutcome, ReplicaStatus, SupervisorConfig, FAULT_ENV,
 };

@@ -1,0 +1,525 @@
+//! The `dcnr loadgen` closed-loop load harness: N client threads drive
+//! a running `dcnr serve` with a seeded artifact/scenario request mix,
+//! then report throughput and latency percentiles (and optionally write
+//! a `BENCH_serve.json` record).
+//!
+//! Closed loop means each client issues its next request only after the
+//! previous response completes, so offered load adapts to the server
+//! instead of timing out into meaningless numbers. The request mix is
+//! deterministic: client `i` draws from `stream_rng(mix_seed,
+//! "loadgen.client.{i}")`, and the candidate scenarios are minted with
+//! the same [`seed_sequence`] discipline the sweep runner uses.
+//!
+//! With `--verify`, every response body is compared byte-for-byte
+//! against [`crate::serve::render_artifact_text`] computed locally —
+//! the load test doubles as the cache-coherence test.
+
+use crate::error::DcnrError;
+use crate::experiments::Experiment;
+use crate::json;
+use crate::scenario::Scenario;
+use crate::serve;
+use dcnr_server::client;
+use dcnr_sim::{seed_sequence, stream_rng};
+use rand::Rng;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything one `dcnr loadgen` run needs.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: usize,
+    /// Seed for the per-client request mix.
+    pub mix_seed: u64,
+    /// How many distinct scenario seeds per artifact to spread requests
+    /// across (1 = everything hits the same cache entry).
+    pub scenario_seeds: usize,
+    /// The artifacts in the mix.
+    pub artifacts: Vec<Experiment>,
+    /// Extra scenario flags (`--scale 0.25 ...`) applied to every
+    /// artifact's CLI-default base before minting seeds — the same
+    /// parser the `serve`/`artifact` subcommands use.
+    pub scenario_args: Vec<String>,
+    /// Compare every body against a locally rendered expectation.
+    pub verify: bool,
+    /// Write (or append) a bench record here.
+    pub bench_json: Option<String>,
+    /// Append to an existing bench file instead of overwriting.
+    pub bench_append: bool,
+    /// Per-request client timeout.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            clients: 4,
+            requests: 25,
+            mix_seed: 0x10AD,
+            scenario_seeds: 2,
+            artifacts: vec![Experiment::Fig15, Experiment::Fig16, Experiment::Table4],
+            scenario_args: Vec::new(),
+            verify: false,
+            bench_json: None,
+            bench_append: false,
+            timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One entry in the request mix: a target URL plus what it renders.
+#[derive(Debug, Clone)]
+struct MixEntry {
+    experiment: Experiment,
+    scenario: Scenario,
+    target: String,
+}
+
+/// Aggregated result of one loadgen run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests attempted per client.
+    pub requests_per_client: usize,
+    /// 200 responses.
+    pub ok: usize,
+    /// 503 responses (shed by the server's backpressure).
+    pub shed: usize,
+    /// Transport or unexpected-status failures.
+    pub errors: usize,
+    /// Byte-for-byte mismatches against the local render (only counted
+    /// when `verify` was on).
+    pub verify_failures: usize,
+    /// Wall-clock for the whole run.
+    pub wall: Duration,
+    /// Completed (200 or 503) requests per second.
+    pub throughput_rps: f64,
+    /// Latency percentiles over successful responses, in microseconds:
+    /// (p50, p95, p99, mean, max).
+    pub latency_micros: (u64, u64, u64, u64, u64),
+    /// The `dcnr_server_workers` gauge scraped from `/metrics` after
+    /// the run (0 when the scrape failed).
+    pub server_workers: u64,
+    /// Human-readable report.
+    pub rendered: String,
+}
+
+/// Builds the deterministic request mix: every artifact crossed with
+/// `scenario_seeds` derived seeds, each a `with_seed` rebind of that
+/// artifact's flag-adjusted CLI-default base.
+fn build_mix(opts: &LoadgenOptions) -> Result<Vec<MixEntry>, DcnrError> {
+    if opts.artifacts.is_empty() {
+        return Err(DcnrError::Usage("loadgen: artifact list is empty".into()));
+    }
+    if opts.clients == 0 || opts.requests == 0 || opts.scenario_seeds == 0 {
+        return Err(DcnrError::Usage(
+            "loadgen: --clients, --requests, and --scenario-seeds must be positive".into(),
+        ));
+    }
+    // One flag-adjusted base per study kind, parsed exactly once.
+    let mut bases: HashMap<&'static str, Scenario> = HashMap::new();
+    let mut mix = Vec::new();
+    for &e in &opts.artifacts {
+        let kind = crate::artifacts::base_kind(e);
+        let base = match bases.entry(kind.name()) {
+            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let mut scan = crate::cli::ArgScanner::new(opts.scenario_args.clone());
+                let s = crate::cli::apply_scenario_flags(&mut scan, Scenario::cli_default(kind))?;
+                scan.finish()
+                    .map_err(|msg| DcnrError::Usage(format!("loadgen: {msg}")))?;
+                s.validate()?;
+                *v.insert(s)
+            }
+        };
+        let seeds = seed_sequence(
+            base.seed,
+            "loadgen.scenario",
+            u32::try_from(opts.scenario_seeds)
+                .map_err(|_| DcnrError::Usage("loadgen: --scenario-seeds too large".into()))?,
+        );
+        for seed in seeds {
+            let scenario = base.with_seed(seed);
+            let target = format!(
+                "/artifacts/{}?{}",
+                e.key(),
+                serve::scenario_query(&scenario)
+            );
+            mix.push(MixEntry {
+                experiment: e,
+                scenario,
+                target,
+            });
+        }
+    }
+    Ok(mix)
+}
+
+/// Runs the closed loop against `opts.addr` and returns the aggregate.
+///
+/// Fails with [`DcnrError::Failed`] when no request succeeds (server
+/// down or every response shed) or when `verify` finds any body that
+/// differs from the local render.
+pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, DcnrError> {
+    let mix = Arc::new(build_mix(opts)?);
+    // Local expectations, rendered serially before the clock starts.
+    let expected: Arc<Vec<Option<String>>> = Arc::new(if opts.verify {
+        mix.iter()
+            .map(|m| serve::render_artifact_text(&m.scenario, m.experiment).map(Some))
+            .collect::<Result<_, _>>()?
+    } else {
+        mix.iter().map(|_| None).collect()
+    });
+
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for i in 0..opts.clients {
+        let mix = mix.clone();
+        let expected = expected.clone();
+        let addr = opts.addr.clone();
+        let timeout = opts.timeout;
+        let requests = opts.requests;
+        let mix_seed = opts.mix_seed;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("dcnr-loadgen-{i}"))
+                .spawn(move || {
+                    let mut rng = stream_rng(mix_seed, &format!("loadgen.client.{i}"));
+                    let mut ok = 0usize;
+                    let mut shed = 0usize;
+                    let mut errors = 0usize;
+                    let mut verify_failures = 0usize;
+                    let mut latencies = Vec::with_capacity(requests);
+                    for _ in 0..requests {
+                        let pick = rng.gen_range(0..mix.len());
+                        let entry = &mix[pick];
+                        let t0 = Instant::now();
+                        match client::get(&addr, &entry.target, Some(timeout)) {
+                            Ok(resp) if resp.status == 200 => {
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                                ok += 1;
+                                if let Some(want) = &expected[pick] {
+                                    if resp.body != want.as_bytes() {
+                                        verify_failures += 1;
+                                    }
+                                }
+                            }
+                            Ok(resp) if resp.status == 503 => shed += 1,
+                            Ok(_) | Err(_) => errors += 1,
+                        }
+                    }
+                    (ok, shed, errors, verify_failures, latencies)
+                })
+                .map_err(|e| DcnrError::Failed(format!("spawn loadgen client: {e}")))?,
+        );
+    }
+
+    let mut ok = 0;
+    let mut shed = 0;
+    let mut errors = 0;
+    let mut verify_failures = 0;
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        let (o, s, e, v, l) = handle
+            .join()
+            .map_err(|_| DcnrError::Failed("loadgen client panicked".into()))?;
+        ok += o;
+        shed += s;
+        errors += e;
+        verify_failures += v;
+        latencies.extend(l);
+    }
+    let wall = started.elapsed();
+
+    if ok == 0 {
+        return Err(DcnrError::Failed(format!(
+            "loadgen: no successful responses from {} ({} shed, {} errors) — is the server up?",
+            opts.addr, shed, errors
+        )));
+    }
+    if verify_failures > 0 {
+        return Err(DcnrError::Failed(format!(
+            "loadgen: {verify_failures} response bodies differed from the local render"
+        )));
+    }
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        // Nearest-rank on the sorted sample.
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
+    let max = *latencies.last().unwrap_or(&0);
+    let latency_micros = (pct(50.0), pct(95.0), pct(99.0), mean, max);
+    let completed = ok + shed;
+    let throughput_rps = completed as f64 / wall.as_secs_f64().max(1e-9);
+    let server_workers = scrape_workers(&opts.addr, opts.timeout);
+
+    let mut rendered = String::new();
+    let _ = writeln!(rendered, "loadgen against http://{}", opts.addr);
+    let _ = writeln!(
+        rendered,
+        "  clients {}  requests/client {}  mix entries {}  verify {}",
+        opts.clients,
+        opts.requests,
+        mix.len(),
+        if opts.verify { "on" } else { "off" }
+    );
+    let _ = writeln!(
+        rendered,
+        "  ok {ok}  shed {shed}  errors {errors}  wall {:.3}s  throughput {throughput_rps:.1} req/s",
+        wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        rendered,
+        "  latency micros  p50 {}  p95 {}  p99 {}  mean {}  max {}",
+        latency_micros.0, latency_micros.1, latency_micros.2, latency_micros.3, latency_micros.4
+    );
+
+    let report = LoadReport {
+        clients: opts.clients,
+        requests_per_client: opts.requests,
+        ok,
+        shed,
+        errors,
+        verify_failures,
+        wall,
+        throughput_rps,
+        latency_micros,
+        server_workers,
+        rendered,
+    };
+    if let Some(path) = &opts.bench_json {
+        write_bench(path, opts.bench_append, &report)?;
+    }
+    Ok(report)
+}
+
+/// Scrapes the `dcnr_server_workers` gauge off `/metrics` so the bench
+/// record states what it actually measured against. Best-effort: 0 when
+/// the scrape fails.
+fn scrape_workers(addr: &str, timeout: Duration) -> u64 {
+    let Ok(resp) = client::get(addr, "/metrics", Some(timeout)) else {
+        return 0;
+    };
+    let body = String::from_utf8_lossy(&resp.body);
+    body.lines()
+        .find_map(|line| line.strip_prefix("dcnr_server_workers "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}
+
+/// One bench run as a JSON object literal.
+fn bench_record(report: &LoadReport) -> String {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let oversubscribed = report.clients + report.server_workers as usize > cpus;
+    let mut out = String::from("    {\n");
+    let _ = writeln!(out, "      \"clients\": {},", report.clients);
+    let _ = writeln!(
+        out,
+        "      \"requests_per_client\": {},",
+        report.requests_per_client
+    );
+    let _ = writeln!(out, "      \"server_workers\": {},", report.server_workers);
+    let _ = writeln!(out, "      \"host_cpus\": {cpus},");
+    let _ = writeln!(
+        out,
+        "      \"wall_secs\": {:.6},",
+        report.wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        out,
+        "      \"throughput_rps\": {:.3},",
+        report.throughput_rps
+    );
+    let (p50, p95, p99, mean, max) = report.latency_micros;
+    let _ = writeln!(
+        out,
+        "      \"latency_micros\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"mean\": {mean}, \"max\": {max} }},"
+    );
+    let _ = writeln!(
+        out,
+        "      \"status\": {{ \"ok\": {}, \"shed\": {}, \"errors\": {} }},",
+        report.ok, report.shed, report.errors
+    );
+    let _ = writeln!(out, "      \"verified\": {},", report.verify_failures == 0);
+    let note = if oversubscribed {
+        "clients + server workers exceed host CPUs; latency includes scheduling contention"
+    } else {
+        "clients + server workers fit within host CPUs"
+    };
+    let _ = writeln!(out, "      \"note\": \"{note}\"");
+    out.push_str("    }");
+    out
+}
+
+/// Writes (or appends to) the `BENCH_serve.json` run list and
+/// re-validates the result with the in-tree JSON parser so a malformed
+/// splice can never land on disk unnoticed.
+fn write_bench(path: &str, append: bool, report: &LoadReport) -> Result<(), DcnrError> {
+    let record = bench_record(report);
+    let io_err = |e: std::io::Error| DcnrError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    };
+    let text = if append {
+        let existing = std::fs::read_to_string(path).map_err(io_err)?;
+        let trimmed = existing.trim_end();
+        // Splice before the closing "]\n}" of {"runs": [ ... ]}.
+        let Some(idx) = trimmed.rfind(']') else {
+            return Err(DcnrError::Failed(format!(
+                "{path}: no run list to append to"
+            )));
+        };
+        let (head, tail) = trimmed.split_at(idx);
+        let head = head.trim_end();
+        let separator = if head.ends_with('[') { "\n" } else { ",\n" };
+        format!("{head}{separator}{record}\n  {tail}\n")
+    } else {
+        format!("{{\n  \"runs\": [\n{record}\n  ]\n}}\n")
+    };
+    json::parse(&text)
+        .map_err(|e| DcnrError::Failed(format!("{path}: bench JSON would be malformed: {e}")))?;
+    std::fs::write(path, text).map_err(io_err)?;
+    Ok(())
+}
+
+/// Parses a comma-separated artifact list (`fig15,fig16,table4`).
+pub fn parse_artifact_list(list: &str) -> Result<Vec<Experiment>, DcnrError> {
+    let mut out = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match Experiment::ALL.into_iter().find(|e| e.key() == name) {
+            Some(e) => out.push(e),
+            None => {
+                let valid: Vec<&str> = Experiment::ALL.iter().map(|e| e.key()).collect();
+                return Err(DcnrError::Usage(format!(
+                    "unknown artifact {name:?} (valid: {})",
+                    valid.join(", ")
+                )));
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(DcnrError::Usage(format!("no artifacts in {list:?}")));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_covers_every_artifact_and_seed() {
+        let opts = LoadgenOptions::default();
+        let a = build_mix(&opts).unwrap();
+        let b = build_mix(&opts).unwrap();
+        assert_eq!(a.len(), opts.artifacts.len() * opts.scenario_seeds);
+        assert_eq!(
+            a.iter().map(|m| m.target.clone()).collect::<Vec<_>>(),
+            b.iter().map(|m| m.target.clone()).collect::<Vec<_>>()
+        );
+        let seeds: std::collections::BTreeSet<u64> = a.iter().map(|m| m.scenario.seed).collect();
+        assert_eq!(
+            seeds.len(),
+            opts.scenario_seeds,
+            "seeds are shared per base"
+        );
+    }
+
+    #[test]
+    fn mix_applies_scenario_flags_through_the_shared_parser() {
+        let opts = LoadgenOptions {
+            scenario_args: vec![
+                "--edges".into(),
+                "40".into(),
+                "--vendors".into(),
+                "16".into(),
+            ],
+            ..LoadgenOptions::default()
+        };
+        let mix = build_mix(&opts).unwrap();
+        assert!(mix.iter().all(|m| m.scenario.backbone.edges == 40));
+        assert!(mix.iter().all(|m| m.target.contains("edges=40")));
+        let bad = LoadgenOptions {
+            scenario_args: vec!["--bogus".into()],
+            ..LoadgenOptions::default()
+        };
+        assert_eq!(build_mix(&bad).unwrap_err().kind(), "usage");
+    }
+
+    #[test]
+    fn empty_or_zero_options_are_usage_errors() {
+        let opts = LoadgenOptions {
+            artifacts: Vec::new(),
+            ..LoadgenOptions::default()
+        };
+        assert_eq!(build_mix(&opts).unwrap_err().kind(), "usage");
+        let opts = LoadgenOptions {
+            clients: 0,
+            ..LoadgenOptions::default()
+        };
+        assert_eq!(build_mix(&opts).unwrap_err().kind(), "usage");
+    }
+
+    #[test]
+    fn artifact_lists_parse_and_reject_unknown_keys() {
+        let list = parse_artifact_list("fig15, fig16,table4").unwrap();
+        assert_eq!(
+            list,
+            vec![Experiment::Fig15, Experiment::Fig16, Experiment::Table4]
+        );
+        assert_eq!(parse_artifact_list("fig99").unwrap_err().kind(), "usage");
+        assert_eq!(parse_artifact_list(" , ").unwrap_err().kind(), "usage");
+    }
+
+    #[test]
+    fn bench_files_write_and_append_as_valid_json() {
+        let report = LoadReport {
+            clients: 2,
+            requests_per_client: 5,
+            ok: 10,
+            shed: 1,
+            errors: 0,
+            verify_failures: 0,
+            wall: Duration::from_millis(1500),
+            throughput_rps: 7.33,
+            latency_micros: (100, 200, 300, 120, 400),
+            server_workers: 4,
+            rendered: String::new(),
+        };
+        let dir = std::env::temp_dir().join(format!("dcnr-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json").display().to_string();
+        write_bench(&path, false, &report).unwrap();
+        write_bench(&path, true, &report).unwrap();
+        let parsed = json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let runs = parsed.get("runs").unwrap().as_arr().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("clients").unwrap().as_u64().unwrap(), 2);
+        assert_eq!(
+            runs[1]
+                .get("status")
+                .unwrap()
+                .get("shed")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            1
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -127,6 +127,18 @@ impl Scenario {
         }
     }
 
+    /// The default scenario the CLI (and the report server) uses for
+    /// `kind` when no `--seed` is given. One definition, so
+    /// `dcnr artifact fig15` and `GET /artifacts/fig15` agree byte for
+    /// byte on what the unparameterized workload is.
+    pub fn cli_default(kind: ScenarioKind) -> Self {
+        match kind {
+            ScenarioKind::Intra => Self::intra(0xDC_2018),
+            ScenarioKind::Backbone => Self::backbone(0xB0_E5),
+            ScenarioKind::Chaos => Self::chaos(0xC4_05),
+        }
+    }
+
     /// Rebinds the scenario to `seed`, rederiving every embedded
     /// sub-seed. This is what the sweep runner uses to mint replicas:
     /// the replica differs from the base scenario *only* in seed.
@@ -342,23 +354,7 @@ impl RunContext {
         let mut comparisons = Vec::new();
         for out in &artifacts {
             let _ = writeln!(rendered);
-            let _ = writeln!(
-                rendered,
-                "----------------------------------------------------------"
-            );
-            let _ = writeln!(rendered, "{}", out.experiment.title());
-            let _ = writeln!(
-                rendered,
-                "----------------------------------------------------------"
-            );
-            let _ = writeln!(rendered, "{}", out.rendered);
-            for c in &out.comparisons {
-                let _ = writeln!(
-                    rendered,
-                    "  {:<40} paper {:>12.4}  measured {:>12.4}",
-                    c.metric, c.paper, c.measured
-                );
-            }
+            rendered.push_str(&artifacts::render_block(out));
             // Qualify metric names with the artifact key: the flattened
             // list must be joinable by name across sweep replicas, and
             // Figs. 15-18 all emit "median (h)", "fit a", ... locally.

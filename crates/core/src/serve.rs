@@ -1,0 +1,542 @@
+//! The `dcnr serve` application layer: routes, the rendered-artifact
+//! cache, and live metrics on top of the `dcnr-server` substrate.
+//!
+//! Endpoints:
+//!
+//! | route                | serves                                        |
+//! |----------------------|-----------------------------------------------|
+//! | `/artifacts/{id}`    | one registry artifact for the scenario in the |
+//! |                      | query string, through the LRU result cache    |
+//! | `/sweeps/{dir}`      | the aggregated band report for an existing    |
+//! |                      | checkpoint directory under `--sweep-root`     |
+//! | `/metrics`           | Prometheus text: server + study metrics       |
+//! | `/healthz`, `/readyz`| liveness / readiness (503 while draining)     |
+//! | `/admin/shutdown`    | graceful drain (only with `--admin`)          |
+//! | `/admin/sleep`       | test hook: hold a worker busy (only `--admin`)|
+//!
+//! Determinism contract: an `/artifacts/{id}` response is byte-identical
+//! to `dcnr artifact {id}` with the same flags. Both paths build the
+//! scenario from [`Scenario::cli_default`] for the artifact's study and
+//! apply the **same** [`crate::cli::apply_scenario_flags`] (query pairs
+//! are rewritten to `--flag=value` arguments), then render through
+//! [`render_artifact_text`]. The cache is keyed like a checkpoint shard
+//! — scenario kind + seed + artifact id, with the scenario's `Debug`
+//! rendering as the same safety net [`crate::checkpoint::Manifest`]
+//! uses — so a hit can never serve a response the miss path would not
+//! have produced.
+
+use crate::artifacts;
+use crate::cli::{apply_scenario_flags, ArgScanner};
+use crate::error::{panic_message, DcnrError};
+use crate::experiments::Experiment;
+use crate::scenario::{RunContext, Scenario};
+use crate::sweep;
+use dcnr_server::http::{percent_decode, Request, Response};
+use dcnr_server::pool::{Handler, Server, ServerConfig, ServerStats};
+use dcnr_server::LruCache;
+use dcnr_telemetry::logger;
+use dcnr_telemetry::metrics::Key;
+use dcnr_telemetry::{prometheus, Telemetry, TelemetryHandle};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything `dcnr serve` needs to start.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker thread count.
+    pub workers: usize,
+    /// Accept-queue depth; connections beyond it shed with 503.
+    pub queue_depth: usize,
+    /// Rendered-artifact LRU cache capacity (entries).
+    pub cache_entries: usize,
+    /// Directory `/sweeps/{dir}` resolves checkpoint names under.
+    pub sweep_root: PathBuf,
+    /// Enable `/admin/shutdown` and `/admin/sleep` (test mode).
+    pub admin: bool,
+    /// Write the bound address here after binding (ephemeral-port
+    /// discovery for scripts and CI).
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:7878".into(),
+            workers: 4,
+            queue_depth: 64,
+            cache_entries: 64,
+            sweep_root: PathBuf::from("."),
+            admin: false,
+            port_file: None,
+        }
+    }
+}
+
+/// Shared state behind the request handler.
+struct ServeState {
+    telemetry: TelemetryHandle,
+    cache: Mutex<LruCache<String, Arc<String>>>,
+    stats: Arc<ServerStats>,
+    sweep_root: PathBuf,
+    admin: bool,
+    workers: usize,
+    draining: AtomicBool,
+}
+
+/// A started server plus the state handles tests and the CLI loop need.
+pub struct RunningServer {
+    server: Option<Server>,
+    state: Arc<ServeState>,
+    addr: SocketAddr,
+}
+
+impl RunningServer {
+    /// The bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether `/admin/shutdown` has been requested.
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.draining.load(Ordering::SeqCst)
+    }
+
+    /// The live substrate counters (accepted/shed/handled/...).
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.state.stats
+    }
+
+    /// Drains and joins every server thread.
+    pub fn shutdown_and_join(mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown_and_join();
+        }
+    }
+}
+
+/// Binds and starts the server; returns immediately. The CLI wraps this
+/// in [`run`]; tests drive the returned handle directly.
+pub fn start(opts: &ServeOptions) -> Result<RunningServer, DcnrError> {
+    let stats = Arc::new(ServerStats::default());
+    let state = Arc::new(ServeState {
+        telemetry: Telemetry::new_handle(),
+        cache: Mutex::new(LruCache::new(opts.cache_entries)),
+        stats: stats.clone(),
+        sweep_root: opts.sweep_root.clone(),
+        admin: opts.admin,
+        workers: opts.workers.max(1),
+        draining: AtomicBool::new(false),
+    });
+    let handler: Handler = {
+        let state = state.clone();
+        Arc::new(move |req| handle(&state, req))
+    };
+    let config = ServerConfig {
+        workers: opts.workers.max(1),
+        queue_depth: opts.queue_depth.max(1),
+        ..ServerConfig::default()
+    };
+    let server =
+        Server::bind(opts.addr.as_str(), config, stats, handler).map_err(|e| DcnrError::Io {
+            path: opts.addr.clone(),
+            message: format!("bind: {e}"),
+        })?;
+    let addr = server.local_addr();
+    if let Some(path) = &opts.port_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| DcnrError::Io {
+            path: path.display().to_string(),
+            message: format!("write port file: {e}"),
+        })?;
+    }
+    Ok(RunningServer {
+        server: Some(server),
+        state,
+        addr,
+    })
+}
+
+/// The blocking `dcnr serve` loop: start, wait for SIGINT or
+/// `/admin/shutdown`, drain, join.
+pub fn run(opts: &ServeOptions) -> Result<(), DcnrError> {
+    dcnr_server::signal::install_sigint_latch();
+    let server = start(opts)?;
+    logger::info(format!(
+        "serving on http://{} ({} workers, queue depth {}, cache {} entries)",
+        server.addr(),
+        opts.workers.max(1),
+        opts.queue_depth.max(1),
+        opts.cache_entries.max(1),
+    ));
+    loop {
+        if dcnr_server::signal::sigint_received() {
+            logger::info("SIGINT received; draining...");
+            break;
+        }
+        if server.shutdown_requested() {
+            logger::info("/admin/shutdown received; draining...");
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    server.shutdown_and_join();
+    logger::info("drained; all connections served and threads joined");
+    Ok(())
+}
+
+/// The normalized route label a request is accounted under. Patterns,
+/// not raw paths, so the metric cardinality stays bounded — and the
+/// values deliberately contain `/` (and `{}`) to keep the Prometheus
+/// renderer honest against its own validator.
+fn route_label(path: &str) -> &'static str {
+    match path {
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/metrics" => "/metrics",
+        "/admin/shutdown" => "/admin/shutdown",
+        "/admin/sleep" => "/admin/sleep",
+        p if p.starts_with("/artifacts/") => "/artifacts/{id}",
+        p if p.starts_with("/sweeps/") => "/sweeps/{dir}",
+        _ => "unmatched",
+    }
+}
+
+/// Top-level handler: installs the server's telemetry on this worker
+/// thread (study spans recorded while rendering land in `/metrics`),
+/// dispatches, and accounts the request.
+fn handle(state: &ServeState, req: &Request) -> Response {
+    let _guard = dcnr_telemetry::installed(state.telemetry.clone());
+    let route = route_label(&req.path);
+    let started = Instant::now();
+    let response = dispatch(state, req);
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    let status = response.status.to_string();
+    dcnr_telemetry::counter_add(
+        "dcnr_server_requests_total",
+        &[("route", route), ("status", &status)],
+        1,
+    );
+    dcnr_telemetry::observe_micros(
+        "dcnr_server_request_duration_micros",
+        &[("route", route)],
+        micros,
+    );
+    response
+}
+
+fn dispatch(state: &ServeState, req: &Request) -> Response {
+    match req.path.as_str() {
+        "/healthz" => Response::ok("ok\n"),
+        "/readyz" => {
+            if state.draining.load(Ordering::SeqCst) {
+                Response::text(503, "draining\n")
+            } else {
+                Response::ok("ready\n")
+            }
+        }
+        "/metrics" => metrics_response(state),
+        "/admin/shutdown" if state.admin => {
+            state.draining.store(true, Ordering::SeqCst);
+            Response::ok("draining\n")
+        }
+        "/admin/sleep" if state.admin => sleep_response(&req.query),
+        path => {
+            if let Some(id) = path.strip_prefix("/artifacts/") {
+                artifact_response(state, id, &req.query)
+            } else if let Some(name) = path.strip_prefix("/sweeps/") {
+                sweep_response(state, name)
+            } else {
+                Response::not_found(path)
+            }
+        }
+    }
+}
+
+/// Test hook: occupies a worker for `millis` so saturation tests can
+/// fill the queue deterministically instead of racing real renders.
+fn sleep_response(query: &str) -> Response {
+    let millis = query
+        .split('&')
+        .find_map(|pair| pair.strip_prefix("millis="))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(50)
+        .min(10_000);
+    std::thread::sleep(Duration::from_millis(millis));
+    Response::ok(format!("slept {millis} ms\n"))
+}
+
+/// Prometheus text of the server's own registry (request counters,
+/// latency histograms, cache hits, study phase spans) with the live
+/// substrate counters spliced in at scrape time.
+fn metrics_response(state: &ServeState) -> Response {
+    let (mut snapshot, _) = state.telemetry.snapshots();
+    let key = |name: &str| Key::new(name, &[]);
+    let stats = &state.stats;
+    for (name, value) in [
+        ("dcnr_server_connections_total", &stats.accepted),
+        ("dcnr_server_shed_total", &stats.shed),
+        ("dcnr_server_handled_total", &stats.handled),
+        ("dcnr_server_read_errors_total", &stats.read_errors),
+    ] {
+        snapshot
+            .counters
+            .insert(key(name), value.load(Ordering::Relaxed));
+    }
+    let cache_entries = lock_cache(&state.cache).len() as i64;
+    for (name, value) in [
+        (
+            "dcnr_server_queue_depth",
+            stats.queue_depth.load(Ordering::Relaxed),
+        ),
+        (
+            "dcnr_server_queue_peak",
+            stats.queue_peak.load(Ordering::Relaxed) as i64,
+        ),
+        ("dcnr_server_workers", state.workers as i64),
+        ("dcnr_server_cache_entries", cache_entries),
+        (
+            "dcnr_server_draining",
+            i64::from(state.draining.load(Ordering::SeqCst)),
+        ),
+    ] {
+        snapshot.gauges.insert(key(name), value);
+    }
+    let mut response = Response::ok(prometheus::render(&snapshot));
+    response.content_type = "text/plain; version=0.0.4";
+    response
+}
+
+fn lock_cache(
+    cache: &Mutex<LruCache<String, Arc<String>>>,
+) -> std::sync::MutexGuard<'_, LruCache<String, Arc<String>>> {
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn artifact_response(state: &ServeState, id: &str, query: &str) -> Response {
+    let Some(experiment) = Experiment::ALL.into_iter().find(|e| e.key() == id) else {
+        return Response::not_found(&format!("artifact {id:?} (valid ids: table1, fig2, ...)"));
+    };
+    let scenario = match scenario_for_artifact(experiment, query) {
+        Ok(s) => s,
+        Err(e) => return Response::bad_request(e),
+    };
+    let artifact_key = experiment.key();
+    let key = cache_key(&scenario, artifact_key);
+    if let Some(body) = lock_cache(&state.cache).get(&key).cloned() {
+        dcnr_telemetry::counter_add(
+            "dcnr_server_cache_hits_total",
+            &[("artifact", artifact_key)],
+            1,
+        );
+        return Response::ok(body.as_str());
+    }
+    dcnr_telemetry::counter_add(
+        "dcnr_server_cache_misses_total",
+        &[("artifact", artifact_key)],
+        1,
+    );
+    match render_artifact_text(&scenario, experiment) {
+        Ok(text) => {
+            lock_cache(&state.cache).insert(key, Arc::new(text.clone()));
+            Response::ok(text)
+        }
+        Err(e @ (DcnrError::Config(_) | DcnrError::Usage(_))) => Response::bad_request(e),
+        Err(e) => Response::internal_error(e),
+    }
+}
+
+fn sweep_response(state: &ServeState, name: &str) -> Response {
+    // The path component is already percent-decoded; a traversal-free
+    // plain name is all the server will resolve under --sweep-root.
+    if name.is_empty() || name == "." || name == ".." || name.contains('/') || name.contains('\\') {
+        return Response::bad_request("sweep name must be a plain directory name");
+    }
+    match sweep::report_from_checkpoint(&state.sweep_root.join(name)) {
+        Ok(text) => Response::ok(text),
+        Err(e @ (DcnrError::Checkpoint { .. } | DcnrError::Io { .. })) => {
+            Response::not_found(&format!("sweep {name:?}: {e}"))
+        }
+        Err(e) => Response::internal_error(e),
+    }
+}
+
+/// The scenario an `/artifacts/{id}` query resolves to: the CLI default
+/// for the artifact's study, adjusted by the query string through the
+/// same flag path the CLI uses.
+pub fn scenario_for_artifact(e: Experiment, query: &str) -> Result<Scenario, DcnrError> {
+    scenario_from_query(Scenario::cli_default(artifacts::base_kind(e)), query)
+}
+
+/// Rewrites query pairs (`seed=7&no-automation`) into the CLI's flag
+/// form (`--seed=7 --no-automation`) and applies them via
+/// [`apply_scenario_flags`] — one parser for both surfaces, so a flag
+/// added there is automatically a query parameter here, and unknown
+/// parameters fail with the same named usage error.
+pub fn scenario_from_query(base: Scenario, query: &str) -> Result<Scenario, DcnrError> {
+    let mut argv = Vec::new();
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        let (k, v) = match pair.split_once('=') {
+            Some((k, v)) => (k, Some(v)),
+            None => (pair, None),
+        };
+        let k = percent_decode(k).map_err(|e| DcnrError::Usage(format!("query: {e}")))?;
+        match v {
+            Some(v) => {
+                let v = percent_decode(v).map_err(|e| DcnrError::Usage(format!("query: {e}")))?;
+                argv.push(format!("--{k}={v}"));
+            }
+            None => argv.push(format!("--{k}")),
+        }
+    }
+    let mut scan = ArgScanner::new(argv);
+    let scenario = apply_scenario_flags(&mut scan, base)?;
+    scan.finish()
+        .map_err(|e| DcnrError::Usage(format!("query string: {e}")))?;
+    Ok(scenario)
+}
+
+/// The query string that reproduces `scenario` against a default base —
+/// the inverse of [`scenario_from_query`] for the knobs `dcnr loadgen`
+/// varies. Always names seed/scale/edges/vendors explicitly so a cached
+/// response can never be confused across seeds.
+pub fn scenario_query(s: &Scenario) -> String {
+    let mut q = format!(
+        "seed={}&scale={}&edges={}&vendors={}",
+        s.seed, s.scale, s.backbone.edges, s.backbone.vendors
+    );
+    if !s.hazard.automation_enabled {
+        q.push_str("&no-automation");
+    }
+    if !s.hazard.drain_policy_enabled {
+        q.push_str("&no-drain");
+    }
+    q
+}
+
+/// The result-cache key for (`scenario`, `artifact`): kind + master
+/// seed + artifact id, plus the scenario's `Debug` rendering as the
+/// exact-match safety net the checkpoint manifest uses — any scenario
+/// knob, present or future, distinguishes cache entries.
+pub fn cache_key(scenario: &Scenario, artifact: &str) -> String {
+    format!(
+        "{}|{:#018x}|{}|{:?}",
+        scenario.kind, scenario.seed, artifact, scenario
+    )
+}
+
+/// Renders one artifact for `scenario`: validate, run the (lazily
+/// cached) study, render the block — with a study panic converted to a
+/// typed error at this boundary, exactly like `RunContext::try_execute`.
+/// Both `dcnr artifact` and the server's miss path call this, which is
+/// what makes their bytes identical.
+pub fn render_artifact_text(scenario: &Scenario, e: Experiment) -> Result<String, DcnrError> {
+    scenario.validate()?;
+    let ctx = RunContext::new(*scenario);
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        artifacts::render_block(&ctx.artifact(e))
+    }))
+    .map_err(|payload| DcnrError::Panic {
+        context: format!(
+            "artifact {} ({} scenario seed {:#x})",
+            e.key(),
+            scenario.kind,
+            scenario.seed
+        ),
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioKind;
+
+    fn small_query() -> &'static str {
+        "seed=11&scale=0.25&edges=40&vendors=16"
+    }
+
+    #[test]
+    fn query_round_trips_through_the_cli_flag_parser() {
+        let s = scenario_from_query(Scenario::cli_default(ScenarioKind::Backbone), small_query())
+            .unwrap();
+        assert_eq!(s.seed, 11);
+        assert_eq!(s.scale, 0.25);
+        assert_eq!(s.backbone.edges, 40);
+        assert_eq!(
+            scenario_from_query(
+                Scenario::cli_default(ScenarioKind::Backbone),
+                &scenario_query(&s)
+            )
+            .unwrap()
+            .seed,
+            11,
+            "scenario_query must be parseable by scenario_from_query"
+        );
+    }
+
+    #[test]
+    fn query_errors_are_usage_errors_naming_the_parameter() {
+        let base = Scenario::cli_default(ScenarioKind::Intra);
+        let err = scenario_from_query(base, "seed=banana").unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        assert!(err.to_string().contains("--seed"), "{err}");
+        let err = scenario_from_query(base, "bogus=1").unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        let err = scenario_from_query(base, "scale=-1").unwrap_err();
+        assert_eq!(err.kind(), "config", "validation failures stay config");
+    }
+
+    #[test]
+    fn cache_key_distinguishes_every_knob() {
+        let a = Scenario::cli_default(ScenarioKind::Backbone);
+        let b = a.with_seed(a.seed + 1);
+        let mut c = a;
+        c.backbone.edges += 1;
+        assert_ne!(cache_key(&a, "fig15"), cache_key(&b, "fig15"));
+        assert_ne!(cache_key(&a, "fig15"), cache_key(&a, "fig16"));
+        assert_ne!(cache_key(&a, "fig15"), cache_key(&c, "fig15"));
+        assert_eq!(
+            cache_key(&a, "fig15"),
+            cache_key(&a.with_seed(a.seed), "fig15")
+        );
+    }
+
+    #[test]
+    fn render_artifact_text_matches_the_full_report_block() {
+        let scenario =
+            scenario_from_query(Scenario::cli_default(ScenarioKind::Backbone), small_query())
+                .unwrap();
+        let text = render_artifact_text(&scenario, Experiment::Fig15).unwrap();
+        let full = RunContext::new(scenario).execute();
+        assert!(
+            full.rendered.contains(&text),
+            "single-artifact rendering must be a byte-exact slice of the scenario report"
+        );
+    }
+
+    #[test]
+    fn render_artifact_text_rejects_invalid_scenarios() {
+        let mut s = Scenario::cli_default(ScenarioKind::Backbone);
+        s.scale = -1.0;
+        assert_eq!(
+            render_artifact_text(&s, Experiment::Fig15)
+                .unwrap_err()
+                .kind(),
+            "config"
+        );
+    }
+
+    #[test]
+    fn route_labels_stay_bounded() {
+        assert_eq!(route_label("/artifacts/fig15"), "/artifacts/{id}");
+        assert_eq!(route_label("/sweeps/nightly"), "/sweeps/{dir}");
+        assert_eq!(route_label("/healthz"), "/healthz");
+        assert_eq!(route_label("/anything/else"), "unmatched");
+    }
+}

@@ -240,6 +240,45 @@ pub fn run_supervised(
     })
 }
 
+/// Renders the aggregated band report for an existing checkpoint
+/// directory **without executing anything**: the sweep definition comes
+/// from `dir`'s manifest and every replica from its shard. Shards that
+/// are missing, invalid, or belong to a different seed schedule count
+/// as failed replicas (the report degrades exactly like a live sweep
+/// with those replicas quarantined). For a complete checkpoint the
+/// output is byte-identical to the sweep that wrote it — this is what
+/// the report server's `GET /sweeps/{dir}` serves.
+pub fn report_from_checkpoint(dir: &std::path::Path) -> Result<String, DcnrError> {
+    let manifest = checkpoint::read_manifest(dir)?.ok_or_else(|| DcnrError::Checkpoint {
+        path: dir.display().to_string(),
+        message: "no manifest.json here; not a sweep checkpoint".into(),
+    })?;
+    // jobs never affects results or rendering; 1 is as good as any.
+    let config = manifest.to_config(1)?;
+    let replica_seeds = seed_sequence(config.base.seed, "sweep.replica", config.seeds);
+    let records: Vec<Option<ReplicaRecord>> = replica_seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &planned)| match checkpoint::read_shard(dir, i) {
+            Ok(Some(rec)) if rec.seed == effective_seed(planned, rec.attempt) => Some(rec),
+            _ => None,
+        })
+        .collect();
+    let passed = records
+        .iter()
+        .flatten()
+        .filter(|record| record.passed)
+        .count();
+    let failed = records.iter().filter(|record| record.is_none()).count();
+    let rows = aggregate_rows(
+        config.base.seed,
+        &records,
+        config.resamples,
+        config.confidence,
+    );
+    Ok(render(&config, &replica_seeds, passed, failed, &rows))
+}
+
 /// Joins per-replica comparisons by metric **name** (artifact rows can
 /// vary in count across seeds — e.g. Fig. 12's design-MTBI rows need
 /// both designs present) and folds each metric into a band over the

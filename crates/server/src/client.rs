@@ -1,0 +1,161 @@
+//! A minimal blocking HTTP/1.1 client — just enough to drive the
+//! server from `dcnr loadgen`, the CI smoke, and the test suite.
+//!
+//! One request per connection (`Connection: close`), matching what the
+//! server speaks; the body is read to EOF and cross-checked against
+//! `Content-Length` when the server provides one.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response from [`get`] / [`request`].
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers with lower-cased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn err(kind: std::io::ErrorKind, msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(kind, msg.into())
+}
+
+/// Issues a blocking `GET {target}` against `addr` (e.g.
+/// `"127.0.0.1:7878"`). `timeout` bounds connect, read, and write
+/// individually; `None` waits indefinitely.
+pub fn get(addr: &str, target: &str, timeout: Option<Duration>) -> std::io::Result<ClientResponse> {
+    request(addr, "GET", target, timeout)
+}
+
+/// Like [`get`] with an explicit method (the server only accepts GET;
+/// other methods exist to exercise its 405 path).
+pub fn request(
+    addr: &str,
+    method: &str,
+    target: &str,
+    timeout: Option<Duration>,
+) -> std::io::Result<ClientResponse> {
+    let sock_addr: SocketAddr = addr
+        .parse()
+        .map_err(|e| err(std::io::ErrorKind::InvalidInput, format!("{addr}: {e}")))?;
+    let mut stream = match timeout {
+        Some(t) => TcpStream::connect_timeout(&sock_addr, t)?,
+        None => TcpStream::connect(sock_addr)?,
+    };
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    stream.write_all(
+        format!("{method} {target} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")
+            .as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    if let Err(e) = stream.read_to_end(&mut raw) {
+        // A server shedding load may RST after the full response is on
+        // the wire (it closes without reading our request). `raw` keeps
+        // everything read before the error; accept it if it parses as a
+        // complete response, otherwise surface the original error.
+        if e.kind() != std::io::ErrorKind::ConnectionReset {
+            return Err(e);
+        }
+        return parse_response(&raw).map_err(|_| e);
+    }
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| err(std::io::ErrorKind::InvalidData, "no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| err(std::io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let body = raw[head_end + 4..].to_vec();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    // "HTTP/1.1 200 OK"
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            err(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {status_line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    let response = ClientResponse {
+        status,
+        headers,
+        body,
+    };
+    if let Some(len) = response.header("content-length") {
+        let expect: usize = len
+            .parse()
+            .map_err(|_| err(std::io::ErrorKind::InvalidData, "bad Content-Length"))?;
+        if expect != response.body.len() {
+            return Err(err(
+                std::io::ErrorKind::UnexpectedEof,
+                format!(
+                    "truncated body: Content-Length {expect}, got {}",
+                    response.body.len()
+                ),
+            ));
+        }
+    }
+    Ok(response)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nContent-Length: 5\r\n\r\nhello";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("content-type"), Some("text/plain"));
+        assert_eq!(r.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_truncated_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(parse_response(raw).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage_status_lines() {
+        assert!(parse_response(b"not http\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 huh OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\n\r\n";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.header("Retry-After"), Some("1"));
+        assert_eq!(r.header("retry-after"), Some("1"));
+    }
+}

@@ -1,0 +1,439 @@
+//! The server proper: a fixed worker pool behind a bounded accept
+//! queue.
+//!
+//! Architecture (one accept thread, `workers` handler threads):
+//!
+//! ```text
+//! accept loop ── full? ──▶ 503 + Retry-After, close   (shed, O(1))
+//!      │
+//!      ▼ push (bounded queue, Mutex<VecDeque> + Condvar)
+//!   workers ──▶ read request (read timeout) ──▶ handler ──▶ write
+//! ```
+//!
+//! Backpressure policy: the queue depth is the **only** buffering in
+//! the server. When it is full the accept loop answers `503` with a
+//! `Retry-After` hint and closes — the server's latency stays bounded
+//! by `queue_depth / throughput` instead of growing without limit, and
+//! a closed-loop client backs off instead of timing out.
+//!
+//! Shutdown drains: the accept loop stops, connections already queued
+//! are still handled, then the workers exit and [`Server::join`]
+//! returns. The blocking `accept` is woken by a loopback self-connect.
+
+use crate::http::{read_request, Response};
+use std::collections::VecDeque;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The application callback: one request in, one response out. Runs on
+/// a worker thread; must be shareable across all of them.
+pub type Handler = Arc<dyn Fn(&crate::http::Request) -> Response + Send + Sync>;
+
+/// Operational knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Handler thread count (clamped to at least 1).
+    pub workers: usize,
+    /// Accept-queue capacity; connections beyond it are shed with 503.
+    pub queue_depth: usize,
+    /// Per-connection socket read timeout (request head).
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout (response bytes).
+    pub write_timeout: Duration,
+    /// The `Retry-After` hint (seconds) on shed responses.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Live operational counters, shared between the server and the
+/// application layer (which exports them on `/metrics`).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted (including ones later shed or failed).
+    pub accepted: AtomicU64,
+    /// Connections answered `503` because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests that reached the handler.
+    pub handled: AtomicU64,
+    /// Connections dropped before a valid request arrived (parse
+    /// errors, read timeouts, early closes).
+    pub read_errors: AtomicU64,
+    /// Current accept-queue length.
+    pub queue_depth: AtomicI64,
+    /// High-water mark of the accept-queue length.
+    pub queue_peak: AtomicU64,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+    handler: Handler,
+    wake_addr: SocketAddr,
+}
+
+fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
+    // A handler panic is caught per-connection; queue state is a plain
+    // VecDeque of sockets and stays valid.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A running server: accept thread + worker pool. Dropping without
+/// [`Server::join`] detaches the threads; prefer an explicit shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker pool immediately.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        stats: Arc<ServerStats>,
+        handler: Handler,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // The shutdown wake-up self-connect must reach the listener even
+        // when it is bound to the unspecified address.
+        let wake_ip = if local_addr.ip().is_unspecified() {
+            IpAddr::V4(Ipv4Addr::LOCALHOST)
+        } else {
+            local_addr.ip()
+        };
+        let wake_addr = SocketAddr::new(wake_ip, local_addr.port());
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats,
+            config,
+            handler,
+            wake_addr,
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("dcnr-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("dcnr-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A handle that can trigger shutdown from any thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Requests shutdown and blocks until the queue has drained and
+    /// every thread has exited.
+    pub fn shutdown_and_join(mut self) {
+        self.shutdown_handle().request();
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down (via a [`ShutdownHandle`]).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Triggers a graceful drain: stop accepting, serve what is queued,
+/// exit the workers.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Initiates shutdown (idempotent). Returns immediately; use
+    /// [`Server::join`] to wait for the drain.
+    pub fn request(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a loopback connection; the
+        // accept loop re-checks the flag before queueing anything.
+        let _ = TcpStream::connect_timeout(&self.shared.wake_addr, Duration::from_secs(1));
+        self.shared.available.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or any racer) is dropped
+        }
+        let Ok(mut stream) = stream else { continue };
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let mut queue = unpoison(shared.queue.lock());
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            shed(&mut stream, shared);
+            continue; // drop closes the connection
+        }
+        queue.push_back(stream);
+        let depth = queue.len() as u64;
+        shared
+            .stats
+            .queue_depth
+            .store(depth as i64, Ordering::Relaxed);
+        shared.stats.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        drop(queue);
+        shared.available.notify_one();
+    }
+    // Let the workers drain the remaining queue and exit.
+    shared.available.notify_all();
+}
+
+/// Answers `503 Retry-After` on an over-capacity connection. The
+/// client's request bytes are drained (briefly) before the socket is
+/// dropped: closing with unread data in the receive buffer makes Linux
+/// send RST, which can destroy the in-flight 503 on the client side.
+fn shed(stream: &mut TcpStream, shared: &Shared) {
+    let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+    let _ = Response::unavailable(shared.config.retry_after_secs).write_to(stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut sink = [0u8; 1024];
+    // Bounded drain: a well-behaved client's GET arrives in one read;
+    // a slow or hostile peer costs the accept loop at most ~100ms.
+    for _ in 0..2 {
+        match std::io::Read::read(stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let conn = {
+            let mut queue = unpoison(shared.queue.lock());
+            loop {
+                if let Some(c) = queue.pop_front() {
+                    shared
+                        .stats
+                        .queue_depth
+                        .store(queue.len() as i64, Ordering::Relaxed);
+                    break Some(c);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = unpoison(shared.available.wait(queue));
+            }
+        };
+        let Some(mut conn) = conn else { return };
+        let _ = conn.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
+        match read_request(&mut conn) {
+            Ok(req) => {
+                shared.stats.handled.fetch_add(1, Ordering::Relaxed);
+                let response = if req.method == "GET" {
+                    // A handler panic answers 500 and closes this one
+                    // connection; the worker and the server survive.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        (shared.handler)(&req)
+                    })) {
+                        Ok(r) => r,
+                        Err(_) => Response::internal_error("handler panicked"),
+                    }
+                } else {
+                    Response::text(405, "only GET is supported\n")
+                };
+                let _ = response.write_to(&mut conn);
+            }
+            Err(e) => {
+                shared.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = e.response().write_to(&mut conn);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use std::time::Instant;
+
+    fn start(config: ServerConfig, handler: Handler) -> (Server, SocketAddr, Arc<ServerStats>) {
+        let stats = Arc::new(ServerStats::default());
+        let server = Server::bind("127.0.0.1:0", config, stats.clone(), handler).unwrap();
+        let addr = server.local_addr();
+        (server, addr, stats)
+    }
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req| Response::ok(format!("path={} query={}\n", req.path, req.query)))
+    }
+
+    #[test]
+    fn serves_requests_and_drains_on_shutdown() {
+        let (server, addr, stats) = start(ServerConfig::default(), echo_handler());
+        for i in 0..8 {
+            let r = client::get(&addr.to_string(), &format!("/x?i={i}"), None).unwrap();
+            assert_eq!(r.status, 200);
+            assert_eq!(
+                String::from_utf8(r.body).unwrap(),
+                format!("path=/x query=i={i}\n")
+            );
+        }
+        server.shutdown_and_join();
+        assert_eq!(stats.handled.load(Ordering::Relaxed), 8);
+        assert_eq!(stats.shed.load(Ordering::Relaxed), 0);
+        // After the drain, new connections are refused (or reset).
+        assert!(client::get(&addr.to_string(), "/x", Some(Duration::from_millis(500))).is_err());
+    }
+
+    #[test]
+    fn sheds_with_503_when_the_queue_is_full_and_never_hangs() {
+        // One worker stuck in a slow handler + queue depth 1: with many
+        // concurrent clients most connections must shed immediately.
+        let slow: Handler = Arc::new(|_req| {
+            std::thread::sleep(Duration::from_millis(150));
+            Response::ok("slow\n")
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        };
+        let (server, addr, stats) = start(config, slow);
+        let started = Instant::now();
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    client::get(&addr, "/slow", Some(Duration::from_secs(10))).unwrap()
+                })
+            })
+            .collect();
+        let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let sheds = responses.iter().filter(|r| r.status == 503).count();
+        let oks = responses.iter().filter(|r| r.status == 200).count();
+        assert_eq!(sheds + oks, 8, "every client gets a definitive answer");
+        assert!(sheds >= 4, "expected most of 8 clients shed, got {sheds}");
+        let shed_response = responses.iter().find(|r| r.status == 503).unwrap();
+        assert!(
+            shed_response.header("retry-after").is_some(),
+            "shed responses carry Retry-After"
+        );
+        // Sheds are immediate: total wall clock is bounded by the few
+        // slow requests actually admitted, not by 8 * 150ms.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(stats.shed.load(Ordering::Relaxed) as usize, sheds);
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn handler_panic_answers_500_and_server_survives() {
+        let flaky: Handler = Arc::new(|req| {
+            if req.path == "/boom" {
+                panic!("handler bug");
+            }
+            Response::ok("fine\n")
+        });
+        let (server, addr, _stats) = start(ServerConfig::default(), flaky);
+        let r = client::get(&addr.to_string(), "/boom", None).unwrap();
+        assert_eq!(r.status, 500);
+        let r = client::get(&addr.to_string(), "/ok", None).unwrap();
+        assert_eq!(r.status, 200);
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn non_get_methods_are_rejected() {
+        let (server, addr, _stats) = start(ServerConfig::default(), echo_handler());
+        let r = client::request(&addr.to_string(), "DELETE", "/x", None).unwrap();
+        assert_eq!(r.status, 405);
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn queued_connections_are_served_before_the_drain_finishes() {
+        let slow: Handler = Arc::new(|_req| {
+            std::thread::sleep(Duration::from_millis(100));
+            Response::ok("done\n")
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..ServerConfig::default()
+        };
+        let (server, addr, stats) = start(config, slow);
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    client::get(&addr, "/q", Some(Duration::from_secs(10))).unwrap()
+                })
+            })
+            .collect();
+        // Give the clients time to be accepted/queued, then drain.
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown_and_join();
+        for c in clients {
+            assert_eq!(c.join().unwrap().status, 200, "queued conns get served");
+        }
+        assert_eq!(stats.handled.load(Ordering::Relaxed), 3);
+    }
+}

@@ -203,6 +203,36 @@ mod tests {
     }
 
     #[test]
+    fn route_shaped_label_values_render_valid_exposition() {
+        // The report server labels request metrics with route patterns
+        // — values containing '/', '{', '}', and spaces. All of these
+        // are legal inside a quoted label value and must survive the
+        // render → validate round trip unescaped.
+        let r = Registry::default();
+        for route in ["/artifacts/{id}", "/sweeps/{dir}", "/healthz", "a b c"] {
+            r.counter(
+                "dcnr_server_requests_total",
+                &[("route", route), ("status", "200")],
+            )
+            .add(1);
+            r.histogram(
+                "dcnr_server_request_duration_micros",
+                &[("route", route)],
+                &[100, 10_000],
+            )
+            .observe(42);
+        }
+        let text = render(&r.snapshot());
+        let samples = validate(&text).expect("route-shaped labels must validate");
+        // 4 counters + 4 histograms x (2 buckets + +Inf + sum + count).
+        assert_eq!(samples, 24);
+        assert!(
+            text.contains("dcnr_server_requests_total{route=\"/artifacts/{id}\",status=\"200\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
     fn validator_rejects_malformed_lines() {
         assert!(validate("ok_total 1\n").is_ok());
         assert!(validate("1bad 2\n").unwrap_err().contains("line 1"));
