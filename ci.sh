@@ -96,4 +96,61 @@ cmp /tmp/dcnr_artifact_cli.out /tmp/dcnr_artifact_http.out
 ./target/release/dcnr -q fetch "$DCNR_ADDR" /admin/shutdown >/dev/null
 wait "$DCNR_SERVE_PID"
 
+echo "==> chaos-off identity smoke (zero-rate shim is byte-invisible)"
+# A serve with the fault shim installed but every rate at zero must
+# produce responses byte-identical to the plain CLI render.
+rm -f /tmp/dcnr_chaos_off_port
+./target/release/dcnr -q serve --addr 127.0.0.1:0 --admin --chaos-seed 7 \
+    --port-file /tmp/dcnr_chaos_off_port &
+DCNR_CHAOS_OFF_PID=$!
+i=0
+while [ ! -s /tmp/dcnr_chaos_off_port ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "chaos-off server never bound" >&2; exit 1; }
+    sleep 0.1
+done
+DCNR_ADDR=$(cat /tmp/dcnr_chaos_off_port)
+./target/release/dcnr -q fetch "$DCNR_ADDR" \
+    '/artifacts/fig15?seed=11&scale=0.25&edges=40&vendors=16' \
+    >/tmp/dcnr_artifact_chaos_off.out
+cmp /tmp/dcnr_artifact_cli.out /tmp/dcnr_artifact_chaos_off.out
+./target/release/dcnr -q fetch "$DCNR_ADDR" /admin/shutdown >/dev/null
+wait "$DCNR_CHAOS_OFF_PID"
+
+echo "==> chaos-serve smoke (resilience harness verdict under faults)"
+# Full chaos: injected delays, resets, truncations, corruptions, and
+# stalls. The retrying clients must still reach a >= 99% eventual
+# success rate with ZERO undetected corruptions, or loadgen exits 1.
+rm -f /tmp/dcnr_chaos_port
+./target/release/dcnr -q serve --addr 127.0.0.1:0 --admin --workers 0 \
+    --chaos-seed 7 --chaos-reset-rate 0.06 --chaos-truncate-rate 0.06 \
+    --chaos-corrupt-rate 0.06 --chaos-read-delay-rate 0.1 \
+    --chaos-write-delay-rate 0.1 --chaos-delay-ms 5 \
+    --chaos-stall-rate 0.03 --chaos-stall-ms 50 \
+    --port-file /tmp/dcnr_chaos_port &
+DCNR_CHAOS_PID=$!
+i=0
+while [ ! -s /tmp/dcnr_chaos_port ]; do
+    i=$((i + 1))
+    [ "$i" -le 100 ] || { echo "chaos server never bound" >&2; exit 1; }
+    sleep 0.1
+done
+DCNR_ADDR=$(cat /tmp/dcnr_chaos_port)
+./target/release/dcnr -q loadgen --addr "$DCNR_ADDR" --chaos \
+    --clients 4 --requests 8 --min-success 0.99 \
+    --artifacts fig15,fig16,table4 --scale 0.25 --edges 40 --vendors 16 \
+    --bench-json /tmp/dcnr_resilience_smoke.json \
+    >/tmp/dcnr_chaos_loadgen.out
+grep -q 'chaos verdict: PASS' /tmp/dcnr_chaos_loadgen.out
+grep -q '"undetected_corruption": 0' /tmp/dcnr_resilience_smoke.json
+grep -q '"verdict": "pass"' /tmp/dcnr_resilience_smoke.json
+# The chaos injection counters must appear on a validated /metrics.
+# fetch retries under chaos, so the scrape itself survives injections.
+./target/release/dcnr -q fetch "$DCNR_ADDR" /metrics --validate \
+    >/tmp/dcnr_chaos_metrics.prom
+grep -q '^dcnr_server_chaos_injections_total' /tmp/dcnr_chaos_metrics.prom
+grep -q '^dcnr_server_workers ' /tmp/dcnr_chaos_metrics.prom
+./target/release/dcnr -q fetch "$DCNR_ADDR" /admin/shutdown >/dev/null
+wait "$DCNR_CHAOS_PID"
+
 echo "ci: all green"

@@ -84,10 +84,14 @@ USAGE:
                    and write it to PATH (default BENCH_profile.json).
     dcnr serve     [--addr HOST:PORT] [--workers W] [--queue-depth Q]
                    [--cache-entries E] [--sweep-root DIR] [--admin]
-                   [--port-file PATH]
+                   [--port-file PATH] [--chaos-* ...]
+                   [--breaker-threshold N] [--breaker-cooldown-ms MS]
+                   [--render-fault-rate R] [--render-fault-skip N]
+                   [--render-fault-limit N] [--render-fault-seed S]
                    Serve study reports over HTTP on a fixed worker pool
                    with a bounded accept queue (overload sheds 503 +
-                   Retry-After; never hangs). GET /artifacts/{id} (with
+                   Retry-After; never hangs). --workers 0 auto-detects
+                   available parallelism. GET /artifacts/{id} (with
                    scenario flags as query parameters, e.g.
                    /artifacts/fig15?seed=7&scale=0.5) renders any
                    registry artifact byte-identically to
@@ -95,31 +99,62 @@ USAGE:
                    by scenario+seed+artifact; /sweeps/{dir} aggregates
                    an existing checkpoint directory under --sweep-root;
                    /metrics is live Prometheus text (requests, latency
-                   histograms, cache hits/misses, shed count);
+                   histograms, cache hits/misses, shed count, chaos
+                   injections, breaker states, stale serves);
                    /healthz and /readyz report liveness. --admin adds
                    /admin/shutdown (graceful drain) for tests and
                    scripts; SIGINT drains too. --addr with port 0 picks
                    an ephemeral port, written to --port-file.
+                   Transport chaos (deterministic, seeded; off unless a
+                   --chaos-* flag or DCNR_CHAOS is set; zero rates are
+                   byte-identical to off): --chaos-seed S plus
+                   --chaos-{accept,read,write}-delay-rate R,
+                   --chaos-delay-ms MS, --chaos-reset-rate R,
+                   --chaos-truncate-rate R, --chaos-corrupt-rate R,
+                   --chaos-stall-rate R, --chaos-stall-ms MS.
+                   Render failures trip a per-artifact circuit breaker
+                   (--breaker-threshold consecutive failures open it
+                   for --breaker-cooldown-ms, then one half-open
+                   probe); misses under an open breaker or a saturated
+                   queue serve the last good render flagged
+                   X-Dcnr-Stale, or shed 503 + Retry-After.
     dcnr loadgen   [--addr HOST:PORT] [--clients N] [--requests R]
                    [--mix-seed S] [--scenario-seeds K]
-                   [--artifacts id,id,...] [--verify]
+                   [--artifacts id,id,...] [--verify] [--chaos]
+                   [--retries K] [--backoff-ms MS] [--backoff-cap-ms MS]
+                   [--deadline-ms MS] [--min-success F]
                    [--bench-json PATH] [--bench-append]
                    [--timeout-secs T] [scenario flags]
                    Closed-loop load harness: N client threads drive a
                    running `dcnr serve` with a seeded artifact/scenario
                    request mix and report throughput and p50/p95/p99
-                   latency. --verify compares every body byte-for-byte
+                   latency. Every request retries under a per-request
+                   deadline with capped jittered exponential backoff,
+                   honoring the server's Retry-After on 503; outcomes
+                   are classified ok / retried-ok / shed / gave-up /
+                   corrupt. --verify compares every body byte-for-byte
                    against a local render; --bench-json writes the run
                    record (--bench-append adds to an existing file).
+                   --chaos is the resilience harness: verification is
+                   forced, the verdict fails unless the eventual
+                   success rate is >= --min-success (default 0.99) AND
+                   no corruption went undetected, and the record goes
+                   to BENCH_resilience.json unless --bench-json says
+                   otherwise.
     dcnr artifact  ID [scenario flags]
                    Render one registry artifact (table1, fig2, ...,
                    fig18, table4) for the scenario — the same bytes
                    `dcnr serve` returns for /artifacts/ID.
     dcnr fetch     ADDR TARGET [--validate] [--timeout-secs T]
+                   [--retries K] [--deadline-ms MS]
                    One-shot HTTP GET against a running server (no curl
                    needed in scripts); prints the body, fails on
-                   non-200. --validate additionally runs the strict
-                   Prometheus text-format validator over the body.
+                   non-200. Transient failures (503 shed, transport
+                   errors, detected truncation/corruption) retry up to
+                   K times (default 2) under the deadline budget,
+                   honoring Retry-After. --validate additionally runs
+                   the strict Prometheus text-format validator over
+                   the body.
     dcnr drill     Run the fault-injection and disaster-recovery drills
                    on the reference mixed region.
     dcnr risk      [--trials N] [--seed N]
@@ -131,6 +166,11 @@ Environment:
     DCNR_FAULT_REPLICA=idx[:panic|panic-once|hang][,...]
                    Test hook: force sweep replica idx to panic or hang,
                    exercising the supervision path end to end.
+    DCNR_CHAOS=key=value[,key=value...]
+                   Base transport fault plan for `dcnr serve` (same
+                   keys as the --chaos-* flags without the prefix,
+                   e.g. DCNR_CHAOS=\"seed=7,reset-rate=0.1\"); any
+                   --chaos-* flag overrides its key.
 ";
 
 /// The global flags every command accepts, stripped from argv before
@@ -489,26 +529,48 @@ fn cmd_artifact(mut argv: Vec<String>) -> Result<(), DcnrError> {
 
 /// `dcnr fetch ADDR TARGET`: one-shot GET for scripts and CI smoke
 /// tests in environments without curl. Non-200 responses fail.
+/// Transient failures (shed, transport, detected truncation or
+/// corruption) retry with backoff under a deadline budget.
 fn cmd_fetch(argv: Vec<String>) -> Result<(), DcnrError> {
     let mut args = ArgScanner::new(argv);
     let validate = args.flag("--validate");
     let timeout = Duration::from_secs(args.value::<u64>("--timeout-secs")?.unwrap_or(10));
+    let retries = args.value::<u32>("--retries")?.unwrap_or(2);
+    let deadline = Duration::from_millis(args.value::<u64>("--deadline-ms")?.unwrap_or(30_000));
     let rest = args.into_rest();
     let [addr, target] = rest.as_slice() else {
         return Err(DcnrError::Usage(
-            "usage: dcnr fetch ADDR TARGET [--validate] [--timeout-secs T]".into(),
+            "usage: dcnr fetch ADDR TARGET [--validate] [--timeout-secs T] \
+             [--retries K] [--deadline-ms MS]"
+                .into(),
         ));
     };
-    let response = dcnr_server::client::get(addr, target, Some(timeout))
-        .map_err(|e| DcnrError::Failed(format!("fetch http://{addr}{target}: {e}")))?;
-    let body = String::from_utf8_lossy(&response.body);
-    if response.status != 200 {
+    let policy = dcnr_core::resilience::RetryPolicy {
+        retries,
+        attempt_timeout: timeout,
+        deadline,
+        ..Default::default()
+    };
+    let result = dcnr_core::resilient_get(addr, target, &policy, 0xFE7C);
+    let Some(response) = result.response else {
+        let detail = result.error.map(|e| format!(" ({e})")).unwrap_or_default();
         return Err(DcnrError::Failed(format!(
-            "http://{addr}{target} returned {}: {}",
-            response.status,
-            body.trim_end()
+            "fetch http://{addr}{target}: {} after {} attempt{}{detail}",
+            result.outcome.label(),
+            result.attempts,
+            if result.attempts == 1 { "" } else { "s" },
         )));
+    };
+    if result.attempts > 1 {
+        logger::info(format!(
+            "{target}: succeeded after {} attempts",
+            result.attempts
+        ));
     }
+    if result.stale {
+        logger::info(format!("{target}: response served stale (X-Dcnr-Stale)"));
+    }
+    let body = String::from_utf8_lossy(&response.body);
     if validate {
         dcnr_core::telemetry::prometheus::validate(&body)
             .map_err(|e| DcnrError::Failed(format!("{target}: invalid Prometheus text: {e}")))?;

@@ -215,16 +215,18 @@ pub fn parse_sweep_args(args: &mut ArgScanner) -> Result<SweepArgs, DcnrError> {
 /// Parses the `dcnr serve` flags into ready-to-run options. Unlike the
 /// scenario flags there is no partial application here: the scanner
 /// must be empty afterwards, so the caller runs [`ArgScanner::finish`].
+///
+/// `--workers 0` means "auto-detect available parallelism". The
+/// transport fault plan starts from the `DCNR_CHAOS` environment spec
+/// (if set) and any `--chaos-*` flag overrides that base — passing any
+/// chaos flag enables the shim even without the variable.
 pub fn parse_serve_args(args: &mut ArgScanner) -> Result<crate::serve::ServeOptions, DcnrError> {
     let mut opts = crate::serve::ServeOptions::default();
     if let Some(addr) = args.value::<String>("--addr")? {
         opts.addr = addr;
     }
     if let Some(workers) = args.value::<usize>("--workers")? {
-        if workers == 0 {
-            return Err(DcnrError::Usage("--workers must be positive".into()));
-        }
-        opts.workers = workers;
+        opts.workers = workers; // 0 = auto-detect
     }
     if let Some(depth) = args.value::<usize>("--queue-depth")? {
         if depth == 0 {
@@ -243,7 +245,73 @@ pub fn parse_serve_args(args: &mut ArgScanner) -> Result<crate::serve::ServeOpti
     }
     opts.admin = args.flag("--admin");
     opts.port_file = args.value::<String>("--port-file")?.map(PathBuf::from);
+    opts.chaos = parse_chaos_flags(args)?;
+    if let Some(threshold) = args.value::<u32>("--breaker-threshold")? {
+        if threshold == 0 {
+            return Err(DcnrError::Usage(
+                "--breaker-threshold must be positive".into(),
+            ));
+        }
+        opts.breaker.failure_threshold = threshold;
+    }
+    if let Some(ms) = args.value::<u64>("--breaker-cooldown-ms")? {
+        if ms == 0 {
+            return Err(DcnrError::Usage(
+                "--breaker-cooldown-ms must be positive".into(),
+            ));
+        }
+        opts.breaker.cooldown = std::time::Duration::from_millis(ms);
+    }
+    if let Some(rate) = args.value::<f64>("--render-fault-rate")? {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(DcnrError::Usage(format!(
+                "--render-fault-rate must be in [0, 1], got {rate}"
+            )));
+        }
+        opts.render_faults.rate = rate;
+    }
+    if let Some(skip) = args.value::<u64>("--render-fault-skip")? {
+        opts.render_faults.skip = skip;
+    }
+    if let Some(limit) = args.value::<u64>("--render-fault-limit")? {
+        opts.render_faults.limit = limit;
+    }
+    if let Some(seed) = args.value::<u64>("--render-fault-seed")? {
+        opts.render_faults.seed = seed;
+    }
     Ok(opts)
+}
+
+/// The `--chaos-*` flag family, layered over a `DCNR_CHAOS` env base.
+/// Returns `None` (shim disabled) when neither is present.
+fn parse_chaos_flags(
+    args: &mut ArgScanner,
+) -> Result<Option<dcnr_server::chaos::FaultPlan>, DcnrError> {
+    let mut plan = dcnr_server::chaos::FaultPlan::from_env()
+        .map_err(|e| DcnrError::Usage(format!("DCNR_CHAOS: {e}")))?;
+    for key in [
+        "seed",
+        "accept-delay-rate",
+        "read-delay-rate",
+        "write-delay-rate",
+        "delay-ms",
+        "reset-rate",
+        "truncate-rate",
+        "corrupt-rate",
+        "stall-rate",
+        "stall-ms",
+    ] {
+        let flag = format!("--chaos-{key}");
+        if let Some(value) = args.value::<String>(&flag)? {
+            plan.get_or_insert_with(Default::default)
+                .set(key, &value)
+                .map_err(|e| DcnrError::Usage(format!("{flag}: {e}")))?;
+        }
+    }
+    if let Some(plan) = &plan {
+        plan.validate().map_err(DcnrError::Usage)?;
+    }
+    Ok(plan)
 }
 
 /// Parses the `dcnr loadgen` flags. Scenario flags (`--seed`,
@@ -284,12 +352,46 @@ pub fn parse_loadgen_args(
         opts.timeout = std::time::Duration::from_secs(secs);
     }
     opts.verify = args.flag("--verify");
+    opts.chaos = args.flag("--chaos");
+    if let Some(retries) = args.value::<u32>("--retries")? {
+        opts.policy.retries = retries;
+    }
+    if let Some(ms) = args.value::<u64>("--backoff-ms")? {
+        if ms == 0 {
+            return Err(DcnrError::Usage("--backoff-ms must be positive".into()));
+        }
+        opts.policy.backoff_base = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.value::<u64>("--backoff-cap-ms")? {
+        if ms == 0 {
+            return Err(DcnrError::Usage("--backoff-cap-ms must be positive".into()));
+        }
+        opts.policy.backoff_cap = std::time::Duration::from_millis(ms);
+    }
+    if let Some(ms) = args.value::<u64>("--deadline-ms")? {
+        if ms == 0 {
+            return Err(DcnrError::Usage("--deadline-ms must be positive".into()));
+        }
+        opts.policy.deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(floor) = args.value::<f64>("--min-success")? {
+        if !floor.is_finite() || !(0.0..=1.0).contains(&floor) {
+            return Err(DcnrError::Usage(format!(
+                "--min-success must be in [0, 1], got {floor}"
+            )));
+        }
+        opts.min_success = floor;
+    }
     opts.bench_json = args.value::<String>("--bench-json")?;
     opts.bench_append = args.flag("--bench-append");
     if opts.bench_append && opts.bench_json.is_none() {
         return Err(DcnrError::Usage(
             "--bench-append requires --bench-json PATH".into(),
         ));
+    }
+    if opts.chaos && opts.bench_json.is_none() {
+        // The resilience harness always leaves a record behind.
+        opts.bench_json = Some("BENCH_resilience.json".into());
     }
     Ok(opts)
 }
@@ -461,11 +563,113 @@ mod tests {
         assert_eq!(opts.sweep_root, PathBuf::from("/tmp/sweeps"));
         assert!(opts.admin);
         assert_eq!(opts.port_file, Some(PathBuf::from("/tmp/port")));
-        for bad in [&["--workers", "0"][..], &["--queue-depth=0"][..]] {
+        assert!(opts.chaos.is_none(), "no chaos flags, no chaos shim");
+        for bad in [&["--queue-depth=0"][..], &["--cache-entries", "0"][..]] {
             let mut a = scan(bad);
             let err = parse_serve_args(&mut a).unwrap_err();
             assert_eq!(err.kind(), "usage", "{bad:?}");
         }
+        // --workers 0 means auto-detect, not an error.
+        let mut a = scan(&["--workers", "0"]);
+        let opts = parse_serve_args(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(opts.workers, 0);
+    }
+
+    #[test]
+    fn serve_chaos_flags_build_a_fault_plan() {
+        let mut a = scan(&[
+            "--chaos-seed",
+            "9",
+            "--chaos-reset-rate=0.25",
+            "--chaos-delay-ms",
+            "5",
+        ]);
+        let opts = parse_serve_args(&mut a).unwrap();
+        a.finish().unwrap();
+        let plan = opts.chaos.expect("chaos flags enable the shim");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.reset_rate, 0.25);
+        assert_eq!(plan.delay_ms, 5);
+        assert_eq!(plan.truncate_rate, 0.0, "untouched rates stay zero");
+        // Out-of-range rates are usage errors.
+        let mut a = scan(&["--chaos-corrupt-rate", "1.5"]);
+        assert_eq!(parse_serve_args(&mut a).unwrap_err().kind(), "usage");
+    }
+
+    #[test]
+    fn serve_breaker_and_render_fault_flags_parse_and_validate() {
+        let mut a = scan(&[
+            "--breaker-threshold",
+            "2",
+            "--breaker-cooldown-ms=250",
+            "--render-fault-rate",
+            "1.0",
+            "--render-fault-skip",
+            "1",
+            "--render-fault-limit",
+            "3",
+        ]);
+        let opts = parse_serve_args(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(opts.breaker.failure_threshold, 2);
+        assert_eq!(opts.breaker.cooldown, std::time::Duration::from_millis(250));
+        assert_eq!(opts.render_faults.rate, 1.0);
+        assert_eq!(opts.render_faults.skip, 1);
+        assert_eq!(opts.render_faults.limit, 3);
+        for bad in [
+            &["--breaker-threshold", "0"][..],
+            &["--breaker-cooldown-ms", "0"][..],
+            &["--render-fault-rate", "2"][..],
+        ] {
+            let mut a = scan(bad);
+            assert_eq!(
+                parse_serve_args(&mut a).unwrap_err().kind(),
+                "usage",
+                "{bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn loadgen_chaos_flags_set_the_policy_and_default_bench_path() {
+        let mut a = scan(&[
+            "--chaos",
+            "--retries",
+            "5",
+            "--backoff-ms=10",
+            "--backoff-cap-ms",
+            "200",
+            "--deadline-ms",
+            "4000",
+            "--min-success",
+            "0.95",
+        ]);
+        let opts = parse_loadgen_args(&mut a).unwrap();
+        a.finish().unwrap();
+        assert!(opts.chaos);
+        assert_eq!(opts.policy.retries, 5);
+        assert_eq!(
+            opts.policy.backoff_base,
+            std::time::Duration::from_millis(10)
+        );
+        assert_eq!(
+            opts.policy.backoff_cap,
+            std::time::Duration::from_millis(200)
+        );
+        assert_eq!(opts.policy.deadline, std::time::Duration::from_millis(4000));
+        assert_eq!(opts.min_success, 0.95);
+        assert_eq!(
+            opts.bench_json.as_deref(),
+            Some("BENCH_resilience.json"),
+            "--chaos defaults the bench record path"
+        );
+        // An explicit path wins; a bad floor is a usage error.
+        let mut a = scan(&["--chaos", "--bench-json", "/tmp/r.json"]);
+        let opts = parse_loadgen_args(&mut a).unwrap();
+        assert_eq!(opts.bench_json.as_deref(), Some("/tmp/r.json"));
+        let mut a = scan(&["--min-success", "1.5"]);
+        assert_eq!(parse_loadgen_args(&mut a).unwrap_err().kind(), "usage");
     }
 
     #[test]

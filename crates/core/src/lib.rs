@@ -53,7 +53,12 @@
 //!   graceful drain).
 //! * [`loadgen`] — the `dcnr loadgen` closed-loop load harness: seeded
 //!   request mixes, byte-for-byte response verification, and
-//!   `BENCH_serve.json` records.
+//!   `BENCH_serve.json` records; `--chaos` turns it into a resilience
+//!   harness with a pass/fail verdict and `BENCH_resilience.json`.
+//! * [`resilience`] — client-side retries: deterministic capped
+//!   jittered backoff, per-request deadlines, `Retry-After` honoring,
+//!   and outcome classification (ok / retried-ok / shed / gave-up /
+//!   corrupt) over the `dcnr-server` client.
 //!
 //! ## Quickstart
 //!
@@ -82,6 +87,7 @@ pub mod json;
 pub mod loadgen;
 pub mod profile;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 pub mod serve;
 pub mod supervisor;
@@ -97,6 +103,7 @@ pub use inter::InterDcStudy;
 pub use intra::{IntraDcStudy, StudyConfig};
 pub use loadgen::{LoadReport, LoadgenOptions};
 pub use profile::{phase_rows, render_profile_json, render_profile_table, PhaseRow};
+pub use resilience::{resilient_get, FetchResult, Outcome, RetryCauses, RetryPolicy};
 pub use scenario::{RunContext, RunPlan, Scenario, ScenarioKind, ScenarioOutcome, StudyKind};
 pub use serve::{RunningServer, ServeOptions};
 pub use supervisor::{

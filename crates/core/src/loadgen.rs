@@ -10,16 +10,28 @@
 //! "loadgen.client.{i}")`, and the candidate scenarios are minted with
 //! the same [`seed_sequence`] discipline the sweep runner uses.
 //!
+//! Every request goes through [`crate::resilience::resilient_get`], so
+//! a `503` shed is a *retryable* event that honors the server's
+//! `Retry-After` — the summary classifies terminal outcomes as
+//! ok / retried-ok / shed / gave-up / corrupt instead of lumping sheds
+//! in with transport errors.
+//!
 //! With `--verify`, every response body is compared byte-for-byte
 //! against [`crate::serve::render_artifact_text`] computed locally —
-//! the load test doubles as the cache-coherence test.
+//! the load test doubles as the cache-coherence test. With `--chaos`
+//! the run becomes a resilience harness: it assumes the server is
+//! fault-injected, forces verification, and emits a pass/fail verdict
+//! (eventual-success rate ≥ `min_success`, undetected corruption
+//! exactly zero) plus a `BENCH_resilience.json` record.
 
 use crate::error::DcnrError;
 use crate::experiments::Experiment;
 use crate::json;
+use crate::resilience::{self, Outcome, RetryCauses, RetryPolicy};
 use crate::scenario::Scenario;
 use crate::serve;
 use dcnr_server::client;
+use dcnr_sim::rng::derive_indexed_seed;
 use dcnr_sim::{seed_sequence, stream_rng};
 use rand::Rng;
 use std::collections::HashMap;
@@ -53,8 +65,15 @@ pub struct LoadgenOptions {
     pub bench_json: Option<String>,
     /// Append to an existing bench file instead of overwriting.
     pub bench_append: bool,
-    /// Per-request client timeout.
+    /// Per-request client timeout (the retry policy's attempt timeout).
     pub timeout: Duration,
+    /// Retry/backoff/deadline policy for every request.
+    pub policy: RetryPolicy,
+    /// Resilience-harness mode: verify every body and emit a pass/fail
+    /// verdict against `min_success` and zero undetected corruption.
+    pub chaos: bool,
+    /// Minimum eventual-success rate the chaos verdict requires.
+    pub min_success: f64,
 }
 
 impl Default for LoadgenOptions {
@@ -71,6 +90,9 @@ impl Default for LoadgenOptions {
             bench_json: None,
             bench_append: false,
             timeout: Duration::from_secs(30),
+            policy: RetryPolicy::default(),
+            chaos: false,
+            min_success: 0.99,
         }
     }
 }
@@ -90,27 +112,91 @@ pub struct LoadReport {
     pub clients: usize,
     /// Requests attempted per client.
     pub requests_per_client: usize,
-    /// 200 responses.
+    /// First-attempt successes.
     pub ok: usize,
-    /// 503 responses (shed by the server's backpressure).
+    /// Successes after one or more retries.
+    pub retried_ok: usize,
+    /// Requests that exhausted their budget still being shed (terminal
+    /// 503 after honoring every `Retry-After`).
     pub shed: usize,
-    /// Transport or unexpected-status failures.
+    /// Requests that gave up on transport or server errors.
     pub errors: usize,
-    /// Byte-for-byte mismatches against the local render (only counted
-    /// when `verify` was on).
+    /// Requests that gave up on *detected* integrity failures
+    /// (truncation / checksum mismatch on every attempt).
+    pub corrupt: usize,
+    /// Successful responses flagged `X-Dcnr-Stale` by the server's
+    /// degraded paths.
+    pub stale: usize,
+    /// Retry counts by cause across all clients.
+    pub retries: RetryCauses,
+    /// Byte-for-byte mismatches against the local render on responses
+    /// that *passed* integrity checks — undetected corruption. Must be
+    /// zero; only counted when `verify` was on.
     pub verify_failures: usize,
     /// Wall-clock for the whole run.
     pub wall: Duration,
-    /// Completed (200 or 503) requests per second.
+    /// Completed (eventual 200 or terminal 503) requests per second.
     pub throughput_rps: f64,
-    /// Latency percentiles over successful responses, in microseconds:
-    /// (p50, p95, p99, mean, max).
+    /// Latency percentiles over successful requests (including retry
+    /// and backoff time), in microseconds: (p50, p95, p99, mean, max).
     pub latency_micros: (u64, u64, u64, u64, u64),
     /// The `dcnr_server_workers` gauge scraped from `/metrics` after
     /// the run (0 when the scrape failed).
     pub server_workers: u64,
+    /// Total transport fault injections scraped from the server's
+    /// `dcnr_server_chaos_injections_total` counters (0 when absent).
+    pub chaos_injections: u64,
+    /// Whether this run was the `--chaos` resilience harness.
+    pub chaos: bool,
+    /// The eventual-success floor the verdict requires.
+    pub min_success: f64,
     /// Human-readable report.
     pub rendered: String,
+}
+
+impl LoadReport {
+    /// Fraction of requests that eventually succeeded.
+    pub fn eventual_success_rate(&self) -> f64 {
+        let total = self.clients * self.requests_per_client;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.ok + self.retried_ok) as f64 / total as f64
+    }
+
+    /// The chaos-harness verdict: eventual success meets the floor and
+    /// corruption never slipped past the integrity checks.
+    pub fn verdict_pass(&self) -> bool {
+        self.eventual_success_rate() >= self.min_success && self.verify_failures == 0
+    }
+}
+
+/// Per-client tallies, merged across threads at the end of a run.
+#[derive(Debug, Default)]
+struct ClientTally {
+    ok: usize,
+    retried_ok: usize,
+    shed: usize,
+    gave_up: usize,
+    corrupt: usize,
+    stale: usize,
+    verify_failures: usize,
+    retries: RetryCauses,
+    latencies: Vec<u64>,
+}
+
+impl ClientTally {
+    fn merge(&mut self, other: ClientTally) {
+        self.ok += other.ok;
+        self.retried_ok += other.retried_ok;
+        self.shed += other.shed;
+        self.gave_up += other.gave_up;
+        self.corrupt += other.corrupt;
+        self.stale += other.stale;
+        self.verify_failures += other.verify_failures;
+        self.retries.merge(&other.retries);
+        self.latencies.extend(other.latencies);
+    }
 }
 
 /// Builds the deterministic request mix: every artifact crossed with
@@ -171,8 +257,9 @@ fn build_mix(opts: &LoadgenOptions) -> Result<Vec<MixEntry>, DcnrError> {
 /// differs from the local render.
 pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, DcnrError> {
     let mix = Arc::new(build_mix(opts)?);
+    let verify = opts.verify || opts.chaos;
     // Local expectations, rendered serially before the clock starts.
-    let expected: Arc<Vec<Option<String>>> = Arc::new(if opts.verify {
+    let expected: Arc<Vec<Option<String>>> = Arc::new(if verify {
         mix.iter()
             .map(|m| serve::render_artifact_text(&m.scenario, m.experiment).map(Some))
             .collect::<Result<_, _>>()?
@@ -186,72 +273,76 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, DcnrError> {
         let mix = mix.clone();
         let expected = expected.clone();
         let addr = opts.addr.clone();
-        let timeout = opts.timeout;
         let requests = opts.requests;
         let mix_seed = opts.mix_seed;
+        let policy = RetryPolicy {
+            attempt_timeout: opts.timeout,
+            ..opts.policy
+        };
         handles.push(
             std::thread::Builder::new()
                 .name(format!("dcnr-loadgen-{i}"))
                 .spawn(move || {
                     let mut rng = stream_rng(mix_seed, &format!("loadgen.client.{i}"));
-                    let mut ok = 0usize;
-                    let mut shed = 0usize;
-                    let mut errors = 0usize;
-                    let mut verify_failures = 0usize;
-                    let mut latencies = Vec::with_capacity(requests);
-                    for _ in 0..requests {
+                    let backoff_tag = format!("loadgen.backoff.{i}");
+                    let mut tally = ClientTally::default();
+                    for j in 0..requests {
                         let pick = rng.gen_range(0..mix.len());
                         let entry = &mix[pick];
-                        let t0 = Instant::now();
-                        match client::get(&addr, &entry.target, Some(timeout)) {
-                            Ok(resp) if resp.status == 200 => {
-                                latencies.push(t0.elapsed().as_micros() as u64);
-                                ok += 1;
-                                if let Some(want) = &expected[pick] {
+                        let seed = derive_indexed_seed(mix_seed, &backoff_tag, j as u64);
+                        let r = resilience::resilient_get(&addr, &entry.target, &policy, seed);
+                        tally.retries.merge(&r.retries);
+                        match r.outcome {
+                            Outcome::Ok | Outcome::RetriedOk => {
+                                if r.outcome == Outcome::Ok {
+                                    tally.ok += 1;
+                                } else {
+                                    tally.retried_ok += 1;
+                                }
+                                if r.stale {
+                                    tally.stale += 1;
+                                }
+                                tally.latencies.push(r.elapsed.as_micros() as u64);
+                                // A body that passed Content-Length and
+                                // checksum but differs from the local
+                                // render is corruption the integrity
+                                // layer MISSED.
+                                if let (Some(want), Some(resp)) = (&expected[pick], &r.response) {
                                     if resp.body != want.as_bytes() {
-                                        verify_failures += 1;
+                                        tally.verify_failures += 1;
                                     }
                                 }
                             }
-                            Ok(resp) if resp.status == 503 => shed += 1,
-                            Ok(_) | Err(_) => errors += 1,
+                            Outcome::Shed => tally.shed += 1,
+                            Outcome::GaveUp => tally.gave_up += 1,
+                            Outcome::Corrupt => tally.corrupt += 1,
                         }
                     }
-                    (ok, shed, errors, verify_failures, latencies)
+                    tally
                 })
                 .map_err(|e| DcnrError::Failed(format!("spawn loadgen client: {e}")))?,
         );
     }
 
-    let mut ok = 0;
-    let mut shed = 0;
-    let mut errors = 0;
-    let mut verify_failures = 0;
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut tally = ClientTally::default();
     for handle in handles {
-        let (o, s, e, v, l) = handle
-            .join()
-            .map_err(|_| DcnrError::Failed("loadgen client panicked".into()))?;
-        ok += o;
-        shed += s;
-        errors += e;
-        verify_failures += v;
-        latencies.extend(l);
+        tally.merge(
+            handle
+                .join()
+                .map_err(|_| DcnrError::Failed("loadgen client panicked".into()))?,
+        );
     }
     let wall = started.elapsed();
+    let succeeded = tally.ok + tally.retried_ok;
 
-    if ok == 0 {
+    if succeeded == 0 {
         return Err(DcnrError::Failed(format!(
-            "loadgen: no successful responses from {} ({} shed, {} errors) — is the server up?",
-            opts.addr, shed, errors
-        )));
-    }
-    if verify_failures > 0 {
-        return Err(DcnrError::Failed(format!(
-            "loadgen: {verify_failures} response bodies differed from the local render"
+            "loadgen: no successful responses from {} ({} shed, {} gave up, {} corrupt) — is the server up?",
+            opts.addr, tally.shed, tally.gave_up, tally.corrupt
         )));
     }
 
+    let mut latencies = tally.latencies;
     latencies.sort_unstable();
     let pct = |p: f64| -> u64 {
         // Nearest-rank on the sorted sample.
@@ -261,24 +352,41 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, DcnrError> {
     let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
     let max = *latencies.last().unwrap_or(&0);
     let latency_micros = (pct(50.0), pct(95.0), pct(99.0), mean, max);
-    let completed = ok + shed;
+    let completed = succeeded + tally.shed;
     let throughput_rps = completed as f64 / wall.as_secs_f64().max(1e-9);
-    let server_workers = scrape_workers(&opts.addr, opts.timeout);
+    let server_workers = scrape_metric(&opts.addr, opts.timeout, "dcnr_server_workers");
+    let chaos_injections = scrape_counter_sum(
+        &opts.addr,
+        opts.timeout,
+        "dcnr_server_chaos_injections_total",
+    );
 
     let mut rendered = String::new();
     let _ = writeln!(rendered, "loadgen against http://{}", opts.addr);
     let _ = writeln!(
         rendered,
-        "  clients {}  requests/client {}  mix entries {}  verify {}",
+        "  clients {}  requests/client {}  mix entries {}  verify {}  chaos {}",
         opts.clients,
         opts.requests,
         mix.len(),
-        if opts.verify { "on" } else { "off" }
+        if verify { "on" } else { "off" },
+        if opts.chaos { "on" } else { "off" }
     );
     let _ = writeln!(
         rendered,
-        "  ok {ok}  shed {shed}  errors {errors}  wall {:.3}s  throughput {throughput_rps:.1} req/s",
+        "  ok {}  retried-ok {}  shed {}  gave-up {}  corrupt {}  stale {}  wall {:.3}s  throughput {throughput_rps:.1} req/s",
+        tally.ok,
+        tally.retried_ok,
+        tally.shed,
+        tally.gave_up,
+        tally.corrupt,
+        tally.stale,
         wall.as_secs_f64()
+    );
+    let _ = writeln!(
+        rendered,
+        "  retries  shed {}  transport {}  integrity {}  status {}",
+        tally.retries.shed, tally.retries.transport, tally.retries.integrity, tally.retries.status
     );
     let _ = writeln!(
         rendered,
@@ -289,35 +397,86 @@ pub fn run(opts: &LoadgenOptions) -> Result<LoadReport, DcnrError> {
     let report = LoadReport {
         clients: opts.clients,
         requests_per_client: opts.requests,
-        ok,
-        shed,
-        errors,
-        verify_failures,
+        ok: tally.ok,
+        retried_ok: tally.retried_ok,
+        shed: tally.shed,
+        errors: tally.gave_up,
+        corrupt: tally.corrupt,
+        stale: tally.stale,
+        retries: tally.retries,
+        verify_failures: tally.verify_failures,
         wall,
         throughput_rps,
         latency_micros,
         server_workers,
+        chaos_injections,
+        chaos: opts.chaos,
+        min_success: opts.min_success,
         rendered,
     };
+    let mut report = report;
+    if opts.chaos {
+        let _ = writeln!(
+            report.rendered,
+            "  chaos verdict: {}  eventual success {:.2}% (min {:.2}%)  undetected corruption {}  observed injections {}",
+            if report.verdict_pass() { "PASS" } else { "FAIL" },
+            report.eventual_success_rate() * 100.0,
+            report.min_success * 100.0,
+            report.verify_failures,
+            report.chaos_injections
+        );
+    }
     if let Some(path) = &opts.bench_json {
         write_bench(path, opts.bench_append, &report)?;
+    }
+    if report.verify_failures > 0 {
+        return Err(DcnrError::Failed(format!(
+            "loadgen: {} response bodies passed integrity checks but differed from the local render (undetected corruption)",
+            report.verify_failures
+        )));
+    }
+    if opts.chaos && !report.verdict_pass() {
+        return Err(DcnrError::Failed(format!(
+            "loadgen: chaos verdict FAIL — eventual success {:.2}% below the {:.2}% floor",
+            report.eventual_success_rate() * 100.0,
+            report.min_success * 100.0
+        )));
     }
     Ok(report)
 }
 
-/// Scrapes the `dcnr_server_workers` gauge off `/metrics` so the bench
-/// record states what it actually measured against. Best-effort: 0 when
-/// the scrape fails.
-fn scrape_workers(addr: &str, timeout: Duration) -> u64 {
+/// Scrapes one unlabeled series off `/metrics` so the bench record
+/// states what it actually measured against. Best-effort: 0 when the
+/// scrape fails or the series is absent.
+fn scrape_metric(addr: &str, timeout: Duration, name: &str) -> u64 {
     let Ok(resp) = client::get(addr, "/metrics", Some(timeout)) else {
         return 0;
     };
+    let prefix = format!("{name} ");
     let body = String::from_utf8_lossy(&resp.body);
     body.lines()
-        .find_map(|line| line.strip_prefix("dcnr_server_workers "))
+        .find_map(|line| line.strip_prefix(prefix.as_str()))
         .and_then(|v| v.trim().parse::<f64>().ok())
         .map(|v| v as u64)
         .unwrap_or(0)
+}
+
+/// Sums every labeled sample of a counter family off `/metrics` (e.g.
+/// all `dcnr_server_chaos_injections_total{fault="..."}` series).
+/// Best-effort: 0 when the scrape fails or the family is absent.
+fn scrape_counter_sum(addr: &str, timeout: Duration, family: &str) -> u64 {
+    let Ok(resp) = client::get(addr, "/metrics", Some(timeout)) else {
+        return 0;
+    };
+    let brace = format!("{family}{{");
+    let plain = format!("{family} ");
+    let body = String::from_utf8_lossy(&resp.body);
+    body.lines()
+        .filter(|l| l.starts_with(brace.as_str()) || l.starts_with(plain.as_str()))
+        .filter_map(|l| l.rsplit(' ').next())
+        .filter_map(|v| v.trim().parse::<f64>().ok())
+        .map(|v| v as u64)
+        .sum()
 }
 
 /// One bench run as a JSON object literal.
@@ -352,9 +511,26 @@ fn bench_record(report: &LoadReport) -> String {
     );
     let _ = writeln!(
         out,
-        "      \"status\": {{ \"ok\": {}, \"shed\": {}, \"errors\": {} }},",
-        report.ok, report.shed, report.errors
+        "      \"outcomes\": {{ \"ok\": {}, \"retried_ok\": {}, \"shed\": {}, \"gave_up\": {}, \"corrupt\": {} }},",
+        report.ok, report.retried_ok, report.shed, report.errors, report.corrupt
     );
+    let _ = writeln!(
+        out,
+        "      \"retries\": {{ \"shed\": {}, \"transport\": {}, \"integrity\": {}, \"status\": {} }},",
+        report.retries.shed, report.retries.transport, report.retries.integrity, report.retries.status
+    );
+    let _ = writeln!(out, "      \"stale_served\": {},", report.stale);
+    if report.chaos {
+        let _ = writeln!(
+            out,
+            "      \"chaos\": {{ \"verdict\": \"{}\", \"eventual_success_rate\": {:.6}, \"min_success\": {:.6}, \"undetected_corruption\": {}, \"observed_injections\": {} }},",
+            if report.verdict_pass() { "pass" } else { "fail" },
+            report.eventual_success_rate(),
+            report.min_success,
+            report.verify_failures,
+            report.chaos_injections
+        );
+    }
     let _ = writeln!(out, "      \"verified\": {},", report.verify_failures == 0);
     let note = if oversubscribed {
         "clients + server workers exceed host CPUs; latency includes scheduling contention"
@@ -491,14 +667,26 @@ mod tests {
         let report = LoadReport {
             clients: 2,
             requests_per_client: 5,
-            ok: 10,
+            ok: 8,
+            retried_ok: 1,
             shed: 1,
             errors: 0,
+            corrupt: 0,
+            stale: 1,
+            retries: RetryCauses {
+                shed: 2,
+                transport: 1,
+                integrity: 0,
+                status: 0,
+            },
             verify_failures: 0,
             wall: Duration::from_millis(1500),
             throughput_rps: 7.33,
             latency_micros: (100, 200, 300, 120, 400),
             server_workers: 4,
+            chaos_injections: 12,
+            chaos: true,
+            min_success: 0.99,
             rendered: String::new(),
         };
         let dir = std::env::temp_dir().join(format!("dcnr-bench-{}", std::process::id()));
@@ -512,7 +700,7 @@ mod tests {
         assert_eq!(runs[0].get("clients").unwrap().as_u64().unwrap(), 2);
         assert_eq!(
             runs[1]
-                .get("status")
+                .get("outcomes")
                 .unwrap()
                 .get("shed")
                 .unwrap()
@@ -520,6 +708,50 @@ mod tests {
                 .unwrap(),
             1
         );
+        let chaos = runs[0].get("chaos").unwrap();
+        assert_eq!(chaos.get("verdict").unwrap().as_str().unwrap(), "fail");
+        assert_eq!(
+            chaos
+                .get("undetected_corruption")
+                .unwrap()
+                .as_u64()
+                .unwrap(),
+            0
+        );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verdicts_require_the_success_floor_and_zero_undetected_corruption() {
+        let mut report = LoadReport {
+            clients: 10,
+            requests_per_client: 10,
+            ok: 95,
+            retried_ok: 4,
+            shed: 1,
+            errors: 0,
+            corrupt: 0,
+            stale: 0,
+            retries: RetryCauses::default(),
+            verify_failures: 0,
+            wall: Duration::from_secs(1),
+            throughput_rps: 100.0,
+            latency_micros: (1, 2, 3, 2, 3),
+            server_workers: 1,
+            chaos_injections: 0,
+            chaos: true,
+            min_success: 0.99,
+            rendered: String::new(),
+        };
+        assert!((report.eventual_success_rate() - 0.99).abs() < 1e-9);
+        assert!(report.verdict_pass());
+        // One undetected corruption fails the verdict outright.
+        report.verify_failures = 1;
+        assert!(!report.verdict_pass());
+        report.verify_failures = 0;
+        // Dropping below the floor fails it too.
+        report.ok = 94;
+        report.errors = 1;
+        assert!(!report.verdict_pass());
     }
 }

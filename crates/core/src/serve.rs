@@ -31,15 +31,19 @@ use crate::error::{panic_message, DcnrError};
 use crate::experiments::Experiment;
 use crate::scenario::{RunContext, Scenario};
 use crate::sweep;
+use dcnr_server::breaker::{BreakerConfig, CircuitBreaker};
+use dcnr_server::chaos::ChaosState;
 use dcnr_server::http::{percent_decode, Request, Response};
 use dcnr_server::pool::{Handler, Server, ServerConfig, ServerStats};
 use dcnr_server::LruCache;
+use dcnr_sim::rng::derive_indexed_seed;
 use dcnr_telemetry::logger;
 use dcnr_telemetry::metrics::Key;
 use dcnr_telemetry::{prometheus, Telemetry, TelemetryHandle};
+use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -48,7 +52,8 @@ use std::time::{Duration, Instant};
 pub struct ServeOptions {
     /// Bind address (`host:port`; port 0 picks an ephemeral port).
     pub addr: String,
-    /// Worker thread count.
+    /// Worker thread count; `0` auto-detects
+    /// `std::thread::available_parallelism()`.
     pub workers: usize,
     /// Accept-queue depth; connections beyond it shed with 503.
     pub queue_depth: usize,
@@ -61,6 +66,14 @@ pub struct ServeOptions {
     /// Write the bound address here after binding (ephemeral-port
     /// discovery for scripts and CI).
     pub port_file: Option<PathBuf>,
+    /// Transport fault injection (`--chaos-*`); `None` leaves the write
+    /// path untouched, and an all-zero plan is byte-identical to `None`.
+    pub chaos: Option<dcnr_server::chaos::FaultPlan>,
+    /// Circuit-breaker knobs for the artifact render path.
+    pub breaker: BreakerConfig,
+    /// Deterministic render-failure injection (`--render-fault-*`) for
+    /// exercising the breaker and stale-serving paths.
+    pub render_faults: RenderFaultPlan,
 }
 
 impl Default for ServeOptions {
@@ -73,7 +86,56 @@ impl Default for ServeOptions {
             sweep_root: PathBuf::from("."),
             admin: false,
             port_file: None,
+            chaos: None,
+            breaker: BreakerConfig::default(),
+            render_faults: RenderFaultPlan::default(),
         }
+    }
+}
+
+/// Deterministic render-failure injection: render attempt `idx` (a
+/// process-wide miss counter) fails iff it falls inside the window
+/// `[skip, skip + limit)` (`limit == 0` means unbounded) *and* the
+/// per-index chance draw for `seed` lands under `rate`. With `rate`
+/// `1.0` the window is exact, which is what the breaker-lifecycle tests
+/// use to script failure runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderFaultPlan {
+    /// Probability a window attempt fails (`0.0` disables the hook).
+    pub rate: f64,
+    /// Render attempts to leave untouched before the window opens.
+    pub skip: u64,
+    /// Window length in attempts; `0` leaves it open forever.
+    pub limit: u64,
+    /// Chance-draw stream seed (`derive_indexed_seed(seed, _, idx)`).
+    pub seed: u64,
+}
+
+impl Default for RenderFaultPlan {
+    fn default() -> Self {
+        Self {
+            rate: 0.0,
+            skip: 0,
+            limit: 0,
+            seed: 0xFA017,
+        }
+    }
+}
+
+impl RenderFaultPlan {
+    /// Whether render attempt `idx` is scripted to fail.
+    pub fn fires(&self, idx: u64) -> bool {
+        if self.rate <= 0.0 || idx < self.skip {
+            return false;
+        }
+        if self.limit != 0 && idx >= self.skip.saturating_add(self.limit) {
+            return false;
+        }
+        if self.rate >= 1.0 {
+            return true;
+        }
+        let draw = derive_indexed_seed(self.seed, "serve.render.fault", idx);
+        ((draw >> 11) as f64 / (1u64 << 53) as f64) < self.rate
     }
 }
 
@@ -81,11 +143,21 @@ impl Default for ServeOptions {
 struct ServeState {
     telemetry: TelemetryHandle,
     cache: Mutex<LruCache<String, Arc<String>>>,
+    /// Last-known-good renders, retained past `cache` eviction so the
+    /// degraded paths (breaker open, render failure, saturation) can
+    /// serve something honest — always flagged with `X-Dcnr-Stale`.
+    stale: Mutex<LruCache<String, Arc<String>>>,
     stats: Arc<ServerStats>,
     sweep_root: PathBuf,
     admin: bool,
     workers: usize,
+    queue_depth: usize,
     draining: AtomicBool,
+    chaos: Option<Arc<ChaosState>>,
+    breaker_config: BreakerConfig,
+    breakers: Mutex<HashMap<&'static str, CircuitBreaker>>,
+    render_faults: RenderFaultPlan,
+    render_attempts: AtomicU64,
 }
 
 /// A started server plus the state handles tests and the CLI loop need.
@@ -111,6 +183,16 @@ impl RunningServer {
         &self.state.stats
     }
 
+    /// The resolved worker count (after `--workers 0` auto-detection).
+    pub fn workers(&self) -> usize {
+        self.state.workers
+    }
+
+    /// The live chaos state, when fault injection is enabled.
+    pub fn chaos(&self) -> Option<&Arc<ChaosState>> {
+        self.state.chaos.as_ref()
+    }
+
     /// Drains and joins every server thread.
     pub fn shutdown_and_join(mut self) {
         if let Some(server) = self.server.take() {
@@ -123,22 +205,38 @@ impl RunningServer {
 /// in [`run`]; tests drive the returned handle directly.
 pub fn start(opts: &ServeOptions) -> Result<RunningServer, DcnrError> {
     let stats = Arc::new(ServerStats::default());
+    let workers = resolve_workers(opts.workers);
+    let chaos = opts
+        .chaos
+        .clone()
+        .map(|plan| Arc::new(ChaosState::new(plan)));
+    if let Some(c) = &chaos {
+        logger::info(format!("chaos enabled: {}", c.plan().describe()));
+    }
     let state = Arc::new(ServeState {
         telemetry: Telemetry::new_handle(),
         cache: Mutex::new(LruCache::new(opts.cache_entries)),
+        stale: Mutex::new(LruCache::new(opts.cache_entries.max(1) * 8)),
         stats: stats.clone(),
         sweep_root: opts.sweep_root.clone(),
         admin: opts.admin,
-        workers: opts.workers.max(1),
+        workers,
+        queue_depth: opts.queue_depth.max(1),
         draining: AtomicBool::new(false),
+        chaos: chaos.clone(),
+        breaker_config: opts.breaker,
+        breakers: Mutex::new(HashMap::new()),
+        render_faults: opts.render_faults,
+        render_attempts: AtomicU64::new(0),
     });
     let handler: Handler = {
         let state = state.clone();
         Arc::new(move |req| handle(&state, req))
     };
     let config = ServerConfig {
-        workers: opts.workers.max(1),
+        workers,
         queue_depth: opts.queue_depth.max(1),
+        chaos,
         ..ServerConfig::default()
     };
     let server =
@@ -160,6 +258,23 @@ pub fn start(opts: &ServeOptions) -> Result<RunningServer, DcnrError> {
     })
 }
 
+/// Resolves a `--workers` value: `0` auto-detects the machine's
+/// available parallelism (logged, and exported as the
+/// `dcnr_server_workers` gauge); anything else is taken as given.
+fn resolve_workers(requested: usize) -> usize {
+    if requested != 0 {
+        return requested;
+    }
+    let detected = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    logger::info(format!(
+        "--workers 0: auto-detected {detected} worker thread{}",
+        if detected == 1 { "" } else { "s" }
+    ));
+    detected
+}
+
 /// The blocking `dcnr serve` loop: start, wait for SIGINT or
 /// `/admin/shutdown`, drain, join.
 pub fn run(opts: &ServeOptions) -> Result<(), DcnrError> {
@@ -168,7 +283,7 @@ pub fn run(opts: &ServeOptions) -> Result<(), DcnrError> {
     logger::info(format!(
         "serving on http://{} ({} workers, queue depth {}, cache {} entries)",
         server.addr(),
-        opts.workers.max(1),
+        server.workers(),
         opts.queue_depth.max(1),
         opts.cache_entries.max(1),
     ));
@@ -305,6 +420,34 @@ fn metrics_response(state: &ServeState) -> Response {
     ] {
         snapshot.gauges.insert(key(name), value);
     }
+    if let Some(chaos) = &state.chaos {
+        for (fault, count) in chaos.stats.by_fault() {
+            snapshot.counters.insert(
+                Key::new("dcnr_server_chaos_injections_total", &[("fault", fault)]),
+                count,
+            );
+        }
+    }
+    for (artifact, breaker) in lock_breakers(state).iter() {
+        snapshot.gauges.insert(
+            Key::new("dcnr_server_breaker_state", &[("artifact", artifact)]),
+            breaker.state().code(),
+        );
+        let t = breaker.transitions();
+        for (to, count) in [
+            ("open", t.to_open),
+            ("half_open", t.to_half_open),
+            ("closed", t.to_closed),
+        ] {
+            snapshot.counters.insert(
+                Key::new(
+                    "dcnr_server_breaker_transitions_total",
+                    &[("artifact", artifact), ("to", to)],
+                ),
+                count,
+            );
+        }
+    }
     let mut response = Response::ok(prometheus::render(&snapshot));
     response.content_type = "text/plain; version=0.0.4";
     response
@@ -316,6 +459,53 @@ fn lock_cache(
     cache
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_breakers(
+    state: &ServeState,
+) -> std::sync::MutexGuard<'_, HashMap<&'static str, CircuitBreaker>> {
+    state
+        .breakers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The accept-queue depth at which cache misses brown out: renders are
+/// the expensive path, so once the queue is three-quarters full the
+/// server stops accepting *new* render work (stale or 503) and spends
+/// its workers on cheap routes and cache hits until the queue drains.
+fn brownout_threshold(queue_depth: usize) -> usize {
+    (queue_depth * 3 / 4).max(2)
+}
+
+/// A last-known-good rendering for `key`, flagged stale with the
+/// degradation `cause`, if the stale store still holds one.
+fn stale_response(
+    state: &ServeState,
+    key: &str,
+    artifact: &'static str,
+    cause: &str,
+) -> Option<Response> {
+    let body = lock_cache(&state.stale).get(key).cloned()?;
+    dcnr_telemetry::counter_add(
+        "dcnr_server_stale_total",
+        &[("artifact", artifact), ("cause", cause)],
+        1,
+    );
+    let mut response = Response::ok(body.as_str());
+    response
+        .extra_headers
+        .push(("X-Dcnr-Stale".into(), cause.to_string()));
+    Some(response)
+}
+
+/// A `503` with a `Retry-After` of at least one second.
+fn unavailable_for(after: Duration, reason: &str) -> Response {
+    let mut response = Response::text(503, format!("{reason}; retry later\n"));
+    response
+        .extra_headers
+        .push(("Retry-After".into(), after.as_secs().max(1).to_string()));
+    response
 }
 
 fn artifact_response(state: &ServeState, id: &str, query: &str) -> Response {
@@ -341,13 +531,94 @@ fn artifact_response(state: &ServeState, id: &str, query: &str) -> Response {
         &[("artifact", artifact_key)],
         1,
     );
-    match render_artifact_text(&scenario, experiment) {
+
+    // Brownout: a saturated accept queue means renders cannot keep up;
+    // serve stale if we can, shed the miss if we cannot.
+    let depth = state.stats.queue_depth.load(Ordering::Relaxed).max(0) as usize;
+    if depth >= brownout_threshold(state.queue_depth) {
+        dcnr_telemetry::counter_add(
+            "dcnr_server_brownout_total",
+            &[("artifact", artifact_key)],
+            1,
+        );
+        return stale_response(state, &key, artifact_key, "saturated")
+            .unwrap_or_else(|| unavailable_for(Duration::from_secs(1), "render queue saturated"));
+    }
+
+    // Circuit breaker around the render path: while open, misses are
+    // answered stale or shed instead of burning a worker on a path
+    // that keeps failing; a half-open probe readmits one render after
+    // the cooldown.
+    let now = Instant::now();
+    let admitted = lock_breakers(state)
+        .entry(artifact_key)
+        .or_insert_with(|| CircuitBreaker::new(state.breaker_config))
+        .try_acquire(now);
+    if !admitted {
+        dcnr_telemetry::counter_add(
+            "dcnr_server_breaker_rejected_total",
+            &[("artifact", artifact_key)],
+            1,
+        );
+        if let Some(response) = stale_response(state, &key, artifact_key, "breaker-open") {
+            return response;
+        }
+        let after = lock_breakers(state)
+            .get(artifact_key)
+            .map(|b| b.retry_after(now))
+            .unwrap_or_default();
+        return unavailable_for(after, "artifact render circuit open");
+    }
+
+    // Deterministic render-fault hook (tests and the chaos harness).
+    let idx = state.render_attempts.fetch_add(1, Ordering::Relaxed);
+    let rendered = if state.render_faults.fires(idx) {
+        dcnr_telemetry::counter_add(
+            "dcnr_server_render_faults_total",
+            &[("artifact", artifact_key)],
+            1,
+        );
+        Err(DcnrError::Io {
+            path: format!("render[{idx}]"),
+            message: "injected render fault".into(),
+        })
+    } else {
+        render_artifact_text(&scenario, experiment)
+    };
+
+    match rendered {
         Ok(text) => {
-            lock_cache(&state.cache).insert(key, Arc::new(text.clone()));
+            lock_breakers(state)
+                .entry(artifact_key)
+                .or_insert_with(|| CircuitBreaker::new(state.breaker_config))
+                .record_success();
+            let body = Arc::new(text.clone());
+            lock_cache(&state.cache).insert(key.clone(), body.clone());
+            lock_cache(&state.stale).insert(key, body);
             Response::ok(text)
         }
-        Err(e @ (DcnrError::Config(_) | DcnrError::Usage(_))) => Response::bad_request(e),
-        Err(e) => Response::internal_error(e),
+        Err(e @ (DcnrError::Config(_) | DcnrError::Usage(_))) => {
+            // The request was wrong, not the render path — the probe
+            // (if any) completes successfully for breaker purposes.
+            lock_breakers(state)
+                .entry(artifact_key)
+                .or_insert_with(|| CircuitBreaker::new(state.breaker_config))
+                .record_success();
+            Response::bad_request(e)
+        }
+        Err(e) => {
+            lock_breakers(state)
+                .entry(artifact_key)
+                .or_insert_with(|| CircuitBreaker::new(state.breaker_config))
+                .record_failure(Instant::now());
+            dcnr_telemetry::counter_add(
+                "dcnr_server_render_failures_total",
+                &[("artifact", artifact_key)],
+                1,
+            );
+            stale_response(state, &key, artifact_key, "render-failed")
+                .unwrap_or_else(|| Response::internal_error(e))
+        }
     }
 }
 
@@ -530,6 +801,47 @@ mod tests {
                 .kind(),
             "config"
         );
+    }
+
+    #[test]
+    fn render_fault_windows_are_exact_at_rate_one() {
+        let plan = RenderFaultPlan {
+            rate: 1.0,
+            skip: 2,
+            limit: 3,
+            ..RenderFaultPlan::default()
+        };
+        let fired: Vec<u64> = (0..10).filter(|&i| plan.fires(i)).collect();
+        assert_eq!(fired, vec![2, 3, 4]);
+        // limit 0 keeps the window open forever.
+        let open = RenderFaultPlan {
+            rate: 1.0,
+            skip: 1,
+            limit: 0,
+            ..RenderFaultPlan::default()
+        };
+        assert!(!open.fires(0));
+        assert!(open.fires(1) && open.fires(1_000_000));
+        // rate 0 never fires, regardless of window.
+        assert!(!RenderFaultPlan::default().fires(0));
+        // Fractional rates are deterministic per (seed, idx) and
+        // roughly proportional over a large window.
+        let half = RenderFaultPlan {
+            rate: 0.5,
+            skip: 0,
+            limit: 0,
+            seed: 9,
+        };
+        let hits = (0..1000).filter(|&i| half.fires(i)).count();
+        assert_eq!(hits, (0..1000).filter(|&i| half.fires(i)).count());
+        assert!((350..=650).contains(&hits), "rate 0.5 fired {hits}/1000");
+    }
+
+    #[test]
+    fn brownout_threshold_is_three_quarters_with_a_floor() {
+        assert_eq!(brownout_threshold(64), 48);
+        assert_eq!(brownout_threshold(4), 3);
+        assert_eq!(brownout_threshold(1), 2, "tiny queues keep the floor");
     }
 
     #[test]

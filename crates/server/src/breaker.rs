@@ -1,0 +1,287 @@
+//! A per-route circuit breaker with half-open probes.
+//!
+//! Classic three-state machine guarding an expensive, failure-prone
+//! operation (here: the artifact render path):
+//!
+//! ```text
+//!            N consecutive failures
+//!   Closed ───────────────────────▶ Open ── cooldown elapsed ──▶ HalfOpen
+//!     ▲                              ▲                              │
+//!     │          probe succeeds      │       probe fails            │
+//!     └──────────────────────────────┴──────────────────────────────┘
+//! ```
+//!
+//! While `Open`, every acquire is rejected immediately (the caller
+//! answers `503 + Retry-After` without paying for the doomed render).
+//! After the cooldown, exactly one probe request is admitted at a time
+//! (`HalfOpen`); its success re-closes the breaker, its failure
+//! re-opens it for another cooldown.
+//!
+//! The breaker is a plain state machine behind `&mut self`; callers
+//! wrap it in their own lock. Time is passed in explicitly so tests
+//! never sleep to move the clock.
+
+use std::time::{Duration, Instant};
+
+/// Breaker policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow; consecutive failures are being counted.
+    Closed,
+    /// Requests are rejected until the cooldown elapses.
+    Open,
+    /// One probe is (or may be) in flight; others are rejected.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable metric label for the state.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+
+    /// Numeric gauge encoding (0 closed, 1 half-open, 2 open).
+    pub fn code(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+/// Transition counters for `/metrics`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BreakerTransitions {
+    /// Times the breaker tripped open.
+    pub to_open: u64,
+    /// Times a cooldown expiry admitted a probe.
+    pub to_half_open: u64,
+    /// Times a success re-closed the breaker.
+    pub to_closed: u64,
+}
+
+/// The circuit breaker proper.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+    transitions: BreakerTransitions,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given policy.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: None,
+            probe_in_flight: false,
+            transitions: BreakerTransitions::default(),
+        }
+    }
+
+    /// Whether a request may attempt the protected operation at `now`.
+    /// A `true` from an open breaker *is* the half-open probe: the
+    /// caller must follow up with [`record_success`] or
+    /// [`record_failure`].
+    ///
+    /// [`record_success`]: CircuitBreaker::record_success
+    /// [`record_failure`]: CircuitBreaker::record_failure
+    pub fn try_acquire(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let elapsed = self.opened_at.map(|t| now.duration_since(t));
+                if elapsed.is_some_and(|e| e >= self.config.cooldown) {
+                    self.state = BreakerState::HalfOpen;
+                    self.transitions.to_half_open += 1;
+                    self.probe_in_flight = true;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if self.probe_in_flight {
+                    false
+                } else {
+                    self.probe_in_flight = true;
+                    true
+                }
+            }
+        }
+    }
+
+    /// Records a successful protected operation: closes the breaker
+    /// from any state and resets the failure count.
+    pub fn record_success(&mut self) {
+        if self.state != BreakerState::Closed {
+            self.transitions.to_closed += 1;
+        }
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+        self.opened_at = None;
+        self.probe_in_flight = false;
+    }
+
+    /// Records a failed protected operation at `now`: counts toward the
+    /// threshold when closed, re-opens immediately when half-open.
+    pub fn record_failure(&mut self, now: Instant) {
+        self.probe_in_flight = false;
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold.max(1) {
+                    self.trip(now);
+                }
+            }
+            BreakerState::HalfOpen => self.trip(now),
+            // A failure completing after the breaker already re-opened
+            // (racing probes) changes nothing.
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self, now: Instant) {
+        self.state = BreakerState::Open;
+        self.opened_at = Some(now);
+        self.consecutive_failures = 0;
+        self.transitions.to_open += 1;
+    }
+
+    /// Current state (does not advance the cooldown — peeking never
+    /// admits a probe).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Transition counters since construction.
+    pub fn transitions(&self) -> BreakerTransitions {
+        self.transitions
+    }
+
+    /// Remaining cooldown at `now` (zero when not open) — the honest
+    /// `Retry-After` hint for rejected requests.
+    pub fn retry_after(&self, now: Instant) -> Duration {
+        match (self.state, self.opened_at) {
+            (BreakerState::Open, Some(t)) => {
+                self.config.cooldown.saturating_sub(now.duration_since(t))
+            }
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures_only() {
+        let mut b = breaker(3, 100);
+        let t0 = Instant::now();
+        for _ in 0..2 {
+            assert!(b.try_acquire(t0));
+            b.record_failure(t0);
+        }
+        assert_eq!(b.state(), BreakerState::Closed, "2 < threshold");
+        b.record_success();
+        for _ in 0..2 {
+            b.record_failure(t0);
+        }
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "success resets the consecutive count"
+        );
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.transitions().to_open, 1);
+        assert!(!b.try_acquire(t0), "open rejects immediately");
+        assert!(b.retry_after(t0) > Duration::ZERO);
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_and_success_recloses() {
+        let mut b = breaker(1, 50);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        let later = t0 + Duration::from_millis(60);
+        assert!(b.try_acquire(later), "cooldown elapsed admits the probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.try_acquire(later), "only one probe at a time");
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.try_acquire(later));
+        let t = b.transitions();
+        assert_eq!((t.to_open, t.to_half_open, t.to_closed), (1, 1, 1));
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let mut b = breaker(1, 50);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        let probe_time = t0 + Duration::from_millis(60);
+        assert!(b.try_acquire(probe_time));
+        b.record_failure(probe_time);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.try_acquire(probe_time + Duration::from_millis(10)));
+        assert!(b.try_acquire(probe_time + Duration::from_millis(60)));
+        assert_eq!(b.transitions().to_open, 2);
+    }
+
+    #[test]
+    fn retry_after_reports_the_remaining_cooldown() {
+        let mut b = breaker(1, 100);
+        let t0 = Instant::now();
+        b.record_failure(t0);
+        let remaining = b.retry_after(t0 + Duration::from_millis(40));
+        assert!(remaining <= Duration::from_millis(60));
+        assert!(remaining >= Duration::from_millis(50));
+        b.record_success();
+        assert_eq!(b.retry_after(t0), Duration::ZERO);
+    }
+
+    #[test]
+    fn state_labels_and_codes_are_stable() {
+        assert_eq!(BreakerState::Closed.label(), "closed");
+        assert_eq!(BreakerState::Open.code(), 2);
+        assert_eq!(BreakerState::HalfOpen.code(), 1);
+    }
+}

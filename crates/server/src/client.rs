@@ -3,8 +3,13 @@
 //!
 //! One request per connection (`Connection: close`), matching what the
 //! server speaks; the body is read to EOF and cross-checked against
-//! `Content-Length` when the server provides one.
+//! `Content-Length` (truncation) and the `X-Dcnr-Checksum` body hash
+//! (bit corruption) when the server provides them. Both failures are
+//! tagged so [`is_integrity_error`] can classify them apart from
+//! transport errors: an integrity error means a response *parsed*
+//! cleanly but its body provably is not what the server sent.
 
+use crate::http::{body_checksum, CHECKSUM_HEADER};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -33,6 +38,19 @@ impl ClientResponse {
 
 fn err(kind: std::io::ErrorKind, msg: impl Into<String>) -> std::io::Error {
     std::io::Error::new(kind, msg.into())
+}
+
+/// Marker prefix on errors meaning "the response parsed but its body is
+/// provably damaged" (truncated vs `Content-Length`, or checksum
+/// mismatch) — as opposed to transport failures and unparseable bytes.
+const INTEGRITY_PREFIX: &str = "integrity: ";
+
+/// Whether `e` is a detected response-integrity failure (truncation or
+/// corruption), as opposed to a connect/read/parse error. Retry layers
+/// use this to classify retry causes and to prove that corruption never
+/// goes *undetected*.
+pub fn is_integrity_error(e: &std::io::Error) -> bool {
+    e.to_string().starts_with(INTEGRITY_PREFIX)
 }
 
 /// Issues a blocking `GET {target}` against `addr` (e.g.
@@ -117,8 +135,21 @@ fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
             return Err(err(
                 std::io::ErrorKind::UnexpectedEof,
                 format!(
-                    "truncated body: Content-Length {expect}, got {}",
+                    "{INTEGRITY_PREFIX}truncated body: Content-Length {expect}, got {}",
                     response.body.len()
+                ),
+            ));
+        }
+    }
+    if let Some(sum) = response.header(CHECKSUM_HEADER) {
+        let expect = u64::from_str_radix(sum.trim(), 16)
+            .map_err(|_| err(std::io::ErrorKind::InvalidData, "bad X-Dcnr-Checksum"))?;
+        let got = body_checksum(&response.body);
+        if expect != got {
+            return Err(err(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{INTEGRITY_PREFIX}body checksum mismatch: header {expect:016x}, body {got:016x}"
                 ),
             ));
         }
@@ -149,6 +180,38 @@ mod tests {
     fn rejects_garbage_status_lines() {
         assert!(parse_response(b"not http\r\n\r\n").is_err());
         assert!(parse_response(b"HTTP/1.1 huh OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn verifies_the_body_checksum_when_present() {
+        let body = b"hello";
+        let sum = body_checksum(body);
+        let good = format!(
+            "HTTP/1.1 200 OK\r\nContent-Length: 5\r\nX-Dcnr-Checksum: {sum:016x}\r\n\r\nhello"
+        );
+        assert_eq!(parse_response(good.as_bytes()).unwrap().body, body);
+        // One flipped body byte: parses as a frame, fails integrity.
+        let bad = good.replace("\r\nhello", "\r\nhellp");
+        let e = parse_response(bad.as_bytes()).unwrap_err();
+        assert!(is_integrity_error(&e), "{e}");
+        assert!(e.to_string().contains("checksum mismatch"), "{e}");
+        // A malformed checksum header is a protocol error, not integrity.
+        let junk = b"HTTP/1.1 200 OK\r\nX-Dcnr-Checksum: zz\r\n\r\nhello";
+        let e = parse_response(junk).unwrap_err();
+        assert!(!is_integrity_error(&e));
+    }
+
+    #[test]
+    fn integrity_classification_separates_damage_from_transport() {
+        // Truncation (Content-Length mismatch) is an integrity error...
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nshort";
+        let e = parse_response(raw).unwrap_err();
+        assert!(is_integrity_error(&e), "{e}");
+        // ...while unparseable garbage and plain IO errors are not.
+        let e = parse_response(b"not http\r\n\r\n").unwrap_err();
+        assert!(!is_integrity_error(&e));
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "reset");
+        assert!(!is_integrity_error(&io));
     }
 
     #[test]

@@ -14,6 +14,24 @@ use std::io::{self, Read, Write};
 /// that exceeds it is rejected with `431`.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
+/// The response-integrity header: FNV-1a 64 of the body, lower-hex.
+/// Clients cross-check it so a bit-corrupted body is always detected
+/// (a single-byte change always changes FNV-1a: every round is a
+/// bijection — XOR with the byte, then multiply by an odd prime mod
+/// 2^64 — so distinct bodies of equal length cannot collide through a
+/// one-byte difference).
+pub const CHECKSUM_HEADER: &str = "x-dcnr-checksum";
+
+/// FNV-1a 64 over `body` — the value carried in [`CHECKSUM_HEADER`].
+pub fn body_checksum(body: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in body {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// A parsed request: method, decoded path, raw query string, headers.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -108,12 +126,19 @@ impl Response {
     }
 
     /// Serializes status line + headers + body. One write call keeps
-    /// the response a single TCP segment in the common case.
+    /// the response a single TCP segment in the common case. Every
+    /// response carries [`CHECKSUM_HEADER`] so clients can detect body
+    /// corruption independently of `Content-Length` truncation checks.
     pub fn render(&self) -> Vec<u8> {
         let mut head = String::new();
         let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, self.reason());
         let _ = write!(head, "Content-Type: {}\r\n", self.content_type);
         let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
+        let _ = write!(
+            head,
+            "X-Dcnr-Checksum: {:016x}\r\n",
+            body_checksum(&self.body)
+        );
         for (k, v) in &self.extra_headers {
             let _ = write!(head, "{k}: {v}\r\n");
         }
@@ -329,10 +354,29 @@ mod tests {
         assert!(text.contains("Content-Length: 6\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nhello\n"));
+        assert!(
+            text.contains(&format!(
+                "X-Dcnr-Checksum: {:016x}\r\n",
+                body_checksum(b"hello\n")
+            )),
+            "{text}"
+        );
         let shed = Response::unavailable(3);
         let text = String::from_utf8(shed.render()).unwrap();
         assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
         assert!(text.contains("Retry-After: 3\r\n"));
+    }
+
+    #[test]
+    fn body_checksum_is_the_reference_fnv1a64() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(body_checksum(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(body_checksum(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(body_checksum(b"foobar"), 0x8594_4171_f739_67e8);
+        // Any single-byte flip changes the checksum.
+        let base = body_checksum(b"hello");
+        assert_ne!(body_checksum(b"hellp"), base);
+        assert_ne!(body_checksum(b"iello"), base);
     }
 
     #[test]

@@ -16,7 +16,15 @@
 //! * [`cache`] — a small LRU map the application layer keys its
 //!   rendered-artifact result cache with.
 //! * [`client`] — a minimal blocking HTTP GET client, used by the
-//!   `dcnr loadgen` closed-loop harness and the CI smoke.
+//!   `dcnr loadgen` closed-loop harness and the CI smoke. Cross-checks
+//!   `Content-Length` and the `X-Dcnr-Checksum` body hash, so
+//!   truncation and corruption are always *detected* failures.
+//! * [`chaos`] — seeded transport fault injection (delays, resets,
+//!   truncation, corruption, stalls) behind a deterministic
+//!   [`chaos::FaultPlan`]; zero-cost when off, byte-identical when all
+//!   rates are zero.
+//! * [`breaker`] — a per-route circuit breaker with half-open probes,
+//!   used by the application layer around the render path.
 //! * [`signal`] — a SIGINT latch so the CLI can drain gracefully on
 //!   Ctrl-C.
 //!
@@ -29,13 +37,17 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod pool;
 pub mod signal;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use cache::LruCache;
+pub use chaos::{ChaosState, ConnFaults, FaultPlan};
 pub use client::{get, ClientResponse};
-pub use http::{percent_decode, Request, Response};
+pub use http::{body_checksum, percent_decode, Request, Response};
 pub use pool::{Handler, Server, ServerConfig, ServerStats};

@@ -20,6 +20,7 @@
 //! are still handled, then the workers exit and [`Server::join`]
 //! returns. The blocking `accept` is woken by a loopback self-connect.
 
+use crate::chaos::{self, ChaosState, ConnFaults};
 use crate::http::{read_request, Response};
 use std::collections::VecDeque;
 use std::io;
@@ -46,6 +47,10 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// The `Retry-After` hint (seconds) on shed responses.
     pub retry_after_secs: u32,
+    /// Transport fault injection (`None` = the shim is never touched).
+    /// The shed path is exempt by design: its half-close + drain
+    /// guarantee is what resilient clients rely on under overload.
+    pub chaos: Option<Arc<ChaosState>>,
 }
 
 impl Default for ServerConfig {
@@ -56,6 +61,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             retry_after_secs: 1,
+            chaos: None,
         }
     }
 }
@@ -80,7 +86,7 @@ pub struct ServerStats {
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, ConnFaults)>>,
     available: Condvar,
     shutdown: AtomicBool,
     stats: Arc<ServerStats>,
@@ -160,6 +166,11 @@ impl Server {
         self.local_addr
     }
 
+    /// The transport-chaos state, when fault injection is configured.
+    pub fn chaos(&self) -> Option<&Arc<ChaosState>> {
+        self.shared.config.chaos.as_ref()
+    }
+
     /// A handle that can trigger shutdown from any thread.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         ShutdownHandle {
@@ -222,6 +233,21 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         }
         let Ok(mut stream) = stream else { continue };
         shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        // Each accepted connection draws its deterministic fault
+        // assignment up front; the injected accept latency applies
+        // here, before the shed decision (a slow accept path delays
+        // overload answers too, just like a congested real network).
+        let faults = match &shared.config.chaos {
+            Some(state) => {
+                let f = state.next_connection();
+                if f.accept_delay_ms > 0 {
+                    state.stats.accept_delays.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(f.accept_delay_ms));
+                }
+                f
+            }
+            None => ConnFaults::NONE,
+        };
         let mut queue = unpoison(shared.queue.lock());
         if queue.len() >= shared.config.queue_depth {
             drop(queue);
@@ -229,7 +255,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             shed(&mut stream, shared);
             continue; // drop closes the connection
         }
-        queue.push_back(stream);
+        queue.push_back((stream, faults));
         let depth = queue.len() as u64;
         shared
             .stats
@@ -281,13 +307,21 @@ fn worker_loop(shared: &Shared) {
                 queue = unpoison(shared.available.wait(queue));
             }
         };
-        let Some(mut conn) = conn else { return };
+        let Some((mut conn, faults)) = conn else {
+            return;
+        };
         let _ = conn.set_read_timeout(Some(shared.config.read_timeout));
         let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
-        match read_request(&mut conn) {
+        if faults.read_delay_ms > 0 {
+            if let Some(state) = &shared.config.chaos {
+                state.stats.read_delays.fetch_add(1, Ordering::Relaxed);
+            }
+            std::thread::sleep(Duration::from_millis(faults.read_delay_ms));
+        }
+        let response = match read_request(&mut conn) {
             Ok(req) => {
                 shared.stats.handled.fetch_add(1, Ordering::Relaxed);
-                let response = if req.method == "GET" {
+                if req.method == "GET" {
                     // A handler panic answers 500 and closes this one
                     // connection; the worker and the server survive.
                     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -298,12 +332,21 @@ fn worker_loop(shared: &Shared) {
                     }
                 } else {
                     Response::text(405, "only GET is supported\n")
-                };
-                let _ = response.write_to(&mut conn);
+                }
             }
             Err(e) => {
                 shared.stats.read_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = e.response().write_to(&mut conn);
+                e.response()
+            }
+        };
+        match &shared.config.chaos {
+            // With ConnFaults::NONE the shim path degenerates to the
+            // same single write_all as the fault-free arm.
+            Some(state) => {
+                let _ = chaos::write_response(&mut conn, response.render(), &faults, &state.stats);
+            }
+            None => {
+                let _ = response.write_to(&mut conn);
             }
         }
     }
@@ -405,6 +448,68 @@ mod tests {
         let (server, addr, _stats) = start(ServerConfig::default(), echo_handler());
         let r = client::request(&addr.to_string(), "DELETE", "/x", None).unwrap();
         assert_eq!(r.status, 405);
+        server.shutdown_and_join();
+    }
+
+    /// Raw response bytes for one GET — stronger than the parsed
+    /// client view when proving byte identity.
+    fn raw_get(addr: &SocketAddr, target: &str) -> Vec<u8> {
+        use std::io::{Read as _, Write as _};
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw);
+        raw
+    }
+
+    #[test]
+    fn zero_rate_chaos_serves_byte_identical_responses() {
+        let (plain, plain_addr, _) = start(ServerConfig::default(), echo_handler());
+        let chaotic_config = ServerConfig {
+            chaos: Some(Arc::new(ChaosState::new(crate::chaos::FaultPlan {
+                seed: 99,
+                ..crate::chaos::FaultPlan::default()
+            }))),
+            ..ServerConfig::default()
+        };
+        let (chaotic, chaos_addr, _) = start(chaotic_config, echo_handler());
+        for target in ["/a?x=1", "/b", "/c?longer=query&more=stuff"] {
+            assert_eq!(
+                raw_get(&plain_addr, target),
+                raw_get(&chaos_addr, target),
+                "{target}: an all-zero FaultPlan must not change a single byte"
+            );
+        }
+        let stats = chaotic.chaos().unwrap().stats.total();
+        assert_eq!(stats, 0, "zero rates inject nothing");
+        plain.shutdown_and_join();
+        chaotic.shutdown_and_join();
+    }
+
+    #[test]
+    fn reset_injection_breaks_clients_and_is_counted() {
+        let config = ServerConfig {
+            chaos: Some(Arc::new(ChaosState::new(crate::chaos::FaultPlan {
+                seed: 7,
+                reset_rate: 1.0,
+                ..crate::chaos::FaultPlan::default()
+            }))),
+            ..ServerConfig::default()
+        };
+        let (server, addr, _) = start(config, echo_handler());
+        let mut failures = 0;
+        for _ in 0..8 {
+            if client::get(&addr.to_string(), "/x", Some(Duration::from_secs(5))).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures >= 6,
+            "reset-rate 1.0 must break (nearly) every request, got {failures}/8"
+        );
+        let chaos = server.chaos().unwrap();
+        assert!(chaos.stats.resets.load(Ordering::Relaxed) >= 8);
         server.shutdown_and_join();
     }
 

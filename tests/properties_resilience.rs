@@ -1,0 +1,94 @@
+//! Property-based tests for the resilience layer: the client backoff
+//! schedule (deterministic per seed, jittered within the equal-jitter
+//! envelope, monotonically capped) and the zero-rate chaos identity
+//! (an all-zero `FaultPlan` injects nothing on any connection, for any
+//! seed — the contract behind "chaos off is byte-identical serving").
+
+use dcnr_core::RetryPolicy;
+use dcnr_server::chaos::{ChaosState, FaultPlan};
+use proptest::prelude::*;
+use std::time::Duration;
+
+proptest! {
+    #[test]
+    fn backoff_is_deterministic_per_seed(
+        seed in 0u64..1_000_000_000,
+        attempt in 0u32..40
+    ) {
+        let policy = RetryPolicy::default();
+        prop_assert_eq!(
+            policy.backoff(seed, attempt),
+            policy.backoff(seed, attempt),
+            "the same (seed, attempt) must always draw the same delay"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_stays_within_the_equal_jitter_envelope(
+        seed in 0u64..1_000_000_000,
+        attempt in 0u32..100,
+        base_ms in 1u64..500,
+        cap_ms in 1u64..10_000
+    ) {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_millis(base_ms),
+            backoff_cap: Duration::from_millis(cap_ms),
+            ..RetryPolicy::default()
+        };
+        let envelope = policy.envelope(attempt);
+        let delay = policy.backoff(seed, attempt);
+        prop_assert!(envelope <= policy.backoff_cap, "envelope exceeds the cap");
+        prop_assert!(delay <= envelope, "delay {delay:?} above envelope {envelope:?}");
+        // Equal jitter: at least half the envelope always elapses (the
+        // micros floor can shave sub-microsecond remainders only).
+        prop_assert!(
+            delay >= envelope / 2,
+            "delay {delay:?} below half the envelope {envelope:?}"
+        );
+    }
+
+    #[test]
+    fn backoff_envelope_is_monotone_until_the_cap(
+        base_ms in 1u64..200,
+        cap_ms in 1u64..5_000
+    ) {
+        let policy = RetryPolicy {
+            backoff_base: Duration::from_millis(base_ms),
+            backoff_cap: Duration::from_millis(cap_ms),
+            ..RetryPolicy::default()
+        };
+        let mut prev = Duration::ZERO;
+        let mut capped = false;
+        for attempt in 0..80 {
+            let env = policy.envelope(attempt);
+            prop_assert!(env >= prev, "envelope shrank at attempt {attempt}");
+            prop_assert!(env <= policy.backoff_cap);
+            if capped {
+                prop_assert_eq!(env, policy.backoff_cap, "once capped, stays capped");
+            }
+            capped = env == policy.backoff_cap;
+            prev = env;
+        }
+        // Doubling from any positive base must eventually hit the cap
+        // well within 80 attempts.
+        prop_assert!(capped, "the envelope never reached the cap");
+    }
+
+    #[test]
+    fn zero_rate_chaos_injects_nothing_for_any_seed(
+        seed in 0u64..1_000_000_000,
+        connections in 1u64..300
+    ) {
+        let plan = FaultPlan { seed, ..FaultPlan::default() };
+        prop_assert!(plan.is_zero());
+        let state = ChaosState::new(plan);
+        for index in 0..connections {
+            let faults = state.faults_for(index);
+            prop_assert!(
+                faults.is_none(),
+                "zero-rate plan injected on connection {index}: {faults:?}"
+            );
+        }
+        prop_assert_eq!(state.stats.total(), 0, "no injection may be counted");
+    }
+}
