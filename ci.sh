@@ -59,6 +59,33 @@ grep -q '"phase": "intra.remediation"' /tmp/dcnr_profile_smoke.json
 cargo run --release -q --example validate_telemetry -- \
     /tmp/dcnr_profile_metrics.prom /tmp/dcnr_profile_smoke.json
 
+echo "==> routes smoke (quarter scale, emergent severity, byte-identity)"
+# The artifact listing must enumerate the registry (stable order, exit 0).
+./target/release/dcnr artifact --list >/tmp/dcnr_artifact_list.out
+grep -q '^routes.severity_mix' /tmp/dcnr_artifact_list.out
+grep -q '^table1' /tmp/dcnr_artifact_list.out
+# All three routes artifacts render at quarter scale, with the severity
+# mix emergent (derived from forwarding-state losses, not sampled).
+./target/release/dcnr routes --scale 0.25 >/tmp/dcnr_routes_smoke.out
+grep -q 'BFS' /tmp/dcnr_routes_smoke.out
+grep -q 'no Table 3 sampling' /tmp/dcnr_routes_smoke.out
+grep -q 'mean slowdown' /tmp/dcnr_routes_smoke.out
+# Sweep byte-identity: --jobs 1 and --jobs 2 must render the same bytes.
+./target/release/dcnr sweep --scenario routes --seeds 2 --jobs 1 \
+    --resamples 200 --scale 0.25 >/tmp/dcnr_routes_jobs1.out 2>/dev/null
+./target/release/dcnr sweep --scenario routes --seeds 2 --jobs 2 \
+    --resamples 200 --scale 0.25 >/tmp/dcnr_routes_jobs2.out 2>/dev/null
+cmp /tmp/dcnr_routes_jobs1.out /tmp/dcnr_routes_jobs2.out
+# Record the forwarding-table build + invalidation wall clock (and the
+# allocating-vs-scratch blast sweep delta) at scale 1. BENCH_routes.json
+# is committed; timings never enter artifact bytes.
+./target/release/dcnr profile --scenario routes --scale 1 \
+    --json BENCH_routes.json >/dev/null
+grep -q '"phase": "routes.forwarding.build"' BENCH_routes.json
+grep -q '"phase": "routes.forwarding.invalidate"' BENCH_routes.json
+grep -q '"phase": "routes.blast.alloc_per_candidate"' BENCH_routes.json
+grep -q '"phase": "routes.blast.scratch_reuse"' BENCH_routes.json
+
 echo "==> serve smoke (ephemeral port, loadgen, byte-identity, graceful drain)"
 # Start the report server on an ephemeral port in admin (test) mode.
 rm -f /tmp/dcnr_serve_port

@@ -114,6 +114,131 @@ pub fn shortest_latencies(
     dist
 }
 
+/// Equal-cost shortest-path sets from `src` over links not in `cut`:
+/// for every edge, the shortest latency plus the number of distinct
+/// shortest paths achieving it (`None` where unreachable). Parallel
+/// fiber links on the same span count as distinct equal-cost members —
+/// this is the backbone analogue of the intra-DC ECMP tables in
+/// `dcnr_topology::forwarding`. Latency ties use the same `1e-9`
+/// tolerance as [`shortest_latencies`]; counts saturate.
+pub fn shortest_path_sets(
+    topo: &BackboneTopology,
+    src: EdgeNodeId,
+    cut: &HashSet<FiberLinkId>,
+) -> Vec<Option<(f64, u64)>> {
+    let n = topo.edges().len();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    let mut count: Vec<u64> = vec![0; n];
+    let mut heap: BinaryHeap<(std::cmp::Reverse<u64>, usize)> = BinaryHeap::new();
+    let enc = |d: f64| std::cmp::Reverse((d * 1e6) as u64);
+    dist[src.index()] = Some(0.0);
+    count[src.index()] = 1;
+    heap.push((enc(0.0), src.index()));
+    while let Some((std::cmp::Reverse(dk), u)) = heap.pop() {
+        let du = dk as f64 / 1e6;
+        match dist[u] {
+            Some(best) if du > best + 1e-9 => continue,
+            _ => {}
+        }
+        let edge = &topo.edges()[u];
+        for &lid in &edge.links {
+            if cut.contains(&lid) {
+                continue;
+            }
+            let l = topo.link(lid);
+            let v = if l.a.index() == u {
+                l.b.index()
+            } else {
+                l.a.index()
+            };
+            let cand = du + link_latency_ms(topo, lid);
+            match dist[v] {
+                Some(cur) if cand + 1e-9 < cur => {
+                    dist[v] = Some(cand);
+                    count[v] = count[u];
+                    heap.push((enc(cand), v));
+                }
+                Some(cur) if (cand - cur).abs() <= 1e-9 => {
+                    // Equal-cost member found via a settled-or-equal
+                    // predecessor: link weights are strictly positive,
+                    // so `u` was final before `v` could pop.
+                    count[v] = count[v].saturating_add(count[u]);
+                }
+                Some(_) => {}
+                None => {
+                    dist[v] = Some(cand);
+                    count[v] = count[u];
+                    heap.push((enc(cand), v));
+                }
+            }
+        }
+    }
+    dist.into_iter()
+        .zip(count)
+        .map(|(d, c)| d.map(|d| (d, c)))
+        .collect()
+}
+
+/// How much of the healthy equal-cost shortest-path sets a cut leaves
+/// standing, over all ordered edge pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSetSurvival {
+    /// Ordered edge pairs evaluated (reachable before the cut).
+    pub pairs: usize,
+    /// Pairs fully disconnected by the cut.
+    pub partitioned_pairs: usize,
+    /// Pairs still connected but only over strictly longer routes —
+    /// their healthy ECMP set is gone (surviving fraction 0).
+    pub rerouted_pairs: usize,
+    /// Mean over all pairs of the surviving fraction of the healthy
+    /// equal-cost set (partitioned and rerouted pairs contribute 0).
+    pub mean_surviving_fraction: f64,
+}
+
+impl PathSetSurvival {
+    /// Evaluates `cut` against the healthy shortest-path sets.
+    pub fn of_cut(topo: &BackboneTopology, cut: &HashSet<FiberLinkId>) -> PathSetSurvival {
+        let empty = HashSet::new();
+        let mut pairs = 0usize;
+        let mut partitioned = 0usize;
+        let mut rerouted = 0usize;
+        let mut fraction_sum = 0.0;
+        for src in topo.edges() {
+            let before = shortest_path_sets(topo, src.id, &empty);
+            let after = shortest_path_sets(topo, src.id, cut);
+            for (i, b) in before.iter().enumerate() {
+                if i == src.id.index() {
+                    continue;
+                }
+                let Some((lat_before, n_before)) = b else {
+                    continue;
+                };
+                pairs += 1;
+                match after[i] {
+                    None => partitioned += 1,
+                    Some((lat_after, n_after)) => {
+                        if lat_after > lat_before + 1e-9 {
+                            rerouted += 1;
+                        } else if *n_before > 0 {
+                            fraction_sum += (n_after as f64 / *n_before as f64).min(1.0);
+                        }
+                    }
+                }
+            }
+        }
+        PathSetSurvival {
+            pairs,
+            partitioned_pairs: partitioned,
+            rerouted_pairs: rerouted,
+            mean_surviving_fraction: if pairs > 0 {
+                fraction_sum / pairs as f64
+            } else {
+                1.0
+            },
+        }
+    }
+}
+
 /// The effect of cutting a set of links on end-to-end latency.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RerouteImpact {
@@ -367,6 +492,65 @@ mod tests {
         let impact = RerouteImpact::of_cut(&t, &cut);
         assert!(impact.mean_stretch > 1.0, "stretch {}", impact.mean_stretch);
         assert!(impact.max_stretch >= impact.mean_stretch);
+    }
+
+    #[test]
+    fn path_sets_agree_with_dijkstra_latencies() {
+        let t = topo();
+        let cut: HashSet<FiberLinkId> = t.edges()[2].links.iter().copied().take(2).collect();
+        for src in [0u32, 7, 19] {
+            let src = EdgeNodeId::from_index(src);
+            let lat = shortest_latencies(&t, src, &cut);
+            let sets = shortest_path_sets(&t, src, &cut);
+            for (d, s) in lat.iter().zip(&sets) {
+                match (d, s) {
+                    (Some(d), Some((ds, n))) => {
+                        assert!((d - ds).abs() < 1e-6);
+                        assert!(*n >= 1, "reachable implies at least one path");
+                    }
+                    (None, None) => {}
+                    _ => panic!("reachability mismatch"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_links_multiply_path_counts() {
+        // Two edges joined only by k parallel links: k equal-cost paths.
+        use crate::topo::BackboneParams;
+        let t = BackboneTopology::build(
+            BackboneParams {
+                edges: 2,
+                vendors: 3,
+                min_links_per_edge: 4,
+            },
+            11,
+        );
+        let sets = shortest_path_sets(&t, EdgeNodeId::from_index(0), &HashSet::new());
+        let (_, n) = sets[1].expect("two-edge backbone is connected");
+        assert_eq!(n as usize, t.links().len(), "each fiber is a distinct path");
+    }
+
+    #[test]
+    fn empty_cut_survives_fully() {
+        let t = topo();
+        let s = PathSetSurvival::of_cut(&t, &HashSet::new());
+        assert_eq!(s.partitioned_pairs, 0);
+        assert_eq!(s.rerouted_pairs, 0);
+        assert_eq!(s.pairs, 30 * 29);
+        assert!((s.mean_surviving_fraction - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cutting_an_edge_zeroes_its_pairs_survival() {
+        let t = topo();
+        let victim = &t.edges()[5];
+        let cut: HashSet<FiberLinkId> = victim.links.iter().copied().collect();
+        let s = PathSetSurvival::of_cut(&t, &cut);
+        assert_eq!(s.partitioned_pairs, 2 * 29);
+        assert!(s.mean_surviving_fraction < 1.0);
+        assert!(s.mean_surviving_fraction > 0.0);
     }
 
     #[test]

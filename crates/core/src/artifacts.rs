@@ -9,6 +9,7 @@
 
 use crate::experiments::{Comparison, Experiment, ExperimentOutcome};
 use crate::report;
+use crate::routes;
 use crate::scenario::{RunContext, ScenarioKind, StudyKind};
 use dcnr_backbone::PaperModels;
 use dcnr_faults::{calibration, RootCause};
@@ -29,7 +30,7 @@ pub struct Artifact {
 }
 
 /// Every artifact, in paper order (same order as [`Experiment::ALL`]).
-pub fn registry() -> &'static [Artifact; 20] {
+pub fn registry() -> &'static [Artifact; 23] {
     &REGISTRY
 }
 
@@ -50,6 +51,7 @@ pub fn base_kind(e: Experiment) -> ScenarioKind {
         StudyKind::Intra => ScenarioKind::Intra,
         StudyKind::Backbone => ScenarioKind::Backbone,
         StudyKind::Chaos => ScenarioKind::Chaos,
+        StudyKind::Routes => ScenarioKind::Routes,
     }
 }
 
@@ -81,7 +83,7 @@ pub fn render_block(out: &ExperimentOutcome) -> String {
     rendered
 }
 
-static REGISTRY: [Artifact; 20] = [
+static REGISTRY: [Artifact; 23] = [
     Artifact {
         id: Experiment::Table1,
         study: StudyKind::Intra,
@@ -206,6 +208,28 @@ static REGISTRY: [Artifact; 20] = [
         paper_baseline: "edge share / MTBF / MTTR per continent; North America carries \
                          the largest edge share",
         render: table4,
+    },
+    Artifact {
+        id: Experiment::RoutesCapacity,
+        study: StudyKind::Routes,
+        paper_baseline: "forwarding-state reachability exactly equals BFS; ECMP \
+                         fractions sum to 1; scratch blast sweep matches the \
+                         allocating oracle",
+        render: routes_capacity,
+    },
+    Artifact {
+        id: Experiment::RoutesSeverityMix,
+        study: StudyKind::Routes,
+        paper_baseline: "2017 SEV shares emerge as SEV3 82%, SEV2 13%, SEV1 5% \
+                         (±0.05) with no Table 3 sampling on the intra-DC path",
+        render: routes_severity_mix,
+    },
+    Artifact {
+        id: Experiment::RoutesWorkload,
+        study: StudyKind::Routes,
+        paper_baseline: "job slowdown stays >= 1 and the failed-job fraction grows \
+                         monotonically with concurrent failures (cf. arXiv:1808.06115 §5)",
+        render: routes_workload,
     },
 ];
 
@@ -679,6 +703,86 @@ fn table4(ctx: &RunContext) -> ExperimentOutcome {
     }
 }
 
+fn routes_capacity(ctx: &RunContext) -> ExperimentOutcome {
+    let s = ctx.routes();
+    let eq = s.equivalence();
+    let comparisons = vec![
+        cmp(
+            "forwarding ≡ BFS agreement",
+            1.0,
+            eq.agreements as f64 / eq.pairs.max(1) as f64,
+        ),
+        cmp("max |Σ ecmp − 1|", 0.0, eq.max_ecmp_sum_error),
+        cmp(
+            "scratch sweep identical",
+            1.0,
+            if s.blast().identical { 1.0 } else { 0.0 },
+        ),
+        cmp(
+            "WAN empty-cut survival",
+            1.0,
+            s.wan().empty.mean_surviving_fraction,
+        ),
+    ];
+    ExperimentOutcome {
+        experiment: Experiment::RoutesCapacity,
+        rendered: routes::render_capacity(s),
+        comparisons,
+    }
+}
+
+fn routes_severity_mix(ctx: &RunContext) -> ExperimentOutcome {
+    let s = ctx.routes();
+    let agg = s.severity_aggregate();
+    let paper = routes::paper_aggregate();
+    let comparisons = vec![
+        cmp("SEV3 share 2017 (emergent)", paper[0], agg[0]),
+        cmp("SEV2 share 2017 (emergent)", paper[1], agg[1]),
+        cmp("SEV1 share 2017 (emergent)", paper[2], agg[2]),
+    ];
+    ExperimentOutcome {
+        experiment: Experiment::RoutesSeverityMix,
+        rendered: routes::render_severity(s),
+        comparisons,
+    }
+}
+
+fn routes_workload(ctx: &RunContext) -> ExperimentOutcome {
+    let s = ctx.routes();
+    let curve = s.workload();
+    // "paper" anchors are the ideal no-degradation baselines: slowdown 1
+    // and zero failed jobs at k=1, and a monotone curve overall. Mean
+    // slowdown is conditional on surviving jobs (it can dip when a
+    // degraded job tips into "failed"), so monotonicity is judged on
+    // the failed-job fraction.
+    let k1 = curve.first();
+    let monotone = curve
+        .windows(2)
+        .all(|w| w[1].failed_job_fraction + 1e-9 >= w[0].failed_job_fraction);
+    let comparisons = vec![
+        cmp(
+            "mean slowdown k=1",
+            1.0,
+            k1.map(|p| p.mean_slowdown).unwrap_or(0.0),
+        ),
+        cmp(
+            "failed-job fraction k=1",
+            0.0,
+            k1.map(|p| p.failed_job_fraction).unwrap_or(1.0),
+        ),
+        cmp(
+            "degradation monotone in k",
+            1.0,
+            if monotone { 1.0 } else { 0.0 },
+        ),
+    ];
+    ExperimentOutcome {
+        experiment: Experiment::RoutesWorkload,
+        rendered: routes::render_workload(s),
+        comparisons,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +842,22 @@ mod tests {
                 assert!(c.measured.is_finite(), "{}: {} not finite", a.id, c.metric);
             }
         }
+    }
+
+    #[test]
+    fn routes_severity_mix_is_emergent_and_within_tolerance() {
+        let ctx = quarter_scale_context();
+        let out = ctx.artifact(Experiment::RoutesSeverityMix);
+        assert_eq!(out.comparisons.len(), 3);
+        for c in &out.comparisons {
+            assert!(
+                (c.measured - c.paper).abs()
+                    < dcnr_service::EmergentSeverityModel::AGGREGATE_TOLERANCE,
+                "{}: {c:?}",
+                c.metric
+            );
+        }
+        assert!(out.rendered.contains("no Table 3 sampling"));
     }
 
     #[test]

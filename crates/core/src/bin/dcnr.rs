@@ -31,7 +31,7 @@ Global flags (any command):
                       Telemetry never perturbs results: report and
                       sweep bytes are identical with or without it.
 
-Scenario flags (shared by intra/backbone/chaos/sweep/profile):
+Scenario flags (shared by intra/backbone/chaos/routes/sweep/profile):
     --seed N          master seed; every derived stream follows it
     --scale S         intra-DC fleet scale multiplier
     --edges E         backbone edge count
@@ -54,7 +54,14 @@ USAGE:
                    injected ingestion faults — print the data-quality
                    report, and check the paper statistics stay within
                    tolerance.
-    dcnr sweep     [--scenario intra|backbone|chaos] [--seeds N]
+    dcnr routes    [scenario flags]
+                   Run the forwarding-state study: per-device ECMP path
+                   sets with incremental invalidation, capacity loss
+                   derived from surviving path fractions, the emergent
+                   SEV mix checked against Table 3's 82/13/5, and a
+                   workload-degradation curve. --scale here scales the
+                   study region (racks per cluster/pod), default 1.0.
+    dcnr sweep     [--scenario intra|backbone|chaos|routes] [--seeds N]
                    [--jobs J] [--resamples B] [--confidence C]
                    [--deadline SECS] [--retries K] [--max-failures F]
                    [--checkpoint DIR] [--resume DIR]
@@ -75,7 +82,7 @@ USAGE:
                    times the sweep at 1 and J workers, checks the
                    reports are byte-identical, and writes the wall
                    clocks to PATH.
-    dcnr profile   [--scenario intra|backbone|chaos] [--json PATH]
+    dcnr profile   [--scenario intra|backbone|chaos|routes] [--json PATH]
                    [scenario flags]
                    Run one scenario with the phase timers on, print the
                    wall-clock breakdown per pipeline stage (fleet
@@ -143,8 +150,12 @@ USAGE:
                    otherwise.
     dcnr artifact  ID [scenario flags]
                    Render one registry artifact (table1, fig2, ...,
-                   fig18, table4) for the scenario — the same bytes
+                   fig18, table4, routes.capacity, routes.severity_mix,
+                   routes.workload) for the scenario — the same bytes
                    `dcnr serve` returns for /artifacts/ID.
+    dcnr artifact  --list
+                   List every registry artifact id with its title and
+                   the paper baseline it reproduces, in registry order.
     dcnr fetch     ADDR TARGET [--validate] [--timeout-secs T]
                    [--retries K] [--deadline-ms MS]
                    One-shot HTTP GET against a running server (no curl
@@ -241,6 +252,10 @@ fn main() -> ExitCode {
         ),
         "chaos" => cmd_scenario(
             Scenario::cli_default(ScenarioKind::Chaos),
+            ArgScanner::new(argv),
+        ),
+        "routes" => cmd_scenario(
+            Scenario::cli_default(ScenarioKind::Routes),
             ArgScanner::new(argv),
         ),
         "sweep" => cmd_sweep(ArgScanner::new(argv), &mut replica_telemetry),
@@ -446,7 +461,7 @@ fn cmd_profile(
     let kind = match args.value::<String>("--scenario")? {
         Some(name) => ScenarioKind::parse(&name).ok_or_else(|| {
             DcnrError::Usage(format!(
-                "unknown scenario {name:?} (intra, backbone, or chaos)"
+                "unknown scenario {name:?} (intra, backbone, chaos, or routes)"
             ))
         })?,
         None => ScenarioKind::Intra,
@@ -505,9 +520,18 @@ fn cmd_loadgen(mut args: ArgScanner) -> Result<(), DcnrError> {
 /// `dcnr artifact ID`: render exactly one registry artifact for the
 /// scenario — the byte-identical CLI twin of `GET /artifacts/ID`.
 fn cmd_artifact(mut argv: Vec<String>) -> Result<(), DcnrError> {
+    if argv.first().map(String::as_str) == Some("--list") {
+        ArgScanner::new(argv.split_off(1)).finish()?;
+        for a in artifacts::registry() {
+            println!("{:<22} {}", a.id.key(), a.id.title());
+            println!("{:<22} paper: {}", "", a.paper_baseline);
+        }
+        return Ok(());
+    }
     if argv.is_empty() || argv[0].starts_with('-') {
         return Err(DcnrError::Usage(
-            "usage: dcnr artifact ID [scenario flags] (IDs: table1, fig2, ..., fig18, table4)"
+            "usage: dcnr artifact ID [scenario flags] (IDs: table1, fig2, ..., fig18, \
+             table4, routes.capacity, ...) or dcnr artifact --list"
                 .into(),
         ));
     }

@@ -168,7 +168,7 @@ pub fn parse_sweep_args(args: &mut ArgScanner) -> Result<SweepArgs, DcnrError> {
     let scenario = match args.value::<String>("--scenario")? {
         Some(name) => Some(ScenarioKind::parse(&name).ok_or_else(|| {
             DcnrError::Usage(format!(
-                "unknown scenario {name:?} (intra, backbone, or chaos)"
+                "unknown scenario {name:?} (intra, backbone, chaos, or routes)"
             ))
         })?),
         None => None,

@@ -53,11 +53,17 @@ pub enum Experiment {
     Fig17,
     /// Fig. 18 — vendor MTTR percentile curve and model.
     Fig18,
+    /// `routes.capacity` — ECMP capacity loss by device type.
+    RoutesCapacity,
+    /// `routes.severity_mix` — emergent SEV mix vs. Table 3's 82/13/5.
+    RoutesSeverityMix,
+    /// `routes.workload` — workload degradation under k failures.
+    RoutesWorkload,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 20] = [
+    pub const ALL: [Experiment; 23] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Fig2,
@@ -78,6 +84,9 @@ impl Experiment {
         Experiment::Fig17,
         Experiment::Fig18,
         Experiment::Table4,
+        Experiment::RoutesCapacity,
+        Experiment::RoutesSeverityMix,
+        Experiment::RoutesWorkload,
     ];
 
     /// Whether the experiment needs the intra-DC study (vs. backbone),
@@ -111,6 +120,9 @@ impl Experiment {
             Experiment::Fig16 => "fig16",
             Experiment::Fig17 => "fig17",
             Experiment::Fig18 => "fig18",
+            Experiment::RoutesCapacity => "routes.capacity",
+            Experiment::RoutesSeverityMix => "routes.severity_mix",
+            Experiment::RoutesWorkload => "routes.workload",
         }
     }
 
@@ -137,6 +149,13 @@ impl Experiment {
             Experiment::Fig16 => "Fig. 16: edge MTTR percentile curve",
             Experiment::Fig17 => "Fig. 17: vendor MTBF percentile curve",
             Experiment::Fig18 => "Fig. 18: vendor MTTR percentile curve",
+            Experiment::RoutesCapacity => "routes.capacity: ECMP capacity loss by device type",
+            Experiment::RoutesSeverityMix => {
+                "routes.severity_mix: emergent SEV mix vs Table 3 (82/13/5)"
+            }
+            Experiment::RoutesWorkload => {
+                "routes.workload: degradation under k failures (cf. arXiv:1808.06115)"
+            }
         }
     }
 }
@@ -193,7 +212,8 @@ mod tests {
         assert!(Experiment::Table1.is_intra());
         assert!(!Experiment::Fig15.is_intra());
         assert!(!Experiment::Table4.is_intra());
-        assert_eq!(Experiment::ALL.len(), 20);
+        assert!(!Experiment::RoutesCapacity.is_intra());
+        assert_eq!(Experiment::ALL.len(), 23);
         assert!(Experiment::Fig12.title().contains("time between incidents"));
     }
 

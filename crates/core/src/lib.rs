@@ -24,6 +24,11 @@
 //! * [`artifacts`] — the artifact registry: one descriptor per paper
 //!   table/figure (id, required study, paper baseline, render fn), all
 //!   pulling from the shared [`RunContext`].
+//! * [`routes`] — the forwarding-state study behind the `routes.*`
+//!   artifacts: per-device ECMP path sets with incremental
+//!   invalidation, capacity loss derived from surviving path fractions,
+//!   the emergent severity mix checked against Table 3's 82/13/5, and
+//!   a workload-degradation curve (cf. arXiv:1808.06115).
 //! * [`sweep`] — the multi-seed sweep runner: N derived-seed replicas
 //!   on a supervised worker pool, folded into cross-seed confidence
 //!   bands ([`dcnr_stats::aggregate`]); byte-identical output for any
@@ -88,6 +93,7 @@ pub mod loadgen;
 pub mod profile;
 pub mod report;
 pub mod resilience;
+pub mod routes;
 pub mod scenario;
 pub mod serve;
 pub mod supervisor;
@@ -104,6 +110,7 @@ pub use intra::{IntraDcStudy, StudyConfig};
 pub use loadgen::{LoadReport, LoadgenOptions};
 pub use profile::{phase_rows, render_profile_json, render_profile_table, PhaseRow};
 pub use resilience::{resilient_get, FetchResult, Outcome, RetryCauses, RetryPolicy};
+pub use routes::{RoutesConfig, RoutesStudy};
 pub use scenario::{RunContext, RunPlan, Scenario, ScenarioKind, ScenarioOutcome, StudyKind};
 pub use serve::{RunningServer, ServeOptions};
 pub use supervisor::{

@@ -17,6 +17,7 @@ use crate::error::{panic_message, DcnrError};
 use crate::experiments::{Comparison, Experiment, ExperimentOutcome};
 use crate::inter::InterDcStudy;
 use crate::intra::{IntraDcStudy, StudyConfig};
+use crate::routes::{RoutesConfig, RoutesStudy};
 use dcnr_chaos::{run_study, ChaosConfig, ChaosStudyOutput, Tolerance};
 use dcnr_faults::hazard::HazardConfig;
 use dcnr_sim::derive_seed;
@@ -33,6 +34,8 @@ pub enum StudyKind {
     Backbone,
     /// The two-arm chaos-ingestion study (clean vs. fault-injected).
     Chaos,
+    /// The forwarding-state routes study (`routes.*` artifacts).
+    Routes,
 }
 
 /// Which workload a scenario runs — the former three drivers.
@@ -44,6 +47,9 @@ pub enum ScenarioKind {
     Backbone,
     /// The chaos-ingestion drill with clean-vs-perturbed deviations.
     Chaos,
+    /// The forwarding-state study: ECMP capacity loss, emergent
+    /// severity mix, and the workload-degradation curve.
+    Routes,
 }
 
 impl ScenarioKind {
@@ -53,6 +59,7 @@ impl ScenarioKind {
             "intra" => Some(Self::Intra),
             "backbone" => Some(Self::Backbone),
             "chaos" => Some(Self::Chaos),
+            "routes" => Some(Self::Routes),
             _ => None,
         }
     }
@@ -63,6 +70,7 @@ impl ScenarioKind {
             Self::Intra => "intra",
             Self::Backbone => "backbone",
             Self::Chaos => "chaos",
+            Self::Routes => "routes",
         }
     }
 }
@@ -127,6 +135,17 @@ impl Scenario {
         }
     }
 
+    /// The routes scenario at the reference region (`scale` here is a
+    /// *region* scale — racks per cluster/pod — not the intra fleet
+    /// multiplier, so the default is 1.0).
+    pub fn routes(seed: u64) -> Self {
+        Self {
+            kind: ScenarioKind::Routes,
+            scale: 1.0,
+            ..Self::intra(seed)
+        }
+    }
+
     /// The default scenario the CLI (and the report server) uses for
     /// `kind` when no `--seed` is given. One definition, so
     /// `dcnr artifact fig15` and `GET /artifacts/fig15` agree byte for
@@ -136,6 +155,7 @@ impl Scenario {
             ScenarioKind::Intra => Self::intra(0xDC_2018),
             ScenarioKind::Backbone => Self::backbone(0xB0_E5),
             ScenarioKind::Chaos => Self::chaos(0xC4_05),
+            ScenarioKind::Routes => Self::routes(0x70_07E5),
         }
     }
 
@@ -176,6 +196,11 @@ impl Scenario {
                 .filter(|a| a.study == StudyKind::Backbone)
                 .map(|a| a.id)
                 .collect(),
+            ScenarioKind::Routes => artifacts::registry()
+                .iter()
+                .filter(|a| a.study == StudyKind::Routes)
+                .map(|a| a.id)
+                .collect(),
             ScenarioKind::Chaos => Vec::new(),
         };
         let mut studies: Vec<StudyKind> = Vec::new();
@@ -213,6 +238,15 @@ impl Scenario {
             ..Default::default()
         }
     }
+
+    /// The routes study configuration this scenario implies.
+    pub fn routes_config(&self) -> RoutesConfig {
+        RoutesConfig {
+            scale: self.scale,
+            seed: self.seed,
+            backbone: self.backbone,
+        }
+    }
 }
 
 /// What a scenario resolves to before anything runs: the studies it
@@ -238,6 +272,7 @@ pub struct RunContext {
     intra: OnceLock<IntraDcStudy>,
     inter: OnceLock<InterDcStudy>,
     chaos: OnceLock<ChaosStudyOutput>,
+    routes: OnceLock<RoutesStudy>,
 }
 
 impl RunContext {
@@ -248,6 +283,7 @@ impl RunContext {
             intra: OnceLock::new(),
             inter: OnceLock::new(),
             chaos: OnceLock::new(),
+            routes: OnceLock::new(),
         }
     }
 
@@ -295,6 +331,12 @@ impl RunContext {
         })
     }
 
+    /// The routes study (run on first use, then cached).
+    pub fn routes(&self) -> &RoutesStudy {
+        self.routes
+            .get_or_init(|| RoutesStudy::run(self.scenario.routes_config()))
+    }
+
     /// Ensures `kind` has executed (idempotent).
     pub fn ensure(&self, kind: StudyKind) {
         match kind {
@@ -306,6 +348,9 @@ impl RunContext {
             }
             StudyKind::Chaos => {
                 self.chaos();
+            }
+            StudyKind::Routes => {
+                self.routes();
             }
         }
     }
@@ -341,7 +386,9 @@ impl RunContext {
             self.ensure(*kind);
         }
         match self.scenario.kind {
-            ScenarioKind::Intra | ScenarioKind::Backbone => self.execute_artifacts(&plan),
+            ScenarioKind::Intra | ScenarioKind::Backbone | ScenarioKind::Routes => {
+                self.execute_artifacts(&plan)
+            }
             ScenarioKind::Chaos => self.execute_chaos(),
         }
     }
@@ -457,6 +504,19 @@ impl RunContext {
                     s.tickets().len()
                 )
             }
+            ScenarioKind::Routes => {
+                let s = self.routes();
+                let stats = s.forwarding_stats();
+                format!(
+                    "dataset: {} devices / {} racks; {} table builds, {} invalidations, \
+                     {} scoped recomputes",
+                    s.devices(),
+                    s.racks(),
+                    stats.builds,
+                    stats.invalidations,
+                    stats.devices_recomputed
+                )
+            }
             ScenarioKind::Chaos => String::new(),
         }
     }
@@ -504,6 +564,13 @@ mod tests {
         let p = small(ScenarioKind::Backbone).plan();
         assert_eq!(p.studies, vec![StudyKind::Backbone]);
         assert_eq!(p.artifacts.len(), 5, "Figs 15-18 + Table 4");
+        let p = small(ScenarioKind::Routes).plan();
+        assert_eq!(p.studies, vec![StudyKind::Routes]);
+        assert_eq!(
+            p.artifacts.len(),
+            3,
+            "routes.{{capacity,severity_mix,workload}}"
+        );
         let p = small(ScenarioKind::Chaos).plan();
         assert_eq!(p.studies, vec![StudyKind::Chaos]);
         assert!(p.artifacts.is_empty());
@@ -536,6 +603,20 @@ mod tests {
         assert!(ctx.intra.get().is_none(), "intra must stay unrun");
         assert_eq!(out.artifacts.len(), 5);
         assert!(out.rendered.contains("Fig. 15"));
+    }
+
+    #[test]
+    fn routes_execution_stays_inside_the_routes_study() {
+        let mut s = small(ScenarioKind::Routes);
+        s.scale = 0.25;
+        let ctx = RunContext::new(s);
+        let out = ctx.execute();
+        assert!(out.passed);
+        assert!(ctx.intra.get().is_none(), "intra must stay unrun");
+        assert!(ctx.inter.get().is_none(), "backbone must stay unrun");
+        assert_eq!(out.artifacts.len(), 3);
+        assert!(out.rendered.contains("dataset:"));
+        assert!(out.rendered.contains("emergent"));
     }
 
     #[test]
@@ -601,6 +682,7 @@ mod tests {
             ScenarioKind::Intra,
             ScenarioKind::Backbone,
             ScenarioKind::Chaos,
+            ScenarioKind::Routes,
         ] {
             assert_eq!(ScenarioKind::parse(k.name()), Some(k));
         }

@@ -11,7 +11,7 @@
 //! service impact; [`disaster_drill`] disconnects an entire data center
 //! (the "storm" exercise) and reports what survives.
 
-use crate::impact::{ImpactAssessment, ImpactModel};
+use crate::impact::{ImpactAssessment, ImpactEngine, ImpactModel};
 use crate::placement::Placement;
 use dcnr_sev::SevLevel;
 use dcnr_topology::{DataCenter, DeviceId, DeviceType, FailureSet, Region};
@@ -42,14 +42,16 @@ pub struct FaultInjectionDrill {
 
 impl FaultInjectionDrill {
     /// Assesses the failure of **every device** in the region, one at a
-    /// time, under `model` (no pre-existing failures). `O(devices ×
-    /// racks × reachability)`: intended for representative-scale
-    /// regions, which is what [`Region::mixed_reference`] builds.
+    /// time, under `model` (no pre-existing failures). A single
+    /// [`ImpactEngine`] is reused across the whole sweep, so forwarding
+    /// state is built once and incrementally invalidated per victim
+    /// instead of rebuilt from scratch `devices` times.
     pub fn sweep(region: &Region, placement: &Placement, model: &ImpactModel) -> Self {
         let base = FailureSet::new(&region.topology);
+        let mut engine = ImpactEngine::new(*model, &region.topology);
         let mut acc: BTreeMap<DeviceType, Vec<ImpactAssessment>> = BTreeMap::new();
         for device in region.topology.devices() {
-            let a = model.assess(&region.topology, placement, device.id, &base);
+            let a = engine.assess(placement, device.id, &base);
             acc.entry(device.device_type).or_default().push(a);
         }
         let reports = acc

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod drill;
+pub mod emergent;
 pub mod impact;
 pub mod placement;
 pub mod resolution;
@@ -36,7 +37,8 @@ pub mod severity;
 pub mod sevgen;
 
 pub use drill::{disaster_drill, DisasterDrillReport, FaultInjectionDrill, TierDrillReport};
-pub use impact::{ImpactAssessment, ImpactModel};
+pub use emergent::{reference_conditions, EmergentSeverityModel, OperatingCondition};
+pub use impact::{ImpactAssessment, ImpactEngine, ImpactModel};
 pub use placement::{Placement, ServiceKind};
 pub use resolution::ResolutionModel;
 pub use severity::SeverityModel;

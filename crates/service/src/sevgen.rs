@@ -2,12 +2,14 @@
 //!
 //! The last stage of the intra-DC pipeline: every issue that automation
 //! (or manual operations) could not contain becomes a SEV report with a
-//! sampled severity (Fig. 4 mixes), a sampled resolution time (Fig. 13
-//! model), and an impact summary — landing in the [`SevDb`] that the
-//! §5 analysis queries.
+//! severity drawn from the *emergent* per-type mixes (derived from
+//! forwarding-state path losses, [`EmergentSeverityModel`] — not the
+//! sampled Table 3 input), a sampled resolution time (Fig. 13 model),
+//! and an impact summary — landing in the [`SevDb`] that the §5
+//! analysis queries.
 
+use crate::emergent::EmergentSeverityModel;
 use crate::resolution::ResolutionModel;
-use crate::severity::SeverityModel;
 use dcnr_remediation::RemediationOutcome;
 use dcnr_sev::SevDb;
 use dcnr_sim::stream_rng;
@@ -15,16 +17,19 @@ use rand::rngs::StdRng;
 
 /// Builds SEV databases from triage outcomes.
 pub struct SevGenerator {
-    severity: SeverityModel,
+    severity: &'static EmergentSeverityModel,
     resolution: ResolutionModel,
     rng: StdRng,
 }
 
 impl SevGenerator {
     /// Creates a generator on its own RNG stream (`"service.sevgen"`).
+    /// Severities come from the shared [`EmergentSeverityModel`] — the
+    /// 82/13/5 split is an output of the forwarding layer, checked by
+    /// tests, never an input drawn from the paper's table.
     pub fn new(seed: u64) -> Self {
         Self {
-            severity: SeverityModel::paper(),
+            severity: EmergentSeverityModel::reference(),
             resolution: ResolutionModel::paper(),
             rng: stream_rng(seed, "service.sevgen"),
         }
@@ -129,23 +134,28 @@ mod tests {
     }
 
     #[test]
-    fn severity_mix_roughly_82_13_5() {
-        // Pool several seeds for statistical mass.
-        let mut counts = [0usize; 3];
-        let mut total = 0usize;
-        for seed in 0..5 {
-            let db = pipeline(2017, 100 + seed);
-            for r in db.iter() {
-                total += 1;
-                match r.severity {
-                    SevLevel::Sev3 => counts[0] += 1,
-                    SevLevel::Sev2 => counts[1] += 1,
-                    SevLevel::Sev1 => counts[2] += 1,
-                }
-            }
-        }
-        let f3 = counts[0] as f64 / total as f64;
-        assert!((f3 - 0.82).abs() < 0.06, "SEV3 share {f3}");
+    fn severity_mix_emerges_within_calibrated_band() {
+        // Cross-seed band machinery instead of a pooled point estimate:
+        // each seed's SEV3 share is one replica; the bootstrap band
+        // over replicas must sit within the documented tolerance of the
+        // paper's 82% — which is *derived* (forwarding-state losses),
+        // not sampled from Table 3.
+        let shares: Vec<f64> = (0..6)
+            .map(|seed| {
+                let db = pipeline(2017, 100 + seed);
+                let sev3 = db.iter().filter(|r| r.severity == SevLevel::Sev3).count();
+                sev3 as f64 / db.len() as f64
+            })
+            .collect();
+        let mut rng = dcnr_sim::stream_rng(4242, "test.sevband");
+        let band = dcnr_stats::aggregate(&mut rng, &shares, 500, 0.95).expect("band");
+        assert!(
+            (band.mean - 0.82).abs() < EmergentSeverityModel::AGGREGATE_TOLERANCE,
+            "cross-seed SEV3 band mean {} (band {band:?})",
+            band.mean
+        );
+        // The per-seed spread is sampling noise, not model drift.
+        assert!(band.stddev < 0.10, "band {band:?}");
     }
 
     #[test]

@@ -1,0 +1,452 @@
+//! Per-device forwarding state: reachability plus valley-free ECMP path
+//! sets to the Core tier, with incremental invalidation under
+//! [`FailureSet`] changes.
+//!
+//! [`crate::routing`] answers one-off queries by running a fresh BFS per
+//! call. This module materializes the answers once per failure set:
+//!
+//! * **Reachability** — connected-component labels over the live
+//!   devices. `reachable(a, b)` is *exactly* equivalent to the BFS
+//!   oracle [`crate::routing::reachable_from`] (a proptest enforces the
+//!   equivalence for arbitrary topologies and failure sets).
+//! * **Next-hop tables** — per device, the live upward neighbors that
+//!   still have a path to a live Core. These are the valid valley-free
+//!   up-segments: a packet climbing out of a rack never descends and
+//!   climbs again, so a next hop is only usable if the climb can finish.
+//! * **ECMP path sets** — the number of distinct strictly-upward paths
+//!   from each device to the Core tier, healthy and under the current
+//!   failure set. The surviving fraction `live/healthy` is the
+//!   capacity-loss primitive the service-impact layer derives request
+//!   failures from, replacing the old blast-radius heuristics.
+//!
+//! Invalidation is incremental: [`ForwardingState::apply`] diffs the new
+//! failure set against the one the tables reflect, relabels components
+//! (scratch-reusing, allocation-free after warm-up), and recomputes path
+//! counts and next hops only for the data centers that contain a changed
+//! device or one of its neighbors. Up-paths terminate at the Core tier
+//! and the only cross-DC links are Core–BBR, so a change cannot affect
+//! path counts beyond that horizon.
+
+use crate::device::{DeviceId, DeviceType};
+use crate::graph::Topology;
+use crate::routing::FailureSet;
+use std::collections::VecDeque;
+
+/// Component label meaning "failed device; member of no component".
+const NO_COMPONENT: u32 = u32::MAX;
+
+/// Counters describing how much work a [`ForwardingState`] has done —
+/// the numbers the telemetry layer exports as
+/// `dcnr_routes_table_builds_total` / `dcnr_routes_invalidations_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ForwardingStats {
+    /// Full table builds (construction and whole-topology rebuilds).
+    pub builds: u64,
+    /// Incremental invalidations applied (failure-set diffs that
+    /// actually changed something).
+    pub invalidations: u64,
+    /// Devices whose path counts were recomputed by invalidations.
+    pub devices_recomputed: u64,
+}
+
+/// Materialized forwarding tables for one topology under one failure
+/// set. Create with [`ForwardingState::new`], then move between failure
+/// sets with [`ForwardingState::apply`].
+#[derive(Debug, Clone)]
+pub struct ForwardingState {
+    /// The failure bitmap the tables currently reflect.
+    failed: Vec<bool>,
+    /// Connected-component label per device ([`NO_COMPONENT`] = failed).
+    component: Vec<u32>,
+    /// Strictly-upward path counts to the Core tier with nothing failed.
+    healthy_paths: Vec<u64>,
+    /// Strictly-upward path counts under the current failure set.
+    live_paths: Vec<u64>,
+    /// Per-device live upward next hops (neighbors one tier-rank-class
+    /// up with a surviving path to a live Core). Inner vectors keep
+    /// their capacity across rebuilds.
+    next_hops: Vec<Vec<DeviceId>>,
+    /// Devices in decreasing tier-rank order (the DAG sweep order).
+    sweep_order: Vec<u32>,
+    /// BFS scratch, reused across rebuilds.
+    queue: VecDeque<u32>,
+    stats: ForwardingStats,
+}
+
+impl ForwardingState {
+    /// Builds the healthy forwarding state for `topo`.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.device_count();
+        let mut sweep_order: Vec<u32> = (0..n as u32).collect();
+        sweep_order.sort_by_key(|&i| {
+            let d = topo.device(DeviceId(i));
+            (std::cmp::Reverse(d.device_type.tier_rank()), i)
+        });
+        let mut state = Self {
+            failed: vec![false; n],
+            component: vec![NO_COMPONENT; n],
+            healthy_paths: vec![0; n],
+            live_paths: vec![0; n],
+            next_hops: vec![Vec::new(); n],
+            sweep_order,
+            queue: VecDeque::new(),
+            stats: ForwardingStats::default(),
+        };
+        state.rebuild_components(topo);
+        state.recompute_paths(topo, None);
+        state.healthy_paths.clone_from(&state.live_paths);
+        state.stats.builds += 1;
+        state
+    }
+
+    /// Moves the tables to `failed`, doing incremental work proportional
+    /// to the data centers touched by the diff. Returns `true` if the
+    /// failure set differed from the one already applied (an
+    /// invalidation), `false` for a no-op.
+    pub fn apply(&mut self, topo: &Topology, failed: &FailureSet) -> bool {
+        let mut dirty_dcs: Vec<u16> = Vec::new();
+        let mut changed = false;
+        for i in 0..self.failed.len() {
+            let id = DeviceId(i as u32);
+            let now = failed.is_failed(id);
+            if now != self.failed[i] {
+                changed = true;
+                self.failed[i] = now;
+                let dc = topo.device(id).datacenter;
+                if !dirty_dcs.contains(&dc) {
+                    dirty_dcs.push(dc);
+                }
+                // Up-paths can cross a DC boundary only over a direct
+                // link, so the neighbor DCs bound the blast of the diff.
+                for &(nbr, _) in topo.neighbors(id) {
+                    let ndc = topo.device(nbr).datacenter;
+                    if !dirty_dcs.contains(&ndc) {
+                        dirty_dcs.push(ndc);
+                    }
+                }
+            }
+        }
+        if !changed {
+            return false;
+        }
+        self.rebuild_components(topo);
+        self.recompute_paths(topo, Some(&dirty_dcs));
+        self.stats.invalidations += 1;
+        true
+    }
+
+    /// Work counters (builds, invalidations, devices recomputed).
+    pub fn stats(&self) -> ForwardingStats {
+        self.stats
+    }
+
+    /// Whether `d` is live under the applied failure set.
+    pub fn is_live(&self, d: DeviceId) -> bool {
+        !self.failed[d.index()]
+    }
+
+    /// Whether `a` can reach `b` through live devices — exactly the BFS
+    /// oracle's answer: `false` whenever either endpoint is failed,
+    /// `true` for a live device and itself.
+    pub fn reachable(&self, a: DeviceId, b: DeviceId) -> bool {
+        let ca = self.component[a.index()];
+        ca != NO_COMPONENT && ca == self.component[b.index()]
+    }
+
+    /// Whether `src` can reach any live device of type `target`.
+    pub fn reaches_type(&self, topo: &Topology, src: DeviceId, target: DeviceType) -> bool {
+        topo.devices()
+            .iter()
+            .any(|d| d.device_type == target && self.reachable(src, d.id))
+    }
+
+    /// Strictly-upward path count from `d` to the Core tier with the
+    /// topology healthy.
+    pub fn healthy_core_paths(&self, d: DeviceId) -> u64 {
+        self.healthy_paths[d.index()]
+    }
+
+    /// Strictly-upward path count from `d` to live Cores under the
+    /// applied failure set (0 if `d` itself is failed).
+    pub fn core_paths(&self, d: DeviceId) -> u64 {
+        self.live_paths[d.index()]
+    }
+
+    /// Fraction of `d`'s healthy ECMP paths to the Core tier that
+    /// survive the applied failure set (0.0 when it had none to begin
+    /// with, or is itself failed).
+    pub fn core_path_fraction(&self, d: DeviceId) -> f64 {
+        let healthy = self.healthy_paths[d.index()];
+        if healthy == 0 {
+            0.0
+        } else {
+            self.live_paths[d.index()] as f64 / healthy as f64
+        }
+    }
+
+    /// Whether `d` still has at least one valley-free path to a live
+    /// Core.
+    pub fn has_core_route(&self, d: DeviceId) -> bool {
+        self.live_paths[d.index()] > 0
+    }
+
+    /// The live upward next hops of `d` (empty for Cores — the terminal
+    /// tier — and for failed or fully cut-off devices).
+    pub fn next_hops(&self, d: DeviceId) -> &[DeviceId] {
+        &self.next_hops[d.index()]
+    }
+
+    /// The ECMP split over `d`'s next hops: each hop weighted by its
+    /// share of the surviving paths. The fractions sum to exactly 1.0
+    /// for every non-Core device that still has a core route (a unit
+    /// test and proptest pin this invariant).
+    pub fn ecmp_fractions(&self, d: DeviceId) -> Vec<(DeviceId, f64)> {
+        let total = self.live_paths[d.index()];
+        if total == 0 {
+            return Vec::new();
+        }
+        self.next_hops[d.index()]
+            .iter()
+            .map(|&h| (h, self.live_paths[h.index()] as f64 / total as f64))
+            .collect()
+    }
+
+    /// Relabels connected components over the live devices (full pass,
+    /// allocation-free after warm-up).
+    fn rebuild_components(&mut self, topo: &Topology) {
+        let n = self.failed.len();
+        for c in self.component.iter_mut() {
+            *c = NO_COMPONENT;
+        }
+        self.queue.clear();
+        let mut next_label: u32 = 0;
+        for start in 0..n {
+            if self.failed[start] || self.component[start] != NO_COMPONENT {
+                continue;
+            }
+            let label = next_label;
+            next_label += 1;
+            self.component[start] = label;
+            self.queue.push_back(start as u32);
+            while let Some(u) = self.queue.pop_front() {
+                for &(nbr, _) in topo.neighbors(DeviceId(u)) {
+                    let v = nbr.index();
+                    if !self.failed[v] && self.component[v] == NO_COMPONENT {
+                        self.component[v] = label;
+                        self.queue.push_back(v as u32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes `live_paths` and next hops, either for every device
+    /// (`scope: None`) or only for devices whose data center is in
+    /// `scope`. Devices are visited in decreasing tier rank so each
+    /// sum reads fully-computed upstream counts.
+    fn recompute_paths(&mut self, topo: &Topology, scope: Option<&[u16]>) {
+        for idx in 0..self.sweep_order.len() {
+            let i = self.sweep_order[idx] as usize;
+            let id = DeviceId(i as u32);
+            let device = topo.device(id);
+            if let Some(dcs) = scope {
+                if !dcs.contains(&device.datacenter) {
+                    continue;
+                }
+            }
+            self.stats.devices_recomputed += u64::from(scope.is_some());
+            self.next_hops[i].clear();
+            if self.failed[i] {
+                self.live_paths[i] = 0;
+                continue;
+            }
+            if device.device_type == DeviceType::Core {
+                self.live_paths[i] = 1;
+                continue;
+            }
+            let rank = device.device_type.tier_rank();
+            let mut total: u64 = 0;
+            for &(nbr, _) in topo.neighbors(id) {
+                let j = nbr.index();
+                if self.failed[j] || topo.device(nbr).device_type.tier_rank() <= rank {
+                    continue;
+                }
+                let up = self.live_paths[j];
+                if up > 0 {
+                    total = total.saturating_add(up);
+                    self.next_hops[i].push(nbr);
+                }
+            }
+            self.live_paths[i] = total;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterNetworkBuilder, ClusterParams};
+    use crate::fabric::{FabricNetworkBuilder, FabricParams};
+    use crate::routing;
+
+    fn cluster_topo() -> (Topology, crate::cluster::ClusterDc) {
+        let mut t = Topology::new();
+        let dc = ClusterNetworkBuilder::new(ClusterParams {
+            clusters: 2,
+            racks_per_cluster: 4,
+            csws_per_cluster: 4,
+            csas: 2,
+            cores: 2,
+            rack_uplink_gbps: 10.0,
+        })
+        .build(&mut t, 1);
+        (t, dc)
+    }
+
+    fn fabric_topo() -> (Topology, crate::fabric::FabricDc) {
+        let mut t = Topology::new();
+        let dc = FabricNetworkBuilder::new(FabricParams {
+            pods: 2,
+            racks_per_pod: 4,
+            fsws_per_pod: 4,
+            ssws_per_plane: 2,
+            esws_per_plane: 2,
+            cores: 2,
+            rack_uplink_gbps: 10.0,
+        })
+        .build(&mut t, 1);
+        (t, dc)
+    }
+
+    #[test]
+    fn healthy_cluster_path_counts_are_products_of_tier_widths() {
+        let (t, dc) = cluster_topo();
+        let fs = ForwardingState::new(&t);
+        // RSW: 4 CSWs x 2 CSAs x 2 Cores.
+        assert_eq!(fs.healthy_core_paths(dc.rsws[0][0]), 16);
+        assert_eq!(fs.core_paths(dc.rsws[0][0]), 16);
+        assert_eq!(fs.healthy_core_paths(dc.csws[0][0]), 4);
+        assert_eq!(fs.healthy_core_paths(dc.csas[0]), 2);
+        assert_eq!(fs.healthy_core_paths(dc.cores[0]), 1);
+        assert!((fs.core_path_fraction(dc.rsws[0][0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csw_failure_reduces_the_surviving_fraction_to_three_quarters() {
+        let (t, dc) = cluster_topo();
+        let mut fs = ForwardingState::new(&t);
+        let mut failed = FailureSet::new(&t);
+        failed.fail(dc.csws[0][0]);
+        assert!(fs.apply(&t, &failed));
+        for &rsw in &dc.rsws[0] {
+            assert!((fs.core_path_fraction(rsw) - 0.75).abs() < 1e-12);
+            assert_eq!(fs.next_hops(rsw).len(), 3);
+        }
+        // The other cluster is untouched.
+        for &rsw in &dc.rsws[1] {
+            assert!((fs.core_path_fraction(rsw) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ecmp_fractions_sum_to_one_per_routed_device() {
+        let (t, dc) = fabric_topo();
+        let mut fs = ForwardingState::new(&t);
+        let mut failed = FailureSet::new(&t);
+        failed.fail(dc.fsws[0][0]);
+        failed.fail(dc.ssws[1][0]);
+        fs.apply(&t, &failed);
+        for d in t.devices() {
+            if !fs.is_live(d.id) || !fs.has_core_route(d.id) {
+                assert!(fs.ecmp_fractions(d.id).is_empty());
+                continue;
+            }
+            if d.device_type == DeviceType::Core {
+                continue; // terminal tier: no next hops by definition
+            }
+            let sum: f64 = fs.ecmp_fractions(d.id).iter().map(|&(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: sum {sum}", d.name);
+        }
+    }
+
+    #[test]
+    fn reachability_matches_the_bfs_oracle_under_failures() {
+        let (t, dc) = cluster_topo();
+        let mut fs = ForwardingState::new(&t);
+        let mut failed = FailureSet::new(&t);
+        failed.fail(dc.cores[0]);
+        failed.fail(dc.csws[0][1]);
+        failed.fail(dc.rsws[1][2]);
+        fs.apply(&t, &failed);
+        for a in t.devices() {
+            let seen = routing::reachable_from(&t, a.id, &failed);
+            for b in t.devices() {
+                assert_eq!(
+                    fs.reachable(a.id, b.id),
+                    seen[b.id.index()],
+                    "{} -> {}",
+                    a.name,
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_apply_matches_a_fresh_build() {
+        let (t, dc) = fabric_topo();
+        let mut incremental = ForwardingState::new(&t);
+        let mut failed = FailureSet::new(&t);
+        for step in [dc.fsws[0][1], dc.cores[0], dc.esws[2][0], dc.rsws[1][3]] {
+            failed.fail(step);
+            incremental.apply(&t, &failed);
+            let mut fresh = ForwardingState::new(&t);
+            fresh.apply(&t, &failed);
+            for d in t.devices() {
+                assert_eq!(incremental.core_paths(d.id), fresh.core_paths(d.id));
+                assert_eq!(incremental.next_hops(d.id), fresh.next_hops(d.id));
+            }
+        }
+        // Restores invalidate too.
+        failed.restore(dc.cores[0]);
+        assert!(incremental.apply(&t, &failed));
+        let mut fresh = ForwardingState::new(&t);
+        fresh.apply(&t, &failed);
+        for d in t.devices() {
+            assert_eq!(incremental.core_paths(d.id), fresh.core_paths(d.id));
+        }
+    }
+
+    #[test]
+    fn apply_is_a_noop_for_an_unchanged_failure_set() {
+        let (t, dc) = cluster_topo();
+        let mut fs = ForwardingState::new(&t);
+        let mut failed = FailureSet::new(&t);
+        failed.fail(dc.csws[0][0]);
+        assert!(fs.apply(&t, &failed));
+        let stats = fs.stats();
+        assert!(!fs.apply(&t, &failed), "same set must be a no-op");
+        assert_eq!(fs.stats(), stats);
+        assert_eq!(stats.builds, 1);
+        assert_eq!(stats.invalidations, 1);
+        assert!(stats.devices_recomputed > 0);
+    }
+
+    #[test]
+    fn total_core_loss_cuts_every_route() {
+        let (t, dc) = cluster_topo();
+        let mut fs = ForwardingState::new(&t);
+        let mut failed = FailureSet::new(&t);
+        for &core in &dc.cores {
+            failed.fail(core);
+        }
+        fs.apply(&t, &failed);
+        for cluster in &dc.rsws {
+            for &rsw in cluster {
+                assert!(!fs.has_core_route(rsw));
+                assert_eq!(fs.core_path_fraction(rsw), 0.0);
+                assert!(fs.next_hops(rsw).is_empty());
+            }
+        }
+    }
+}

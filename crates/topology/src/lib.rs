@@ -26,6 +26,11 @@
 //!   fails. This operationalizes the paper's observation that "devices
 //!   with higher bisection bandwidth tend to affect a larger number of
 //!   connected devices... correlated with widespread impact" (§5.2).
+//! * [`forwarding`] — materialized per-device forwarding state:
+//!   component reachability, valley-free next-hop tables, and ECMP path
+//!   sets to the Core tier with incremental invalidation under failure
+//!   changes. The service-impact layer derives capacity loss from the
+//!   surviving path fractions instead of blast-radius heuristics.
 //! * [`datacenter`] — assembling devices into data centers and regions
 //!   with edges (BBR sites), mirroring Fig. 1's two-region layout.
 //! * [`fleet`] — year-parameterized representative deployments whose
@@ -39,6 +44,7 @@ pub mod datacenter;
 pub mod device;
 pub mod fabric;
 pub mod fleet;
+pub mod forwarding;
 pub mod graph;
 pub mod naming;
 pub mod routing;
@@ -51,6 +57,7 @@ pub use datacenter::{DataCenter, Region, RegionBuilder};
 pub use device::{Device, DeviceId, DeviceType, HardwareSource, NetworkDesign};
 pub use fabric::{FabricNetworkBuilder, FabricParams};
 pub use fleet::FleetPlan;
+pub use forwarding::{ForwardingState, ForwardingStats};
 pub use graph::{LinkId, Topology};
 pub use naming::{format_device_name, parse_device_type, NameError};
-pub use routing::{BlastRadius, FailureSet};
+pub use routing::{BlastRadius, BlastScratch, FailureSet};

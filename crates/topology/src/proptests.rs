@@ -3,10 +3,52 @@
 use crate::cluster::{ClusterNetworkBuilder, ClusterParams};
 use crate::device::DeviceType;
 use crate::fabric::{FabricNetworkBuilder, FabricParams};
+use crate::forwarding::ForwardingState;
 use crate::graph::Topology;
 use crate::naming::{format_device_name, parse_device_type};
-use crate::routing::{can_reach_type, live_uplinks, BlastRadius, FailureSet};
+use crate::routing::{can_reach_type, live_uplinks, reachable_from, BlastRadius, FailureSet};
 use proptest::prelude::*;
+
+/// Builds a failure set from arbitrary indices (mod device count).
+fn failure_set_from(topo: &Topology, picks: &[u16]) -> FailureSet {
+    let mut failed = FailureSet::new(topo);
+    let n = topo.device_count();
+    for &p in picks {
+        failed.fail(topo.devices()[p as usize % n].id);
+    }
+    failed
+}
+
+/// The tentpole equivalence gate: forwarding-state reachability must be
+/// *exactly* the BFS oracle's answer for every ordered device pair.
+fn check_forwarding_matches_bfs(topo: &Topology, failed: &FailureSet) {
+    let mut fs = ForwardingState::new(topo);
+    fs.apply(topo, failed);
+    for a in topo.devices() {
+        let seen = reachable_from(topo, a.id, failed);
+        for b in topo.devices() {
+            assert_eq!(
+                fs.reachable(a.id, b.id),
+                seen[b.id.index()],
+                "{} -> {} under {:?}",
+                a.name,
+                b.name,
+                failed
+            );
+        }
+    }
+    // ECMP invariant: next-hop fractions sum to 1 wherever a core
+    // route survives, and the incremental tables match a fresh build.
+    let mut fresh = ForwardingState::new(topo);
+    fresh.apply(topo, failed);
+    for d in topo.devices() {
+        assert_eq!(fs.core_paths(d.id), fresh.core_paths(d.id));
+        if d.device_type != DeviceType::Core && fs.has_core_route(d.id) {
+            let sum: f64 = fs.ecmp_fractions(d.id).iter().map(|&(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", d.name);
+        }
+    }
+}
 
 fn any_type() -> impl Strategy<Value = DeviceType> {
     proptest::sample::select(DeviceType::INTRA_DC.to_vec())
@@ -134,6 +176,52 @@ proptest! {
             for &rsw in cluster {
                 prop_assert_eq!(live_uplinks(&topo, rsw, &failed), 0);
             }
+        }
+    }
+
+    #[test]
+    fn forwarding_reachability_matches_bfs_on_clusters(
+        params in cluster_params(),
+        picks in proptest::collection::vec(any::<u16>(), 0..12),
+    ) {
+        let mut topo = Topology::new();
+        let _ = ClusterNetworkBuilder::new(params).build(&mut topo, 0);
+        let failed = failure_set_from(&topo, &picks);
+        check_forwarding_matches_bfs(&topo, &failed);
+    }
+
+    #[test]
+    fn forwarding_reachability_matches_bfs_on_fabrics(
+        params in fabric_params(),
+        picks in proptest::collection::vec(any::<u16>(), 0..12),
+    ) {
+        let mut topo = Topology::new();
+        let _ = FabricNetworkBuilder::new(params).build(&mut topo, 0);
+        let failed = failure_set_from(&topo, &picks);
+        check_forwarding_matches_bfs(&topo, &failed);
+    }
+
+    #[test]
+    fn forwarding_invalidation_is_path_equivalent_to_rebuild(
+        params in fabric_params(),
+        picks in proptest::collection::vec(any::<u16>(), 1..16),
+    ) {
+        let mut topo = Topology::new();
+        let _ = FabricNetworkBuilder::new(params).build(&mut topo, 0);
+        // Apply the failures one at a time (the incremental path), then
+        // compare every table against a from-scratch build.
+        let mut incremental = ForwardingState::new(&topo);
+        let mut failed = FailureSet::new(&topo);
+        for &p in &picks {
+            failed.fail(topo.devices()[p as usize % topo.device_count()].id);
+            incremental.apply(&topo, &failed);
+        }
+        let mut fresh = ForwardingState::new(&topo);
+        fresh.apply(&topo, &failed);
+        for d in topo.devices() {
+            prop_assert_eq!(incremental.core_paths(d.id), fresh.core_paths(d.id));
+            prop_assert_eq!(incremental.next_hops(d.id), fresh.next_hops(d.id));
+            prop_assert_eq!(incremental.reachable(d.id, d.id), fresh.reachable(d.id, d.id));
         }
     }
 

@@ -50,6 +50,12 @@ impl FailureSet {
         }
     }
 
+    /// Restores every device, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.failed.fill(false);
+        self.count = 0;
+    }
+
     /// Whether `id` is failed.
     pub fn is_failed(&self, id: DeviceId) -> bool {
         self.failed[id.index()]
@@ -211,6 +217,66 @@ impl BlastRadius {
         }
     }
 
+    /// Scratch-reusing variant of [`BlastRadius::of_failure`] for sweeps
+    /// over many candidate victims: no allocation per candidate, and the
+    /// per-rack *before* uplink counts under the base set are computed
+    /// once instead of once per victim. Equivalent to `of_failure` (a
+    /// unit test pins the equality; the allocating path stays as the
+    /// oracle).
+    pub fn of_failure_with(
+        topo: &Topology,
+        victim: DeviceId,
+        scratch: &mut BlastScratch,
+    ) -> BlastRadius {
+        scratch.failed.fail(victim);
+        let victim_was_in_base = scratch.base_failed_victim(victim);
+
+        let mut disconnected = 0;
+        let mut degraded = 0;
+        let mut capacity_lost = 0.0;
+        for i in 0..scratch.rsws.len() {
+            let rsw = scratch.rsws[i];
+            if scratch.failed.is_failed(rsw) {
+                disconnected += 1;
+                capacity_lost += 1.0;
+                continue;
+            }
+            let before = scratch.before[i];
+            let after = scratch.live_uplinks_with(topo, rsw);
+            if after == 0 {
+                disconnected += 1;
+                capacity_lost += 1.0;
+            } else if after < before {
+                degraded += 1;
+                capacity_lost += (before - after) as f64 / before as f64;
+            }
+        }
+        if !victim_was_in_base {
+            scratch.failed.restore(victim);
+        }
+        let total = scratch.rsws.len();
+        BlastRadius {
+            racks_disconnected: disconnected,
+            racks_degraded: degraded,
+            racks_total: total,
+            capacity_loss_fraction: if total > 0 {
+                capacity_lost / total as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Assesses every victim in `victims` against the same base failure
+    /// set, reusing one [`BlastScratch`] across the whole sweep.
+    pub fn sweep(topo: &Topology, victims: &[DeviceId], base: &FailureSet) -> Vec<BlastRadius> {
+        let mut scratch = BlastScratch::new(topo, base);
+        victims
+            .iter()
+            .map(|&v| BlastRadius::of_failure_with(topo, v, &mut scratch))
+            .collect()
+    }
+
     /// Racks affected in any way.
     pub fn racks_affected(&self) -> usize {
         self.racks_disconnected + self.racks_degraded
@@ -223,6 +289,99 @@ impl BlastRadius {
         } else {
             self.racks_affected() as f64 / self.racks_total as f64
         }
+    }
+}
+
+/// Reusable scratch for blast-radius sweeps: the working failure set,
+/// the BFS visit marks (stamp-cleared, so resets are O(1)), the queue,
+/// the RSW list, and the per-rack uplink counts under the base set —
+/// everything `of_failure` used to reallocate and recompute per
+/// candidate.
+#[derive(Debug, Clone)]
+pub struct BlastScratch {
+    base: FailureSet,
+    failed: FailureSet,
+    rsws: Vec<DeviceId>,
+    before: Vec<usize>,
+    seen: Vec<u64>,
+    stamp: u64,
+    queue: VecDeque<DeviceId>,
+}
+
+impl BlastScratch {
+    /// Builds scratch for sweeps over `base`, precomputing every RSW's
+    /// live uplink count under the base set.
+    pub fn new(topo: &Topology, base: &FailureSet) -> Self {
+        let rsws: Vec<DeviceId> = topo
+            .devices()
+            .iter()
+            .filter(|d| d.device_type == DeviceType::Rsw)
+            .map(|d| d.id)
+            .collect();
+        let mut scratch = Self {
+            base: base.clone(),
+            failed: base.clone(),
+            before: Vec::with_capacity(rsws.len()),
+            rsws,
+            seen: vec![0; topo.device_count()],
+            stamp: 0,
+            queue: VecDeque::new(),
+        };
+        for i in 0..scratch.rsws.len() {
+            let rsw = scratch.rsws[i];
+            let n = scratch.live_uplinks_with(topo, rsw);
+            scratch.before.push(n);
+        }
+        scratch
+    }
+
+    fn base_failed_victim(&self, victim: DeviceId) -> bool {
+        self.base.is_failed(victim)
+    }
+
+    /// [`live_uplinks`] against the scratch's working failure set,
+    /// allocation-free.
+    fn live_uplinks_with(&mut self, topo: &Topology, rsw: DeviceId) -> usize {
+        if self.failed.is_failed(rsw) {
+            return 0;
+        }
+        let mut live = 0;
+        for &(n, _) in topo.neighbors(rsw) {
+            if !self.failed.is_failed(n) && self.has_core_uplink_with(topo, n) {
+                live += 1;
+            }
+        }
+        live
+    }
+
+    /// [`has_core_uplink`] against the working failure set: upward-only
+    /// BFS over stamp-marked scratch, early-exiting at the first live
+    /// Core.
+    fn has_core_uplink_with(&mut self, topo: &Topology, src: DeviceId) -> bool {
+        if self.failed.is_failed(src) {
+            return false;
+        }
+        self.stamp += 1;
+        let stamp = self.stamp;
+        self.queue.clear();
+        self.seen[src.index()] = stamp;
+        self.queue.push_back(src);
+        while let Some(d) = self.queue.pop_front() {
+            if topo.device(d).device_type == DeviceType::Core {
+                return true;
+            }
+            let rank = topo.device(d).device_type.tier_rank();
+            for &(n, _) in topo.neighbors(d) {
+                if self.seen[n.index()] != stamp
+                    && !self.failed.is_failed(n)
+                    && topo.device(n).device_type.tier_rank() > rank
+                {
+                    self.seen[n.index()] = stamp;
+                    self.queue.push_back(n);
+                }
+            }
+        }
+        false
     }
 }
 
@@ -367,6 +526,46 @@ mod tests {
         let seen = reachable_from(&t, dc.rsws[0][0], &f);
         assert!(seen.iter().all(|&s| !s));
         assert_eq!(live_uplinks(&t, dc.rsws[0][0], &f), 0);
+    }
+
+    #[test]
+    fn scratch_sweep_matches_the_allocating_oracle() {
+        for (t, victims, mut base) in [
+            {
+                let (t, _dc) = cluster_topo();
+                let victims: Vec<DeviceId> = t.devices().iter().map(|d| d.id).collect();
+                let base = FailureSet::new(&t);
+                (t, victims, base)
+            },
+            {
+                let (t, dc) = fabric_topo();
+                let victims: Vec<DeviceId> = t.devices().iter().map(|d| d.id).collect();
+                let mut base = FailureSet::new(&t);
+                base.fail(dc.fsws[0][1]);
+                base.fail(dc.cores[0]);
+                (t, victims, base)
+            },
+        ] {
+            // Also sweep over victims already in the base set: the
+            // scratch must not restore those afterwards.
+            let swept = BlastRadius::sweep(&t, &victims, &base);
+            for (i, &v) in victims.iter().enumerate() {
+                assert_eq!(
+                    swept[i],
+                    BlastRadius::of_failure(&t, v, &base),
+                    "victim {v:?}"
+                );
+            }
+            base.fail(victims[0]);
+            let again = BlastRadius::sweep(&t, &victims, &base);
+            for (i, &v) in victims.iter().enumerate() {
+                assert_eq!(
+                    again[i],
+                    BlastRadius::of_failure(&t, v, &base),
+                    "victim {v:?}"
+                );
+            }
+        }
     }
 
     #[test]
