@@ -125,6 +125,16 @@ USAGE:
                    probe); misses under an open breaker or a saturated
                    queue serve the last good render flagged
                    X-Dcnr-Stale, or shed 503 + Retry-After.
+                   Admission control (off by default; off is
+                   byte-identical to the pre-admission server):
+                   --sojourn-target-ms MS sheds queued connections at
+                   dequeue once their queue wait exceeds MS
+                   (CoDel-style head drop), --priority-depth N gives
+                   /healthz, /readyz, and /metrics their own N-deep
+                   lane that is drained first and never sojourn-shed,
+                   --adaptive-retry-after derives the shed Retry-After
+                   from the observed drain rate (clamped to 1..=30s)
+                   instead of the fixed hint.
     dcnr loadgen   [--addr HOST:PORT] [--clients N] [--requests R]
                    [--mix-seed S] [--scenario-seeds K]
                    [--artifacts id,id,...] [--verify] [--chaos]
@@ -132,6 +142,13 @@ USAGE:
                    [--deadline-ms MS] [--min-success F]
                    [--bench-json PATH] [--bench-append]
                    [--timeout-secs T] [scenario flags]
+                   [--open-loop [--rate R] [--overload X]
+                   [--arrivals N] [--max-in-flight N]
+                   [--burst-rate R] [--burst-mult M] [--burst-ms MS]
+                   [--diurnal-amplitude A] [--diurnal-period-ms MS]
+                   [--trace-out PATH | --trace-in PATH]
+                   [--goodput-floor F] [--p99-cap-ms MS]
+                   [--health-floor F]]
                    Closed-loop load harness: N client threads drive a
                    running `dcnr serve` with a seeded artifact/scenario
                    request mix and report throughput and p50/p95/p99
@@ -148,6 +165,26 @@ USAGE:
                    no corruption went undetected, and the record goes
                    to BENCH_resilience.json unless --bench-json says
                    otherwise.
+                   --open-loop is the overload harness: arrivals fire
+                   on their own seeded clock (Poisson at
+                   sustainable * --overload, default 2x, with optional
+                   burst/diurnal modulation) regardless of responses,
+                   bounded by --max-in-flight (excess arrivals are
+                   counted as client-dropped, not deferred). The
+                   sustainable rate is measured with a short
+                   closed-loop calibration unless --rate gives it.
+                   Requests are single-attempt (no retries — retrying
+                   would re-close the loop); health endpoints are
+                   probed throughout. The verdict fails unless goodput
+                   >= --goodput-floor (default 0.5) of sustainable,
+                   admitted p99 <= --p99-cap-ms (default 1000), and
+                   >= --health-floor (default 0.9) of health probes
+                   answer. --trace-out records the arrival schedule;
+                   --trace-in replays one byte-identically (same
+                   seed+config => same trace). The record goes to
+                   BENCH_overload.json unless --bench-json says
+                   otherwise. Conflicts with --chaos, --verify,
+                   --clients, and --requests.
     dcnr artifact  ID [scenario flags]
                    Render one registry artifact (table1, fig2, ...,
                    fig18, table4, routes.capacity, routes.severity_mix,
@@ -505,12 +542,21 @@ fn cmd_serve(mut args: ArgScanner) -> Result<(), DcnrError> {
 fn cmd_loadgen(mut args: ArgScanner) -> Result<(), DcnrError> {
     let mut opts = parse_loadgen_args(&mut args)?;
     opts.scenario_args = args.into_rest();
-    logger::info(format!(
-        "driving http://{} with {} clients x {} requests...",
-        opts.addr, opts.clients, opts.requests
-    ));
-    let report = loadgen::run(&opts)?;
-    print!("{}", report.rendered);
+    if let Some(ol) = &opts.open_loop {
+        logger::info(format!(
+            "open-loop overload against http://{} ({} arrivals, {:.1}x)...",
+            opts.addr, ol.arrivals, ol.overload
+        ));
+        let report = loadgen::run_open_loop(&opts)?;
+        print!("{}", report.rendered);
+    } else {
+        logger::info(format!(
+            "driving http://{} with {} clients x {} requests...",
+            opts.addr, opts.clients, opts.requests
+        ));
+        let report = loadgen::run(&opts)?;
+        print!("{}", report.rendered);
+    }
     if let Some(path) = &opts.bench_json {
         logger::info(format!("wrote {path}"));
     }

@@ -279,6 +279,18 @@ pub fn parse_serve_args(args: &mut ArgScanner) -> Result<crate::serve::ServeOpti
     if let Some(seed) = args.value::<u64>("--render-fault-seed")? {
         opts.render_faults.seed = seed;
     }
+    if let Some(ms) = args.value::<u64>("--sojourn-target-ms")? {
+        if ms == 0 {
+            return Err(DcnrError::Usage(
+                "--sojourn-target-ms must be positive".into(),
+            ));
+        }
+        opts.admission.sojourn_target = Some(std::time::Duration::from_millis(ms));
+    }
+    if let Some(depth) = args.value::<usize>("--priority-depth")? {
+        opts.admission.priority_depth = depth; // 0 = lane disabled
+    }
+    opts.admission.adaptive_retry_after = args.flag("--adaptive-retry-after");
     Ok(opts)
 }
 
@@ -327,12 +339,22 @@ pub fn parse_loadgen_args(
     if let Some(addr) = args.value::<String>("--addr")? {
         opts.addr = addr;
     }
-    for (name, slot) in [
-        ("--clients", &mut opts.clients),
-        ("--requests", &mut opts.requests),
-        ("--scenario-seeds", &mut opts.scenario_seeds),
+    // Presence is remembered per flag: `--open-loop` owns the
+    // concurrency knobs, and an explicit closed-loop `--clients` /
+    // `--requests` alongside it is a conflict, not a silent ignore.
+    let clients_flag = args.value::<usize>("--clients")?;
+    let requests_flag = args.value::<usize>("--requests")?;
+    let scenario_seeds_flag = args.value::<usize>("--scenario-seeds")?;
+    for (name, value, slot) in [
+        ("--clients", clients_flag, &mut opts.clients),
+        ("--requests", requests_flag, &mut opts.requests),
+        (
+            "--scenario-seeds",
+            scenario_seeds_flag,
+            &mut opts.scenario_seeds,
+        ),
     ] {
-        if let Some(n) = args.value::<usize>(name)? {
+        if let Some(n) = value {
             if n == 0 {
                 return Err(DcnrError::Usage(format!("{name} must be positive")));
             }
@@ -393,7 +415,166 @@ pub fn parse_loadgen_args(
         // The resilience harness always leaves a record behind.
         opts.bench_json = Some("BENCH_resilience.json".into());
     }
+    opts.open_loop = parse_open_loop_flags(args, &opts, clients_flag, requests_flag)?;
+    if opts.open_loop.is_some() && opts.bench_json.is_none() {
+        // The overload harness always leaves a record behind too.
+        opts.bench_json = Some("BENCH_overload.json".into());
+    }
     Ok(opts)
+}
+
+/// The `--open-loop` flag family. Scans every open-loop flag
+/// unconditionally (so none can leak into the scenario remainder),
+/// then enforces the conflict rules: open-loop-only flags require
+/// `--open-loop`; `--open-loop` rejects `--chaos`, `--verify`, and
+/// explicit closed-loop `--clients`/`--requests`; `--trace-in` rejects
+/// every generation knob it would override.
+fn parse_open_loop_flags(
+    args: &mut ArgScanner,
+    opts: &crate::loadgen::LoadgenOptions,
+    clients_flag: Option<usize>,
+    requests_flag: Option<usize>,
+) -> Result<Option<crate::loadgen::OpenLoopOptions>, DcnrError> {
+    let open_loop = args.flag("--open-loop");
+    let rate = args.value::<f64>("--rate")?;
+    let overload = args.value::<f64>("--overload")?;
+    let arrivals = args.value::<usize>("--arrivals")?;
+    let max_in_flight = args.value::<usize>("--max-in-flight")?;
+    let burst_rate = args.value::<f64>("--burst-rate")?;
+    let burst_mult = args.value::<f64>("--burst-mult")?;
+    let burst_ms = args.value::<u64>("--burst-ms")?;
+    let diurnal_amplitude = args.value::<f64>("--diurnal-amplitude")?;
+    let diurnal_period_ms = args.value::<u64>("--diurnal-period-ms")?;
+    let trace_out = args.value::<String>("--trace-out")?;
+    let trace_in = args.value::<String>("--trace-in")?;
+    let goodput_floor = args.value::<f64>("--goodput-floor")?;
+    let p99_cap_ms = args.value::<u64>("--p99-cap-ms")?;
+    let health_floor = args.value::<f64>("--health-floor")?;
+    if !open_loop {
+        let offenders = [
+            ("--rate", rate.is_some()),
+            ("--overload", overload.is_some()),
+            ("--arrivals", arrivals.is_some()),
+            ("--max-in-flight", max_in_flight.is_some()),
+            ("--burst-rate", burst_rate.is_some()),
+            ("--burst-mult", burst_mult.is_some()),
+            ("--burst-ms", burst_ms.is_some()),
+            ("--diurnal-amplitude", diurnal_amplitude.is_some()),
+            ("--diurnal-period-ms", diurnal_period_ms.is_some()),
+            ("--trace-out", trace_out.is_some()),
+            ("--trace-in", trace_in.is_some()),
+            ("--goodput-floor", goodput_floor.is_some()),
+            ("--p99-cap-ms", p99_cap_ms.is_some()),
+            ("--health-floor", health_floor.is_some()),
+        ];
+        if let Some((name, _)) = offenders.iter().find(|(_, present)| *present) {
+            return Err(DcnrError::Usage(format!("{name} requires --open-loop")));
+        }
+        return Ok(None);
+    }
+    if opts.chaos {
+        return Err(DcnrError::Usage(
+            "--open-loop conflicts with --chaos (one harness per run)".into(),
+        ));
+    }
+    if opts.verify {
+        return Err(DcnrError::Usage(
+            "--open-loop conflicts with --verify (single-attempt requests are not verified)".into(),
+        ));
+    }
+    for (name, present) in [
+        ("--clients", clients_flag.is_some()),
+        ("--requests", requests_flag.is_some()),
+    ] {
+        if present {
+            return Err(DcnrError::Usage(format!(
+                "{name} is a closed-loop knob; --open-loop sizes itself with --arrivals/--max-in-flight"
+            )));
+        }
+    }
+    if trace_in.is_some() {
+        let overridden = [
+            ("--rate", rate.is_some()),
+            ("--overload", overload.is_some()),
+            ("--arrivals", arrivals.is_some()),
+            ("--burst-rate", burst_rate.is_some()),
+            ("--burst-mult", burst_mult.is_some()),
+            ("--burst-ms", burst_ms.is_some()),
+            ("--diurnal-amplitude", diurnal_amplitude.is_some()),
+            ("--diurnal-period-ms", diurnal_period_ms.is_some()),
+            ("--trace-out", trace_out.is_some()),
+        ];
+        if let Some((name, _)) = overridden.iter().find(|(_, present)| *present) {
+            return Err(DcnrError::Usage(format!(
+                "--trace-in replays a recorded schedule; it conflicts with {name}"
+            )));
+        }
+    }
+    let mut ol = crate::loadgen::OpenLoopOptions::default();
+    if let Some(r) = rate {
+        if !r.is_finite() || r <= 0.0 {
+            return Err(DcnrError::Usage(format!(
+                "--rate must be positive, got {r}"
+            )));
+        }
+        ol.rate = Some(r);
+    }
+    if let Some(x) = overload {
+        if !x.is_finite() || x <= 0.0 {
+            return Err(DcnrError::Usage(format!(
+                "--overload must be positive, got {x}"
+            )));
+        }
+        ol.overload = x;
+    }
+    for (name, value, slot) in [
+        ("--arrivals", arrivals, &mut ol.arrivals),
+        ("--max-in-flight", max_in_flight, &mut ol.max_in_flight),
+    ] {
+        if let Some(n) = value {
+            if n == 0 {
+                return Err(DcnrError::Usage(format!("{name} must be positive")));
+            }
+            *slot = n;
+        }
+    }
+    if let Some(r) = burst_rate {
+        ol.burst.rate_per_sec = r;
+    }
+    if let Some(m) = burst_mult {
+        ol.burst.multiplier = m;
+    }
+    if let Some(ms) = burst_ms {
+        ol.burst.duration = std::time::Duration::from_millis(ms);
+    }
+    if let Some(a) = diurnal_amplitude {
+        ol.diurnal.amplitude = a;
+    }
+    if let Some(ms) = diurnal_period_ms {
+        ol.diurnal.period = std::time::Duration::from_millis(ms);
+    }
+    ol.trace_out = trace_out;
+    ol.trace_in = trace_in;
+    for (name, value, slot) in [
+        ("--goodput-floor", goodput_floor, &mut ol.goodput_floor),
+        ("--health-floor", health_floor, &mut ol.health_floor),
+    ] {
+        if let Some(f) = value {
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(DcnrError::Usage(format!(
+                    "{name} must be in [0, 1], got {f}"
+                )));
+            }
+            *slot = f;
+        }
+    }
+    if let Some(ms) = p99_cap_ms {
+        if ms == 0 {
+            return Err(DcnrError::Usage("--p99-cap-ms must be positive".into()));
+        }
+        ol.p99_cap = std::time::Duration::from_millis(ms);
+    }
+    Ok(Some(ol))
 }
 
 #[cfg(test)]
@@ -691,6 +872,115 @@ mod tests {
         assert!(opts.verify);
         // --scale stays unconsumed for apply_scenario_flags.
         assert_eq!(a.into_rest(), vec!["--scale", "0.25"]);
+    }
+
+    #[test]
+    fn open_loop_flags_parse_with_their_default_bench_path() {
+        let mut a = scan(&[
+            "--open-loop",
+            "--rate",
+            "200",
+            "--overload=2.5",
+            "--arrivals",
+            "500",
+            "--max-in-flight",
+            "32",
+            "--burst-rate",
+            "2",
+            "--burst-mult",
+            "4",
+            "--burst-ms",
+            "100",
+            "--diurnal-amplitude",
+            "0.3",
+            "--diurnal-period-ms",
+            "2000",
+            "--goodput-floor",
+            "0.4",
+            "--p99-cap-ms",
+            "1500",
+            "--health-floor",
+            "0.8",
+            "--trace-out",
+            "/tmp/t.trace",
+        ]);
+        let opts = parse_loadgen_args(&mut a).unwrap();
+        a.finish().unwrap();
+        let ol = opts.open_loop.expect("--open-loop parsed");
+        assert_eq!(ol.rate, Some(200.0));
+        assert_eq!(ol.overload, 2.5);
+        assert_eq!(ol.arrivals, 500);
+        assert_eq!(ol.max_in_flight, 32);
+        assert_eq!(ol.burst.multiplier, 4.0);
+        assert_eq!(ol.diurnal.amplitude, 0.3);
+        assert_eq!(ol.goodput_floor, 0.4);
+        assert_eq!(ol.p99_cap, std::time::Duration::from_millis(1500));
+        assert_eq!(ol.health_floor, 0.8);
+        assert_eq!(ol.trace_out.as_deref(), Some("/tmp/t.trace"));
+        assert_eq!(
+            opts.bench_json.as_deref(),
+            Some("BENCH_overload.json"),
+            "--open-loop defaults the bench record path"
+        );
+    }
+
+    #[test]
+    fn open_loop_conflicts_are_usage_errors() {
+        // Every conflict must surface as a usage error (exit 2), with
+        // the offending flag named.
+        let cases: &[&[&str]] = &[
+            &["--rate", "100"],                  // open-loop-only flag, no --open-loop
+            &["--trace-in", "/tmp/t"],           // likewise
+            &["--goodput-floor", "0.5"],         // likewise
+            &["--open-loop", "--chaos"],         // one harness per run
+            &["--open-loop", "--verify"],        // unverifiable single attempts
+            &["--open-loop", "--clients", "4"],  // closed-loop knob
+            &["--open-loop", "--requests", "9"], // closed-loop knob
+            &["--open-loop", "--trace-in=/t", "--rate", "5"], // replay vs generate
+            &["--open-loop", "--trace-in=/t", "--trace-out=/u"],
+            &["--open-loop", "--rate", "0"], // bad values
+            &["--open-loop", "--overload", "-1"],
+            &["--open-loop", "--arrivals", "0"],
+            &["--open-loop", "--goodput-floor", "1.5"],
+            &["--open-loop", "--p99-cap-ms", "0"],
+        ];
+        for case in cases {
+            let mut a = scan(case);
+            let err = parse_loadgen_args(&mut a).unwrap_err();
+            assert_eq!(err.kind(), "usage", "{case:?}: {err}");
+            assert_eq!(err.exit_code(), 2, "{case:?} must exit 2");
+        }
+        // --scenario-seeds stays legal: it shapes the mix, not the loop.
+        let mut a = scan(&["--open-loop", "--scenario-seeds", "3"]);
+        let opts = parse_loadgen_args(&mut a).unwrap();
+        assert_eq!(opts.scenario_seeds, 3);
+        assert!(opts.open_loop.is_some());
+    }
+
+    #[test]
+    fn serve_admission_flags_parse_and_validate() {
+        let mut a = scan(&[
+            "--sojourn-target-ms",
+            "50",
+            "--priority-depth",
+            "8",
+            "--adaptive-retry-after",
+        ]);
+        let opts = parse_serve_args(&mut a).unwrap();
+        a.finish().unwrap();
+        assert_eq!(
+            opts.admission.sojourn_target,
+            Some(std::time::Duration::from_millis(50))
+        );
+        assert_eq!(opts.admission.priority_depth, 8);
+        assert!(opts.admission.adaptive_retry_after);
+        assert!(opts.admission.enabled());
+        // Defaults are all-off (the byte-invisible configuration).
+        let mut a = scan(&[]);
+        let opts = parse_serve_args(&mut a).unwrap();
+        assert!(!opts.admission.enabled());
+        let mut a = scan(&["--sojourn-target-ms", "0"]);
+        assert_eq!(parse_serve_args(&mut a).unwrap_err().kind(), "usage");
     }
 
     #[test]

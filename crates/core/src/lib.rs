@@ -59,11 +59,19 @@
 //! * [`loadgen`] — the `dcnr loadgen` closed-loop load harness: seeded
 //!   request mixes, byte-for-byte response verification, and
 //!   `BENCH_serve.json` records; `--chaos` turns it into a resilience
-//!   harness with a pass/fail verdict and `BENCH_resilience.json`.
+//!   harness with a pass/fail verdict and `BENCH_resilience.json`;
+//!   `--open-loop` turns it into the overload harness (seeded
+//!   open-loop arrivals at a multiple of the sustainable rate, goodput
+//!   / admitted-p99 / health verdict, `BENCH_overload.json`).
 //! * [`resilience`] — client-side retries: deterministic capped
 //!   jittered backoff, per-request deadlines, `Retry-After` honoring,
 //!   and outcome classification (ok / retried-ok / shed / gave-up /
 //!   corrupt) over the `dcnr-server` client.
+//! * [`traffic`] — the seeded open-loop traffic model: Poisson
+//!   interarrivals with burst/diurnal modulation (Lewis–Shedler
+//!   thinning), per-arrival request-mix draws on an independent seed
+//!   stream, and deterministic trace emit/replay; the demand side of
+//!   `dcnr loadgen --open-loop`.
 //!
 //! ## Quickstart
 //!
@@ -99,6 +107,7 @@ pub mod serve;
 pub mod supervisor;
 pub mod sweep;
 pub mod telemetry_io;
+pub mod traffic;
 
 pub use artifacts::Artifact;
 pub use checkpoint::{Manifest, ReplicaRecord};
@@ -107,7 +116,7 @@ pub use error::DcnrError;
 pub use experiments::{Comparison, Experiment, ExperimentOutcome};
 pub use inter::InterDcStudy;
 pub use intra::{IntraDcStudy, StudyConfig};
-pub use loadgen::{LoadReport, LoadgenOptions};
+pub use loadgen::{LoadReport, LoadgenOptions, OpenLoopOptions, OverloadReport};
 pub use profile::{phase_rows, render_profile_json, render_profile_table, PhaseRow};
 pub use resilience::{resilient_get, FetchResult, Outcome, RetryCauses, RetryPolicy};
 pub use routes::{RoutesConfig, RoutesStudy};
@@ -117,6 +126,7 @@ pub use supervisor::{
     FaultMode, FaultPlan, FaultSpec, ReplicaOutcome, ReplicaStatus, SupervisorConfig, FAULT_ENV,
 };
 pub use sweep::{run_supervised, run_sweep, SweepConfig, SweepOutcome, SweepRow};
+pub use traffic::{Arrival, BurstProfile, DiurnalProfile, TrafficConfig};
 
 // Re-export the substrate crates under one roof so downstream users and
 // the examples need a single dependency.

@@ -1,0 +1,601 @@
+//! Seeded open-loop traffic modeling: interarrival, request-mix, burst,
+//! and diurnal distributions plus deterministic trace emit/replay.
+//!
+//! Closed-loop clients ([`crate::loadgen`]'s default mode) wait for each
+//! response before sending the next request, so offered load politely
+//! adapts to the server and overload is invisible. An *open-loop* source
+//! keeps its own clock: arrival `k` fires at a pre-drawn instant whether
+//! or not arrival `k-1` has been answered (cf. Parsonson et al.,
+//! arXiv:2107.01398 — seeded size/interarrival/locality distributions
+//! with trace replay). This module owns the demand side of that story:
+//!
+//! * **Interarrivals** — a Poisson process at `rate_per_sec`, optionally
+//!   modulated by a [`BurstProfile`] (seeded exponential-gap burst
+//!   windows that multiply the intensity) and a [`DiurnalProfile`]
+//!   (a sinusoidal day/night swing). Modulated streams are sampled with
+//!   Lewis–Shedler thinning against the peak intensity; *flat* streams
+//!   (no bursts, no diurnal swing) take a direct exponential-sampling
+//!   path, which is what makes a zero-rate burst profile draw-for-draw
+//!   identical to a plain Poisson stream.
+//! * **Request mix** — each arrival carries a mix index drawn from its
+//!   own stream, so the target picked for arrival `k` never depends on
+//!   how the interarrival sampling happened to consume randomness.
+//! * **Trace emit/replay** — [`emit_trace`] renders `(config,
+//!   arrivals)` as a line-based text artifact; [`parse_trace`] inverts
+//!   it exactly. Same seed + config ⇒ byte-identical trace, and
+//!   replaying a trace is indistinguishable from generating it.
+//!
+//! Every stream derives from the caller's master seed via the same
+//! `derive_seed(master, tag)` discipline the simulation layers use
+//! (tags `traffic.arrivals`, `traffic.mix`, `traffic.burst`), so adding
+//! a draw to one distribution never shifts another.
+
+use crate::error::DcnrError;
+use dcnr_sim::stream_rng;
+use rand::Rng;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Burst modulation: seeded windows during which the arrival intensity
+/// is multiplied. Window starts follow exponential gaps at
+/// `rate_per_sec` (measured end-to-start, so windows never overlap) and
+/// each window lasts `duration`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstProfile {
+    /// Burst windows per second (`0.0` disables bursts entirely).
+    pub rate_per_sec: f64,
+    /// Intensity multiplier inside a window (`1.0` is a no-op).
+    pub multiplier: f64,
+    /// How long each window lasts.
+    pub duration: Duration,
+}
+
+impl Default for BurstProfile {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: 0.0,
+            multiplier: 1.0,
+            duration: Duration::ZERO,
+        }
+    }
+}
+
+impl BurstProfile {
+    /// Whether this profile leaves the base intensity untouched.
+    pub fn is_flat(&self) -> bool {
+        self.rate_per_sec <= 0.0 || self.multiplier <= 1.0 || self.duration.is_zero()
+    }
+}
+
+/// Diurnal modulation: a sinusoidal swing of the arrival intensity,
+/// `rate * (1 + amplitude * sin(2πt / period))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiurnalProfile {
+    /// Swing amplitude in `[0, 1]` (`0.0` disables the modulation).
+    pub amplitude: f64,
+    /// Period of one full day/night cycle.
+    pub period: Duration,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        Self {
+            amplitude: 0.0,
+            period: Duration::ZERO,
+        }
+    }
+}
+
+impl DiurnalProfile {
+    /// Whether this profile leaves the base intensity untouched.
+    pub fn is_flat(&self) -> bool {
+        self.amplitude <= 0.0 || self.period.is_zero()
+    }
+}
+
+/// Everything that determines an arrival stream. Two equal configs
+/// always generate byte-identical traces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Master seed; the arrival, mix, and burst streams derive from it.
+    pub seed: u64,
+    /// Mean base arrival rate (requests per second).
+    pub rate_per_sec: f64,
+    /// How many arrivals to generate.
+    pub arrivals: usize,
+    /// Size of the request mix each arrival indexes into.
+    pub mix_entries: u32,
+    /// Burst modulation (default: off).
+    pub burst: BurstProfile,
+    /// Diurnal modulation (default: off).
+    pub diurnal: DiurnalProfile,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x0BE7,
+            rate_per_sec: 100.0,
+            arrivals: 1000,
+            mix_entries: 1,
+            burst: BurstProfile::default(),
+            diurnal: DiurnalProfile::default(),
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Validates the knobs; every generation/emit path calls this.
+    pub fn validate(&self) -> Result<(), DcnrError> {
+        if !self.rate_per_sec.is_finite() || self.rate_per_sec <= 0.0 {
+            return Err(DcnrError::Config(format!(
+                "traffic rate must be positive and finite, got {}",
+                self.rate_per_sec
+            )));
+        }
+        if self.arrivals == 0 {
+            return Err(DcnrError::Config(
+                "traffic arrivals must be positive".into(),
+            ));
+        }
+        if self.mix_entries == 0 {
+            return Err(DcnrError::Config(
+                "traffic mix must have at least one entry".into(),
+            ));
+        }
+        let b = &self.burst;
+        if !b.rate_per_sec.is_finite() || b.rate_per_sec < 0.0 {
+            return Err(DcnrError::Config(format!(
+                "burst rate must be >= 0 and finite, got {}",
+                b.rate_per_sec
+            )));
+        }
+        if !b.multiplier.is_finite() || b.multiplier < 1.0 {
+            return Err(DcnrError::Config(format!(
+                "burst multiplier must be >= 1 and finite, got {}",
+                b.multiplier
+            )));
+        }
+        if b.rate_per_sec > 0.0 && b.multiplier > 1.0 && b.duration.is_zero() {
+            return Err(DcnrError::Config(
+                "burst duration must be positive when bursts are enabled".into(),
+            ));
+        }
+        let d = &self.diurnal;
+        if !d.amplitude.is_finite() || !(0.0..=1.0).contains(&d.amplitude) {
+            return Err(DcnrError::Config(format!(
+                "diurnal amplitude must be in [0, 1], got {}",
+                d.amplitude
+            )));
+        }
+        if d.amplitude > 0.0 && d.period.is_zero() {
+            return Err(DcnrError::Config(
+                "diurnal period must be positive when the amplitude is".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Whether the stream is plain Poisson (no modulation anywhere),
+    /// which selects the direct-sampling path.
+    pub fn is_flat(&self) -> bool {
+        self.burst.is_flat() && self.diurnal.is_flat()
+    }
+
+    /// The peak instantaneous intensity the thinning sampler bounds
+    /// candidate arrivals with.
+    fn peak_intensity(&self) -> f64 {
+        let burst = if self.burst.is_flat() {
+            1.0
+        } else {
+            self.burst.multiplier
+        };
+        let diurnal = if self.diurnal.is_flat() {
+            1.0
+        } else {
+            1.0 + self.diurnal.amplitude
+        };
+        self.rate_per_sec * burst * diurnal
+    }
+
+    /// The instantaneous intensity at `t` seconds, given whether a
+    /// burst window is active there.
+    fn intensity_at(&self, t_secs: f64, burst_active: bool) -> f64 {
+        let burst = if burst_active && !self.burst.is_flat() {
+            self.burst.multiplier
+        } else {
+            1.0
+        };
+        let diurnal = if self.diurnal.is_flat() {
+            1.0
+        } else {
+            let phase = std::f64::consts::TAU * t_secs / self.diurnal.period.as_secs_f64();
+            1.0 + self.diurnal.amplitude * phase.sin()
+        };
+        self.rate_per_sec * burst * diurnal
+    }
+}
+
+/// One scheduled request: when it fires (relative to stream start) and
+/// which mix entry it targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Offset from the start of the stream, in microseconds.
+    pub at_micros: u64,
+    /// Index into the request mix, in `0..mix_entries`.
+    pub mix: u32,
+}
+
+/// Lazily materialized burst windows off their own seed stream, so the
+/// arrival sampler can ask "is `t` inside a burst?" in arrival order
+/// without precomputing a horizon.
+struct BurstTrack {
+    rng: rand::rngs::StdRng,
+    gap_rate: f64,
+    duration_secs: f64,
+    window_start: f64,
+    window_end: f64,
+    enabled: bool,
+}
+
+impl BurstTrack {
+    fn new(cfg: &TrafficConfig) -> Self {
+        let enabled = !cfg.burst.is_flat();
+        let mut track = Self {
+            rng: stream_rng(cfg.seed, "traffic.burst"),
+            gap_rate: cfg.burst.rate_per_sec,
+            duration_secs: cfg.burst.duration.as_secs_f64(),
+            window_start: 0.0,
+            window_end: 0.0,
+            enabled,
+        };
+        if enabled {
+            track.advance_window(0.0);
+        }
+        track
+    }
+
+    fn advance_window(&mut self, from: f64) {
+        self.window_start = from + exponential(&mut self.rng, self.gap_rate);
+        self.window_end = self.window_start + self.duration_secs;
+    }
+
+    /// Whether `t` (seconds, non-decreasing across calls) is inside a
+    /// burst window.
+    fn active_at(&mut self, t: f64) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        while t >= self.window_end {
+            let end = self.window_end;
+            self.advance_window(end);
+        }
+        t >= self.window_start
+    }
+}
+
+/// One exponential interarrival draw at `rate` (inverse-CDF sampling;
+/// `u < 1` always, so the log argument stays positive).
+fn exponential(rng: &mut impl Rng, rate: f64) -> f64 {
+    let u: f64 = rng.gen();
+    -(1.0 - u).ln() / rate
+}
+
+/// Generates the deterministic arrival stream for `cfg`.
+///
+/// Flat configs (no burst, no diurnal swing) sample interarrivals
+/// directly; modulated configs run Lewis–Shedler thinning against the
+/// peak intensity. The request-mix index comes from a separate stream,
+/// one draw per *accepted* arrival, so the mix sequence is identical
+/// across flat and thinned sampling of the same seed.
+pub fn generate(cfg: &TrafficConfig) -> Result<Vec<Arrival>, DcnrError> {
+    cfg.validate()?;
+    let mut arrivals_rng = stream_rng(cfg.seed, "traffic.arrivals");
+    let mut mix_rng = stream_rng(cfg.seed, "traffic.mix");
+    let mut bursts = BurstTrack::new(cfg);
+    let flat = cfg.is_flat();
+    let peak = cfg.peak_intensity();
+    let mut out = Vec::with_capacity(cfg.arrivals);
+    let mut t = 0.0_f64;
+    while out.len() < cfg.arrivals {
+        t += exponential(
+            &mut arrivals_rng,
+            if flat { cfg.rate_per_sec } else { peak },
+        );
+        if !flat {
+            // Thinning: accept the candidate with probability
+            // intensity(t) / peak. The peak bound makes the ratio <= 1.
+            let burst_active = bursts.active_at(t);
+            let accept: f64 = arrivals_rng.gen();
+            if accept >= cfg.intensity_at(t, burst_active) / peak {
+                continue;
+            }
+        }
+        out.push(Arrival {
+            at_micros: (t * 1e6).round() as u64,
+            mix: mix_rng.gen_range(0..cfg.mix_entries),
+        });
+    }
+    Ok(out)
+}
+
+/// Magic first line of the trace format; bump the version on any
+/// incompatible change.
+const TRACE_MAGIC: &str = "# dcnr traffic trace v1";
+
+/// Renders a `(config, arrivals)` pair as the line-based trace format:
+/// a magic line, a config header, then one `at_micros mix` pair per
+/// arrival. Pure function of its inputs — the byte-identity half of the
+/// replay contract.
+pub fn emit_trace(cfg: &TrafficConfig, arrivals: &[Arrival]) -> String {
+    let mut out = String::with_capacity(arrivals.len() * 12 + 160);
+    out.push_str(TRACE_MAGIC);
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "# seed={} rate={} arrivals={} mix={} burst-rate={} burst-mult={} burst-ms={} \
+         diurnal-amplitude={} diurnal-period-ms={}",
+        cfg.seed,
+        cfg.rate_per_sec,
+        cfg.arrivals,
+        cfg.mix_entries,
+        cfg.burst.rate_per_sec,
+        cfg.burst.multiplier,
+        cfg.burst.duration.as_millis(),
+        cfg.diurnal.amplitude,
+        cfg.diurnal.period.as_millis(),
+    );
+    for a in arrivals {
+        let _ = writeln!(out, "{} {}", a.at_micros, a.mix);
+    }
+    out
+}
+
+/// Parses one `key=value` header field, with the trace-format error
+/// shape every failure here uses.
+fn header_field<T: std::str::FromStr>(
+    fields: &std::collections::HashMap<&str, &str>,
+    key: &str,
+) -> Result<T, DcnrError> {
+    let raw = fields
+        .get(key)
+        .ok_or_else(|| DcnrError::Config(format!("traffic trace header is missing {key}=")))?;
+    raw.parse::<T>()
+        .map_err(|_| DcnrError::Config(format!("traffic trace header: bad {key}={raw:?}")))
+}
+
+/// Parses a trace produced by [`emit_trace`] back into `(config,
+/// arrivals)` — the exact inverse, so `parse_trace(emit_trace(c, a)) ==
+/// (c, a)` for any valid pair.
+pub fn parse_trace(text: &str) -> Result<(TrafficConfig, Vec<Arrival>), DcnrError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(line) if line == TRACE_MAGIC => {}
+        other => {
+            return Err(DcnrError::Config(format!(
+                "not a dcnr traffic trace (expected {TRACE_MAGIC:?}, found {other:?})"
+            )))
+        }
+    }
+    let header = lines
+        .next()
+        .and_then(|l| l.strip_prefix("# "))
+        .ok_or_else(|| DcnrError::Config("traffic trace is missing its config header".into()))?;
+    let fields: std::collections::HashMap<&str, &str> = header
+        .split_ascii_whitespace()
+        .filter_map(|pair| pair.split_once('='))
+        .collect();
+    let cfg = TrafficConfig {
+        seed: header_field(&fields, "seed")?,
+        rate_per_sec: header_field(&fields, "rate")?,
+        arrivals: header_field(&fields, "arrivals")?,
+        mix_entries: header_field(&fields, "mix")?,
+        burst: BurstProfile {
+            rate_per_sec: header_field(&fields, "burst-rate")?,
+            multiplier: header_field(&fields, "burst-mult")?,
+            duration: Duration::from_millis(header_field(&fields, "burst-ms")?),
+        },
+        diurnal: DiurnalProfile {
+            amplitude: header_field(&fields, "diurnal-amplitude")?,
+            period: Duration::from_millis(header_field(&fields, "diurnal-period-ms")?),
+        },
+    };
+    cfg.validate()?;
+    let mut arrivals = Vec::with_capacity(cfg.arrivals);
+    for (i, line) in lines.enumerate() {
+        let mut parts = line.split_ascii_whitespace();
+        let (Some(at), Some(mix), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(DcnrError::Config(format!(
+                "traffic trace line {}: expected \"at_micros mix\", got {line:?}",
+                i + 3
+            )));
+        };
+        let parse_err =
+            |what: &str| DcnrError::Config(format!("traffic trace line {}: bad {what}", i + 3));
+        let arrival = Arrival {
+            at_micros: at.parse().map_err(|_| parse_err("at_micros"))?,
+            mix: mix.parse().map_err(|_| parse_err("mix"))?,
+        };
+        if arrival.mix >= cfg.mix_entries {
+            return Err(DcnrError::Config(format!(
+                "traffic trace line {}: mix {} out of range (header says {})",
+                i + 3,
+                arrival.mix,
+                cfg.mix_entries
+            )));
+        }
+        arrivals.push(arrival);
+    }
+    if arrivals.len() != cfg.arrivals {
+        return Err(DcnrError::Config(format!(
+            "traffic trace: header promises {} arrivals, found {}",
+            cfg.arrivals,
+            arrivals.len()
+        )));
+    }
+    Ok((cfg, arrivals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst_cfg() -> TrafficConfig {
+        TrafficConfig {
+            seed: 41,
+            rate_per_sec: 500.0,
+            arrivals: 800,
+            mix_entries: 6,
+            burst: BurstProfile {
+                rate_per_sec: 2.0,
+                multiplier: 6.0,
+                duration: Duration::from_millis(150),
+            },
+            diurnal: DiurnalProfile {
+                amplitude: 0.4,
+                period: Duration::from_secs(2),
+            },
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_well_formed() {
+        for cfg in [TrafficConfig::default(), burst_cfg()] {
+            let a = generate(&cfg).unwrap();
+            let b = generate(&cfg).unwrap();
+            assert_eq!(a, b, "same config must generate the same stream");
+            assert_eq!(a.len(), cfg.arrivals);
+            assert!(a.windows(2).all(|w| w[0].at_micros <= w[1].at_micros));
+            assert!(a.iter().all(|x| x.mix < cfg.mix_entries));
+            // Across ~hundreds of draws every mix entry shows up.
+            let distinct: std::collections::BTreeSet<u32> = a.iter().map(|x| x.mix).collect();
+            assert_eq!(distinct.len() as u32, cfg.mix_entries);
+        }
+    }
+
+    #[test]
+    fn flat_mean_interarrival_tracks_the_rate() {
+        let cfg = TrafficConfig {
+            rate_per_sec: 200.0,
+            arrivals: 4000,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&cfg).unwrap();
+        let span_secs = arrivals.last().unwrap().at_micros as f64 / 1e6;
+        let rate = cfg.arrivals as f64 / span_secs;
+        assert!(
+            (rate - cfg.rate_per_sec).abs() / cfg.rate_per_sec < 0.1,
+            "empirical rate {rate:.1}/s vs configured {}/s",
+            cfg.rate_per_sec
+        );
+    }
+
+    #[test]
+    fn bursts_concentrate_arrivals_and_raise_the_short_gap_share() {
+        // A bursty stream of N arrivals spans less wall-clock than a
+        // flat stream at the same base rate (the windows inject extra
+        // intensity), and its interarrival distribution is visibly
+        // heavier at short gaps.
+        let flat = TrafficConfig {
+            seed: 9,
+            rate_per_sec: 300.0,
+            arrivals: 1500,
+            ..TrafficConfig::default()
+        };
+        let bursty = TrafficConfig {
+            burst: BurstProfile {
+                rate_per_sec: 3.0,
+                multiplier: 8.0,
+                duration: Duration::from_millis(100),
+            },
+            ..flat
+        };
+        let f = generate(&flat).unwrap();
+        let b = generate(&bursty).unwrap();
+        assert!(
+            b.last().unwrap().at_micros < f.last().unwrap().at_micros,
+            "burst windows must compress the stream"
+        );
+    }
+
+    #[test]
+    fn trace_round_trips_exactly() {
+        for cfg in [TrafficConfig::default(), burst_cfg()] {
+            let arrivals = generate(&cfg).unwrap();
+            let text = emit_trace(&cfg, &arrivals);
+            assert_eq!(text, emit_trace(&cfg, &arrivals), "emit must be pure");
+            let (parsed_cfg, parsed) = parse_trace(&text).unwrap();
+            assert_eq!(parsed_cfg, cfg);
+            assert_eq!(parsed, arrivals);
+        }
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected_with_config_errors() {
+        assert_eq!(parse_trace("").unwrap_err().kind(), "config");
+        assert_eq!(parse_trace("not a trace\n").unwrap_err().kind(), "config");
+        let cfg = TrafficConfig {
+            arrivals: 2,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&cfg).unwrap();
+        let good = emit_trace(&cfg, &arrivals);
+        // Truncated body: the header's count no longer matches.
+        let truncated: String = good.lines().take(3).map(|l| format!("{l}\n")).collect();
+        let err = parse_trace(&truncated).unwrap_err();
+        assert!(err.to_string().contains("promises 2 arrivals"), "{err}");
+        // A mix index past the header bound is rejected.
+        let bad_mix = format!("{}{} {}\n", truncated, 999, cfg.mix_entries);
+        assert_eq!(parse_trace(&bad_mix).unwrap_err().kind(), "config");
+        // Garbage fields are named.
+        let bad_line = format!("{truncated}banana 0\n");
+        assert!(parse_trace(&bad_line)
+            .unwrap_err()
+            .to_string()
+            .contains("at_micros"));
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let bad = [
+            TrafficConfig {
+                rate_per_sec: 0.0,
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                arrivals: 0,
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                mix_entries: 0,
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                burst: BurstProfile {
+                    rate_per_sec: 1.0,
+                    multiplier: 0.5,
+                    duration: Duration::from_millis(10),
+                },
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                burst: BurstProfile {
+                    rate_per_sec: 1.0,
+                    multiplier: 2.0,
+                    duration: Duration::ZERO,
+                },
+                ..TrafficConfig::default()
+            },
+            TrafficConfig {
+                diurnal: DiurnalProfile {
+                    amplitude: 1.5,
+                    period: Duration::from_secs(1),
+                },
+                ..TrafficConfig::default()
+            },
+        ];
+        for cfg in bad {
+            assert_eq!(generate(&cfg).unwrap_err().kind(), "config", "{cfg:?}");
+        }
+    }
+}

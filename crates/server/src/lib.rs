@@ -50,4 +50,6 @@ pub use cache::LruCache;
 pub use chaos::{ChaosState, ConnFaults, FaultPlan};
 pub use client::{get, ClientResponse};
 pub use http::{body_checksum, percent_decode, Request, Response};
-pub use pool::{Handler, Server, ServerConfig, ServerStats};
+pub use pool::{
+    AdmissionConfig, Handler, Server, ServerConfig, ServerStats, SOJOURN_BOUNDS_MICROS,
+};

@@ -16,6 +16,17 @@
 //! by `queue_depth / throughput` instead of growing without limit, and
 //! a closed-loop client backs off instead of timing out.
 //!
+//! [`AdmissionConfig`] (all-off by default, and byte-invisible on the
+//! wire when off) layers deadline-aware admission control on top:
+//! every queued connection is stamped at enqueue, and a CoDel-style
+//! check at *dequeue* sheds connections whose queue sojourn already
+//! exceeds the target — answering a request that waited longer than
+//! any client deadline just wastes a worker. A small separate priority
+//! lane keeps `/healthz`, `/readyz`, and `/metrics` answerable while
+//! artifact renders saturate the normal queue, and shed responses can
+//! carry an adaptive `Retry-After` derived from the observed drain
+//! rate instead of a fixed constant.
+//!
 //! Shutdown drains: the accept loop stops, connections already queued
 //! are still handled, then the workers exit and [`Server::join`]
 //! returns. The blocking `accept` is woken by a loopback self-connect.
@@ -28,11 +39,38 @@ use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream, ToSocketAdd
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The application callback: one request in, one response out. Runs on
 /// a worker thread; must be shareable across all of them.
 pub type Handler = Arc<dyn Fn(&crate::http::Request) -> Response + Send + Sync>;
+
+/// Deadline-aware admission control knobs. The default is all-off,
+/// and all-off is byte-invisible: shed responses carry the fixed
+/// `retry_after_secs`, nothing is sojourn-shed, and no priority lane
+/// exists — exactly the pre-admission server on the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Shed a queued connection at dequeue when it already waited
+    /// longer than this (CoDel-style head drop). `None` disables
+    /// sojourn shedding.
+    pub sojourn_target: Option<Duration>,
+    /// Capacity of the separate priority lane for `/healthz`,
+    /// `/readyz`, and `/metrics`. `0` disables the lane entirely
+    /// (no peeking, no classification).
+    pub priority_depth: usize,
+    /// Derive the `Retry-After` hint on shed responses from the
+    /// observed drain rate instead of the fixed `retry_after_secs`.
+    pub adaptive_retry_after: bool,
+}
+
+impl AdmissionConfig {
+    /// Whether any admission-control feature is on. Off means the
+    /// server must be indistinguishable from the pre-admission one.
+    pub fn enabled(&self) -> bool {
+        self.sojourn_target.is_some() || self.priority_depth > 0 || self.adaptive_retry_after
+    }
+}
 
 /// Operational knobs for a [`Server`].
 #[derive(Debug, Clone)]
@@ -47,6 +85,8 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// The `Retry-After` hint (seconds) on shed responses.
     pub retry_after_secs: u32,
+    /// Deadline-aware admission control (default: all-off).
+    pub admission: AdmissionConfig,
     /// Transport fault injection (`None` = the shim is never touched).
     /// The shed path is exempt by design: its half-close + drain
     /// guarantee is what resilient clients rely on under overload.
@@ -61,10 +101,27 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             retry_after_secs: 1,
+            admission: AdmissionConfig::default(),
             chaos: None,
         }
     }
 }
+
+/// Bucket upper bounds (microseconds) of the queue-sojourn histogram,
+/// matching the telemetry crate's duration bounds so the series lines
+/// up with the phase-duration histograms on `/metrics`.
+pub const SOJOURN_BOUNDS_MICROS: [u64; 10] = [
+    100,
+    1_000,
+    5_000,
+    25_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    30_000_000,
+    120_000_000,
+];
 
 /// Live operational counters, shared between the server and the
 /// application layer (which exports them on `/metrics`).
@@ -72,27 +129,99 @@ impl Default for ServerConfig {
 pub struct ServerStats {
     /// Connections accepted (including ones later shed or failed).
     pub accepted: AtomicU64,
-    /// Connections answered `503` because the queue was full.
+    /// Connections answered `503` for any shed cause (queue full,
+    /// sojourn over target, priority lane full). Always the sum of the
+    /// three `dropped_*` counters.
     pub shed: AtomicU64,
     /// Requests that reached the handler.
     pub handled: AtomicU64,
     /// Connections dropped before a valid request arrived (parse
     /// errors, read timeouts, early closes).
     pub read_errors: AtomicU64,
-    /// Current accept-queue length.
+    /// Current accept-queue length (both lanes).
     pub queue_depth: AtomicI64,
     /// High-water mark of the accept-queue length.
     pub queue_peak: AtomicU64,
+    /// Sheds because the normal queue was at capacity.
+    pub dropped_full: AtomicU64,
+    /// Sheds at dequeue because the queue sojourn exceeded the
+    /// admission target.
+    pub dropped_sojourn: AtomicU64,
+    /// Sheds because the priority lane was at capacity.
+    pub dropped_priority: AtomicU64,
+    sojourn_cells: [AtomicU64; SOJOURN_BOUNDS_MICROS.len() + 1],
+    sojourn_sum: AtomicU64,
+    sojourn_count: AtomicU64,
+}
+
+impl ServerStats {
+    /// Records one dequeued connection's queue wait in the sojourn
+    /// histogram.
+    pub fn observe_sojourn(&self, micros: u64) {
+        let cell = SOJOURN_BOUNDS_MICROS
+            .iter()
+            .position(|&b| micros <= b)
+            .unwrap_or(SOJOURN_BOUNDS_MICROS.len());
+        self.sojourn_cells[cell].fetch_add(1, Ordering::Relaxed);
+        self.sojourn_sum.fetch_add(micros, Ordering::Relaxed);
+        self.sojourn_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the sojourn histogram: per-bucket counts (one per
+    /// bound plus the overflow cell), total sum (µs), and count.
+    pub fn sojourn_histogram(&self) -> (Vec<u64>, u64, u64) {
+        let counts = self
+            .sojourn_cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        (
+            counts,
+            self.sojourn_sum.load(Ordering::Relaxed),
+            self.sojourn_count.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One accepted connection waiting for a worker, stamped at enqueue so
+/// its queue sojourn is measurable at dequeue.
+struct QueuedConn {
+    stream: TcpStream,
+    faults: ConnFaults,
+    enqueued: Instant,
+}
+
+/// The two accept lanes. The priority lane exists only when
+/// `AdmissionConfig::priority_depth > 0`; workers always drain it
+/// first, and it is never sojourn-shed.
+#[derive(Default)]
+struct Queues {
+    normal: VecDeque<QueuedConn>,
+    priority: VecDeque<QueuedConn>,
+}
+
+impl Queues {
+    fn len(&self) -> usize {
+        self.normal.len() + self.priority.len()
+    }
+}
+
+/// Windowed drain-rate estimate feeding the adaptive `Retry-After`.
+struct DrainEstimator {
+    window_start: Instant,
+    handled_then: u64,
+    rate_per_sec: f64,
 }
 
 struct Shared {
-    queue: Mutex<VecDeque<(TcpStream, ConnFaults)>>,
+    queue: Mutex<Queues>,
     available: Condvar,
     shutdown: AtomicBool,
     stats: Arc<ServerStats>,
     config: ServerConfig,
     handler: Handler,
     wake_addr: SocketAddr,
+    drain: Mutex<DrainEstimator>,
 }
 
 fn unpoison<T>(r: Result<T, PoisonError<T>>) -> T {
@@ -131,13 +260,18 @@ impl Server {
         let wake_addr = SocketAddr::new(wake_ip, local_addr.port());
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(Queues::default()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
             stats,
             config,
             handler,
             wake_addr,
+            drain: Mutex::new(DrainEstimator {
+                window_start: Instant::now(),
+                handled_then: 0,
+                rate_per_sec: 0.0,
+            }),
         });
         let accept = {
             let shared = shared.clone();
@@ -231,7 +365,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             break; // the wake-up connection (or any racer) is dropped
         }
-        let Ok(mut stream) = stream else { continue };
+        let Ok(stream) = stream else { continue };
         shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
         // Each accepted connection draws its deterministic fault
         // assignment up front; the injected accept latency applies
@@ -248,25 +382,135 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
             }
             None => ConnFaults::NONE,
         };
-        let mut queue = unpoison(shared.queue.lock());
-        if queue.len() >= shared.config.queue_depth {
-            drop(queue);
+        // Priority classification peeks the request head *before* the
+        // queue decision, so health probes route to their own lane even
+        // while the normal queue is saturated. Off (depth 0) means no
+        // peek at all — the socket is untouched until a worker reads it.
+        let priority = shared.config.admission.priority_depth > 0 && classify_priority(&stream);
+        let conn = QueuedConn {
+            stream,
+            faults,
+            enqueued: Instant::now(),
+        };
+        let mut queues = unpoison(shared.queue.lock());
+        let lane_full = if priority {
+            queues.priority.len() >= shared.config.admission.priority_depth
+        } else {
+            queues.normal.len() >= shared.config.queue_depth
+        };
+        if lane_full {
+            drop(queues);
+            let mut stream = conn.stream;
             shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let cause = if priority {
+                &shared.stats.dropped_priority
+            } else {
+                &shared.stats.dropped_full
+            };
+            cause.fetch_add(1, Ordering::Relaxed);
             shed(&mut stream, shared);
             continue; // drop closes the connection
         }
-        queue.push_back((stream, faults));
-        let depth = queue.len() as u64;
+        if priority {
+            queues.priority.push_back(conn);
+        } else {
+            queues.normal.push_back(conn);
+        }
+        let depth = queues.len() as u64;
         shared
             .stats
             .queue_depth
             .store(depth as i64, Ordering::Relaxed);
         shared.stats.queue_peak.fetch_max(depth, Ordering::Relaxed);
-        drop(queue);
+        drop(queues);
         shared.available.notify_one();
     }
     // Let the workers drain the remaining queue and exit.
     shared.available.notify_all();
+}
+
+/// Whether the connection's request head marks it for the priority
+/// lane (`GET /healthz`, `GET /readyz`, `GET /metrics`). Peeks without
+/// consuming, bounded to ~20ms of waiting for the head to arrive;
+/// anything ambiguous, slow, or failing routes to the normal lane.
+fn classify_priority(stream: &TcpStream) -> bool {
+    const PATTERNS: [&[u8]; 3] = [b"GET /healthz", b"GET /readyz", b"GET /metrics"];
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let deadline = Instant::now() + Duration::from_millis(20);
+    let mut buf = [0u8; 12];
+    let mut priority = false;
+    loop {
+        match stream.peek(&mut buf) {
+            Ok(0) => break, // peer closed before sending a head
+            Ok(n) => {
+                let head = &buf[..n];
+                if PATTERNS.iter().any(|p| head.starts_with(p)) {
+                    priority = true;
+                    break;
+                }
+                // A short read that is still a prefix of a priority
+                // pattern is undecided; give the rest a moment to land.
+                let undecided = PATTERNS.iter().any(|p| p.starts_with(head));
+                if !undecided || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+    if stream.set_nonblocking(false).is_err() {
+        return false;
+    }
+    priority
+}
+
+/// The pure `Retry-After` policy: queue depth over drain rate, rounded
+/// up and clamped to `[1, 30]` seconds. An unknown or zero rate falls
+/// back to the configured fixed hint.
+fn retry_after_from(depth: f64, rate_per_sec: f64, fallback: u32) -> u32 {
+    if !rate_per_sec.is_finite() || rate_per_sec <= 0.0 {
+        return fallback.max(1);
+    }
+    ((depth / rate_per_sec).ceil() as u32).clamp(1, 30)
+}
+
+/// The `Retry-After` seconds for a shed response. With adaptive mode
+/// off this is exactly the configured constant (wire-identical to the
+/// pre-admission server); with it on, the drain-rate estimator is
+/// refreshed on ≥250ms windows (EWMA over the handled-counter delta)
+/// and the hint becomes "how long until the current queue drains".
+fn shed_retry_after(shared: &Shared) -> u32 {
+    if !shared.config.admission.adaptive_retry_after {
+        return shared.config.retry_after_secs;
+    }
+    let rate = {
+        let mut est = unpoison(shared.drain.lock());
+        let elapsed = est.window_start.elapsed();
+        if elapsed >= Duration::from_millis(250) {
+            let handled = shared.stats.handled.load(Ordering::Relaxed);
+            let instant_rate =
+                handled.saturating_sub(est.handled_then) as f64 / elapsed.as_secs_f64();
+            est.rate_per_sec = if est.rate_per_sec > 0.0 {
+                0.5 * est.rate_per_sec + 0.5 * instant_rate
+            } else {
+                instant_rate
+            };
+            est.window_start = Instant::now();
+            est.handled_then = handled;
+        }
+        est.rate_per_sec
+    };
+    let depth = shared.stats.queue_depth.load(Ordering::Relaxed).max(0) as f64;
+    retry_after_from(depth, rate, shared.config.retry_after_secs)
 }
 
 /// Answers `503 Retry-After` on an over-capacity connection. The
@@ -275,7 +519,7 @@ fn accept_loop(listener: TcpListener, shared: &Shared) {
 /// send RST, which can destroy the in-flight 503 on the client side.
 fn shed(stream: &mut TcpStream, shared: &Shared) {
     let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-    let _ = Response::unavailable(shared.config.retry_after_secs).write_to(stream);
+    let _ = Response::unavailable(shed_retry_after(shared)).write_to(stream);
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let mut sink = [0u8; 1024];
@@ -292,24 +536,51 @@ fn shed(stream: &mut TcpStream, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     loop {
         let conn = {
-            let mut queue = unpoison(shared.queue.lock());
+            let mut queues = unpoison(shared.queue.lock());
             loop {
-                if let Some(c) = queue.pop_front() {
+                // Priority lane first: health probes are never starved
+                // behind queued artifact renders.
+                if let Some(c) = queues
+                    .priority
+                    .pop_front()
+                    .map(|c| (c, true))
+                    .or_else(|| queues.normal.pop_front().map(|c| (c, false)))
+                {
                     shared
                         .stats
                         .queue_depth
-                        .store(queue.len() as i64, Ordering::Relaxed);
+                        .store(queues.len() as i64, Ordering::Relaxed);
                     break Some(c);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = unpoison(shared.available.wait(queue));
+                queues = unpoison(shared.available.wait(queues));
             }
         };
-        let Some((mut conn, faults)) = conn else {
+        let Some((queued, priority)) = conn else {
             return;
         };
+        let sojourn = queued.enqueued.elapsed();
+        shared
+            .stats
+            .observe_sojourn(sojourn.as_micros().min(u128::from(u64::MAX)) as u64);
+        // CoDel-style head drop: a normal-lane connection that already
+        // waited past the target is shed *now*, instead of spending a
+        // worker on an answer the client has likely given up on. The
+        // priority lane is exempt — health probes must always answer.
+        if !priority {
+            if let Some(target) = shared.config.admission.sojourn_target {
+                if sojourn > target {
+                    let mut stream = queued.stream;
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.dropped_sojourn.fetch_add(1, Ordering::Relaxed);
+                    shed(&mut stream, shared);
+                    continue;
+                }
+            }
+        }
+        let (mut conn, faults) = (queued.stream, queued.faults);
         let _ = conn.set_read_timeout(Some(shared.config.read_timeout));
         let _ = conn.set_write_timeout(Some(shared.config.write_timeout));
         if faults.read_delay_ms > 0 {
@@ -540,5 +811,145 @@ mod tests {
             assert_eq!(c.join().unwrap().status, 200, "queued conns get served");
         }
         assert_eq!(stats.handled.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn retry_after_policy_is_depth_over_rate_clamped() {
+        assert_eq!(retry_after_from(0.0, 10.0, 7), 1, "empty queue still >= 1");
+        assert_eq!(retry_after_from(25.0, 10.0, 7), 3, "ceil(25/10)");
+        assert_eq!(retry_after_from(1e6, 1.0, 7), 30, "clamped at 30");
+        assert_eq!(retry_after_from(5.0, 0.0, 7), 7, "unknown rate: fallback");
+        assert_eq!(retry_after_from(5.0, f64::NAN, 0), 1, "fallback floor is 1");
+    }
+
+    #[test]
+    fn sojourn_overage_sheds_at_dequeue_with_its_own_counter() {
+        // One slow worker + a tight sojourn target: connections that sat
+        // queued behind the first request exceed the target and must be
+        // head-dropped at dequeue, not handled late.
+        let slow: Handler = Arc::new(|_req| {
+            std::thread::sleep(Duration::from_millis(150));
+            Response::ok("slow\n")
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            admission: AdmissionConfig {
+                sojourn_target: Some(Duration::from_millis(40)),
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let (server, addr, stats) = start(config, slow);
+        let clients: Vec<_> = (0..6)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    client::get(&addr, "/slow", Some(Duration::from_secs(10))).unwrap()
+                })
+            })
+            .collect();
+        let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let oks = responses.iter().filter(|r| r.status == 200).count();
+        let sheds = responses.iter().filter(|r| r.status == 503).count();
+        assert_eq!(oks + sheds, 6, "every client gets a definitive answer");
+        let sojourn_drops = stats.dropped_sojourn.load(Ordering::Relaxed);
+        assert!(
+            sojourn_drops >= 1,
+            "queued-behind-slow connections must sojourn-shed, got {sojourn_drops}"
+        );
+        assert_eq!(
+            stats.shed.load(Ordering::Relaxed),
+            stats.dropped_full.load(Ordering::Relaxed)
+                + sojourn_drops
+                + stats.dropped_priority.load(Ordering::Relaxed),
+            "shed is always the sum of the per-cause counters"
+        );
+        let (_, _, observed) = stats.sojourn_histogram();
+        assert!(
+            observed >= oks as u64,
+            "every dequeue lands in the histogram"
+        );
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn health_probes_ride_the_priority_lane_past_a_saturated_queue() {
+        let handler: Handler = Arc::new(|req| {
+            if req.path == "/healthz" {
+                Response::ok("ok\n")
+            } else {
+                std::thread::sleep(Duration::from_millis(150));
+                Response::ok("slow\n")
+            }
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            admission: AdmissionConfig {
+                priority_depth: 4,
+                ..AdmissionConfig::default()
+            },
+            ..ServerConfig::default()
+        };
+        let (server, addr, _stats) = start(config, handler);
+        // Saturate the single worker and the normal queue with slow
+        // renders...
+        let slow_clients: Vec<_> = (0..5)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    client::get(&addr, "/render", Some(Duration::from_secs(15))).unwrap()
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        // ...then a health probe must be answered after at most one
+        // in-flight render, not after the whole queued backlog.
+        let started = Instant::now();
+        let health = client::get(&addr.to_string(), "/healthz", Some(Duration::from_secs(5)))
+            .expect("health probe answered under saturation");
+        assert_eq!(health.status, 200);
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "health probe jumped the render backlog ({:?})",
+            started.elapsed()
+        );
+        for c in slow_clients {
+            let r = c.join().unwrap();
+            assert!(r.status == 200 || r.status == 503);
+        }
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn admission_off_is_byte_identical_to_the_default_server() {
+        // S6: an explicit all-off AdmissionConfig must not change one
+        // wire byte relative to the default config — same discipline as
+        // the zero-rate chaos shim.
+        let (plain, plain_addr, _) = start(ServerConfig::default(), echo_handler());
+        let off = ServerConfig {
+            admission: AdmissionConfig {
+                sojourn_target: None,
+                priority_depth: 0,
+                adaptive_retry_after: false,
+            },
+            ..ServerConfig::default()
+        };
+        let (explicit, off_addr, _) = start(off, echo_handler());
+        for target in [
+            "/a?x=1",
+            "/healthz",
+            "/metrics",
+            "/c?longer=query&more=stuff",
+        ] {
+            assert_eq!(
+                raw_get(&plain_addr, target),
+                raw_get(&off_addr, target),
+                "{target}: admission-off must be byte-invisible"
+            );
+        }
+        plain.shutdown_and_join();
+        explicit.shutdown_and_join();
     }
 }
