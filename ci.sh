@@ -92,6 +92,47 @@ grep -q '"phase": "routes.forwarding.invalidate"' BENCH_routes.json
 grep -q '"phase": "routes.blast.alloc_per_candidate"' BENCH_routes.json
 grep -q '"phase": "routes.blast.scratch_reuse"' BENCH_routes.json
 
+echo "==> survivability smoke (topology zoo, ranking flip, byte-identity)"
+# The topology listing must enumerate the zoo (stable order, exit 0),
+# and the artifact registry must carry the surv.* family.
+./target/release/dcnr topology --list >/tmp/dcnr_topology_list.out
+grep -q '^fat-tree' /tmp/dcnr_topology_list.out
+grep -q '^dcell' /tmp/dcnr_topology_list.out
+grep -q '^surv.ranking' /tmp/dcnr_artifact_list.out
+grep -q '^surv.lifespan' /tmp/dcnr_artifact_list.out
+# An unknown topology id is a usage error (exit 2) naming the menu.
+dcnr_topo_status=0
+./target/release/dcnr survivability --topology hypercube \
+    >/dev/null 2>/tmp/dcnr_topology_err.log || dcnr_topo_status=$?
+[ "$dcnr_topo_status" -eq 2 ] || {
+    echo "expected exit 2 for an unknown topology, got $dcnr_topo_status" >&2
+    exit 1
+}
+grep -q 'valid ids' /tmp/dcnr_topology_err.log
+# Both surv artifacts render at quarter scale with the headline lines:
+# per-class zoo rankings, the dcell/fat-tree flip, and lifespan bands.
+./target/release/dcnr survivability --scale 0.25 >/tmp/dcnr_surv_smoke.out
+grep -q 'survivability ranking @30% switch loss' /tmp/dcnr_surv_smoke.out
+grep -q 'ranking flip (dcell vs fat-tree, switch loss vs server loss): true' \
+    /tmp/dcnr_surv_smoke.out
+grep -q 'lifespan band \[lo hi\]' /tmp/dcnr_surv_smoke.out
+# Sweep byte-identity on a zoo member: --jobs 1 and --jobs 2 must
+# render the same cross-seed bands.
+./target/release/dcnr sweep --scenario survivability --seeds 2 --jobs 1 \
+    --resamples 200 --scale 0.25 --topology dcell \
+    >/tmp/dcnr_surv_jobs1.out 2>/dev/null
+./target/release/dcnr sweep --scenario survivability --seeds 2 --jobs 2 \
+    --resamples 200 --scale 0.25 --topology dcell \
+    >/tmp/dcnr_surv_jobs2.out 2>/dev/null
+cmp /tmp/dcnr_surv_jobs1.out /tmp/dcnr_surv_jobs2.out
+# Record the zoo sweep + lifespan replay wall clocks at scale 1.
+# BENCH_survivability.json is committed; timings never enter artifact
+# bytes.
+./target/release/dcnr profile --scenario survivability --scale 1 \
+    --json BENCH_survivability.json >/dev/null
+grep -q '"phase": "surv.ranking.sweep"' BENCH_survivability.json
+grep -q '"phase": "surv.lifespan.replay"' BENCH_survivability.json
+
 echo "==> serve smoke (ephemeral port, loadgen, byte-identity, graceful drain)"
 # Start the report server on an ephemeral port in admin (test) mode.
 rm -f /tmp/dcnr_serve_port
@@ -131,6 +172,14 @@ grep -q '^dcnr_server_cache_hits_total' /tmp/dcnr_serve_metrics.prom
     '/artifacts/fig15?seed=11&scale=0.25&edges=40&vendors=16' \
     >/tmp/dcnr_artifact_http.out
 cmp /tmp/dcnr_artifact_cli.out /tmp/dcnr_artifact_http.out
+# A surv artifact round-trips too: --topology becomes ?topology= and
+# the HTTP bytes match the CLI render.
+./target/release/dcnr artifact surv.lifespan --seed 11 --scale 0.25 \
+    --topology dcell >/tmp/dcnr_surv_cli.out
+./target/release/dcnr -q fetch "$DCNR_ADDR" \
+    '/artifacts/surv.lifespan?seed=11&scale=0.25&topology=dcell' \
+    >/tmp/dcnr_surv_http.out
+cmp /tmp/dcnr_surv_cli.out /tmp/dcnr_surv_http.out
 # Graceful drain: /admin/shutdown must end the server with exit 0.
 ./target/release/dcnr -q fetch "$DCNR_ADDR" /admin/shutdown >/dev/null
 wait "$DCNR_SERVE_PID"

@@ -11,6 +11,7 @@ use crate::experiments::{Comparison, Experiment, ExperimentOutcome};
 use crate::report;
 use crate::routes;
 use crate::scenario::{RunContext, ScenarioKind, StudyKind};
+use crate::survivability;
 use dcnr_backbone::PaperModels;
 use dcnr_faults::{calibration, RootCause};
 use dcnr_sev::SevLevel;
@@ -30,7 +31,7 @@ pub struct Artifact {
 }
 
 /// Every artifact, in paper order (same order as [`Experiment::ALL`]).
-pub fn registry() -> &'static [Artifact; 23] {
+pub fn registry() -> &'static [Artifact; 25] {
     &REGISTRY
 }
 
@@ -52,6 +53,7 @@ pub fn base_kind(e: Experiment) -> ScenarioKind {
         StudyKind::Backbone => ScenarioKind::Backbone,
         StudyKind::Chaos => ScenarioKind::Chaos,
         StudyKind::Routes => ScenarioKind::Routes,
+        StudyKind::Survivability => ScenarioKind::Survivability,
     }
 }
 
@@ -83,7 +85,7 @@ pub fn render_block(out: &ExperimentOutcome) -> String {
     rendered
 }
 
-static REGISTRY: [Artifact; 23] = [
+static REGISTRY: [Artifact; 25] = [
     Artifact {
         id: Experiment::Table1,
         study: StudyKind::Intra,
@@ -230,6 +232,21 @@ static REGISTRY: [Artifact; 23] = [
         paper_baseline: "job slowdown stays >= 1 and the failed-job fraction grows \
                          monotonically with concurrent failures (cf. arXiv:1808.06115 §5)",
         render: routes_workload,
+    },
+    Artifact {
+        id: Experiment::SurvRanking,
+        study: StudyKind::Survivability,
+        paper_baseline: "server-centric designs out-survive switch-centric ones under \
+                         switch failures and the ranking inverts under server failures \
+                         (arXiv:1510.02735 §4)",
+        render: surv_ranking,
+    },
+    Artifact {
+        id: Experiment::SurvLifespan,
+        study: StudyKind::Survivability,
+        paper_baseline: "Monte-Carlo element lifetimes yield smoothly decaying fleet \
+                         capacity with seed-to-seed bands (arXiv:1401.7528 §III)",
+        render: surv_lifespan,
     },
 ];
 
@@ -779,6 +796,84 @@ fn routes_workload(ctx: &RunContext) -> ExperimentOutcome {
     ExperimentOutcome {
         experiment: Experiment::RoutesWorkload,
         rendered: routes::render_workload(s),
+        comparisons,
+    }
+}
+
+fn surv_ranking(ctx: &RunContext) -> ExperimentOutcome {
+    use crate::survivability::{ElementClass, FRACTIONS};
+    let s = ctx.survivability();
+    let at30 = |member: &str, class: ElementClass| {
+        s.curve(member, class)
+            .map(|c| c.at(FRACTIONS[3]))
+            .unwrap_or(0.0)
+    };
+    let comparisons = vec![
+        cmp(
+            "ranking flip (switch vs server loss)",
+            1.0,
+            if s.ranking_flip() { 1.0 } else { 0.0 },
+        ),
+        cmp(
+            "dcell pair surv @30% switch loss",
+            1.0,
+            at30("dcell", ElementClass::Switch),
+        ),
+        cmp(
+            "fat-tree pair surv @30% switch loss",
+            0.5,
+            at30("fat-tree", ElementClass::Switch),
+        ),
+        // In an ideally load-balanced Clos, capacity loss ≈ failed
+        // fraction, so 30% link loss leaves ≈ 70% capacity.
+        cmp(
+            "fat-tree capacity @30% link loss",
+            0.7,
+            s.curve("fat-tree", ElementClass::Link)
+                .and_then(|c| c.points.iter().find(|p| p.fraction == FRACTIONS[3]))
+                .map(|p| p.capacity)
+                .unwrap_or(0.0),
+        ),
+    ];
+    ExperimentOutcome {
+        experiment: Experiment::SurvRanking,
+        rendered: survivability::render_ranking(s),
+        comparisons,
+    }
+}
+
+fn surv_lifespan(ctx: &RunContext) -> ExperimentOutcome {
+    let s = ctx.survivability();
+    let grid = s.lifespan();
+    let monotone = grid
+        .windows(2)
+        .all(|w| w[1].mean_capacity <= w[0].mean_capacity + 1e-9);
+    let comparisons = vec![
+        cmp(
+            "capacity at age 0",
+            1.0,
+            grid.first().map(|g| g.mean_capacity).unwrap_or(0.0),
+        ),
+        cmp(
+            "lifespan curve monotone nonincreasing",
+            1.0,
+            if monotone { 1.0 } else { 0.0 },
+        ),
+        // Single-element exponential anchors: -ln(x) * switch MTBF.
+        cmp(
+            "time to 90% capacity (yr)",
+            -0.9f64.ln() * survivability::MTBF_SWITCH_YEARS,
+            s.age_to_capacity(0.9),
+        ),
+        cmp(
+            "time to 50% capacity (yr)",
+            -0.5f64.ln() * survivability::MTBF_SWITCH_YEARS,
+            s.age_to_capacity(0.5),
+        ),
+    ];
+    ExperimentOutcome {
+        experiment: Experiment::SurvLifespan,
+        rendered: survivability::render_lifespan(s),
         comparisons,
     }
 }

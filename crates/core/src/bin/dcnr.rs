@@ -31,9 +31,12 @@ Global flags (any command):
                       Telemetry never perturbs results: report and
                       sweep bytes are identical with or without it.
 
-Scenario flags (shared by intra/backbone/chaos/routes/sweep/profile):
+Scenario flags (shared by intra/backbone/chaos/routes/survivability/
+sweep/profile):
     --seed N          master seed; every derived stream follows it
     --scale S         intra-DC fleet scale multiplier
+    --topology NAME   zoo member for the survivability lifespan replay
+                      (see `dcnr topology --list`; default fat-tree)
     --edges E         backbone edge count
     --vendors V       backbone vendor count
     --no-automation   disable the automated-remediation hazard model
@@ -61,7 +64,20 @@ USAGE:
                    SEV mix checked against Table 3's 82/13/5, and a
                    workload-degradation curve. --scale here scales the
                    study region (racks per cluster/pod), default 1.0.
-    dcnr sweep     [--scenario intra|backbone|chaos|routes] [--seeds N]
+    dcnr survivability [scenario flags]
+                   Run the topology-zoo survivability study: pair
+                   survivability and surviving core capacity vs. failed
+                   element fraction (links, switches, servers) across
+                   every registered zoo topology, plus a seeded
+                   Monte-Carlo fleet-lifespan replay on the --topology
+                   member. Prints the surv.ranking and surv.lifespan
+                   artifacts with paper-vs-measured comparisons.
+    dcnr topology  --list
+                   List every registered zoo topology with its
+                   parameter schema and node/link counts at scale 1,
+                   in registry order.
+    dcnr sweep     [--scenario intra|backbone|chaos|routes|survivability]
+                   [--seeds N]
                    [--jobs J] [--resamples B] [--confidence C]
                    [--deadline SECS] [--retries K] [--max-failures F]
                    [--checkpoint DIR] [--resume DIR]
@@ -82,7 +98,8 @@ USAGE:
                    times the sweep at 1 and J workers, checks the
                    reports are byte-identical, and writes the wall
                    clocks to PATH.
-    dcnr profile   [--scenario intra|backbone|chaos|routes] [--json PATH]
+    dcnr profile   [--scenario intra|backbone|chaos|routes|survivability]
+                   [--json PATH]
                    [scenario flags]
                    Run one scenario with the phase timers on, print the
                    wall-clock breakdown per pipeline stage (fleet
@@ -295,6 +312,11 @@ fn main() -> ExitCode {
             Scenario::cli_default(ScenarioKind::Routes),
             ArgScanner::new(argv),
         ),
+        "survivability" => cmd_scenario(
+            Scenario::cli_default(ScenarioKind::Survivability),
+            ArgScanner::new(argv),
+        ),
+        "topology" => cmd_topology(argv),
         "sweep" => cmd_sweep(ArgScanner::new(argv), &mut replica_telemetry),
         "serve" => cmd_serve(ArgScanner::new(argv)),
         "loadgen" => cmd_loadgen(ArgScanner::new(argv)),
@@ -498,7 +520,7 @@ fn cmd_profile(
     let kind = match args.value::<String>("--scenario")? {
         Some(name) => ScenarioKind::parse(&name).ok_or_else(|| {
             DcnrError::Usage(format!(
-                "unknown scenario {name:?} (intra, backbone, chaos, or routes)"
+                "unknown scenario {name:?} (intra, backbone, chaos, routes, or survivability)"
             ))
         })?,
         None => ScenarioKind::Intra,
@@ -594,6 +616,33 @@ fn cmd_artifact(mut argv: Vec<String>) -> Result<(), DcnrError> {
     let scenario = apply_scenario_flags(&mut args, base)?;
     args.finish()?;
     print!("{}", serve::render_artifact_text(&scenario, experiment)?);
+    Ok(())
+}
+
+/// `dcnr topology --list`: enumerate the registered zoo topologies in
+/// stable registry order, with each member's parameter schema and its
+/// node/link counts when built at scale 1.
+fn cmd_topology(mut argv: Vec<String>) -> Result<(), DcnrError> {
+    if argv.first().map(String::as_str) != Some("--list") {
+        return Err(DcnrError::Usage("usage: dcnr topology --list".into()));
+    }
+    ArgScanner::new(argv.split_off(1)).finish()?;
+    for model in &dcnr_core::topology::zoo::ZOO {
+        let topo = model.build(1.0);
+        println!("{:<10} {}", model.id, model.summary);
+        println!(
+            "{:<10} at scale 1: {} nodes, {} links",
+            "",
+            topo.device_count(),
+            topo.link_count()
+        );
+        for p in model.params {
+            println!(
+                "{:<10}   {:<18} = {:<6} ({})",
+                "", p.name, p.at_scale_1, p.summary
+            );
+        }
+    }
     Ok(())
 }
 

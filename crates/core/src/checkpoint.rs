@@ -209,6 +209,8 @@ pub struct Manifest {
     pub drain: bool,
     /// Chaos fault rates, in the CLI's flag order.
     pub chaos_rates: [f64; 6],
+    /// Zoo topology id (the survivability lifespan member).
+    pub topology: String,
     /// `format!("{:?}")` of the base scenario, for exact matching.
     pub scenario_debug: String,
 }
@@ -237,6 +239,7 @@ impl Manifest {
                 s.chaos.reorder_rate,
                 s.chaos.store_fail_rate,
             ],
+            topology: s.topology.to_string(),
             scenario_debug: format!("{s:?}"),
         }
     }
@@ -265,6 +268,16 @@ impl Manifest {
         base.chaos.dup_rate = self.chaos_rates[3];
         base.chaos.reorder_rate = self.chaos_rates[4];
         base.chaos.store_fail_rate = self.chaos_rates[5];
+        base.topology = dcnr_topology::zoo::find(&self.topology)
+            .ok_or_else(|| DcnrError::Checkpoint {
+                path: "manifest.json".into(),
+                message: format!(
+                    "stored topology {:?} is not in this build's zoo (valid ids: {})",
+                    self.topology,
+                    dcnr_topology::zoo::id_list()
+                ),
+            })?
+            .id;
         let rebuilt = format!("{base:?}");
         if rebuilt != self.scenario_debug {
             return Err(DcnrError::Checkpoint {
@@ -339,6 +352,9 @@ pub fn render_manifest(m: &Manifest) -> String {
         push_f64_fields(&mut out, "  ", name, m.chaos_rates[i]);
         out.push_str(",\n");
     }
+    out.push_str("  \"topology\": ");
+    json::write_str(&mut out, &m.topology);
+    out.push_str(",\n");
     out.push_str("  \"scenario_debug\": ");
     json::write_str(&mut out, &m.scenario_debug);
     out.push('\n');
@@ -401,6 +417,13 @@ fn parse_manifest(text: &str) -> Result<Manifest, String> {
         automation: v.get("automation")?.as_bool()?,
         drain: v.get("drain")?.as_bool()?,
         chaos_rates,
+        // Manifests written before the zoo existed have no topology
+        // key; default it so they fail through `to_config`'s clearer
+        // debug-string safety net instead of a raw parse error.
+        topology: match v.get("topology") {
+            Ok(t) => t.as_str()?.to_string(),
+            Err(_) => "fat-tree".to_string(),
+        },
         scenario_debug: v.get("scenario_debug")?.as_str()?.to_string(),
     })
 }
@@ -472,6 +495,28 @@ mod tests {
         assert_eq!(rebuilt.seeds, 6);
         assert_eq!(rebuilt.jobs, 2, "jobs is caller-chosen");
         assert_eq!(format!("{:?}", rebuilt.base), format!("{base:?}"));
+    }
+
+    #[test]
+    fn manifest_preserves_the_topology_knob() {
+        let base = Scenario {
+            scale: 0.25,
+            topology: "bcube",
+            ..Scenario::survivability(7)
+        };
+        let m = Manifest::from_config(&SweepConfig::new(base, 3, 2));
+        let back = parse_manifest(&render_manifest(&m)).unwrap();
+        assert_eq!(back, m);
+        let rebuilt = back.to_config(1).unwrap();
+        assert_eq!(rebuilt.base.topology, "bcube");
+        assert_eq!(format!("{:?}", rebuilt.base), format!("{base:?}"));
+        // A manifest naming a topology this build doesn't register is a
+        // named checkpoint error, not a silent fat-tree resume.
+        let mut alien = back.clone();
+        alien.topology = "hypercube".into();
+        let err = alien.to_config(1).unwrap_err();
+        assert_eq!(err.kind(), "checkpoint");
+        assert!(err.to_string().contains("hypercube"), "{err}");
     }
 
     #[test]

@@ -92,6 +92,19 @@ pub fn apply_scenario_flags(args: &mut ArgScanner, base: Scenario) -> Result<Sce
     if let Some(scale) = args.value::<f64>("--scale")? {
         s.scale = scale;
     }
+    if let Some(topology) = args.value::<String>("--topology")? {
+        // The scenario stores a `&'static str`, so resolve through the
+        // zoo registry; an unknown id is a usage error naming the menu.
+        s.topology = dcnr_topology::zoo::find(&topology)
+            .ok_or_else(|| {
+                DcnrError::Usage(format!(
+                    "unknown topology {:?} (valid ids: {})",
+                    topology,
+                    dcnr_topology::zoo::id_list()
+                ))
+            })?
+            .id;
+    }
     if let Some(edges) = args.value::<u32>("--edges")? {
         s.backbone.edges = edges;
     }
@@ -133,7 +146,7 @@ pub fn apply_scenario_flags(args: &mut ArgScanner, base: Scenario) -> Result<Sce
 /// `--resume` can take them from the manifest instead).
 #[derive(Debug)]
 pub struct SweepArgs {
-    /// `--scenario intra|backbone|chaos`.
+    /// `--scenario intra|backbone|chaos|routes|survivability`.
     pub scenario: Option<ScenarioKind>,
     /// `--seeds N`.
     pub seeds: Option<u32>,
@@ -168,7 +181,7 @@ pub fn parse_sweep_args(args: &mut ArgScanner) -> Result<SweepArgs, DcnrError> {
     let scenario = match args.value::<String>("--scenario")? {
         Some(name) => Some(ScenarioKind::parse(&name).ok_or_else(|| {
             DcnrError::Usage(format!(
-                "unknown scenario {name:?} (intra, backbone, chaos, or routes)"
+                "unknown scenario {name:?} (intra, backbone, chaos, routes, or survivability)"
             ))
         })?),
         None => None,
@@ -644,6 +657,40 @@ mod tests {
         assert_eq!(err.kind(), "config", "validation is config, not usage");
         let mut a = scan(&["--scale", "-4"]);
         assert!(apply_scenario_flags(&mut a, Scenario::intra(1)).is_err());
+    }
+
+    #[test]
+    fn topology_flag_resolves_through_the_zoo() {
+        let mut a = scan(&["--topology", "dcell"]);
+        let s = apply_scenario_flags(&mut a, Scenario::survivability(1)).unwrap();
+        a.finish().unwrap();
+        assert_eq!(s.topology, "dcell");
+        // The default survives when the flag is absent.
+        let mut a = scan(&[]);
+        let s = apply_scenario_flags(&mut a, Scenario::survivability(1)).unwrap();
+        assert_eq!(s.topology, "fat-tree");
+    }
+
+    #[test]
+    fn topology_misuse_is_a_usage_error() {
+        // Every bad topology spelling must exit 2 and list the valid ids.
+        let cases: &[&[&str]] = &[
+            &["--topology", "hypercube"], // not in the zoo
+            &["--topology", "FatTree"],   // ids are exact, kebab-case
+            &["--topology", ""],          // empty id
+            &["--topology", "fat-tree "], // stray whitespace
+            &["--topology=dcell2"],       // close but unregistered
+        ];
+        for case in cases {
+            let mut a = scan(case);
+            let err = apply_scenario_flags(&mut a, Scenario::survivability(1)).unwrap_err();
+            assert_eq!(err.kind(), "usage", "{case:?}: {err}");
+            assert_eq!(err.exit_code(), 2, "{case:?} must exit 2");
+            assert!(
+                err.to_string().contains("dcell"),
+                "{case:?} must list ids: {err}"
+            );
+        }
     }
 
     #[test]

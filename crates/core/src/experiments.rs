@@ -59,11 +59,15 @@ pub enum Experiment {
     RoutesSeverityMix,
     /// `routes.workload` — workload degradation under k failures.
     RoutesWorkload,
+    /// `surv.ranking` — zoo survivability vs failed element fraction.
+    SurvRanking,
+    /// `surv.lifespan` — Monte-Carlo fleet lifespan curve.
+    SurvLifespan,
 }
 
 impl Experiment {
     /// All experiments in paper order.
-    pub const ALL: [Experiment; 23] = [
+    pub const ALL: [Experiment; 25] = [
         Experiment::Table1,
         Experiment::Table2,
         Experiment::Fig2,
@@ -87,6 +91,8 @@ impl Experiment {
         Experiment::RoutesCapacity,
         Experiment::RoutesSeverityMix,
         Experiment::RoutesWorkload,
+        Experiment::SurvRanking,
+        Experiment::SurvLifespan,
     ];
 
     /// Whether the experiment needs the intra-DC study (vs. backbone),
@@ -123,6 +129,8 @@ impl Experiment {
             Experiment::RoutesCapacity => "routes.capacity",
             Experiment::RoutesSeverityMix => "routes.severity_mix",
             Experiment::RoutesWorkload => "routes.workload",
+            Experiment::SurvRanking => "surv.ranking",
+            Experiment::SurvLifespan => "surv.lifespan",
         }
     }
 
@@ -155,6 +163,12 @@ impl Experiment {
             }
             Experiment::RoutesWorkload => {
                 "routes.workload: degradation under k failures (cf. arXiv:1808.06115)"
+            }
+            Experiment::SurvRanking => {
+                "surv.ranking: zoo survivability vs failed fraction (cf. arXiv:1510.02735)"
+            }
+            Experiment::SurvLifespan => {
+                "surv.lifespan: Monte-Carlo fleet lifespan (cf. arXiv:1401.7528)"
             }
         }
     }
@@ -213,7 +227,8 @@ mod tests {
         assert!(!Experiment::Fig15.is_intra());
         assert!(!Experiment::Table4.is_intra());
         assert!(!Experiment::RoutesCapacity.is_intra());
-        assert_eq!(Experiment::ALL.len(), 23);
+        assert!(!Experiment::SurvRanking.is_intra());
+        assert_eq!(Experiment::ALL.len(), 25);
         assert!(Experiment::Fig12.title().contains("time between incidents"));
     }
 

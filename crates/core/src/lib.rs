@@ -29,6 +29,10 @@
 //!   invalidation, capacity loss derived from surviving path fractions,
 //!   the emergent severity mix checked against Table 3's 82/13/5, and
 //!   a workload-degradation curve (cf. arXiv:1808.06115).
+//! * [`survivability`] — the topology-zoo study behind the `surv.*`
+//!   artifacts: element-class survivability curves across every
+//!   [`dcnr_topology::zoo`] member (cf. arXiv:1510.02735) and seeded
+//!   Monte-Carlo fleet-lifespan replays (cf. arXiv:1401.7528).
 //! * [`sweep`] — the multi-seed sweep runner: N derived-seed replicas
 //!   on a supervised worker pool, folded into cross-seed confidence
 //!   bands ([`dcnr_stats::aggregate`]); byte-identical output for any
@@ -105,6 +109,7 @@ pub mod routes;
 pub mod scenario;
 pub mod serve;
 pub mod supervisor;
+pub mod survivability;
 pub mod sweep;
 pub mod telemetry_io;
 pub mod traffic;
@@ -125,6 +130,7 @@ pub use serve::{RunningServer, ServeOptions};
 pub use supervisor::{
     FaultMode, FaultPlan, FaultSpec, ReplicaOutcome, ReplicaStatus, SupervisorConfig, FAULT_ENV,
 };
+pub use survivability::{SurvivabilityConfig, SurvivabilityStudy};
 pub use sweep::{run_supervised, run_sweep, SweepConfig, SweepOutcome, SweepRow};
 pub use traffic::{Arrival, BurstProfile, DiurnalProfile, TrafficConfig};
 

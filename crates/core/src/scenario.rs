@@ -18,6 +18,7 @@ use crate::experiments::{Comparison, Experiment, ExperimentOutcome};
 use crate::inter::InterDcStudy;
 use crate::intra::{IntraDcStudy, StudyConfig};
 use crate::routes::{RoutesConfig, RoutesStudy};
+use crate::survivability::{SurvivabilityConfig, SurvivabilityStudy};
 use dcnr_chaos::{run_study, ChaosConfig, ChaosStudyOutput, Tolerance};
 use dcnr_faults::hazard::HazardConfig;
 use dcnr_sim::derive_seed;
@@ -36,6 +37,8 @@ pub enum StudyKind {
     Chaos,
     /// The forwarding-state routes study (`routes.*` artifacts).
     Routes,
+    /// The topology-zoo survivability study (`surv.*` artifacts).
+    Survivability,
 }
 
 /// Which workload a scenario runs — the former three drivers.
@@ -50,6 +53,9 @@ pub enum ScenarioKind {
     /// The forwarding-state study: ECMP capacity loss, emergent
     /// severity mix, and the workload-degradation curve.
     Routes,
+    /// The topology-zoo survivability study: element-class
+    /// survivability curves and Monte-Carlo lifespan sweeps.
+    Survivability,
 }
 
 impl ScenarioKind {
@@ -60,6 +66,7 @@ impl ScenarioKind {
             "backbone" => Some(Self::Backbone),
             "chaos" => Some(Self::Chaos),
             "routes" => Some(Self::Routes),
+            "survivability" => Some(Self::Survivability),
             _ => None,
         }
     }
@@ -71,6 +78,7 @@ impl ScenarioKind {
             Self::Backbone => "backbone",
             Self::Chaos => "chaos",
             Self::Routes => "routes",
+            Self::Survivability => "survivability",
         }
     }
 }
@@ -102,6 +110,10 @@ pub struct Scenario {
     pub chaos: ChaosConfig,
     /// Tolerances the chaos deviations are held to.
     pub tolerance: Tolerance,
+    /// Zoo member id the survivability lifespan replay runs on. Always
+    /// one of [`dcnr_topology::zoo::ZOO`]'s ids (validation rejects
+    /// anything else), so the `&'static str` keeps `Scenario: Copy`.
+    pub topology: &'static str,
 }
 
 impl Scenario {
@@ -115,6 +127,7 @@ impl Scenario {
             backbone: dcnr_backbone::topo::BackboneParams::default(),
             chaos: ChaosConfig::drill(derive_seed(seed, "scenario.chaos")),
             tolerance: Tolerance::default(),
+            topology: "fat-tree",
         }
         .with_seed(seed)
     }
@@ -146,6 +159,16 @@ impl Scenario {
         }
     }
 
+    /// The survivability scenario: the zoo sweep at scale 1.0 with the
+    /// lifespan replay on the default fat-tree member.
+    pub fn survivability(seed: u64) -> Self {
+        Self {
+            kind: ScenarioKind::Survivability,
+            scale: 1.0,
+            ..Self::intra(seed)
+        }
+    }
+
     /// The default scenario the CLI (and the report server) uses for
     /// `kind` when no `--seed` is given. One definition, so
     /// `dcnr artifact fig15` and `GET /artifacts/fig15` agree byte for
@@ -156,6 +179,7 @@ impl Scenario {
             ScenarioKind::Backbone => Self::backbone(0xB0_E5),
             ScenarioKind::Chaos => Self::chaos(0xC4_05),
             ScenarioKind::Routes => Self::routes(0x70_07E5),
+            ScenarioKind::Survivability => Self::survivability(0x5012_0735),
         }
     }
 
@@ -172,6 +196,19 @@ impl Scenario {
     pub fn validate(&self) -> Result<(), DcnrError> {
         if !self.scale.is_finite() || self.scale <= 0.0 {
             return Err(DcnrError::Config("scale must be positive".into()));
+        }
+        if dcnr_topology::zoo::find(self.topology).is_none() {
+            return Err(DcnrError::Usage(format!(
+                "unknown topology {:?} (valid ids: {})",
+                self.topology,
+                dcnr_topology::zoo::id_list()
+            )));
+        }
+        if self.kind == ScenarioKind::Survivability && self.scale > 100.0 {
+            return Err(DcnrError::Usage(format!(
+                "survivability scale {} is out of range (zoo builders accept 0 < scale <= 100)",
+                self.scale
+            )));
         }
         if self.backbone.edges < 2 || self.backbone.vendors < 1 {
             return Err(DcnrError::Config(
@@ -199,6 +236,11 @@ impl Scenario {
             ScenarioKind::Routes => artifacts::registry()
                 .iter()
                 .filter(|a| a.study == StudyKind::Routes)
+                .map(|a| a.id)
+                .collect(),
+            ScenarioKind::Survivability => artifacts::registry()
+                .iter()
+                .filter(|a| a.study == StudyKind::Survivability)
                 .map(|a| a.id)
                 .collect(),
             ScenarioKind::Chaos => Vec::new(),
@@ -247,6 +289,15 @@ impl Scenario {
             backbone: self.backbone,
         }
     }
+
+    /// The survivability study configuration this scenario implies.
+    pub fn survivability_config(&self) -> SurvivabilityConfig {
+        SurvivabilityConfig {
+            scale: self.scale,
+            seed: self.seed,
+            topology: self.topology,
+        }
+    }
 }
 
 /// What a scenario resolves to before anything runs: the studies it
@@ -273,6 +324,7 @@ pub struct RunContext {
     inter: OnceLock<InterDcStudy>,
     chaos: OnceLock<ChaosStudyOutput>,
     routes: OnceLock<RoutesStudy>,
+    survivability: OnceLock<SurvivabilityStudy>,
 }
 
 impl RunContext {
@@ -284,6 +336,7 @@ impl RunContext {
             inter: OnceLock::new(),
             chaos: OnceLock::new(),
             routes: OnceLock::new(),
+            survivability: OnceLock::new(),
         }
     }
 
@@ -337,6 +390,12 @@ impl RunContext {
             .get_or_init(|| RoutesStudy::run(self.scenario.routes_config()))
     }
 
+    /// The survivability study (run on first use, then cached).
+    pub fn survivability(&self) -> &SurvivabilityStudy {
+        self.survivability
+            .get_or_init(|| SurvivabilityStudy::run(self.scenario.survivability_config()))
+    }
+
     /// Ensures `kind` has executed (idempotent).
     pub fn ensure(&self, kind: StudyKind) {
         match kind {
@@ -351,6 +410,9 @@ impl RunContext {
             }
             StudyKind::Routes => {
                 self.routes();
+            }
+            StudyKind::Survivability => {
+                self.survivability();
             }
         }
     }
@@ -386,9 +448,10 @@ impl RunContext {
             self.ensure(*kind);
         }
         match self.scenario.kind {
-            ScenarioKind::Intra | ScenarioKind::Backbone | ScenarioKind::Routes => {
-                self.execute_artifacts(&plan)
-            }
+            ScenarioKind::Intra
+            | ScenarioKind::Backbone
+            | ScenarioKind::Routes
+            | ScenarioKind::Survivability => self.execute_artifacts(&plan),
             ScenarioKind::Chaos => self.execute_chaos(),
         }
     }
@@ -517,6 +580,19 @@ impl RunContext {
                     stats.devices_recomputed
                 )
             }
+            ScenarioKind::Survivability => {
+                let s = self.survivability();
+                format!(
+                    "dataset: {} zoo members x {} element classes, {} samples; \
+                     lifespan on `{}` ({} devices, {} links)",
+                    dcnr_topology::zoo::ZOO.len(),
+                    3,
+                    s.samples(),
+                    s.config().topology,
+                    s.lifespan_devices(),
+                    s.lifespan_links()
+                )
+            }
             ScenarioKind::Chaos => String::new(),
         }
     }
@@ -571,6 +647,9 @@ mod tests {
             3,
             "routes.{{capacity,severity_mix,workload}}"
         );
+        let p = small(ScenarioKind::Survivability).plan();
+        assert_eq!(p.studies, vec![StudyKind::Survivability]);
+        assert_eq!(p.artifacts.len(), 2, "surv.{{ranking,lifespan}}");
         let p = small(ScenarioKind::Chaos).plan();
         assert_eq!(p.studies, vec![StudyKind::Chaos]);
         assert!(p.artifacts.is_empty());
@@ -660,6 +739,26 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_unknown_topologies_as_usage_errors() {
+        let mut s = small(ScenarioKind::Survivability);
+        s.topology = "hypercube";
+        let err = s.validate().unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.to_string().contains("dcell"), "lists valid ids: {err}");
+        // Out-of-range zoo scale is also a usage error for survivability.
+        let mut s = small(ScenarioKind::Survivability);
+        s.scale = 101.0;
+        let err = s.validate().unwrap_err();
+        assert_eq!(err.kind(), "usage");
+        // ...but other scenario kinds accept large scales unchanged.
+        let mut s = small(ScenarioKind::Intra);
+        s.scale = 101.0;
+        assert!(s.validate().is_ok());
+        assert!(small(ScenarioKind::Survivability).validate().is_ok());
+    }
+
+    #[test]
     fn try_execute_rejects_invalid_scenarios_without_running() {
         let mut s = small(ScenarioKind::Intra);
         s.scale = f64::NAN;
@@ -683,6 +782,7 @@ mod tests {
             ScenarioKind::Backbone,
             ScenarioKind::Chaos,
             ScenarioKind::Routes,
+            ScenarioKind::Survivability,
         ] {
             assert_eq!(ScenarioKind::parse(k.name()), Some(k));
         }

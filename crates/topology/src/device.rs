@@ -37,6 +37,11 @@ pub enum DeviceType {
     Rsw,
     /// Backbone router located in an edge PoP (Fig. 1 ➄).
     Bbr,
+    /// End host. Not a device class the paper studies (its unit of
+    /// analysis stops at the rack switch), but server-centric zoo
+    /// topologies (BCube, DCell) wire servers as first-class forwarding
+    /// nodes, and the survivability study needs them addressable.
+    Server,
 }
 
 impl DeviceType {
@@ -64,6 +69,7 @@ impl DeviceType {
             DeviceType::Fsw => "fsw",
             DeviceType::Rsw => "rsw",
             DeviceType::Bbr => "bbr",
+            DeviceType::Server => "srv",
         }
     }
 
@@ -74,7 +80,9 @@ impl DeviceType {
         match self {
             DeviceType::Csa | DeviceType::Csw => NetworkDesign::Cluster,
             DeviceType::Esw | DeviceType::Ssw | DeviceType::Fsw => NetworkDesign::Fabric,
-            DeviceType::Core | DeviceType::Rsw | DeviceType::Bbr => NetworkDesign::Shared,
+            DeviceType::Core | DeviceType::Rsw | DeviceType::Bbr | DeviceType::Server => {
+                NetworkDesign::Shared
+            }
         }
     }
 
@@ -86,9 +94,11 @@ impl DeviceType {
             DeviceType::Core | DeviceType::Csa | DeviceType::Csw | DeviceType::Bbr => {
                 HardwareSource::ThirdPartyVendor
             }
-            DeviceType::Esw | DeviceType::Ssw | DeviceType::Fsw | DeviceType::Rsw => {
-                HardwareSource::Commodity
-            }
+            DeviceType::Esw
+            | DeviceType::Ssw
+            | DeviceType::Fsw
+            | DeviceType::Rsw
+            | DeviceType::Server => HardwareSource::Commodity,
         }
     }
 
@@ -99,19 +109,21 @@ impl DeviceType {
         matches!(self, DeviceType::Rsw | DeviceType::Fsw | DeviceType::Core)
     }
 
-    /// Topological tier rank within a data center, from rack (0) up to
-    /// Core (4) and backbone (5). Valid Clos forwarding is *up-down*:
-    /// a packet climbs tiers then descends; it never descends and climbs
-    /// again ("valley routing"). The routing queries use this rank to
-    /// enforce that discipline.
+    /// Topological tier rank within a data center, from server (0)
+    /// through rack (1) up to Core (5) and backbone (6). Valid Clos
+    /// forwarding is *up-down*: a packet climbs tiers then descends; it
+    /// never descends and climbs again ("valley routing"). The routing
+    /// queries use this rank only *relatively* (strict comparisons), so
+    /// the absolute numbers are free to shift when new tiers appear.
     pub fn tier_rank(self) -> u8 {
         match self {
-            DeviceType::Rsw => 0,
-            DeviceType::Csw | DeviceType::Fsw => 1,
-            DeviceType::Csa | DeviceType::Ssw => 2,
-            DeviceType::Esw => 3,
-            DeviceType::Core => 4,
-            DeviceType::Bbr => 5,
+            DeviceType::Server => 0,
+            DeviceType::Rsw => 1,
+            DeviceType::Csw | DeviceType::Fsw => 2,
+            DeviceType::Csa | DeviceType::Ssw => 3,
+            DeviceType::Esw => 4,
+            DeviceType::Core => 5,
+            DeviceType::Bbr => 6,
         }
     }
 
@@ -122,7 +134,7 @@ impl DeviceType {
             DeviceType::Core | DeviceType::Bbr => 4,
             DeviceType::Csa | DeviceType::Esw => 3,
             DeviceType::Csw | DeviceType::Ssw | DeviceType::Fsw => 2,
-            DeviceType::Rsw => 1,
+            DeviceType::Rsw | DeviceType::Server => 1,
         }
     }
 }
@@ -138,6 +150,7 @@ impl fmt::Display for DeviceType {
             DeviceType::Fsw => "FSW",
             DeviceType::Rsw => "RSW",
             DeviceType::Bbr => "BBR",
+            DeviceType::Server => "SRV",
         };
         f.write_str(s)
     }
@@ -245,7 +258,10 @@ mod tests {
     #[test]
     fn prefixes_are_unique_and_lowercase() {
         let mut seen = std::collections::HashSet::new();
-        for t in DeviceType::INTRA_DC.iter().chain([DeviceType::Bbr].iter()) {
+        for t in DeviceType::INTRA_DC
+            .iter()
+            .chain([DeviceType::Bbr, DeviceType::Server].iter())
+        {
             let p = t.name_prefix();
             assert!(p.chars().all(|c| c.is_ascii_lowercase()));
             assert!(seen.insert(p), "duplicate prefix {p}");

@@ -56,6 +56,8 @@ pub struct ForwardingStats {
 pub struct ForwardingState {
     /// The failure bitmap the tables currently reflect.
     failed: Vec<bool>,
+    /// The link-failure bitmap the tables currently reflect.
+    link_failed: Vec<bool>,
     /// Connected-component label per device ([`NO_COMPONENT`] = failed).
     component: Vec<u32>,
     /// Strictly-upward path counts to the Core tier with nothing failed.
@@ -84,6 +86,7 @@ impl ForwardingState {
         });
         let mut state = Self {
             failed: vec![false; n],
+            link_failed: vec![false; topo.link_count()],
             component: vec![NO_COMPONENT; n],
             healthy_paths: vec![0; n],
             live_paths: vec![0; n],
@@ -122,6 +125,22 @@ impl ForwardingState {
                     let ndc = topo.device(nbr).datacenter;
                     if !dirty_dcs.contains(&ndc) {
                         dirty_dcs.push(ndc);
+                    }
+                }
+            }
+        }
+        for i in 0..self.link_failed.len() {
+            let link = topo.link(crate::graph::LinkId(i as u32));
+            let now = failed.is_link_failed(link.id);
+            if now != self.link_failed[i] {
+                changed = true;
+                self.link_failed[i] = now;
+                // A link change can only affect path counts through its
+                // two endpoints, so their DCs bound the recompute scope.
+                for end in [link.a, link.b] {
+                    let dc = topo.device(end).datacenter;
+                    if !dirty_dcs.contains(&dc) {
+                        dirty_dcs.push(dc);
                     }
                 }
             }
@@ -229,9 +248,12 @@ impl ForwardingState {
             self.component[start] = label;
             self.queue.push_back(start as u32);
             while let Some(u) = self.queue.pop_front() {
-                for &(nbr, _) in topo.neighbors(DeviceId(u)) {
+                for &(nbr, l) in topo.neighbors(DeviceId(u)) {
                     let v = nbr.index();
-                    if !self.failed[v] && self.component[v] == NO_COMPONENT {
+                    if !self.failed[v]
+                        && !self.link_failed[l.index()]
+                        && self.component[v] == NO_COMPONENT
+                    {
                         self.component[v] = label;
                         self.queue.push_back(v as u32);
                     }
@@ -266,9 +288,12 @@ impl ForwardingState {
             }
             let rank = device.device_type.tier_rank();
             let mut total: u64 = 0;
-            for &(nbr, _) in topo.neighbors(id) {
+            for &(nbr, l) in topo.neighbors(id) {
                 let j = nbr.index();
-                if self.failed[j] || topo.device(nbr).device_type.tier_rank() <= rank {
+                if self.failed[j]
+                    || self.link_failed[l.index()]
+                    || topo.device(nbr).device_type.tier_rank() <= rank
+                {
                     continue;
                 }
                 let up = self.live_paths[j];
@@ -430,6 +455,43 @@ mod tests {
         assert_eq!(stats.builds, 1);
         assert_eq!(stats.invalidations, 1);
         assert!(stats.devices_recomputed > 0);
+    }
+
+    #[test]
+    fn link_failures_invalidate_like_device_failures() {
+        let (t, dc) = cluster_topo();
+        let mut fs = ForwardingState::new(&t);
+        let mut failed = FailureSet::new(&t);
+        // Cut one RSW-CSW uplink: the rack keeps 3 of its 16 paths' worth
+        // through the other CSWs (12/16), and the oracle agrees.
+        let rsw = dc.rsws[0][0];
+        let (_, uplink) = t.neighbors(rsw)[0];
+        failed.fail_link(uplink);
+        assert!(fs.apply(&t, &failed));
+        assert!((fs.core_path_fraction(rsw) - 0.75).abs() < 1e-12);
+        assert_eq!(fs.next_hops(rsw).len(), 3);
+        let mut fresh = ForwardingState::new(&t);
+        fresh.apply(&t, &failed);
+        for d in t.devices() {
+            assert_eq!(fs.core_paths(d.id), fresh.core_paths(d.id));
+            assert_eq!(fs.next_hops(d.id), fresh.next_hops(d.id));
+            let seen = routing::reachable_from(&t, d.id, &failed);
+            for b in t.devices() {
+                assert_eq!(fs.reachable(d.id, b.id), seen[b.id.index()]);
+            }
+        }
+        // Cutting every uplink isolates the rack without failing it.
+        for &(_, l) in t.neighbors(rsw) {
+            failed.fail_link(l);
+        }
+        assert!(fs.apply(&t, &failed));
+        assert!(!fs.has_core_route(rsw));
+        assert!(fs.is_live(rsw), "the device itself is healthy");
+        assert!(!fs.reachable(rsw, dc.cores[0]));
+        // Restores invalidate too.
+        failed.restore_link(uplink);
+        assert!(fs.apply(&t, &failed));
+        assert!(fs.has_core_route(rsw));
     }
 
     #[test]

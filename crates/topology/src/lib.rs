@@ -35,6 +35,11 @@
 //!   with edges (BBR sites), mirroring Fig. 1's two-region layout.
 //! * [`fleet`] — year-parameterized representative deployments whose
 //!   cluster/fabric mix follows the paper's 2011–2017 timeline.
+//! * [`zoo`] — the topology zoo: a static registry of named,
+//!   parameterized generators (cluster, fabric, k-ary fat-tree,
+//!   F16-style multi-plane, BCube, DCell) behind one
+//!   [`zoo::TopologyModel`] abstraction, powering the survivability
+//!   scenario family and `dcnr topology --list`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +53,7 @@ pub mod forwarding;
 pub mod graph;
 pub mod naming;
 pub mod routing;
+pub mod zoo;
 
 #[cfg(test)]
 mod proptests;
@@ -61,3 +67,4 @@ pub use forwarding::{ForwardingState, ForwardingStats};
 pub use graph::{LinkId, Topology};
 pub use naming::{format_device_name, parse_device_type, NameError};
 pub use routing::{BlastRadius, BlastScratch, FailureSet};
+pub use zoo::{ParamSpec, TopologyModel, ZOO};

@@ -60,7 +60,10 @@ pub fn parse_device_type(name: &str) -> Result<DeviceType, NameError> {
         return Err(NameError::Malformed);
     }
     let lower = prefix.to_ascii_lowercase();
-    for t in DeviceType::INTRA_DC.iter().chain([DeviceType::Bbr].iter()) {
+    for t in DeviceType::INTRA_DC
+        .iter()
+        .chain([DeviceType::Bbr, DeviceType::Server].iter())
+    {
         if lower == t.name_prefix() {
             return Ok(*t);
         }

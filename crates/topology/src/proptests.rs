@@ -19,6 +19,14 @@ fn failure_set_from(topo: &Topology, picks: &[u16]) -> FailureSet {
     failed
 }
 
+/// Adds arbitrary link failures (indices mod link count) to `failed`.
+fn fail_links_from(topo: &Topology, failed: &mut FailureSet, picks: &[u16]) {
+    let n = topo.link_count();
+    for &p in picks {
+        failed.fail_link(topo.links()[p as usize % n].id);
+    }
+}
+
 /// The tentpole equivalence gate: forwarding-state reachability must be
 /// *exactly* the BFS oracle's answer for every ordered device pair.
 fn check_forwarding_matches_bfs(topo: &Topology, failed: &FailureSet) {
@@ -222,6 +230,49 @@ proptest! {
             prop_assert_eq!(incremental.core_paths(d.id), fresh.core_paths(d.id));
             prop_assert_eq!(incremental.next_hops(d.id), fresh.next_hops(d.id));
             prop_assert_eq!(incremental.reachable(d.id, d.id), fresh.reachable(d.id, d.id));
+        }
+    }
+
+    #[test]
+    fn forwarding_matches_bfs_on_every_zoo_member(
+        member_idx in 0usize..crate::zoo::ZOO.len(),
+        scale in 0.2f64..1.5,
+        device_picks in proptest::collection::vec(any::<u16>(), 0..10),
+        link_picks in proptest::collection::vec(any::<u16>(), 0..10),
+    ) {
+        // The equivalence gate across the whole zoo — fat-tree, F16,
+        // BCube, DCell included — under arbitrary mixed device *and*
+        // link failure sets, not just the Facebook-shaped fleet.
+        let topo = crate::zoo::ZOO[member_idx].build(scale);
+        check_graph_consistency(&topo);
+        let mut failed = failure_set_from(&topo, &device_picks);
+        fail_links_from(&topo, &mut failed, &link_picks);
+        check_forwarding_matches_bfs(&topo, &failed);
+    }
+
+    #[test]
+    fn zoo_incremental_invalidation_matches_rebuild(
+        member_idx in 0usize..crate::zoo::ZOO.len(),
+        steps in proptest::collection::vec((any::<u16>(), any::<bool>()), 1..12),
+    ) {
+        // Interleaved device and link failures applied one at a time
+        // (the incremental path) against a from-scratch build.
+        let topo = crate::zoo::ZOO[member_idx].build(0.5);
+        let mut incremental = ForwardingState::new(&topo);
+        let mut failed = FailureSet::new(&topo);
+        for &(p, is_link) in &steps {
+            if is_link {
+                failed.fail_link(topo.links()[p as usize % topo.link_count()].id);
+            } else {
+                failed.fail(topo.devices()[p as usize % topo.device_count()].id);
+            }
+            incremental.apply(&topo, &failed);
+        }
+        let mut fresh = ForwardingState::new(&topo);
+        fresh.apply(&topo, &failed);
+        for d in topo.devices() {
+            prop_assert_eq!(incremental.core_paths(d.id), fresh.core_paths(d.id));
+            prop_assert_eq!(incremental.next_hops(d.id), fresh.next_hops(d.id));
         }
     }
 

@@ -15,14 +15,21 @@
 //!   total-loss case; fabric pods degrade gracefully.
 
 use crate::device::{DeviceId, DeviceType};
-use crate::graph::Topology;
+use crate::graph::{LinkId, Topology};
 use std::collections::VecDeque;
 
-/// A set of failed devices, indexed by device id.
+/// A set of failed devices and links, indexed by id.
+///
+/// Device failures remove the node and every incident link; link
+/// failures remove just the one edge (the survivability study's "link"
+/// element class, cf. arXiv:1510.02735). Every reachability query in
+/// this module and in [`crate::forwarding`] honors both.
 #[derive(Debug, Clone)]
 pub struct FailureSet {
     failed: Vec<bool>,
+    failed_links: Vec<bool>,
     count: usize,
+    link_count: usize,
 }
 
 impl FailureSet {
@@ -30,7 +37,9 @@ impl FailureSet {
     pub fn new(topo: &Topology) -> Self {
         Self {
             failed: vec![false; topo.device_count()],
+            failed_links: vec![false; topo.link_count()],
             count: 0,
+            link_count: 0,
         }
     }
 
@@ -50,10 +59,28 @@ impl FailureSet {
         }
     }
 
-    /// Restores every device, keeping the allocation for reuse.
+    /// Marks the link `id` failed. Idempotent.
+    pub fn fail_link(&mut self, id: LinkId) {
+        if !self.failed_links[id.index()] {
+            self.failed_links[id.index()] = true;
+            self.link_count += 1;
+        }
+    }
+
+    /// Restores the link `id`. Idempotent.
+    pub fn restore_link(&mut self, id: LinkId) {
+        if self.failed_links[id.index()] {
+            self.failed_links[id.index()] = false;
+            self.link_count -= 1;
+        }
+    }
+
+    /// Restores every device and link, keeping the allocations for reuse.
     pub fn clear(&mut self) {
         self.failed.fill(false);
+        self.failed_links.fill(false);
         self.count = 0;
+        self.link_count = 0;
     }
 
     /// Whether `id` is failed.
@@ -61,14 +88,24 @@ impl FailureSet {
         self.failed[id.index()]
     }
 
-    /// Number of failed devices.
+    /// Whether the link `id` is failed.
+    pub fn is_link_failed(&self, id: LinkId) -> bool {
+        self.failed_links[id.index()]
+    }
+
+    /// Number of failed devices (links not included).
     pub fn len(&self) -> usize {
         self.count
     }
 
-    /// Whether no device is failed.
+    /// Number of failed links.
+    pub fn failed_link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// Whether no device and no link is failed.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.count == 0 && self.link_count == 0
     }
 }
 
@@ -85,8 +122,8 @@ pub fn reachable_from(topo: &Topology, src: DeviceId, failed: &FailureSet) -> Ve
     seen[src.index()] = true;
     queue.push_back(src);
     while let Some(d) = queue.pop_front() {
-        for &(n, _) in topo.neighbors(d) {
-            if !seen[n.index()] && !failed.is_failed(n) {
+        for &(n, l) in topo.neighbors(d) {
+            if !seen[n.index()] && !failed.is_failed(n) && !failed.is_link_failed(l) {
                 seen[n.index()] = true;
                 queue.push_back(n);
             }
@@ -125,9 +162,10 @@ pub fn upward_reach(topo: &Topology, src: DeviceId, failed: &FailureSet) -> Vec<
     queue.push_back(src);
     while let Some(d) = queue.pop_front() {
         let rank = topo.device(d).device_type.tier_rank();
-        for &(n, _) in topo.neighbors(d) {
+        for &(n, l) in topo.neighbors(d) {
             if !seen[n.index()]
                 && !failed.is_failed(n)
+                && !failed.is_link_failed(l)
                 && topo.device(n).device_type.tier_rank() > rank
             {
                 seen[n.index()] = true;
@@ -156,7 +194,9 @@ pub fn live_uplinks(topo: &Topology, rsw: DeviceId, failed: &FailureSet) -> usiz
     }
     topo.neighbors(rsw)
         .iter()
-        .filter(|&&(n, _)| !failed.is_failed(n) && has_core_uplink(topo, n, failed))
+        .filter(|&&(n, l)| {
+            !failed.is_failed(n) && !failed.is_link_failed(l) && has_core_uplink(topo, n, failed)
+        })
         .count()
 }
 
@@ -346,8 +386,11 @@ impl BlastScratch {
             return 0;
         }
         let mut live = 0;
-        for &(n, _) in topo.neighbors(rsw) {
-            if !self.failed.is_failed(n) && self.has_core_uplink_with(topo, n) {
+        for &(n, l) in topo.neighbors(rsw) {
+            if !self.failed.is_failed(n)
+                && !self.failed.is_link_failed(l)
+                && self.has_core_uplink_with(topo, n)
+            {
                 live += 1;
             }
         }
@@ -371,9 +414,10 @@ impl BlastScratch {
                 return true;
             }
             let rank = topo.device(d).device_type.tier_rank();
-            for &(n, _) in topo.neighbors(d) {
+            for &(n, l) in topo.neighbors(d) {
                 if self.seen[n.index()] != stamp
                     && !self.failed.is_failed(n)
+                    && !self.failed.is_link_failed(l)
                     && topo.device(n).device_type.tier_rank() > rank
                 {
                     self.seen[n.index()] = stamp;
@@ -566,6 +610,30 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn link_failures_cut_single_edges() {
+        let (t, dc) = cluster_topo();
+        let mut f = FailureSet::new(&t);
+        let rsw = dc.rsws[0][0];
+        let links: Vec<_> = t.neighbors(rsw).iter().map(|&(_, l)| l).collect();
+        for &l in &links {
+            f.fail_link(l);
+            f.fail_link(l); // idempotent
+        }
+        assert_eq!(f.failed_link_count(), links.len());
+        assert_eq!(f.len(), 0, "no device failed");
+        assert!(!f.is_empty(), "failed links count toward emptiness");
+        assert!(!can_reach_type(&t, rsw, DeviceType::Core, &f));
+        assert_eq!(live_uplinks(&t, rsw, &f), 0);
+        // Restoring one uplink restores connectivity.
+        f.restore_link(links[0]);
+        assert!(can_reach_type(&t, rsw, DeviceType::Core, &f));
+        assert_eq!(live_uplinks(&t, rsw, &f), 1);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(live_uplinks(&t, rsw, &f), 4);
     }
 
     #[test]

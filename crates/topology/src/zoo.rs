@@ -1,0 +1,504 @@
+//! The topology zoo: a static registry of named, parameterized
+//! topology generators.
+//!
+//! The paper's studies run on one Facebook-shaped fleet (classic
+//! cluster + fabric, [`crate::datacenter::RegionBuilder`]). The zoo
+//! generalizes that into a library the way bgpsim ships `topology_zoo`:
+//! every member is a [`TopologyModel`] — an id, a parameter schema, and
+//! a build function from a scale multiplier to a [`Topology`] — and the
+//! registry order is stable, so listings and artifact bytes never
+//! depend on iteration order.
+//!
+//! Members:
+//!
+//! * `cluster` / `fabric` — the paper's two designs, wrapped from the
+//!   existing builders with servers attached under each rack switch;
+//! * `fat-tree` — the k-ary fat-tree of Al-Fares et al. (edge and
+//!   aggregation switches per pod, (k/2)² cores, k/2 servers per edge);
+//! * `f16` — an F16-style multi-plane fabric: sixteen independent
+//!   planes, one spine and one edge switch each, modeled on the same
+//!   plane wiring as `fabric`;
+//! * `bcube` — BCube(n, 1): n² servers with two switch uplinks each
+//!   (one per level), a server-centric design where servers relay;
+//! * `dcell` — DCell(n, 1): n+1 cells of n servers and one mini-switch,
+//!   fully connected cell-to-cell by direct *server-to-server* links.
+//!
+//! Every member produces a topology the `graph`/`routing`/`forwarding`
+//! layers accept unchanged. Servers are [`DeviceType::Server`]
+//! (tier rank 0); the server-centric members type their switches as
+//! [`DeviceType::Core`] so they are valley-free route roots, which
+//! gives BCube servers n-way ECMP while DCell's server-to-server links
+//! — equal-rank, so unusable as up-segments — still count for
+//! connectivity. That asymmetry is exactly the survivability ranking
+//! flip of Couto et al. (arXiv:1510.02735).
+
+use crate::cluster::{ClusterNetworkBuilder, ClusterParams};
+use crate::device::{DeviceId, DeviceType};
+use crate::fabric::{FabricNetworkBuilder, FabricParams};
+use crate::graph::Topology;
+
+/// One parameter of a zoo member, for `dcnr topology --list`: the
+/// schema is descriptive (how the knob responds to `--scale`), not a
+/// per-parameter override surface.
+#[derive(Debug, Clone, Copy)]
+pub struct ParamSpec {
+    /// Parameter name (e.g. `racks_per_cluster`).
+    pub name: &'static str,
+    /// How the parameter scales (e.g. `scales with --scale, min 2`).
+    pub summary: &'static str,
+    /// The value at scale 1.
+    pub at_scale_1: u32,
+}
+
+/// A named, parameterized topology generator.
+#[derive(Clone, Copy)]
+pub struct TopologyModel {
+    /// Stable identifier (the `--topology` flag value).
+    pub id: &'static str,
+    /// One-line description for listings.
+    pub summary: &'static str,
+    /// Parameter schema, in a stable order.
+    pub params: &'static [ParamSpec],
+    build_fn: fn(f64) -> Topology,
+}
+
+impl std::fmt::Debug for TopologyModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopologyModel")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TopologyModel {
+    /// Builds the topology at `scale`. The scale multiplies each
+    /// member's replication knobs (racks, pods, cells), clamped to the
+    /// member's structural minimums, so any positive scale yields a
+    /// well-formed network.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive scale — callers validate
+    /// user input before reaching the builder.
+    pub fn build(&self, scale: f64) -> Topology {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "topology scale must be positive, got {scale}"
+        );
+        (self.build_fn)(scale.clamp(0.05, 100.0))
+    }
+}
+
+/// The registry, in stable listing order.
+pub const ZOO: [TopologyModel; 6] = [
+    TopologyModel {
+        id: "cluster",
+        summary: "classic cluster Clos (RSW > CSW > CSA > Core), servers per rack",
+        params: &[
+            ParamSpec {
+                name: "clusters",
+                summary: "scales with --scale, min 1",
+                at_scale_1: 2,
+            },
+            ParamSpec {
+                name: "racks_per_cluster",
+                summary: "scales with --scale, min 2",
+                at_scale_1: 8,
+            },
+            ParamSpec {
+                name: "csws_per_cluster",
+                summary: "fixed (paper design)",
+                at_scale_1: 4,
+            },
+            ParamSpec {
+                name: "servers_per_rack",
+                summary: "fixed",
+                at_scale_1: 2,
+            },
+        ],
+        build_fn: build_cluster,
+    },
+    TopologyModel {
+        id: "fabric",
+        summary: "data center fabric (RSW > FSW > SSW > ESW > Core, 4 planes)",
+        params: &[
+            ParamSpec {
+                name: "pods",
+                summary: "scales with --scale, min 1",
+                at_scale_1: 2,
+            },
+            ParamSpec {
+                name: "racks_per_pod",
+                summary: "scales with --scale, min 2",
+                at_scale_1: 8,
+            },
+            ParamSpec {
+                name: "planes",
+                summary: "fixed (fsws per pod)",
+                at_scale_1: 4,
+            },
+            ParamSpec {
+                name: "servers_per_rack",
+                summary: "fixed",
+                at_scale_1: 2,
+            },
+        ],
+        build_fn: build_fabric,
+    },
+    TopologyModel {
+        id: "fat-tree",
+        summary: "k-ary fat-tree (Al-Fares): k pods, (k/2)^2 cores, k/2 servers per edge",
+        params: &[ParamSpec {
+            name: "k",
+            summary: "4 * --scale rounded down to even, min 4",
+            at_scale_1: 4,
+        }],
+        build_fn: build_fat_tree,
+    },
+    TopologyModel {
+        id: "f16",
+        summary: "F16-style multi-plane fabric: 16 independent spine planes",
+        params: &[
+            ParamSpec {
+                name: "pods",
+                summary: "scales with --scale, min 1",
+                at_scale_1: 2,
+            },
+            ParamSpec {
+                name: "racks_per_pod",
+                summary: "scales with --scale, min 2",
+                at_scale_1: 4,
+            },
+            ParamSpec {
+                name: "planes",
+                summary: "fixed at 16",
+                at_scale_1: 16,
+            },
+            ParamSpec {
+                name: "servers_per_rack",
+                summary: "fixed",
+                at_scale_1: 2,
+            },
+        ],
+        build_fn: build_f16,
+    },
+    TopologyModel {
+        id: "bcube",
+        summary: "BCube(n,1): n^2 servers, 2n switches, servers relay between levels",
+        params: &[ParamSpec {
+            name: "n",
+            summary: "4 * --scale rounded, min 2",
+            at_scale_1: 4,
+        }],
+        build_fn: build_bcube,
+    },
+    TopologyModel {
+        id: "dcell",
+        summary: "DCell(n,1): n+1 cells, direct server-to-server cell interconnect",
+        params: &[ParamSpec {
+            name: "n",
+            summary: "3 * --scale rounded, min 2",
+            at_scale_1: 3,
+        }],
+        build_fn: build_dcell,
+    },
+];
+
+/// Looks a zoo member up by id.
+pub fn find(id: &str) -> Option<&'static TopologyModel> {
+    ZOO.iter().find(|m| m.id == id)
+}
+
+/// The registered ids, comma-joined for error messages.
+pub fn id_list() -> String {
+    ZOO.iter().map(|m| m.id).collect::<Vec<_>>().join(", ")
+}
+
+fn scaled(base: u32, scale: f64, floor: u32) -> u32 {
+    ((base as f64 * scale).round() as u32).max(floor)
+}
+
+/// Capacity of server downlinks and server-to-server links (Gb/s).
+const SERVER_LINK_GBPS: f64 = 10.0;
+
+/// Attaches `per_rack` servers under every RSW of `topo`. `scope_idx`
+/// is the rack's ordinal so server names stay unique.
+fn attach_servers(topo: &mut Topology, per_rack: u32) {
+    let rsws: Vec<DeviceId> = topo
+        .devices()
+        .iter()
+        .filter(|d| d.device_type == DeviceType::Rsw)
+        .map(|d| d.id)
+        .collect();
+    for (rack, &rsw) in rsws.iter().enumerate() {
+        let dc = topo.device(rsw).datacenter;
+        for s in 0..per_rack {
+            let server = topo.add_device(DeviceType::Server, dc, 'h', rack as u32, s);
+            topo.connect(server, rsw, SERVER_LINK_GBPS);
+        }
+    }
+}
+
+fn build_cluster(scale: f64) -> Topology {
+    let mut topo = Topology::new();
+    ClusterNetworkBuilder::new(ClusterParams {
+        clusters: scaled(2, scale, 1),
+        racks_per_cluster: scaled(8, scale, 2),
+        csws_per_cluster: 4,
+        csas: 2,
+        cores: 4,
+        rack_uplink_gbps: 10.0,
+    })
+    .build(&mut topo, 1);
+    attach_servers(&mut topo, 2);
+    topo
+}
+
+fn build_fabric(scale: f64) -> Topology {
+    let mut topo = Topology::new();
+    FabricNetworkBuilder::new(FabricParams {
+        pods: scaled(2, scale, 1),
+        racks_per_pod: scaled(8, scale, 2),
+        fsws_per_pod: 4,
+        ssws_per_plane: 2,
+        esws_per_plane: 2,
+        cores: 4,
+        rack_uplink_gbps: 10.0,
+    })
+    .build(&mut topo, 1);
+    attach_servers(&mut topo, 2);
+    topo
+}
+
+fn build_f16(scale: f64) -> Topology {
+    // F16 carries sixteen one-switch-deep planes instead of four
+    // multi-switch ones; the existing fabric builder already models a
+    // plane per pod-FSW, so the F16 shape is a parameterization of it.
+    let mut topo = Topology::new();
+    FabricNetworkBuilder::new(FabricParams {
+        pods: scaled(2, scale, 1),
+        racks_per_pod: scaled(4, scale, 2),
+        fsws_per_pod: 16,
+        ssws_per_plane: 1,
+        esws_per_plane: 1,
+        cores: 4,
+        rack_uplink_gbps: 16.0,
+    })
+    .build(&mut topo, 1);
+    attach_servers(&mut topo, 2);
+    topo
+}
+
+fn build_fat_tree(scale: f64) -> Topology {
+    // k-ary fat-tree: k pods of k/2 edge (RSW) + k/2 aggregation (FSW)
+    // switches; (k/2)^2 cores; aggregation switch j of every pod
+    // connects to cores [j*k/2, (j+1)*k/2); k/2 servers per edge.
+    let k = (scaled(4, scale, 4) & !1).max(4);
+    let half = k / 2;
+    let mut topo = Topology::new();
+    let cores: Vec<DeviceId> = (0..half * half)
+        .map(|i| topo.add_device(DeviceType::Core, 1, 'x', 0, i))
+        .collect();
+    let mut rack = 0u32;
+    for pod in 0..k {
+        let aggs: Vec<DeviceId> = (0..half)
+            .map(|j| topo.add_device(DeviceType::Fsw, 1, 'p', pod, j))
+            .collect();
+        for (j, &agg) in aggs.iter().enumerate() {
+            for i in 0..half {
+                topo.connect(agg, cores[(j as u32 * half + i) as usize], 40.0);
+            }
+        }
+        for e in 0..half {
+            let edge = topo.add_device(DeviceType::Rsw, 1, 'p', pod, half + e);
+            for &agg in &aggs {
+                topo.connect(edge, agg, 20.0);
+            }
+            for s in 0..half {
+                let server = topo.add_device(DeviceType::Server, 1, 'h', rack, s);
+                topo.connect(server, edge, SERVER_LINK_GBPS);
+            }
+            rack += 1;
+        }
+    }
+    topo
+}
+
+fn build_bcube(scale: f64) -> Topology {
+    // BCube(n, 1): n^2 servers indexed by digits (a1, a0) base n; the
+    // level-0 switch a1 connects servers sharing a1, the level-1
+    // switch a0 connects servers sharing a0. Switches are route roots
+    // (typed Core), so every server has 2-way ECMP; server-to-server
+    // relaying happens through the type-agnostic component BFS.
+    let n = scaled(4, scale, 2);
+    let mut topo = Topology::new();
+    let level0: Vec<DeviceId> = (0..n)
+        .map(|i| topo.add_device(DeviceType::Core, 1, 'l', 0, i))
+        .collect();
+    let level1: Vec<DeviceId> = (0..n)
+        .map(|i| topo.add_device(DeviceType::Core, 1, 'l', 1, i))
+        .collect();
+    for a1 in 0..n {
+        for a0 in 0..n {
+            let server = topo.add_device(DeviceType::Server, 1, 'h', a1, a0);
+            topo.connect(server, level0[a1 as usize], SERVER_LINK_GBPS);
+            topo.connect(server, level1[a0 as usize], SERVER_LINK_GBPS);
+        }
+    }
+    topo
+}
+
+fn build_dcell(scale: f64) -> Topology {
+    // DCell(n, 1): n+1 cells of n servers and one mini-switch; cells i
+    // and j (i < j) are joined by one direct link between server j-1
+    // of cell i and server i of cell j. The mini-switches are route
+    // roots (typed Core); the server-to-server links are equal-rank,
+    // so they carry connectivity (component BFS) but never up-ECMP —
+    // the structural reason DCell survives switch loss so well.
+    let n = scaled(3, scale, 2);
+    let cells = n + 1;
+    let mut topo = Topology::new();
+    let mut servers: Vec<Vec<DeviceId>> = Vec::with_capacity(cells as usize);
+    for c in 0..cells {
+        let switch = topo.add_device(DeviceType::Core, 1, 'c', c, 0);
+        let cell: Vec<DeviceId> = (0..n)
+            .map(|s| {
+                let server = topo.add_device(DeviceType::Server, 1, 'h', c, s);
+                topo.connect(server, switch, SERVER_LINK_GBPS);
+                server
+            })
+            .collect();
+        servers.push(cell);
+    }
+    for i in 0..cells {
+        for j in (i + 1)..cells {
+            let a = servers[i as usize][(j - 1) as usize];
+            let b = servers[j as usize][i as usize];
+            topo.connect(a, b, SERVER_LINK_GBPS);
+        }
+    }
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forwarding::ForwardingState;
+    use crate::routing::{reachable_from, FailureSet};
+
+    #[test]
+    fn registry_ids_are_stable_and_unique() {
+        let ids: Vec<&str> = ZOO.iter().map(|m| m.id).collect();
+        assert_eq!(
+            ids,
+            ["cluster", "fabric", "fat-tree", "f16", "bcube", "dcell"]
+        );
+        assert!(find("fat-tree").is_some());
+        assert!(find("hypercube").is_none());
+        assert!(id_list().contains("dcell"));
+    }
+
+    #[test]
+    fn every_member_is_connected_and_routable() {
+        for m in &ZOO {
+            for scale in [0.25, 1.0] {
+                let topo = m.build(scale);
+                assert!(topo.device_count() > 0, "{} empty at {scale}", m.id);
+                let servers: Vec<DeviceId> = topo
+                    .devices_of_type(DeviceType::Server)
+                    .map(|d| d.id)
+                    .collect();
+                assert!(servers.len() >= 2, "{} needs servers", m.id);
+                // Healthy: one connected component.
+                let none = FailureSet::new(&topo);
+                let seen = reachable_from(&topo, servers[0], &none);
+                assert!(
+                    seen.iter().all(|&s| s),
+                    "{} at scale {scale} is disconnected",
+                    m.id
+                );
+                // Every server has at least one valley-free core route.
+                let fs = ForwardingState::new(&topo);
+                for &s in &servers {
+                    assert!(
+                        fs.healthy_core_paths(s) > 0,
+                        "{} server {s} has no up-route",
+                        m.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_has_quadratic_ecmp() {
+        let topo = find("fat-tree").unwrap().build(1.0);
+        // k = 4: every server has (k/2)^2 = 4 paths to the core tier.
+        let fs = ForwardingState::new(&topo);
+        for d in topo.devices_of_type(DeviceType::Server) {
+            assert_eq!(fs.healthy_core_paths(d.id), 4);
+        }
+        assert_eq!(topo.count_of_type(DeviceType::Core), 4);
+        assert_eq!(topo.count_of_type(DeviceType::Server), 16);
+    }
+
+    #[test]
+    fn bcube_servers_have_two_uplinks_dcell_one() {
+        let bcube = find("bcube").unwrap().build(1.0);
+        let fs = ForwardingState::new(&bcube);
+        for d in bcube.devices_of_type(DeviceType::Server) {
+            assert_eq!(fs.healthy_core_paths(d.id), 2, "BCube(4,1): k+1 = 2");
+        }
+        assert_eq!(bcube.count_of_type(DeviceType::Server), 16);
+
+        let dcell = find("dcell").unwrap().build(1.0);
+        let fs = ForwardingState::new(&dcell);
+        for d in dcell.devices_of_type(DeviceType::Server) {
+            assert_eq!(fs.healthy_core_paths(d.id), 1, "DCell: one mini-switch");
+        }
+        assert_eq!(dcell.count_of_type(DeviceType::Server), 12);
+        assert_eq!(dcell.count_of_type(DeviceType::Core), 4);
+    }
+
+    #[test]
+    fn dcell_tolerates_any_single_switch_loss_fat_tree_does_not() {
+        // The Couto et al. ranking-flip mechanism: DCell's direct
+        // server-to-server links route around any one switch, while a
+        // fat-tree edge switch is a single point of failure for its
+        // whole rack of servers.
+        let dcell = find("dcell").unwrap().build(1.0);
+        let servers: Vec<DeviceId> = dcell
+            .devices_of_type(DeviceType::Server)
+            .map(|d| d.id)
+            .collect();
+        for sw in dcell.devices_of_type(DeviceType::Core) {
+            let mut failed = FailureSet::new(&dcell);
+            failed.fail(sw.id);
+            let seen = reachable_from(&dcell, servers[0], &failed);
+            assert!(
+                servers.iter().all(|&s| seen[s.index()]),
+                "DCell servers must stay mutually reachable with {} down",
+                sw.name
+            );
+        }
+
+        let ft = find("fat-tree").unwrap().build(1.0);
+        let edge = ft.devices_of_type(DeviceType::Rsw).next().unwrap().id;
+        let mut failed = FailureSet::new(&ft);
+        failed.fail(edge);
+        let (cut, kept): (Vec<DeviceId>, Vec<DeviceId>) = ft
+            .devices_of_type(DeviceType::Server)
+            .map(|d| d.id)
+            .partition(|&s| ft.neighbors(s).iter().any(|&(n, _)| n == edge));
+        assert_eq!(cut.len(), 2, "k=4: two servers per edge switch");
+        let seen = reachable_from(&ft, kept[0], &failed);
+        assert!(cut.iter().all(|&s| !seen[s.index()]), "rack is cut off");
+        assert!(kept.iter().all(|&s| seen[s.index()]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_scale_panics() {
+        let _ = find("cluster").unwrap().build(0.0);
+    }
+}
