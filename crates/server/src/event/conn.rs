@@ -1,0 +1,283 @@
+//! The per-connection state machine the reactor drives.
+//!
+//! One accepted connection walks `accept → (chaos read delay) → read →
+//! handle → (chaos write delay) → write → (chaos stall) → close`, with
+//! an extra half-close + bounded-drain tail for shed responses. The
+//! thread engine walks the same path with blocking calls; here every
+//! arrow is a readiness event or a timer fire, and the phases below are
+//! the states between them.
+//!
+//! This module owns only the mechanical transitions (incremental head
+//! reads, partial writes, cut bookkeeping); policy — admission, chaos
+//! draws, the handler, stats — stays in the reactor, so the transitions
+//! are unit-testable against in-memory pipes.
+
+use crate::chaos::ConnFaults;
+use crate::http::{self, HttpError, Request, MAX_HEAD_BYTES};
+use std::io::{self, Read as _, Write as _};
+use std::net::TcpStream;
+
+/// Where a connection is between readiness events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Chaos read delay armed; no interest until the timer fires.
+    ReadDelay,
+    /// Accumulating the request head.
+    Reading,
+    /// Chaos write delay armed; response already decided.
+    WriteDelay,
+    /// Writing `out[written..stop_at]`.
+    Writing,
+    /// Mid-write chaos stall; prefix flushed, resume timer armed.
+    Stalled,
+    /// Response written and write half closed (shed path): briefly
+    /// drain request bytes so the close is a FIN, not an RST.
+    Draining,
+}
+
+/// What to do with the socket once `stop_at` is fully written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CloseMode {
+    /// Plain drop (kernel FIN) — the intact-response case.
+    Normal,
+    /// `shutdown(Write)` then drop — chaos truncation.
+    CleanCut,
+    /// `shutdown(Both)` with request bytes possibly unread — chaos
+    /// reset; Linux answers with RST.
+    AbruptCut,
+    /// `shutdown(Write)` then enter [`Phase::Draining`] — the shed
+    /// half-close + drain guarantee.
+    ShedDrain,
+}
+
+/// One in-flight connection owned by a reactor worker.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    pub(crate) stream: TcpStream,
+    pub(crate) phase: Phase,
+    /// Bumped on every phase change; timers armed under an older
+    /// generation are stale and ignored when they fire.
+    pub(crate) generation: u64,
+    /// Head accumulation buffer.
+    pub(crate) buf: Vec<u8>,
+    /// Rendered (and chaos-mutated) response bytes.
+    pub(crate) out: Vec<u8>,
+    pub(crate) written: usize,
+    /// Write this many bytes of `out`, then act on `close`/`stall`.
+    pub(crate) stop_at: usize,
+    /// Pending stall: `(resume stop_at, ms)` once the cut point is
+    /// reached. Taken (set to `None`) when the stall begins.
+    pub(crate) stall: Option<(usize, u64)>,
+    pub(crate) close: CloseMode,
+    pub(crate) faults: ConnFaults,
+    /// Remaining bounded drain reads in [`Phase::Draining`].
+    pub(crate) drain_reads: u8,
+    /// Whether this connection currently occupies its worker's single
+    /// service slot (held from dequeue until the response is decided).
+    pub(crate) holds_slot: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(stream: TcpStream, faults: ConnFaults) -> Self {
+        Self {
+            stream,
+            phase: Phase::Reading,
+            generation: 0,
+            buf: Vec::with_capacity(512),
+            out: Vec::new(),
+            written: 0,
+            stop_at: 0,
+            stall: None,
+            close: CloseMode::Normal,
+            faults,
+            drain_reads: 2,
+            holds_slot: false,
+        }
+    }
+
+    pub(crate) fn enter(&mut self, phase: Phase) {
+        self.phase = phase;
+        self.generation += 1;
+    }
+}
+
+/// Outcome of pushing reads forward while the socket stays readable.
+#[derive(Debug)]
+pub(crate) enum ReadProgress {
+    /// No complete head yet; wait for more readiness.
+    NeedMore,
+    /// A full head arrived and parsed (or failed to); the read phase is
+    /// over either way.
+    Complete(Result<Request, HttpError>),
+}
+
+/// Reads until the head completes, the peer stalls (`WouldBlock`), or
+/// the connection errors. Mirrors `http::read_request` byte for byte in
+/// what it accepts and rejects, including the oversize (431), early
+/// close, and I/O error mappings.
+pub(crate) fn advance_read(conn: &mut Conn) -> ReadProgress {
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = http::find_head_end(&conn.buf) {
+            return ReadProgress::Complete(http::parse_request_bytes(&conn.buf[..end]));
+        }
+        if conn.buf.len() > MAX_HEAD_BYTES {
+            return ReadProgress::Complete(Err(HttpError::TooLarge));
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                return ReadProgress::Complete(Err(HttpError::Malformed(
+                    "connection closed mid-request".into(),
+                )))
+            }
+            Ok(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadProgress::NeedMore,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return ReadProgress::Complete(Err(HttpError::Io(e))),
+        }
+    }
+}
+
+/// Outcome of pushing writes forward while the socket stays writable.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum WriteProgress {
+    /// The socket backpressured; wait for write readiness.
+    NeedWritable,
+    /// `stop_at` reached and a stall is pending: the reactor should
+    /// flush, arm the resume timer, and park the connection.
+    StallNow {
+        /// Stall duration (milliseconds) from the fault draw.
+        ms: u64,
+    },
+    /// Everything through `stop_at` is on the wire; act on
+    /// [`Conn::close`].
+    Done,
+    /// The socket failed mid-write; nothing left to salvage.
+    Failed,
+}
+
+/// Writes `out[written..stop_at]` as far as the socket allows. When the
+/// cut point is reached with a pending stall, surfaces it (exactly
+/// once) instead of finishing.
+pub(crate) fn advance_write(conn: &mut Conn) -> WriteProgress {
+    loop {
+        if conn.written >= conn.stop_at {
+            if let Some((resume_at, ms)) = conn.stall.take() {
+                conn.stop_at = resume_at;
+                return WriteProgress::StallNow { ms };
+            }
+            return WriteProgress::Done;
+        }
+        match conn.stream.write(&conn.out[conn.written..conn.stop_at]) {
+            Ok(0) => return WriteProgress::Failed,
+            Ok(n) => conn.written += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return WriteProgress::NeedWritable,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return WriteProgress::Failed,
+        }
+    }
+}
+
+/// One bounded drain read on a half-closed shed connection. Returns
+/// `true` when the connection is finished (peer closed, errored, or the
+/// read budget ran out) and should be dropped.
+pub(crate) fn advance_drain(conn: &mut Conn) -> bool {
+    let mut sink = [0u8; 1024];
+    match conn.stream.read(&mut sink) {
+        Ok(0) | Err(_) => true,
+        Ok(_) => {
+            conn.drain_reads = conn.drain_reads.saturating_sub(1);
+            conn.drain_reads == 0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn incremental_reads_assemble_a_split_head() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, ConnFaults::NONE);
+        client.write_all(b"GET /artifacts/fig15?se").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(matches!(advance_read(&mut conn), ReadProgress::NeedMore));
+        client
+            .write_all(b"ed=7 HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match advance_read(&mut conn) {
+            ReadProgress::Complete(Ok(req)) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path, "/artifacts/fig15");
+                assert_eq!(req.query, "seed=7");
+                assert_eq!(req.header("host"), Some("x"));
+            }
+            other => panic!("expected a parsed request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn early_close_is_the_same_malformed_error_as_the_blocking_reader() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server, ConnFaults::NONE);
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match advance_read(&mut conn) {
+            ReadProgress::Complete(Err(HttpError::Malformed(m))) => {
+                assert_eq!(m, "connection closed mid-request");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_heads_complete_with_too_large() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, ConnFaults::NONE);
+        let huge = format!("GET /x HTTP/1.1\r\nX-Pad: {}", "a".repeat(MAX_HEAD_BYTES));
+        client.write_all(huge.as_bytes()).unwrap();
+        // Give the kernel a beat to move the bytes across loopback.
+        for _ in 0..50 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            match advance_read(&mut conn) {
+                ReadProgress::Complete(Err(HttpError::TooLarge)) => return,
+                ReadProgress::Complete(other) => panic!("expected TooLarge, got {other:?}"),
+                ReadProgress::NeedMore => {}
+            }
+        }
+        panic!("oversized head never tripped the bound");
+    }
+
+    #[test]
+    fn partial_writes_resume_and_stall_surfaces_once() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server, ConnFaults::NONE);
+        conn.out = b"hello world".to_vec();
+        conn.stop_at = 5;
+        conn.stall = Some((conn.out.len(), 40));
+        match advance_write(&mut conn) {
+            WriteProgress::StallNow { ms } => assert_eq!(ms, 40),
+            other => panic!("expected StallNow, got {other:?}"),
+        }
+        assert_eq!(conn.written, 5);
+        assert_eq!(conn.stop_at, conn.out.len());
+        assert_eq!(advance_write(&mut conn), WriteProgress::Done);
+        let mut got = vec![0u8; 11];
+        use std::io::Read as _;
+        let mut reader = client;
+        reader.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"hello world");
+    }
+}

@@ -1,0 +1,40 @@
+//! The event engine: a zero-dependency epoll reactor serving the same
+//! application surface as the thread pool.
+//!
+//! The thread engine (`crate::pool`) spends one OS thread per in-flight
+//! connection stage: a blocked read, a chaos stall, a slow client's
+//! write all pin a worker. On the 1-CPU containers this repo benches
+//! on, that turns worker count into a liability — four workers contend
+//! on the queue condvar and the global cache mutex and throughput
+//! *halves* versus one worker. The reactor inverts the model: each
+//! worker owns an `epoll` instance and multiplexes every waiting
+//! connection, so threads spend their time on CPU work (parsing,
+//! handling, checksumming) instead of parked in the kernel.
+//!
+//! Module map, bottom up:
+//!
+//! - [`poll`] — the `epoll(7)`/`eventfd(2)` FFI shim (the only unsafe
+//!   here), wrapped as [`poll::Poller`] and [`poll::WakeFd`].
+//! - [`timer`] — a hashed [`timer::TimerWheel`] mapping the pool's
+//!   socket timeouts (and chaos delays) onto reactor deadlines.
+//! - [`conn`] (crate-private) — the per-connection state machine:
+//!   incremental head reads, partial/cut writes, shed drains.
+//! - [`shard`] — [`shard::ShardedLru`], the per-shard-locked cache
+//!   that replaces the global cache mutex.
+//! - [`reactor`] — the engine itself: accept handoff, worker loops,
+//!   [`reactor::ReactorStats`], and the service-slot discipline that
+//!   keeps overload behavior identical to the pool.
+//!
+//! Parity with the thread engine is the contract: same shed bytes, same
+//! chaos wire effects, same admission counters, same drain guarantee.
+//! `tests/integration_engine_parity.rs` holds both engines to it by
+//! comparing wire bytes.
+
+pub(crate) mod conn;
+pub mod poll;
+pub mod reactor;
+pub mod shard;
+pub mod timer;
+
+pub use reactor::{EventServer, EventShutdownHandle, ReactorStats, READY_BOUNDS};
+pub use shard::{ShardStats, ShardedLru};

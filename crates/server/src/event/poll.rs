@@ -1,0 +1,305 @@
+//! A minimal `epoll(7)` + `eventfd(2)` shim, in the style of the
+//! `signal(2)` module: direct `extern "C"` declarations (we vendor no
+//! libc crate), `std::os::fd` owned types everywhere outside the FFI
+//! boundary, and the smallest surface a readiness loop needs — create,
+//! register, re-arm, wait.
+//!
+//! Everything here is level-triggered: the reactor re-arms interest on
+//! every state transition instead of juggling edge semantics, and a
+//! spurious wakeup costs one harmless `WouldBlock` read or write.
+
+use std::fs::File;
+use std::io::{self, Read as _, Write as _};
+use std::os::fd::{AsFd, AsRawFd, BorrowedFd};
+use std::time::Duration;
+
+/// Readiness bit: the fd has bytes to read.
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness bit: the fd can accept writes.
+pub const EPOLLOUT: u32 = 0x004;
+/// Readiness bit: error condition (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Readiness bit: hangup (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Readiness bit: the peer closed its write half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// One readiness report out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The `EPOLL*` readiness bits that fired.
+    pub readiness: u32,
+    /// The caller-chosen token the fd was registered with.
+    pub token: u64,
+}
+
+impl Event {
+    /// Whether this event makes progress for a reader: readable bytes,
+    /// a peer close, or an error (which a read will surface).
+    pub fn readable(&self) -> bool {
+        self.readiness & (EPOLLIN | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0
+    }
+
+    /// Whether this event makes progress for a writer.
+    pub fn writable(&self) -> bool {
+        self.readiness & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+/// The second unsafe in the workspace outside vendored compat crates
+/// (the first is the `signal(2)` latch): direct declarations of the
+/// four syscall wrappers a readiness loop needs. Raw fds cross the
+/// boundary only here; everything returned is immediately wrapped in
+/// an `OwnedFd`, so lifetimes and close-on-drop stay in safe code.
+#[allow(unsafe_code)]
+mod ffi {
+    use std::io;
+    use std::os::fd::{BorrowedFd, FromRawFd, OwnedFd};
+
+    pub(super) const EPOLL_CTL_ADD: i32 = 1;
+    pub(super) const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EFD_CLOEXEC: i32 = 0o2000000;
+    const EFD_NONBLOCK: i32 = 0o4000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the ABI
+    /// quirk epoll is famous for); natural layout elsewhere.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub(super) struct EpollEvent {
+        pub(super) events: u32,
+        pub(super) data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+    }
+
+    fn check(ret: i32) -> io::Result<i32> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    pub(super) fn epoll_create() -> io::Result<OwnedFd> {
+        let fd = check(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+    }
+
+    pub(super) fn eventfd_create() -> io::Result<OwnedFd> {
+        let fd = check(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+    }
+
+    pub(super) fn ctl(
+        epfd: i32,
+        op: i32,
+        fd: BorrowedFd<'_>,
+        interest: u32,
+        token: u64,
+    ) -> io::Result<()> {
+        use std::os::fd::AsRawFd as _;
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        check(unsafe { epoll_ctl(epfd, op, fd.as_raw_fd(), &mut ev) }).map(|_| ())
+    }
+
+    pub(super) fn wait(epfd: i32, out: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = check(unsafe { epoll_wait(epfd, out.as_mut_ptr(), out.len() as i32, timeout_ms) })?;
+        Ok(n as usize)
+    }
+}
+
+/// The per-reactor readiness multiplexer: one epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: std::os::fd::OwnedFd,
+}
+
+/// Upper bound on events returned by a single [`Poller::wait`].
+const MAX_EVENTS: usize = 64;
+
+impl Poller {
+    /// Creates a fresh epoll instance.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            epfd: ffi::epoll_create()?,
+        })
+    }
+
+    /// Registers `fd` with the given interest bits under `token`.
+    pub fn add(&self, fd: BorrowedFd<'_>, token: u64, interest: u32) -> io::Result<()> {
+        ffi::ctl(
+            self.epfd.as_raw_fd(),
+            ffi::EPOLL_CTL_ADD,
+            fd,
+            interest,
+            token,
+        )
+    }
+
+    /// Re-arms an already-registered `fd` with new interest bits.
+    /// (Deregistration is implicit: closing the fd removes it.)
+    pub fn modify(&self, fd: BorrowedFd<'_>, token: u64, interest: u32) -> io::Result<()> {
+        ffi::ctl(
+            self.epfd.as_raw_fd(),
+            ffi::EPOLL_CTL_MOD,
+            fd,
+            interest,
+            token,
+        )
+    }
+
+    /// Blocks until readiness or `timeout` (forever when `None`),
+    /// replacing `events` with what fired. A signal interruption
+    /// surfaces as zero events, not an error — the reactor loop
+    /// re-derives its timeout anyway.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let timeout_ms = match timeout {
+            None => -1,
+            // Round up so a nearly-due timer does not busy-spin at 0ms.
+            Some(d) => d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                .min(i32::MAX as u128) as i32,
+        };
+        let mut raw = [ffi::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let n = match ffi::wait(self.epfd.as_raw_fd(), &mut raw, timeout_ms) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        for ev in &raw[..n] {
+            // Copy out of the (possibly packed) kernel struct.
+            let readiness = ev.events;
+            let token = ev.data;
+            events.push(Event { readiness, token });
+        }
+        Ok(())
+    }
+}
+
+/// A cross-thread wakeup: an `eventfd` the accept thread writes and the
+/// owning reactor registers in its own epoll. Nonblocking on both ends;
+/// level-triggered registration means a wake posted while the reactor
+/// is between waits is never lost.
+#[derive(Debug)]
+pub struct WakeFd {
+    file: File,
+}
+
+impl WakeFd {
+    /// Creates a fresh nonblocking eventfd.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            file: File::from(ffi::eventfd_create()?),
+        })
+    }
+
+    /// The fd to register for [`EPOLLIN`] in the reactor's poller.
+    pub fn as_fd(&self) -> BorrowedFd<'_> {
+        self.file.as_fd()
+    }
+
+    /// Posts a wakeup (callable from any thread holding a reference).
+    pub fn wake(&self) {
+        // An eventfd write fails only when the counter would overflow —
+        // in which case the reactor is already maximally woken.
+        let _ = (&self.file).write(&1u64.to_ne_bytes());
+    }
+
+    /// Clears pending wakeups so the level-triggered fd goes quiet.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        while matches!((&self.file).read(&mut buf), Ok(8)) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn wakefd_round_trips_and_drains_quiet() {
+        let wake = WakeFd::new().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(wake.as_fd(), 7, EPOLLIN).unwrap();
+        let mut events = Vec::new();
+        // Nothing posted: a short wait returns empty.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty());
+        wake.wake();
+        wake.wake();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable());
+        wake.drain();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "drained eventfd goes level-quiet");
+    }
+
+    #[test]
+    fn socket_readiness_fires_on_arrival_and_rearm_works() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server_side.as_fd(), 42, EPOLLIN).unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no bytes yet");
+
+        client.write_all(b"ping").unwrap();
+        let started = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable());
+        assert!(started.elapsed() < Duration::from_secs(1));
+
+        // Re-arm for writes: a fresh socket buffer is writable at once.
+        poller.modify(server_side.as_fd(), 42, EPOLLOUT).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert!(events[0].writable());
+    }
+
+    #[test]
+    fn timeout_rounds_up_instead_of_spinning() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let started = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_micros(1500)))
+            .unwrap();
+        // 1.5ms must round to a 2ms sleep, never a 0ms busy return.
+        assert!(started.elapsed() >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,1005 @@
+//! The event engine: N reactor workers, each owning one epoll instance,
+//! fed by an accept thread that hands connections off round-robin.
+//!
+//! ```text
+//! accept loop ── full? ──▶ 503 + Retry-After, close    (shed, blocking)
+//!      │ round-robin handoff (per-worker lanes + eventfd wake)
+//!      ▼
+//! reactor worker: epoll_wait ──▶ conn state machines + timer wheel
+//!                 └─ per-worker service slot: one connection at a time
+//!                    is read + handled; writes/stalls/drains multiplex
+//! ```
+//!
+//! Behavioral parity with the thread pool is the design constraint, not
+//! an afterthought. The pieces that define the pool's observable
+//! behavior are *shared*, not reimplemented: the accept thread runs the
+//! same chaos draw, the same priority peek, the same lane bounds, and
+//! the same blocking `shed_conn`; the sojourn head-drop happens at
+//! dequeue with the same counters; responses pass through the same
+//! `chaos::apply_action`. What differs is purely how bytes move: socket
+//! timeouts become timer-wheel deadlines, blocking sleeps become
+//! `Resume` timers, and the write path is readiness-driven.
+//!
+//! The **service slot** is what keeps overload semantics identical:
+//! each reactor admits one connection at a time into the read→handle
+//! stage (the handler is synchronous CPU work; multiplexing it would
+//! unbound the backlog the bounded queue exists to bound). Once the
+//! response is decided the slot frees and the next queued connection is
+//! pulled, while the previous response drains writability-driven — so
+//! slow readers, chaos stalls, and shed drains never pin a worker the
+//! way they pin a pool thread.
+
+use super::conn::{
+    advance_drain, advance_read, advance_write, CloseMode, Conn, Phase, ReadProgress, WriteProgress,
+};
+use super::poll::{Event, Poller, WakeFd, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use super::timer::{TimerKind, TimerWheel};
+use crate::chaos::{self, ChaosState, ConnFaults, WireEffect};
+use crate::http::Response;
+use crate::pool::{
+    classify_priority, shed_conn, shed_retry_after_with, unpoison, DrainEstimator, Handler,
+    QueuedConn, Queues, ServerConfig, ServerStats,
+};
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsFd as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Bucket upper bounds for the ready-events-per-wakeup histogram on
+/// `/metrics` (`dcnr_server_reactor_ready_events`).
+pub const READY_BOUNDS: [u64; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Reactor-level counters, exported by the events engine on `/metrics`.
+#[derive(Debug, Default)]
+pub struct ReactorStats {
+    wakeups: AtomicU64,
+    ready_cells: [AtomicU64; READY_BOUNDS.len() + 1],
+    ready_sum: AtomicU64,
+    ready_count: AtomicU64,
+}
+
+impl ReactorStats {
+    /// Records one `epoll_wait` return delivering `ready` events.
+    pub fn observe_wakeup(&self, ready: u64) {
+        self.wakeups.fetch_add(1, Ordering::Relaxed);
+        let cell = READY_BOUNDS
+            .iter()
+            .position(|&b| ready <= b)
+            .unwrap_or(READY_BOUNDS.len());
+        self.ready_cells[cell].fetch_add(1, Ordering::Relaxed);
+        self.ready_sum.fetch_add(ready, Ordering::Relaxed);
+        self.ready_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total `epoll_wait` returns across all reactor workers.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the ready-events histogram: per-bucket counts (one
+    /// per bound plus overflow), sum, and count.
+    pub fn ready_histogram(&self) -> (Vec<u64>, u64, u64) {
+        (
+            self.ready_cells
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            self.ready_sum.load(Ordering::Relaxed),
+            self.ready_count.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One worker's handoff lane: a bounded two-lane queue (same `Queues`
+/// as the pool) plus the eventfd that wakes its reactor.
+struct Lane {
+    queue: Mutex<Queues>,
+    wake: WakeFd,
+}
+
+struct EvShared {
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    handler: Handler,
+    shutdown: AtomicBool,
+    wake_addr: SocketAddr,
+    lanes: Vec<Lane>,
+    /// Queued-connection counts across all lanes, split by class, so
+    /// the accept thread can enforce the same global `queue_depth` /
+    /// `priority_depth` bounds the pool's single queue has.
+    normal_len: AtomicUsize,
+    priority_len: AtomicUsize,
+    drain: Mutex<DrainEstimator>,
+    reactor: Arc<ReactorStats>,
+}
+
+/// A running event-engine server: accept thread + reactor workers.
+/// The public surface mirrors [`crate::pool::Server`] so the
+/// application layer can hold either engine behind one seam.
+pub struct EventServer {
+    shared: Arc<EvShared>,
+    accept: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl EventServer {
+    /// Binds `addr` and starts the accept thread and `config.workers`
+    /// reactor workers (each with its own epoll instance, created here
+    /// so fd exhaustion surfaces as an error instead of a dead thread).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        stats: Arc<ServerStats>,
+        handler: Handler,
+    ) -> io::Result<EventServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let wake_ip = if local_addr.ip().is_unspecified() {
+            IpAddr::V4(Ipv4Addr::LOCALHOST)
+        } else {
+            local_addr.ip()
+        };
+        let wake_addr = SocketAddr::new(wake_ip, local_addr.port());
+        let nworkers = config.workers.max(1);
+        let lanes = (0..nworkers)
+            .map(|_| {
+                Ok(Lane {
+                    queue: Mutex::new(Queues::default()),
+                    wake: WakeFd::new()?,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let mut pollers = (0..nworkers)
+            .map(|_| Poller::new())
+            .collect::<io::Result<Vec<_>>>()?;
+        let shared = Arc::new(EvShared {
+            config,
+            stats,
+            handler,
+            shutdown: AtomicBool::new(false),
+            wake_addr,
+            lanes,
+            normal_len: AtomicUsize::new(0),
+            priority_len: AtomicUsize::new(0),
+            drain: Mutex::new(DrainEstimator::start()),
+            reactor: Arc::new(ReactorStats::default()),
+        });
+        let accept = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("dcnr-ev-accept".into())
+                .spawn(move || accept_loop(listener, &shared))?
+        };
+        let reactors = pollers
+            .drain(..)
+            .enumerate()
+            .map(|(i, poller)| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("dcnr-reactor-{i}"))
+                    .spawn(move || reactor_loop(poller, &shared, i))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(EventServer {
+            shared,
+            accept: Some(accept),
+            reactors,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The transport-chaos state, when fault injection is configured.
+    pub fn chaos(&self) -> Option<&Arc<ChaosState>> {
+        self.shared.config.chaos.as_ref()
+    }
+
+    /// The reactor wakeup/ready counters for `/metrics`.
+    pub fn reactor_stats(&self) -> Arc<ReactorStats> {
+        self.shared.reactor.clone()
+    }
+
+    /// A handle that can trigger shutdown from any thread.
+    pub fn shutdown_handle(&self) -> EventShutdownHandle {
+        EventShutdownHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Requests shutdown and blocks until every queued connection has
+    /// been served and all threads have exited.
+    pub fn shutdown_and_join(mut self) {
+        self.shutdown_handle().request();
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down (via an
+    /// [`EventShutdownHandle`]).
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(a) = self.accept.take() {
+            let _ = a.join();
+        }
+        for r in self.reactors.drain(..) {
+            let _ = r.join();
+        }
+    }
+}
+
+/// Triggers a graceful drain of an [`EventServer`]: stop accepting,
+/// serve what is queued and in flight, exit the reactors.
+#[derive(Clone)]
+pub struct EventShutdownHandle {
+    shared: Arc<EvShared>,
+}
+
+impl EventShutdownHandle {
+    /// Initiates shutdown (idempotent). Returns immediately; use
+    /// [`EventServer::join`] to wait for the drain.
+    pub fn request(&self) {
+        if self.shared.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect_timeout(&self.shared.wake_addr, Duration::from_secs(1));
+        for lane in &self.shared.lanes {
+            lane.wake.wake();
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// The same accept policy as the pool — chaos draw, accept delay,
+/// priority peek, lane bounds, blocking shed — with round-robin handoff
+/// into per-worker lanes instead of one shared queue.
+fn accept_loop(listener: TcpListener, shared: &EvShared) {
+    let mut next_worker = 0usize;
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let faults = match &shared.config.chaos {
+            Some(state) => {
+                let f = state.next_connection();
+                if f.accept_delay_ms > 0 {
+                    state.stats.accept_delays.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(f.accept_delay_ms));
+                }
+                f
+            }
+            None => ConnFaults::NONE,
+        };
+        let priority = shared.config.admission.priority_depth > 0 && classify_priority(&stream);
+        let lane_full = if priority {
+            shared.priority_len.load(Ordering::SeqCst) >= shared.config.admission.priority_depth
+        } else {
+            shared.normal_len.load(Ordering::SeqCst) >= shared.config.queue_depth
+        };
+        if lane_full {
+            let mut stream = stream;
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            let cause = if priority {
+                &shared.stats.dropped_priority
+            } else {
+                &shared.stats.dropped_full
+            };
+            cause.fetch_add(1, Ordering::Relaxed);
+            let retry = shed_retry_after_with(&shared.config, &shared.stats, &shared.drain);
+            shed_conn(&mut stream, shared.config.write_timeout, retry);
+            continue;
+        }
+        let conn = QueuedConn {
+            stream,
+            faults,
+            enqueued: Instant::now(),
+        };
+        let lane = &shared.lanes[next_worker];
+        next_worker = (next_worker + 1) % shared.lanes.len();
+        {
+            let mut queues = unpoison(lane.queue.lock());
+            if priority {
+                shared.priority_len.fetch_add(1, Ordering::SeqCst);
+                queues.priority.push_back(conn);
+            } else {
+                shared.normal_len.fetch_add(1, Ordering::SeqCst);
+                queues.normal.push_back(conn);
+            }
+        }
+        let depth = (shared.normal_len.load(Ordering::SeqCst)
+            + shared.priority_len.load(Ordering::SeqCst)) as u64;
+        shared
+            .stats
+            .queue_depth
+            .store(depth as i64, Ordering::Relaxed);
+        shared.stats.queue_peak.fetch_max(depth, Ordering::Relaxed);
+        lane.wake.wake();
+    }
+    // Wake every reactor so each drains its lane and exits.
+    for lane in &shared.lanes {
+        lane.wake.wake();
+    }
+}
+
+/// Registered token of the worker's own eventfd.
+const TOKEN_WAKE: u64 = 0;
+
+struct Worker {
+    index: usize,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    wheel: TimerWheel,
+    /// The connection currently occupying this worker's service slot
+    /// (read→handle stage), if any.
+    reading: Option<u64>,
+    next_token: u64,
+}
+
+fn reactor_loop(poller: Poller, shared: &Arc<EvShared>, index: usize) {
+    if poller
+        .add(shared.lanes[index].wake.as_fd(), TOKEN_WAKE, EPOLLIN)
+        .is_err()
+    {
+        return; // cannot be woken: unusable worker, exit immediately
+    }
+    let mut w = Worker {
+        index,
+        poller,
+        conns: HashMap::new(),
+        wheel: TimerWheel::new(),
+        reading: None,
+        next_token: 1,
+    };
+    let mut events: Vec<Event> = Vec::new();
+    loop {
+        pull_connections(&mut w, shared);
+        let lane_empty = unpoison(shared.lanes[w.index].queue.lock()).len() == 0;
+        if shared.shutdown.load(Ordering::SeqCst) && lane_empty && w.conns.is_empty() {
+            return;
+        }
+        let timeout = w
+            .wheel
+            .next_deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()));
+        if w.poller.wait(&mut events, timeout).is_err() {
+            return; // epoll itself failed; nothing recoverable
+        }
+        shared.reactor.observe_wakeup(events.len() as u64);
+        for ev in events.clone() {
+            if ev.token == TOKEN_WAKE {
+                shared.lanes[w.index].wake.drain();
+                continue;
+            }
+            drive_event(&mut w, shared, ev);
+        }
+        let now = Instant::now();
+        for (token, generation, kind) in w.wheel.expired(now) {
+            fire_timer(&mut w, shared, token, generation, kind);
+        }
+    }
+}
+
+/// Pulls queued connections into the worker while its service slot is
+/// free: sojourn observation and CoDel head-drop at dequeue (the same
+/// policy point as the pool's worker), then nonblocking registration.
+fn pull_connections(w: &mut Worker, shared: &EvShared) {
+    while w.reading.is_none() {
+        let pulled = {
+            let mut queues = unpoison(shared.lanes[w.index].queue.lock());
+            queues
+                .priority
+                .pop_front()
+                .map(|c| (c, true))
+                .or_else(|| queues.normal.pop_front().map(|c| (c, false)))
+        };
+        let Some((queued, priority)) = pulled else {
+            break;
+        };
+        if priority {
+            shared.priority_len.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            shared.normal_len.fetch_sub(1, Ordering::SeqCst);
+        }
+        let depth = (shared.normal_len.load(Ordering::SeqCst)
+            + shared.priority_len.load(Ordering::SeqCst)) as i64;
+        shared.stats.queue_depth.store(depth, Ordering::Relaxed);
+        let sojourn = queued.enqueued.elapsed();
+        shared
+            .stats
+            .observe_sojourn(sojourn.as_micros().min(u128::from(u64::MAX)) as u64);
+        if !priority {
+            if let Some(target) = shared.config.admission.sojourn_target {
+                if sojourn > target {
+                    shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.dropped_sojourn.fetch_add(1, Ordering::Relaxed);
+                    shed_nonblocking(w, shared, queued.stream);
+                    continue;
+                }
+            }
+        }
+        register(w, shared, queued);
+    }
+}
+
+/// Registers a dequeued connection: nonblocking mode, epoll interest,
+/// read-deadline (or chaos read-delay) timer, and an eager first read —
+/// the whole head is usually already in the socket buffer.
+fn register(w: &mut Worker, shared: &EvShared, queued: QueuedConn) {
+    if queued.stream.set_nonblocking(true).is_err() {
+        return; // broken socket: drop it, same as a failed blocking read
+    }
+    let token = w.next_token;
+    w.next_token += 1;
+    let mut conn = Conn::new(queued.stream, queued.faults);
+    conn.holds_slot = true;
+    w.reading = Some(token);
+    if conn.faults.read_delay_ms > 0 {
+        if let Some(state) = &shared.config.chaos {
+            state.stats.read_delays.fetch_add(1, Ordering::Relaxed);
+        }
+        conn.enter(Phase::ReadDelay);
+        let deadline = Instant::now() + Duration::from_millis(conn.faults.read_delay_ms);
+        if w.poller.add(conn.stream.as_fd(), token, 0).is_err() {
+            w.reading = None;
+            return;
+        }
+        w.wheel
+            .arm(deadline, token, conn.generation, TimerKind::Resume);
+        w.conns.insert(token, conn);
+    } else {
+        conn.enter(Phase::Reading);
+        if w.poller
+            .add(conn.stream.as_fd(), token, EPOLLIN | EPOLLRDHUP)
+            .is_err()
+        {
+            w.reading = None;
+            return;
+        }
+        w.wheel.arm(
+            Instant::now() + shared.config.read_timeout,
+            token,
+            conn.generation,
+            TimerKind::ReadDeadline,
+        );
+        w.conns.insert(token, conn);
+        drive_read(w, shared, token);
+    }
+}
+
+/// Sheds a dequeued connection without blocking the reactor: the 503 is
+/// written readiness-driven, then the half-close + bounded drain runs
+/// as a normal connection lifecycle ([`CloseMode::ShedDrain`]).
+fn shed_nonblocking(w: &mut Worker, shared: &EvShared, stream: TcpStream) {
+    if stream.set_nonblocking(true).is_err() {
+        return;
+    }
+    let retry = shed_retry_after_with(&shared.config, &shared.stats, &shared.drain);
+    let token = w.next_token;
+    w.next_token += 1;
+    let mut conn = Conn::new(stream, ConnFaults::NONE);
+    conn.out = Response::unavailable(retry).render();
+    conn.stop_at = conn.out.len();
+    conn.close = CloseMode::ShedDrain;
+    conn.enter(Phase::Writing);
+    if w.poller.add(conn.stream.as_fd(), token, EPOLLOUT).is_err() {
+        return;
+    }
+    w.wheel.arm(
+        Instant::now() + shared.config.write_timeout,
+        token,
+        conn.generation,
+        TimerKind::WriteDeadline,
+    );
+    w.conns.insert(token, conn);
+    drive_write(w, shared, token);
+}
+
+/// Routes a readiness event to the owning connection's current phase.
+fn drive_event(w: &mut Worker, shared: &EvShared, ev: Event) {
+    let Some(conn) = w.conns.get(&ev.token) else {
+        return; // already closed; stale level-triggered report
+    };
+    match conn.phase {
+        Phase::Reading if ev.readable() => drive_read(w, shared, ev.token),
+        Phase::Writing if ev.writable() => drive_write(w, shared, ev.token),
+        Phase::Draining if ev.readable() => {
+            let conn = w.conns.get_mut(&ev.token).expect("checked above");
+            if advance_drain(conn) {
+                remove(w, ev.token, None);
+            }
+        }
+        // Delay/stall phases have no interest armed; anything that
+        // still arrives (HUP/ERR) will surface on the next read/write.
+        _ => {}
+    }
+}
+
+/// Pushes the read phase forward; on head completion runs the handler
+/// inline (the service slot guarantees this worker owns exactly one
+/// such stage) and starts the response.
+fn drive_read(w: &mut Worker, shared: &EvShared, token: u64) {
+    {
+        let Some(conn) = w.conns.get(&token) else {
+            return;
+        };
+        if conn.phase != Phase::Reading {
+            return;
+        }
+    }
+    let progress = {
+        let conn = w.conns.get_mut(&token).expect("checked above");
+        advance_read(conn)
+    };
+    let result = match progress {
+        ReadProgress::NeedMore => return,
+        ReadProgress::Complete(result) => result,
+    };
+    release_slot(w, token);
+    let response = match result {
+        Ok(req) => {
+            shared.stats.handled.fetch_add(1, Ordering::Relaxed);
+            if req.method == "GET" {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    (shared.handler)(&req)
+                })) {
+                    Ok(r) => r,
+                    Err(_) => Response::internal_error("handler panicked"),
+                }
+            } else {
+                Response::text(405, "only GET is supported\n")
+            }
+        }
+        Err(e) => {
+            shared.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+            e.response()
+        }
+    };
+    start_response(w, shared, token, response);
+}
+
+fn release_slot(w: &mut Worker, token: u64) {
+    if w.reading == Some(token) {
+        w.reading = None;
+    }
+    if let Some(conn) = w.conns.get_mut(&token) {
+        conn.holds_slot = false;
+    }
+}
+
+/// Stages `response` for writing: chaos write delay first (as the
+/// blocking `chaos::write_response` orders it), then the body action.
+fn start_response(w: &mut Worker, shared: &EvShared, token: u64, response: Response) {
+    let Some(conn) = w.conns.get_mut(&token) else {
+        return;
+    };
+    conn.out = response.render();
+    conn.written = 0;
+    if conn.faults.write_delay_ms > 0 {
+        if let Some(state) = &shared.config.chaos {
+            state.stats.write_delays.fetch_add(1, Ordering::Relaxed);
+        }
+        let delay = Duration::from_millis(conn.faults.write_delay_ms);
+        conn.enter(Phase::WriteDelay);
+        let generation = conn.generation;
+        w.wheel
+            .arm(Instant::now() + delay, token, generation, TimerKind::Resume);
+        return;
+    }
+    begin_write(w, shared, token);
+}
+
+/// Applies the connection's body action to the rendered bytes (the
+/// same `apply_action` the blocking writer uses, so cut positions,
+/// corruption masks, and stats are identical) and starts writing.
+fn begin_write(w: &mut Worker, shared: &EvShared, token: u64) {
+    let Some(conn) = w.conns.get_mut(&token) else {
+        return;
+    };
+    let effect = match &shared.config.chaos {
+        Some(state) => chaos::apply_action(&mut conn.out, conn.faults.action, &state.stats),
+        None => WireEffect::Intact,
+    };
+    match effect {
+        WireEffect::Intact => {
+            conn.stop_at = conn.out.len();
+            conn.close = CloseMode::Normal;
+        }
+        WireEffect::CutClean { at } => {
+            conn.stop_at = at;
+            conn.close = CloseMode::CleanCut;
+        }
+        WireEffect::CutAbrupt { at } => {
+            conn.stop_at = at;
+            conn.close = CloseMode::AbruptCut;
+        }
+        WireEffect::Stall { at, ms } => {
+            conn.stop_at = at;
+            conn.stall = Some((conn.out.len(), ms));
+            conn.close = CloseMode::Normal;
+        }
+    }
+    conn.enter(Phase::Writing);
+    let generation = conn.generation;
+    if w.poller
+        .modify(conn.stream.as_fd(), token, EPOLLOUT)
+        .is_err()
+    {
+        remove(w, token, None);
+        return;
+    }
+    w.wheel.arm(
+        Instant::now() + shared.config.write_timeout,
+        token,
+        generation,
+        TimerKind::WriteDeadline,
+    );
+    drive_write(w, shared, token);
+}
+
+/// Pushes the write phase forward, handling stall parking and the
+/// close-mode epilogue.
+fn drive_write(w: &mut Worker, _shared: &EvShared, token: u64) {
+    let progress = {
+        let Some(conn) = w.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.phase != Phase::Writing {
+            return;
+        }
+        advance_write(conn)
+    };
+    match progress {
+        WriteProgress::NeedWritable => {}
+        WriteProgress::StallNow { ms } => {
+            let conn = w.conns.get_mut(&token).expect("still present");
+            let _ = io::Write::flush(&mut conn.stream);
+            conn.enter(Phase::Stalled);
+            let generation = conn.generation;
+            let _ = w.poller.modify(conn.stream.as_fd(), token, 0);
+            w.wheel.arm(
+                Instant::now() + Duration::from_millis(ms),
+                token,
+                generation,
+                TimerKind::Resume,
+            );
+        }
+        WriteProgress::Done => finish(w, token),
+        WriteProgress::Failed => remove(w, token, None),
+    }
+}
+
+/// Acts on the close mode once the response bytes are on the wire.
+fn finish(w: &mut Worker, token: u64) {
+    let Some(conn) = w.conns.get(&token) else {
+        return;
+    };
+    match conn.close {
+        CloseMode::Normal => remove(w, token, None),
+        CloseMode::CleanCut => remove(w, token, Some(Shutdown::Write)),
+        // Both directions with request bytes possibly unread: RST, the
+        // same wire effect as the blocking reset path.
+        CloseMode::AbruptCut => remove(w, token, Some(Shutdown::Both)),
+        CloseMode::ShedDrain => {
+            let conn = w.conns.get_mut(&token).expect("checked above");
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            conn.enter(Phase::Draining);
+            let generation = conn.generation;
+            let _ = w
+                .poller
+                .modify(conn.stream.as_fd(), token, EPOLLIN | EPOLLRDHUP);
+            w.wheel.arm(
+                Instant::now() + Duration::from_millis(50),
+                token,
+                generation,
+                TimerKind::DrainDeadline,
+            );
+        }
+    }
+}
+
+/// Drops a connection (optionally shutting the socket down first);
+/// closing the fd deregisters it from epoll automatically.
+fn remove(w: &mut Worker, token: u64, shutdown: Option<Shutdown>) {
+    if let Some(conn) = w.conns.remove(&token) {
+        if let Some(how) = shutdown {
+            let _ = conn.stream.shutdown(how);
+        }
+    }
+    if w.reading == Some(token) {
+        w.reading = None;
+    }
+}
+
+/// Acts on a fired deadline, ignoring stale generations (the lazy
+/// cancellation discipline).
+fn fire_timer(w: &mut Worker, shared: &EvShared, token: u64, generation: u64, kind: TimerKind) {
+    {
+        let Some(conn) = w.conns.get(&token) else {
+            return;
+        };
+        if conn.generation != generation {
+            return;
+        }
+    }
+    match kind {
+        TimerKind::ReadDeadline => {
+            // The head never arrived in time: the same 408 the blocking
+            // reader's socket timeout produces.
+            shared.stats.read_errors.fetch_add(1, Ordering::Relaxed);
+            release_slot(w, token);
+            start_response(w, shared, token, Response::text(408, "request timed out\n"));
+        }
+        TimerKind::WriteDeadline => remove(w, token, None),
+        TimerKind::DrainDeadline => remove(w, token, None),
+        TimerKind::Resume => {
+            let phase = w.conns.get(&token).map(|c| c.phase);
+            match phase {
+                Some(Phase::ReadDelay) => {
+                    let conn = w.conns.get_mut(&token).expect("checked above");
+                    conn.enter(Phase::Reading);
+                    let generation = conn.generation;
+                    if w.poller
+                        .modify(conn.stream.as_fd(), token, EPOLLIN | EPOLLRDHUP)
+                        .is_err()
+                    {
+                        remove(w, token, None);
+                        return;
+                    }
+                    w.wheel.arm(
+                        Instant::now() + shared.config.read_timeout,
+                        token,
+                        generation,
+                        TimerKind::ReadDeadline,
+                    );
+                    drive_read(w, shared, token);
+                }
+                Some(Phase::WriteDelay) => begin_write(w, shared, token),
+                Some(Phase::Stalled) => {
+                    let conn = w.conns.get_mut(&token).expect("checked above");
+                    conn.enter(Phase::Writing);
+                    let generation = conn.generation;
+                    if w.poller
+                        .modify(conn.stream.as_fd(), token, EPOLLOUT)
+                        .is_err()
+                    {
+                        remove(w, token, None);
+                        return;
+                    }
+                    // A fresh write deadline, as each blocking write
+                    // call gets a fresh socket timeout.
+                    w.wheel.arm(
+                        Instant::now() + shared.config.write_timeout,
+                        token,
+                        generation,
+                        TimerKind::WriteDeadline,
+                    );
+                    drive_write(w, shared, token);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use crate::http::Response;
+    use std::time::Instant;
+
+    fn start(
+        config: ServerConfig,
+        handler: Handler,
+    ) -> (EventServer, SocketAddr, Arc<ServerStats>) {
+        let stats = Arc::new(ServerStats::default());
+        let server = EventServer::bind("127.0.0.1:0", config, stats.clone(), handler).unwrap();
+        let addr = server.local_addr();
+        (server, addr, stats)
+    }
+
+    fn echo_handler() -> Handler {
+        Arc::new(|req| Response::ok(format!("path={} query={}\n", req.path, req.query)))
+    }
+
+    #[test]
+    fn serves_requests_and_drains_on_shutdown() {
+        let (server, addr, stats) = start(ServerConfig::default(), echo_handler());
+        for i in 0..8 {
+            let r = client::get(&addr.to_string(), &format!("/x?i={i}"), None).unwrap();
+            assert_eq!(r.status, 200);
+            assert_eq!(
+                String::from_utf8(r.body).unwrap(),
+                format!("path=/x query=i={i}\n")
+            );
+        }
+        server.shutdown_and_join();
+        assert_eq!(stats.handled.load(Ordering::Relaxed), 8);
+        assert_eq!(stats.shed.load(Ordering::Relaxed), 0);
+        assert!(client::get(&addr.to_string(), "/x", Some(Duration::from_millis(500))).is_err());
+    }
+
+    #[test]
+    fn sheds_with_503_when_the_queue_is_full_and_never_hangs() {
+        let slow: Handler = Arc::new(|_req| {
+            std::thread::sleep(Duration::from_millis(150));
+            Response::ok("slow\n")
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServerConfig::default()
+        };
+        let (server, addr, stats) = start(config, slow);
+        let started = Instant::now();
+        let clients: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    client::get(&addr, "/slow", Some(Duration::from_secs(10))).unwrap()
+                })
+            })
+            .collect();
+        let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+        let sheds = responses.iter().filter(|r| r.status == 503).count();
+        let oks = responses.iter().filter(|r| r.status == 200).count();
+        assert_eq!(sheds + oks, 8, "every client gets a definitive answer");
+        assert!(sheds >= 4, "expected most of 8 clients shed, got {sheds}");
+        let shed_response = responses.iter().find(|r| r.status == 503).unwrap();
+        assert!(shed_response.header("retry-after").is_some());
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert_eq!(stats.shed.load(Ordering::Relaxed) as usize, sheds);
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn handler_panic_answers_500_and_reactor_survives() {
+        let flaky: Handler = Arc::new(|req| {
+            if req.path == "/boom" {
+                panic!("handler bug");
+            }
+            Response::ok("fine\n")
+        });
+        let (server, addr, _stats) = start(ServerConfig::default(), flaky);
+        let r = client::get(&addr.to_string(), "/boom", None).unwrap();
+        assert_eq!(r.status, 500);
+        let r = client::get(&addr.to_string(), "/ok", None).unwrap();
+        assert_eq!(r.status, 200);
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn queued_connections_are_served_before_the_drain_finishes() {
+        let slow: Handler = Arc::new(|_req| {
+            std::thread::sleep(Duration::from_millis(100));
+            Response::ok("done\n")
+        });
+        let config = ServerConfig {
+            workers: 1,
+            queue_depth: 8,
+            ..ServerConfig::default()
+        };
+        let (server, addr, stats) = start(config, slow);
+        let clients: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    client::get(&addr, "/q", Some(Duration::from_secs(10))).unwrap()
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(30));
+        server.shutdown_and_join();
+        for c in clients {
+            assert_eq!(c.join().unwrap().status, 200, "queued conns get served");
+        }
+        assert_eq!(stats.handled.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn slow_request_heads_time_out_with_408() {
+        use std::io::{Read as _, Write as _};
+        let config = ServerConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        };
+        let (server, addr, stats) = start(config, echo_handler());
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /partial").unwrap(); // never finishes the head
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw);
+        let text = String::from_utf8_lossy(&raw);
+        assert!(text.starts_with("HTTP/1.1 408 "), "{text}");
+        assert_eq!(stats.read_errors.load(Ordering::Relaxed), 1);
+        server.shutdown_and_join();
+    }
+
+    #[test]
+    fn zero_rate_chaos_serves_byte_identical_responses() {
+        let (plain, plain_addr, _) = start(ServerConfig::default(), echo_handler());
+        let chaotic_config = ServerConfig {
+            chaos: Some(Arc::new(ChaosState::new(crate::chaos::FaultPlan {
+                seed: 99,
+                ..crate::chaos::FaultPlan::default()
+            }))),
+            ..ServerConfig::default()
+        };
+        let (chaotic, chaos_addr, _) = start(chaotic_config, echo_handler());
+        for target in ["/a?x=1", "/b", "/c?longer=query&more=stuff"] {
+            assert_eq!(
+                raw_get(&plain_addr, target),
+                raw_get(&chaos_addr, target),
+                "{target}: an all-zero FaultPlan must not change a single byte"
+            );
+        }
+        let stats = chaotic.chaos().unwrap().stats.total();
+        assert_eq!(stats, 0, "zero rates inject nothing");
+        plain.shutdown_and_join();
+        chaotic.shutdown_and_join();
+    }
+
+    #[test]
+    fn reset_injection_breaks_clients_and_is_counted() {
+        let config = ServerConfig {
+            chaos: Some(Arc::new(ChaosState::new(crate::chaos::FaultPlan {
+                seed: 7,
+                reset_rate: 1.0,
+                ..crate::chaos::FaultPlan::default()
+            }))),
+            ..ServerConfig::default()
+        };
+        let (server, addr, _) = start(config, echo_handler());
+        let mut failures = 0;
+        for _ in 0..8 {
+            if client::get(&addr.to_string(), "/x", Some(Duration::from_secs(5))).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(
+            failures >= 6,
+            "reset-rate 1.0 must break (nearly) every request, got {failures}/8"
+        );
+        let chaos = server.chaos().unwrap();
+        assert!(chaos.stats.resets.load(Ordering::Relaxed) >= 8);
+        server.shutdown_and_join();
+    }
+
+    fn raw_get(addr: &SocketAddr, target: &str) -> Vec<u8> {
+        use std::io::{Read as _, Write as _};
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(format!("GET {target} HTTP/1.1\r\nConnection: close\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut raw = Vec::new();
+        let _ = s.read_to_end(&mut raw);
+        raw
+    }
+
+    #[test]
+    fn wakeup_stats_accumulate() {
+        let (server, addr, _) = start(ServerConfig::default(), echo_handler());
+        for _ in 0..4 {
+            let _ = client::get(&addr.to_string(), "/x", None).unwrap();
+        }
+        let reactor = server.reactor_stats();
+        assert!(reactor.wakeups() > 0);
+        let (_, _, count) = reactor.ready_histogram();
+        assert!(count > 0);
+        server.shutdown_and_join();
+    }
+}

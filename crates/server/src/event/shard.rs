@@ -1,0 +1,190 @@
+//! A sharded LRU cache: the hash of the key picks a shard, each shard
+//! is an independent [`LruCache`] behind its own mutex.
+//!
+//! This kills the global cache mutex that serializes the thread
+//! engine's workers: with `shards == workers`, two reactors answering
+//! different artifacts touch different locks. Shard selection uses the
+//! default SipHash hasher with a fixed (zero) key, so placement is
+//! deterministic across runs and across both engines.
+//!
+//! At shard count 1 the structure is observation-equivalent to a single
+//! [`LruCache`] of the same capacity — the property test in
+//! `tests/properties_server.rs` pins that down — which is why the
+//! thread engine can run on the same code path with one shard and stay
+//! byte-identical to its pre-shard behavior.
+
+use crate::cache::LruCache;
+use crate::pool::unpoison;
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-shard hit/miss/eviction counters, exported on `/metrics` by the
+/// events engine as `dcnr_server_cache_shard_*_total{shard=...}`.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Lookups that found the key.
+    pub hits: AtomicU64,
+    /// Lookups that did not.
+    pub misses: AtomicU64,
+    /// Entries displaced by inserts into a full shard.
+    pub evictions: AtomicU64,
+}
+
+impl ShardStats {
+    /// `(hits, misses, evictions)` snapshot.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A bounded LRU map split into independently-locked shards.
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<(Mutex<LruCache<K, V>>, ShardStats)>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates `shards` shards (min 1) splitting `total_capacity`
+    /// between them (ceil division, so the total is never undershot;
+    /// each shard holds at least one entry).
+    pub fn new(shards: usize, total_capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = total_capacity.div_ceil(shards).max(1);
+        Self {
+            shards: (0..shards)
+                .map(|_| (Mutex::new(LruCache::new(per_shard)), ShardStats::default()))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` lives in: SipHash with a fixed zero key, so
+    /// placement is stable across runs, threads, and engines.
+    pub fn shard_for<Q>(&self, key: &Q) -> usize
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Looks up `key`, refreshing its recency and counting the
+    /// hit/miss on its shard. Returns a clone (the guard cannot
+    /// escape); values are `Arc`-shaped in practice.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let (shard, stats) = &self.shards[self.shard_for(key)];
+        let hit = unpoison(shard.lock()).get(key).cloned();
+        if hit.is_some() {
+            stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Inserts `key -> value` into its shard, counting any eviction.
+    pub fn insert(&self, key: K, value: V) {
+        let (shard, stats) = &self.shards[self.shard_for(&key)];
+        if unpoison(shard.lock()).insert(key, value).is_some() {
+            stats.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|(s, _)| unpoison(s.lock()).len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Per-shard `(hits, misses, evictions)` snapshots, indexed by
+    /// shard id — the `/metrics` export.
+    pub fn shard_snapshots(&self) -> Vec<(u64, u64, u64)> {
+        self.shards.iter().map(|(_, s)| s.snapshot()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_route_to_stable_shards_and_counters_track() {
+        let cache: ShardedLru<String, u32> = ShardedLru::new(4, 16);
+        assert_eq!(cache.shard_count(), 4);
+        for i in 0..32 {
+            cache.insert(format!("key-{i}"), i);
+        }
+        for i in 0..32 {
+            let key = format!("key-{i}");
+            assert_eq!(cache.shard_for(&key), cache.shard_for(&key));
+            if let Some(v) = cache.get(&key) {
+                assert_eq!(v, i);
+            }
+        }
+        let snaps = cache.shard_snapshots();
+        assert_eq!(snaps.len(), 4);
+        let (hits, misses, _): (u64, u64, u64) = snaps
+            .iter()
+            .fold((0, 0, 0), |a, s| (a.0 + s.0, a.1 + s.1, a.2 + s.2));
+        assert_eq!(hits + misses, 32, "every get counted exactly once");
+    }
+
+    #[test]
+    fn evictions_are_counted_per_shard() {
+        // One shard, capacity 2: the third distinct insert must evict.
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(1, 2);
+        cache.insert(1, 1);
+        cache.insert(2, 2);
+        cache.insert(3, 3);
+        let (_, _, evictions) = cache.shard_snapshots()[0];
+        assert_eq!(evictions, 1);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_splits_without_undershooting() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(4, 10);
+        // ceil(10/4) = 3 per shard; inserting 12 spread keys never
+        // drops below the requested total of 10.
+        for i in 0..100 {
+            cache.insert(i, i);
+        }
+        assert!(
+            cache.len() >= 10 || cache.len() == 12,
+            "len={}",
+            cache.len()
+        );
+        assert!(cache.len() <= 12);
+    }
+
+    #[test]
+    fn shard_count_zero_is_clamped() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(0, 0);
+        assert_eq!(cache.shard_count(), 1);
+        cache.insert(1, 1);
+        assert_eq!(cache.get(&1), Some(1));
+    }
+}

@@ -1,0 +1,194 @@
+//! A hashed timer wheel mapping the pool engine's socket timeouts onto
+//! reactor deadlines.
+//!
+//! The thread engine leans on kernel socket timeouts (`SO_RCVTIMEO` /
+//! `SO_SNDTIMEO`); a nonblocking reactor cannot, so every connection
+//! deadline — head-read timeout, response-write timeout, chaos
+//! delay/stall resumption, shed-drain cutoff — becomes a wheel entry.
+//! Entries hash into a slot by their tick; firing scans only the slots
+//! the clock has passed since the last check. Cancellation is lazy:
+//! entries carry the connection's generation counter, and the reactor
+//! ignores fires whose generation is stale (the connection has already
+//! moved on) or whose token no longer exists.
+
+use std::time::{Duration, Instant};
+
+/// What a fired deadline means to the reactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// The request head did not arrive within the read timeout: answer
+    /// `408`, exactly as the thread engine's socket timeout does.
+    ReadDeadline,
+    /// The response could not be written within the write timeout:
+    /// drop the connection, as a blocking `write_all` failure would.
+    WriteDeadline,
+    /// Resume a chaos-delayed read/write or a mid-write stall.
+    Resume,
+    /// Stop draining a half-closed shed connection and close it.
+    DrainDeadline,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    deadline: Instant,
+    token: u64,
+    generation: u64,
+    kind: TimerKind,
+}
+
+/// A fired timer: `(connection token, generation at arm time, kind)`.
+pub type Fired = (u64, u64, TimerKind);
+
+const SLOTS: usize = 256;
+const TICK: Duration = Duration::from_millis(16);
+
+/// The wheel itself. One per reactor worker; never shared.
+#[derive(Debug)]
+pub struct TimerWheel {
+    origin: Instant,
+    slots: Vec<Vec<Entry>>,
+    /// The last tick [`TimerWheel::expired`] scanned through.
+    cursor: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// An empty wheel whose clock starts now.
+    pub fn new() -> Self {
+        let origin = Instant::now();
+        Self {
+            origin,
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        (t.saturating_duration_since(self.origin).as_millis() / TICK.as_millis()) as u64
+    }
+
+    /// Arms a deadline for `(token, generation)`.
+    pub fn arm(&mut self, deadline: Instant, token: u64, generation: u64, kind: TimerKind) {
+        let slot = (self.tick_of(deadline) % SLOTS as u64) as usize;
+        self.slots[slot].push(Entry {
+            deadline,
+            token,
+            generation,
+            kind,
+        });
+        self.len += 1;
+    }
+
+    /// The nearest armed deadline, for deriving the poll timeout.
+    /// O(entries + slots); both are small (≤ a few per connection).
+    pub fn next_deadline(&self) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        self.slots.iter().flatten().map(|e| e.deadline).min()
+    }
+
+    /// Removes and returns every entry due at `now`, scanning only the
+    /// slots between the previous call and the current tick (all slots
+    /// after a full rotation). Entries hashed into a scanned slot but
+    /// due in a later rotation are kept.
+    pub fn expired(&mut self, now: Instant) -> Vec<Fired> {
+        if self.len == 0 {
+            self.cursor = self.tick_of(now);
+            return Vec::new();
+        }
+        let now_tick = self.tick_of(now);
+        let mut fired = Vec::new();
+        let span = (now_tick.saturating_sub(self.cursor) + 1).min(SLOTS as u64);
+        for i in 0..span {
+            let slot = ((self.cursor + i) % SLOTS as u64) as usize;
+            self.slots[slot].retain(|e| {
+                if e.deadline <= now {
+                    fired.push((e.token, e.generation, e.kind));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.cursor = now_tick;
+        self.len -= fired.len();
+        fired
+    }
+
+    /// Number of armed (possibly stale) entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing is armed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_due_entries_and_keeps_future_ones() {
+        let mut wheel = TimerWheel::new();
+        let now = Instant::now();
+        wheel.arm(now, 1, 0, TimerKind::ReadDeadline);
+        wheel.arm(
+            now + Duration::from_secs(60),
+            2,
+            0,
+            TimerKind::WriteDeadline,
+        );
+        assert_eq!(wheel.len(), 2);
+        let fired = wheel.expired(now + Duration::from_millis(1));
+        assert_eq!(fired, vec![(1, 0, TimerKind::ReadDeadline)]);
+        assert_eq!(wheel.len(), 1);
+        assert!(wheel.next_deadline().unwrap() > now + Duration::from_secs(59));
+    }
+
+    #[test]
+    fn far_future_entries_survive_a_full_rotation_scan() {
+        let mut wheel = TimerWheel::new();
+        let now = Instant::now();
+        // Same slot hash as a near deadline (multiple rotations away).
+        wheel.arm(now + TICK * (SLOTS as u32) * 3, 9, 0, TimerKind::Resume);
+        let fired = wheel.expired(now + TICK * (SLOTS as u32));
+        assert!(fired.is_empty(), "future-rotation entry must not fire");
+        assert_eq!(wheel.len(), 1);
+        let fired = wheel.expired(now + TICK * (SLOTS as u32) * 4);
+        assert_eq!(fired.len(), 1);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn many_interleaved_deadlines_fire_in_bounded_batches() {
+        let mut wheel = TimerWheel::new();
+        let now = Instant::now();
+        for i in 0..100u64 {
+            wheel.arm(now + Duration::from_millis(i * 7), i, i, TimerKind::Resume);
+        }
+        let mut seen = Vec::new();
+        for step in 0..8 {
+            let t = now + Duration::from_millis(100 * (step + 1));
+            for (token, generation, _) in wheel.expired(t) {
+                assert_eq!(token, generation);
+                seen.push(token);
+            }
+        }
+        assert_eq!(seen.len(), 100, "every deadline fires exactly once");
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 100);
+        assert!(wheel.is_empty());
+    }
+}

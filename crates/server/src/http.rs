@@ -203,13 +203,25 @@ pub fn read_request(stream: &mut impl Read) -> Result<Request, HttpError> {
     };
     // Bytes past the head are ignored: GET/HEAD requests carry no body
     // we care about, and the connection closes after one response.
-    let text = std::str::from_utf8(&head[..end])
-        .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))?;
-    parse_head(text)
+    parse_request_bytes(&head[..end])
 }
 
-fn find_head_end(buf: &[u8]) -> Option<usize> {
+/// Position of the `\r\n\r\n` head terminator in `buf`, if present.
+/// The event engine's incremental reader calls this on its accumulation
+/// buffer after every readiness-driven read.
+pub(crate) fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses an already-accumulated request head (the bytes *before* the
+/// `\r\n\r\n` terminator). The incremental entry point for the event
+/// engine; [`read_request`] is the blocking wrapper over the same
+/// parser, so both engines reject exactly the same heads with exactly
+/// the same errors.
+pub(crate) fn parse_request_bytes(head: &[u8]) -> Result<Request, HttpError> {
+    let text = std::str::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))?;
+    parse_head(text)
 }
 
 fn parse_head(text: &str) -> Result<Request, HttpError> {

@@ -222,7 +222,25 @@ fn mid_write_clients_still_receive_the_shed_response() {
             get(&server, "/admin/sleep?millis=1000")
         }));
     }
-    std::thread::sleep(Duration::from_millis(200));
+    // Wait until the server has dispositioned all 4 sleepers: with 1
+    // worker sleeping and 1 queue slot, two of them must have shed,
+    // which proves the queue is full and stays full for the sleep's
+    // duration. (A fixed sleep races the scheduler on a loaded 1-CPU
+    // host and the writer below slips in before saturation.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = server.stats();
+        let accepted = stats.accepted.load(std::sync::atomic::Ordering::SeqCst);
+        let shed = stats.shed.load(std::sync::atomic::Ordering::SeqCst);
+        if accepted >= 4 && shed >= 2 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "sleepers never saturated the server (accepted {accepted}, shed {shed})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
 
     // A slow writer: half the request line, a pause, then the rest.
     // The shed answer is written at accept time, before any of this
